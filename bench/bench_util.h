@@ -1,0 +1,80 @@
+// Shared timing helpers for the paper-table benches.
+//
+// The paper's method (section 6.4): "Each data point is the average of 5
+// runs of 10000 invocations of the given operation. Variance between runs
+// was less than 8 percent." TimeOp reproduces that: R runs of N
+// invocations, reporting the mean per-op microseconds and the max relative
+// deviation between runs.
+
+#ifndef SPRINGFS_BENCH_BENCH_UTIL_H_
+#define SPRINGFS_BENCH_BENCH_UTIL_H_
+
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <functional>
+#include <string>
+#include <vector>
+
+namespace springfs::bench {
+
+struct Measurement {
+  double mean_us = 0;       // mean per-operation cost
+  double max_dev_pct = 0;   // max |run - mean| / mean across runs
+  uint64_t iterations = 0;  // per run
+};
+
+template <typename F>
+Measurement TimeOp(F&& op, uint64_t iterations, int runs = 5) {
+  std::vector<double> per_run_us;
+  per_run_us.reserve(runs);
+  // Warmup run (not measured): populate caches, fault pages.
+  for (uint64_t i = 0; i < iterations / 10 + 1; ++i) {
+    op();
+  }
+  for (int r = 0; r < runs; ++r) {
+    auto start = std::chrono::steady_clock::now();
+    for (uint64_t i = 0; i < iterations; ++i) {
+      op();
+    }
+    auto end = std::chrono::steady_clock::now();
+    double us = std::chrono::duration<double, std::micro>(end - start).count();
+    per_run_us.push_back(us / static_cast<double>(iterations));
+  }
+  Measurement m;
+  m.iterations = iterations;
+  for (double us : per_run_us) {
+    m.mean_us += us;
+  }
+  m.mean_us /= runs;
+  for (double us : per_run_us) {
+    m.max_dev_pct = std::max(m.max_dev_pct,
+                             100.0 * std::abs(us - m.mean_us) / m.mean_us);
+  }
+  return m;
+}
+
+// Renders "123.4us (178%)" style cells normalized against a baseline.
+inline std::string Cell(const Measurement& m, const Measurement& baseline) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%9.2f (%4.0f%%)", m.mean_us,
+                100.0 * m.mean_us / baseline.mean_us);
+  return buf;
+}
+
+inline std::string Cell(const Measurement& m) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%9.2f (100%%)", m.mean_us);
+  return buf;
+}
+
+inline void PrintRule(int width = 86) {
+  for (int i = 0; i < width; ++i) {
+    std::putchar('-');
+  }
+  std::putchar('\n');
+}
+
+}  // namespace springfs::bench
+
+#endif  // SPRINGFS_BENCH_BENCH_UTIL_H_

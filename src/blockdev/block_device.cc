@@ -1,0 +1,147 @@
+#include "src/blockdev/block_device.h"
+
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include <mutex>
+
+namespace springfs {
+
+MemBlockDevice::MemBlockDevice(uint32_t block_size, BlockNum num_blocks)
+    : block_size_(block_size), num_blocks_(num_blocks),
+      storage_(static_cast<size_t>(block_size) * num_blocks) {}
+
+Status MemBlockDevice::CheckArgs(BlockNum block, size_t span_size) const {
+  if (block >= num_blocks_) {
+    return ErrOutOfRange("block " + std::to_string(block) + " beyond device");
+  }
+  if (span_size != block_size_) {
+    return ErrInvalidArgument("span size != block size");
+  }
+  return Status::Ok();
+}
+
+Status MemBlockDevice::ReadBlock(BlockNum block, MutableByteSpan out) {
+  RETURN_IF_ERROR(CheckArgs(block, out.size()));
+  reads_.fetch_add(1, std::memory_order_relaxed);
+  storage_.ReadAt(static_cast<size_t>(block) * block_size_, out);
+  return Status::Ok();
+}
+
+Status MemBlockDevice::WriteBlock(BlockNum block, ByteSpan data) {
+  RETURN_IF_ERROR(CheckArgs(block, data.size()));
+  writes_.fetch_add(1, std::memory_order_relaxed);
+  storage_.WriteAt(static_cast<size_t>(block) * block_size_, data);
+  return Status::Ok();
+}
+
+Status MemBlockDevice::Flush() {
+  flushes_.fetch_add(1, std::memory_order_relaxed);
+  return Status::Ok();
+}
+
+BlockDeviceStats MemBlockDevice::stats() const {
+  BlockDeviceStats s;
+  s.reads = reads_.load();
+  s.writes = writes_.load();
+  s.flushes = flushes_.load();
+  return s;
+}
+
+void MemBlockDevice::ResetStats() {
+  reads_.store(0);
+  writes_.store(0);
+  flushes_.store(0);
+}
+
+// --- FileBlockDevice ---
+
+Result<std::unique_ptr<FileBlockDevice>> FileBlockDevice::Open(
+    const std::string& path, uint32_t block_size, BlockNum num_blocks) {
+  int fd = ::open(path.c_str(), O_RDWR | O_CREAT, 0644);
+  if (fd < 0) {
+    return ErrIoError("open('" + path + "') failed: " +
+                      std::string(std::strerror(errno)));
+  }
+  off_t want = static_cast<off_t>(block_size) * static_cast<off_t>(num_blocks);
+  struct stat st;
+  if (::fstat(fd, &st) != 0 || st.st_size < want) {
+    if (::ftruncate(fd, want) != 0) {
+      ::close(fd);
+      return ErrIoError("ftruncate('" + path + "') failed");
+    }
+  }
+  return std::unique_ptr<FileBlockDevice>(
+      new FileBlockDevice(fd, block_size, num_blocks));
+}
+
+FileBlockDevice::FileBlockDevice(int fd, uint32_t block_size,
+                                 BlockNum num_blocks)
+    : fd_(fd), block_size_(block_size), num_blocks_(num_blocks) {}
+
+FileBlockDevice::~FileBlockDevice() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+  }
+}
+
+Status FileBlockDevice::CheckArgs(BlockNum block, size_t span_size) const {
+  if (block >= num_blocks_) {
+    return ErrOutOfRange("block " + std::to_string(block) + " beyond device");
+  }
+  if (span_size != block_size_) {
+    return ErrInvalidArgument("span size != block size");
+  }
+  return Status::Ok();
+}
+
+Status FileBlockDevice::ReadBlock(BlockNum block, MutableByteSpan out) {
+  RETURN_IF_ERROR(CheckArgs(block, out.size()));
+  reads_.fetch_add(1, std::memory_order_relaxed);
+  off_t at = static_cast<off_t>(block) * block_size_;
+  ssize_t n = ::pread(fd_, out.data(), out.size(), at);
+  if (n < 0 || static_cast<size_t>(n) != out.size()) {
+    return ErrIoError("pread failed at block " + std::to_string(block));
+  }
+  return Status::Ok();
+}
+
+Status FileBlockDevice::WriteBlock(BlockNum block, ByteSpan data) {
+  RETURN_IF_ERROR(CheckArgs(block, data.size()));
+  writes_.fetch_add(1, std::memory_order_relaxed);
+  off_t at = static_cast<off_t>(block) * block_size_;
+  ssize_t n = ::pwrite(fd_, data.data(), data.size(), at);
+  if (n < 0 || static_cast<size_t>(n) != data.size()) {
+    return ErrIoError("pwrite failed at block " + std::to_string(block));
+  }
+  return Status::Ok();
+}
+
+Status FileBlockDevice::Flush() {
+  flushes_.fetch_add(1, std::memory_order_relaxed);
+  if (::fsync(fd_) != 0) {
+    return ErrIoError("fsync failed");
+  }
+  return Status::Ok();
+}
+
+BlockDeviceStats FileBlockDevice::stats() const {
+  BlockDeviceStats s;
+  s.reads = reads_.load();
+  s.writes = writes_.load();
+  s.flushes = flushes_.load();
+  return s;
+}
+
+void FileBlockDevice::ResetStats() {
+  reads_.store(0);
+  writes_.store(0);
+  flushes_.store(0);
+}
+
+}  // namespace springfs
+

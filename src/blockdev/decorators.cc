@@ -1,0 +1,99 @@
+#include "src/blockdev/decorators.h"
+
+namespace springfs {
+
+uint64_t DiskLatencyModel::LatencyNs(BlockNum head, BlockNum block,
+                                     BlockNum num_blocks) const {
+  uint64_t distance = head > block ? head - block : block - head;
+  uint64_t seek = num_blocks > 1
+                      ? max_seek_ns * distance / (num_blocks - 1)
+                      : 0;
+  // Deterministic "rotational position": hash of the block selects a
+  // fraction of a revolution.
+  uint64_t rotation = rotation_ns * ((block * 2654435761u) % 256) / 256;
+  return fixed_ns + seek + rotation + transfer_ns_per_block;
+}
+
+LatencyBlockDevice::LatencyBlockDevice(std::unique_ptr<BlockDevice> base,
+                                       DiskLatencyModel model, Clock* clock)
+    : base_(std::move(base)), model_(model), clock_(clock) {}
+
+void LatencyBlockDevice::ChargeAccess(BlockNum block) {
+  uint64_t latency;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    latency = model_.LatencyNs(head_, block, base_->num_blocks());
+    head_ = block;
+  }
+  total_latency_ns_.fetch_add(latency, std::memory_order_relaxed);
+  clock_->SleepNs(latency);
+}
+
+Status LatencyBlockDevice::ReadBlock(BlockNum block, MutableByteSpan out) {
+  ChargeAccess(block);
+  return base_->ReadBlock(block, out);
+}
+
+Status LatencyBlockDevice::WriteBlock(BlockNum block, ByteSpan data) {
+  ChargeAccess(block);
+  return base_->WriteBlock(block, data);
+}
+
+Status LatencyBlockDevice::Flush() { return base_->Flush(); }
+
+FaultyBlockDevice::FaultyBlockDevice(std::unique_ptr<BlockDevice> base,
+                                     FaultPredicate predicate)
+    : base_(std::move(base)), predicate_(std::move(predicate)) {}
+
+Status FaultyBlockDevice::ReadBlock(BlockNum block, MutableByteSpan out) {
+  bool fail = broken_.load();
+  if (!fail) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    fail = predicate_ && predicate_(0, block);
+  }
+  if (fail) {
+    read_errors_.fetch_add(1, std::memory_order_relaxed);
+    return ErrIoError("injected read fault at block " + std::to_string(block));
+  }
+  return base_->ReadBlock(block, out);
+}
+
+Status FaultyBlockDevice::WriteBlock(BlockNum block, ByteSpan data) {
+  bool fail = broken_.load();
+  if (!fail) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    fail = predicate_ && predicate_(1, block);
+  }
+  if (fail) {
+    write_errors_.fetch_add(1, std::memory_order_relaxed);
+    return ErrIoError("injected write fault at block " + std::to_string(block));
+  }
+  return base_->WriteBlock(block, data);
+}
+
+Status FaultyBlockDevice::Flush() {
+  if (broken_.load()) {
+    return ErrIoError("device broken");
+  }
+  return base_->Flush();
+}
+
+BlockDeviceStats FaultyBlockDevice::stats() const {
+  BlockDeviceStats s = base_->stats();
+  s.read_errors = read_errors_.load();
+  s.write_errors = write_errors_.load();
+  return s;
+}
+
+void FaultyBlockDevice::ResetStats() {
+  base_->ResetStats();
+  read_errors_.store(0);
+  write_errors_.store(0);
+}
+
+void FaultyBlockDevice::set_predicate(FaultPredicate predicate) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  predicate_ = std::move(predicate);
+}
+
+}  // namespace springfs

@@ -1,0 +1,295 @@
+#include "src/codec/codec.h"
+
+#include "src/support/logging.h"
+
+#include <algorithm>
+#include <cstring>
+#include <vector>
+
+namespace springfs {
+
+// --- RLE (PackBits) ---------------------------------------------------------
+
+Buffer RleCodec::Compress(ByteSpan input) const {
+  Buffer out;
+  size_t i = 0;
+  while (i < input.size()) {
+    // Measure the run starting at i.
+    size_t run = 1;
+    while (i + run < input.size() && input[i + run] == input[i] &&
+           run < 128) {
+      ++run;
+    }
+    if (run >= 3) {
+      uint8_t control = static_cast<uint8_t>(257 - run);
+      out.append(ByteSpan(&control, 1));
+      out.append(ByteSpan(&input[i], 1));
+      i += run;
+      continue;
+    }
+    // Literal stretch: until the next run of >= 3 or 128 bytes.
+    size_t start = i;
+    size_t len = 0;
+    while (i < input.size() && len < 128) {
+      size_t ahead = 1;
+      while (i + ahead < input.size() && input[i + ahead] == input[i] &&
+             ahead < 3) {
+        ++ahead;
+      }
+      if (ahead >= 3) {
+        break;
+      }
+      i += ahead;
+      len += ahead;
+    }
+    if (len > 128) {
+      i -= len - 128;
+      len = 128;
+    }
+    uint8_t control = static_cast<uint8_t>(len - 1);
+    out.append(ByteSpan(&control, 1));
+    out.append(input.subspan(start, len));
+  }
+  return out;
+}
+
+Result<Buffer> RleCodec::Decompress(ByteSpan input,
+                                    size_t expected_size) const {
+  Buffer out;
+  size_t i = 0;
+  while (i < input.size()) {
+    uint8_t control = input[i++];
+    if (control <= 127) {
+      size_t len = control + 1;
+      if (i + len > input.size()) {
+        return ErrCorrupted("rle literal overruns input");
+      }
+      out.append(input.subspan(i, len));
+      i += len;
+    } else if (control == 128) {
+      // no-op, per PackBits
+    } else {
+      size_t len = 257 - control;
+      if (i >= input.size()) {
+        return ErrCorrupted("rle run missing byte");
+      }
+      uint8_t value = input[i++];
+      for (size_t k = 0; k < len; ++k) {
+        out.append(ByteSpan(&value, 1));
+      }
+    }
+    if (out.size() > expected_size) {
+      return ErrCorrupted("rle output exceeds expected size");
+    }
+  }
+  if (out.size() != expected_size) {
+    return ErrCorrupted("rle output shorter than expected");
+  }
+  return out;
+}
+
+// --- LZ77 -------------------------------------------------------------------
+
+namespace {
+
+constexpr size_t kMinMatch = 4;
+constexpr size_t kMaxMatch = 65535;
+constexpr size_t kMaxDist = 65535;
+constexpr size_t kMaxLiteralRun = 65535;
+
+uint32_t HashPrefix(const uint8_t* p) {
+  uint32_t v;
+  std::memcpy(&v, p, 4);
+  return (v * 2654435761u) >> 19;  // 13-bit hash
+}
+
+void EmitLiterals(Buffer& out, ByteSpan input, size_t start, size_t len) {
+  while (len > 0) {
+    size_t chunk = std::min(len, kMaxLiteralRun);
+    uint8_t header[3] = {0x00, static_cast<uint8_t>(chunk),
+                         static_cast<uint8_t>(chunk >> 8)};
+    out.append(ByteSpan(header, 3));
+    out.append(input.subspan(start, chunk));
+    start += chunk;
+    len -= chunk;
+  }
+}
+
+void EmitMatch(Buffer& out, size_t len, size_t dist) {
+  uint8_t header[5] = {0x01, static_cast<uint8_t>(len),
+                       static_cast<uint8_t>(len >> 8),
+                       static_cast<uint8_t>(dist),
+                       static_cast<uint8_t>(dist >> 8)};
+  out.append(ByteSpan(header, 5));
+}
+
+}  // namespace
+
+Buffer Lz77Codec::Compress(ByteSpan input) const {
+  Buffer out;
+  if (input.empty()) {
+    return out;
+  }
+  std::vector<int64_t> table(1 << 13, -1);
+  size_t literal_start = 0;
+  size_t i = 0;
+  while (i + kMinMatch <= input.size()) {
+    uint32_t hash = HashPrefix(&input[i]);
+    int64_t candidate = table[hash];
+    table[hash] = static_cast<int64_t>(i);
+    size_t match_len = 0;
+    if (candidate >= 0 && i - candidate <= kMaxDist &&
+        std::memcmp(&input[candidate], &input[i], kMinMatch) == 0) {
+      size_t limit = std::min(input.size() - i, kMaxMatch);
+      match_len = kMinMatch;
+      while (match_len < limit &&
+             input[candidate + match_len] == input[i + match_len]) {
+        ++match_len;
+      }
+    }
+    if (match_len >= kMinMatch) {
+      EmitLiterals(out, input, literal_start, i - literal_start);
+      EmitMatch(out, match_len, i - candidate);
+      i += match_len;
+      literal_start = i;
+    } else {
+      ++i;
+    }
+  }
+  EmitLiterals(out, input, literal_start, input.size() - literal_start);
+  return out;
+}
+
+Result<Buffer> Lz77Codec::Decompress(ByteSpan input,
+                                     size_t expected_size) const {
+  Buffer out;
+  size_t i = 0;
+  while (i < input.size()) {
+    uint8_t kind = input[i];
+    if (kind == 0x00) {
+      if (i + 3 > input.size()) {
+        return ErrCorrupted("lz77 literal header truncated");
+      }
+      size_t len = input[i + 1] | (size_t{input[i + 2]} << 8);
+      i += 3;
+      if (i + len > input.size()) {
+        return ErrCorrupted("lz77 literal run overruns input");
+      }
+      out.append(input.subspan(i, len));
+      i += len;
+    } else if (kind == 0x01) {
+      if (i + 5 > input.size()) {
+        return ErrCorrupted("lz77 match header truncated");
+      }
+      size_t len = input[i + 1] | (size_t{input[i + 2]} << 8);
+      size_t dist = input[i + 3] | (size_t{input[i + 4]} << 8);
+      i += 5;
+      if (dist == 0 || dist > out.size()) {
+        return ErrCorrupted("lz77 match distance out of range");
+      }
+      if (len < kMinMatch) {
+        return ErrCorrupted("lz77 match too short");
+      }
+      // Byte-by-byte copy: matches may overlap themselves.
+      size_t src = out.size() - dist;
+      for (size_t k = 0; k < len; ++k) {
+        uint8_t byte = out.data()[src + k];
+        out.append(ByteSpan(&byte, 1));
+      }
+    } else {
+      return ErrCorrupted("lz77 unknown token kind");
+    }
+    if (out.size() > expected_size) {
+      return ErrCorrupted("lz77 output exceeds expected size");
+    }
+  }
+  if (out.size() != expected_size) {
+    return ErrCorrupted("lz77 output shorter than expected");
+  }
+  return out;
+}
+
+const Codec* CodecByName(const std::string& name) {
+  static const RleCodec rle;
+  static const Lz77Codec lz77;
+  if (name == "rle") {
+    return &rle;
+  }
+  if (name == "lz77") {
+    return &lz77;
+  }
+  return nullptr;
+}
+
+// --- XTEA -------------------------------------------------------------------
+
+XteaKey XteaKey::FromPassphrase(const std::string& passphrase) {
+  XteaKey key;
+  // Stretch the passphrase through iterated FNV-1a with per-word salts.
+  for (int w = 0; w < 4; ++w) {
+    uint64_t hash = 0xcbf29ce484222325ull + 0x9E3779B9ull * w;
+    for (int round = 0; round < 64; ++round) {
+      for (char c : passphrase) {
+        hash ^= static_cast<uint8_t>(c);
+        hash *= 0x100000001b3ull;
+      }
+      hash ^= round;
+      hash *= 0x100000001b3ull;
+    }
+    key.words[w] = static_cast<uint32_t>(hash ^ (hash >> 32));
+  }
+  return key;
+}
+
+namespace {
+constexpr uint32_t kDelta = 0x9E3779B9;
+constexpr int kRounds = 32;
+}  // namespace
+
+void XteaEncryptBlock(const XteaKey& key, uint32_t block[2]) {
+  uint32_t v0 = block[0];
+  uint32_t v1 = block[1];
+  uint32_t sum = 0;
+  for (int i = 0; i < kRounds; ++i) {
+    v0 += (((v1 << 4) ^ (v1 >> 5)) + v1) ^ (sum + key.words[sum & 3]);
+    sum += kDelta;
+    v1 += (((v0 << 4) ^ (v0 >> 5)) + v0) ^ (sum + key.words[(sum >> 11) & 3]);
+  }
+  block[0] = v0;
+  block[1] = v1;
+}
+
+void XteaDecryptBlock(const XteaKey& key, uint32_t block[2]) {
+  uint32_t v0 = block[0];
+  uint32_t v1 = block[1];
+  uint32_t sum = kDelta * kRounds;
+  for (int i = 0; i < kRounds; ++i) {
+    v1 -= (((v0 << 4) ^ (v0 >> 5)) + v0) ^ (sum + key.words[(sum >> 11) & 3]);
+    sum -= kDelta;
+    v0 -= (((v1 << 4) ^ (v1 >> 5)) + v1) ^ (sum + key.words[sum & 3]);
+  }
+  block[0] = v0;
+  block[1] = v1;
+}
+
+void XteaCtrApply(const XteaKey& key, uint64_t stream_offset,
+                  MutableByteSpan data) {
+  SPRINGFS_CHECK(stream_offset % 8 == 0);
+  uint64_t counter = stream_offset / 8;
+  size_t i = 0;
+  while (i < data.size()) {
+    uint32_t block[2] = {static_cast<uint32_t>(counter),
+                         static_cast<uint32_t>(counter >> 32)};
+    XteaEncryptBlock(key, block);
+    uint8_t keystream[8];
+    std::memcpy(keystream, block, 8);
+    size_t chunk = std::min<size_t>(8, data.size() - i);
+    for (size_t k = 0; k < chunk; ++k) {
+      data[i + k] ^= keystream[k];
+    }
+    i += chunk;
+    ++counter;
+  }
+}
+
+}  // namespace springfs

@@ -1,0 +1,84 @@
+// Block codecs used by the compression layer (COMPFS) and the cipher used
+// by the encryption layer (CRYPTFS). Everything here is implemented from
+// scratch — the paper's motivating extensions (compression, encryption,
+// section 1) must not lean on external libraries.
+
+#ifndef SPRINGFS_CODEC_CODEC_H_
+#define SPRINGFS_CODEC_CODEC_H_
+
+#include <memory>
+#include <string>
+
+#include "src/support/bytes.h"
+#include "src/support/result.h"
+
+namespace springfs {
+
+// A lossless block codec. Compress never fails; Decompress validates its
+// input (COMPFS stores compressed chunks on disk, so corrupt input must be
+// detected, not trusted).
+class Codec {
+ public:
+  virtual ~Codec() = default;
+
+  virtual std::string name() const = 0;
+
+  // Compresses `input`. The output may be larger than the input for
+  // incompressible data; callers typically fall back to storing raw.
+  virtual Buffer Compress(ByteSpan input) const = 0;
+
+  // Decompresses `input`, which must expand to exactly `expected_size`
+  // bytes. Returns kCorrupted on malformed input.
+  virtual Result<Buffer> Decompress(ByteSpan input,
+                                    size_t expected_size) const = 0;
+};
+
+// PackBits-style run-length encoding: control byte c in [0,127] copies c+1
+// literal bytes; c in [129,255] repeats the next byte 257-c times.
+class RleCodec : public Codec {
+ public:
+  std::string name() const override { return "rle"; }
+  Buffer Compress(ByteSpan input) const override;
+  Result<Buffer> Decompress(ByteSpan input,
+                            size_t expected_size) const override;
+};
+
+// LZ77 with a 64 KiB window and greedy hash-table matching (LZ4-style
+// single-probe). Token stream:
+//   0x00 len:u16 <len literal bytes>
+//   0x01 len:u16 dist:u16          (copy len bytes from dist back, len>=4)
+class Lz77Codec : public Codec {
+ public:
+  std::string name() const override { return "lz77"; }
+  Buffer Compress(ByteSpan input) const override;
+  Result<Buffer> Decompress(ByteSpan input,
+                            size_t expected_size) const override;
+};
+
+// Returns the codec registered under `name` ("rle", "lz77"), or null.
+const Codec* CodecByName(const std::string& name);
+
+// --- XTEA cipher (for CRYPTFS) ---------------------------------------------
+
+struct XteaKey {
+  uint32_t words[4] = {0, 0, 0, 0};
+
+  // Derives a key from a passphrase (FNV-based KDF; this repo's CRYPTFS is
+  // an architecture demonstration, not a vetted cryptosystem).
+  static XteaKey FromPassphrase(const std::string& passphrase);
+};
+
+// Encrypts one 8-byte block in place (64 Feistel rounds).
+void XteaEncryptBlock(const XteaKey& key, uint32_t block[2]);
+void XteaDecryptBlock(const XteaKey& key, uint32_t block[2]);
+
+// XORs `data` with the XTEA-CTR keystream starting at absolute byte
+// position `stream_offset` (must be 8-byte aligned). Applying it twice
+// restores the original, which is what makes the transform self-inverse
+// per page for the encryption layer.
+void XteaCtrApply(const XteaKey& key, uint64_t stream_offset,
+                  MutableByteSpan data);
+
+}  // namespace springfs
+
+#endif  // SPRINGFS_CODEC_CODEC_H_

@@ -1,0 +1,206 @@
+#include "src/coherency/engine.h"
+
+#include <algorithm>
+
+namespace springfs {
+namespace {
+
+Offset SaturatingEnd(Offset offset, Offset size) {
+  Offset end = offset + size;
+  return end < offset ? ~Offset{0} : end;
+}
+
+}  // namespace
+
+void CoherencyEngine::AddCache(uint64_t cache_id, sp<CacheObject> cache) {
+  caches_[cache_id] = std::move(cache);
+}
+
+void CoherencyEngine::RemoveCache(uint64_t cache_id) {
+  caches_.erase(cache_id);
+  for (auto it = blocks_.begin(); it != blocks_.end();) {
+    BlockState& state = it->second;
+    if (state.writer == cache_id) {
+      state.writer = kNoWriter;
+    }
+    state.readers.erase(cache_id);
+    it = state.Idle() ? blocks_.erase(it) : std::next(it);
+  }
+}
+
+bool CoherencyEngine::HasCache(uint64_t cache_id) const {
+  return caches_.count(cache_id) > 0;
+}
+
+size_t CoherencyEngine::NumCaches() const { return caches_.size(); }
+
+std::vector<sp<CacheObject>> CoherencyEngine::Caches() const {
+  std::vector<sp<CacheObject>> out;
+  out.reserve(caches_.size());
+  for (const auto& [id, cache] : caches_) {
+    out.push_back(cache);
+  }
+  return out;
+}
+
+Result<std::vector<BlockData>> CoherencyEngine::Acquire(uint64_t requester,
+                                                        Offset offset,
+                                                        Offset size,
+                                                        AccessRights access) {
+  Offset begin = PageFloor(offset);
+  Offset end = SaturatingEnd(offset, size);
+
+  // Pass 1: which other caches conflict anywhere in the range?
+  //   read access  -> a foreign writer must be demoted (deny_writes)
+  //   write access -> every foreign holder must be flushed (flush_back)
+  std::set<uint64_t> demote;
+  std::set<uint64_t> flush;
+  for (auto it = blocks_.lower_bound(begin);
+       it != blocks_.end() && it->first < end; ++it) {
+    const BlockState& state = it->second;
+    if (access == AccessRights::kReadOnly) {
+      if (state.writer != kNoWriter && state.writer != requester) {
+        demote.insert(state.writer);
+      }
+    } else {
+      if (state.writer != kNoWriter && state.writer != requester) {
+        flush.insert(state.writer);
+      }
+      for (uint64_t reader : state.readers) {
+        if (reader != requester) {
+          flush.insert(reader);
+        }
+      }
+    }
+  }
+
+  // Pass 2: one callback per conflicting cache over the whole range.
+  std::vector<BlockData> recovered;
+  for (uint64_t cache_id : demote) {
+    auto cache_it = caches_.find(cache_id);
+    if (cache_it == caches_.end()) {
+      continue;
+    }
+    ++stats_.deny_write_calls;
+    ASSIGN_OR_RETURN(std::vector<BlockData> dirty,
+                     cache_it->second->DenyWrites(begin, end - begin));
+    stats_.blocks_recovered += dirty.size();
+    for (auto& block : dirty) {
+      recovered.push_back(std::move(block));
+    }
+  }
+  for (uint64_t cache_id : flush) {
+    auto cache_it = caches_.find(cache_id);
+    if (cache_it == caches_.end()) {
+      continue;
+    }
+    ++stats_.flush_back_calls;
+    ASSIGN_OR_RETURN(std::vector<BlockData> dirty,
+                     cache_it->second->FlushBack(begin, end - begin));
+    stats_.blocks_recovered += dirty.size();
+    for (auto& block : dirty) {
+      recovered.push_back(std::move(block));
+    }
+  }
+
+  // Pass 3a: apply the demote/flush transitions to every *existing* block
+  // state in the range. Iterating the map keeps this bounded even for
+  // whole-object ranges (size = ~0).
+  for (auto it = blocks_.lower_bound(begin);
+       it != blocks_.end() && it->first < end;) {
+    BlockState& state = it->second;
+    if (access == AccessRights::kReadOnly) {
+      if (state.writer != kNoWriter && state.writer != requester) {
+        // Demoted writer becomes a reader (deny_writes keeps data RO).
+        state.readers.insert(state.writer);
+        state.writer = kNoWriter;
+      }
+    } else {
+      // Writer: everyone else was flushed out.
+      if (state.writer != requester) {
+        state.writer = kNoWriter;
+      }
+      state.readers.clear();
+    }
+    it = state.Idle() && requester == 0 ? blocks_.erase(it) : std::next(it);
+  }
+
+  // Pass 3b: register the requester's own holdings. Faulting requesters
+  // always name a bounded range; anonymous accesses (requester 0) hold
+  // nothing, which is what makes whole-object ranges safe.
+  if (requester != 0) {
+    for (Offset page = begin; page < end && page >= begin; page += kPageSize) {
+      BlockState& state = blocks_[page];
+      if (access == AccessRights::kReadOnly) {
+        if (state.writer != requester) {
+          state.readers.insert(requester);
+        }
+      } else {
+        state.readers.erase(requester);
+        state.writer = requester;
+      }
+    }
+  }
+  return recovered;
+}
+
+void CoherencyEngine::ReleaseDropped(uint64_t holder, Offset offset,
+                                     Offset size) {
+  Offset begin = PageFloor(offset);
+  Offset end = SaturatingEnd(offset, size);
+  for (auto it = blocks_.lower_bound(begin);
+       it != blocks_.end() && it->first < end;) {
+    BlockState& state = it->second;
+    if (state.writer == holder) {
+      state.writer = kNoWriter;
+    }
+    state.readers.erase(holder);
+    it = state.Idle() ? blocks_.erase(it) : std::next(it);
+  }
+}
+
+void CoherencyEngine::ReleaseDowngraded(uint64_t holder, Offset offset,
+                                        Offset size) {
+  Offset begin = PageFloor(offset);
+  Offset end = SaturatingEnd(offset, size);
+  for (auto it = blocks_.lower_bound(begin);
+       it != blocks_.end() && it->first < end; ++it) {
+    BlockState& state = it->second;
+    if (state.writer == holder) {
+      state.writer = kNoWriter;
+      state.readers.insert(holder);
+    }
+  }
+}
+
+bool CoherencyEngine::BlockHasWriter(Offset page_offset) const {
+  auto it = blocks_.find(PageFloor(page_offset));
+  return it != blocks_.end() && it->second.writer != kNoWriter;
+}
+
+size_t CoherencyEngine::BlockNumReaders(Offset page_offset) const {
+  auto it = blocks_.find(PageFloor(page_offset));
+  return it == blocks_.end() ? 0 : it->second.readers.size();
+}
+
+bool CoherencyEngine::CheckInvariants() const {
+  for (const auto& [offset, state] : blocks_) {
+    if (state.writer != kNoWriter) {
+      // A writer excludes all readers.
+      if (!state.readers.empty()) {
+        return false;
+      }
+      if (caches_.count(state.writer) == 0) {
+        return false;
+      }
+    }
+    for (uint64_t reader : state.readers) {
+      if (caches_.count(reader) == 0) {
+        return false;
+      }
+    }
+  }
+  return true;
+}
+
+}  // namespace springfs

@@ -1,0 +1,90 @@
+// Per-block single-writer/multiple-reader coherency engine (paper §6.2).
+//
+// "The coherency layer implements a per-block multiple-readers/single-
+// writer coherency protocol. Among other things, the implementation keeps
+// track of the state of each file block (read-only vs. read-write) and of
+// each cache object that holds the block at any point in time. Coherency
+// actions are triggered depending on the state and the current request."
+//
+// One engine instance tracks one file. The engine is used both by the
+// coherency layer and by DFS (across remote client caches) — the paper
+// notes the authors originally planned this as "a regular C++ library that
+// any pager implementation could use" before also making it a layer; this
+// repo provides both forms (the library here, the layer in
+// src/layers/coherent) and an ablation bench comparing them.
+//
+// The caller provides the per-file lock; the engine performs cache-object
+// callbacks inline (callees — VMMs, stacked layers — never call back into
+// the owning layer from these callbacks, so holding the file lock is safe).
+
+#ifndef SPRINGFS_COHERENCY_ENGINE_H_
+#define SPRINGFS_COHERENCY_ENGINE_H_
+
+#include <map>
+#include <set>
+#include <vector>
+
+#include "src/vmm/interfaces.h"
+
+namespace springfs {
+
+struct CoherencyStats {
+  uint64_t flush_back_calls = 0;
+  uint64_t deny_write_calls = 0;
+  uint64_t blocks_recovered = 0;  // dirty blocks pulled out of demoted caches
+};
+
+class CoherencyEngine {
+ public:
+  // Registers a cache (identified by the pager's channel id for it).
+  void AddCache(uint64_t cache_id, sp<CacheObject> cache);
+  void RemoveCache(uint64_t cache_id);
+  bool HasCache(uint64_t cache_id) const;
+  size_t NumCaches() const;
+  // Every registered cache object (for broadcast actions such as truncation
+  // delete_range / zero_fill).
+  std::vector<sp<CacheObject>> Caches() const;
+
+  // Grants `requester` the given access to [offset, offset+size),
+  // performing deny_writes/flush_back callbacks on conflicting caches.
+  // Returns the dirty blocks recovered from those caches — the most recent
+  // content, which the pager must fold into its own store before serving
+  // data. `requester` may be 0 for an anonymous reader (e.g. the pager
+  // itself serving a direct read): it forces demotion but registers no
+  // holder.
+  Result<std::vector<BlockData>> Acquire(uint64_t requester, Offset offset,
+                                         Offset size, AccessRights access);
+
+  // State maintenance when holders act voluntarily:
+  // page_out — the holder wrote back and dropped the range.
+  void ReleaseDropped(uint64_t holder, Offset offset, Offset size);
+  // write_out — the holder wrote back and keeps the range read-only.
+  void ReleaseDowngraded(uint64_t holder, Offset offset, Offset size);
+
+  // Invariant probes for tests.
+  bool BlockHasWriter(Offset page_offset) const;
+  size_t BlockNumReaders(Offset page_offset) const;
+  // True iff for every block: at most one writer, and a writer excludes all
+  // other holders.
+  bool CheckInvariants() const;
+
+  CoherencyStats stats() const { return stats_; }
+
+ private:
+  static constexpr uint64_t kNoWriter = 0;
+
+  struct BlockState {
+    uint64_t writer = kNoWriter;
+    std::set<uint64_t> readers;  // excludes the writer
+
+    bool Idle() const { return writer == kNoWriter && readers.empty(); }
+  };
+
+  std::map<uint64_t, sp<CacheObject>> caches_;
+  std::map<Offset, BlockState> blocks_;  // keyed by page-aligned offset
+  CoherencyStats stats_;
+};
+
+}  // namespace springfs
+
+#endif  // SPRINGFS_COHERENCY_ENGINE_H_

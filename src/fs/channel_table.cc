@@ -1,0 +1,108 @@
+#include "src/fs/channel_table.h"
+
+#include <atomic>
+
+namespace springfs {
+
+uint64_t NewPagerKey() {
+  static std::atomic<uint64_t> next{1};
+  return next.fetch_add(1, std::memory_order_relaxed);
+}
+
+Result<sp<CacheRights>> PagerChannelTable::Bind(
+    uint64_t file_id, uint64_t pager_key, const sp<CacheManager>& manager,
+    const std::function<sp<PagerObject>(uint64_t local_id)>& make_pager) {
+  if (!manager) {
+    return ErrInvalidArgument("bind with null cache manager");
+  }
+  uint64_t local_id;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto key = std::make_pair(file_id, static_cast<Object*>(manager.get()));
+    auto existing = index_.find(key);
+    if (existing != index_.end()) {
+      return channels_.at(existing->second).rights;
+    }
+    local_id = next_local_id_++;
+    index_.emplace(key, local_id);
+    Channel ch;
+    ch.local_id = local_id;
+    ch.file_id = file_id;
+    ch.pager_key = pager_key;
+    ch.manager = manager;
+    channels_.emplace(local_id, std::move(ch));
+  }
+
+  // Perform the exchange outside the lock: EstablishChannel is a call into
+  // the cache manager's domain.
+  sp<PagerObject> pager = make_pager(local_id);
+  Result<CacheManager::ChannelSetup> setup =
+      manager->EstablishChannel(pager_key, pager);
+  if (!setup.ok()) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    index_.erase(std::make_pair(file_id, static_cast<Object*>(manager.get())));
+    channels_.erase(local_id);
+    return setup.status();
+  }
+
+  std::lock_guard<std::mutex> lock(mutex_);
+  Channel& ch = channels_.at(local_id);
+  ch.pager = std::move(pager);
+  ch.cache = setup->cache;
+  ch.fs_cache = narrow<FsCacheObject>(setup->cache);
+  ch.rights = setup->rights;
+  return ch.rights;
+}
+
+std::vector<PagerChannelTable::Channel> PagerChannelTable::ChannelsForFile(
+    uint64_t file_id) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<Channel> out;
+  for (const auto& [id, ch] : channels_) {
+    if (ch.file_id == file_id && ch.cache != nullptr) {
+      out.push_back(ch);
+    }
+  }
+  return out;
+}
+
+Result<PagerChannelTable::Channel> PagerChannelTable::GetChannel(
+    uint64_t local_id) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = channels_.find(local_id);
+  if (it == channels_.end()) {
+    return ErrStale("no such channel");
+  }
+  return it->second;
+}
+
+void PagerChannelTable::RemoveChannel(uint64_t local_id) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = channels_.find(local_id);
+  if (it == channels_.end()) {
+    return;
+  }
+  index_.erase(std::make_pair(it->second.file_id,
+                              static_cast<Object*>(it->second.manager.get())));
+  channels_.erase(it);
+}
+
+void PagerChannelTable::RemoveFile(uint64_t file_id) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (auto it = channels_.begin(); it != channels_.end();) {
+    if (it->second.file_id == file_id) {
+      index_.erase(std::make_pair(
+          file_id, static_cast<Object*>(it->second.manager.get())));
+      it = channels_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+size_t PagerChannelTable::NumChannels() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return channels_.size();
+}
+
+}  // namespace springfs

@@ -1,0 +1,115 @@
+// File and file-system interfaces (paper sections 3.3, 4.1, 4.4).
+//
+// The Spring file interface inherits from the memory object interface
+// (Table 1): a file is mappable store that additionally provides read/write
+// operations and attributes. File systems implement read/write "by mapping
+// the file into [their] address space and reading/writing the mapped
+// memory" — layers in this repo do exactly that.
+//
+// The interface hierarchy of Figure 8:
+//
+//        fs        naming_context
+//          \        /
+//         stackable_fs            stackable_fs_creator
+//
+// A stackable_fs *is* a naming context: binding it into the name space
+// exposes its files; resolving names through it yields File objects.
+
+#ifndef SPRINGFS_FS_FILE_H_
+#define SPRINGFS_FS_FILE_H_
+
+#include <string>
+
+#include "src/naming/context.h"
+#include "src/vmm/interfaces.h"
+
+namespace springfs {
+
+enum class FileKind : uint8_t {
+  kRegular,
+  kDirectory,
+  kSymlink,
+};
+
+struct FileAttributes {
+  FileKind kind = FileKind::kRegular;
+  uint64_t size = 0;
+  uint32_t nlink = 1;
+  uint64_t atime_ns = 0;
+  uint64_t mtime_ns = 0;
+};
+
+// A file: a memory object with read/write operations and attributes.
+class File : public MemoryObject {
+ public:
+  const char* interface_name() const override { return "file"; }
+
+  // Byte-granularity read; returns bytes read (short at EOF).
+  virtual Result<size_t> Read(Offset offset, MutableByteSpan out) = 0;
+
+  // Byte-granularity write; extends the file as needed.
+  virtual Result<size_t> Write(Offset offset, ByteSpan data) = 0;
+
+  // stat: attributes of the file.
+  virtual Result<FileAttributes> Stat() = 0;
+
+  // Sets access/modify times (utimes-style).
+  virtual Status SetTimes(uint64_t atime_ns, uint64_t mtime_ns) = 0;
+
+  // Pushes cached state (data and attributes) toward stable storage.
+  virtual Status SyncFile() = 0;
+};
+
+// Administrative file-system surface.
+struct FsInfo {
+  std::string type;        // "disk", "coherency", "compfs", ...
+  uint64_t total_blocks = 0;
+  uint64_t free_blocks = 0;
+  uint32_t block_size = 0;
+  uint32_t stack_depth = 1;  // this layer + layers below
+};
+
+class Fs : public virtual Object {
+ public:
+  const char* interface_name() const override { return "fs"; }
+
+  virtual Result<FsInfo> GetFsInfo() = 0;
+
+  // Pushes all dirty state toward stable storage, recursively through the
+  // layers below.
+  virtual Status SyncFs() = 0;
+};
+
+// A composable file-system layer (Figure 8): an fs that is also a naming
+// context, configured by stacking it on underlying file systems.
+class StackableFs : public Fs, public Context {
+ public:
+  const char* interface_name() const override { return "stackable_fs"; }
+
+  // Stacks this layer on `underlying`. May be called more than once for
+  // layers that use several underlying file systems (Figure 3's fs4); "the
+  // maximum number of file systems a particular layer may be stacked on is
+  // implementation dependent."
+  virtual Status StackOn(sp<StackableFs> underlying) = 0;
+
+  // Convenience file creation/removal through the layer (creates in the
+  // underlying FS as the layer's implementation dictates).
+  virtual Result<sp<File>> CreateFile(const Name& name,
+                                      const Credentials& creds) = 0;
+};
+
+// Creates instances of one file-system type. Creators register themselves
+// "in a well-known place, e.g. /fs_creators/dfs_creator" (section 4.4).
+class StackableFsCreator : public virtual Object {
+ public:
+  const char* interface_name() const override { return "stackable_fs_creator"; }
+
+  virtual Result<sp<StackableFs>> Create() = 0;
+
+  // The type name this creator registers under, e.g. "compfs_creator".
+  virtual std::string creator_name() const = 0;
+};
+
+}  // namespace springfs
+
+#endif  // SPRINGFS_FS_FILE_H_

@@ -1,0 +1,60 @@
+// The stackable file-attribute interfaces (paper section 4.3).
+//
+// "Instead of burdening the cache and pager object interfaces with
+// file-specific operations, we subclass the cache and pager object
+// interfaces into fs_cache and fs_pager interfaces" — adding operations for
+// caching, and keeping coherent, the access/modify times and the file
+// length. Because they are subclasses, fs_cache/fs_pager objects can be
+// passed wherever cache/pager objects are expected; a layer uses narrow to
+// discover whether its peer is a file system (and engage it in the
+// attribute coherency protocol) or a plain cache manager such as a VMM.
+
+#ifndef SPRINGFS_FS_FS_OBJECTS_H_
+#define SPRINGFS_FS_FS_OBJECTS_H_
+
+#include <optional>
+
+#include "src/fs/file.h"
+#include "src/vmm/interfaces.h"
+
+namespace springfs {
+
+// A partial attribute update flowing between layers. Fields left empty are
+// unchanged.
+struct AttrUpdate {
+  std::optional<uint64_t> size;
+  std::optional<uint64_t> atime_ns;
+  std::optional<uint64_t> mtime_ns;
+
+  bool empty() const { return !size && !atime_ns && !mtime_ns; }
+};
+
+// Pager side: a data provider that is a file system.
+class FsPagerObject : public PagerObject {
+ public:
+  const char* interface_name() const override { return "fs_pager_object"; }
+
+  // Fetches the file's current attributes from this layer.
+  virtual Result<FileAttributes> GetAttributes() = 0;
+
+  // Pushes attribute changes (new length, times) down to this layer.
+  virtual Status WriteAttributes(const AttrUpdate& update) = 0;
+};
+
+// Cache-manager side: a cache manager that is a file system.
+class FsCacheObject : public CacheObject {
+ public:
+  const char* interface_name() const override { return "fs_cache_object"; }
+
+  // The pager declares this manager's cached attributes stale (another
+  // client changed the file).
+  virtual Status InvalidateAttributes() = 0;
+
+  // The pager pulls the manager's latest attribute changes (e.g. to answer
+  // another client's stat when this manager holds the freshest times).
+  virtual Result<AttrUpdate> RecallAttributes() = 0;
+};
+
+}  // namespace springfs
+
+#endif  // SPRINGFS_FS_FS_OBJECTS_H_

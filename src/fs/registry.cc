@@ -1,0 +1,64 @@
+#include "src/fs/registry.h"
+
+namespace springfs {
+
+Status EnsureWellKnownContexts(const sp<Context>& root,
+                               const Credentials& creds,
+                               const sp<Domain>& domain) {
+  for (const char* path : {kCreatorsPath, kFileSystemsPath}) {
+    Result<sp<Object>> existing = root->Resolve(Name::Single(path), creds);
+    if (existing.ok()) {
+      continue;
+    }
+    if (existing.code() != ErrorCode::kNotFound) {
+      return existing.status();
+    }
+    RETURN_IF_ERROR(
+        root->Bind(Name::Single(path), MemContext::Create(domain), creds));
+  }
+  return Status::Ok();
+}
+
+Status RegisterCreator(const sp<Context>& root, sp<StackableFsCreator> creator,
+                       const Credentials& creds) {
+  ASSIGN_OR_RETURN(Name name,
+                   Name::Parse(std::string(kCreatorsPath) + "/" +
+                               creator->creator_name()));
+  return root->Bind(name, std::move(creator), creds, /*replace=*/true);
+}
+
+Result<sp<StackableFsCreator>> LookupCreator(const sp<Context>& root,
+                                             const std::string& name,
+                                             const Credentials& creds) {
+  return ResolveAs<StackableFsCreator>(
+      root, std::string(kCreatorsPath) + "/" + name, creds);
+}
+
+Status ExportFs(const sp<Context>& root, const std::string& name,
+                sp<StackableFs> fs, const Credentials& creds) {
+  ASSIGN_OR_RETURN(Name bind_name,
+                   Name::Parse(std::string(kFileSystemsPath) + "/" + name));
+  return root->Bind(bind_name, std::move(fs), creds, /*replace=*/true);
+}
+
+Result<sp<StackableFs>> BuildStack(const sp<Context>& root,
+                                   const StackSpec& spec,
+                                   const Credentials& creds) {
+  ASSIGN_OR_RETURN(sp<StackableFs> current,
+                   ResolveAs<StackableFs>(
+                       root, std::string(kFileSystemsPath) + "/" + spec.base_fs,
+                       creds));
+  for (const std::string& layer_name : spec.layers) {
+    ASSIGN_OR_RETURN(sp<StackableFsCreator> creator,
+                     LookupCreator(root, layer_name, creds));
+    ASSIGN_OR_RETURN(sp<StackableFs> layer, creator->Create());
+    RETURN_IF_ERROR(layer->StackOn(current));
+    current = std::move(layer);
+  }
+  if (!spec.export_as.empty()) {
+    RETURN_IF_ERROR(ExportFs(root, spec.export_as, current, creds));
+  }
+  return current;
+}
+
+}  // namespace springfs

@@ -1,0 +1,84 @@
+// File-system configuration machinery (paper section 4.4).
+//
+// "At boot-time or during run-time, the file system creator for each file
+// system type is created. When a file system creator is started, it
+// registers itself in a well-known place e.g. /fs_creators/dfs_creator."
+//
+// The recipe to configure a new file system:
+//   1. look the creator up from /fs_creators,
+//   2. creator->Create() yields a stackable_fs instance,
+//   3. instance->StackOn(underlying) — possibly more than once,
+//   4. bind the instance somewhere in the name space to expose its files.
+//
+// This module provides the well-known contexts, registration/lookup
+// helpers, and a StackBuilder that executes the recipe from a declarative
+// description.
+
+#ifndef SPRINGFS_FS_REGISTRY_H_
+#define SPRINGFS_FS_REGISTRY_H_
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "src/fs/file.h"
+#include "src/naming/mem_context.h"
+
+namespace springfs {
+
+inline constexpr const char* kCreatorsPath = "fs_creators";
+inline constexpr const char* kFileSystemsPath = "fs";
+
+// A creator implemented by a factory function; the common case for layers
+// whose constructor needs only a domain.
+class LambdaFsCreator : public StackableFsCreator {
+ public:
+  using Factory = std::function<Result<sp<StackableFs>>()>;
+
+  LambdaFsCreator(std::string name, Factory factory)
+      : name_(std::move(name)), factory_(std::move(factory)) {}
+
+  Result<sp<StackableFs>> Create() override { return factory_(); }
+  std::string creator_name() const override { return name_; }
+
+ private:
+  std::string name_;
+  Factory factory_;
+};
+
+// Creates (if needed) the well-known /fs_creators and /fs contexts under
+// `root`.
+Status EnsureWellKnownContexts(const sp<Context>& root,
+                               const Credentials& creds,
+                               const sp<Domain>& domain);
+
+// Registers `creator` under /fs_creators/<creator_name>.
+Status RegisterCreator(const sp<Context>& root, sp<StackableFsCreator> creator,
+                       const Credentials& creds);
+
+// Looks up /fs_creators/<name>.
+Result<sp<StackableFsCreator>> LookupCreator(const sp<Context>& root,
+                                             const std::string& name,
+                                             const Credentials& creds);
+
+// Exposes a file system instance by binding it at /fs/<name> (an
+// administrative decision: binding is what makes the files reachable).
+Status ExportFs(const sp<Context>& root, const std::string& name,
+                sp<StackableFs> fs, const Credentials& creds);
+
+// Declarative stack construction: each layer names its creator; layer i is
+// stacked on layer i-1 (the base is an existing fs looked up from /fs).
+struct StackSpec {
+  std::string base_fs;                  // /fs/<base_fs>
+  std::vector<std::string> layers;      // creator names, bottom to top
+  std::string export_as;                // bind result at /fs/<export_as>
+};
+
+// Runs the section 4.4 recipe and returns the top of the stack.
+Result<sp<StackableFs>> BuildStack(const sp<Context>& root,
+                                   const StackSpec& spec,
+                                   const Credentials& creds);
+
+}  // namespace springfs
+
+#endif  // SPRINGFS_FS_REGISTRY_H_

@@ -1,0 +1,65 @@
+// Extended-attribute interfaces — the section 4.3 extension point used.
+//
+// "Note that the fs_cache and fs_pager interfaces can be subclassed further
+// to add more file system functionality. A particular file system
+// implementation may attempt to narrow these objects to other subtypes."
+//
+// This header does exactly that for the paper's section 1 motivating
+// feature "extended file attributes": XattrFile subclasses File with
+// generalized attribute-list operations, and XattrPagerObject /
+// XattrCacheObject subclass the fs_pager/fs_cache interfaces with the
+// corresponding caching/coherency operations. A client (or a higher layer)
+// discovers the capability with narrow<XattrFile>() — no untyped ioctl
+// needed (section 8: "Interface inheritance provides a clean way to extend
+// the functionality of a file system without the need to resort to untyped
+// interfaces").
+
+#ifndef SPRINGFS_FS_XATTR_H_
+#define SPRINGFS_FS_XATTR_H_
+
+#include <string>
+#include <vector>
+
+#include "src/fs/fs_objects.h"
+
+namespace springfs {
+
+// A file with a generalized attribute list.
+class XattrFile : public File {
+ public:
+  const char* interface_name() const override { return "xattr_file"; }
+
+  // Returns the value bound to `name`, or kNotFound.
+  virtual Result<Buffer> GetXattr(const std::string& name) = 0;
+
+  // Binds `value` to `name` (replacing any previous value).
+  virtual Status SetXattr(const std::string& name, ByteSpan value) = 0;
+
+  // Removes the binding; kNotFound if absent.
+  virtual Status RemoveXattr(const std::string& name) = 0;
+
+  // All attribute names, sorted.
+  virtual Result<std::vector<std::string>> ListXattrs() = 0;
+};
+
+// Pager side: a data provider that also serves extended attributes.
+class XattrPagerObject : public FsPagerObject {
+ public:
+  const char* interface_name() const override { return "xattr_pager_object"; }
+
+  virtual Result<Buffer> PagerGetXattr(const std::string& name) = 0;
+  virtual Status PagerSetXattr(const std::string& name, ByteSpan value) = 0;
+};
+
+// Cache-manager side: a cache manager that caches extended attributes.
+class XattrCacheObject : public FsCacheObject {
+ public:
+  const char* interface_name() const override { return "xattr_cache_object"; }
+
+  // The pager declares the manager's cached attribute list stale.
+  virtual Status InvalidateXattrs() = 0;
+};
+
+}  // namespace springfs
+
+#endif  // SPRINGFS_FS_XATTR_H_

@@ -1,0 +1,560 @@
+#include "src/layers/dfs/dfs_client.h"
+
+#include <atomic>
+
+#include "src/support/logging.h"
+
+namespace springfs::dfs {
+namespace {
+
+std::string UniqueCallbackService() {
+  static std::atomic<uint64_t> next{1};
+  return "dfs-cb-" + std::to_string(next.fetch_add(1));
+}
+
+Buffer CacheIdPayload(uint64_t cache_id, ByteSpan data = {}) {
+  Buffer payload(8 + data.size());
+  for (int i = 0; i < 8; ++i) {
+    payload.data()[i] = static_cast<uint8_t>(cache_id >> (8 * i));
+  }
+  payload.WriteAt(8, data);
+  return payload;
+}
+
+}  // namespace
+
+// Carries pager traffic for one local channel over the DFS protocol.
+class RemotePagerObject : public FsPagerObject, public Servant {
+ public:
+  RemotePagerObject(sp<Domain> domain, sp<DfsClient> client, uint64_t handle,
+                    uint64_t local_channel)
+      : Servant(std::move(domain)), client_(std::move(client)),
+        handle_(handle), local_channel_(local_channel) {}
+
+  Result<Buffer> PageIn(Offset offset, Offset size,
+                        AccessRights access) override {
+    return InDomain([&]() -> Result<Buffer> {
+      ASSIGN_OR_RETURN(uint64_t cache_id,
+                       client_->ServerCacheIdFor(local_channel_));
+      net::Frame request;
+      request.arg0 = handle_;
+      request.arg1 = offset;
+      request.arg2 = size;
+      request.arg3 = access == AccessRights::kReadWrite ? 1 : 0;
+      request.payload = CacheIdPayload(cache_id);
+      ASSIGN_OR_RETURN(net::Frame response,
+                       client_->Call(Op::kPageIn, request));
+      RETURN_IF_ERROR(response.ToStatus());
+      return std::move(response.payload);
+    });
+  }
+  Status PageOut(Offset offset, ByteSpan data) override {
+    return PageWrite(Op::kPageOut, offset, data);
+  }
+  Status WriteOut(Offset offset, ByteSpan data) override {
+    return PageWrite(Op::kWriteOut, offset, data);
+  }
+  Status Sync(Offset offset, ByteSpan data) override {
+    return PageWrite(Op::kSyncPages, offset, data);
+  }
+  void DoneWithPagerObject() override {
+    InDomain([&] { client_->DropChannel(local_channel_); });
+  }
+
+  Result<FileAttributes> GetAttributes() override {
+    return InDomain([&]() -> Result<FileAttributes> {
+      net::Frame request;
+      request.arg0 = handle_;
+      ASSIGN_OR_RETURN(net::Frame response,
+                       client_->Call(Op::kGetAttr, request));
+      RETURN_IF_ERROR(response.ToStatus());
+      return DeserializeAttrs(response.payload.span());
+    });
+  }
+  Status WriteAttributes(const AttrUpdate& update) override {
+    return InDomain([&]() -> Status {
+      if (update.size) {
+        net::Frame request;
+        request.arg0 = handle_;
+        request.arg1 = *update.size;
+        ASSIGN_OR_RETURN(net::Frame response,
+                         client_->Call(Op::kSetLength, request));
+        RETURN_IF_ERROR(response.ToStatus());
+      }
+      if (update.atime_ns || update.mtime_ns) {
+        net::Frame request;
+        request.arg0 = handle_;
+        request.arg1 = update.atime_ns.value_or(0);
+        request.arg2 = update.mtime_ns.value_or(0);
+        ASSIGN_OR_RETURN(net::Frame response,
+                         client_->Call(Op::kSetTimes, request));
+        RETURN_IF_ERROR(response.ToStatus());
+      }
+      return Status::Ok();
+    });
+  }
+
+ private:
+  Status PageWrite(Op op, Offset offset, ByteSpan data) {
+    return InDomain([&]() -> Status {
+      ASSIGN_OR_RETURN(uint64_t cache_id,
+                       client_->ServerCacheIdFor(local_channel_));
+      net::Frame request;
+      request.arg0 = handle_;
+      request.arg1 = offset;
+      request.payload = CacheIdPayload(cache_id, data);
+      ASSIGN_OR_RETURN(net::Frame response, client_->Call(op, request));
+      return response.ToStatus();
+    });
+  }
+
+  sp<DfsClient> client_;
+  uint64_t handle_;
+  uint64_t local_channel_;
+};
+
+// A remote file as seen on the client node.
+class RemoteFile : public File, public Servant {
+ public:
+  RemoteFile(sp<Domain> domain, sp<DfsClient> client, uint64_t handle)
+      : Servant(std::move(domain)), client_(std::move(client)),
+        handle_(handle) {}
+
+  uint64_t handle() const { return handle_; }
+
+  Result<sp<CacheRights>> Bind(const sp<CacheManager>& caller,
+                               AccessRights) override {
+    return InDomain([&] { return client_->BindRemote(handle_, caller); });
+  }
+
+  Result<Offset> GetLength() override {
+    return InDomain([&]() -> Result<Offset> {
+      net::Frame request;
+      request.arg0 = handle_;
+      ASSIGN_OR_RETURN(net::Frame response,
+                       client_->Call(Op::kGetLength, request));
+      RETURN_IF_ERROR(response.ToStatus());
+      return Offset{response.arg0};
+    });
+  }
+
+  Status SetLength(Offset length) override {
+    return InDomain([&]() -> Status {
+      net::Frame request;
+      request.arg0 = handle_;
+      request.arg1 = length;
+      ASSIGN_OR_RETURN(net::Frame response,
+                       client_->Call(Op::kSetLength, request));
+      return response.ToStatus();
+    });
+  }
+
+  Result<size_t> Read(Offset offset, MutableByteSpan out) override {
+    return InDomain([&]() -> Result<size_t> {
+      net::Frame request;
+      request.arg0 = handle_;
+      request.arg1 = offset;
+      request.arg2 = out.size();
+      ASSIGN_OR_RETURN(net::Frame response, client_->Call(Op::kRead, request));
+      RETURN_IF_ERROR(response.ToStatus());
+      return response.payload.ReadAt(0, out);
+    });
+  }
+
+  Result<size_t> Write(Offset offset, ByteSpan data) override {
+    return InDomain([&]() -> Result<size_t> {
+      net::Frame request;
+      request.arg0 = handle_;
+      request.arg1 = offset;
+      request.payload = Buffer(data);
+      ASSIGN_OR_RETURN(net::Frame response, client_->Call(Op::kWrite, request));
+      RETURN_IF_ERROR(response.ToStatus());
+      return size_t{response.arg0};
+    });
+  }
+
+  Result<FileAttributes> Stat() override {
+    return InDomain([&]() -> Result<FileAttributes> {
+      net::Frame request;
+      request.arg0 = handle_;
+      ASSIGN_OR_RETURN(net::Frame response,
+                       client_->Call(Op::kGetAttr, request));
+      RETURN_IF_ERROR(response.ToStatus());
+      return DeserializeAttrs(response.payload.span());
+    });
+  }
+
+  Status SetTimes(uint64_t atime_ns, uint64_t mtime_ns) override {
+    return InDomain([&]() -> Status {
+      net::Frame request;
+      request.arg0 = handle_;
+      request.arg1 = atime_ns;
+      request.arg2 = mtime_ns;
+      ASSIGN_OR_RETURN(net::Frame response,
+                       client_->Call(Op::kSetTimes, request));
+      return response.ToStatus();
+    });
+  }
+
+  Status SyncFile() override {
+    return InDomain([&]() -> Status {
+      net::Frame request;
+      request.arg0 = handle_;
+      ASSIGN_OR_RETURN(net::Frame response,
+                       client_->Call(Op::kSyncFile, request));
+      return response.ToStatus();
+    });
+  }
+
+ private:
+  sp<DfsClient> client_;
+  uint64_t handle_;
+};
+
+// Remote directory, identified by path prefix.
+class RemoteDirContext : public Context, public Servant {
+ public:
+  RemoteDirContext(sp<Domain> domain, sp<DfsClient> client, Name prefix)
+      : Servant(std::move(domain)), client_(std::move(client)),
+        prefix_(std::move(prefix)) {}
+
+  Result<sp<Object>> Resolve(const Name& name,
+                             const Credentials& creds) override {
+    return client_->Resolve(prefix_.Join(name), creds);
+  }
+  Status Bind(const Name& name, sp<Object> object, const Credentials& creds,
+              bool replace) override {
+    return client_->Bind(prefix_.Join(name), std::move(object), creds,
+                         replace);
+  }
+  Status Unbind(const Name& name, const Credentials& creds) override {
+    return client_->Unbind(prefix_.Join(name), creds);
+  }
+  Result<std::vector<BindingInfo>> List(const Credentials& creds) override {
+    (void)creds;
+    return client_->ListPath(prefix_.ToString());
+  }
+  Result<sp<Context>> CreateContext(const Name& name,
+                                    const Credentials& creds) override {
+    return client_->CreateContext(prefix_.Join(name), creds);
+  }
+
+ private:
+  sp<DfsClient> client_;
+  Name prefix_;
+};
+
+Result<sp<DfsClient>> DfsClient::Mount(const sp<net::Node>& node,
+                                       net::Network* network,
+                                       const std::string& server_node,
+                                       const std::string& service) {
+  std::string callback_service = UniqueCallbackService();
+  sp<DfsClient> client(new DfsClient(node, network, server_node, service,
+                                     callback_service));
+  wp<DfsClient> weak = client;
+  node->RegisterService(callback_service, [weak](const net::Frame& request) {
+    sp<DfsClient> strong = weak.lock();
+    if (!strong) {
+      return net::Frame::Error(ErrorCode::kDeadObject);
+    }
+    return strong->HandleCallback(request);
+  });
+  // Probe the server (also validates the mount point).
+  ASSIGN_OR_RETURN(net::Frame response, client->CallPath(Op::kReadDir, ""));
+  RETURN_IF_ERROR(response.ToStatus());
+  return client;
+}
+
+DfsClient::DfsClient(const sp<net::Node>& node, net::Network* network,
+                     std::string server_node, std::string service,
+                     std::string callback_service)
+    : Servant(node->domain()), node_(node), network_(network),
+      server_node_(std::move(server_node)), service_(std::move(service)),
+      callback_service_(std::move(callback_service)) {}
+
+DfsClient::~DfsClient() { node_->UnregisterService(callback_service_); }
+
+Result<net::Frame> DfsClient::Call(Op op, const net::Frame& request) {
+  {
+    std::lock_guard<std::mutex> lock(stats_mutex_);
+    ++stats_.calls_sent;
+  }
+  net::Frame typed = request;
+  typed.type = static_cast<uint32_t>(op);
+  return network_->Call(node_->name(), server_node_, service_, typed);
+}
+
+Result<net::Frame> DfsClient::CallPath(Op op, const std::string& path) {
+  net::Frame request;
+  request.payload = Buffer(path);
+  return Call(op, request);
+}
+
+net::Frame DfsClient::HandleCallback(const net::Frame& request) {
+  {
+    std::lock_guard<std::mutex> lock(stats_mutex_);
+    ++stats_.callbacks_received;
+  }
+  Op op = static_cast<Op>(request.type);
+  uint64_t local_channel = request.arg0;
+  Result<PagerChannelTable::Channel> channel = channels_.GetChannel(local_channel);
+  if (!channel.ok()) {
+    // The local cache is already gone; nothing to recall.
+    return net::Frame{};
+  }
+  switch (op) {
+    case Op::kCbFlushBack: {
+      Result<std::vector<BlockData>> dirty =
+          channel->cache->FlushBack(request.arg1, request.arg2);
+      if (!dirty.ok()) {
+        return net::Frame::Error(dirty.status().code());
+      }
+      net::Frame response;
+      response.payload = SerializeBlocks(*dirty);
+      return response;
+    }
+    case Op::kCbDenyWrites: {
+      Result<std::vector<BlockData>> dirty =
+          channel->cache->DenyWrites(request.arg1, request.arg2);
+      if (!dirty.ok()) {
+        return net::Frame::Error(dirty.status().code());
+      }
+      net::Frame response;
+      response.payload = SerializeBlocks(*dirty);
+      return response;
+    }
+    case Op::kCbAttrInvalidate: {
+      if (channel->fs_cache) {
+        Status st = channel->fs_cache->InvalidateAttributes();
+        if (!st.ok()) {
+          return net::Frame::Error(st.code());
+        }
+      }
+      return net::Frame{};
+    }
+    default:
+      return net::Frame::Error(ErrorCode::kNotSupported);
+  }
+}
+
+Result<sp<CacheRights>> DfsClient::BindRemote(uint64_t handle,
+                                              const sp<CacheManager>& manager) {
+  uint64_t pager_key;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto [it, inserted] = pager_keys_.try_emplace(handle, 0);
+    if (inserted) {
+      it->second = NewPagerKey();
+    }
+    pager_key = it->second;
+  }
+  sp<DfsClient> self = std::dynamic_pointer_cast<DfsClient>(shared_from_this());
+  ASSIGN_OR_RETURN(
+      sp<CacheRights> rights,
+      channels_.Bind(handle, pager_key, manager,
+                     [&](uint64_t local_id) -> sp<PagerObject> {
+                       return std::make_shared<RemotePagerObject>(
+                           domain(), self, handle, local_id);
+                     }));
+  // Register the channel's cache with the server (once per channel).
+  uint64_t local_channel = 0;
+  bool is_fs_cache = false;
+  for (const auto& ch : channels_.ChannelsForFile(handle)) {
+    if (ch.manager == manager) {
+      local_channel = ch.local_id;
+      is_fs_cache = ch.fs_cache != nullptr;
+      break;
+    }
+  }
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (server_cache_ids_.count(local_channel)) {
+      return rights;
+    }
+  }
+  net::Frame request;
+  request.arg0 = handle;
+  request.arg1 = local_channel;
+  request.arg2 = is_fs_cache ? 1 : 0;
+  request.payload = Buffer(node_->name() + '\0' + callback_service_);
+  ASSIGN_OR_RETURN(net::Frame response, Call(Op::kBindCache, request));
+  RETURN_IF_ERROR(response.ToStatus());
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    server_cache_ids_[local_channel] = response.arg0;
+  }
+  return rights;
+}
+
+Result<uint64_t> DfsClient::ServerCacheIdFor(uint64_t local_channel) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = server_cache_ids_.find(local_channel);
+  if (it == server_cache_ids_.end()) {
+    return ErrStale("channel not registered with the server");
+  }
+  return it->second;
+}
+
+void DfsClient::DropChannel(uint64_t local_channel) {
+  uint64_t server_cache_id = 0;
+  uint64_t handle = 0;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = server_cache_ids_.find(local_channel);
+    if (it != server_cache_ids_.end()) {
+      server_cache_id = it->second;
+      server_cache_ids_.erase(it);
+    }
+  }
+  Result<PagerChannelTable::Channel> channel = channels_.GetChannel(local_channel);
+  if (channel.ok()) {
+    handle = channel->file_id;
+  }
+  channels_.RemoveChannel(local_channel);
+  if (server_cache_id != 0) {
+    net::Frame request;
+    request.arg0 = handle;
+    request.arg1 = server_cache_id;
+    (void)Call(Op::kUnbindCache, request);
+  }
+}
+
+Result<sp<Object>> DfsClient::ObjectForPath(const std::string& path) {
+  ASSIGN_OR_RETURN(net::Frame response, CallPath(Op::kLookup, path));
+  RETURN_IF_ERROR(response.ToStatus());
+  sp<DfsClient> self = std::dynamic_pointer_cast<DfsClient>(shared_from_this());
+  if (response.arg1 == 1) {
+    ASSIGN_OR_RETURN(Name prefix, Name::Parse(path));
+    return sp<Object>(std::make_shared<RemoteDirContext>(domain(), self,
+                                                         prefix));
+  }
+  uint64_t handle = response.arg0;
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = remote_files_.find(handle);
+  if (it != remote_files_.end()) {
+    return sp<Object>(it->second);
+  }
+  sp<File> file = std::make_shared<RemoteFile>(domain(), self, handle);
+  remote_files_[handle] = file;
+  return sp<Object>(file);
+}
+
+Result<sp<Object>> DfsClient::Resolve(const Name& name,
+                                      const Credentials& creds) {
+  (void)creds;
+  return InDomain([&]() -> Result<sp<Object>> {
+    if (name.empty()) {
+      return sp<Object>(std::dynamic_pointer_cast<Object>(shared_from_this()));
+    }
+    return ObjectForPath(name.ToString());
+  });
+}
+
+Status DfsClient::Bind(const Name& name, sp<Object> object,
+                       const Credentials& creds, bool replace) {
+  (void)name;
+  (void)object;
+  (void)creds;
+  (void)replace;
+  return ErrNotSupported("binding arbitrary objects over DFS");
+}
+
+Status DfsClient::Unbind(const Name& name, const Credentials& creds) {
+  (void)creds;
+  return InDomain([&]() -> Status {
+    ASSIGN_OR_RETURN(net::Frame response,
+                     CallPath(Op::kRemove, name.ToString()));
+    return response.ToStatus();
+  });
+}
+
+Result<std::vector<BindingInfo>> DfsClient::ListPath(const std::string& path) {
+  return InDomain([&]() -> Result<std::vector<BindingInfo>> {
+    ASSIGN_OR_RETURN(net::Frame response, CallPath(Op::kReadDir, path));
+    RETURN_IF_ERROR(response.ToStatus());
+    std::vector<BindingInfo> entries;
+    std::string wire = response.payload.ToString();
+    size_t at = 0;
+    while (at < wire.size()) {
+      size_t nul = wire.find('\0', at);
+      if (nul == std::string::npos || nul + 2 > wire.size()) {
+        return ErrCorrupted("malformed readdir payload");
+      }
+      BindingInfo entry;
+      entry.name = wire.substr(at, nul - at);
+      entry.is_context = wire[nul + 1] == '1';
+      entries.push_back(std::move(entry));
+      at = nul + 3;  // skip kind char and ';'
+    }
+    return entries;
+  });
+}
+
+Result<std::vector<BindingInfo>> DfsClient::List(const Credentials& creds) {
+  (void)creds;
+  return ListPath("");
+}
+
+Result<sp<Context>> DfsClient::CreateContext(const Name& name,
+                                             const Credentials& creds) {
+  (void)creds;
+  return InDomain([&]() -> Result<sp<Context>> {
+    ASSIGN_OR_RETURN(net::Frame response,
+                     CallPath(Op::kMkdir, name.ToString()));
+    RETURN_IF_ERROR(response.ToStatus());
+    sp<DfsClient> self =
+        std::dynamic_pointer_cast<DfsClient>(shared_from_this());
+    return sp<Context>(std::make_shared<RemoteDirContext>(domain(), self,
+                                                          name));
+  });
+}
+
+Result<sp<File>> DfsClient::CreateFile(const Name& name,
+                                       const Credentials& creds) {
+  (void)creds;
+  return InDomain([&]() -> Result<sp<File>> {
+    ASSIGN_OR_RETURN(net::Frame response,
+                     CallPath(Op::kCreate, name.ToString()));
+    RETURN_IF_ERROR(response.ToStatus());
+    sp<DfsClient> self =
+        std::dynamic_pointer_cast<DfsClient>(shared_from_this());
+    uint64_t handle = response.arg0;
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = remote_files_.find(handle);
+    if (it != remote_files_.end()) {
+      return it->second;
+    }
+    sp<File> file = std::make_shared<RemoteFile>(domain(), self, handle);
+    remote_files_[handle] = file;
+    return file;
+  });
+}
+
+Result<FsInfo> DfsClient::GetFsInfo() {
+  FsInfo info;
+  info.type = "dfs-client(" + server_node_ + "/" + service_ + ")";
+  info.stack_depth = 1;
+  return info;
+}
+
+Status DfsClient::SyncFs() {
+  // Sync every known remote file.
+  std::vector<sp<File>> files;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (auto& [handle, file] : remote_files_) {
+      files.push_back(file);
+    }
+  }
+  for (const sp<File>& file : files) {
+    RETURN_IF_ERROR(file->SyncFile());
+  }
+  return Status::Ok();
+}
+
+DfsClientStats DfsClient::stats() const {
+  std::lock_guard<std::mutex> lock(stats_mutex_);
+  return stats_;
+}
+
+}  // namespace springfs::dfs

@@ -1,0 +1,107 @@
+// The DFS client: the remote node's view of an exported file system.
+//
+// Mounting yields a naming context whose resolutions produce RemoteFile
+// objects. A RemoteFile is a full Spring file: local cache managers (the
+// node's VMM, or an interposing CFS) bind to it; the client services those
+// channels with pager objects that carry page traffic over the DFS
+// protocol, and it registers each local cache with the server so the
+// server's coherency protocol can recall data from this node (the
+// kCbFlushBack / kCbDenyWrites callbacks land here and are forwarded to the
+// local cache objects).
+
+#ifndef SPRINGFS_LAYERS_DFS_DFS_CLIENT_H_
+#define SPRINGFS_LAYERS_DFS_DFS_CLIENT_H_
+
+#include <map>
+
+#include "src/fs/channel_table.h"
+#include "src/layers/dfs/protocol.h"
+
+namespace springfs::dfs {
+
+struct DfsClientStats {
+  uint64_t calls_sent = 0;
+  uint64_t callbacks_received = 0;
+};
+
+class DfsClient : public Context, public Fs, public Servant {
+ public:
+  // Mounts `service` exported by `server_node`. The callback service this
+  // client registers on `node` is unique per mount.
+  static Result<sp<DfsClient>> Mount(const sp<net::Node>& node,
+                                     net::Network* network,
+                                     const std::string& server_node,
+                                     const std::string& service);
+
+  ~DfsClient() override;
+
+  const char* interface_name() const override { return "dfs_client"; }
+
+  // --- Context ---
+  Result<sp<Object>> Resolve(const Name& name,
+                             const Credentials& creds) override;
+  Status Bind(const Name& name, sp<Object> object, const Credentials& creds,
+              bool replace = false) override;
+  Status Unbind(const Name& name, const Credentials& creds) override;
+  Result<std::vector<BindingInfo>> List(const Credentials& creds) override;
+  Result<sp<Context>> CreateContext(const Name& name,
+                                    const Credentials& creds) override;
+
+  // --- Fs ---
+  Result<FsInfo> GetFsInfo() override;
+  Status SyncFs() override;
+
+  // Creates a file on the server and returns its remote view.
+  Result<sp<File>> CreateFile(const Name& name, const Credentials& creds);
+
+  DfsClientStats stats() const;
+
+ private:
+  friend class RemoteFile;
+  friend class RemoteDirContext;
+  friend class RemotePagerObject;
+
+  DfsClient(const sp<net::Node>& node, net::Network* network,
+            std::string server_node, std::string service,
+            std::string callback_service);
+
+  // One RPC to the server.
+  Result<net::Frame> Call(Op op, const net::Frame& request);
+  // Convenience: path-carrying call.
+  Result<net::Frame> CallPath(Op op, const std::string& path);
+
+  // Server->client callbacks.
+  net::Frame HandleCallback(const net::Frame& request);
+
+  // Bind support for RemoteFile: establishes the local channel and
+  // registers it with the server; returns the cache rights.
+  Result<sp<CacheRights>> BindRemote(uint64_t handle,
+                                     const sp<CacheManager>& manager);
+  // The server-side cache id for a local channel.
+  Result<uint64_t> ServerCacheIdFor(uint64_t local_channel);
+  // Tears a channel down locally and at the server.
+  void DropChannel(uint64_t local_channel);
+  // Directory listing for a path (RemoteDirContext delegate).
+  Result<std::vector<BindingInfo>> ListPath(const std::string& path);
+
+  Result<sp<Object>> ObjectForPath(const std::string& path);
+
+  sp<net::Node> node_;
+  net::Network* network_;
+  std::string server_node_;
+  std::string service_;
+  std::string callback_service_;
+
+  std::mutex mutex_;
+  PagerChannelTable channels_;
+  std::map<uint64_t, uint64_t> server_cache_ids_;  // local channel -> server
+  std::map<uint64_t, uint64_t> pager_keys_;        // handle -> pager key
+  std::map<uint64_t, sp<File>> remote_files_;      // handle -> RemoteFile
+
+  mutable std::mutex stats_mutex_;
+  DfsClientStats stats_;
+};
+
+}  // namespace springfs::dfs
+
+#endif  // SPRINGFS_LAYERS_DFS_DFS_CLIENT_H_

@@ -1,0 +1,769 @@
+#include "src/layers/dfs/dfs_server.h"
+
+#include <algorithm>
+
+#include "src/support/logging.h"
+
+namespace springfs::dfs {
+namespace {
+
+class DfsCacheRights : public CacheRights {
+ public:
+  explicit DfsCacheRights(uint64_t id) : id_(id) {}
+  uint64_t channel_id() const override { return id_; }
+
+ private:
+  uint64_t id_;
+};
+
+net::Frame OkFrame() { return net::Frame{}; }
+
+net::Frame StatusFrame(const Status& st) {
+  if (st.ok()) {
+    return OkFrame();
+  }
+  net::Frame frame = net::Frame::Error(st.code());
+  frame.payload = Buffer(st.message());
+  return frame;
+}
+
+}  // namespace
+
+// Converts a Status error into an error frame from inside a handler.
+#define RETURN_FRAME_IF_ERROR(expr)     \
+  do {                                  \
+    ::springfs::Status _st = (expr);    \
+    if (!_st.ok()) {                    \
+      return StatusFrame(_st);          \
+    }                                   \
+  } while (0)
+
+// A remote client cache, reachable only through the DFS protocol. The
+// server's per-file CoherencyEngine treats it like any cache object.
+class RemoteCacheProxy : public FsCacheObject {
+ public:
+  RemoteCacheProxy(DfsServer* server, std::string client_node,
+                   std::string client_service, uint64_t client_channel)
+      : server_(server), client_node_(std::move(client_node)),
+        client_service_(std::move(client_service)),
+        client_channel_(client_channel) {}
+
+  Result<std::vector<BlockData>> FlushBack(Offset offset,
+                                           Offset size) override {
+    return Callback(Op::kCbFlushBack, offset, size);
+  }
+  Result<std::vector<BlockData>> DenyWrites(Offset offset,
+                                            Offset size) override {
+    return Callback(Op::kCbDenyWrites, offset, size);
+  }
+  Result<std::vector<BlockData>> WriteBack(Offset offset,
+                                           Offset size) override {
+    // Flush-and-return is the only recall primitive the wire protocol
+    // needs; write_back (retain in place) degrades to it safely.
+    return Callback(Op::kCbFlushBack, offset, size);
+  }
+  Status DeleteRange(Offset offset, Offset size) override {
+    return Callback(Op::kCbFlushBack, offset, size).status();
+  }
+  Status ZeroFill(Offset offset, Offset size) override {
+    return Callback(Op::kCbFlushBack, offset, size).status();
+  }
+  Status Populate(Offset, AccessRights, ByteSpan) override {
+    return ErrNotSupported("populate over the DFS protocol");
+  }
+  Status DestroyCache() override {
+    return Callback(Op::kCbFlushBack, 0, ~Offset{0}).status();
+  }
+
+  Status InvalidateAttributes() override {
+    net::Frame request;
+    request.type = static_cast<uint32_t>(Op::kCbAttrInvalidate);
+    request.arg0 = client_channel_;
+    ASSIGN_OR_RETURN(net::Frame response, server_->SendCallback(
+                                              client_node_, client_service_,
+                                              request));
+    return response.ToStatus();
+  }
+  Result<AttrUpdate> RecallAttributes() override { return AttrUpdate{}; }
+
+ private:
+  Result<std::vector<BlockData>> Callback(Op op, Offset offset, Offset size) {
+    net::Frame request;
+    request.type = static_cast<uint32_t>(op);
+    request.arg0 = client_channel_;
+    request.arg1 = offset;
+    request.arg2 = size;
+    ASSIGN_OR_RETURN(net::Frame response, server_->SendCallback(
+                                              client_node_, client_service_,
+                                              request));
+    RETURN_IF_ERROR(response.ToStatus());
+    return DeserializeBlocks(response.payload.span());
+  }
+
+  DfsServer* server_;
+  std::string client_node_;
+  std::string client_service_;
+  uint64_t client_channel_;
+};
+
+// The server's cache object toward the layer below: callbacks propagate to
+// the remote clients (no local data cache to maintain).
+class DfsLowerCacheObject : public FsCacheObject, public Servant {
+ public:
+  DfsLowerCacheObject(sp<Domain> domain, sp<DfsServer> server,
+                      sp<DfsServer::ServerFile> file)
+      : Servant(std::move(domain)), server_(std::move(server)),
+        file_(std::move(file)) {}
+
+  Result<std::vector<BlockData>> FlushBack(Offset offset,
+                                           Offset size) override {
+    return Recall(offset, size, AccessRights::kReadWrite);
+  }
+  Result<std::vector<BlockData>> DenyWrites(Offset offset,
+                                            Offset size) override {
+    return Recall(offset, size, AccessRights::kReadOnly);
+  }
+  Result<std::vector<BlockData>> WriteBack(Offset offset,
+                                           Offset size) override {
+    return Recall(offset, size, AccessRights::kReadOnly);
+  }
+  Status DeleteRange(Offset offset, Offset size) override {
+    return Recall(offset, size, AccessRights::kReadWrite).status();
+  }
+  Status ZeroFill(Offset offset, Offset size) override {
+    return Recall(offset, size, AccessRights::kReadWrite).status();
+  }
+  Status Populate(Offset, AccessRights, ByteSpan) override {
+    return Status::Ok();  // the server caches nothing
+  }
+  Status DestroyCache() override {
+    return InDomain([&]() -> Status {
+      std::lock_guard<std::mutex> lock(file_->mutex);
+      file_->bound_below = false;
+      file_->lower_pager = nullptr;
+      file_->lower_fs_pager = nullptr;
+      return Status::Ok();
+    });
+  }
+
+  Status InvalidateAttributes() override {
+    return InDomain([&]() -> Status {
+      std::lock_guard<std::mutex> lock(file_->mutex);
+      return server_->BroadcastAttrInvalidate(*file_, 0);
+    });
+  }
+  Result<AttrUpdate> RecallAttributes() override { return AttrUpdate{}; }
+
+ private:
+  Result<std::vector<BlockData>> Recall(Offset offset, Offset size,
+                                        AccessRights access) {
+    return InDomain([&]() -> Result<std::vector<BlockData>> {
+      server_->NoteLowerFlush();
+      std::lock_guard<std::mutex> lock(file_->mutex);
+      // The dirty data recovered from remote caches IS the modified data
+      // the layer below is asking for.
+      return file_->engine.Acquire(0, offset, size, access);
+    });
+  }
+
+  sp<DfsServer> server_;
+  sp<DfsServer::ServerFile> file_;
+};
+
+// The local view of an exported file (Figure 7): binds are forwarded to the
+// underlying file, data/attr operations delegate directly.
+class DfsLocalFile : public File, public Servant {
+ public:
+  DfsLocalFile(sp<Domain> domain, sp<DfsServer> server, sp<File> under)
+      : Servant(std::move(domain)), server_(std::move(server)),
+        under_(std::move(under)) {}
+
+  const sp<File>& under() const { return under_; }
+
+  Result<sp<CacheRights>> Bind(const sp<CacheManager>& caller,
+                               AccessRights requested_access) override {
+    // "When the VMM binds to a locally managed DFS file, DFS reroutes the
+    // VMM to the SFS, so that the VMM ends up dealing with SFS directly."
+    return under_->Bind(caller, requested_access);
+  }
+  Result<Offset> GetLength() override { return under_->GetLength(); }
+  Status SetLength(Offset length) override { return under_->SetLength(length); }
+  Result<size_t> Read(Offset offset, MutableByteSpan out) override {
+    return under_->Read(offset, out);
+  }
+  Result<size_t> Write(Offset offset, ByteSpan data) override {
+    return under_->Write(offset, data);
+  }
+  Result<FileAttributes> Stat() override { return under_->Stat(); }
+  Status SetTimes(uint64_t atime_ns, uint64_t mtime_ns) override {
+    return under_->SetTimes(atime_ns, mtime_ns);
+  }
+  Status SyncFile() override { return under_->SyncFile(); }
+
+ private:
+  sp<DfsServer> server_;
+  sp<File> under_;
+};
+
+Result<sp<DfsServer>> DfsServer::Create(const sp<net::Node>& node,
+                                        net::Network* network,
+                                        const std::string& service,
+                                        sp<StackableFs> under, Clock* clock) {
+  sp<DfsServer> server(new DfsServer(node, network, service, std::move(under),
+                                     clock));
+  wp<DfsServer> weak = server;
+  node->RegisterService(service, [weak](const net::Frame& request) {
+    sp<DfsServer> strong = weak.lock();
+    if (!strong) {
+      return net::Frame::Error(ErrorCode::kDeadObject);
+    }
+    return strong->Handle(request);
+  });
+  return server;
+}
+
+DfsServer::DfsServer(const sp<net::Node>& node, net::Network* network,
+                     std::string service, sp<StackableFs> under, Clock* clock)
+    : Servant(node->domain()), node_(node), network_(network),
+      service_(std::move(service)), clock_(clock), under_(std::move(under)) {}
+
+DfsServer::~DfsServer() { node_->UnregisterService(service_); }
+
+Result<net::Frame> DfsServer::SendCallback(const std::string& to_node,
+                                           const std::string& to_service,
+                                           const net::Frame& request) {
+  {
+    std::lock_guard<std::mutex> lock(stats_mutex_);
+    ++stats_.callbacks_sent;
+  }
+  return network_->Call(node_->name(), to_node, to_service, request);
+}
+
+void DfsServer::NoteLowerFlush() {
+  std::lock_guard<std::mutex> lock(stats_mutex_);
+  ++stats_.lower_flushes;
+}
+
+Result<sp<DfsServer::ServerFile>> DfsServer::FileForPath(
+    const std::string& path) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = handles_by_path_.find(path);
+    if (it != handles_by_path_.end()) {
+      return files_by_handle_.at(it->second);
+    }
+  }
+  ASSIGN_OR_RETURN(sp<File> under_file,
+                   ResolveAs<File>(under_, path, Credentials::System()));
+  auto file = std::make_shared<ServerFile>();
+  file->path = path;
+  file->under = std::move(under_file);
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = handles_by_path_.find(path);
+  if (it != handles_by_path_.end()) {
+    return files_by_handle_.at(it->second);
+  }
+  file->handle = next_handle_++;
+  files_by_handle_[file->handle] = file;
+  handles_by_path_[path] = file->handle;
+  return file;
+}
+
+Result<sp<DfsServer::ServerFile>> DfsServer::FileForHandle(uint64_t handle) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = files_by_handle_.find(handle);
+  if (it == files_by_handle_.end()) {
+    return ErrStale("unknown DFS handle " + std::to_string(handle));
+  }
+  return it->second;
+}
+
+Status DfsServer::EnsureBoundBelow(const sp<ServerFile>& file) {
+  std::lock_guard<std::mutex> bind_lock(bind_mutex_);
+  {
+    std::lock_guard<std::mutex> lock(file->mutex);
+    if (file->bound_below) {
+      return Status::Ok();
+    }
+  }
+  binding_file_ = file;
+  sp<DfsServer> self = std::dynamic_pointer_cast<DfsServer>(shared_from_this());
+  Result<sp<CacheRights>> rights =
+      file->under->Bind(self, AccessRights::kReadWrite);
+  binding_file_ = nullptr;
+  if (!rights.ok()) {
+    return rights.status();
+  }
+  std::lock_guard<std::mutex> lock(file->mutex);
+  if (!file->lower_pager) {
+    return ErrInvalidArgument("lower layer did not establish a channel");
+  }
+  file->bound_below = true;
+  return Status::Ok();
+}
+
+Result<CacheManager::ChannelSetup> DfsServer::EstablishChannel(
+    uint64_t pager_key, sp<PagerObject> pager) {
+  (void)pager_key;
+  sp<ServerFile> file = binding_file_;
+  if (!file) {
+    return ErrInvalidArgument("unexpected channel establishment");
+  }
+  sp<DfsServer> self = std::dynamic_pointer_cast<DfsServer>(shared_from_this());
+  {
+    std::lock_guard<std::mutex> lock(file->mutex);
+    file->lower_pager = pager;
+    file->lower_fs_pager = narrow<FsPagerObject>(pager);
+  }
+  ChannelSetup setup;
+  setup.cache = std::make_shared<DfsLowerCacheObject>(domain(), self, file);
+  setup.rights = std::make_shared<DfsCacheRights>(file->handle);
+  return setup;
+}
+
+Status DfsServer::PushRecovered(ServerFile& file,
+                                const std::vector<BlockData>& blocks) {
+  for (const BlockData& block : blocks) {
+    Buffer page = block.data;
+    page.resize(kPageSize);
+    RETURN_IF_ERROR(file.lower_pager->Sync(block.offset, page.span()));
+  }
+  return Status::Ok();
+}
+
+Status DfsServer::BroadcastAttrInvalidate(ServerFile& file,
+                                          uint64_t except_cache_id) {
+  for (const auto& [cache_id, info] : file.remote_caches) {
+    if (cache_id == except_cache_id || !info.is_fs_cache) {
+      continue;
+    }
+    net::Frame request;
+    request.type = static_cast<uint32_t>(Op::kCbAttrInvalidate);
+    request.arg0 = info.client_channel;
+    Result<net::Frame> response =
+        SendCallback(info.node, info.service, request);
+    if (!response.ok() &&
+        response.code() != ErrorCode::kConnectionLost) {
+      return response.status();
+    }
+  }
+  return Status::Ok();
+}
+
+// --- protocol dispatch ---
+
+net::Frame DfsServer::Handle(const net::Frame& request) {
+  Op op = static_cast<Op>(request.type);
+  switch (op) {
+    case Op::kLookup:
+    case Op::kCreate:
+    case Op::kMkdir:
+    case Op::kRemove:
+    case Op::kReadDir:
+      return HandleNameOp(op, request);
+    default:
+      return HandleFileOp(op, request);
+  }
+}
+
+net::Frame DfsServer::HandleNameOp(Op op, const net::Frame& request) {
+  Credentials creds = Credentials::System();
+  std::string path = request.payload.ToString();
+  {
+    std::lock_guard<std::mutex> lock(stats_mutex_);
+    ++stats_.remote_lookups;
+  }
+  switch (op) {
+    case Op::kLookup: {
+      Result<Name> name = Name::Parse(path);
+      if (!name.ok()) {
+        return StatusFrame(name.status());
+      }
+      Result<sp<Object>> object = under_->Resolve(*name, creds);
+      if (!object.ok()) {
+        return StatusFrame(object.status());
+      }
+      if (narrow<Context>(*object)) {
+        net::Frame response;
+        response.arg1 = 1;  // directory
+        return response;
+      }
+      if (!narrow<File>(*object)) {
+        return StatusFrame(ErrWrongType("not a file or directory"));
+      }
+      Result<sp<ServerFile>> file = FileForPath(path);
+      if (!file.ok()) {
+        return StatusFrame(file.status());
+      }
+      net::Frame response;
+      response.arg0 = (*file)->handle;
+      response.arg1 = 0;  // file
+      return response;
+    }
+    case Op::kCreate: {
+      Result<Name> name = Name::Parse(path);
+      if (!name.ok()) {
+        return StatusFrame(name.status());
+      }
+      Result<sp<File>> created = under_->CreateFile(*name, creds);
+      if (!created.ok()) {
+        return StatusFrame(created.status());
+      }
+      Result<sp<ServerFile>> file = FileForPath(path);
+      if (!file.ok()) {
+        return StatusFrame(file.status());
+      }
+      net::Frame response;
+      response.arg0 = (*file)->handle;
+      return response;
+    }
+    case Op::kMkdir: {
+      Result<Name> name = Name::Parse(path);
+      if (!name.ok()) {
+        return StatusFrame(name.status());
+      }
+      return StatusFrame(under_->CreateContext(*name, creds).status());
+    }
+    case Op::kRemove: {
+      Result<Name> name = Name::Parse(path);
+      if (!name.ok()) {
+        return StatusFrame(name.status());
+      }
+      Status st = under_->Unbind(*name, creds);
+      if (st.ok()) {
+        std::lock_guard<std::mutex> lock(mutex_);
+        auto it = handles_by_path_.find(path);
+        if (it != handles_by_path_.end()) {
+          files_by_handle_.erase(it->second);
+          handles_by_path_.erase(it);
+        }
+      }
+      return StatusFrame(st);
+    }
+    case Op::kReadDir: {
+      Result<Name> name = Name::Parse(path);
+      if (!name.ok()) {
+        return StatusFrame(name.status());
+      }
+      Result<sp<Object>> dir_obj = under_->Resolve(*name, creds);
+      if (!dir_obj.ok()) {
+        return StatusFrame(dir_obj.status());
+      }
+      sp<Context> dir = narrow<Context>(*dir_obj);
+      if (!dir) {
+        return StatusFrame(ErrNotADirectory(path));
+      }
+      Result<std::vector<BindingInfo>> entries = dir->List(creds);
+      if (!entries.ok()) {
+        return StatusFrame(entries.status());
+      }
+      net::Frame response;
+      std::string wire;
+      for (const auto& entry : *entries) {
+        wire += entry.name;
+        wire += '\0';
+        wire += entry.is_context ? '1' : '0';
+        wire += ';';
+      }
+      response.payload = Buffer(wire);
+      return response;
+    }
+    default:
+      return StatusFrame(ErrNotSupported("unknown name op"));
+  }
+}
+
+net::Frame DfsServer::HandleFileOp(Op op, const net::Frame& request) {
+  Result<sp<ServerFile>> file_result = FileForHandle(request.arg0);
+  if (!file_result.ok()) {
+    return StatusFrame(file_result.status());
+  }
+  sp<ServerFile> file = *file_result;
+
+  switch (op) {
+    case Op::kGetAttr: {
+      Result<FileAttributes> attrs = file->under->Stat();
+      if (!attrs.ok()) {
+        return StatusFrame(attrs.status());
+      }
+      net::Frame response;
+      response.payload = SerializeAttrs(*attrs);
+      return response;
+    }
+    case Op::kSetTimes: {
+      Status st = file->under->SetTimes(request.arg1, request.arg2);
+      if (st.ok()) {
+        std::lock_guard<std::mutex> lock(file->mutex);
+        st = BroadcastAttrInvalidate(*file, 0);
+      }
+      return StatusFrame(st);
+    }
+    case Op::kSetLength: {
+      Status st = file->under->SetLength(request.arg1);
+      if (st.ok()) {
+        std::lock_guard<std::mutex> lock(file->mutex);
+        st = BroadcastAttrInvalidate(*file, 0);
+      }
+      return StatusFrame(st);
+    }
+    case Op::kGetLength: {
+      Result<Offset> length = file->under->GetLength();
+      if (!length.ok()) {
+        return StatusFrame(length.status());
+      }
+      net::Frame response;
+      response.arg0 = *length;
+      return response;
+    }
+    case Op::kRead: {
+      {
+        std::lock_guard<std::mutex> lock(stats_mutex_);
+        ++stats_.remote_reads;
+      }
+      RETURN_FRAME_IF_ERROR(EnsureBoundBelow(file));
+      Buffer out(request.arg2);
+      {
+        std::lock_guard<std::mutex> lock(file->mutex);
+        Result<std::vector<BlockData>> recovered = file->engine.Acquire(
+            0, request.arg1, request.arg2, AccessRights::kReadOnly);
+        if (!recovered.ok()) {
+          return StatusFrame(recovered.status());
+        }
+        Status pushed = PushRecovered(*file, *recovered);
+        if (!pushed.ok()) {
+          return StatusFrame(pushed);
+        }
+      }
+      Result<size_t> n = file->under->Read(request.arg1, out.mutable_span());
+      if (!n.ok()) {
+        return StatusFrame(n.status());
+      }
+      net::Frame response;
+      response.payload = Buffer(out.subspan(0, *n));
+      return response;
+    }
+    case Op::kWrite: {
+      {
+        std::lock_guard<std::mutex> lock(stats_mutex_);
+        ++stats_.remote_writes;
+      }
+      RETURN_FRAME_IF_ERROR(EnsureBoundBelow(file));
+      {
+        std::lock_guard<std::mutex> lock(file->mutex);
+        Result<std::vector<BlockData>> recovered =
+            file->engine.Acquire(0, request.arg1, request.payload.size(),
+                                 AccessRights::kReadWrite);
+        if (!recovered.ok()) {
+          return StatusFrame(recovered.status());
+        }
+        Status pushed = PushRecovered(*file, *recovered);
+        if (!pushed.ok()) {
+          return StatusFrame(pushed);
+        }
+      }
+      Result<size_t> n = file->under->Write(request.arg1,
+                                            request.payload.span());
+      if (!n.ok()) {
+        return StatusFrame(n.status());
+      }
+      {
+        std::lock_guard<std::mutex> lock(file->mutex);
+        Status st = BroadcastAttrInvalidate(*file, 0);
+        if (!st.ok()) {
+          return StatusFrame(st);
+        }
+      }
+      net::Frame response;
+      response.arg0 = *n;
+      return response;
+    }
+    case Op::kSyncFile:
+      return StatusFrame(file->under->SyncFile());
+
+    case Op::kBindCache: {
+      Result<std::pair<std::string, std::string>> target =
+          SplitNodeService(request.payload.span());
+      if (!target.ok()) {
+        return StatusFrame(target.status());
+      }
+      RETURN_FRAME_IF_ERROR(EnsureBoundBelow(file));
+      std::lock_guard<std::mutex> lock(file->mutex);
+      uint64_t cache_id = file->next_cache_id++;
+      RemoteCacheInfo info;
+      info.node = target->first;
+      info.service = target->second;
+      info.client_channel = request.arg1;
+      info.is_fs_cache = request.arg2 != 0;
+      file->remote_caches[cache_id] = info;
+      file->engine.AddCache(
+          cache_id, std::make_shared<RemoteCacheProxy>(
+                        this, info.node, info.service, info.client_channel));
+      net::Frame response;
+      response.arg0 = cache_id;
+      return response;
+    }
+    case Op::kUnbindCache: {
+      std::lock_guard<std::mutex> lock(file->mutex);
+      file->engine.RemoveCache(request.arg1);
+      file->remote_caches.erase(request.arg1);
+      return OkFrame();
+    }
+    case Op::kPageIn: {
+      {
+        std::lock_guard<std::mutex> lock(stats_mutex_);
+        ++stats_.remote_page_ins;
+      }
+      if (request.payload.size() < 8) {
+        return StatusFrame(ErrInvalidArgument("page-in missing cache id"));
+      }
+      uint64_t cache_id = 0;
+      for (int i = 7; i >= 0; --i) {
+        cache_id = (cache_id << 8) | request.payload.data()[i];
+      }
+      AccessRights access = request.arg3 == 0 ? AccessRights::kReadOnly
+                                              : AccessRights::kReadWrite;
+      RETURN_FRAME_IF_ERROR(EnsureBoundBelow(file));
+      std::lock_guard<std::mutex> lock(file->mutex);
+      Result<std::vector<BlockData>> recovered =
+          file->engine.Acquire(cache_id, request.arg1, request.arg2, access);
+      if (!recovered.ok()) {
+        return StatusFrame(recovered.status());
+      }
+      Status pushed = PushRecovered(*file, *recovered);
+      if (!pushed.ok()) {
+        return StatusFrame(pushed);
+      }
+      Result<Buffer> data =
+          file->lower_pager->PageIn(request.arg1, request.arg2, access);
+      if (!data.ok()) {
+        return StatusFrame(data.status());
+      }
+      net::Frame response;
+      response.payload = std::move(*data);
+      return response;
+    }
+    case Op::kPageOut:
+    case Op::kWriteOut:
+    case Op::kSyncPages: {
+      {
+        std::lock_guard<std::mutex> lock(stats_mutex_);
+        ++stats_.remote_page_outs;
+      }
+      if (request.payload.size() < 8 ||
+          (request.payload.size() - 8) % kPageSize != 0) {
+        return StatusFrame(ErrInvalidArgument("malformed page-out"));
+      }
+      uint64_t cache_id = 0;
+      for (int i = 7; i >= 0; --i) {
+        cache_id = (cache_id << 8) | request.payload.data()[i];
+      }
+      ByteSpan data = request.payload.subspan(8,
+                                              request.payload.size() - 8);
+      RETURN_FRAME_IF_ERROR(EnsureBoundBelow(file));
+      std::lock_guard<std::mutex> lock(file->mutex);
+      Status st = file->lower_pager->Sync(request.arg1, data);
+      if (!st.ok()) {
+        return StatusFrame(st);
+      }
+      if (op == Op::kPageOut) {
+        file->engine.ReleaseDropped(cache_id, request.arg1, data.size());
+      } else if (op == Op::kWriteOut) {
+        file->engine.ReleaseDowngraded(cache_id, request.arg1, data.size());
+      }
+      return OkFrame();
+    }
+    default:
+      return StatusFrame(ErrNotSupported("unknown file op"));
+  }
+}
+
+// --- local (Figure 7) surface ---
+
+Result<sp<Object>> DfsServer::Resolve(const Name& name,
+                                      const Credentials& creds) {
+  return InDomain([&]() -> Result<sp<Object>> {
+    if (!under_) {
+      return ErrInvalidArgument("dfs server not stacked");
+    }
+    if (name.empty()) {
+      return sp<Object>(std::dynamic_pointer_cast<Object>(shared_from_this()));
+    }
+    ASSIGN_OR_RETURN(sp<Object> object, under_->Resolve(name, creds));
+    if (sp<File> under_file = narrow<File>(object)) {
+      sp<DfsServer> self =
+          std::dynamic_pointer_cast<DfsServer>(shared_from_this());
+      return sp<Object>(std::make_shared<DfsLocalFile>(domain(), self,
+                                                       under_file));
+    }
+    return object;  // directories: the underlying context is fine locally
+  });
+}
+
+Status DfsServer::Bind(const Name& name, sp<Object> object,
+                       const Credentials& creds, bool replace) {
+  return InDomain([&]() -> Status {
+    if (sp<DfsLocalFile> wrapped = narrow<DfsLocalFile>(object)) {
+      object = wrapped->under();
+    }
+    return under_->Bind(name, std::move(object), creds, replace);
+  });
+}
+
+Status DfsServer::Unbind(const Name& name, const Credentials& creds) {
+  return InDomain([&] { return under_->Unbind(name, creds); });
+}
+
+Result<std::vector<BindingInfo>> DfsServer::List(const Credentials& creds) {
+  return InDomain([&] { return under_->List(creds); });
+}
+
+Result<sp<Context>> DfsServer::CreateContext(const Name& name,
+                                             const Credentials& creds) {
+  return InDomain([&] { return under_->CreateContext(name, creds); });
+}
+
+Status DfsServer::StackOn(sp<StackableFs> underlying) {
+  return InDomain([&]() -> Status {
+    if (under_) {
+      return ErrAlreadyExists("dfs server already stacked");
+    }
+    under_ = std::move(underlying);
+    return Status::Ok();
+  });
+}
+
+Result<sp<File>> DfsServer::CreateFile(const Name& name,
+                                       const Credentials& creds) {
+  return InDomain([&]() -> Result<sp<File>> {
+    ASSIGN_OR_RETURN(sp<File> under_file, under_->CreateFile(name, creds));
+    sp<DfsServer> self =
+        std::dynamic_pointer_cast<DfsServer>(shared_from_this());
+    return sp<File>(std::make_shared<DfsLocalFile>(domain(), self,
+                                                   under_file));
+  });
+}
+
+Result<FsInfo> DfsServer::GetFsInfo() {
+  return InDomain([&]() -> Result<FsInfo> {
+    ASSIGN_OR_RETURN(FsInfo info, under_->GetFsInfo());
+    info.type = "dfs(" + info.type + ")";
+    info.stack_depth += 1;
+    return info;
+  });
+}
+
+Status DfsServer::SyncFs() {
+  return InDomain([&] { return under_->SyncFs(); });
+}
+
+DfsServerStats DfsServer::stats() const {
+  std::lock_guard<std::mutex> lock(stats_mutex_);
+  return stats_;
+}
+
+void DfsServer::ResetStats() {
+  std::lock_guard<std::mutex> lock(stats_mutex_);
+  stats_ = DfsServerStats{};
+}
+
+}  // namespace springfs::dfs

@@ -1,0 +1,159 @@
+// The DFS server: the network-coherent distributed file system layer
+// (paper sections 4.2.2 and 6.2, Figures 7 and 9).
+//
+// "The job of DFS is to export SFS files to other machines in a coherent
+// fashion through some existing protocol." The server:
+//
+//   * stacks on an underlying file system (SFS in the paper) and acts as a
+//     *cache manager* for its files (the P2-C2 connection in Figure 7), so
+//     local activity on the underlying files triggers coherency callbacks
+//     that the server fans out to its remote clients;
+//   * serves the DFS protocol (src/layers/dfs/protocol.h) to remote nodes,
+//     tracking remote caches with a per-file CoherencyEngine whose cache
+//     objects are network proxies;
+//   * for *local* clients, "forwards bind operations from local cache
+//     managers on file_DFS to the bind operation on file_SFS", so "local
+//     accesses to file_DFS use the same cached memory as file_SFS" and
+//     "DFS is not involved in local page-in/page-out requests".
+//
+// The server itself caches no file data: remote page-ins are satisfied
+// through its pager channel to the layer below.
+
+#ifndef SPRINGFS_LAYERS_DFS_DFS_SERVER_H_
+#define SPRINGFS_LAYERS_DFS_DFS_SERVER_H_
+
+#include <map>
+
+#include "src/coherency/engine.h"
+#include "src/fs/channel_table.h"
+#include "src/fs/file.h"
+#include "src/layers/dfs/protocol.h"
+#include "src/net/network.h"
+
+namespace springfs::dfs {
+
+struct DfsServerStats {
+  uint64_t remote_lookups = 0;
+  uint64_t remote_page_ins = 0;
+  uint64_t remote_page_outs = 0;
+  uint64_t remote_reads = 0;
+  uint64_t remote_writes = 0;
+  uint64_t callbacks_sent = 0;
+  uint64_t lower_flushes = 0;  // coherency callbacks received from below
+};
+
+class DfsServer : public StackableFs, public CacheManager, public Servant {
+ public:
+  // Creates the server on `node`, stacked on `under`, answering protocol
+  // requests addressed to `service`.
+  static Result<sp<DfsServer>> Create(const sp<net::Node>& node,
+                                      net::Network* network,
+                                      const std::string& service,
+                                      sp<StackableFs> under,
+                                      Clock* clock = &DefaultClock());
+
+  ~DfsServer() override;
+
+  const char* interface_name() const override { return "dfs_server"; }
+
+  // --- Context (the local side, Figure 7) ---
+  Result<sp<Object>> Resolve(const Name& name,
+                             const Credentials& creds) override;
+  Status Bind(const Name& name, sp<Object> object, const Credentials& creds,
+              bool replace = false) override;
+  Status Unbind(const Name& name, const Credentials& creds) override;
+  Result<std::vector<BindingInfo>> List(const Credentials& creds) override;
+  Result<sp<Context>> CreateContext(const Name& name,
+                                    const Credentials& creds) override;
+
+  // --- StackableFs ---
+  Status StackOn(sp<StackableFs> underlying) override;
+  Result<sp<File>> CreateFile(const Name& name,
+                              const Credentials& creds) override;
+
+  // --- Fs ---
+  Result<FsInfo> GetFsInfo() override;
+  Status SyncFs() override;
+
+  // --- CacheManager (toward the layer below) ---
+  Result<ChannelSetup> EstablishChannel(uint64_t pager_key,
+                                        sp<PagerObject> pager) override;
+  std::string cache_manager_name() const override { return "dfs-server"; }
+
+  DfsServerStats stats() const;
+  void ResetStats();
+
+  // Sends a server->client callback frame (used by the remote-cache
+  // proxies).
+  Result<net::Frame> SendCallback(const std::string& to_node,
+                                  const std::string& to_service,
+                                  const net::Frame& request);
+
+ private:
+  friend class DfsLocalFile;
+  friend class DfsLowerCacheObject;
+  friend class RemoteCacheProxy;
+
+  void NoteLowerFlush();
+
+  struct RemoteCacheInfo {
+    std::string node;
+    std::string service;
+    uint64_t client_channel = 0;
+    bool is_fs_cache = false;
+  };
+
+  struct ServerFile {
+    uint64_t handle = 0;
+    std::string path;
+    sp<File> under;
+    bool bound_below = false;
+    sp<PagerObject> lower_pager;
+    sp<FsPagerObject> lower_fs_pager;
+    CoherencyEngine engine;  // across remote caches (proxies)
+    std::map<uint64_t, RemoteCacheInfo> remote_caches;  // by engine cache id
+    uint64_t next_cache_id = 1;
+    std::mutex mutex;
+  };
+
+  DfsServer(const sp<net::Node>& node, net::Network* network,
+            std::string service, sp<StackableFs> under, Clock* clock);
+
+  // Protocol dispatch.
+  net::Frame Handle(const net::Frame& request);
+  net::Frame HandleNameOp(Op op, const net::Frame& request);
+  net::Frame HandleFileOp(Op op, const net::Frame& request);
+
+  Result<sp<ServerFile>> FileForPath(const std::string& path);
+  Result<sp<ServerFile>> FileForHandle(uint64_t handle);
+  Status EnsureBoundBelow(const sp<ServerFile>& file);
+
+  // Pushes dirty blocks recovered from remote caches down to the layer
+  // below; `file.mutex` held.
+  Status PushRecovered(ServerFile& file, const std::vector<BlockData>& blocks);
+
+  // Broadcasts an attribute invalidation to remote fs_caches; file.mutex
+  // held.
+  Status BroadcastAttrInvalidate(ServerFile& file, uint64_t except_cache_id);
+
+  sp<net::Node> node_;
+  net::Network* network_;
+  std::string service_;
+  Clock* clock_;
+  sp<StackableFs> under_;
+
+  std::mutex mutex_;
+  std::map<uint64_t, sp<ServerFile>> files_by_handle_;
+  std::map<std::string, uint64_t> handles_by_path_;
+  uint64_t next_handle_ = 1;
+
+  std::mutex bind_mutex_;
+  sp<ServerFile> binding_file_;
+
+  mutable std::mutex stats_mutex_;
+  DfsServerStats stats_;
+};
+
+}  // namespace springfs::dfs
+
+#endif  // SPRINGFS_LAYERS_DFS_DFS_SERVER_H_

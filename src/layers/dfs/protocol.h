@@ -1,0 +1,137 @@
+// The "private DFS protocol" (paper Figures 7 and 9): the message
+// vocabulary spoken between a DFS server and its remote clients. The paper
+// models it on AFS-style protocols; ours carries the pager/cache operations
+// across the wire so remote VMMs participate in the server's coherency
+// protocol exactly as local cache managers do.
+
+#ifndef SPRINGFS_LAYERS_DFS_PROTOCOL_H_
+#define SPRINGFS_LAYERS_DFS_PROTOCOL_H_
+
+#include "src/fs/file.h"
+#include "src/net/network.h"
+
+namespace springfs::dfs {
+
+enum class Op : uint32_t {
+  // name space (client -> server); payload carries the path
+  kLookup = 1,   // -> arg0 handle, arg1 kind (0 file / 1 dir)
+  kCreate = 2,   // -> arg0 handle
+  kMkdir = 3,
+  kRemove = 4,
+  kReadDir = 5,  // -> payload: (name '\0' kind ';')*
+
+  // attributes (arg0 = handle)
+  kGetAttr = 10,    // -> payload: serialized FileAttributes
+  kSetTimes = 11,   // arg1 = atime, arg2 = mtime
+  kSetLength = 12,  // arg1 = length
+  kGetLength = 13,  // -> arg0 length
+
+  // whole-file data path (arg0 = handle)
+  kRead = 20,   // arg1 = offset, arg2 = length -> payload data
+  kWrite = 21,  // arg1 = offset, payload data -> arg0 bytes written
+  kSyncFile = 22,
+
+  // pager-cache channel (arg0 = handle)
+  kBindCache = 30,  // arg1 = client channel id, arg2 = is_fs_cache,
+                    // payload = client node '\0' callback service
+                    // -> arg0 = server-side cache id
+  kUnbindCache = 31,  // arg1 = server-side cache id
+  kPageIn = 32,   // arg1 = offset, arg2 = size, arg3 = access,
+                  // payload = u64 server cache id -> payload data
+  kPageOut = 33,  // arg1 = offset, payload = u64 cache id + data
+  kWriteOut = 34,
+  kSyncPages = 35,
+
+  // callbacks (server -> client); arg0 = client channel id
+  kCbFlushBack = 100,   // arg1 = offset, arg2 = size
+                        // -> payload: (u64 offset + page)*
+  kCbDenyWrites = 101,  // same shape
+  kCbAttrInvalidate = 102,
+};
+
+// FileAttributes wire form: kind u64, size u64, nlink u64, atime u64,
+// mtime u64.
+inline Buffer SerializeAttrs(const FileAttributes& attrs) {
+  Buffer out(5 * 8);
+  auto put = [&](size_t at, uint64_t v) {
+    for (int i = 0; i < 8; ++i) {
+      out.data()[at + i] = static_cast<uint8_t>(v >> (8 * i));
+    }
+  };
+  put(0, static_cast<uint64_t>(attrs.kind));
+  put(8, attrs.size);
+  put(16, attrs.nlink);
+  put(24, attrs.atime_ns);
+  put(32, attrs.mtime_ns);
+  return out;
+}
+
+inline Result<FileAttributes> DeserializeAttrs(ByteSpan wire) {
+  if (wire.size() < 5 * 8) {
+    return ErrCorrupted("attrs frame too short");
+  }
+  auto get = [&](size_t at) {
+    uint64_t v = 0;
+    for (int i = 7; i >= 0; --i) {
+      v = (v << 8) | wire[at + i];
+    }
+    return v;
+  };
+  FileAttributes attrs;
+  attrs.kind = static_cast<FileKind>(get(0));
+  attrs.size = get(8);
+  attrs.nlink = static_cast<uint32_t>(get(16));
+  attrs.atime_ns = get(24);
+  attrs.mtime_ns = get(32);
+  return attrs;
+}
+
+// Block-list wire form used by callbacks: a sequence of (u64 offset,
+// kPageSize bytes) records.
+inline Buffer SerializeBlocks(const std::vector<BlockData>& blocks) {
+  Buffer out;
+  for (const BlockData& block : blocks) {
+    uint8_t header[8];
+    for (int i = 0; i < 8; ++i) {
+      header[i] = static_cast<uint8_t>(block.offset >> (8 * i));
+    }
+    out.append(ByteSpan(header, 8));
+    Buffer page = block.data;
+    page.resize(kPageSize);
+    out.append(page.span());
+  }
+  return out;
+}
+
+inline Result<std::vector<BlockData>> DeserializeBlocks(ByteSpan wire) {
+  constexpr size_t kRecord = 8 + kPageSize;
+  if (wire.size() % kRecord != 0) {
+    return ErrCorrupted("block list not a whole number of records");
+  }
+  std::vector<BlockData> blocks;
+  for (size_t at = 0; at < wire.size(); at += kRecord) {
+    BlockData block;
+    for (int i = 7; i >= 0; --i) {
+      block.offset = (block.offset << 8) | wire[at + i];
+    }
+    block.data = Buffer(wire.subspan(at + 8, kPageSize));
+    blocks.push_back(std::move(block));
+  }
+  return blocks;
+}
+
+// Splits "node\0service" payloads.
+inline Result<std::pair<std::string, std::string>> SplitNodeService(
+    ByteSpan payload) {
+  std::string text(reinterpret_cast<const char*>(payload.data()),
+                   payload.size());
+  size_t nul = text.find('\0');
+  if (nul == std::string::npos) {
+    return ErrCorrupted("missing node/service separator");
+  }
+  return std::make_pair(text.substr(0, nul), text.substr(nul + 1));
+}
+
+}  // namespace springfs::dfs
+
+#endif  // SPRINGFS_LAYERS_DFS_PROTOCOL_H_

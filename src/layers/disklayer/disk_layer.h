@@ -1,0 +1,107 @@
+// The disk layer (paper section 6.2, Figure 10, bottom box).
+//
+// "The base disk layer implements an on-disk UFS compatible file system. It
+// does not, however, implement a coherency algorithm." It serves page-in/
+// page-out traffic straight from the device, answers opens and stats from
+// its inode cache, and performs no coherency callbacks — stacking the
+// generic coherency layer on top (src/layers/coherent) is what makes the
+// resulting SFS coherent (section 6.3).
+//
+// As a naming context: regular files resolve to File objects, directories
+// to sub-contexts; Bind of a File implemented by this layer creates a hard
+// link, Unbind removes, CreateContext is mkdir.
+
+#ifndef SPRINGFS_LAYERS_DISKLAYER_DISK_LAYER_H_
+#define SPRINGFS_LAYERS_DISKLAYER_DISK_LAYER_H_
+
+#include <map>
+#include <memory>
+
+#include "src/fs/channel_table.h"
+#include "src/fs/file.h"
+#include "src/obj/domain.h"
+#include "src/ufs/ufs.h"
+
+namespace springfs {
+
+class DiskLayer : public StackableFs, public Servant {
+ public:
+  // Lifetime contract: `device` must outlive every reference to the layer,
+  // including bindings of the layer (or stacks built on it) held in a name
+  // space — the mounted UFS syncs to the device when the last reference
+  // drops.
+
+  // Formats `device` and mounts a fresh disk layer over it.
+  static Result<sp<DiskLayer>> Format(sp<Domain> domain, BlockDevice* device,
+                                      Clock* clock = &DefaultClock());
+  // Mounts an existing on-disk file system.
+  static Result<sp<DiskLayer>> Mount(sp<Domain> domain, BlockDevice* device,
+                                     Clock* clock = &DefaultClock());
+
+  const char* interface_name() const override { return "disk_layer"; }
+
+  // --- Context ---
+  Result<sp<Object>> Resolve(const Name& name,
+                             const Credentials& creds) override;
+  Status Bind(const Name& name, sp<Object> object, const Credentials& creds,
+              bool replace = false) override;
+  Status Unbind(const Name& name, const Credentials& creds) override;
+  Result<std::vector<BindingInfo>> List(const Credentials& creds) override;
+  Result<sp<Context>> CreateContext(const Name& name,
+                                    const Credentials& creds) override;
+
+  // --- StackableFs ---
+  Status StackOn(sp<StackableFs> underlying) override;
+  Result<sp<File>> CreateFile(const Name& name,
+                              const Credentials& creds) override;
+
+  // --- Fs ---
+  Result<FsInfo> GetFsInfo() override;
+  Status SyncFs() override;
+
+  // Servant identity of a file object: lets tests confirm that two lookups
+  // of the same name return equivalent memory objects.
+  Result<sp<File>> FileForInode(ufs::InodeNum ino);
+
+  ufs::Ufs& ufs() { return *ufs_; }
+
+ private:
+  friend class DiskFile;
+  friend class DiskPagerObject;
+  friend class DiskDirContext;
+
+  DiskLayer(sp<Domain> domain, std::unique_ptr<ufs::Ufs> fs, Clock* clock);
+
+  // Context operations relative to an arbitrary directory inode; the root
+  // Context methods and DiskDirContext both delegate here.
+  Result<sp<Object>> ResolveFrom(ufs::InodeNum start, const Name& name,
+                                 const Credentials& creds);
+  Status BindFrom(ufs::InodeNum start, const Name& name, sp<Object> object,
+                  const Credentials& creds, bool replace);
+  Status UnbindFrom(ufs::InodeNum start, const Name& name,
+                    const Credentials& creds);
+  Result<std::vector<BindingInfo>> ListFrom(ufs::InodeNum dir,
+                                            const Credentials& creds);
+  Result<sp<Context>> CreateContextFrom(ufs::InodeNum start, const Name& name,
+                                        const Credentials& creds);
+
+  // Resolution helpers (no domain wrapping; callers wrap).
+  Result<ufs::InodeNum> WalkToDir(ufs::InodeNum start, const Name& dirname);
+  Result<sp<Object>> ObjectForInode(ufs::InodeNum ino);
+
+  // Bind support for DiskFile.
+  Result<sp<CacheRights>> BindFile(ufs::InodeNum ino,
+                                   const sp<CacheManager>& manager);
+
+  std::unique_ptr<ufs::Ufs> ufs_;
+  Clock* clock_;
+
+  std::mutex mutex_;
+  std::map<ufs::InodeNum, sp<File>> open_files_;  // per-layer open-file state
+  std::map<ufs::InodeNum, uint64_t> pager_keys_;
+  PagerChannelTable channels_;
+};
+
+}  // namespace springfs
+
+#endif  // SPRINGFS_LAYERS_DISKLAYER_DISK_LAYER_H_

@@ -1,0 +1,45 @@
+#include "src/layers/passfs/pass_layer.h"
+
+namespace springfs {
+
+sp<PassLayer> PassLayer::Create(sp<Domain> domain,
+                                CoherencyLayerOptions options,
+                                uint64_t transit_delay_ns, Clock* clock) {
+  return sp<PassLayer>(
+      new PassLayer(std::move(domain), options, transit_delay_ns, clock));
+}
+
+PassLayer::PassLayer(sp<Domain> domain, CoherencyLayerOptions options,
+                     uint64_t transit_delay_ns, Clock* clock)
+    : CoherencyLayer(std::move(domain), options, clock),
+      transit_delay_ns_(transit_delay_ns), transit_clock_(clock) {}
+
+Result<Buffer> PassLayer::DecodeFromBelow(uint64_t file_id, Offset page_offset,
+                                          Buffer page) {
+  (void)file_id;
+  (void)page_offset;
+  if (fail_transit_.load()) {
+    return ErrIoError("pass layer transit fault (injected)");
+  }
+  if (transit_delay_ns_ != 0) {
+    transit_clock_->SleepNs(transit_delay_ns_);
+  }
+  pages_decoded_.fetch_add(1, std::memory_order_relaxed);
+  return page;
+}
+
+Result<Buffer> PassLayer::EncodeForBelow(uint64_t file_id, Offset page_offset,
+                                         Buffer page) {
+  (void)file_id;
+  (void)page_offset;
+  if (fail_transit_.load()) {
+    return ErrIoError("pass layer transit fault (injected)");
+  }
+  if (transit_delay_ns_ != 0) {
+    transit_clock_->SleepNs(transit_delay_ns_);
+  }
+  pages_encoded_.fetch_add(1, std::memory_order_relaxed);
+  return page;
+}
+
+}  // namespace springfs

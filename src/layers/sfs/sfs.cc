@@ -1,0 +1,28 @@
+#include "src/layers/sfs/sfs.h"
+
+namespace springfs {
+
+Result<Sfs> CreateSfs(BlockDevice* device, const SfsOptions& options,
+                      Clock* clock) {
+  Sfs sfs;
+  sfs.disk_domain = Domain::Create("sfs-disk");
+  ASSIGN_OR_RETURN(sfs.disk,
+                   options.format
+                       ? DiskLayer::Format(sfs.disk_domain, device, clock)
+                       : DiskLayer::Mount(sfs.disk_domain, device, clock));
+  if (options.placement == SfsPlacement::kNotStacked) {
+    sfs.top_domain = sfs.disk_domain;
+    sfs.root = sfs.disk;
+    return sfs;
+  }
+  sfs.top_domain = options.placement == SfsPlacement::kOneDomain
+                       ? sfs.disk_domain
+                       : Domain::Create("sfs-coherency");
+  sfs.coherency = CoherencyLayer::Create(sfs.top_domain, options.coherency,
+                                         clock);
+  RETURN_IF_ERROR(sfs.coherency->StackOn(sfs.disk));
+  sfs.root = sfs.coherency;
+  return sfs;
+}
+
+}  // namespace springfs

@@ -1,0 +1,53 @@
+// Spring SFS (paper section 6.2, Figure 10): the storage file system,
+// "actually implemented using two layers" — a coherency layer stacked on
+// the on-disk (non-coherent) disk layer, with all files exported via the
+// coherency layer.
+//
+// The paper structures SFS this way to (1) reuse the coherency
+// implementation and (2) allow the two layers to live in different address
+// spaces (the small locked-down disk layer vs. the larger pageable
+// coherency layer). This factory supports all three Table 2 configurations:
+//
+//   kNotStacked      — the disk layer alone (no coherency layer): the
+//                      baseline row of Table 2.
+//   kOneDomain       — both layers in one domain: stacking costs only two
+//                      extra procedure calls per operation.
+//   kTwoDomains      — each layer in its own domain: every inter-layer
+//                      operation is a cross-domain call.
+
+#ifndef SPRINGFS_LAYERS_SFS_SFS_H_
+#define SPRINGFS_LAYERS_SFS_SFS_H_
+
+#include "src/layers/coherent/coherency_layer.h"
+#include "src/layers/disklayer/disk_layer.h"
+
+namespace springfs {
+
+enum class SfsPlacement {
+  kNotStacked,
+  kOneDomain,
+  kTwoDomains,
+};
+
+struct SfsOptions {
+  SfsPlacement placement = SfsPlacement::kOneDomain;
+  CoherencyLayerOptions coherency;  // caching knobs for Table 2's axis
+  bool format = true;               // format vs. mount the device
+};
+
+// Handles to the assembled stack.
+struct Sfs {
+  sp<StackableFs> root;            // what clients use (top of the stack)
+  sp<DiskLayer> disk;              // the base layer
+  sp<CoherencyLayer> coherency;    // null when placement == kNotStacked
+  sp<Domain> disk_domain;
+  sp<Domain> top_domain;           // == disk_domain for one-domain setups
+};
+
+// Builds an SFS over `device`.
+Result<Sfs> CreateSfs(BlockDevice* device, const SfsOptions& options = {},
+                      Clock* clock = &DefaultClock());
+
+}  // namespace springfs
+
+#endif  // SPRINGFS_LAYERS_SFS_SFS_H_

@@ -1,0 +1,131 @@
+// The naming_context interface (paper section 3.2).
+//
+// "The Spring naming service allows any object to be associated with any
+// name. A name-to-object association is called a name binding. A context is
+// an object that contains a set of name bindings in which each name is
+// unique." Contexts are objects, so they can themselves be bound into other
+// contexts; a UNIX directory is one example of a context, and a stackable
+// file system *is* a naming context (section 4.4, Figure 8).
+//
+// Contexts carry access control lists; manipulating the name space (the
+// basis of interposition, section 5) requires appropriate authentication.
+
+#ifndef SPRINGFS_NAMING_CONTEXT_H_
+#define SPRINGFS_NAMING_CONTEXT_H_
+
+#include <set>
+#include <string>
+#include <vector>
+
+#include "src/naming/name.h"
+#include "src/obj/object.h"
+#include "src/support/result.h"
+
+namespace springfs {
+
+// The principal performing a naming operation.
+struct Credentials {
+  std::string principal;
+
+  static Credentials System() { return Credentials{"system"}; }
+  static Credentials User(std::string who) { return Credentials{std::move(who)}; }
+};
+
+// Rights checked by contexts.
+enum class NamingRight {
+  kResolve,  // look names up
+  kBind,     // add/replace/remove bindings
+  kAdmin,    // change the ACL itself
+};
+
+// A simple principal-set ACL. An empty set for a right means "anyone".
+// "system" always passes.
+class Acl {
+ public:
+  Acl() = default;
+
+  static Acl Open() { return Acl(); }
+  static Acl OwnedBy(const std::string& owner) {
+    Acl acl;
+    acl.Allow(NamingRight::kBind, owner);
+    acl.Allow(NamingRight::kAdmin, owner);
+    return acl;
+  }
+
+  void Allow(NamingRight right, const std::string& principal) {
+    SetFor(right).insert(principal);
+  }
+  void Revoke(NamingRight right, const std::string& principal) {
+    SetFor(right).erase(principal);
+  }
+
+  bool Check(NamingRight right, const Credentials& creds) const {
+    if (creds.principal == "system") {
+      return true;
+    }
+    const std::set<std::string>& allowed = SetFor(right);
+    return allowed.empty() || allowed.count(creds.principal) > 0;
+  }
+
+ private:
+  std::set<std::string>& SetFor(NamingRight right) {
+    return sets_[static_cast<int>(right)];
+  }
+  const std::set<std::string>& SetFor(NamingRight right) const {
+    return sets_[static_cast<int>(right)];
+  }
+
+  std::set<std::string> sets_[3];
+};
+
+// One entry returned by Context::List.
+struct BindingInfo {
+  std::string name;
+  bool is_context = false;  // the bound object narrows to Context
+};
+
+// The naming_context interface. Multi-component names are resolved by
+// stepping: a context handles the first component itself and forwards the
+// rest to the resolved object (which must itself narrow to Context).
+class Context : public virtual Object {
+ public:
+  const char* interface_name() const override { return "naming_context"; }
+
+  // Resolves `name` to an object. kNotFound if any step is missing,
+  // kNotADirectory if an intermediate step is not a context.
+  virtual Result<sp<Object>> Resolve(const Name& name,
+                                     const Credentials& creds) = 0;
+
+  // Binds `object` at `name` (intermediate components must already exist).
+  // kAlreadyExists unless `replace`.
+  virtual Status Bind(const Name& name, sp<Object> object,
+                      const Credentials& creds, bool replace = false) = 0;
+
+  // Removes the binding at `name`. Does not destroy the object.
+  virtual Status Unbind(const Name& name, const Credentials& creds) = 0;
+
+  // Lists the bindings of this context (not recursive).
+  virtual Result<std::vector<BindingInfo>> List(const Credentials& creds) = 0;
+
+  // Creates and binds a fresh sub-context at `name`.
+  virtual Result<sp<Context>> CreateContext(const Name& name,
+                                            const Credentials& creds) = 0;
+};
+
+// Resolves `name` starting at `root` and narrows the result to T.
+// Returns kWrongType if the final object is not a T.
+template <typename T>
+Result<sp<T>> ResolveAs(const sp<Context>& root, std::string_view path,
+                        const Credentials& creds) {
+  ASSIGN_OR_RETURN(Name name, Name::Parse(path));
+  ASSIGN_OR_RETURN(sp<Object> object, root->Resolve(name, creds));
+  sp<T> typed = narrow<T>(object);
+  if (!typed) {
+    return ErrWrongType(std::string(path) + " is not the requested type");
+  }
+  return typed;
+}
+
+}  // namespace springfs
+
+#endif  // SPRINGFS_NAMING_CONTEXT_H_

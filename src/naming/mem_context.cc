@@ -1,0 +1,149 @@
+#include "src/naming/mem_context.h"
+
+namespace springfs {
+namespace {
+
+// Steps into `object` as a context, or fails with kNotADirectory.
+Result<sp<Context>> AsContext(const sp<Object>& object, const Name& name) {
+  sp<Context> ctx = narrow<Context>(object);
+  if (!ctx) {
+    return ErrNotADirectory("'" + name.front() + "' is not a context");
+  }
+  return ctx;
+}
+
+}  // namespace
+
+sp<MemContext> MemContext::Create(sp<Domain> domain, Acl acl) {
+  return sp<MemContext>(new MemContext(std::move(domain), std::move(acl)));
+}
+
+MemContext::MemContext(sp<Domain> domain, Acl acl)
+    : Servant(std::move(domain)), acl_(std::move(acl)) {}
+
+Result<sp<Object>> MemContext::ResolveLocal(const std::string& component,
+                                            const Credentials& creds) {
+  return InDomain([&]() -> Result<sp<Object>> {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (!acl_.Check(NamingRight::kResolve, creds)) {
+      return ErrPermissionDenied("resolve on context denied for '" +
+                                 creds.principal + "'");
+    }
+    auto it = bindings_.find(component);
+    if (it == bindings_.end()) {
+      return ErrNotFound("no binding '" + component + "'");
+    }
+    return it->second;
+  });
+}
+
+Result<sp<Object>> MemContext::Resolve(const Name& name,
+                                       const Credentials& creds) {
+  if (name.empty()) {
+    return sp<Object>(std::static_pointer_cast<Object>(shared_from_this()));
+  }
+  ASSIGN_OR_RETURN(sp<Object> object, ResolveLocal(name.front(), creds));
+  if (name.size() == 1) {
+    return object;
+  }
+  ASSIGN_OR_RETURN(sp<Context> next, AsContext(object, name));
+  return next->Resolve(name.Rest(), creds);
+}
+
+Status MemContext::Bind(const Name& name, sp<Object> object,
+                        const Credentials& creds, bool replace) {
+  if (name.empty()) {
+    return ErrInvalidArgument("cannot bind the empty name");
+  }
+  if (name.size() > 1) {
+    ASSIGN_OR_RETURN(sp<Object> step, ResolveLocal(name.front(), creds));
+    ASSIGN_OR_RETURN(sp<Context> next, AsContext(step, name));
+    return next->Bind(name.Rest(), std::move(object), creds, replace);
+  }
+  return InDomain([&]() -> Status {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (!acl_.Check(NamingRight::kBind, creds)) {
+      return ErrPermissionDenied("bind on context denied for '" +
+                                 creds.principal + "'");
+    }
+    auto it = bindings_.find(name.front());
+    if (it != bindings_.end() && !replace) {
+      return ErrAlreadyExists("binding '" + name.front() + "' exists");
+    }
+    bindings_[name.front()] = std::move(object);
+    return Status::Ok();
+  });
+}
+
+Status MemContext::Unbind(const Name& name, const Credentials& creds) {
+  if (name.empty()) {
+    return ErrInvalidArgument("cannot unbind the empty name");
+  }
+  if (name.size() > 1) {
+    ASSIGN_OR_RETURN(sp<Object> step, ResolveLocal(name.front(), creds));
+    ASSIGN_OR_RETURN(sp<Context> next, AsContext(step, name));
+    return next->Unbind(name.Rest(), creds);
+  }
+  return InDomain([&]() -> Status {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (!acl_.Check(NamingRight::kBind, creds)) {
+      return ErrPermissionDenied("unbind on context denied for '" +
+                                 creds.principal + "'");
+    }
+    if (bindings_.erase(name.front()) == 0) {
+      return ErrNotFound("no binding '" + name.front() + "'");
+    }
+    return Status::Ok();
+  });
+}
+
+Result<std::vector<BindingInfo>> MemContext::List(const Credentials& creds) {
+  return InDomain([&]() -> Result<std::vector<BindingInfo>> {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (!acl_.Check(NamingRight::kResolve, creds)) {
+      return ErrPermissionDenied("list on context denied for '" +
+                                 creds.principal + "'");
+    }
+    std::vector<BindingInfo> entries;
+    entries.reserve(bindings_.size());
+    for (const auto& [name, object] : bindings_) {
+      entries.push_back(
+          BindingInfo{name, narrow<Context>(object) != nullptr});
+    }
+    return entries;
+  });
+}
+
+Result<sp<Context>> MemContext::CreateContext(const Name& name,
+                                              const Credentials& creds) {
+  if (name.empty()) {
+    return ErrInvalidArgument("cannot create a context at the empty name");
+  }
+  if (name.size() > 1) {
+    ASSIGN_OR_RETURN(sp<Object> step, ResolveLocal(name.front(), creds));
+    ASSIGN_OR_RETURN(sp<Context> next, AsContext(step, name));
+    return next->CreateContext(name.Rest(), creds);
+  }
+  sp<MemContext> child = MemContext::Create(domain(), acl_);
+  RETURN_IF_ERROR(Bind(name, child, creds, /*replace=*/false));
+  return sp<Context>(child);
+}
+
+Status MemContext::SetAcl(Acl acl, const Credentials& creds) {
+  return InDomain([&]() -> Status {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (!acl_.Check(NamingRight::kAdmin, creds)) {
+      return ErrPermissionDenied("ACL change denied for '" + creds.principal +
+                                 "'");
+    }
+    acl_ = std::move(acl);
+    return Status::Ok();
+  });
+}
+
+size_t MemContext::NumBindings() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return bindings_.size();
+}
+
+}  // namespace springfs

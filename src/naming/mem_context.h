@@ -1,0 +1,50 @@
+// In-memory context servant, the workhorse implementation of the
+// naming_context interface: the system root, /fs_creators, per-domain
+// private name spaces, and test fixtures are all MemContexts.
+
+#ifndef SPRINGFS_NAMING_MEM_CONTEXT_H_
+#define SPRINGFS_NAMING_MEM_CONTEXT_H_
+
+#include <map>
+#include <mutex>
+#include <string>
+
+#include "src/naming/context.h"
+#include "src/obj/domain.h"
+
+namespace springfs {
+
+class MemContext : public Context, public Servant {
+ public:
+  static sp<MemContext> Create(sp<Domain> domain, Acl acl = Acl::Open());
+
+  Result<sp<Object>> Resolve(const Name& name,
+                             const Credentials& creds) override;
+  Status Bind(const Name& name, sp<Object> object, const Credentials& creds,
+              bool replace = false) override;
+  Status Unbind(const Name& name, const Credentials& creds) override;
+  Result<std::vector<BindingInfo>> List(const Credentials& creds) override;
+  Result<sp<Context>> CreateContext(const Name& name,
+                                    const Credentials& creds) override;
+
+  // ACL administration (requires kAdmin).
+  Status SetAcl(Acl acl, const Credentials& creds);
+
+  size_t NumBindings() const;
+
+ private:
+  MemContext(sp<Domain> domain, Acl acl);
+
+  // Resolves one component under the local lock; multi-component names
+  // recurse into the resolved context *outside* this servant.
+  Result<sp<Object>> ResolveLocal(const std::string& component,
+                                  const Credentials& creds);
+
+  mutable std::mutex mutex_;
+  Acl acl_;
+  std::map<std::string, sp<Object>> bindings_;
+};
+
+}  // namespace springfs
+
+#endif  // SPRINGFS_NAMING_MEM_CONTEXT_H_

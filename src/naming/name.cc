@@ -1,0 +1,71 @@
+#include "src/naming/name.h"
+
+namespace springfs {
+
+Result<Name> Name::Parse(std::string_view path) {
+  Name name;
+  size_t start = 0;
+  while (start <= path.size()) {
+    size_t slash = path.find('/', start);
+    std::string_view component = (slash == std::string_view::npos)
+                                     ? path.substr(start)
+                                     : path.substr(start, slash - start);
+    if (!component.empty() && component != ".") {
+      if (component == "..") {
+        return ErrInvalidArgument("'..' is not a valid name component");
+      }
+      if (component.find('\0') != std::string_view::npos) {
+        return ErrInvalidArgument("NUL in name component");
+      }
+      name.components_.emplace_back(component);
+    }
+    if (slash == std::string_view::npos) {
+      break;
+    }
+    start = slash + 1;
+  }
+  return name;
+}
+
+Name Name::Single(std::string component) {
+  Name name;
+  name.components_.push_back(std::move(component));
+  return name;
+}
+
+Name Name::Rest() const {
+  Name rest;
+  if (components_.size() > 1) {
+    rest.components_.assign(components_.begin() + 1, components_.end());
+  }
+  return rest;
+}
+
+Name Name::Parent() const {
+  Name parent;
+  if (components_.size() > 1) {
+    parent.components_.assign(components_.begin(), components_.end() - 1);
+  }
+  return parent;
+}
+
+Name Name::Join(const Name& other) const {
+  Name joined = *this;
+  joined.components_.insert(joined.components_.end(),
+                            other.components_.begin(),
+                            other.components_.end());
+  return joined;
+}
+
+std::string Name::ToString() const {
+  std::string out;
+  for (size_t i = 0; i < components_.size(); ++i) {
+    if (i != 0) {
+      out += '/';
+    }
+    out += components_[i];
+  }
+  return out;
+}
+
+}  // namespace springfs

@@ -1,0 +1,57 @@
+// Names and name parsing (paper section 3.2).
+//
+// A name is a sequence of components separated by '/'. A context resolves
+// the first component; resolution of multi-component names steps through
+// intermediate contexts. "." and empty components are ignored; ".." is
+// rejected at parse time (Spring contexts are a naming graph, not a tree
+// with parent pointers).
+
+#ifndef SPRINGFS_NAMING_NAME_H_
+#define SPRINGFS_NAMING_NAME_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/support/result.h"
+
+namespace springfs {
+
+class Name {
+ public:
+  Name() = default;
+
+  // Parses a path string. Returns kInvalidArgument for ".." components or
+  // components containing NUL.
+  static Result<Name> Parse(std::string_view path);
+
+  // A name made of a single pre-validated component.
+  static Name Single(std::string component);
+
+  const std::vector<std::string>& components() const { return components_; }
+  bool empty() const { return components_.empty(); }
+  size_t size() const { return components_.size(); }
+  const std::string& front() const { return components_.front(); }
+  const std::string& back() const { return components_.back(); }
+
+  // The name minus its first component.
+  Name Rest() const;
+  // The name minus its last component (the "directory" part).
+  Name Parent() const;
+  // Concatenation: this followed by other.
+  Name Join(const Name& other) const;
+
+  // Canonical "a/b/c" rendering.
+  std::string ToString() const;
+
+  bool operator==(const Name& other) const {
+    return components_ == other.components_;
+  }
+
+ private:
+  std::vector<std::string> components_;
+};
+
+}  // namespace springfs
+
+#endif  // SPRINGFS_NAMING_NAME_H_

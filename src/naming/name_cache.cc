@@ -1,0 +1,109 @@
+#include "src/naming/name_cache.h"
+
+#include <algorithm>
+
+namespace springfs {
+
+sp<NameCacheContext> NameCacheContext::Create(sp<Domain> domain,
+                                              sp<Context> target,
+                                              size_t capacity) {
+  return sp<NameCacheContext>(
+      new NameCacheContext(std::move(domain), std::move(target), capacity));
+}
+
+NameCacheContext::NameCacheContext(sp<Domain> domain, sp<Context> target,
+                                   size_t capacity)
+    : Servant(std::move(domain)), target_(std::move(target)),
+      capacity_(capacity) {}
+
+void NameCacheContext::InsertLocked(const std::string& path,
+                                    sp<Object> object) {
+  auto [it, inserted] = entries_.emplace(path, std::move(object));
+  if (!inserted) {
+    return;
+  }
+  fifo_.push_back(path);
+  if (capacity_ != 0 && entries_.size() > capacity_) {
+    entries_.erase(fifo_.front());
+    fifo_.pop_front();
+    ++stats_.evictions;
+  }
+}
+
+void NameCacheContext::InvalidateLocked(const std::string& path) {
+  // The entry itself plus anything resolved through it (descendants).
+  for (auto it = entries_.lower_bound(path); it != entries_.end();) {
+    if (it->first != path &&
+        (it->first.size() <= path.size() ||
+         it->first.compare(0, path.size(), path) != 0 ||
+         it->first[path.size()] != '/')) {
+      break;
+    }
+    fifo_.remove(it->first);
+    it = entries_.erase(it);
+    ++stats_.invalidations;
+  }
+}
+
+Result<sp<Object>> NameCacheContext::Resolve(const Name& name,
+                                             const Credentials& creds) {
+  if (name.empty()) {
+    return sp<Object>(std::dynamic_pointer_cast<Object>(shared_from_this()));
+  }
+  std::string path = name.ToString();
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = entries_.find(path);
+    if (it != entries_.end()) {
+      ++stats_.hits;
+      return it->second;
+    }
+    ++stats_.misses;
+  }
+  ASSIGN_OR_RETURN(sp<Object> object, target_->Resolve(name, creds));
+  std::lock_guard<std::mutex> lock(mutex_);
+  InsertLocked(path, object);
+  return object;
+}
+
+Status NameCacheContext::Bind(const Name& name, sp<Object> object,
+                              const Credentials& creds, bool replace) {
+  RETURN_IF_ERROR(target_->Bind(name, std::move(object), creds, replace));
+  std::lock_guard<std::mutex> lock(mutex_);
+  InvalidateLocked(name.ToString());
+  return Status::Ok();
+}
+
+Status NameCacheContext::Unbind(const Name& name, const Credentials& creds) {
+  RETURN_IF_ERROR(target_->Unbind(name, creds));
+  std::lock_guard<std::mutex> lock(mutex_);
+  InvalidateLocked(name.ToString());
+  return Status::Ok();
+}
+
+Result<std::vector<BindingInfo>> NameCacheContext::List(
+    const Credentials& creds) {
+  return target_->List(creds);
+}
+
+Result<sp<Context>> NameCacheContext::CreateContext(const Name& name,
+                                                    const Credentials& creds) {
+  ASSIGN_OR_RETURN(sp<Context> ctx, target_->CreateContext(name, creds));
+  std::lock_guard<std::mutex> lock(mutex_);
+  InvalidateLocked(name.ToString());
+  return ctx;
+}
+
+void NameCacheContext::Flush() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  stats_.invalidations += entries_.size();
+  entries_.clear();
+  fifo_.clear();
+}
+
+NameCacheStats NameCacheContext::stats() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return stats_;
+}
+
+}  // namespace springfs

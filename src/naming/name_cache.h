@@ -1,0 +1,72 @@
+// Name caching (paper section 8 / future work).
+//
+// "If the open overhead caused by splitting file system layers across
+// domains turns out to be significant for some applications, name caching
+// can be used to eliminate the overhead. We are currently implementing name
+// caching in Spring in order to eliminate the network overhead of remote
+// name resolutions. However, this same implementation can be used, if
+// necessary, to eliminate the domain crossing overhead as well."
+//
+// NameCacheContext is that implementation: a caching front for any context
+// (a stacked file system, a DFS mount). Resolutions are remembered by full
+// path; mutations through the cache invalidate the affected entries; an
+// optional capacity bound evicts in FIFO order.
+
+#ifndef SPRINGFS_NAMING_NAME_CACHE_H_
+#define SPRINGFS_NAMING_NAME_CACHE_H_
+
+#include <list>
+#include <map>
+
+#include "src/naming/context.h"
+#include "src/obj/domain.h"
+
+namespace springfs {
+
+struct NameCacheStats {
+  uint64_t hits = 0;
+  uint64_t misses = 0;
+  uint64_t invalidations = 0;
+  uint64_t evictions = 0;
+};
+
+class NameCacheContext : public Context, public Servant {
+ public:
+  // `capacity` bounds the number of cached resolutions (0 = unbounded).
+  static sp<NameCacheContext> Create(sp<Domain> domain, sp<Context> target,
+                                     size_t capacity = 0);
+
+  const char* interface_name() const override { return "name_cache_context"; }
+
+  Result<sp<Object>> Resolve(const Name& name,
+                             const Credentials& creds) override;
+  Status Bind(const Name& name, sp<Object> object, const Credentials& creds,
+              bool replace = false) override;
+  Status Unbind(const Name& name, const Credentials& creds) override;
+  Result<std::vector<BindingInfo>> List(const Credentials& creds) override;
+  Result<sp<Context>> CreateContext(const Name& name,
+                                    const Credentials& creds) override;
+
+  // Drops every cached entry (e.g. after out-of-band name-space changes the
+  // cache cannot see).
+  void Flush();
+
+  NameCacheStats stats() const;
+
+ private:
+  NameCacheContext(sp<Domain> domain, sp<Context> target, size_t capacity);
+
+  void InvalidateLocked(const std::string& path);
+  void InsertLocked(const std::string& path, sp<Object> object);
+
+  sp<Context> target_;
+  size_t capacity_;
+  mutable std::mutex mutex_;
+  std::map<std::string, sp<Object>> entries_;
+  std::list<std::string> fifo_;  // eviction order
+  NameCacheStats stats_;
+};
+
+}  // namespace springfs
+
+#endif  // SPRINGFS_NAMING_NAME_CACHE_H_

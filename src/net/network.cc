@@ -1,0 +1,181 @@
+#include "src/net/network.h"
+
+namespace springfs::net {
+namespace {
+
+constexpr size_t kHeaderSize = 4 + 4 * 8 + 4 + 8;  // type, args, status, len
+
+void PutU32(uint8_t* p, uint32_t v) {
+  for (int i = 0; i < 4; ++i) {
+    p[i] = static_cast<uint8_t>(v >> (8 * i));
+  }
+}
+void PutU64(uint8_t* p, uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    p[i] = static_cast<uint8_t>(v >> (8 * i));
+  }
+}
+uint32_t GetU32(const uint8_t* p) {
+  uint32_t v = 0;
+  for (int i = 3; i >= 0; --i) {
+    v = (v << 8) | p[i];
+  }
+  return v;
+}
+uint64_t GetU64(const uint8_t* p) {
+  uint64_t v = 0;
+  for (int i = 7; i >= 0; --i) {
+    v = (v << 8) | p[i];
+  }
+  return v;
+}
+
+}  // namespace
+
+Buffer Frame::Serialize() const {
+  Buffer wire(kHeaderSize + payload.size());
+  uint8_t* p = wire.data();
+  PutU32(p + 0, type);
+  PutU64(p + 4, arg0);
+  PutU64(p + 12, arg1);
+  PutU64(p + 20, arg2);
+  PutU64(p + 28, arg3);
+  PutU32(p + 36, static_cast<uint32_t>(status));
+  PutU64(p + 40, payload.size());
+  wire.WriteAt(kHeaderSize, payload.span());
+  return wire;
+}
+
+Result<Frame> Frame::Deserialize(ByteSpan wire) {
+  if (wire.size() < kHeaderSize) {
+    return ErrCorrupted("frame shorter than header");
+  }
+  Frame frame;
+  const uint8_t* p = wire.data();
+  frame.type = GetU32(p + 0);
+  frame.arg0 = GetU64(p + 4);
+  frame.arg1 = GetU64(p + 12);
+  frame.arg2 = GetU64(p + 20);
+  frame.arg3 = GetU64(p + 28);
+  frame.status = static_cast<int32_t>(GetU32(p + 36));
+  uint64_t payload_len = GetU64(p + 40);
+  if (wire.size() != kHeaderSize + payload_len) {
+    return ErrCorrupted("frame payload length mismatch");
+  }
+  frame.payload = Buffer(wire.subspan(kHeaderSize, payload_len));
+  return frame;
+}
+
+Frame Frame::Error(ErrorCode code) {
+  Frame frame;
+  frame.status = static_cast<int32_t>(code);
+  return frame;
+}
+
+void Node::RegisterService(const std::string& service, Handler handler) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  services_[service] = std::move(handler);
+}
+
+void Node::UnregisterService(const std::string& service) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  services_.erase(service);
+}
+
+sp<Node> Network::AddNode(const std::string& name, sp<Domain> domain) {
+  if (!domain) {
+    domain = Domain::Create("node:" + name);
+  }
+  sp<Node> node(new Node(name, std::move(domain)));
+  std::lock_guard<std::mutex> lock(mutex_);
+  nodes_[name] = node;
+  return node;
+}
+
+Result<sp<Node>> Network::FindNode(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = nodes_.find(name);
+  if (it == nodes_.end()) {
+    return ErrNotFound("no node '" + name + "'");
+  }
+  return it->second;
+}
+
+void Network::SetLatency(const std::string& from, const std::string& to,
+                         uint64_t latency_ns) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  latency_[{from, to}] = latency_ns;
+}
+
+void Network::SetPartitioned(const std::string& node, bool partitioned) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  partitioned_[node] = partitioned;
+}
+
+uint64_t Network::LatencyBetween(const std::string& from,
+                                 const std::string& to) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = latency_.find({from, to});
+  return it != latency_.end() ? it->second : default_latency_ns_;
+}
+
+Result<Frame> Network::Call(const std::string& from, const std::string& to,
+                            const std::string& service, const Frame& request) {
+  sp<Node> dest;
+  Node::Handler handler;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto part_from = partitioned_.find(from);
+    auto part_to = partitioned_.find(to);
+    if ((part_from != partitioned_.end() && part_from->second) ||
+        (part_to != partitioned_.end() && part_to->second)) {
+      return ErrConnectionLost("'" + from + "' -> '" + to + "' partitioned");
+    }
+    auto node_it = nodes_.find(to);
+    if (node_it == nodes_.end()) {
+      return ErrNotFound("no node '" + to + "'");
+    }
+    dest = node_it->second;
+  }
+  {
+    std::lock_guard<std::mutex> lock(dest->mutex_);
+    auto svc_it = dest->services_.find(service);
+    if (svc_it == dest->services_.end()) {
+      return ErrNotFound("node '" + to + "' has no service '" + service + "'");
+    }
+    handler = svc_it->second;
+  }
+
+  // Serialize, charge the forward hop, deliver on the destination domain.
+  Buffer request_wire = request.Serialize();
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    ++stats_.messages;
+    stats_.bytes += request_wire.size();
+  }
+  clock_->SleepNs(LatencyBetween(from, to));
+  ASSIGN_OR_RETURN(Frame delivered, Frame::Deserialize(request_wire.span()));
+  Frame response = dest->domain()->Run([&] { return handler(delivered); });
+
+  // Return hop.
+  Buffer response_wire = response.Serialize();
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    ++stats_.messages;
+    stats_.bytes += response_wire.size();
+  }
+  clock_->SleepNs(LatencyBetween(to, from));
+  return Frame::Deserialize(response_wire.span());
+}
+
+NetworkStats Network::stats() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return stats_;
+}
+
+void Network::ResetStats() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  stats_ = NetworkStats{};
+}
+
+}  // namespace springfs::net

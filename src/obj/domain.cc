@@ -1,0 +1,107 @@
+#include "src/obj/domain.h"
+
+namespace springfs {
+
+thread_local Domain* Domain::tls_current_ = nullptr;
+
+namespace {
+
+SpinTransport* BuiltinSpinTransport() {
+  static SpinTransport transport;
+  return &transport;
+}
+
+std::atomic<Transport*> g_default_transport{nullptr};
+
+}  // namespace
+
+void SpinTransport::Execute(Domain* target, const std::function<void()>& op) {
+  // The call is carried on the caller's thread: charge the door-call cost,
+  // then run with the target domain as the current domain so that nested
+  // calls within the same domain become plain procedure calls.
+  clock_->SleepNs(cross_call_ns_);
+  Domain::Scope scope(target);
+  op();
+}
+
+void ThreadTransport::Execute(Domain* target, const std::function<void()>& op) {
+  target->RunOnWorker(op);
+}
+
+Transport* Domain::SetDefaultTransport(Transport* transport) {
+  Transport* effective = transport ? transport : BuiltinSpinTransport();
+  return g_default_transport.exchange(effective);
+}
+
+Transport* Domain::DefaultTransport() {
+  Transport* t = g_default_transport.load();
+  return t ? t : BuiltinSpinTransport();
+}
+
+sp<Domain> Domain::Create(std::string name, Transport* transport) {
+  return sp<Domain>(
+      new Domain(std::move(name), transport ? transport : DefaultTransport()));
+}
+
+Domain::Domain(std::string name, Transport* transport)
+    : name_(std::move(name)), transport_(transport) {}
+
+Domain::~Domain() {
+  {
+    std::lock_guard<std::mutex> lock(pool_mutex_);
+    shutting_down_ = true;
+  }
+  pool_cv_.notify_all();
+  for (auto& worker : workers_) {
+    worker.join();
+  }
+}
+
+Domain* Domain::current() { return tls_current_; }
+
+void Domain::RunOnWorker(const std::function<void()>& op) {
+  std::mutex done_mutex;
+  std::condition_variable done_cv;
+  bool done = false;
+
+  {
+    std::lock_guard<std::mutex> lock(pool_mutex_);
+    SPRINGFS_CHECK(!shutting_down_);
+    queue_.push_back(PendingOp{&op, &done_mutex, &done_cv, &done});
+    // Grow the pool when every worker is busy so that re-entrant
+    // cross-domain callbacks (pager -> cache -> pager) always find a thread.
+    if (idle_workers_ == 0) {
+      workers_.emplace_back([this] { WorkerLoop(); });
+    }
+  }
+  pool_cv_.notify_one();
+
+  std::unique_lock<std::mutex> lock(done_mutex);
+  done_cv.wait(lock, [&done] { return done; });
+}
+
+void Domain::WorkerLoop() {
+  Domain::Scope scope(this);
+  for (;;) {
+    PendingOp pending;
+    {
+      std::unique_lock<std::mutex> lock(pool_mutex_);
+      ++idle_workers_;
+      pool_cv_.wait(lock, [this] { return shutting_down_ || !queue_.empty(); });
+      --idle_workers_;
+      if (shutting_down_ && queue_.empty()) {
+        return;
+      }
+      pending = queue_.front();
+      queue_.pop_front();
+    }
+    (*pending.op)();
+    {
+      std::lock_guard<std::mutex> lock(*pending.done_mutex);
+      *pending.done_flag = true;
+    }
+    pending.done_cv->notify_one();
+  }
+}
+
+}  // namespace springfs

@@ -1,0 +1,49 @@
+// Spring object model (paper section 3.1).
+//
+// A Spring object is an abstraction with state and typed operations; the
+// interface is a strongly-typed contract between server and client. In this
+// reproduction an interface is a C++ abstract class derived from Object, an
+// object reference is an `sp<T>` (shared_ptr), and the checked downcast the
+// paper calls "narrow" is narrow<T>(). Interface inheritance is C++ base
+// classes: an operation accepting `sp<foo>` accepts any subtype of foo,
+// which is what makes fs_cache/fs_pager objects (section 4.3) passable
+// wherever plain cache/pager objects are expected.
+
+#ifndef SPRINGFS_OBJ_OBJECT_H_
+#define SPRINGFS_OBJ_OBJECT_H_
+
+#include <memory>
+
+namespace springfs {
+
+template <typename T>
+using sp = std::shared_ptr<T>;
+
+template <typename T>
+using wp = std::weak_ptr<T>;
+
+// Base of every Spring-style interface. Interfaces derive *virtually* from
+// Object so that a servant implementing several interfaces is still one
+// object with one identity. enable_shared_from_this lets a servant hand out
+// references to itself (e.g. a context resolving the empty name).
+class Object : public std::enable_shared_from_this<Object> {
+ public:
+  virtual ~Object() = default;
+
+  // Name of the most-derived interface, for diagnostics.
+  virtual const char* interface_name() const { return "object"; }
+};
+
+// Checked downcast: returns null when the object does not implement T.
+// This is the mechanism a layer uses to discover whether its peer is a file
+// system: "DFS attempts to narrow the pager object it receives to an
+// fs_pager object. If it succeeds, it knows that it is talking to a file
+// system." (paper section 4.3)
+template <typename T, typename U>
+sp<T> narrow(const sp<U>& object) {
+  return std::dynamic_pointer_cast<T>(object);
+}
+
+}  // namespace springfs
+
+#endif  // SPRINGFS_OBJ_OBJECT_H_

@@ -1,0 +1,253 @@
+#include "src/posix/posix_shim.h"
+
+#include <algorithm>
+
+namespace springfs::posix {
+
+Process::Process(sp<Context> root, Credentials creds)
+    : root_(std::move(root)), creds_(std::move(creds)), cwd_("") {}
+
+std::string Process::Absolute(const std::string& path) const {
+  if (!path.empty() && path[0] == '/') {
+    return path;
+  }
+  if (cwd_.empty()) {
+    return path;
+  }
+  return cwd_ + "/" + path;
+}
+
+Status Process::Chdir(const std::string& path) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::string target = Absolute(path);
+  ASSIGN_OR_RETURN(sp<Context> dir, ResolveAs<Context>(root_, target, creds_));
+  (void)dir;
+  ASSIGN_OR_RETURN(Name name, Name::Parse(target));
+  cwd_ = name.ToString();
+  return Status::Ok();
+}
+
+Result<int> Process::Open(const std::string& path, int flags) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::string target = Absolute(path);
+  ASSIGN_OR_RETURN(Name name, Name::Parse(target));
+
+  sp<File> file;
+  Result<sp<Object>> existing = root_->Resolve(name, creds_);
+  if (existing.ok()) {
+    if ((flags & kCreate) && (flags & kExcl)) {
+      return ErrAlreadyExists(target);
+    }
+    file = narrow<File>(*existing);
+    if (!file) {
+      return ErrIsADirectory(target);
+    }
+  } else if (existing.code() == ErrorCode::kNotFound && (flags & kCreate)) {
+    sp<StackableFs> fs = narrow<StackableFs>(root_);
+    if (!fs) {
+      return ErrNotSupported("root context cannot create files");
+    }
+    ASSIGN_OR_RETURN(file, fs->CreateFile(name, creds_));
+  } else {
+    return existing.status();
+  }
+
+  if (flags & kTrunc) {
+    RETURN_IF_ERROR(file->SetLength(0));
+  }
+  uint64_t position = 0;
+  if (flags & kAppend) {
+    ASSIGN_OR_RETURN(position, file->GetLength());
+  }
+  int fd = next_fd_++;
+  fds_[fd] = OpenFile{std::move(file), position, flags};
+  return fd;
+}
+
+Status Process::Close(int fd) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (fds_.erase(fd) == 0) {
+    return ErrInvalidArgument("bad fd");
+  }
+  return Status::Ok();
+}
+
+Result<size_t> Process::Read(int fd, MutableByteSpan out) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = fds_.find(fd);
+  if (it == fds_.end()) {
+    return ErrInvalidArgument("bad fd");
+  }
+  if ((it->second.flags & 0x3) == kWrOnly) {
+    return ErrPermissionDenied("fd is write-only");
+  }
+  ASSIGN_OR_RETURN(size_t n, it->second.file->Read(it->second.position, out));
+  it->second.position += n;
+  return n;
+}
+
+Result<size_t> Process::Write(int fd, ByteSpan data) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = fds_.find(fd);
+  if (it == fds_.end()) {
+    return ErrInvalidArgument("bad fd");
+  }
+  OpenFile& open = it->second;
+  if ((open.flags & 0x3) == kRdOnly) {
+    return ErrPermissionDenied("fd is read-only");
+  }
+  if (open.flags & kAppend) {
+    ASSIGN_OR_RETURN(open.position, open.file->GetLength());
+  }
+  ASSIGN_OR_RETURN(size_t n, open.file->Write(open.position, data));
+  open.position += n;
+  return n;
+}
+
+Result<size_t> Process::Pread(int fd, uint64_t offset, MutableByteSpan out) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = fds_.find(fd);
+  if (it == fds_.end()) {
+    return ErrInvalidArgument("bad fd");
+  }
+  return it->second.file->Read(offset, out);
+}
+
+Result<size_t> Process::Pwrite(int fd, uint64_t offset, ByteSpan data) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = fds_.find(fd);
+  if (it == fds_.end()) {
+    return ErrInvalidArgument("bad fd");
+  }
+  return it->second.file->Write(offset, data);
+}
+
+Result<uint64_t> Process::Lseek(int fd, int64_t offset, Whence whence) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = fds_.find(fd);
+  if (it == fds_.end()) {
+    return ErrInvalidArgument("bad fd");
+  }
+  OpenFile& open = it->second;
+  int64_t base = 0;
+  switch (whence) {
+    case Whence::kSet:
+      base = 0;
+      break;
+    case Whence::kCur:
+      base = static_cast<int64_t>(open.position);
+      break;
+    case Whence::kEnd: {
+      ASSIGN_OR_RETURN(Offset length, open.file->GetLength());
+      base = static_cast<int64_t>(length);
+      break;
+    }
+  }
+  int64_t target = base + offset;
+  if (target < 0) {
+    return ErrInvalidArgument("seek before start of file");
+  }
+  open.position = static_cast<uint64_t>(target);
+  return open.position;
+}
+
+Result<StatBuf> Process::Fstat(int fd) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = fds_.find(fd);
+  if (it == fds_.end()) {
+    return ErrInvalidArgument("bad fd");
+  }
+  ASSIGN_OR_RETURN(FileAttributes attrs, it->second.file->Stat());
+  return StatBuf{attrs.kind, attrs.size, attrs.nlink, attrs.atime_ns,
+                 attrs.mtime_ns};
+}
+
+Status Process::Ftruncate(int fd, uint64_t size) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = fds_.find(fd);
+  if (it == fds_.end()) {
+    return ErrInvalidArgument("bad fd");
+  }
+  return it->second.file->SetLength(size);
+}
+
+Status Process::Fsync(int fd) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = fds_.find(fd);
+  if (it == fds_.end()) {
+    return ErrInvalidArgument("bad fd");
+  }
+  return it->second.file->SyncFile();
+}
+
+Result<StatBuf> Process::Stat(const std::string& path) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  ASSIGN_OR_RETURN(sp<Object> object,
+                   [&]() -> Result<sp<Object>> {
+                     ASSIGN_OR_RETURN(Name name, Name::Parse(Absolute(path)));
+                     return root_->Resolve(name, creds_);
+                   }());
+  if (sp<File> file = narrow<File>(object)) {
+    ASSIGN_OR_RETURN(FileAttributes attrs, file->Stat());
+    return StatBuf{attrs.kind, attrs.size, attrs.nlink, attrs.atime_ns,
+                   attrs.mtime_ns};
+  }
+  if (narrow<Context>(object)) {
+    StatBuf buf;
+    buf.kind = FileKind::kDirectory;
+    return buf;
+  }
+  return ErrWrongType("neither file nor directory");
+}
+
+Status Process::Mkdir(const std::string& path) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  ASSIGN_OR_RETURN(Name name, Name::Parse(Absolute(path)));
+  return root_->CreateContext(name, creds_).status();
+}
+
+Status Process::Unlink(const std::string& path) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  ASSIGN_OR_RETURN(Name name, Name::Parse(Absolute(path)));
+  return root_->Unbind(name, creds_);
+}
+
+Status Process::Rename(const std::string& from, const std::string& to) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  ASSIGN_OR_RETURN(Name from_name, Name::Parse(Absolute(from)));
+  ASSIGN_OR_RETURN(Name to_name, Name::Parse(Absolute(to)));
+  ASSIGN_OR_RETURN(sp<Object> object, root_->Resolve(from_name, creds_));
+  RETURN_IF_ERROR(root_->Bind(to_name, object, creds_, /*replace=*/false));
+  Status removed = root_->Unbind(from_name, creds_);
+  if (!removed.ok()) {
+    // Roll the new binding back rather than leaving two names.
+    (void)root_->Unbind(to_name, creds_);
+    return removed;
+  }
+  return Status::Ok();
+}
+
+Result<std::vector<std::string>> Process::ListDir(const std::string& path) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::string target = Absolute(path);
+  sp<Context> dir;
+  if (target.empty() || target == "/") {
+    dir = root_;
+  } else {
+    ASSIGN_OR_RETURN(dir, ResolveAs<Context>(root_, target, creds_));
+  }
+  ASSIGN_OR_RETURN(std::vector<BindingInfo> entries, dir->List(creds_));
+  std::vector<std::string> names;
+  names.reserve(entries.size());
+  for (const auto& entry : entries) {
+    names.push_back(entry.name);
+  }
+  return names;
+}
+
+size_t Process::OpenFdCount() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return fds_.size();
+}
+
+}  // namespace springfs::posix

@@ -1,0 +1,90 @@
+// POSIX-style shim over the Spring name space (paper section 3.1: "Support
+// for running UNIX binaries is also provided", reference [11]).
+//
+// This is the simplified equivalent: a per-process (per-domain) file
+// descriptor table and the familiar open/read/write/lseek/stat vocabulary,
+// implemented entirely against the Context/File interfaces. It works over
+// *any* stack — SFS, COMPFS on SFS, a DFS client mount — which is exactly
+// the point of typed, layer-agnostic interfaces.
+
+#ifndef SPRINGFS_POSIX_POSIX_SHIM_H_
+#define SPRINGFS_POSIX_POSIX_SHIM_H_
+
+#include <map>
+#include <string>
+
+#include "src/fs/file.h"
+
+namespace springfs::posix {
+
+// open(2)-style flags (subset).
+inline constexpr int kRdOnly = 0x0;
+inline constexpr int kWrOnly = 0x1;
+inline constexpr int kRdWr = 0x2;
+inline constexpr int kCreate = 0x40;
+inline constexpr int kTrunc = 0x200;
+inline constexpr int kAppend = 0x400;
+inline constexpr int kExcl = 0x80;
+
+enum class Whence { kSet, kCur, kEnd };
+
+struct StatBuf {
+  FileKind kind = FileKind::kRegular;
+  uint64_t size = 0;
+  uint32_t nlink = 0;
+  uint64_t atime_ns = 0;
+  uint64_t mtime_ns = 0;
+};
+
+// One "process": an fd table plus a root context and working directory.
+class Process {
+ public:
+  explicit Process(sp<Context> root,
+                   Credentials creds = Credentials::User("posix"));
+
+  // Changes/queries the working directory.
+  Status Chdir(const std::string& path);
+  const std::string& Cwd() const { return cwd_; }
+
+  // --- file descriptors ---
+  Result<int> Open(const std::string& path, int flags);
+  Status Close(int fd);
+  Result<size_t> Read(int fd, MutableByteSpan out);
+  Result<size_t> Write(int fd, ByteSpan data);
+  Result<size_t> Pread(int fd, uint64_t offset, MutableByteSpan out);
+  Result<size_t> Pwrite(int fd, uint64_t offset, ByteSpan data);
+  Result<uint64_t> Lseek(int fd, int64_t offset, Whence whence);
+  Result<StatBuf> Fstat(int fd);
+  Status Ftruncate(int fd, uint64_t size);
+  Status Fsync(int fd);
+
+  // --- paths ---
+  Result<StatBuf> Stat(const std::string& path);
+  Status Mkdir(const std::string& path);
+  Status Unlink(const std::string& path);
+  Status Rename(const std::string& from, const std::string& to);
+  Result<std::vector<std::string>> ListDir(const std::string& path);
+
+  size_t OpenFdCount() const;
+
+ private:
+  struct OpenFile {
+    sp<File> file;
+    uint64_t position = 0;
+    int flags = 0;
+  };
+
+  // Joins cwd and path (absolute paths start at the root).
+  std::string Absolute(const std::string& path) const;
+
+  sp<Context> root_;
+  Credentials creds_;
+  std::string cwd_;
+  mutable std::mutex mutex_;
+  std::map<int, OpenFile> fds_;
+  int next_fd_ = 3;  // 0/1/2 reserved in spirit
+};
+
+}  // namespace springfs::posix
+
+#endif  // SPRINGFS_POSIX_POSIX_SHIM_H_

@@ -1,0 +1,58 @@
+#include "src/support/bytes.h"
+
+#include <array>
+#include <cstdio>
+
+namespace springfs {
+namespace {
+
+std::array<uint32_t, 256> BuildCrcTable() {
+  std::array<uint32_t, 256> table{};
+  for (uint32_t i = 0; i < 256; ++i) {
+    uint32_t c = i;
+    for (int k = 0; k < 8; ++k) {
+      c = (c & 1) ? 0xEDB88320u ^ (c >> 1) : (c >> 1);
+    }
+    table[i] = c;
+  }
+  return table;
+}
+
+}  // namespace
+
+uint32_t Crc32(ByteSpan data, uint32_t seed) {
+  static const std::array<uint32_t, 256> kTable = BuildCrcTable();
+  uint32_t c = seed ^ 0xFFFFFFFFu;
+  for (uint8_t byte : data) {
+    c = kTable[(c ^ byte) & 0xFF] ^ (c >> 8);
+  }
+  return c ^ 0xFFFFFFFFu;
+}
+
+uint64_t Fnv1a64(ByteSpan data) {
+  uint64_t hash = 0xcbf29ce484222325ull;
+  for (uint8_t byte : data) {
+    hash ^= byte;
+    hash *= 0x100000001b3ull;
+  }
+  return hash;
+}
+
+std::string HexDump(ByteSpan data, size_t max_bytes) {
+  std::string out;
+  size_t n = std::min(data.size(), max_bytes);
+  char tmp[4];
+  for (size_t i = 0; i < n; ++i) {
+    std::snprintf(tmp, sizeof(tmp), "%02x", data[i]);
+    if (i != 0) {
+      out += ' ';
+    }
+    out += tmp;
+  }
+  if (n < data.size()) {
+    out += " ...";
+  }
+  return out;
+}
+
+}  // namespace springfs

@@ -1,0 +1,95 @@
+// Byte-buffer utilities shared by the block device, VMM page cache, and the
+// file-system layers. A Buffer is the unit of data movement between pagers
+// and cache managers (the `data memory` parameter in the paper's Appendix A/B
+// interfaces).
+
+#ifndef SPRINGFS_SUPPORT_BYTES_H_
+#define SPRINGFS_SUPPORT_BYTES_H_
+
+#include <cstdint>
+#include <cstring>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace springfs {
+
+using ByteSpan = std::span<const uint8_t>;
+using MutableByteSpan = std::span<uint8_t>;
+
+// Growable owned byte buffer with zero-fill semantics on resize.
+class Buffer {
+ public:
+  Buffer() = default;
+  explicit Buffer(size_t size) : bytes_(size, 0) {}
+  Buffer(const void* data, size_t size)
+      : bytes_(static_cast<const uint8_t*>(data),
+               static_cast<const uint8_t*>(data) + size) {}
+  explicit Buffer(ByteSpan span) : bytes_(span.begin(), span.end()) {}
+  explicit Buffer(const std::string& s)
+      : Buffer(s.data(), s.size()) {}
+
+  size_t size() const { return bytes_.size(); }
+  bool empty() const { return bytes_.empty(); }
+  uint8_t* data() { return bytes_.data(); }
+  const uint8_t* data() const { return bytes_.data(); }
+
+  ByteSpan span() const { return ByteSpan(bytes_.data(), bytes_.size()); }
+  MutableByteSpan mutable_span() {
+    return MutableByteSpan(bytes_.data(), bytes_.size());
+  }
+  ByteSpan subspan(size_t offset, size_t count) const {
+    return span().subspan(offset, count);
+  }
+
+  void resize(size_t size) { bytes_.resize(size, 0); }
+  void clear() { bytes_.clear(); }
+
+  void append(ByteSpan span) {
+    bytes_.insert(bytes_.end(), span.begin(), span.end());
+  }
+  void append(const Buffer& other) { append(other.span()); }
+
+  // Copies `src` into this buffer at `offset`, growing if needed.
+  void WriteAt(size_t offset, ByteSpan src) {
+    if (offset + src.size() > bytes_.size()) {
+      bytes_.resize(offset + src.size(), 0);
+    }
+    std::memcpy(bytes_.data() + offset, src.data(), src.size());
+  }
+
+  // Copies up to dst.size() bytes starting at `offset`; returns bytes copied
+  // (short when offset is near or past the end).
+  size_t ReadAt(size_t offset, MutableByteSpan dst) const {
+    if (offset >= bytes_.size()) {
+      return 0;
+    }
+    size_t n = std::min(dst.size(), bytes_.size() - offset);
+    std::memcpy(dst.data(), bytes_.data() + offset, n);
+    return n;
+  }
+
+  std::string ToString() const {
+    return std::string(reinterpret_cast<const char*>(bytes_.data()),
+                       bytes_.size());
+  }
+
+  bool operator==(const Buffer& other) const { return bytes_ == other.bytes_; }
+
+ private:
+  std::vector<uint8_t> bytes_;
+};
+
+// CRC-32 (IEEE 802.3 polynomial, reflected). Used for on-disk integrity
+// checks in the UFS substrate and for property tests.
+uint32_t Crc32(ByteSpan data, uint32_t seed = 0);
+
+// 64-bit FNV-1a hash; used for cache keys and content fingerprints in tests.
+uint64_t Fnv1a64(ByteSpan data);
+
+// Hex dump helper for diagnostics ("00 11 22 ..", at most max_bytes).
+std::string HexDump(ByteSpan data, size_t max_bytes = 64);
+
+}  // namespace springfs
+
+#endif  // SPRINGFS_SUPPORT_BYTES_H_

@@ -1,0 +1,10 @@
+#include "src/support/clock.h"
+
+namespace springfs {
+
+Clock& DefaultClock() {
+  static RealClock clock;
+  return clock;
+}
+
+}  // namespace springfs

@@ -1,0 +1,61 @@
+#include "src/support/result.h"
+
+namespace springfs {
+
+const char* ErrorCodeName(ErrorCode code) {
+  switch (code) {
+    case ErrorCode::kOk:
+      return "kOk";
+    case ErrorCode::kNotFound:
+      return "kNotFound";
+    case ErrorCode::kAlreadyExists:
+      return "kAlreadyExists";
+    case ErrorCode::kInvalidArgument:
+      return "kInvalidArgument";
+    case ErrorCode::kPermissionDenied:
+      return "kPermissionDenied";
+    case ErrorCode::kNotADirectory:
+      return "kNotADirectory";
+    case ErrorCode::kIsADirectory:
+      return "kIsADirectory";
+    case ErrorCode::kNotEmpty:
+      return "kNotEmpty";
+    case ErrorCode::kNoSpace:
+      return "kNoSpace";
+    case ErrorCode::kIoError:
+      return "kIoError";
+    case ErrorCode::kNotSupported:
+      return "kNotSupported";
+    case ErrorCode::kWrongType:
+      return "kWrongType";
+    case ErrorCode::kBusy:
+      return "kBusy";
+    case ErrorCode::kStale:
+      return "kStale";
+    case ErrorCode::kCorrupted:
+      return "kCorrupted";
+    case ErrorCode::kOutOfRange:
+      return "kOutOfRange";
+    case ErrorCode::kTimedOut:
+      return "kTimedOut";
+    case ErrorCode::kConnectionLost:
+      return "kConnectionLost";
+    case ErrorCode::kDeadObject:
+      return "kDeadObject";
+  }
+  return "kUnknown";
+}
+
+std::string Status::ToString() const {
+  if (ok()) {
+    return "OK";
+  }
+  std::string out = ErrorCodeName(code_);
+  if (!message_.empty()) {
+    out += ": ";
+    out += message_;
+  }
+  return out;
+}
+
+}  // namespace springfs

@@ -1,0 +1,101 @@
+// Deterministic pseudo-random number generator (xoshiro256**) for property
+// tests and workload generators. All randomized tests take an explicit seed
+// so failures reproduce exactly.
+
+#ifndef SPRINGFS_SUPPORT_RNG_H_
+#define SPRINGFS_SUPPORT_RNG_H_
+
+#include <cstdint>
+
+#include "src/support/bytes.h"
+
+namespace springfs {
+
+class Rng {
+ public:
+  explicit Rng(uint64_t seed) {
+    // SplitMix64 seeding to fill the xoshiro state from one word.
+    uint64_t x = seed;
+    for (auto& s : state_) {
+      x += 0x9E3779B97f4A7C15ull;
+      uint64_t z = x;
+      z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+      z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+      s = z ^ (z >> 31);
+    }
+  }
+
+  uint64_t Next() {
+    uint64_t* s = state_;
+    uint64_t result = Rotl(s[1] * 5, 7) * 9;
+    uint64_t t = s[1] << 17;
+    s[2] ^= s[0];
+    s[3] ^= s[1];
+    s[1] ^= s[2];
+    s[0] ^= s[3];
+    s[2] ^= t;
+    s[3] = Rotl(s[3], 45);
+    return result;
+  }
+
+  // Uniform integer in [0, bound). bound must be > 0.
+  uint64_t Below(uint64_t bound) { return Next() % bound; }
+
+  // Uniform integer in [lo, hi] inclusive.
+  uint64_t Range(uint64_t lo, uint64_t hi) { return lo + Below(hi - lo + 1); }
+
+  // True with probability num/den.
+  bool Chance(uint64_t num, uint64_t den) { return Below(den) < num; }
+
+  double NextDouble() {
+    return static_cast<double>(Next() >> 11) * (1.0 / 9007199254740992.0);
+  }
+
+  // Fills `dst` with random bytes.
+  void Fill(MutableByteSpan dst) {
+    size_t i = 0;
+    while (i + 8 <= dst.size()) {
+      uint64_t v = Next();
+      for (int b = 0; b < 8; ++b) {
+        dst[i++] = static_cast<uint8_t>(v >> (8 * b));
+      }
+    }
+    if (i < dst.size()) {
+      uint64_t v = Next();
+      while (i < dst.size()) {
+        dst[i++] = static_cast<uint8_t>(v);
+        v >>= 8;
+      }
+    }
+  }
+
+  Buffer RandomBuffer(size_t size) {
+    Buffer buf(size);
+    Fill(buf.mutable_span());
+    return buf;
+  }
+
+  // Compressible data: runs of repeated bytes with random run lengths, the
+  // kind of content COMPFS benchmarks want.
+  Buffer CompressibleBuffer(size_t size, uint64_t max_run = 64) {
+    Buffer buf(size);
+    size_t i = 0;
+    while (i < size) {
+      uint8_t value = static_cast<uint8_t>(Next());
+      size_t run = static_cast<size_t>(Range(1, max_run));
+      for (size_t k = 0; k < run && i < size; ++k) {
+        buf.data()[i++] = value;
+      }
+    }
+    return buf;
+  }
+
+ private:
+  static uint64_t Rotl(uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+
+  uint64_t state_[4];
+};
+
+}  // namespace springfs
+
+#endif  // SPRINGFS_SUPPORT_RNG_H_

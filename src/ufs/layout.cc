@@ -1,0 +1,162 @@
+#include "src/ufs/layout.h"
+
+#include "src/support/logging.h"
+
+#include <algorithm>
+
+namespace springfs::ufs {
+namespace {
+
+// Superblock field offsets.
+constexpr size_t kSbCrcOffset = 120;
+
+uint64_t CeilDiv(uint64_t a, uint64_t b) { return (a + b - 1) / b; }
+
+}  // namespace
+
+void Superblock::Encode(MutableByteSpan block) const {
+  SPRINGFS_CHECK(block.size() >= kBlockSize);
+  std::memset(block.data(), 0, kBlockSize);
+  uint8_t* p = block.data();
+  PutU32(p + 0, magic);
+  PutU32(p + 4, version);
+  PutU64(p + 8, num_blocks);
+  PutU64(p + 16, num_inodes);
+  PutU64(p + 24, ibm_start);
+  PutU64(p + 32, ibm_blocks);
+  PutU64(p + 40, dbm_start);
+  PutU64(p + 48, dbm_blocks);
+  PutU64(p + 56, itb_start);
+  PutU64(p + 64, itb_blocks);
+  PutU64(p + 72, data_start);
+  PutU64(p + 80, free_blocks);
+  PutU64(p + 88, free_inodes);
+  PutU32(p + 96, clean);
+  uint32_t crc = Crc32(ByteSpan(p, kSbCrcOffset));
+  PutU32(p + kSbCrcOffset, crc);
+}
+
+Result<Superblock> Superblock::Decode(ByteSpan block) {
+  if (block.size() < kBlockSize) {
+    return ErrInvalidArgument("superblock span too small");
+  }
+  const uint8_t* p = block.data();
+  uint32_t stored_crc = GetU32(p + kSbCrcOffset);
+  uint32_t computed_crc = Crc32(ByteSpan(p, kSbCrcOffset));
+  if (stored_crc != computed_crc) {
+    return ErrCorrupted("superblock CRC mismatch");
+  }
+  Superblock sb;
+  sb.magic = GetU32(p + 0);
+  if (sb.magic != kMagic) {
+    return ErrCorrupted("bad superblock magic");
+  }
+  sb.version = GetU32(p + 4);
+  if (sb.version != kVersion) {
+    return ErrCorrupted("unsupported superblock version");
+  }
+  sb.num_blocks = GetU64(p + 8);
+  sb.num_inodes = GetU64(p + 16);
+  sb.ibm_start = GetU64(p + 24);
+  sb.ibm_blocks = GetU64(p + 32);
+  sb.dbm_start = GetU64(p + 40);
+  sb.dbm_blocks = GetU64(p + 48);
+  sb.itb_start = GetU64(p + 56);
+  sb.itb_blocks = GetU64(p + 64);
+  sb.data_start = GetU64(p + 72);
+  sb.free_blocks = GetU64(p + 80);
+  sb.free_inodes = GetU64(p + 88);
+  sb.clean = GetU32(p + 96);
+  return sb;
+}
+
+namespace {
+constexpr size_t kInodeCrcOffset = 160;
+}  // namespace
+
+void Inode::Encode(MutableByteSpan slot) const {
+  SPRINGFS_CHECK(slot.size() >= kInodeSize);
+  std::memset(slot.data(), 0, kInodeSize);
+  uint8_t* p = slot.data();
+  PutU32(p + 0, static_cast<uint32_t>(type));
+  PutU32(p + 4, nlink);
+  PutU64(p + 8, size);
+  PutU64(p + 16, atime_ns);
+  PutU64(p + 24, mtime_ns);
+  PutU64(p + 32, ctime_ns);
+  for (uint32_t i = 0; i < kNumDirect; ++i) {
+    PutU64(p + 40 + 8 * i, direct[i]);
+  }
+  PutU64(p + 136, indirect);
+  PutU64(p + 144, dindirect);
+  PutU64(p + 152, generation);
+  uint32_t crc = Crc32(ByteSpan(p, kInodeCrcOffset));
+  PutU32(p + kInodeCrcOffset, crc);
+}
+
+Result<Inode> Inode::Decode(ByteSpan slot) {
+  if (slot.size() < kInodeSize) {
+    return ErrInvalidArgument("inode span too small");
+  }
+  const uint8_t* p = slot.data();
+  uint32_t stored_crc = GetU32(p + kInodeCrcOffset);
+  uint32_t computed_crc = Crc32(ByteSpan(p, kInodeCrcOffset));
+  if (stored_crc != computed_crc) {
+    return ErrCorrupted("inode CRC mismatch");
+  }
+  Inode inode;
+  inode.type = static_cast<FileType>(GetU32(p + 0));
+  inode.nlink = GetU32(p + 4);
+  inode.size = GetU64(p + 8);
+  inode.atime_ns = GetU64(p + 16);
+  inode.mtime_ns = GetU64(p + 24);
+  inode.ctime_ns = GetU64(p + 32);
+  for (uint32_t i = 0; i < kNumDirect; ++i) {
+    inode.direct[i] = GetU64(p + 40 + 8 * i);
+  }
+  inode.indirect = GetU64(p + 136);
+  inode.dindirect = GetU64(p + 144);
+  inode.generation = GetU64(p + 152);
+  return inode;
+}
+
+void DirEntry::Encode(MutableByteSpan slot) const {
+  SPRINGFS_CHECK(slot.size() >= kDirEntrySize);
+  SPRINGFS_CHECK(name.size() <= kMaxNameLen);
+  std::memset(slot.data(), 0, kDirEntrySize);
+  uint8_t* p = slot.data();
+  PutU64(p + 0, ino);
+  PutU16(p + 8, static_cast<uint16_t>(name.size()));
+  std::memcpy(p + 10, name.data(), name.size());
+}
+
+DirEntry DirEntry::Decode(ByteSpan slot) {
+  DirEntry entry;
+  const uint8_t* p = slot.data();
+  entry.ino = GetU64(p + 0);
+  uint16_t name_len = std::min<uint16_t>(GetU16(p + 8), kMaxNameLen);
+  entry.name.assign(reinterpret_cast<const char*>(p + 10), name_len);
+  return entry;
+}
+
+Result<Geometry> Geometry::Compute(uint64_t num_blocks, uint64_t num_inodes) {
+  if (num_blocks < 16) {
+    return ErrInvalidArgument("device too small to format");
+  }
+  Geometry g;
+  g.num_blocks = num_blocks;
+  g.num_inodes = num_inodes != 0 ? num_inodes : std::max<uint64_t>(num_blocks / 4, 16);
+  g.ibm_start = 1;
+  g.ibm_blocks = CeilDiv(g.num_inodes, 8ull * kBlockSize);
+  g.dbm_start = g.ibm_start + g.ibm_blocks;
+  g.dbm_blocks = CeilDiv(num_blocks, 8ull * kBlockSize);
+  g.itb_start = g.dbm_start + g.dbm_blocks;
+  g.itb_blocks = CeilDiv(g.num_inodes, kInodesPerBlock);
+  g.data_start = g.itb_start + g.itb_blocks;
+  if (g.data_start + 4 > num_blocks) {
+    return ErrInvalidArgument("device too small for metadata + data");
+  }
+  return g;
+}
+
+}  // namespace springfs::ufs

@@ -1,0 +1,899 @@
+#include "src/ufs/ufs.h"
+
+#include <algorithm>
+
+#include "src/support/logging.h"
+
+namespace springfs::ufs {
+
+// --- Bitmap ---
+
+Bitmap::Bitmap(uint64_t num_bits, uint64_t disk_start)
+    : num_bits_(num_bits), disk_start_(disk_start),
+      bits_((num_bits + 7) / 8, 0),
+      dirty_((num_bits + 8ull * kBlockSize - 1) / (8ull * kBlockSize), false) {}
+
+bool Bitmap::Get(uint64_t bit) const {
+  SPRINGFS_CHECK(bit < num_bits_);
+  return (bits_[bit / 8] >> (bit % 8)) & 1;
+}
+
+void Bitmap::Set(uint64_t bit) {
+  SPRINGFS_CHECK(bit < num_bits_);
+  bits_[bit / 8] |= static_cast<uint8_t>(1u << (bit % 8));
+  dirty_[bit / (8ull * kBlockSize)] = true;
+}
+
+void Bitmap::Clear(uint64_t bit) {
+  SPRINGFS_CHECK(bit < num_bits_);
+  bits_[bit / 8] &= static_cast<uint8_t>(~(1u << (bit % 8)));
+  dirty_[bit / (8ull * kBlockSize)] = true;
+}
+
+uint64_t Bitmap::FindClear(uint64_t hint) const {
+  if (num_bits_ == 0) {
+    return kInvalid;
+  }
+  uint64_t start = hint % num_bits_;
+  for (uint64_t i = 0; i < num_bits_; ++i) {
+    uint64_t bit = (start + i) % num_bits_;
+    if (!Get(bit)) {
+      return bit;
+    }
+  }
+  return kInvalid;
+}
+
+uint64_t Bitmap::CountSet() const {
+  uint64_t count = 0;
+  for (uint64_t bit = 0; bit < num_bits_; ++bit) {
+    count += Get(bit) ? 1 : 0;
+  }
+  return count;
+}
+
+Status Bitmap::Load(BlockDevice& dev) {
+  Buffer block(kBlockSize);
+  for (size_t b = 0; b < dirty_.size(); ++b) {
+    RETURN_IF_ERROR(dev.ReadBlock(disk_start_ + b, block.mutable_span()));
+    size_t offset = b * kBlockSize;
+    size_t count = std::min<size_t>(kBlockSize, bits_.size() - offset);
+    std::memcpy(bits_.data() + offset, block.data(), count);
+    dirty_[b] = false;
+  }
+  return Status::Ok();
+}
+
+Status Bitmap::FlushDirty(BlockDevice& dev) {
+  Buffer block(kBlockSize);
+  for (size_t b = 0; b < dirty_.size(); ++b) {
+    if (!dirty_[b]) {
+      continue;
+    }
+    size_t offset = b * kBlockSize;
+    size_t count = std::min<size_t>(kBlockSize, bits_.size() - offset);
+    std::memset(block.data(), 0, kBlockSize);
+    std::memcpy(block.data(), bits_.data() + offset, count);
+    RETURN_IF_ERROR(dev.WriteBlock(disk_start_ + b, block.span()));
+    dirty_[b] = false;
+  }
+  return Status::Ok();
+}
+
+// --- Ufs lifecycle ---
+
+Ufs::Ufs(BlockDevice* device, Clock* clock) : device_(device), clock_(clock) {}
+
+Ufs::~Ufs() {
+  Status st = Sync();
+  if (!st.ok()) {
+    LOG_ERROR << "unmount sync failed: " << st.ToString();
+  }
+}
+
+Result<std::unique_ptr<Ufs>> Ufs::Format(BlockDevice* device, Clock* clock) {
+  if (device->block_size() != kBlockSize) {
+    return ErrInvalidArgument("device block size must be " +
+                              std::to_string(kBlockSize));
+  }
+  ASSIGN_OR_RETURN(Geometry geo, Geometry::Compute(device->num_blocks()));
+
+  std::unique_ptr<Ufs> fs(new Ufs(device, clock));
+  fs->sb_.num_blocks = geo.num_blocks;
+  fs->sb_.num_inodes = geo.num_inodes;
+  fs->sb_.ibm_start = geo.ibm_start;
+  fs->sb_.ibm_blocks = geo.ibm_blocks;
+  fs->sb_.dbm_start = geo.dbm_start;
+  fs->sb_.dbm_blocks = geo.dbm_blocks;
+  fs->sb_.itb_start = geo.itb_start;
+  fs->sb_.itb_blocks = geo.itb_blocks;
+  fs->sb_.data_start = geo.data_start;
+
+  fs->inode_bitmap_ = Bitmap(geo.num_inodes, geo.ibm_start);
+  fs->data_bitmap_ = Bitmap(geo.num_blocks, geo.dbm_start);
+
+  // Metadata blocks (superblock through the end of the inode table) are
+  // permanently allocated in the data bitmap.
+  for (uint64_t b = 0; b < geo.data_start; ++b) {
+    fs->data_bitmap_.Set(b);
+  }
+  // Inode 0 is reserved so that 0 can mean "no inode".
+  fs->inode_bitmap_.Set(0);
+
+  // Zero the inode table so undecodable garbage never looks like an inode.
+  Buffer zero(kBlockSize);
+  for (uint64_t b = 0; b < geo.itb_blocks; ++b) {
+    RETURN_IF_ERROR(device->WriteBlock(geo.itb_start + b, zero.span()));
+  }
+
+  fs->sb_.free_blocks = geo.num_blocks - geo.data_start;
+  fs->sb_.free_inodes = geo.num_inodes - 1;
+
+  // Root directory.
+  {
+    std::lock_guard<std::mutex> lock(fs->mutex_);
+    ASSIGN_OR_RETURN(InodeNum root, fs->AllocInode(FileType::kDirectory));
+    SPRINGFS_CHECK(root == kRootInode);
+    ASSIGN_OR_RETURN(Inode * inode, fs->GetInode(root));
+    inode->nlink = 1;
+    RETURN_IF_ERROR(fs->WriteInode(root));
+  }
+
+  RETURN_IF_ERROR(fs->Sync());
+  return fs;
+}
+
+Result<std::unique_ptr<Ufs>> Ufs::Mount(BlockDevice* device, Clock* clock) {
+  if (device->block_size() != kBlockSize) {
+    return ErrInvalidArgument("device block size must be " +
+                              std::to_string(kBlockSize));
+  }
+  Buffer block(kBlockSize);
+  RETURN_IF_ERROR(device->ReadBlock(0, block.mutable_span()));
+  ASSIGN_OR_RETURN(Superblock sb, Superblock::Decode(block.span()));
+  if (sb.num_blocks > device->num_blocks()) {
+    return ErrCorrupted("superblock claims more blocks than the device has");
+  }
+
+  std::unique_ptr<Ufs> fs(new Ufs(device, clock));
+  fs->sb_ = sb;
+  fs->inode_bitmap_ = Bitmap(sb.num_inodes, sb.ibm_start);
+  fs->data_bitmap_ = Bitmap(sb.num_blocks, sb.dbm_start);
+  RETURN_IF_ERROR(fs->inode_bitmap_.Load(*device));
+  RETURN_IF_ERROR(fs->data_bitmap_.Load(*device));
+
+  // Find the largest generation in use so new inodes stay unique. A linear
+  // scan of allocated inodes at mount time stands in for a mount log.
+  {
+    std::lock_guard<std::mutex> lock(fs->mutex_);
+    for (InodeNum ino = 1; ino < sb.num_inodes; ++ino) {
+      if (!fs->inode_bitmap_.Get(ino)) {
+        continue;
+      }
+      ASSIGN_OR_RETURN(Inode * inode, fs->GetInode(ino));
+      fs->next_generation_ =
+          std::max(fs->next_generation_, inode->generation + 1);
+    }
+  }
+  return fs;
+}
+
+// --- inode cache and allocation ---
+
+Result<Inode*> Ufs::GetInode(InodeNum ino) {
+  if (ino == kInvalidInode || ino >= sb_.num_inodes) {
+    return ErrInvalidArgument("bad inode number " + std::to_string(ino));
+  }
+  auto it = inode_cache_.find(ino);
+  if (it != inode_cache_.end()) {
+    ++cache_hits_;
+    return &it->second.inode;
+  }
+  ++cache_misses_;
+  if (!inode_bitmap_.Get(ino)) {
+    return ErrStale("inode " + std::to_string(ino) + " is not allocated");
+  }
+  Buffer block(kBlockSize);
+  BlockNum itb_block = sb_.itb_start + ino / kInodesPerBlock;
+  RETURN_IF_ERROR(ReadDeviceBlock(itb_block, block.mutable_span()));
+  size_t slot = (ino % kInodesPerBlock) * kInodeSize;
+  ASSIGN_OR_RETURN(Inode inode, Inode::Decode(block.subspan(slot, kInodeSize)));
+  auto [pos, inserted] = inode_cache_.emplace(ino, CachedInode{inode, false});
+  SPRINGFS_CHECK(inserted);
+  return &pos->second.inode;
+}
+
+Status Ufs::WriteInode(InodeNum ino) {
+  auto it = inode_cache_.find(ino);
+  SPRINGFS_CHECK(it != inode_cache_.end());
+  it->second.dirty = true;
+  return Status::Ok();
+}
+
+Result<InodeNum> Ufs::AllocInode(FileType type) {
+  uint64_t bit = inode_bitmap_.FindClear(1);
+  if (bit == Bitmap::kInvalid || bit == 0) {
+    return ErrNoSpace("out of inodes");
+  }
+  inode_bitmap_.Set(bit);
+  --sb_.free_inodes;
+  Inode inode;
+  inode.type = type;
+  inode.nlink = 0;
+  uint64_t now = clock_->Now();
+  inode.atime_ns = inode.mtime_ns = inode.ctime_ns = now;
+  inode.generation = next_generation_++;
+  inode_cache_[bit] = CachedInode{inode, true};
+  return InodeNum{bit};
+}
+
+Status Ufs::FreeInode(InodeNum ino) {
+  ASSIGN_OR_RETURN(Inode * inode, GetInode(ino));
+  RETURN_IF_ERROR(FreeBlocksFrom(inode, 0));
+  inode->type = FileType::kFree;
+  inode->size = 0;
+  RETURN_IF_ERROR(WriteInode(ino));
+  // Write the freed inode through to disk now, then drop it from the cache:
+  // a stale cached copy must not resurrect after the number is reused.
+  Buffer block(kBlockSize);
+  BlockNum itb_block = sb_.itb_start + ino / kInodesPerBlock;
+  RETURN_IF_ERROR(ReadDeviceBlock(itb_block, block.mutable_span()));
+  size_t slot = (ino % kInodesPerBlock) * kInodeSize;
+  inode->Encode(block.mutable_span().subspan(slot, kInodeSize));
+  RETURN_IF_ERROR(WriteDeviceBlock(itb_block, block.span()));
+  inode_cache_.erase(ino);
+  inode_bitmap_.Clear(ino);
+  ++sb_.free_inodes;
+  return Status::Ok();
+}
+
+Result<BlockNum> Ufs::AllocBlock() {
+  uint64_t bit = data_bitmap_.FindClear(std::max(alloc_rotor_, sb_.data_start));
+  if (bit == Bitmap::kInvalid || bit < sb_.data_start) {
+    return ErrNoSpace("out of data blocks");
+  }
+  data_bitmap_.Set(bit);
+  alloc_rotor_ = bit + 1;
+  --sb_.free_blocks;
+  return BlockNum{bit};
+}
+
+Status Ufs::FreeBlock(BlockNum block) {
+  SPRINGFS_CHECK(block >= sb_.data_start && block < sb_.num_blocks);
+  SPRINGFS_CHECK(data_bitmap_.Get(block));
+  data_bitmap_.Clear(block);
+  ++sb_.free_blocks;
+  return Status::Ok();
+}
+
+Status Ufs::ReadDeviceBlock(BlockNum block, MutableByteSpan out) {
+  return device_->ReadBlock(block, out);
+}
+
+Status Ufs::WriteDeviceBlock(BlockNum block, ByteSpan data) {
+  return device_->WriteBlock(block, data);
+}
+
+// --- block mapping ---
+
+Result<BlockNum> Ufs::MapFileBlock(Inode* inode, uint64_t file_block,
+                                   bool allocate) {
+  // Direct pointers.
+  if (file_block < kNumDirect) {
+    if (inode->direct[file_block] == 0 && allocate) {
+      ASSIGN_OR_RETURN(BlockNum fresh, AllocBlock());
+      Buffer zero(kBlockSize);
+      RETURN_IF_ERROR(WriteDeviceBlock(fresh, zero.span()));
+      inode->direct[file_block] = fresh;
+    }
+    return BlockNum{inode->direct[file_block]};
+  }
+  file_block -= kNumDirect;
+
+  // Reads/writes one pointer inside a pointer block, allocating the pointer
+  // block itself when needed.
+  auto step = [&](uint64_t* slot_holder, uint64_t index,
+                  bool alloc_leaf) -> Result<BlockNum> {
+    if (*slot_holder == 0) {
+      if (!allocate) {
+        return BlockNum{0};
+      }
+      ASSIGN_OR_RETURN(BlockNum fresh, AllocBlock());
+      Buffer zero(kBlockSize);
+      RETURN_IF_ERROR(WriteDeviceBlock(fresh, zero.span()));
+      *slot_holder = fresh;
+    }
+    Buffer ptr_block(kBlockSize);
+    RETURN_IF_ERROR(ReadDeviceBlock(*slot_holder, ptr_block.mutable_span()));
+    uint64_t target = GetU64(ptr_block.data() + 8 * index);
+    if (target == 0 && allocate && alloc_leaf) {
+      ASSIGN_OR_RETURN(BlockNum fresh, AllocBlock());
+      Buffer zero(kBlockSize);
+      RETURN_IF_ERROR(WriteDeviceBlock(fresh, zero.span()));
+      PutU64(ptr_block.data() + 8 * index, fresh);
+      RETURN_IF_ERROR(WriteDeviceBlock(*slot_holder, ptr_block.span()));
+      target = fresh;
+    }
+    return BlockNum{target};
+  };
+
+  // Single indirect.
+  if (file_block < kPtrsPerBlock) {
+    return step(&inode->indirect, file_block, /*alloc_leaf=*/true);
+  }
+  file_block -= kPtrsPerBlock;
+
+  // Double indirect.
+  if (file_block < static_cast<uint64_t>(kPtrsPerBlock) * kPtrsPerBlock) {
+    uint64_t outer = file_block / kPtrsPerBlock;
+    uint64_t inner = file_block % kPtrsPerBlock;
+    // First hop: find (or create) the second-level pointer block.
+    ASSIGN_OR_RETURN(BlockNum level2, step(&inode->dindirect, outer,
+                                           /*alloc_leaf=*/allocate));
+    if (level2 == 0) {
+      return BlockNum{0};
+    }
+    uint64_t level2_holder = level2;
+    return step(&level2_holder, inner, /*alloc_leaf=*/true);
+  }
+  return ErrOutOfRange("file offset beyond maximum file size");
+}
+
+Status Ufs::FreeBlocksFrom(Inode* inode, uint64_t first_block) {
+  // Walks the mapped blocks from `first_block` upward and frees them,
+  // releasing pointer blocks that become fully unused.
+  auto free_if_set = [&](uint64_t* slot) -> Status {
+    if (*slot != 0) {
+      RETURN_IF_ERROR(FreeBlock(*slot));
+      *slot = 0;
+    }
+    return Status::Ok();
+  };
+
+  for (uint64_t i = first_block; i < kNumDirect; ++i) {
+    RETURN_IF_ERROR(free_if_set(&inode->direct[i]));
+  }
+
+  // Single indirect range: file blocks [kNumDirect, kNumDirect + P).
+  if (inode->indirect != 0) {
+    uint64_t range_start = kNumDirect;
+    if (first_block < range_start + kPtrsPerBlock) {
+      uint64_t begin =
+          first_block > range_start ? first_block - range_start : 0;
+      Buffer ptr_block(kBlockSize);
+      RETURN_IF_ERROR(ReadDeviceBlock(inode->indirect, ptr_block.mutable_span()));
+      bool any_left = false;
+      for (uint64_t i = 0; i < kPtrsPerBlock; ++i) {
+        uint64_t target = GetU64(ptr_block.data() + 8 * i);
+        if (target == 0) {
+          continue;
+        }
+        if (i >= begin) {
+          RETURN_IF_ERROR(FreeBlock(target));
+          PutU64(ptr_block.data() + 8 * i, 0);
+        } else {
+          any_left = true;
+        }
+      }
+      if (!any_left) {
+        RETURN_IF_ERROR(free_if_set(&inode->indirect));
+      } else {
+        RETURN_IF_ERROR(WriteDeviceBlock(inode->indirect, ptr_block.span()));
+      }
+    }
+  }
+
+  // Double indirect range: file blocks [kNumDirect + P, kNumDirect + P + P*P).
+  if (inode->dindirect != 0) {
+    uint64_t range_start = kNumDirect + kPtrsPerBlock;
+    Buffer outer_block(kBlockSize);
+    RETURN_IF_ERROR(ReadDeviceBlock(inode->dindirect, outer_block.mutable_span()));
+    bool outer_left = false;
+    for (uint64_t o = 0; o < kPtrsPerBlock; ++o) {
+      uint64_t level2 = GetU64(outer_block.data() + 8 * o);
+      if (level2 == 0) {
+        continue;
+      }
+      uint64_t seg_start = range_start + o * kPtrsPerBlock;
+      if (first_block >= seg_start + kPtrsPerBlock) {
+        outer_left = true;
+        continue;
+      }
+      uint64_t begin = first_block > seg_start ? first_block - seg_start : 0;
+      Buffer inner_block(kBlockSize);
+      RETURN_IF_ERROR(ReadDeviceBlock(level2, inner_block.mutable_span()));
+      bool inner_left = false;
+      for (uint64_t i = 0; i < kPtrsPerBlock; ++i) {
+        uint64_t target = GetU64(inner_block.data() + 8 * i);
+        if (target == 0) {
+          continue;
+        }
+        if (i >= begin) {
+          RETURN_IF_ERROR(FreeBlock(target));
+          PutU64(inner_block.data() + 8 * i, 0);
+        } else {
+          inner_left = true;
+        }
+      }
+      if (!inner_left) {
+        RETURN_IF_ERROR(FreeBlock(level2));
+        PutU64(outer_block.data() + 8 * o, 0);
+      } else {
+        RETURN_IF_ERROR(WriteDeviceBlock(level2, inner_block.span()));
+        outer_left = true;
+      }
+    }
+    if (!outer_left) {
+      RETURN_IF_ERROR(free_if_set(&inode->dindirect));
+    } else {
+      RETURN_IF_ERROR(WriteDeviceBlock(inode->dindirect, outer_block.span()));
+    }
+  }
+  return Status::Ok();
+}
+
+// --- directories ---
+
+Result<InodeNum> Ufs::DirLookup(Inode* dir_inode, std::string_view name,
+                                uint64_t* slot_block, uint32_t* slot_index) {
+  uint64_t num_dir_blocks = (dir_inode->size + kBlockSize - 1) / kBlockSize;
+  Buffer block(kBlockSize);
+  for (uint64_t b = 0; b < num_dir_blocks; ++b) {
+    ASSIGN_OR_RETURN(BlockNum dev_block,
+                     MapFileBlock(dir_inode, b, /*allocate=*/false));
+    if (dev_block == 0) {
+      continue;
+    }
+    RETURN_IF_ERROR(ReadDeviceBlock(dev_block, block.mutable_span()));
+    for (uint32_t e = 0; e < kDirEntriesPerBlock; ++e) {
+      DirEntry entry = DirEntry::Decode(block.subspan(e * kDirEntrySize,
+                                                      kDirEntrySize));
+      if (entry.ino != kInvalidInode && entry.name == name) {
+        if (slot_block) {
+          *slot_block = b;
+        }
+        if (slot_index) {
+          *slot_index = e;
+        }
+        return entry.ino;
+      }
+    }
+  }
+  return ErrNotFound("no entry '" + std::string(name) + "'");
+}
+
+Status Ufs::DirAddEntry(InodeNum dir_ino, Inode* dir_inode,
+                        std::string_view name, InodeNum target) {
+  if (name.empty() || name.size() > kMaxNameLen) {
+    return ErrInvalidArgument("bad name length");
+  }
+  if (name.find('/') != std::string_view::npos) {
+    return ErrInvalidArgument("name contains '/'");
+  }
+  uint64_t num_dir_blocks = (dir_inode->size + kBlockSize - 1) / kBlockSize;
+  Buffer block(kBlockSize);
+  // Reuse the first free slot in an existing block.
+  for (uint64_t b = 0; b < num_dir_blocks; ++b) {
+    ASSIGN_OR_RETURN(BlockNum dev_block,
+                     MapFileBlock(dir_inode, b, /*allocate=*/false));
+    if (dev_block == 0) {
+      continue;
+    }
+    RETURN_IF_ERROR(ReadDeviceBlock(dev_block, block.mutable_span()));
+    for (uint32_t e = 0; e < kDirEntriesPerBlock; ++e) {
+      DirEntry entry = DirEntry::Decode(block.subspan(e * kDirEntrySize,
+                                                      kDirEntrySize));
+      if (entry.ino == kInvalidInode) {
+        DirEntry fresh{target, std::string(name)};
+        fresh.Encode(block.mutable_span().subspan(e * kDirEntrySize,
+                                                  kDirEntrySize));
+        return WriteDeviceBlock(dev_block, block.span());
+      }
+    }
+  }
+  // All slots full: grow the directory by one block.
+  ASSIGN_OR_RETURN(BlockNum dev_block,
+                   MapFileBlock(dir_inode, num_dir_blocks, /*allocate=*/true));
+  std::memset(block.data(), 0, kBlockSize);
+  DirEntry fresh{target, std::string(name)};
+  fresh.Encode(block.mutable_span().subspan(0, kDirEntrySize));
+  RETURN_IF_ERROR(WriteDeviceBlock(dev_block, block.span()));
+  dir_inode->size = (num_dir_blocks + 1) * kBlockSize;
+  dir_inode->mtime_ns = clock_->Now();
+  return WriteInode(dir_ino);
+}
+
+Status Ufs::DirRemoveEntry(Inode* dir_inode, std::string_view name) {
+  uint64_t num_dir_blocks = (dir_inode->size + kBlockSize - 1) / kBlockSize;
+  Buffer block(kBlockSize);
+  for (uint64_t b = 0; b < num_dir_blocks; ++b) {
+    ASSIGN_OR_RETURN(BlockNum dev_block,
+                     MapFileBlock(dir_inode, b, /*allocate=*/false));
+    if (dev_block == 0) {
+      continue;
+    }
+    RETURN_IF_ERROR(ReadDeviceBlock(dev_block, block.mutable_span()));
+    for (uint32_t e = 0; e < kDirEntriesPerBlock; ++e) {
+      DirEntry entry = DirEntry::Decode(block.subspan(e * kDirEntrySize,
+                                                      kDirEntrySize));
+      if (entry.ino != kInvalidInode && entry.name == name) {
+        DirEntry empty;
+        empty.Encode(block.mutable_span().subspan(e * kDirEntrySize,
+                                                  kDirEntrySize));
+        return WriteDeviceBlock(dev_block, block.span());
+      }
+    }
+  }
+  return ErrNotFound("no entry '" + std::string(name) + "'");
+}
+
+Result<bool> Ufs::DirIsEmpty(Inode* dir_inode) {
+  uint64_t num_dir_blocks = (dir_inode->size + kBlockSize - 1) / kBlockSize;
+  Buffer block(kBlockSize);
+  for (uint64_t b = 0; b < num_dir_blocks; ++b) {
+    ASSIGN_OR_RETURN(BlockNum dev_block,
+                     MapFileBlock(dir_inode, b, /*allocate=*/false));
+    if (dev_block == 0) {
+      continue;
+    }
+    RETURN_IF_ERROR(ReadDeviceBlock(dev_block, block.mutable_span()));
+    for (uint32_t e = 0; e < kDirEntriesPerBlock; ++e) {
+      DirEntry entry = DirEntry::Decode(block.subspan(e * kDirEntrySize,
+                                                      kDirEntrySize));
+      if (entry.ino != kInvalidInode) {
+        return false;
+      }
+    }
+  }
+  return true;
+}
+
+Result<InodeNum> Ufs::Lookup(InodeNum dir, std::string_view name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto cache_key = std::make_pair(dir, std::string(name));
+  auto cached = dirent_cache_.find(cache_key);
+  if (cached != dirent_cache_.end()) {
+    ++cache_hits_;
+    return cached->second;
+  }
+  ASSIGN_OR_RETURN(Inode * dir_inode, GetInode(dir));
+  if (dir_inode->type != FileType::kDirectory) {
+    return ErrNotADirectory("inode " + std::to_string(dir));
+  }
+  ASSIGN_OR_RETURN(InodeNum ino, DirLookup(dir_inode, name, nullptr, nullptr));
+  dirent_cache_.emplace(std::move(cache_key), ino);
+  return ino;
+}
+
+Result<InodeNum> Ufs::Create(InodeNum dir, std::string_view name,
+                             FileType type) {
+  if (type != FileType::kRegular && type != FileType::kDirectory &&
+      type != FileType::kSymlink) {
+    return ErrInvalidArgument("cannot create this file type");
+  }
+  std::lock_guard<std::mutex> lock(mutex_);
+  ASSIGN_OR_RETURN(Inode * dir_inode, GetInode(dir));
+  if (dir_inode->type != FileType::kDirectory) {
+    return ErrNotADirectory("inode " + std::to_string(dir));
+  }
+  Result<InodeNum> existing = DirLookup(dir_inode, name, nullptr, nullptr);
+  if (existing.ok()) {
+    return ErrAlreadyExists("'" + std::string(name) + "' exists");
+  }
+  if (existing.code() != ErrorCode::kNotFound) {
+    return existing.status();
+  }
+  ASSIGN_OR_RETURN(InodeNum ino, AllocInode(type));
+  ASSIGN_OR_RETURN(Inode * inode, GetInode(ino));
+  inode->nlink = 1;
+  RETURN_IF_ERROR(WriteInode(ino));
+  Status add = DirAddEntry(dir, dir_inode, name, ino);
+  if (!add.ok()) {
+    (void)FreeInode(ino);
+    return add;
+  }
+  dirent_cache_[std::make_pair(dir, std::string(name))] = ino;
+  return ino;
+}
+
+Status Ufs::Remove(InodeNum dir, std::string_view name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  ASSIGN_OR_RETURN(Inode * dir_inode, GetInode(dir));
+  if (dir_inode->type != FileType::kDirectory) {
+    return ErrNotADirectory("inode " + std::to_string(dir));
+  }
+  ASSIGN_OR_RETURN(InodeNum target, DirLookup(dir_inode, name, nullptr, nullptr));
+  ASSIGN_OR_RETURN(Inode * inode, GetInode(target));
+  if (inode->type == FileType::kDirectory) {
+    ASSIGN_OR_RETURN(bool empty, DirIsEmpty(inode));
+    if (!empty) {
+      return ErrNotEmpty("'" + std::string(name) + "' is not empty");
+    }
+  }
+  RETURN_IF_ERROR(DirRemoveEntry(dir_inode, name));
+  dirent_cache_.erase(std::make_pair(dir, std::string(name)));
+  SPRINGFS_CHECK(inode->nlink > 0);
+  inode->nlink--;
+  if (inode->nlink == 0) {
+    return FreeInode(target);
+  }
+  inode->ctime_ns = clock_->Now();
+  return WriteInode(target);
+}
+
+Status Ufs::Link(InodeNum dir, std::string_view name, InodeNum target) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  ASSIGN_OR_RETURN(Inode * dir_inode, GetInode(dir));
+  if (dir_inode->type != FileType::kDirectory) {
+    return ErrNotADirectory("inode " + std::to_string(dir));
+  }
+  ASSIGN_OR_RETURN(Inode * inode, GetInode(target));
+  if (inode->type == FileType::kDirectory) {
+    return ErrIsADirectory("hard links to directories are not allowed");
+  }
+  Result<InodeNum> existing = DirLookup(dir_inode, name, nullptr, nullptr);
+  if (existing.ok()) {
+    return ErrAlreadyExists("'" + std::string(name) + "' exists");
+  }
+  if (existing.code() != ErrorCode::kNotFound) {
+    return existing.status();
+  }
+  RETURN_IF_ERROR(DirAddEntry(dir, dir_inode, name, target));
+  dirent_cache_[std::make_pair(dir, std::string(name))] = target;
+  inode->nlink++;
+  inode->ctime_ns = clock_->Now();
+  return WriteInode(target);
+}
+
+Status Ufs::Rename(InodeNum src_dir, std::string_view src_name,
+                   InodeNum dst_dir, std::string_view dst_name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  ASSIGN_OR_RETURN(Inode * src_inode, GetInode(src_dir));
+  ASSIGN_OR_RETURN(Inode * dst_inode, GetInode(dst_dir));
+  if (src_inode->type != FileType::kDirectory ||
+      dst_inode->type != FileType::kDirectory) {
+    return ErrNotADirectory("rename directories");
+  }
+  ASSIGN_OR_RETURN(InodeNum target,
+                   DirLookup(src_inode, src_name, nullptr, nullptr));
+  Result<InodeNum> existing = DirLookup(dst_inode, dst_name, nullptr, nullptr);
+  if (existing.ok()) {
+    return ErrAlreadyExists("'" + std::string(dst_name) + "' exists");
+  }
+  if (existing.code() != ErrorCode::kNotFound) {
+    return existing.status();
+  }
+  RETURN_IF_ERROR(DirAddEntry(dst_dir, dst_inode, dst_name, target));
+  dirent_cache_.erase(std::make_pair(src_dir, std::string(src_name)));
+  dirent_cache_[std::make_pair(dst_dir, std::string(dst_name))] = target;
+  return DirRemoveEntry(src_inode, src_name);
+}
+
+Result<std::vector<NamedEntry>> Ufs::ReadDir(InodeNum dir) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  ASSIGN_OR_RETURN(Inode * dir_inode, GetInode(dir));
+  if (dir_inode->type != FileType::kDirectory) {
+    return ErrNotADirectory("inode " + std::to_string(dir));
+  }
+  std::vector<NamedEntry> entries;
+  uint64_t num_dir_blocks = (dir_inode->size + kBlockSize - 1) / kBlockSize;
+  Buffer block(kBlockSize);
+  for (uint64_t b = 0; b < num_dir_blocks; ++b) {
+    ASSIGN_OR_RETURN(BlockNum dev_block,
+                     MapFileBlock(dir_inode, b, /*allocate=*/false));
+    if (dev_block == 0) {
+      continue;
+    }
+    RETURN_IF_ERROR(ReadDeviceBlock(dev_block, block.mutable_span()));
+    for (uint32_t e = 0; e < kDirEntriesPerBlock; ++e) {
+      DirEntry entry = DirEntry::Decode(block.subspan(e * kDirEntrySize,
+                                                      kDirEntrySize));
+      if (entry.ino == kInvalidInode) {
+        continue;
+      }
+      ASSIGN_OR_RETURN(Inode * inode, GetInode(entry.ino));
+      entries.push_back(NamedEntry{entry.name, entry.ino, inode->type});
+    }
+  }
+  return entries;
+}
+
+// --- file data ---
+
+Result<size_t> Ufs::Read(InodeNum ino, uint64_t offset, MutableByteSpan out) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  ASSIGN_OR_RETURN(Inode * inode, GetInode(ino));
+  if (inode->type == FileType::kDirectory) {
+    return ErrIsADirectory("read of directory inode");
+  }
+  if (offset >= inode->size) {
+    return size_t{0};
+  }
+  size_t to_read = std::min<uint64_t>(out.size(), inode->size - offset);
+  size_t done = 0;
+  Buffer block(kBlockSize);
+  while (done < to_read) {
+    uint64_t file_block = (offset + done) / kBlockSize;
+    size_t in_block = (offset + done) % kBlockSize;
+    size_t chunk = std::min<size_t>(kBlockSize - in_block, to_read - done);
+    ASSIGN_OR_RETURN(BlockNum dev_block,
+                     MapFileBlock(inode, file_block, /*allocate=*/false));
+    if (dev_block == 0) {
+      std::memset(out.data() + done, 0, chunk);  // hole
+    } else {
+      RETURN_IF_ERROR(ReadDeviceBlock(dev_block, block.mutable_span()));
+      std::memcpy(out.data() + done, block.data() + in_block, chunk);
+    }
+    done += chunk;
+  }
+  inode->atime_ns = clock_->Now();
+  RETURN_IF_ERROR(WriteInode(ino));
+  return to_read;
+}
+
+Result<size_t> Ufs::Write(InodeNum ino, uint64_t offset, ByteSpan data) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  ASSIGN_OR_RETURN(Inode * inode, GetInode(ino));
+  if (inode->type == FileType::kDirectory) {
+    return ErrIsADirectory("write of directory inode");
+  }
+  size_t done = 0;
+  Buffer block(kBlockSize);
+  while (done < data.size()) {
+    uint64_t file_block = (offset + done) / kBlockSize;
+    size_t in_block = (offset + done) % kBlockSize;
+    size_t chunk = std::min<size_t>(kBlockSize - in_block, data.size() - done);
+    ASSIGN_OR_RETURN(BlockNum dev_block,
+                     MapFileBlock(inode, file_block, /*allocate=*/true));
+    if (in_block != 0 || chunk != kBlockSize) {
+      RETURN_IF_ERROR(ReadDeviceBlock(dev_block, block.mutable_span()));
+    } else {
+      std::memset(block.data(), 0, kBlockSize);
+    }
+    std::memcpy(block.data() + in_block, data.data() + done, chunk);
+    RETURN_IF_ERROR(WriteDeviceBlock(dev_block, block.span()));
+    done += chunk;
+  }
+  if (offset + data.size() > inode->size) {
+    inode->size = offset + data.size();
+  }
+  inode->mtime_ns = clock_->Now();
+  RETURN_IF_ERROR(WriteInode(ino));
+  return data.size();
+}
+
+Status Ufs::Truncate(InodeNum ino, uint64_t new_size) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  ASSIGN_OR_RETURN(Inode * inode, GetInode(ino));
+  if (inode->type == FileType::kDirectory) {
+    return ErrIsADirectory("truncate of directory inode");
+  }
+  if (new_size < inode->size) {
+    uint64_t first_block = (new_size + kBlockSize - 1) / kBlockSize;
+    RETURN_IF_ERROR(FreeBlocksFrom(inode, first_block));
+    // Zero the tail of the new last block so re-extension reads zeros.
+    if (new_size % kBlockSize != 0) {
+      ASSIGN_OR_RETURN(BlockNum dev_block,
+                       MapFileBlock(inode, new_size / kBlockSize,
+                                    /*allocate=*/false));
+      if (dev_block != 0) {
+        Buffer block(kBlockSize);
+        RETURN_IF_ERROR(ReadDeviceBlock(dev_block, block.mutable_span()));
+        std::memset(block.data() + new_size % kBlockSize, 0,
+                    kBlockSize - new_size % kBlockSize);
+        RETURN_IF_ERROR(WriteDeviceBlock(dev_block, block.span()));
+      }
+    }
+  }
+  inode->size = new_size;
+  inode->mtime_ns = clock_->Now();
+  return WriteInode(ino);
+}
+
+Status Ufs::ReadFileBlock(InodeNum ino, uint64_t file_block,
+                          MutableByteSpan out) {
+  if (out.size() != kBlockSize) {
+    return ErrInvalidArgument("block read span must be one block");
+  }
+  std::lock_guard<std::mutex> lock(mutex_);
+  ASSIGN_OR_RETURN(Inode * inode, GetInode(ino));
+  ASSIGN_OR_RETURN(BlockNum dev_block,
+                   MapFileBlock(inode, file_block, /*allocate=*/false));
+  if (dev_block == 0) {
+    std::memset(out.data(), 0, out.size());
+    return Status::Ok();
+  }
+  return ReadDeviceBlock(dev_block, out);
+}
+
+Status Ufs::WriteFileBlock(InodeNum ino, uint64_t file_block, ByteSpan data) {
+  if (data.size() != kBlockSize) {
+    return ErrInvalidArgument("block write span must be one block");
+  }
+  std::lock_guard<std::mutex> lock(mutex_);
+  ASSIGN_OR_RETURN(Inode * inode, GetInode(ino));
+  ASSIGN_OR_RETURN(BlockNum dev_block,
+                   MapFileBlock(inode, file_block, /*allocate=*/true));
+  RETURN_IF_ERROR(WriteDeviceBlock(dev_block, data));
+  return WriteInode(ino);
+}
+
+// --- attributes ---
+
+Result<InodeAttrs> Ufs::GetAttrs(InodeNum ino) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  ASSIGN_OR_RETURN(Inode * inode, GetInode(ino));
+  InodeAttrs attrs;
+  attrs.type = inode->type;
+  attrs.size = inode->size;
+  attrs.nlink = inode->nlink;
+  attrs.atime_ns = inode->atime_ns;
+  attrs.mtime_ns = inode->mtime_ns;
+  attrs.ctime_ns = inode->ctime_ns;
+  attrs.generation = inode->generation;
+  return attrs;
+}
+
+Status Ufs::SetTimes(InodeNum ino, uint64_t atime_ns, uint64_t mtime_ns) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  ASSIGN_OR_RETURN(Inode * inode, GetInode(ino));
+  inode->atime_ns = atime_ns;
+  inode->mtime_ns = mtime_ns;
+  return WriteInode(ino);
+}
+
+Status Ufs::SetSize(InodeNum ino, uint64_t size) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  ASSIGN_OR_RETURN(Inode * inode, GetInode(ino));
+  if (inode->type == FileType::kDirectory) {
+    return ErrIsADirectory("set_length of directory inode");
+  }
+  if (size < inode->size) {
+    uint64_t first_block = (size + kBlockSize - 1) / kBlockSize;
+    RETURN_IF_ERROR(FreeBlocksFrom(inode, first_block));
+  }
+  inode->size = size;
+  return WriteInode(ino);
+}
+
+// --- sync ---
+
+Status Ufs::Sync() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  Buffer block(kBlockSize);
+  // Dirty inodes, grouped by inode-table block.
+  for (auto& [ino, cached] : inode_cache_) {
+    if (!cached.dirty) {
+      continue;
+    }
+    BlockNum itb_block = sb_.itb_start + ino / kInodesPerBlock;
+    RETURN_IF_ERROR(ReadDeviceBlock(itb_block, block.mutable_span()));
+    size_t slot = (ino % kInodesPerBlock) * kInodeSize;
+    cached.inode.Encode(block.mutable_span().subspan(slot, kInodeSize));
+    RETURN_IF_ERROR(WriteDeviceBlock(itb_block, block.span()));
+    cached.dirty = false;
+  }
+  RETURN_IF_ERROR(inode_bitmap_.FlushDirty(*device_));
+  RETURN_IF_ERROR(data_bitmap_.FlushDirty(*device_));
+  sb_.clean = 1;
+  sb_.Encode(block.mutable_span());
+  RETURN_IF_ERROR(WriteDeviceBlock(0, block.span()));
+  return device_->Flush();
+}
+
+UfsStats Ufs::stats() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return UfsStats{cache_hits_, cache_misses_};
+}
+
+uint64_t Ufs::FreeBlocks() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return sb_.free_blocks;
+}
+
+uint64_t Ufs::FreeInodes() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return sb_.free_inodes;
+}
+
+}  // namespace springfs::ufs

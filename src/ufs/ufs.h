@@ -1,0 +1,175 @@
+// UFS-like file system over a BlockDevice.
+//
+// This is the storage substrate underneath the Spring disk layer. It keeps
+// an in-memory inode cache (the paper notes the disk layer "maintains its
+// own cache to handle open and stat operations without requiring disk
+// I/Os") but deliberately performs no data caching: reads and writes go to
+// the device, matching Table 2's disk-layer behaviour ("reads and writes to
+// the disk layer do require disk I/Os"). Data caching is the job of the VMM
+// and the coherency layer above.
+
+#ifndef SPRINGFS_UFS_UFS_H_
+#define SPRINGFS_UFS_UFS_H_
+
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/blockdev/block_device.h"
+#include "src/support/clock.h"
+#include "src/ufs/layout.h"
+
+namespace springfs::ufs {
+
+// In-memory allocation bitmap with dirty-block write-back.
+class Bitmap {
+ public:
+  Bitmap() = default;
+  Bitmap(uint64_t num_bits, uint64_t disk_start);
+
+  bool Get(uint64_t bit) const;
+  void Set(uint64_t bit);
+  void Clear(uint64_t bit);
+  // First clear bit at or after `hint` (wrapping); kInvalid if full.
+  static constexpr uint64_t kInvalid = ~0ull;
+  uint64_t FindClear(uint64_t hint) const;
+  uint64_t CountSet() const;
+
+  uint64_t num_bits() const { return num_bits_; }
+
+  Status Load(BlockDevice& dev);
+  Status FlushDirty(BlockDevice& dev);
+
+ private:
+  uint64_t num_bits_ = 0;
+  uint64_t disk_start_ = 0;  // first device block of this bitmap
+  std::vector<uint8_t> bits_;
+  std::vector<bool> dirty_;  // one flag per on-disk bitmap block
+};
+
+struct InodeAttrs {
+  FileType type = FileType::kFree;
+  uint64_t size = 0;
+  uint32_t nlink = 0;
+  uint64_t atime_ns = 0;
+  uint64_t mtime_ns = 0;
+  uint64_t ctime_ns = 0;
+  uint64_t generation = 0;
+};
+
+struct NamedEntry {
+  std::string name;
+  InodeNum ino;
+  FileType type;
+};
+
+struct UfsStats {
+  uint64_t inode_cache_hits = 0;
+  uint64_t inode_cache_misses = 0;
+};
+
+class Ufs {
+ public:
+  // Writes a fresh empty file system (with a root directory) to `device`.
+  static Result<std::unique_ptr<Ufs>> Format(BlockDevice* device,
+                                             Clock* clock = &DefaultClock());
+
+  // Mounts an existing file system.
+  static Result<std::unique_ptr<Ufs>> Mount(BlockDevice* device,
+                                            Clock* clock = &DefaultClock());
+
+  ~Ufs();
+
+  // --- directory operations ---
+  Result<InodeNum> Lookup(InodeNum dir, std::string_view name);
+  Result<InodeNum> Create(InodeNum dir, std::string_view name, FileType type);
+  Status Remove(InodeNum dir, std::string_view name);
+  // Hard link: binds `name` in `dir` to existing inode `target`.
+  Status Link(InodeNum dir, std::string_view name, InodeNum target);
+  Status Rename(InodeNum src_dir, std::string_view src_name, InodeNum dst_dir,
+                std::string_view dst_name);
+  Result<std::vector<NamedEntry>> ReadDir(InodeNum dir);
+
+  // --- file data ---
+  // Byte-granularity read; returns bytes read (short at EOF).
+  Result<size_t> Read(InodeNum ino, uint64_t offset, MutableByteSpan out);
+  // Byte-granularity write; extends the file as needed.
+  Result<size_t> Write(InodeNum ino, uint64_t offset, ByteSpan data);
+  Status Truncate(InodeNum ino, uint64_t new_size);
+
+  // Block-granularity access for the pager path: reads/writes one
+  // kBlockSize-sized file block. Reads of holes return zeros; block writes
+  // never extend inode size (callers manage length via SetSize).
+  Status ReadFileBlock(InodeNum ino, uint64_t file_block, MutableByteSpan out);
+  Status WriteFileBlock(InodeNum ino, uint64_t file_block, ByteSpan data);
+
+  // --- attributes ---
+  Result<InodeAttrs> GetAttrs(InodeNum ino);
+  Status SetTimes(InodeNum ino, uint64_t atime_ns, uint64_t mtime_ns);
+  Status SetSize(InodeNum ino, uint64_t size);
+
+  // Writes all dirty state (inodes, bitmaps, superblock) to the device.
+  Status Sync();
+
+  const Superblock& superblock() const { return sb_; }
+  UfsStats stats() const;
+  uint64_t FreeBlocks() const;
+  uint64_t FreeInodes() const;
+
+ private:
+  Ufs(BlockDevice* device, Clock* clock);
+
+  // All private methods assume mutex_ is held.
+  Result<Inode*> GetInode(InodeNum ino);
+  Status WriteInode(InodeNum ino);
+  Result<InodeNum> AllocInode(FileType type);
+  Status FreeInode(InodeNum ino);
+  Result<BlockNum> AllocBlock();
+  Status FreeBlock(BlockNum block);
+
+  // Maps file block index -> device block. With allocate=false, returns 0
+  // for holes; with allocate=true, allocates and records a new block.
+  Result<BlockNum> MapFileBlock(Inode* inode, uint64_t file_block,
+                                bool allocate);
+  // Frees all blocks mapping file indices >= first_block.
+  Status FreeBlocksFrom(Inode* inode, uint64_t first_block);
+
+  Status ReadDeviceBlock(BlockNum block, MutableByteSpan out);
+  Status WriteDeviceBlock(BlockNum block, ByteSpan data);
+
+  // Directory helpers.
+  Result<InodeNum> DirLookup(Inode* dir_inode, std::string_view name,
+                             uint64_t* slot_block, uint32_t* slot_index);
+  Status DirAddEntry(InodeNum dir_ino, Inode* dir_inode, std::string_view name,
+                     InodeNum target);
+  Status DirRemoveEntry(Inode* dir_inode, std::string_view name);
+  Result<bool> DirIsEmpty(Inode* dir_inode);
+
+  struct CachedInode {
+    Inode inode;
+    bool dirty = false;
+  };
+
+  BlockDevice* device_;
+  Clock* clock_;
+  mutable std::mutex mutex_;
+  Superblock sb_;
+  Bitmap inode_bitmap_;
+  Bitmap data_bitmap_;
+  std::map<InodeNum, CachedInode> inode_cache_;
+  // Directory-entry cache: with the inode cache it lets the disk layer
+  // "handle open and stat operations without requiring disk I/Os" (paper
+  // Table 2 commentary).
+  std::map<std::pair<InodeNum, std::string>, InodeNum> dirent_cache_;
+  uint64_t alloc_rotor_ = 0;
+  uint64_t next_generation_ = 1;
+  mutable uint64_t cache_hits_ = 0;
+  mutable uint64_t cache_misses_ = 0;
+};
+
+}  // namespace springfs::ufs
+
+#endif  // SPRINGFS_UFS_UFS_H_

@@ -1,0 +1,554 @@
+#include "src/vmm/vmm.h"
+
+#include <algorithm>
+#include <functional>
+
+namespace springfs {
+namespace {
+
+Offset SaturatingEnd(Offset offset, Offset size) {
+  Offset end = offset + size;
+  return end < offset ? ~Offset{0} : end;
+}
+
+}  // namespace
+
+// cache_rights servant handed back from bind; names one channel of one VMM.
+class VmmCacheRights : public CacheRights {
+ public:
+  explicit VmmCacheRights(uint64_t channel_id) : channel_id_(channel_id) {}
+  uint64_t channel_id() const override { return channel_id_; }
+
+ private:
+  uint64_t channel_id_;
+};
+
+// The VMM's cache-object servant for one channel; pagers invoke it for
+// coherency actions. Runs in the VMM's domain like any servant.
+class VmmCacheObject : public CacheObject, public Servant {
+ public:
+  VmmCacheObject(sp<Domain> domain, wp<Vmm> vmm, uint64_t channel_id)
+      : Servant(std::move(domain)), vmm_(std::move(vmm)),
+        channel_id_(channel_id) {}
+
+  Result<std::vector<BlockData>> FlushBack(Offset offset,
+                                           Offset size) override {
+    return InDomain([&]() -> Result<std::vector<BlockData>> {
+      sp<Vmm> vmm = vmm_.lock();
+      if (!vmm) {
+        return ErrDeadObject("vmm gone");
+      }
+      return vmm->CacheFlushBack(channel_id_, offset, size);
+    });
+  }
+
+  Result<std::vector<BlockData>> DenyWrites(Offset offset,
+                                            Offset size) override {
+    return InDomain([&]() -> Result<std::vector<BlockData>> {
+      sp<Vmm> vmm = vmm_.lock();
+      if (!vmm) {
+        return ErrDeadObject("vmm gone");
+      }
+      return vmm->CacheDenyWrites(channel_id_, offset, size);
+    });
+  }
+
+  Result<std::vector<BlockData>> WriteBack(Offset offset,
+                                           Offset size) override {
+    return InDomain([&]() -> Result<std::vector<BlockData>> {
+      sp<Vmm> vmm = vmm_.lock();
+      if (!vmm) {
+        return ErrDeadObject("vmm gone");
+      }
+      return vmm->CacheWriteBack(channel_id_, offset, size);
+    });
+  }
+
+  Status DeleteRange(Offset offset, Offset size) override {
+    return InDomain([&]() -> Status {
+      sp<Vmm> vmm = vmm_.lock();
+      if (!vmm) {
+        return ErrDeadObject("vmm gone");
+      }
+      return vmm->CacheDeleteRange(channel_id_, offset, size);
+    });
+  }
+
+  Status ZeroFill(Offset offset, Offset size) override {
+    return InDomain([&]() -> Status {
+      sp<Vmm> vmm = vmm_.lock();
+      if (!vmm) {
+        return ErrDeadObject("vmm gone");
+      }
+      return vmm->CacheZeroFill(channel_id_, offset, size);
+    });
+  }
+
+  Status Populate(Offset offset, AccessRights access, ByteSpan data) override {
+    return InDomain([&]() -> Status {
+      sp<Vmm> vmm = vmm_.lock();
+      if (!vmm) {
+        return ErrDeadObject("vmm gone");
+      }
+      return vmm->CachePopulate(channel_id_, offset, access, data);
+    });
+  }
+
+  Status DestroyCache() override {
+    return InDomain([&]() -> Status {
+      sp<Vmm> vmm = vmm_.lock();
+      if (!vmm) {
+        return ErrDeadObject("vmm gone");
+      }
+      return vmm->CacheDestroy(channel_id_);
+    });
+  }
+
+ private:
+  wp<Vmm> vmm_;
+  uint64_t channel_id_;
+};
+
+sp<Vmm> Vmm::Create(sp<Domain> domain, std::string name, size_t max_pages) {
+  return sp<Vmm>(new Vmm(std::move(domain), std::move(name), max_pages));
+}
+
+Vmm::Vmm(sp<Domain> domain, std::string name, size_t max_pages)
+    : Servant(std::move(domain)), name_(std::move(name)),
+      max_pages_(max_pages) {}
+
+Result<CacheManager::ChannelSetup> Vmm::EstablishChannel(
+    uint64_t pager_key, sp<PagerObject> pager) {
+  return InDomain([&]() -> Result<ChannelSetup> {
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto existing = channel_by_pager_key_.find(pager_key);
+    if (existing != channel_by_pager_key_.end()) {
+      Channel& ch = channels_.at(existing->second);
+      return ChannelSetup{ch.cache_object, ch.rights_object};
+    }
+    uint64_t id = next_channel_id_++;
+    Channel ch;
+    ch.id = id;
+    ch.pager_key = pager_key;
+    ch.pager = std::move(pager);
+    ch.cache_object = std::make_shared<VmmCacheObject>(
+        domain(), std::dynamic_pointer_cast<Vmm>(shared_from_this()), id);
+    ch.rights_object = std::make_shared<VmmCacheRights>(id);
+    ChannelSetup setup{ch.cache_object, ch.rights_object};
+    channels_.emplace(id, std::move(ch));
+    channel_by_pager_key_.emplace(pager_key, id);
+    return setup;
+  });
+}
+
+Result<sp<MappedRegion>> Vmm::Map(const sp<MemoryObject>& object,
+                                  AccessRights access) {
+  sp<Vmm> self = std::dynamic_pointer_cast<Vmm>(shared_from_this());
+  ASSIGN_OR_RETURN(sp<CacheRights> rights, object->Bind(self, access));
+  uint64_t channel_id = rights->channel_id();
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (channels_.find(channel_id) == channels_.end()) {
+      return ErrInvalidArgument(
+          "bind returned cache rights for a channel this VMM does not own");
+    }
+  }
+  return std::make_shared<MappedRegion>(self, channel_id, access);
+}
+
+Status Vmm::EnsurePageAnd(uint64_t channel_id, Offset page_offset,
+                          AccessRights access,
+                          const std::function<void(Page&)>& with_page) {
+  for (int attempt = 0; attempt < 64; ++attempt) {
+    sp<PagerObject> pager;
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      auto ch_it = channels_.find(channel_id);
+      if (ch_it == channels_.end()) {
+        return ErrStale("channel destroyed");
+      }
+      Channel& ch = ch_it->second;
+      auto page_it = ch.pages.find(page_offset);
+      if (page_it != ch.pages.end() &&
+          (access == AccessRights::kReadOnly ||
+           page_it->second.rights == AccessRights::kReadWrite)) {
+        ++stats_.page_hits;
+        page_it->second.lru_tick = ++lru_clock_;
+        with_page(page_it->second);
+        return Status::Ok();
+      }
+      pager = ch.pager;
+      ++stats_.faults;
+    }
+
+    // Fault: issue the page_in with no lock held — the pager's coherency
+    // protocol may re-enter our cache objects (deny_writes on another
+    // channel, or even this one).
+    ASSIGN_OR_RETURN(Buffer data, pager->PageIn(page_offset, kPageSize, access));
+    if (data.size() < kPageSize || data.size() % kPageSize != 0) {
+      data.resize(PageCeil(std::max<Offset>(data.size(), 1)));
+    }
+
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      auto ch_it = channels_.find(channel_id);
+      if (ch_it == channels_.end()) {
+        return ErrStale("channel destroyed during fault");
+      }
+      Channel& ch = ch_it->second;
+      for (Offset off = 0; off < data.size(); off += kPageSize) {
+        Page page;
+        page.data = Buffer(data.subspan(off, kPageSize));
+        page.rights = access;
+        page.dirty = false;
+        page.lru_tick = ++lru_clock_;
+        auto [it, inserted] = ch.pages.insert_or_assign(page_offset + off,
+                                                        std::move(page));
+        (void)it;
+        if (inserted) {
+          ++total_pages_;
+        }
+      }
+      stats_.pages_cached = total_pages_;
+    }
+    RETURN_IF_ERROR(EvictIfNeeded());
+    // Loop: re-check under the lock (a concurrent coherency action may have
+    // already invalidated what we just brought in).
+  }
+  return ErrBusy("page repeatedly invalidated during fault");
+}
+
+Status Vmm::EvictIfNeeded() {
+  for (;;) {
+    sp<PagerObject> pager;
+    Offset victim_offset = 0;
+    Buffer victim_data;
+    bool victim_dirty = false;
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      if (max_pages_ == 0 || total_pages_ <= max_pages_) {
+        stats_.pages_cached = total_pages_;
+        return Status::Ok();
+      }
+      // Global LRU scan.
+      Channel* victim_channel = nullptr;
+      std::map<Offset, Page>::iterator victim_it;
+      uint64_t best_tick = ~0ull;
+      for (auto& [id, ch] : channels_) {
+        for (auto it = ch.pages.begin(); it != ch.pages.end(); ++it) {
+          if (it->second.lru_tick < best_tick) {
+            best_tick = it->second.lru_tick;
+            victim_channel = &ch;
+            victim_it = it;
+          }
+        }
+      }
+      if (victim_channel == nullptr) {
+        return Status::Ok();
+      }
+      pager = victim_channel->pager;
+      victim_offset = victim_it->first;
+      victim_dirty = victim_it->second.dirty;
+      victim_data = std::move(victim_it->second.data);
+      victim_channel->pages.erase(victim_it);
+      --total_pages_;
+      ++stats_.evictions;
+      stats_.pages_cached = total_pages_;
+    }
+    if (victim_dirty) {
+      RETURN_IF_ERROR(pager->PageOut(victim_offset, victim_data.span()));
+    }
+  }
+}
+
+Status Vmm::RegionRead(uint64_t channel_id, Offset offset,
+                       MutableByteSpan out) {
+  size_t done = 0;
+  while (done < out.size()) {
+    Offset page_offset = PageFloor(offset + done);
+    size_t in_page = (offset + done) - page_offset;
+    size_t chunk = std::min<size_t>(kPageSize - in_page, out.size() - done);
+    RETURN_IF_ERROR(EnsurePageAnd(
+        channel_id, page_offset, AccessRights::kReadOnly, [&](Page& page) {
+          std::memcpy(out.data() + done, page.data.data() + in_page, chunk);
+        }));
+    done += chunk;
+  }
+  return Status::Ok();
+}
+
+Status Vmm::RegionWrite(uint64_t channel_id, Offset offset, ByteSpan data) {
+  size_t done = 0;
+  while (done < data.size()) {
+    Offset page_offset = PageFloor(offset + done);
+    size_t in_page = (offset + done) - page_offset;
+    size_t chunk = std::min<size_t>(kPageSize - in_page, data.size() - done);
+    RETURN_IF_ERROR(EnsurePageAnd(
+        channel_id, page_offset, AccessRights::kReadWrite, [&](Page& page) {
+          std::memcpy(page.data.data() + in_page, data.data() + done, chunk);
+          page.dirty = true;
+        }));
+    done += chunk;
+  }
+  return Status::Ok();
+}
+
+Status Vmm::RegionSync(uint64_t channel_id) {
+  sp<PagerObject> pager;
+  std::vector<BlockData> dirty;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto ch_it = channels_.find(channel_id);
+    if (ch_it == channels_.end()) {
+      return ErrStale("channel destroyed");
+    }
+    Channel& ch = ch_it->second;
+    pager = ch.pager;
+    for (auto& [off, page] : ch.pages) {
+      if (page.dirty) {
+        dirty.push_back(BlockData{off, page.data});
+      }
+    }
+  }
+  for (const BlockData& block : dirty) {
+    RETURN_IF_ERROR(pager->Sync(block.offset, block.data.span()));
+  }
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto ch_it = channels_.find(channel_id);
+    if (ch_it == channels_.end()) {
+      return Status::Ok();
+    }
+    for (const BlockData& block : dirty) {
+      auto page_it = ch_it->second.pages.find(block.offset);
+      if (page_it != ch_it->second.pages.end()) {
+        page_it->second.dirty = false;
+      }
+    }
+  }
+  return Status::Ok();
+}
+
+// --- cache-object callbacks ---
+
+Result<std::vector<BlockData>> Vmm::CacheFlushBack(uint64_t channel_id,
+                                                   Offset offset,
+                                                   Offset size) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  ++stats_.flush_backs;
+  auto ch_it = channels_.find(channel_id);
+  if (ch_it == channels_.end()) {
+    return ErrStale("channel destroyed");
+  }
+  Channel& ch = ch_it->second;
+  Offset end = SaturatingEnd(offset, size);
+  std::vector<BlockData> modified;
+  auto it = ch.pages.lower_bound(PageFloor(offset));
+  while (it != ch.pages.end() && it->first < end) {
+    if (it->second.dirty) {
+      modified.push_back(BlockData{it->first, std::move(it->second.data)});
+    }
+    it = ch.pages.erase(it);
+    --total_pages_;
+  }
+  stats_.pages_cached = total_pages_;
+  return modified;
+}
+
+Result<std::vector<BlockData>> Vmm::CacheDenyWrites(uint64_t channel_id,
+                                                    Offset offset,
+                                                    Offset size) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  ++stats_.deny_writes;
+  auto ch_it = channels_.find(channel_id);
+  if (ch_it == channels_.end()) {
+    return ErrStale("channel destroyed");
+  }
+  Channel& ch = ch_it->second;
+  Offset end = SaturatingEnd(offset, size);
+  std::vector<BlockData> modified;
+  for (auto it = ch.pages.lower_bound(PageFloor(offset));
+       it != ch.pages.end() && it->first < end; ++it) {
+    Page& page = it->second;
+    if (page.dirty) {
+      modified.push_back(BlockData{it->first, page.data});
+      page.dirty = false;
+    }
+    page.rights = AccessRights::kReadOnly;
+  }
+  return modified;
+}
+
+Result<std::vector<BlockData>> Vmm::CacheWriteBack(uint64_t channel_id,
+                                                   Offset offset,
+                                                   Offset size) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  ++stats_.write_backs;
+  auto ch_it = channels_.find(channel_id);
+  if (ch_it == channels_.end()) {
+    return ErrStale("channel destroyed");
+  }
+  Channel& ch = ch_it->second;
+  Offset end = SaturatingEnd(offset, size);
+  std::vector<BlockData> modified;
+  for (auto it = ch.pages.lower_bound(PageFloor(offset));
+       it != ch.pages.end() && it->first < end; ++it) {
+    Page& page = it->second;
+    if (page.dirty) {
+      modified.push_back(BlockData{it->first, page.data});
+      page.dirty = false;
+    }
+  }
+  return modified;
+}
+
+Status Vmm::CacheDeleteRange(uint64_t channel_id, Offset offset, Offset size) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto ch_it = channels_.find(channel_id);
+  if (ch_it == channels_.end()) {
+    return ErrStale("channel destroyed");
+  }
+  Channel& ch = ch_it->second;
+  Offset end = SaturatingEnd(offset, size);
+  auto it = ch.pages.lower_bound(PageFloor(offset));
+  while (it != ch.pages.end() && it->first < end) {
+    it = ch.pages.erase(it);
+    --total_pages_;
+  }
+  stats_.pages_cached = total_pages_;
+  return Status::Ok();
+}
+
+Status Vmm::CacheZeroFill(uint64_t channel_id, Offset offset, Offset size) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto ch_it = channels_.find(channel_id);
+  if (ch_it == channels_.end()) {
+    return ErrStale("channel destroyed");
+  }
+  Channel& ch = ch_it->second;
+  Offset end = SaturatingEnd(offset, size);
+  for (auto it = ch.pages.lower_bound(PageFloor(offset));
+       it != ch.pages.end() && it->first < end; ++it) {
+    std::memset(it->second.data.data(), 0, it->second.data.size());
+    it->second.dirty = false;
+  }
+  return Status::Ok();
+}
+
+Status Vmm::CachePopulate(uint64_t channel_id, Offset offset,
+                          AccessRights access, ByteSpan data) {
+  if (offset % kPageSize != 0 || data.size() % kPageSize != 0) {
+    return ErrInvalidArgument("populate must be page-aligned");
+  }
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto ch_it = channels_.find(channel_id);
+    if (ch_it == channels_.end()) {
+      return ErrStale("channel destroyed");
+    }
+    Channel& ch = ch_it->second;
+    for (Offset off = 0; off < data.size(); off += kPageSize) {
+      Page page;
+      page.data = Buffer(data.subspan(off, kPageSize));
+      page.rights = access;
+      page.dirty = false;
+      page.lru_tick = ++lru_clock_;
+      auto [it, inserted] =
+          ch.pages.insert_or_assign(offset + off, std::move(page));
+      (void)it;
+      if (inserted) {
+        ++total_pages_;
+      }
+    }
+    stats_.pages_cached = total_pages_;
+  }
+  return EvictIfNeeded();
+}
+
+Status Vmm::CacheDestroy(uint64_t channel_id) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto ch_it = channels_.find(channel_id);
+  if (ch_it == channels_.end()) {
+    return Status::Ok();
+  }
+  total_pages_ -= ch_it->second.pages.size();
+  channel_by_pager_key_.erase(ch_it->second.pager_key);
+  channels_.erase(ch_it);
+  stats_.pages_cached = total_pages_;
+  return Status::Ok();
+}
+
+Status Vmm::DropAllPages() {
+  std::vector<std::pair<sp<PagerObject>, BlockData>> dirty;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (auto& [id, ch] : channels_) {
+      for (auto& [off, page] : ch.pages) {
+        if (page.dirty) {
+          dirty.emplace_back(ch.pager, BlockData{off, std::move(page.data)});
+        }
+        --total_pages_;
+      }
+      ch.pages.clear();
+    }
+    stats_.pages_cached = total_pages_;
+  }
+  for (auto& [pager, block] : dirty) {
+    RETURN_IF_ERROR(pager->PageOut(block.offset, block.data.span()));
+  }
+  return Status::Ok();
+}
+
+VmmStats Vmm::stats() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return stats_;
+}
+
+void Vmm::ResetStats() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  size_t cached = stats_.pages_cached;
+  stats_ = VmmStats{};
+  stats_.pages_cached = cached;
+}
+
+// --- MappedRegion ---
+
+MappedRegion::MappedRegion(sp<Vmm> vmm, uint64_t channel_id,
+                           AccessRights access)
+    : vmm_(std::move(vmm)), channel_id_(channel_id), access_(access) {}
+
+Status MappedRegion::Read(Offset offset, MutableByteSpan out) {
+  return vmm_->RegionRead(channel_id_, offset, out);
+}
+
+Status MappedRegion::Write(Offset offset, ByteSpan data) {
+  if (access_ != AccessRights::kReadWrite) {
+    return ErrPermissionDenied("store to read-only mapping");
+  }
+  return vmm_->RegionWrite(channel_id_, offset, data);
+}
+
+Status MappedRegion::Sync() { return vmm_->RegionSync(channel_id_); }
+
+// --- AddressSpace ---
+
+Result<sp<MappedRegion>> AddressSpace::Map(const sp<MemoryObject>& object,
+                                           AccessRights access) {
+  ASSIGN_OR_RETURN(sp<MappedRegion> region, vmm_->Map(object, access));
+  std::lock_guard<std::mutex> lock(mutex_);
+  mappings_.push_back(region);
+  return region;
+}
+
+void AddressSpace::Unmap(const sp<MappedRegion>& region) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  mappings_.erase(std::remove(mappings_.begin(), mappings_.end(), region),
+                  mappings_.end());
+}
+
+size_t AddressSpace::NumMappings() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return mappings_.size();
+}
+
+}  // namespace springfs

@@ -1,0 +1,179 @@
+// The per-node virtual memory manager (paper section 3.3).
+//
+// The VMM "is responsible for handling mapping, sharing, and caching of
+// local memory" and "depends on external pagers for accessing backing store
+// and maintaining inter-machine coherency." This implementation:
+//
+//   * implements the CacheManager / CacheObject side of pager-cache
+//     channels (Appendix A),
+//   * maintains a page cache keyed by channel identity, so that two
+//     equivalent memory objects — or a stacked file system that forwards
+//     bind to the layer below — share the same cached pages,
+//   * serves MappedRegion accesses with fault-driven page_in, write faults
+//     that upgrade to read-write rights (letting the pager run its
+//     coherency protocol), and LRU eviction with page_out of dirty pages.
+//
+// "Mapped" access is simulated: MappedRegion::Read/Write perform page-
+// granular faulting and memcpy instead of relying on an MMU. The fault and
+// coherency traffic — which is what the architecture is about — is real.
+
+#ifndef SPRINGFS_VMM_VMM_H_
+#define SPRINGFS_VMM_VMM_H_
+
+#include <map>
+#include <mutex>
+#include <vector>
+
+#include "src/obj/domain.h"
+#include "src/vmm/interfaces.h"
+
+namespace springfs {
+
+class MappedRegion;
+
+struct VmmStats {
+  uint64_t faults = 0;        // page_in calls issued
+  uint64_t page_hits = 0;     // page accesses served from cache
+  uint64_t evictions = 0;
+  uint64_t pages_cached = 0;  // current
+  uint64_t flush_backs = 0;   // coherency callbacks received
+  uint64_t deny_writes = 0;
+  uint64_t write_backs = 0;
+};
+
+class Vmm : public CacheManager, public Servant {
+ public:
+  // `max_pages` bounds the page cache; 0 means unbounded.
+  static sp<Vmm> Create(sp<Domain> domain, std::string name,
+                        size_t max_pages = 0);
+
+  // Maps `object` for this node. The bind operation on the memory object
+  // establishes (or reuses) a pager-cache channel.
+  Result<sp<MappedRegion>> Map(const sp<MemoryObject>& object,
+                               AccessRights access);
+
+  // --- CacheManager ---
+  Result<ChannelSetup> EstablishChannel(uint64_t pager_key,
+                                        sp<PagerObject> pager) override;
+  std::string cache_manager_name() const override { return name_; }
+
+  VmmStats stats() const;
+  void ResetStats();
+
+  // Drops every cached page of every channel (testing: simulates memory
+  // pressure). Dirty pages are paged out first.
+  Status DropAllPages();
+
+ private:
+  friend class MappedRegion;
+  friend class VmmCacheObject;
+
+  Vmm(sp<Domain> domain, std::string name, size_t max_pages);
+
+  struct Page {
+    Buffer data;
+    AccessRights rights = AccessRights::kReadOnly;
+    bool dirty = false;
+    uint64_t lru_tick = 0;
+  };
+
+  struct Channel {
+    uint64_t id = 0;
+    uint64_t pager_key = 0;
+    sp<PagerObject> pager;
+    sp<CacheObject> cache_object;
+    sp<CacheRights> rights_object;
+    std::map<Offset, Page> pages;
+  };
+
+  // MappedRegion entry points.
+  Status RegionRead(uint64_t channel_id, Offset offset, MutableByteSpan out);
+  Status RegionWrite(uint64_t channel_id, Offset offset, ByteSpan data);
+  Status RegionSync(uint64_t channel_id);
+
+  // Ensures the page at `page_offset` is cached with at least `access`;
+  // returns through `fill` under the lock. Issues page_in without holding
+  // the lock (pagers may call back into our cache objects re-entrantly).
+  Status EnsurePageAnd(uint64_t channel_id, Offset page_offset,
+                       AccessRights access,
+                       const std::function<void(Page&)>& with_page);
+
+  // Evicts LRU pages until the cache fits; never called with the lock held.
+  Status EvictIfNeeded();
+
+  // Cache-object callbacks (invoked by pagers), one per channel.
+  Result<std::vector<BlockData>> CacheFlushBack(uint64_t channel_id,
+                                                Offset offset, Offset size);
+  Result<std::vector<BlockData>> CacheDenyWrites(uint64_t channel_id,
+                                                 Offset offset, Offset size);
+  Result<std::vector<BlockData>> CacheWriteBack(uint64_t channel_id,
+                                                Offset offset, Offset size);
+  Status CacheDeleteRange(uint64_t channel_id, Offset offset, Offset size);
+  Status CacheZeroFill(uint64_t channel_id, Offset offset, Offset size);
+  Status CachePopulate(uint64_t channel_id, Offset offset, AccessRights access,
+                       ByteSpan data);
+  Status CacheDestroy(uint64_t channel_id);
+
+  std::string name_;
+  size_t max_pages_;
+
+  mutable std::mutex mutex_;
+  std::map<uint64_t, Channel> channels_;              // by channel id
+  std::map<uint64_t, uint64_t> channel_by_pager_key_;
+  uint64_t next_channel_id_ = 1;
+  uint64_t lru_clock_ = 0;
+  size_t total_pages_ = 0;
+  VmmStats stats_;
+};
+
+// A memory object mapped into an address space. Read/Write simulate
+// load/store access to the mapping: they fault pages in through the
+// pager-cache channel and copy through the VMM page cache.
+class MappedRegion : public virtual Object {
+ public:
+  MappedRegion(sp<Vmm> vmm, uint64_t channel_id, AccessRights access);
+
+  const char* interface_name() const override { return "mapped_region"; }
+
+  // Load from the mapping. Faults pages read-only.
+  Status Read(Offset offset, MutableByteSpan out);
+
+  // Store to the mapping. Faults pages read-write (kPermissionDenied for
+  // read-only mappings).
+  Status Write(Offset offset, ByteSpan data);
+
+  // Pushes dirty pages to the pager (pager_object::sync); pages stay cached.
+  Status Sync();
+
+  uint64_t channel_id() const { return channel_id_; }
+  AccessRights access() const { return access_; }
+
+ private:
+  sp<Vmm> vmm_;
+  uint64_t channel_id_;
+  AccessRights access_;
+};
+
+// An address space (paper section 3.3.1): the set of memory objects a
+// domain has mapped. Bookkeeping wrapper over Vmm::Map, used by file-system
+// layers that implement read/write by mapping files into their own space.
+class AddressSpace {
+ public:
+  explicit AddressSpace(sp<Vmm> vmm) : vmm_(std::move(vmm)) {}
+
+  Result<sp<MappedRegion>> Map(const sp<MemoryObject>& object,
+                               AccessRights access);
+  void Unmap(const sp<MappedRegion>& region);
+  size_t NumMappings() const;
+
+  const sp<Vmm>& vmm() const { return vmm_; }
+
+ private:
+  mutable std::mutex mutex_;
+  sp<Vmm> vmm_;
+  std::vector<sp<MappedRegion>> mappings_;
+};
+
+}  // namespace springfs
+
+#endif  // SPRINGFS_VMM_VMM_H_

@@ -1,0 +1,215 @@
+// Unit tests for the block-device substrate: RAM device, latency model,
+// fault injection.
+
+#include <gtest/gtest.h>
+
+#include "src/blockdev/block_device.h"
+#include "src/blockdev/decorators.h"
+#include "src/support/rng.h"
+#include "src/ufs/ufs.h"
+
+namespace springfs {
+namespace {
+
+constexpr uint32_t kBs = 4096;
+
+TEST(MemBlockDeviceTest, ReadsBackWrites) {
+  MemBlockDevice dev(kBs, 8);
+  Rng rng(3);
+  Buffer data = rng.RandomBuffer(kBs);
+  ASSERT_TRUE(dev.WriteBlock(5, data.span()).ok());
+  Buffer out(kBs);
+  ASSERT_TRUE(dev.ReadBlock(5, out.mutable_span()).ok());
+  EXPECT_EQ(out, data);
+}
+
+TEST(MemBlockDeviceTest, FreshDeviceReadsZeros) {
+  MemBlockDevice dev(kBs, 2);
+  Buffer out(kBs);
+  ASSERT_TRUE(dev.ReadBlock(1, out.mutable_span()).ok());
+  for (size_t i = 0; i < kBs; ++i) {
+    ASSERT_EQ(out.data()[i], 0);
+  }
+}
+
+TEST(MemBlockDeviceTest, RejectsOutOfRangeBlock) {
+  MemBlockDevice dev(kBs, 4);
+  Buffer buf(kBs);
+  EXPECT_EQ(dev.ReadBlock(4, buf.mutable_span()).code(),
+            ErrorCode::kOutOfRange);
+  EXPECT_EQ(dev.WriteBlock(100, buf.span()).code(), ErrorCode::kOutOfRange);
+}
+
+TEST(MemBlockDeviceTest, RejectsWrongSpanSize) {
+  MemBlockDevice dev(kBs, 4);
+  Buffer small(16);
+  EXPECT_EQ(dev.ReadBlock(0, small.mutable_span()).code(),
+            ErrorCode::kInvalidArgument);
+  EXPECT_EQ(dev.WriteBlock(0, small.span()).code(),
+            ErrorCode::kInvalidArgument);
+}
+
+TEST(MemBlockDeviceTest, CountsOperations) {
+  MemBlockDevice dev(kBs, 4);
+  Buffer buf(kBs);
+  ASSERT_TRUE(dev.WriteBlock(0, buf.span()).ok());
+  ASSERT_TRUE(dev.ReadBlock(0, buf.mutable_span()).ok());
+  ASSERT_TRUE(dev.ReadBlock(0, buf.mutable_span()).ok());
+  ASSERT_TRUE(dev.Flush().ok());
+  BlockDeviceStats stats = dev.stats();
+  EXPECT_EQ(stats.reads, 2u);
+  EXPECT_EQ(stats.writes, 1u);
+  EXPECT_EQ(stats.flushes, 1u);
+  dev.ResetStats();
+  EXPECT_EQ(dev.stats().reads, 0u);
+}
+
+TEST(DiskLatencyModelTest, SeekScalesWithDistance) {
+  DiskLatencyModel model;
+  uint64_t near = model.LatencyNs(0, 0, 1000);
+  uint64_t mid = model.LatencyNs(0, 500, 1000);
+  uint64_t far = model.LatencyNs(0, 999, 1000);
+  // Strip the (deterministic) rotational component by comparing lower
+  // bounds: far seeks must cost at least the seek-time delta more.
+  EXPECT_GT(far + model.rotation_ns, mid);
+  EXPECT_GT(mid + model.rotation_ns, near);
+  EXPECT_GE(far, model.fixed_ns + model.max_seek_ns * 999 / 999);
+}
+
+TEST(DiskLatencyModelTest, RotationIsDeterministicPerBlock) {
+  DiskLatencyModel model;
+  EXPECT_EQ(model.LatencyNs(10, 20, 100), model.LatencyNs(10, 20, 100));
+}
+
+TEST(LatencyBlockDeviceTest, ChargesTimeAndPreservesData) {
+  FakeClock clock;
+  auto base = std::make_unique<MemBlockDevice>(kBs, 16);
+  DiskLatencyModel model;
+  LatencyBlockDevice dev(std::move(base), model, &clock);
+  Buffer data(kBs);
+  data.data()[0] = 0xAB;
+  TimeNs before = clock.Now();
+  ASSERT_TRUE(dev.WriteBlock(3, data.span()).ok());
+  EXPECT_GT(clock.Now(), before);
+  EXPECT_GE(dev.total_latency_ns(), model.fixed_ns);
+  Buffer out(kBs);
+  ASSERT_TRUE(dev.ReadBlock(3, out.mutable_span()).ok());
+  EXPECT_EQ(out.data()[0], 0xAB);
+}
+
+TEST(LatencyBlockDeviceTest, SequentialCheaperThanRandom) {
+  FakeClock clock;
+  DiskLatencyModel model;
+  LatencyBlockDevice dev(std::make_unique<MemBlockDevice>(kBs, 4096), model,
+                         &clock);
+  Buffer buf(kBs);
+
+  TimeNs t0 = clock.Now();
+  for (BlockNum b = 100; b < 164; ++b) {
+    ASSERT_TRUE(dev.ReadBlock(b, buf.mutable_span()).ok());
+  }
+  TimeNs sequential = clock.Now() - t0;
+
+  Rng rng(5);
+  t0 = clock.Now();
+  for (int i = 0; i < 64; ++i) {
+    ASSERT_TRUE(dev.ReadBlock(rng.Below(4096), buf.mutable_span()).ok());
+  }
+  TimeNs random = clock.Now() - t0;
+  EXPECT_LT(sequential, random);
+}
+
+TEST(FaultyBlockDeviceTest, PassesThroughByDefault) {
+  FaultyBlockDevice dev(std::make_unique<MemBlockDevice>(kBs, 4));
+  Buffer buf(kBs);
+  EXPECT_TRUE(dev.WriteBlock(0, buf.span()).ok());
+  EXPECT_TRUE(dev.ReadBlock(0, buf.mutable_span()).ok());
+  EXPECT_TRUE(dev.Flush().ok());
+}
+
+TEST(FaultyBlockDeviceTest, PredicateInjectsErrors) {
+  FaultyBlockDevice dev(std::make_unique<MemBlockDevice>(kBs, 8),
+                        [](int op, BlockNum block) {
+                          return op == 0 && block == 3;
+                        });
+  Buffer buf(kBs);
+  EXPECT_TRUE(dev.ReadBlock(2, buf.mutable_span()).ok());
+  EXPECT_EQ(dev.ReadBlock(3, buf.mutable_span()).code(), ErrorCode::kIoError);
+  EXPECT_TRUE(dev.WriteBlock(3, buf.span()).ok());  // writes unaffected
+  EXPECT_EQ(dev.stats().read_errors, 1u);
+}
+
+TEST(FaultyBlockDeviceTest, BrokenDeviceFailsEverything) {
+  FaultyBlockDevice dev(std::make_unique<MemBlockDevice>(kBs, 8));
+  Buffer buf(kBs);
+  dev.set_broken(true);
+  EXPECT_EQ(dev.ReadBlock(0, buf.mutable_span()).code(), ErrorCode::kIoError);
+  EXPECT_EQ(dev.WriteBlock(0, buf.span()).code(), ErrorCode::kIoError);
+  EXPECT_EQ(dev.Flush().code(), ErrorCode::kIoError);
+  dev.set_broken(false);
+  EXPECT_TRUE(dev.ReadBlock(0, buf.mutable_span()).ok());
+}
+
+TEST(FaultyBlockDeviceTest, PredicateCanBeSwapped) {
+  FaultyBlockDevice dev(std::make_unique<MemBlockDevice>(kBs, 8));
+  Buffer buf(kBs);
+  EXPECT_TRUE(dev.WriteBlock(1, buf.span()).ok());
+  dev.set_predicate([](int op, BlockNum) { return op == 1; });
+  EXPECT_EQ(dev.WriteBlock(1, buf.span()).code(), ErrorCode::kIoError);
+  dev.set_predicate(nullptr);
+  EXPECT_TRUE(dev.WriteBlock(1, buf.span()).ok());
+}
+
+
+TEST(FileBlockDeviceTest, PersistsAcrossReopen) {
+  std::string path = ::testing::TempDir() + "/springfs_fbd_test.img";
+  ::remove(path.c_str());
+  Rng rng(9);
+  Buffer data = rng.RandomBuffer(kBs);
+  {
+    Result<std::unique_ptr<FileBlockDevice>> dev =
+        FileBlockDevice::Open(path, kBs, 16);
+    ASSERT_TRUE(dev.ok()) << dev.status().ToString();
+    ASSERT_TRUE((*dev)->WriteBlock(7, data.span()).ok());
+    ASSERT_TRUE((*dev)->Flush().ok());
+  }
+  {
+    std::unique_ptr<FileBlockDevice> dev =
+        FileBlockDevice::Open(path, kBs, 16).take_value();
+    Buffer out(kBs);
+    ASSERT_TRUE(dev->ReadBlock(7, out.mutable_span()).ok());
+    EXPECT_EQ(out, data);
+    EXPECT_EQ(dev->ReadBlock(16, out.mutable_span()).code(),
+              ErrorCode::kOutOfRange);
+  }
+  ::remove(path.c_str());
+}
+
+TEST(FileBlockDeviceTest, WholeUfsSurvivesProcessStyleRemount) {
+  std::string path = ::testing::TempDir() + "/springfs_fbd_ufs.img";
+  ::remove(path.c_str());
+  {
+    std::unique_ptr<FileBlockDevice> dev =
+        FileBlockDevice::Open(path, kBs, 256).take_value();
+    // Format + write through the real UFS; destructor syncs.
+    auto fs = springfs::ufs::Ufs::Format(dev.get()).take_value();
+    auto ino = fs->Create(springfs::ufs::kRootInode, "persistent",
+                          springfs::ufs::FileType::kRegular).take_value();
+    Buffer text(std::string("on the host file system"));
+    ASSERT_TRUE(fs->Write(ino, 0, text.span()).ok());
+    ASSERT_TRUE(fs->Sync().ok());
+  }
+  {
+    std::unique_ptr<FileBlockDevice> dev =
+        FileBlockDevice::Open(path, kBs, 256).take_value();
+    auto fs = springfs::ufs::Ufs::Mount(dev.get()).take_value();
+    auto ino = fs->Lookup(springfs::ufs::kRootInode, "persistent").take_value();
+    Buffer out(23);
+    ASSERT_TRUE(fs->Read(ino, 0, out.mutable_span()).ok());
+    EXPECT_EQ(out.ToString(), "on the host file system");
+  }
+  ::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace springfs

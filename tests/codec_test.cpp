@@ -1,0 +1,180 @@
+// Unit and property tests for the codecs (RLE, LZ77) and the XTEA cipher.
+
+#include <gtest/gtest.h>
+
+#include "src/codec/codec.h"
+#include "src/support/rng.h"
+
+namespace springfs {
+namespace {
+
+class CodecRoundTripTest
+    : public ::testing::TestWithParam<std::tuple<const char*, uint64_t>> {};
+
+TEST_P(CodecRoundTripTest, RandomBuffers) {
+  const Codec* codec = CodecByName(std::get<0>(GetParam()));
+  ASSERT_NE(codec, nullptr);
+  Rng rng(std::get<1>(GetParam()));
+  for (size_t size : {0, 1, 2, 7, 100, 4096, 100000}) {
+    Buffer input = rng.RandomBuffer(size);
+    Buffer compressed = codec->Compress(input.span());
+    Result<Buffer> output = codec->Decompress(compressed.span(), size);
+    ASSERT_TRUE(output.ok()) << codec->name() << " size " << size << ": "
+                             << output.status().ToString();
+    EXPECT_EQ(*output, input) << codec->name() << " size " << size;
+  }
+}
+
+TEST_P(CodecRoundTripTest, CompressibleBuffers) {
+  const Codec* codec = CodecByName(std::get<0>(GetParam()));
+  ASSERT_NE(codec, nullptr);
+  Rng rng(std::get<1>(GetParam()));
+  for (size_t size : {64, 4096, 65536}) {
+    Buffer input = rng.CompressibleBuffer(size);
+    Buffer compressed = codec->Compress(input.span());
+    EXPECT_LT(compressed.size(), size)
+        << codec->name() << " failed to shrink runs at size " << size;
+    Result<Buffer> output = codec->Decompress(compressed.span(), size);
+    ASSERT_TRUE(output.ok());
+    EXPECT_EQ(*output, input);
+  }
+}
+
+TEST_P(CodecRoundTripTest, StructuredText) {
+  const Codec* codec = CodecByName(std::get<0>(GetParam()));
+  std::string text;
+  for (int i = 0; i < 200; ++i) {
+    text += "the quick brown fox jumps over the lazy dog; ";
+  }
+  Buffer input(text);
+  Buffer compressed = codec->Compress(input.span());
+  Result<Buffer> output = codec->Decompress(compressed.span(), input.size());
+  ASSERT_TRUE(output.ok());
+  EXPECT_EQ(output->ToString(), text);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Codecs, CodecRoundTripTest,
+    ::testing::Combine(::testing::Values("rle", "lz77"),
+                       ::testing::Values(1, 42, 20260707)),
+    [](const auto& info) {
+      return std::string(std::get<0>(info.param)) + "_seed" +
+             std::to_string(std::get<1>(info.param));
+    });
+
+TEST(Lz77Test, BeatsRleOnText) {
+  std::string text;
+  for (int i = 0; i < 100; ++i) {
+    text += "abcdefgh-repetitive-structure-";
+  }
+  Buffer input(text);
+  Buffer lz = CodecByName("lz77")->Compress(input.span());
+  Buffer rle = CodecByName("rle")->Compress(input.span());
+  EXPECT_LT(lz.size(), rle.size());
+  EXPECT_LT(lz.size(), input.size() / 4);
+}
+
+TEST(Lz77Test, HandlesOverlappingMatches) {
+  // "aaaa..." forces self-overlapping copies (dist < len).
+  Buffer input(std::string(1000, 'a'));
+  const Codec* codec = CodecByName("lz77");
+  Buffer compressed = codec->Compress(input.span());
+  EXPECT_LT(compressed.size(), 32u);
+  Result<Buffer> output = codec->Decompress(compressed.span(), 1000);
+  ASSERT_TRUE(output.ok());
+  EXPECT_EQ(*output, input);
+}
+
+TEST(CodecTest, DecompressRejectsCorruptInput) {
+  Rng rng(5);
+  Buffer input = rng.CompressibleBuffer(4096);
+  for (const char* name : {"rle", "lz77"}) {
+    const Codec* codec = CodecByName(name);
+    Buffer compressed = codec->Compress(input.span());
+    // Wrong expected size.
+    EXPECT_FALSE(codec->Decompress(compressed.span(), 4095).ok()) << name;
+    // Truncated stream.
+    Buffer truncated(compressed.subspan(0, compressed.size() / 2));
+    EXPECT_FALSE(codec->Decompress(truncated.span(), 4096).ok()) << name;
+  }
+}
+
+TEST(CodecTest, Lz77RejectsBadTokens) {
+  const Codec* codec = CodecByName("lz77");
+  // Unknown token kind.
+  uint8_t bad_kind[] = {0x07, 0, 0};
+  EXPECT_EQ(codec->Decompress(ByteSpan(bad_kind, 3), 10).status().code(),
+            ErrorCode::kCorrupted);
+  // Match with distance beyond output.
+  uint8_t bad_dist[] = {0x01, 0x04, 0x00, 0xFF, 0x00};
+  EXPECT_EQ(codec->Decompress(ByteSpan(bad_dist, 5), 10).status().code(),
+            ErrorCode::kCorrupted);
+}
+
+TEST(CodecTest, UnknownCodecNameIsNull) {
+  EXPECT_EQ(CodecByName("zstd"), nullptr);
+  EXPECT_NE(CodecByName("rle"), nullptr);
+  EXPECT_NE(CodecByName("lz77"), nullptr);
+}
+
+// --- XTEA ---
+
+TEST(XteaTest, BlockEncryptDecryptRoundTrip) {
+  XteaKey key = XteaKey::FromPassphrase("secret");
+  uint32_t block[2] = {0x12345678, 0x9ABCDEF0};
+  uint32_t original[2] = {block[0], block[1]};
+  XteaEncryptBlock(key, block);
+  EXPECT_TRUE(block[0] != original[0] || block[1] != original[1]);
+  XteaDecryptBlock(key, block);
+  EXPECT_EQ(block[0], original[0]);
+  EXPECT_EQ(block[1], original[1]);
+}
+
+TEST(XteaTest, DifferentKeysDifferentCiphertext) {
+  XteaKey k1 = XteaKey::FromPassphrase("one");
+  XteaKey k2 = XteaKey::FromPassphrase("two");
+  uint32_t b1[2] = {1, 2};
+  uint32_t b2[2] = {1, 2};
+  XteaEncryptBlock(k1, b1);
+  XteaEncryptBlock(k2, b2);
+  EXPECT_TRUE(b1[0] != b2[0] || b1[1] != b2[1]);
+}
+
+TEST(XteaTest, CtrIsSelfInverse) {
+  XteaKey key = XteaKey::FromPassphrase("ctr");
+  Rng rng(9);
+  Buffer data = rng.RandomBuffer(4096);
+  Buffer original = data;
+  XteaCtrApply(key, 8192, data.mutable_span());
+  EXPECT_NE(data, original);
+  XteaCtrApply(key, 8192, data.mutable_span());
+  EXPECT_EQ(data, original);
+}
+
+TEST(XteaTest, CtrDependsOnStreamOffset) {
+  XteaKey key = XteaKey::FromPassphrase("ctr");
+  Buffer a(size_t{64}), b(size_t{64});  // zero-filled
+  XteaCtrApply(key, 0, a.mutable_span());
+  XteaCtrApply(key, 64, b.mutable_span());
+  EXPECT_NE(a, b);
+}
+
+TEST(XteaTest, CtrHandlesUnalignedTail) {
+  XteaKey key = XteaKey::FromPassphrase("tail");
+  Buffer data(size_t{13});
+  Buffer original = data;
+  XteaCtrApply(key, 0, data.mutable_span());
+  XteaCtrApply(key, 0, data.mutable_span());
+  EXPECT_EQ(data, original);
+}
+
+TEST(XteaTest, KeyDerivationIsDeterministic) {
+  XteaKey a = XteaKey::FromPassphrase("same");
+  XteaKey b = XteaKey::FromPassphrase("same");
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_EQ(a.words[i], b.words[i]);
+  }
+}
+
+}  // namespace
+}  // namespace springfs

@@ -1,0 +1,241 @@
+// Unit tests for the coherency engine: MRSW state transitions, callback
+// selection, recovered-data plumbing, release paths, and a randomized
+// invariant sweep with scripted fake caches.
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "src/coherency/engine.h"
+#include "src/support/rng.h"
+
+namespace springfs {
+namespace {
+
+// A scripted cache object that records the callbacks it receives and can be
+// loaded with dirty blocks to hand back.
+class FakeCache : public CacheObject {
+ public:
+  Result<std::vector<BlockData>> FlushBack(Offset offset,
+                                           Offset size) override {
+    ++flush_backs;
+    return TakeDirty(offset, size);
+  }
+  Result<std::vector<BlockData>> DenyWrites(Offset offset,
+                                            Offset size) override {
+    ++deny_writes;
+    return TakeDirty(offset, size);
+  }
+  Result<std::vector<BlockData>> WriteBack(Offset offset,
+                                           Offset size) override {
+    ++write_backs;
+    return TakeDirty(offset, size);
+  }
+  Status DeleteRange(Offset, Offset) override { return Status::Ok(); }
+  Status ZeroFill(Offset, Offset) override { return Status::Ok(); }
+  Status Populate(Offset, AccessRights, ByteSpan) override {
+    return Status::Ok();
+  }
+  Status DestroyCache() override { return Status::Ok(); }
+
+  void LoadDirty(Offset offset, Buffer data) {
+    dirty_[offset] = std::move(data);
+  }
+
+  int flush_backs = 0;
+  int deny_writes = 0;
+  int write_backs = 0;
+
+ private:
+  std::vector<BlockData> TakeDirty(Offset offset, Offset size) {
+    std::vector<BlockData> out;
+    Offset end = offset + size;
+    for (auto it = dirty_.begin(); it != dirty_.end();) {
+      if (it->first >= offset && it->first < end) {
+        out.push_back(BlockData{it->first, std::move(it->second)});
+        it = dirty_.erase(it);
+      } else {
+        ++it;
+      }
+    }
+    return out;
+  }
+
+  std::map<Offset, Buffer> dirty_;
+};
+
+class EngineTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    c1_ = std::make_shared<FakeCache>();
+    c2_ = std::make_shared<FakeCache>();
+    c3_ = std::make_shared<FakeCache>();
+    engine_.AddCache(1, c1_);
+    engine_.AddCache(2, c2_);
+    engine_.AddCache(3, c3_);
+  }
+
+  CoherencyEngine engine_;
+  sp<FakeCache> c1_, c2_, c3_;
+};
+
+TEST_F(EngineTest, ReadersCoexistWithoutCallbacks) {
+  ASSERT_TRUE(engine_.Acquire(1, 0, kPageSize, AccessRights::kReadOnly).ok());
+  ASSERT_TRUE(engine_.Acquire(2, 0, kPageSize, AccessRights::kReadOnly).ok());
+  ASSERT_TRUE(engine_.Acquire(3, 0, kPageSize, AccessRights::kReadOnly).ok());
+  EXPECT_EQ(c1_->flush_backs + c2_->flush_backs + c3_->flush_backs, 0);
+  EXPECT_EQ(c1_->deny_writes + c2_->deny_writes + c3_->deny_writes, 0);
+  EXPECT_EQ(engine_.BlockNumReaders(0), 3u);
+  EXPECT_TRUE(engine_.CheckInvariants());
+}
+
+TEST_F(EngineTest, WriterFlushesAllReaders) {
+  ASSERT_TRUE(engine_.Acquire(1, 0, kPageSize, AccessRights::kReadOnly).ok());
+  ASSERT_TRUE(engine_.Acquire(2, 0, kPageSize, AccessRights::kReadOnly).ok());
+  ASSERT_TRUE(engine_.Acquire(3, 0, kPageSize, AccessRights::kReadWrite).ok());
+  EXPECT_EQ(c1_->flush_backs, 1);
+  EXPECT_EQ(c2_->flush_backs, 1);
+  EXPECT_EQ(c3_->flush_backs, 0);
+  EXPECT_TRUE(engine_.BlockHasWriter(0));
+  EXPECT_EQ(engine_.BlockNumReaders(0), 0u);
+  EXPECT_TRUE(engine_.CheckInvariants());
+}
+
+TEST_F(EngineTest, ReaderDemotesWriterAndRecoversDirtyData) {
+  ASSERT_TRUE(engine_.Acquire(1, 0, kPageSize, AccessRights::kReadWrite).ok());
+  Buffer dirty(kPageSize);
+  dirty.data()[0] = 0x42;
+  c1_->LoadDirty(0, dirty);
+  Result<std::vector<BlockData>> recovered =
+      engine_.Acquire(2, 0, kPageSize, AccessRights::kReadOnly);
+  ASSERT_TRUE(recovered.ok());
+  EXPECT_EQ(c1_->deny_writes, 1);
+  ASSERT_EQ(recovered->size(), 1u);
+  EXPECT_EQ((*recovered)[0].offset, 0u);
+  EXPECT_EQ((*recovered)[0].data.data()[0], 0x42);
+  // Ex-writer is now a reader alongside the requester.
+  EXPECT_FALSE(engine_.BlockHasWriter(0));
+  EXPECT_EQ(engine_.BlockNumReaders(0), 2u);
+  EXPECT_TRUE(engine_.CheckInvariants());
+  EXPECT_EQ(engine_.stats().blocks_recovered, 1u);
+}
+
+TEST_F(EngineTest, WriterStealsFromWriter) {
+  ASSERT_TRUE(engine_.Acquire(1, 0, kPageSize, AccessRights::kReadWrite).ok());
+  ASSERT_TRUE(engine_.Acquire(2, 0, kPageSize, AccessRights::kReadWrite).ok());
+  EXPECT_EQ(c1_->flush_backs, 1);
+  EXPECT_TRUE(engine_.BlockHasWriter(0));
+  EXPECT_TRUE(engine_.CheckInvariants());
+}
+
+TEST_F(EngineTest, RepeatAcquireBySameHolderIsFree) {
+  ASSERT_TRUE(engine_.Acquire(1, 0, kPageSize, AccessRights::kReadWrite).ok());
+  ASSERT_TRUE(engine_.Acquire(1, 0, kPageSize, AccessRights::kReadWrite).ok());
+  ASSERT_TRUE(engine_.Acquire(1, 0, kPageSize, AccessRights::kReadOnly).ok());
+  EXPECT_EQ(c1_->flush_backs + c1_->deny_writes, 0);
+}
+
+TEST_F(EngineTest, BlocksAreIndependent) {
+  ASSERT_TRUE(engine_.Acquire(1, 0, kPageSize, AccessRights::kReadWrite).ok());
+  ASSERT_TRUE(engine_.Acquire(2, kPageSize, kPageSize,
+                              AccessRights::kReadWrite).ok());
+  EXPECT_EQ(c1_->flush_backs, 0);
+  EXPECT_EQ(c2_->flush_backs, 0);
+  EXPECT_TRUE(engine_.BlockHasWriter(0));
+  EXPECT_TRUE(engine_.BlockHasWriter(kPageSize));
+  EXPECT_TRUE(engine_.CheckInvariants());
+}
+
+TEST_F(EngineTest, RangeAcquireSpansMultipleBlocks) {
+  ASSERT_TRUE(engine_.Acquire(1, 0, kPageSize, AccessRights::kReadWrite).ok());
+  ASSERT_TRUE(engine_.Acquire(1, 2 * kPageSize, kPageSize,
+                              AccessRights::kReadWrite).ok());
+  // One flush_back call covering the whole range, not one per block.
+  ASSERT_TRUE(engine_.Acquire(2, 0, 3 * kPageSize,
+                              AccessRights::kReadWrite).ok());
+  EXPECT_EQ(c1_->flush_backs, 1);
+  EXPECT_TRUE(engine_.BlockHasWriter(0));
+  EXPECT_TRUE(engine_.BlockHasWriter(kPageSize));
+  EXPECT_TRUE(engine_.BlockHasWriter(2 * kPageSize));
+}
+
+TEST_F(EngineTest, AnonymousReaderDemotesButHoldsNothing) {
+  ASSERT_TRUE(engine_.Acquire(1, 0, kPageSize, AccessRights::kReadWrite).ok());
+  ASSERT_TRUE(engine_.Acquire(0, 0, kPageSize, AccessRights::kReadOnly).ok());
+  EXPECT_EQ(c1_->deny_writes, 1);
+  EXPECT_FALSE(engine_.BlockHasWriter(0));
+  EXPECT_EQ(engine_.BlockNumReaders(0), 1u);  // only the demoted ex-writer
+}
+
+TEST_F(EngineTest, AnonymousWriterFlushesEveryone) {
+  ASSERT_TRUE(engine_.Acquire(1, 0, kPageSize, AccessRights::kReadOnly).ok());
+  ASSERT_TRUE(engine_.Acquire(2, 0, kPageSize, AccessRights::kReadOnly).ok());
+  ASSERT_TRUE(engine_.Acquire(0, 0, kPageSize, AccessRights::kReadWrite).ok());
+  EXPECT_EQ(c1_->flush_backs, 1);
+  EXPECT_EQ(c2_->flush_backs, 1);
+  EXPECT_FALSE(engine_.BlockHasWriter(0));
+  EXPECT_EQ(engine_.BlockNumReaders(0), 0u);
+}
+
+TEST_F(EngineTest, ReleaseDroppedClearsHolder) {
+  ASSERT_TRUE(engine_.Acquire(1, 0, kPageSize, AccessRights::kReadWrite).ok());
+  engine_.ReleaseDropped(1, 0, kPageSize);
+  EXPECT_FALSE(engine_.BlockHasWriter(0));
+  // A new writer needs no callbacks now.
+  ASSERT_TRUE(engine_.Acquire(2, 0, kPageSize, AccessRights::kReadWrite).ok());
+  EXPECT_EQ(c1_->flush_backs, 0);
+}
+
+TEST_F(EngineTest, ReleaseDowngradedKeepsReader) {
+  ASSERT_TRUE(engine_.Acquire(1, 0, kPageSize, AccessRights::kReadWrite).ok());
+  engine_.ReleaseDowngraded(1, 0, kPageSize);
+  EXPECT_FALSE(engine_.BlockHasWriter(0));
+  EXPECT_EQ(engine_.BlockNumReaders(0), 1u);
+  // A subsequent writer must flush the downgraded holder.
+  ASSERT_TRUE(engine_.Acquire(2, 0, kPageSize, AccessRights::kReadWrite).ok());
+  EXPECT_EQ(c1_->flush_backs, 1);
+}
+
+TEST_F(EngineTest, RemoveCacheForgetsItsHoldings) {
+  ASSERT_TRUE(engine_.Acquire(1, 0, kPageSize, AccessRights::kReadWrite).ok());
+  engine_.RemoveCache(1);
+  EXPECT_FALSE(engine_.BlockHasWriter(0));
+  EXPECT_EQ(engine_.NumCaches(), 2u);
+  EXPECT_TRUE(engine_.CheckInvariants());
+}
+
+class EnginePropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(EnginePropertyTest, RandomAcquireSequencePreservesInvariants) {
+  CoherencyEngine engine;
+  std::vector<sp<FakeCache>> caches;
+  for (uint64_t id = 1; id <= 4; ++id) {
+    caches.push_back(std::make_shared<FakeCache>());
+    engine.AddCache(id, caches.back());
+  }
+  Rng rng(GetParam());
+  for (int step = 0; step < 2000; ++step) {
+    uint64_t cache_id = rng.Range(1, 4);
+    Offset offset = rng.Below(8) * kPageSize;
+    Offset size = rng.Range(1, 3) * kPageSize;
+    uint64_t action = rng.Below(10);
+    if (action < 5) {
+      ASSERT_TRUE(engine.Acquire(cache_id, offset, size,
+                                 AccessRights::kReadOnly).ok());
+    } else if (action < 8) {
+      ASSERT_TRUE(engine.Acquire(cache_id, offset, size,
+                                 AccessRights::kReadWrite).ok());
+    } else if (action < 9) {
+      engine.ReleaseDropped(cache_id, offset, size);
+    } else {
+      engine.ReleaseDowngraded(cache_id, offset, size);
+    }
+    ASSERT_TRUE(engine.CheckInvariants()) << "step " << step;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, EnginePropertyTest,
+                         ::testing::Values(1, 7, 13, 77, 20260707));
+
+}  // namespace
+}  // namespace springfs

@@ -1,0 +1,417 @@
+// Tests for the network fabric, the DFS server/client (Figures 7 and 9),
+// and CFS attribute caching: remote access, local-bind forwarding, cross-
+// node coherency, callbacks, partitions, and the full DFS/COMPFS/SFS stack.
+
+#include <gtest/gtest.h>
+
+#include "src/layers/cfs/cfs_layer.h"
+#include "src/layers/compfs/comp_layer.h"
+#include "src/layers/dfs/dfs_client.h"
+#include "src/layers/dfs/dfs_server.h"
+#include "src/layers/sfs/sfs.h"
+#include "src/support/rng.h"
+
+namespace springfs {
+namespace {
+
+using dfs::DfsClient;
+using dfs::DfsServer;
+
+// --- net fabric basics ---
+
+TEST(NetworkTest, FrameRoundTrip) {
+  net::Frame frame;
+  frame.type = 7;
+  frame.arg0 = 1;
+  frame.arg1 = 2;
+  frame.arg2 = 3;
+  frame.arg3 = 4;
+  frame.status = -5;
+  frame.payload = Buffer(std::string("payload"));
+  Buffer wire = frame.Serialize();
+  Result<net::Frame> back = net::Frame::Deserialize(wire.span());
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(back->type, 7u);
+  EXPECT_EQ(back->arg3, 4u);
+  EXPECT_EQ(back->status, -5);
+  EXPECT_EQ(back->payload.ToString(), "payload");
+}
+
+TEST(NetworkTest, DeserializeRejectsGarbage) {
+  Buffer junk(std::string("xx"));
+  EXPECT_FALSE(net::Frame::Deserialize(junk.span()).ok());
+}
+
+TEST(NetworkTest, CallDispatchesAndCharges) {
+  FakeClock clock;
+  net::Network network(&clock, /*default_latency_ns=*/1000);
+  network.AddNode("a");
+  sp<net::Node> b = network.AddNode("b");
+  b->RegisterService("echo", [](const net::Frame& request) {
+    net::Frame response;
+    response.arg0 = request.arg0 + 1;
+    response.payload = request.payload;
+    return response;
+  });
+  net::Frame request;
+  request.arg0 = 41;
+  request.payload = Buffer(std::string("hi"));
+  TimeNs before = clock.Now();
+  Result<net::Frame> response = network.Call("a", "b", "echo", request);
+  ASSERT_TRUE(response.ok());
+  EXPECT_EQ(response->arg0, 42u);
+  EXPECT_EQ(response->payload.ToString(), "hi");
+  EXPECT_EQ(clock.Now() - before, 2000u);  // two hops
+  EXPECT_EQ(network.stats().messages, 2u);
+}
+
+TEST(NetworkTest, UnknownNodeOrServiceFails) {
+  FakeClock clock;
+  net::Network network(&clock);
+  network.AddNode("a");
+  network.AddNode("b");
+  net::Frame request;
+  EXPECT_EQ(network.Call("a", "nowhere", "svc", request).status().code(),
+            ErrorCode::kNotFound);
+  EXPECT_EQ(network.Call("a", "b", "no-svc", request).status().code(),
+            ErrorCode::kNotFound);
+}
+
+TEST(NetworkTest, PartitionCutsTraffic) {
+  FakeClock clock;
+  net::Network network(&clock);
+  network.AddNode("a");
+  sp<net::Node> b = network.AddNode("b");
+  b->RegisterService("svc", [](const net::Frame&) { return net::Frame{}; });
+  network.SetPartitioned("b", true);
+  EXPECT_EQ(network.Call("a", "b", "svc", net::Frame{}).status().code(),
+            ErrorCode::kConnectionLost);
+  network.SetPartitioned("b", false);
+  EXPECT_TRUE(network.Call("a", "b", "svc", net::Frame{}).ok());
+}
+
+// --- DFS fixture: server node with SFS, one or two client nodes ---
+
+class DfsTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    network_ = std::make_unique<net::Network>(&clock_, 1000);
+    server_node_ = network_->AddNode("server");
+    client_node_ = network_->AddNode("client1");
+    client2_node_ = network_->AddNode("client2");
+
+    device_ = std::make_unique<MemBlockDevice>(ufs::kBlockSize, 8192);
+    sfs_ = *CreateSfs(device_.get(), SfsOptions{}, &clock_);
+    server_ = *DfsServer::Create(server_node_, network_.get(), "dfs",
+                                 sfs_.root, &clock_);
+
+    client_ = *DfsClient::Mount(client_node_, network_.get(), "server", "dfs");
+    client_vmm_ = Vmm::Create(client_node_->domain(), "client1-vmm");
+    client2_ = *DfsClient::Mount(client2_node_, network_.get(), "server",
+                                 "dfs");
+    client2_vmm_ = Vmm::Create(client2_node_->domain(), "client2-vmm");
+  }
+
+  Credentials sys_ = Credentials::System();
+  FakeClock clock_;
+  std::unique_ptr<net::Network> network_;
+  sp<net::Node> server_node_, client_node_, client2_node_;
+  std::unique_ptr<MemBlockDevice> device_;
+  Sfs sfs_;
+  sp<DfsServer> server_;
+  sp<DfsClient> client_, client2_;
+  sp<Vmm> client_vmm_, client2_vmm_;
+};
+
+TEST_F(DfsTest, RemoteCreateWriteReadBack) {
+  sp<File> file = *client_->CreateFile(*Name::Parse("remote"), sys_);
+  Buffer data(std::string("over the wire"));
+  ASSERT_TRUE(file->Write(0, data.span()).ok());
+  Buffer out(13);
+  EXPECT_EQ(*file->Read(0, out.mutable_span()), 13u);
+  EXPECT_EQ(out.ToString(), "over the wire");
+  // The file exists in the server's SFS.
+  EXPECT_TRUE(ResolveAs<File>(sfs_.root, "remote", sys_).ok());
+}
+
+TEST_F(DfsTest, RemoteLookupAndReadDir) {
+  ASSERT_TRUE(client_->CreateContext(*Name::Parse("dir"), sys_).ok());
+  ASSERT_TRUE(client_->CreateFile(*Name::Parse("dir/f"), sys_).ok());
+  Result<sp<Object>> dir = client_->Resolve(*Name::Parse("dir"), sys_);
+  ASSERT_TRUE(dir.ok());
+  sp<Context> ctx = narrow<Context>(*dir);
+  ASSERT_NE(ctx, nullptr);
+  Result<std::vector<BindingInfo>> list = ctx->List(sys_);
+  ASSERT_TRUE(list.ok());
+  ASSERT_EQ(list->size(), 1u);
+  EXPECT_EQ((*list)[0].name, "f");
+  EXPECT_FALSE((*list)[0].is_context);
+  // Nested resolution through the remote dir context.
+  EXPECT_TRUE(ResolveAs<File>(client_, "dir/f", sys_).ok());
+}
+
+TEST_F(DfsTest, RemoteStatAndTimes) {
+  sp<File> file = *client_->CreateFile(*Name::Parse("attrs"), sys_);
+  Buffer data(std::string("xyz"));
+  ASSERT_TRUE(file->Write(0, data.span()).ok());
+  Result<FileAttributes> attrs = file->Stat();
+  ASSERT_TRUE(attrs.ok());
+  EXPECT_EQ(attrs->size, 3u);
+  ASSERT_TRUE(file->SetTimes(123, 456).ok());
+  attrs = file->Stat();
+  EXPECT_EQ(attrs->atime_ns, 123u);
+  EXPECT_EQ(attrs->mtime_ns, 456u);
+}
+
+TEST_F(DfsTest, RemoteMappedAccess) {
+  sp<File> file = *client_->CreateFile(*Name::Parse("mapped"), sys_);
+  ASSERT_TRUE(file->SetLength(2 * kPageSize).ok());
+  Result<sp<MappedRegion>> region =
+      client_vmm_->Map(file, AccessRights::kReadWrite);
+  ASSERT_TRUE(region.ok()) << region.status().ToString();
+  Buffer data(std::string("mapped remote write"));
+  ASSERT_TRUE((*region)->Write(100, data.span()).ok());
+  ASSERT_TRUE((*region)->Sync().ok());
+  // Readable through the remote file interface.
+  Buffer out(19);
+  ASSERT_TRUE(file->Read(100, out.mutable_span()).ok());
+  EXPECT_EQ(out.ToString(), "mapped remote write");
+  EXPECT_GT(server_->stats().remote_page_ins, 0u);
+}
+
+// Figure 7's headline: local clients of file_DFS end up talking to SFS
+// directly; DFS sees no page traffic.
+TEST_F(DfsTest, LocalBindForwarding) {
+  sp<File> created = *server_->CreateFile(*Name::Parse("fig7"), sys_);
+  ASSERT_TRUE(created->SetLength(kPageSize).ok());
+  sp<Vmm> local_vmm = Vmm::Create(server_node_->domain(), "local-vmm");
+  sp<MappedRegion> region = *local_vmm->Map(created, AccessRights::kReadWrite);
+  network_->ResetStats();
+  server_->ResetStats();
+  Buffer data(std::string("local"));
+  ASSERT_TRUE(region->Write(0, data.span()).ok());
+  Buffer out(5);
+  ASSERT_TRUE(region->Read(0, out.mutable_span()).ok());
+  // No network traffic and no DFS page-in involvement for local access.
+  EXPECT_EQ(network_->stats().messages, 0u);
+  EXPECT_EQ(server_->stats().remote_page_ins, 0u);
+  // And the mapping is genuinely the SFS channel: the local VMM shares the
+  // cache with a direct SFS mapping of the same file.
+  sp<File> sfs_file = *ResolveAs<File>(sfs_.root, "fig7", sys_);
+  sp<MappedRegion> direct = *local_vmm->Map(sfs_file, AccessRights::kReadOnly);
+  EXPECT_EQ(region->channel_id(), direct->channel_id())
+      << "local binds must be forwarded so the same cache is shared";
+}
+
+TEST_F(DfsTest, RemoteAndLocalStayCoherent) {
+  sp<File> created = *sfs_.root->CreateFile(*Name::Parse("share"), sys_);
+  ASSERT_TRUE(created->SetLength(kPageSize).ok());
+
+  // Remote client maps and reads the initial content.
+  sp<File> remote = *ResolveAs<File>(client_, "share", sys_);
+  sp<MappedRegion> remote_region =
+      *client_vmm_->Map(remote, AccessRights::kReadWrite);
+  Buffer out(5);
+  ASSERT_TRUE(remote_region->Read(0, out.mutable_span()).ok());
+
+  // Local writer updates through SFS.
+  Buffer local_data(std::string("LOCAL"));
+  ASSERT_TRUE(created->Write(0, local_data.span()).ok());
+  // Remote read must observe it (the server's lower cache object was
+  // flushed by SFS, which flushed the remote VMM over the network).
+  ASSERT_TRUE(remote_region->Read(0, out.mutable_span()).ok());
+  EXPECT_EQ(out.ToString(), "LOCAL");
+
+  // Remote writer updates through the mapping.
+  Buffer remote_data(std::string("REMOT"));
+  ASSERT_TRUE(remote_region->Write(0, remote_data.span()).ok());
+  // Local read must observe it.
+  ASSERT_TRUE(created->Read(0, out.mutable_span()).ok());
+  EXPECT_EQ(out.ToString(), "REMOT");
+  EXPECT_GT(server_->stats().lower_flushes, 0u);
+}
+
+TEST_F(DfsTest, TwoRemoteClientsStayCoherent) {
+  sp<File> created = *sfs_.root->CreateFile(*Name::Parse("pair"), sys_);
+  ASSERT_TRUE(created->SetLength(kPageSize).ok());
+
+  sp<File> r1 = *ResolveAs<File>(client_, "pair", sys_);
+  sp<File> r2 = *ResolveAs<File>(client2_, "pair", sys_);
+  sp<MappedRegion> m1 = *client_vmm_->Map(r1, AccessRights::kReadWrite);
+  sp<MappedRegion> m2 = *client2_vmm_->Map(r2, AccessRights::kReadWrite);
+
+  Buffer out(4);
+  for (int round = 0; round < 3; ++round) {
+    std::string text1 = "a" + std::to_string(round) + "a" + std::to_string(round);
+    Buffer d1(text1);
+    ASSERT_TRUE(m1->Write(0, d1.span()).ok());
+    ASSERT_TRUE(m2->Read(0, out.mutable_span()).ok());
+    EXPECT_EQ(out.ToString(), text1) << "round " << round;
+
+    std::string text2 = "b" + std::to_string(round) + "b" + std::to_string(round);
+    Buffer d2(text2);
+    ASSERT_TRUE(m2->Write(0, d2.span()).ok());
+    ASSERT_TRUE(m1->Read(0, out.mutable_span()).ok());
+    EXPECT_EQ(out.ToString(), text2) << "round " << round;
+  }
+  EXPECT_GT(server_->stats().callbacks_sent, 0u);
+}
+
+TEST_F(DfsTest, RemoteRemoveAndErrors) {
+  ASSERT_TRUE(client_->CreateFile(*Name::Parse("gone"), sys_).ok());
+  ASSERT_TRUE(client_->Unbind(*Name::Parse("gone"), sys_).ok());
+  EXPECT_EQ(client_->Resolve(*Name::Parse("gone"), sys_).status().code(),
+            ErrorCode::kNotFound);
+  EXPECT_EQ(client_->Resolve(*Name::Parse("never-existed"), sys_)
+                .status().code(),
+            ErrorCode::kNotFound);
+}
+
+TEST_F(DfsTest, PartitionSurfacesAsConnectionLost) {
+  sp<File> file = *client_->CreateFile(*Name::Parse("cut"), sys_);
+  network_->SetPartitioned("server", true);
+  Buffer out(4);
+  EXPECT_EQ(file->Read(0, out.mutable_span()).status().code(),
+            ErrorCode::kConnectionLost);
+  network_->SetPartitioned("server", false);
+  EXPECT_TRUE(file->Stat().ok());
+}
+
+TEST_F(DfsTest, SyncFlowsToDisk) {
+  sp<File> file = *client_->CreateFile(*Name::Parse("durable"), sys_);
+  Buffer data(std::string("remote durable"));
+  ASSERT_TRUE(file->Write(0, data.span()).ok());
+  ASSERT_TRUE(file->SyncFile().ok());
+  ASSERT_TRUE(sfs_.root->SyncFs().ok());
+  Result<sp<File>> under = ResolveAs<File>(sfs_.disk, "durable", sys_);
+  ASSERT_TRUE(under.ok());
+  Buffer out(14);
+  EXPECT_EQ(*(*under)->Read(0, out.mutable_span()), 14u);
+  EXPECT_EQ(out.ToString(), "remote durable");
+}
+
+// --- Figure 9: DFS on COMPFS on SFS ---
+
+TEST_F(DfsTest, FullFigure9Stack) {
+  // Build COMPFS on SFS, then export COMPFS over DFS.
+  sp<CompLayer> compfs =
+      CompLayer::Create(server_node_->domain(), CompLayerOptions{}, &clock_);
+  ASSERT_TRUE(compfs->StackOn(sfs_.root).ok());
+  sp<DfsServer> dfs2 = *DfsServer::Create(server_node_, network_.get(),
+                                          "dfs-comp", compfs, &clock_);
+  sp<DfsClient> remote = *DfsClient::Mount(client_node_, network_.get(),
+                                           "server", "dfs-comp");
+
+  // Remote client writes compressible data through the full stack.
+  sp<File> file = *remote->CreateFile(*Name::Parse("deep"), sys_);
+  Rng rng(9);
+  Buffer data = rng.CompressibleBuffer(4 * kPageSize);
+  ASSERT_TRUE(file->Write(0, data.span()).ok());
+  ASSERT_TRUE(file->SyncFile().ok());
+
+  // Read back remotely: decompressed by COMPFS on the server.
+  Buffer out(data.size());
+  ASSERT_TRUE(file->Read(0, out.mutable_span()).ok());
+  EXPECT_EQ(out, data);
+
+  // The underlying SFS file holds compressed bytes (smaller).
+  Result<sp<File>> under = ResolveAs<File>(sfs_.root, "deep", sys_);
+  ASSERT_TRUE(under.ok());
+  EXPECT_LT((*under)->Stat()->size, data.size() / 2);
+
+  // Local access through COMPFS is coherent with the remote view.
+  sp<File> local = *ResolveAs<File>(compfs, "deep", sys_);
+  Buffer local_out(16);
+  ASSERT_TRUE(local->Read(0, local_out.mutable_span()).ok());
+  EXPECT_TRUE(std::equal(local_out.data(), local_out.data() + 16,
+                         data.data()));
+}
+
+// --- CFS ---
+
+class CfsTest : public DfsTest {
+ protected:
+  void SetUp() override {
+    DfsTest::SetUp();
+    cfs_ = CfsLayer::Create(client_node_->domain(), client_, client_vmm_,
+                            &clock_);
+  }
+
+  sp<CfsLayer> cfs_;
+};
+
+TEST_F(CfsTest, AttrCacheAbsorbsStatStorm) {
+  ASSERT_TRUE(client_->CreateFile(*Name::Parse("hot"), sys_).ok());
+  sp<File> file = *ResolveAs<File>(cfs_, "hot", sys_);
+  ASSERT_TRUE(file->Stat().ok());  // first stat: one network round trip
+  uint64_t calls_before = client_->stats().calls_sent;
+  for (int i = 0; i < 50; ++i) {
+    ASSERT_TRUE(file->Stat().ok());
+  }
+  EXPECT_EQ(client_->stats().calls_sent, calls_before)
+      << "CFS must serve repeated stats from its attribute cache";
+  EXPECT_GE(cfs_->stats().attr_cache_hits, 50u);
+}
+
+TEST_F(CfsTest, WithoutCfsEveryStatGoesRemote) {
+  ASSERT_TRUE(client_->CreateFile(*Name::Parse("cold"), sys_).ok());
+  sp<File> file = *ResolveAs<File>(client_, "cold", sys_);
+  uint64_t calls_before = client_->stats().calls_sent;
+  for (int i = 0; i < 10; ++i) {
+    ASSERT_TRUE(file->Stat().ok());
+  }
+  EXPECT_EQ(client_->stats().calls_sent, calls_before + 10);
+}
+
+TEST_F(CfsTest, ReadsServedFromLocalVmmCache) {
+  sp<File> created = *client_->CreateFile(*Name::Parse("data"), sys_);
+  Buffer data(std::string("cache me locally"));
+  ASSERT_TRUE(created->Write(0, data.span()).ok());
+
+  sp<File> file = *ResolveAs<File>(cfs_, "data", sys_);
+  Buffer out(16);
+  ASSERT_TRUE(file->Read(0, out.mutable_span()).ok());  // faults once
+  EXPECT_EQ(out.ToString(), "cache me locally");
+  uint64_t calls_before = client_->stats().calls_sent;
+  for (int i = 0; i < 20; ++i) {
+    ASSERT_TRUE(file->Read(0, out.mutable_span()).ok());
+  }
+  // Attribute checks are cached and pages come from the local VMM: no
+  // further network calls.
+  EXPECT_EQ(client_->stats().calls_sent, calls_before);
+}
+
+TEST_F(CfsTest, WritesVisibleRemotely) {
+  ASSERT_TRUE(client_->CreateFile(*Name::Parse("w"), sys_).ok());
+  sp<File> file = *ResolveAs<File>(cfs_, "w", sys_);
+  Buffer data(std::string("from cfs"));
+  ASSERT_TRUE(file->Write(0, data.span()).ok());
+  ASSERT_TRUE(file->SyncFile().ok());
+  // Visible through the plain remote view and on the server.
+  sp<File> plain = *ResolveAs<File>(client2_, "w", sys_);
+  Buffer out(8);
+  ASSERT_TRUE(plain->Read(0, out.mutable_span()).ok());
+  EXPECT_EQ(out.ToString(), "from cfs");
+  EXPECT_EQ(file->Stat()->size, 8u);
+}
+
+TEST_F(CfsTest, AttrInvalidationCallback) {
+  sp<File> created = *client_->CreateFile(*Name::Parse("inval"), sys_);
+  sp<File> file = *ResolveAs<File>(cfs_, "inval", sys_);
+  // Trigger the CFS bind (registers its fs_cache with the server) and
+  // cache the attributes.
+  Buffer probe(std::string("x"));
+  ASSERT_TRUE(file->Write(0, probe.span()).ok());
+  ASSERT_TRUE(file->SyncFile().ok());
+  ASSERT_TRUE(file->Stat().ok());
+
+  // Another client changes the file's length on the server.
+  sp<File> other = *ResolveAs<File>(client2_, "inval", sys_);
+  ASSERT_TRUE(other->SetLength(100).ok());
+  EXPECT_GE(cfs_->stats().attr_invalidations, 1u);
+  // CFS refetches: the new size is visible.
+  EXPECT_EQ(file->Stat()->size, 100u);
+}
+
+}  // namespace
+}  // namespace springfs

@@ -1,0 +1,278 @@
+// Tests for the file-system framework: the channel table (bind exchange,
+// idempotence, fs_cache narrowing), the fs_cache/fs_pager attribute types,
+// and the MemFile reference pager through the plain File interface.
+
+#include <gtest/gtest.h>
+
+#include "src/fs/channel_table.h"
+#include "src/fs/mem_file.h"
+#include "src/vmm/vmm.h"
+
+namespace springfs {
+namespace {
+
+// A plain cache manager (not a file system): its cache object does NOT
+// implement FsCacheObject, so pagers that narrow must get null.
+class PlainManager : public CacheManager {
+ public:
+  class PlainCache : public CacheObject {
+   public:
+    Result<std::vector<BlockData>> FlushBack(Offset, Offset) override {
+      return std::vector<BlockData>{};
+    }
+    Result<std::vector<BlockData>> DenyWrites(Offset, Offset) override {
+      return std::vector<BlockData>{};
+    }
+    Result<std::vector<BlockData>> WriteBack(Offset, Offset) override {
+      return std::vector<BlockData>{};
+    }
+    Status DeleteRange(Offset, Offset) override { return Status::Ok(); }
+    Status ZeroFill(Offset, Offset) override { return Status::Ok(); }
+    Status Populate(Offset, AccessRights, ByteSpan) override {
+      return Status::Ok();
+    }
+    Status DestroyCache() override { return Status::Ok(); }
+  };
+
+  class PlainRights : public CacheRights {
+   public:
+    explicit PlainRights(uint64_t id) : id_(id) {}
+    uint64_t channel_id() const override { return id_; }
+
+   private:
+    uint64_t id_;
+  };
+
+  Result<ChannelSetup> EstablishChannel(uint64_t pager_key,
+                                        sp<PagerObject> pager) override {
+    ++establish_calls;
+    last_pager = std::move(pager);
+    auto it = setups_.find(pager_key);
+    if (it == setups_.end()) {
+      ChannelSetup setup{std::make_shared<PlainCache>(),
+                         std::make_shared<PlainRights>(next_id_++)};
+      it = setups_.emplace(pager_key, setup).first;
+    }
+    return it->second;
+  }
+  std::string cache_manager_name() const override { return "plain"; }
+
+  int establish_calls = 0;
+  sp<PagerObject> last_pager;
+
+ private:
+  uint64_t next_id_ = 100;
+  std::map<uint64_t, ChannelSetup> setups_;
+};
+
+// A file-system cache manager: its cache object IS an FsCacheObject.
+class FsManager : public CacheManager {
+ public:
+  class FsCache : public FsCacheObject {
+   public:
+    Result<std::vector<BlockData>> FlushBack(Offset, Offset) override {
+      return std::vector<BlockData>{};
+    }
+    Result<std::vector<BlockData>> DenyWrites(Offset, Offset) override {
+      return std::vector<BlockData>{};
+    }
+    Result<std::vector<BlockData>> WriteBack(Offset, Offset) override {
+      return std::vector<BlockData>{};
+    }
+    Status DeleteRange(Offset, Offset) override { return Status::Ok(); }
+    Status ZeroFill(Offset, Offset) override { return Status::Ok(); }
+    Status Populate(Offset, AccessRights, ByteSpan) override {
+      return Status::Ok();
+    }
+    Status DestroyCache() override { return Status::Ok(); }
+    Status InvalidateAttributes() override { return Status::Ok(); }
+    Result<AttrUpdate> RecallAttributes() override { return AttrUpdate{}; }
+  };
+
+  Result<ChannelSetup> EstablishChannel(uint64_t, sp<PagerObject>) override {
+    return ChannelSetup{std::make_shared<FsCache>(),
+                        std::make_shared<PlainManager::PlainRights>(7)};
+  }
+  std::string cache_manager_name() const override { return "fs"; }
+};
+
+class DummyPager : public PagerObject {
+ public:
+  Result<Buffer> PageIn(Offset, Offset size, AccessRights) override {
+    return Buffer(size);
+  }
+  Status PageOut(Offset, ByteSpan) override { return Status::Ok(); }
+  Status WriteOut(Offset, ByteSpan) override { return Status::Ok(); }
+  Status Sync(Offset, ByteSpan) override { return Status::Ok(); }
+  void DoneWithPagerObject() override {}
+};
+
+TEST(PagerKeyTest, KeysAreUnique) {
+  uint64_t a = NewPagerKey();
+  uint64_t b = NewPagerKey();
+  EXPECT_NE(a, b);
+}
+
+TEST(ChannelTableTest, BindEstablishesOnce) {
+  PagerChannelTable table;
+  auto manager = std::make_shared<PlainManager>();
+  uint64_t key = NewPagerKey();
+  auto make_pager = [](uint64_t) -> sp<PagerObject> {
+    return std::make_shared<DummyPager>();
+  };
+  Result<sp<CacheRights>> r1 = table.Bind(1, key, manager, make_pager);
+  ASSERT_TRUE(r1.ok());
+  Result<sp<CacheRights>> r2 = table.Bind(1, key, manager, make_pager);
+  ASSERT_TRUE(r2.ok());
+  EXPECT_EQ(*r1, *r2);  // same rights object both times
+  EXPECT_EQ(manager->establish_calls, 1);
+  EXPECT_EQ(table.NumChannels(), 1u);
+}
+
+TEST(ChannelTableTest, DistinctManagersGetDistinctChannels) {
+  PagerChannelTable table;
+  auto m1 = std::make_shared<PlainManager>();
+  auto m2 = std::make_shared<PlainManager>();
+  uint64_t key = NewPagerKey();
+  auto make_pager = [](uint64_t) -> sp<PagerObject> {
+    return std::make_shared<DummyPager>();
+  };
+  ASSERT_TRUE(table.Bind(1, key, m1, make_pager).ok());
+  ASSERT_TRUE(table.Bind(1, key, m2, make_pager).ok());
+  EXPECT_EQ(table.NumChannels(), 2u);
+  EXPECT_EQ(table.ChannelsForFile(1).size(), 2u);
+}
+
+TEST(ChannelTableTest, DistinctFilesGetDistinctChannels) {
+  PagerChannelTable table;
+  auto manager = std::make_shared<PlainManager>();
+  auto make_pager = [](uint64_t) -> sp<PagerObject> {
+    return std::make_shared<DummyPager>();
+  };
+  ASSERT_TRUE(table.Bind(1, NewPagerKey(), manager, make_pager).ok());
+  ASSERT_TRUE(table.Bind(2, NewPagerKey(), manager, make_pager).ok());
+  EXPECT_EQ(table.NumChannels(), 2u);
+  EXPECT_EQ(table.ChannelsForFile(1).size(), 1u);
+  EXPECT_EQ(table.ChannelsForFile(2).size(), 1u);
+}
+
+TEST(ChannelTableTest, NarrowsFsCacheObjects) {
+  PagerChannelTable table;
+  auto plain = std::make_shared<PlainManager>();
+  auto fs = std::make_shared<FsManager>();
+  auto make_pager = [](uint64_t) -> sp<PagerObject> {
+    return std::make_shared<DummyPager>();
+  };
+  ASSERT_TRUE(table.Bind(1, NewPagerKey(), plain, make_pager).ok());
+  ASSERT_TRUE(table.Bind(2, NewPagerKey(), fs, make_pager).ok());
+  // The pager discovers which peer is a file system via narrow.
+  EXPECT_EQ(table.ChannelsForFile(1)[0].fs_cache, nullptr);
+  EXPECT_NE(table.ChannelsForFile(2)[0].fs_cache, nullptr);
+}
+
+TEST(ChannelTableTest, RemoveChannelAllowsReestablish) {
+  PagerChannelTable table;
+  auto manager = std::make_shared<PlainManager>();
+  uint64_t key = NewPagerKey();
+  auto make_pager = [](uint64_t) -> sp<PagerObject> {
+    return std::make_shared<DummyPager>();
+  };
+  ASSERT_TRUE(table.Bind(1, key, manager, make_pager).ok());
+  uint64_t local_id = table.ChannelsForFile(1)[0].local_id;
+  table.RemoveChannel(local_id);
+  EXPECT_EQ(table.NumChannels(), 0u);
+  ASSERT_TRUE(table.Bind(1, key, manager, make_pager).ok());
+  EXPECT_EQ(manager->establish_calls, 2);
+}
+
+TEST(ChannelTableTest, RemoveFileDropsAllItsChannels) {
+  PagerChannelTable table;
+  auto m1 = std::make_shared<PlainManager>();
+  auto m2 = std::make_shared<PlainManager>();
+  auto make_pager = [](uint64_t) -> sp<PagerObject> {
+    return std::make_shared<DummyPager>();
+  };
+  ASSERT_TRUE(table.Bind(1, NewPagerKey(), m1, make_pager).ok());
+  ASSERT_TRUE(table.Bind(1, NewPagerKey(), m2, make_pager).ok());
+  ASSERT_TRUE(table.Bind(2, NewPagerKey(), m1, make_pager).ok());
+  table.RemoveFile(1);
+  EXPECT_EQ(table.NumChannels(), 1u);
+  EXPECT_TRUE(table.ChannelsForFile(1).empty());
+}
+
+TEST(ChannelTableTest, BindWithNullManagerFails) {
+  PagerChannelTable table;
+  EXPECT_EQ(table.Bind(1, NewPagerKey(), nullptr,
+                       [](uint64_t) -> sp<PagerObject> { return nullptr; })
+                .status().code(),
+            ErrorCode::kInvalidArgument);
+}
+
+TEST(AttrUpdateTest, EmptyDetection) {
+  AttrUpdate update;
+  EXPECT_TRUE(update.empty());
+  update.mtime_ns = 5;
+  EXPECT_FALSE(update.empty());
+}
+
+// --- MemFile through the File interface ---
+
+class MemFileTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    domain_ = Domain::Create("mem");
+    file_ = MemFile::Create(domain_, &clock_);
+  }
+
+  FakeClock clock_;
+  sp<Domain> domain_;
+  sp<MemFile> file_;
+};
+
+TEST_F(MemFileTest, ReadWriteRoundTrip) {
+  Buffer data(std::string("in memory"));
+  ASSERT_TRUE(file_->Write(0, data.span()).ok());
+  Buffer out(9);
+  Result<size_t> n = file_->Read(0, out.mutable_span());
+  ASSERT_TRUE(n.ok());
+  EXPECT_EQ(*n, 9u);
+  EXPECT_EQ(out.ToString(), "in memory");
+}
+
+TEST_F(MemFileTest, StatTracksSizeAndTimes) {
+  clock_.Advance(10);
+  Buffer data(std::string("xyz"));
+  ASSERT_TRUE(file_->Write(0, data.span()).ok());
+  Result<FileAttributes> attrs = file_->Stat();
+  ASSERT_TRUE(attrs.ok());
+  EXPECT_EQ(attrs->size, 3u);
+  EXPECT_EQ(attrs->kind, FileKind::kRegular);
+  uint64_t mtime = attrs->mtime_ns;
+  clock_.Advance(10);
+  ASSERT_TRUE(file_->Write(3, data.span()).ok());
+  EXPECT_GT(file_->Stat()->mtime_ns, mtime);
+}
+
+TEST_F(MemFileTest, SetLengthTruncatesAndExtends) {
+  Buffer data(std::string("0123456789"));
+  ASSERT_TRUE(file_->Write(0, data.span()).ok());
+  ASSERT_TRUE(file_->SetLength(4).ok());
+  EXPECT_EQ(*file_->GetLength(), 4u);
+  ASSERT_TRUE(file_->SetLength(8).ok());
+  Buffer out(8);
+  EXPECT_EQ(*file_->Read(0, out.mutable_span()), 8u);
+  EXPECT_EQ(out.ToString().substr(0, 4), "0123");
+  for (int i = 4; i < 8; ++i) {
+    EXPECT_EQ(out.data()[i], 0);
+  }
+}
+
+TEST_F(MemFileTest, SetTimes) {
+  ASSERT_TRUE(file_->SetTimes(77, 88).ok());
+  Result<FileAttributes> attrs = file_->Stat();
+  EXPECT_EQ(attrs->atime_ns, 77u);
+  EXPECT_EQ(attrs->mtime_ns, 88u);
+}
+
+}  // namespace
+}  // namespace springfs

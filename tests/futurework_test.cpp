@@ -1,0 +1,195 @@
+// Tests for the paper's section 8 future-work features, implemented here:
+// name caching (eliminating open/domain-crossing overhead) and page-in
+// read-ahead (the pager "given the opportunity to return more data than
+// strictly needed").
+
+#include <gtest/gtest.h>
+
+#include "src/layers/sfs/sfs.h"
+#include "src/naming/name_cache.h"
+#include "src/support/rng.h"
+#include "src/vmm/vmm.h"
+
+namespace springfs {
+namespace {
+
+class NameCacheTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    device_ = std::make_unique<MemBlockDevice>(ufs::kBlockSize, 8192);
+    SfsOptions options;
+    options.placement = SfsPlacement::kTwoDomains;
+    sfs_ = *CreateSfs(device_.get(), options, &clock_);
+    cache_ = NameCacheContext::Create(Domain::Create("name-cache"), sfs_.root);
+  }
+
+  Credentials sys_ = Credentials::System();
+  FakeClock clock_;
+  std::unique_ptr<MemBlockDevice> device_;
+  Sfs sfs_;
+  sp<NameCacheContext> cache_;
+};
+
+TEST_F(NameCacheTest, SecondResolveIsAHit) {
+  ASSERT_TRUE(sfs_.root->CreateFile(*Name::Parse("f"), sys_).ok());
+  ASSERT_TRUE(cache_->Resolve(*Name::Parse("f"), sys_).ok());
+  EXPECT_EQ(cache_->stats().misses, 1u);
+  for (int i = 0; i < 10; ++i) {
+    ASSERT_TRUE(cache_->Resolve(*Name::Parse("f"), sys_).ok());
+  }
+  NameCacheStats stats = cache_->stats();
+  EXPECT_EQ(stats.misses, 1u);
+  EXPECT_EQ(stats.hits, 10u);
+}
+
+TEST_F(NameCacheTest, CachedOpenSkipsEveryLayer) {
+  // The section 8 claim: name caching eliminates the domain-crossing
+  // overhead of open. After warming, resolves cross into NO domain.
+  ASSERT_TRUE(sfs_.root->CreateFile(*Name::Parse("hot"), sys_).ok());
+  ASSERT_TRUE(cache_->Resolve(*Name::Parse("hot"), sys_).ok());
+  sfs_.disk_domain->ResetStats();
+  sfs_.top_domain->ResetStats();
+  for (int i = 0; i < 100; ++i) {
+    ASSERT_TRUE(cache_->Resolve(*Name::Parse("hot"), sys_).ok());
+  }
+  EXPECT_EQ(sfs_.top_domain->stats().cross_calls, 0u);
+  EXPECT_EQ(sfs_.disk_domain->stats().cross_calls, 0u);
+}
+
+TEST_F(NameCacheTest, MutationsInvalidate) {
+  ASSERT_TRUE(sfs_.root->CreateFile(*Name::Parse("f"), sys_).ok());
+  sp<Object> before = *cache_->Resolve(*Name::Parse("f"), sys_);
+  ASSERT_TRUE(cache_->Unbind(*Name::Parse("f"), sys_).ok());
+  EXPECT_EQ(cache_->Resolve(*Name::Parse("f"), sys_).status().code(),
+            ErrorCode::kNotFound);
+  EXPECT_GE(cache_->stats().invalidations, 1u);
+}
+
+TEST_F(NameCacheTest, InvalidationCoversDescendants) {
+  ASSERT_TRUE(sfs_.root->CreateContext(*Name::Parse("d"), sys_).ok());
+  ASSERT_TRUE(sfs_.root->CreateFile(*Name::Parse("d/f"), sys_).ok());
+  ASSERT_TRUE(cache_->Resolve(*Name::Parse("d/f"), sys_).ok());
+  ASSERT_TRUE(cache_->Resolve(*Name::Parse("d"), sys_).ok());
+  // Unbinding the directory entry drops both cached paths.
+  ASSERT_TRUE(cache_->Unbind(*Name::Parse("d/f"), sys_).ok());
+  ASSERT_TRUE(cache_->Resolve(*Name::Parse("d"), sys_).ok());  // still fine
+  EXPECT_EQ(cache_->Resolve(*Name::Parse("d/f"), sys_).status().code(),
+            ErrorCode::kNotFound);
+  // Prefix logic must not over-invalidate sibling names ("d" vs "dd").
+  ASSERT_TRUE(sfs_.root->CreateFile(*Name::Parse("dd"), sys_).ok());
+  ASSERT_TRUE(cache_->Resolve(*Name::Parse("dd"), sys_).ok());
+  uint64_t invals = cache_->stats().invalidations;
+  ASSERT_TRUE(cache_->CreateContext(*Name::Parse("d/sub"), sys_).ok());
+  ASSERT_TRUE(cache_->Resolve(*Name::Parse("dd"), sys_).ok());
+  EXPECT_EQ(cache_->stats().invalidations, invals)
+      << "'d/...' invalidation must not touch 'dd'";
+}
+
+TEST_F(NameCacheTest, CapacityEvictsFifo) {
+  sp<NameCacheContext> small =
+      NameCacheContext::Create(Domain::Create("nc"), sfs_.root, 2);
+  for (int i = 0; i < 4; ++i) {
+    ASSERT_TRUE(sfs_.root->CreateFile(
+        Name::Single("f" + std::to_string(i)), sys_).ok());
+    ASSERT_TRUE(small->Resolve(Name::Single("f" + std::to_string(i)), sys_)
+                    .ok());
+  }
+  NameCacheStats stats = small->stats();
+  EXPECT_EQ(stats.evictions, 2u);
+  // The most recent two are hits; the evicted ones miss again.
+  ASSERT_TRUE(small->Resolve(Name::Single("f3"), sys_).ok());
+  EXPECT_EQ(small->stats().hits, 1u);
+}
+
+TEST_F(NameCacheTest, FlushDropsEverything) {
+  ASSERT_TRUE(sfs_.root->CreateFile(*Name::Parse("f"), sys_).ok());
+  ASSERT_TRUE(cache_->Resolve(*Name::Parse("f"), sys_).ok());
+  cache_->Flush();
+  ASSERT_TRUE(cache_->Resolve(*Name::Parse("f"), sys_).ok());
+  EXPECT_EQ(cache_->stats().misses, 2u);
+}
+
+// --- read-ahead ---
+
+class ReadAheadTest : public ::testing::Test {
+ protected:
+  Sfs MakeSfs(uint32_t read_ahead) {
+    device_ = std::make_unique<MemBlockDevice>(ufs::kBlockSize, 8192);
+    SfsOptions options;
+    options.coherency.read_ahead_pages = read_ahead;
+    return *CreateSfs(device_.get(), options, &clock_);
+  }
+
+  Credentials sys_ = Credentials::System();
+  FakeClock clock_;
+  std::unique_ptr<MemBlockDevice> device_;
+};
+
+TEST_F(ReadAheadTest, SequentialMappedReadFaultsOncePerWindow) {
+  constexpr uint32_t kWindow = 7;
+  Sfs sfs = MakeSfs(kWindow);
+  sp<File> file = *sfs.root->CreateFile(*Name::Parse("seq"), sys_);
+  Rng rng(1);
+  Buffer data = rng.RandomBuffer(16 * kPageSize);
+  ASSERT_TRUE(file->Write(0, data.span()).ok());
+
+  sp<Vmm> vmm = Vmm::Create(Domain::Create("n"), "vmm");
+  sp<MappedRegion> region = *vmm->Map(file, AccessRights::kReadOnly);
+  Buffer out(kPageSize);
+  for (int p = 0; p < 16; ++p) {
+    ASSERT_TRUE(region->Read(Offset{static_cast<uint64_t>(p)} * kPageSize,
+                             out.mutable_span()).ok());
+  }
+  VmmStats stats = vmm->stats();
+  // 16 pages with an 8-page grant window: 2 faults instead of 16.
+  EXPECT_LE(stats.faults, 2u) << "read-ahead did not batch the faults";
+  // Content must still be exact.
+  Buffer all(16 * kPageSize);
+  ASSERT_TRUE(region->Read(0, all.mutable_span()).ok());
+  EXPECT_EQ(Fnv1a64(all.span()), Fnv1a64(data.span()));
+}
+
+TEST_F(ReadAheadTest, WithoutReadAheadEveryPageFaults) {
+  Sfs sfs = MakeSfs(0);
+  sp<File> file = *sfs.root->CreateFile(*Name::Parse("seq"), sys_);
+  Rng rng(1);
+  Buffer data = rng.RandomBuffer(16 * kPageSize);
+  ASSERT_TRUE(file->Write(0, data.span()).ok());
+  sp<Vmm> vmm = Vmm::Create(Domain::Create("n"), "vmm");
+  sp<MappedRegion> region = *vmm->Map(file, AccessRights::kReadOnly);
+  Buffer out(kPageSize);
+  for (int p = 0; p < 16; ++p) {
+    ASSERT_TRUE(region->Read(Offset{static_cast<uint64_t>(p)} * kPageSize,
+                             out.mutable_span()).ok());
+  }
+  EXPECT_EQ(vmm->stats().faults, 16u);
+}
+
+TEST_F(ReadAheadTest, ReadAheadClampsAtEof) {
+  Sfs sfs = MakeSfs(32);
+  sp<File> file = *sfs.root->CreateFile(*Name::Parse("short"), sys_);
+  Buffer data(std::string("tiny"));
+  ASSERT_TRUE(file->Write(0, data.span()).ok());
+  sp<Vmm> vmm = Vmm::Create(Domain::Create("n"), "vmm");
+  sp<MappedRegion> region = *vmm->Map(file, AccessRights::kReadOnly);
+  Buffer out(4);
+  ASSERT_TRUE(region->Read(0, out.mutable_span()).ok());
+  EXPECT_EQ(out.ToString(), "tiny");
+  EXPECT_LE(vmm->stats().pages_cached, 1u);
+}
+
+TEST_F(ReadAheadTest, WriteFaultsAreNotExtended) {
+  // Read-ahead grants extra pages read-only; a write fault must stay
+  // page-granular so the writer set stays tight.
+  Sfs sfs = MakeSfs(8);
+  sp<File> file = *sfs.root->CreateFile(*Name::Parse("w"), sys_);
+  ASSERT_TRUE(file->SetLength(8 * kPageSize).ok());
+  sp<Vmm> vmm = Vmm::Create(Domain::Create("n"), "vmm");
+  sp<MappedRegion> region = *vmm->Map(file, AccessRights::kReadWrite);
+  Buffer one(std::string("x"));
+  ASSERT_TRUE(region->Write(0, one.span()).ok());
+  EXPECT_EQ(vmm->stats().pages_cached, 1u);
+}
+
+}  // namespace
+}  // namespace springfs

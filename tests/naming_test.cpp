@@ -1,0 +1,278 @@
+// Unit tests for the naming architecture: names, contexts, ACLs, per-domain
+// name spaces, and name-space interposition (paper sections 3.2 and 5).
+
+#include <gtest/gtest.h>
+
+#include "src/naming/mem_context.h"
+#include "src/naming/views.h"
+
+namespace springfs {
+namespace {
+
+class NamingTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    domain_ = Domain::Create("naming");
+    root_ = MemContext::Create(domain_);
+  }
+
+  Credentials sys_ = Credentials::System();
+  sp<Domain> domain_;
+  sp<MemContext> root_;
+};
+
+TEST_F(NamingTest, ParseSplitsComponents) {
+  Result<Name> name = Name::Parse("/a/b/c");
+  ASSERT_TRUE(name.ok());
+  EXPECT_EQ(name->size(), 3u);
+  EXPECT_EQ(name->front(), "a");
+  EXPECT_EQ(name->back(), "c");
+  EXPECT_EQ(name->ToString(), "a/b/c");
+}
+
+TEST_F(NamingTest, ParseIgnoresRedundantSlashesAndDots) {
+  Result<Name> name = Name::Parse("//a///./b/");
+  ASSERT_TRUE(name.ok());
+  EXPECT_EQ(name->ToString(), "a/b");
+}
+
+TEST_F(NamingTest, ParseRejectsDotDot) {
+  EXPECT_EQ(Name::Parse("a/../b").status().code(),
+            ErrorCode::kInvalidArgument);
+}
+
+TEST_F(NamingTest, ParseEmptyIsEmptyName) {
+  Result<Name> name = Name::Parse("");
+  ASSERT_TRUE(name.ok());
+  EXPECT_TRUE(name->empty());
+}
+
+TEST_F(NamingTest, NameAlgebra) {
+  Name name = *Name::Parse("a/b/c");
+  EXPECT_EQ(name.Rest().ToString(), "b/c");
+  EXPECT_EQ(name.Parent().ToString(), "a/b");
+  EXPECT_EQ(name.Join(*Name::Parse("d/e")).ToString(), "a/b/c/d/e");
+  EXPECT_EQ(Name::Single("x").ToString(), "x");
+}
+
+TEST_F(NamingTest, BindThenResolve) {
+  sp<Object> obj = root_;  // any object will do; a context is one
+  ASSERT_TRUE(root_->Bind(Name::Single("x"), obj, sys_).ok());
+  Result<sp<Object>> found = root_->Resolve(Name::Single("x"), sys_);
+  ASSERT_TRUE(found.ok());
+  EXPECT_EQ(*found, obj);
+}
+
+TEST_F(NamingTest, ResolveMissingIsNotFound) {
+  EXPECT_EQ(root_->Resolve(Name::Single("nope"), sys_).status().code(),
+            ErrorCode::kNotFound);
+}
+
+TEST_F(NamingTest, DuplicateBindFailsWithoutReplace) {
+  ASSERT_TRUE(root_->Bind(Name::Single("x"), root_, sys_).ok());
+  EXPECT_EQ(root_->Bind(Name::Single("x"), root_, sys_).code(),
+            ErrorCode::kAlreadyExists);
+  EXPECT_TRUE(root_->Bind(Name::Single("x"), root_, sys_, /*replace=*/true).ok());
+}
+
+TEST_F(NamingTest, MultiComponentResolutionStepsThroughContexts) {
+  Result<sp<Context>> a = root_->CreateContext(Name::Single("a"), sys_);
+  ASSERT_TRUE(a.ok());
+  Result<sp<Context>> b = (*a)->CreateContext(Name::Single("b"), sys_);
+  ASSERT_TRUE(b.ok());
+  ASSERT_TRUE((*b)->Bind(Name::Single("leaf"), root_, sys_).ok());
+
+  Result<sp<Object>> found = root_->Resolve(*Name::Parse("a/b/leaf"), sys_);
+  ASSERT_TRUE(found.ok());
+  EXPECT_EQ(*found, root_);
+}
+
+TEST_F(NamingTest, ResolveThroughNonContextFails) {
+  // Bind a plain object (not a context) then try to resolve through it.
+  struct Leaf : Object {};
+  sp<Object> leaf = std::make_shared<Leaf>();
+  ASSERT_TRUE(root_->Bind(Name::Single("leaf"), leaf, sys_).ok());
+  EXPECT_EQ(root_->Resolve(*Name::Parse("leaf/deeper"), sys_).status().code(),
+            ErrorCode::kNotADirectory);
+}
+
+TEST_F(NamingTest, MultiComponentBindRequiresIntermediates) {
+  EXPECT_EQ(root_->Bind(*Name::Parse("a/b"), root_, sys_).code(),
+            ErrorCode::kNotFound);
+  ASSERT_TRUE(root_->CreateContext(Name::Single("a"), sys_).ok());
+  EXPECT_TRUE(root_->Bind(*Name::Parse("a/b"), root_, sys_).ok());
+}
+
+TEST_F(NamingTest, UnbindRemovesOnlyTheBinding) {
+  ASSERT_TRUE(root_->Bind(Name::Single("x"), root_, sys_).ok());
+  ASSERT_TRUE(root_->Unbind(Name::Single("x"), sys_).ok());
+  EXPECT_EQ(root_->Resolve(Name::Single("x"), sys_).status().code(),
+            ErrorCode::kNotFound);
+  EXPECT_EQ(root_->Unbind(Name::Single("x"), sys_).code(),
+            ErrorCode::kNotFound);
+}
+
+TEST_F(NamingTest, ListReportsContextness) {
+  ASSERT_TRUE(root_->CreateContext(Name::Single("dir"), sys_).ok());
+  struct Leaf : Object {};
+  ASSERT_TRUE(root_->Bind(Name::Single("leaf"), std::make_shared<Leaf>(), sys_).ok());
+  Result<std::vector<BindingInfo>> list = root_->List(sys_);
+  ASSERT_TRUE(list.ok());
+  ASSERT_EQ(list->size(), 2u);
+  EXPECT_EQ((*list)[0].name, "dir");
+  EXPECT_TRUE((*list)[0].is_context);
+  EXPECT_EQ((*list)[1].name, "leaf");
+  EXPECT_FALSE((*list)[1].is_context);
+}
+
+TEST_F(NamingTest, ResolveEmptyNameReturnsSelf) {
+  Result<sp<Object>> self = root_->Resolve(Name(), sys_);
+  ASSERT_TRUE(self.ok());
+  EXPECT_EQ(narrow<Context>(*self), root_);
+}
+
+TEST_F(NamingTest, AclDeniesUnauthorizedBind) {
+  sp<MemContext> secured =
+      MemContext::Create(domain_, Acl::OwnedBy("alice"));
+  Credentials alice = Credentials::User("alice");
+  Credentials bob = Credentials::User("bob");
+  EXPECT_TRUE(secured->Bind(Name::Single("x"), root_, alice).ok());
+  EXPECT_EQ(secured->Bind(Name::Single("y"), root_, bob).code(),
+            ErrorCode::kPermissionDenied);
+  // Resolve is open in OwnedBy ACLs.
+  EXPECT_TRUE(secured->Resolve(Name::Single("x"), bob).ok());
+  // System passes everything.
+  EXPECT_TRUE(secured->Bind(Name::Single("z"), root_, sys_).ok());
+}
+
+TEST_F(NamingTest, AclAdministration) {
+  sp<MemContext> secured = MemContext::Create(domain_, Acl::OwnedBy("alice"));
+  Credentials alice = Credentials::User("alice");
+  Credentials bob = Credentials::User("bob");
+  EXPECT_EQ(secured->SetAcl(Acl::Open(), bob).code(),
+            ErrorCode::kPermissionDenied);
+  EXPECT_TRUE(secured->SetAcl(Acl::Open(), alice).ok());
+  EXPECT_TRUE(secured->Bind(Name::Single("x"), root_, bob).ok());
+}
+
+TEST_F(NamingTest, ResolveAsNarrowsResult) {
+  ASSERT_TRUE(root_->CreateContext(Name::Single("dir"), sys_).ok());
+  Result<sp<Context>> dir = ResolveAs<Context>(root_, "dir", sys_);
+  EXPECT_TRUE(dir.ok());
+  struct Leaf : Object {};
+  ASSERT_TRUE(root_->Bind(Name::Single("leaf"), std::make_shared<Leaf>(), sys_).ok());
+  EXPECT_EQ(ResolveAs<Context>(root_, "leaf", sys_).status().code(),
+            ErrorCode::kWrongType);
+}
+
+// --- overlay (per-domain name space) ---
+
+TEST_F(NamingTest, OverlayPrefersFrontFallsBackToBack) {
+  sp<MemContext> shared = MemContext::Create(domain_);
+  ASSERT_TRUE(shared->Bind(Name::Single("common"), shared, sys_).ok());
+
+  DomainNamespace ns(domain_, shared);
+  // Shared binding visible.
+  EXPECT_TRUE(ns.root()->Resolve(Name::Single("common"), sys_).ok());
+  // Private customization shadows without touching the shared space.
+  struct Leaf : Object {};
+  sp<Object> mine = std::make_shared<Leaf>();
+  ASSERT_TRUE(ns.root()->Bind(Name::Single("common"), mine, sys_).ok());
+  Result<sp<Object>> got = ns.root()->Resolve(Name::Single("common"), sys_);
+  ASSERT_TRUE(got.ok());
+  EXPECT_EQ(*got, mine);
+  // Shared space unchanged.
+  Result<sp<Object>> shared_view = shared->Resolve(Name::Single("common"), sys_);
+  ASSERT_TRUE(shared_view.ok());
+  EXPECT_NE(*shared_view, mine);
+}
+
+TEST_F(NamingTest, TwoDomainNamespacesAreIndependent) {
+  sp<MemContext> shared = MemContext::Create(domain_);
+  DomainNamespace ns1(domain_, shared);
+  DomainNamespace ns2(domain_, shared);
+  struct Leaf : Object {};
+  ASSERT_TRUE(ns1.root()->Bind(Name::Single("private"),
+                               std::make_shared<Leaf>(), sys_).ok());
+  EXPECT_EQ(ns2.root()->Resolve(Name::Single("private"), sys_).status().code(),
+            ErrorCode::kNotFound);
+}
+
+TEST_F(NamingTest, OverlayListMergesWithoutDuplicates) {
+  sp<MemContext> shared = MemContext::Create(domain_);
+  ASSERT_TRUE(shared->Bind(Name::Single("a"), shared, sys_).ok());
+  ASSERT_TRUE(shared->Bind(Name::Single("b"), shared, sys_).ok());
+  DomainNamespace ns(domain_, shared);
+  ASSERT_TRUE(ns.root()->Bind(Name::Single("b"), shared, sys_).ok());
+  ASSERT_TRUE(ns.root()->Bind(Name::Single("c"), shared, sys_).ok());
+  Result<std::vector<BindingInfo>> list = ns.root()->List(sys_);
+  ASSERT_TRUE(list.ok());
+  EXPECT_EQ(list->size(), 3u);
+}
+
+// --- interposition (section 5) ---
+
+TEST_F(NamingTest, InterposerInterceptsSelectedResolutions) {
+  struct Leaf : Object {};
+  sp<Context> dir = *root_->CreateContext(Name::Single("dir"), sys_);
+  sp<Object> original = std::make_shared<Leaf>();
+  sp<Object> substitute = std::make_shared<Leaf>();
+  ASSERT_TRUE(dir->Bind(Name::Single("watched"), original, sys_).ok());
+  ASSERT_TRUE(dir->Bind(Name::Single("plain"), original, sys_).ok());
+
+  Result<sp<InterposerContext>> interposer = InterposeOnContext(
+      root_, "dir",
+      [&](const std::string& component, sp<Object> obj) -> Result<sp<Object>> {
+        if (component == "watched") {
+          return substitute;
+        }
+        return obj;
+      },
+      sys_, domain_);
+  ASSERT_TRUE(interposer.ok());
+
+  // All naming traffic now goes through the interposer.
+  Result<sp<Object>> watched = root_->Resolve(*Name::Parse("dir/watched"), sys_);
+  ASSERT_TRUE(watched.ok());
+  EXPECT_EQ(*watched, substitute);
+  Result<sp<Object>> plain = root_->Resolve(*Name::Parse("dir/plain"), sys_);
+  ASSERT_TRUE(plain.ok());
+  EXPECT_EQ(*plain, original);
+  EXPECT_EQ((*interposer)->intercept_count(), 2u);
+}
+
+TEST_F(NamingTest, InterposeRequiresBindRights) {
+  sp<MemContext> secured = MemContext::Create(domain_, Acl::OwnedBy("alice"));
+  ASSERT_TRUE(secured->CreateContext(Name::Single("dir"),
+                                     Credentials::User("alice")).ok());
+  Result<sp<InterposerContext>> denied = InterposeOnContext(
+      secured, "dir",
+      [](const std::string&, sp<Object> obj) -> Result<sp<Object>> {
+        return obj;
+      },
+      Credentials::User("bob"), domain_);
+  EXPECT_EQ(denied.status().code(), ErrorCode::kPermissionDenied);
+}
+
+TEST_F(NamingTest, InterposerPassesThroughBindAndList) {
+  sp<Context> dir = *root_->CreateContext(Name::Single("dir"), sys_);
+  Result<sp<InterposerContext>> interposer = InterposeOnContext(
+      root_, "dir",
+      [](const std::string&, sp<Object> obj) -> Result<sp<Object>> {
+        return obj;
+      },
+      sys_, domain_);
+  ASSERT_TRUE(interposer.ok());
+  struct Leaf : Object {};
+  ASSERT_TRUE(root_->Bind(*Name::Parse("dir/x"), std::make_shared<Leaf>(),
+                          sys_).ok());
+  // Visible through the original context too: the interposer delegates.
+  EXPECT_TRUE(dir->Resolve(Name::Single("x"), sys_).ok());
+  Result<std::vector<BindingInfo>> list =
+      ResolveAs<Context>(root_, "dir", sys_).take_value()->List(sys_);
+  ASSERT_TRUE(list.ok());
+  EXPECT_EQ(list->size(), 1u);
+}
+
+}  // namespace
+}  // namespace springfs

@@ -1,0 +1,180 @@
+// Tests for the POSIX shim over various stacks (SFS, COMPFS-on-SFS),
+// demonstrating layer-agnostic UNIX-style access (paper section 3.1).
+
+#include <gtest/gtest.h>
+
+#include "src/layers/compfs/comp_layer.h"
+#include "src/layers/sfs/sfs.h"
+#include "src/posix/posix_shim.h"
+
+namespace springfs::posix {
+namespace {
+
+class PosixTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    device_ = std::make_unique<MemBlockDevice>(ufs::kBlockSize, 8192);
+    sfs_ = *CreateSfs(device_.get(), SfsOptions{}, &clock_);
+    process_ = std::make_unique<Process>(sfs_.root);
+  }
+
+  FakeClock clock_;
+  std::unique_ptr<MemBlockDevice> device_;
+  Sfs sfs_;
+  std::unique_ptr<Process> process_;
+};
+
+TEST_F(PosixTest, OpenCreateWriteReadClose) {
+  Result<int> fd = process_->Open("hello.txt", kRdWr | kCreate);
+  ASSERT_TRUE(fd.ok()) << fd.status().ToString();
+  Buffer data(std::string("hello posix"));
+  EXPECT_EQ(*process_->Write(*fd, data.span()), 11u);
+  EXPECT_EQ(*process_->Lseek(*fd, 0, Whence::kSet), 0u);
+  Buffer out(11);
+  EXPECT_EQ(*process_->Read(*fd, out.mutable_span()), 11u);
+  EXPECT_EQ(out.ToString(), "hello posix");
+  EXPECT_TRUE(process_->Close(*fd).ok());
+  EXPECT_EQ(process_->OpenFdCount(), 0u);
+}
+
+TEST_F(PosixTest, PositionAdvancesWithReadWrite) {
+  int fd = *process_->Open("f", kRdWr | kCreate);
+  Buffer a(std::string("aaa")), b(std::string("bbb"));
+  ASSERT_TRUE(process_->Write(fd, a.span()).ok());
+  ASSERT_TRUE(process_->Write(fd, b.span()).ok());
+  ASSERT_TRUE(process_->Lseek(fd, 0, Whence::kSet).ok());
+  Buffer out(6);
+  EXPECT_EQ(*process_->Read(fd, out.mutable_span()), 6u);
+  EXPECT_EQ(out.ToString(), "aaabbb");
+}
+
+TEST_F(PosixTest, OpenFlagsEnforced) {
+  EXPECT_EQ(process_->Open("missing", kRdOnly).status().code(),
+            ErrorCode::kNotFound);
+  int fd = *process_->Open("f", kWrOnly | kCreate);
+  Buffer out(4);
+  EXPECT_EQ(process_->Read(fd, out.mutable_span()).status().code(),
+            ErrorCode::kPermissionDenied);
+  int rd = *process_->Open("f", kRdOnly);
+  Buffer data(std::string("x"));
+  EXPECT_EQ(process_->Write(rd, data.span()).status().code(),
+            ErrorCode::kPermissionDenied);
+  EXPECT_EQ(process_->Open("f", kCreate | kExcl).status().code(),
+            ErrorCode::kAlreadyExists);
+}
+
+TEST_F(PosixTest, TruncAndAppend) {
+  int fd = *process_->Open("f", kRdWr | kCreate);
+  Buffer data(std::string("0123456789"));
+  ASSERT_TRUE(process_->Write(fd, data.span()).ok());
+  ASSERT_TRUE(process_->Close(fd).ok());
+
+  int truncated = *process_->Open("f", kRdWr | kTrunc);
+  EXPECT_EQ(process_->Fstat(truncated)->size, 0u);
+  ASSERT_TRUE(process_->Close(truncated).ok());
+
+  int a1 = *process_->Open("f", kWrOnly | kAppend);
+  Buffer x(std::string("xx")), y(std::string("yy"));
+  ASSERT_TRUE(process_->Write(a1, x.span()).ok());
+  ASSERT_TRUE(process_->Write(a1, y.span()).ok());
+  EXPECT_EQ(process_->Fstat(a1)->size, 4u);
+}
+
+TEST_F(PosixTest, LseekWhence) {
+  int fd = *process_->Open("f", kRdWr | kCreate);
+  Buffer data(std::string("0123456789"));
+  ASSERT_TRUE(process_->Write(fd, data.span()).ok());
+  EXPECT_EQ(*process_->Lseek(fd, -3, Whence::kEnd), 7u);
+  EXPECT_EQ(*process_->Lseek(fd, 1, Whence::kCur), 8u);
+  EXPECT_EQ(process_->Lseek(fd, -100, Whence::kCur).status().code(),
+            ErrorCode::kInvalidArgument);
+  Buffer out(2);
+  EXPECT_EQ(*process_->Read(fd, out.mutable_span()), 2u);
+  EXPECT_EQ(out.ToString(), "89");
+}
+
+TEST_F(PosixTest, PreadPwriteDoNotMovePosition) {
+  int fd = *process_->Open("f", kRdWr | kCreate);
+  Buffer data(std::string("base"));
+  ASSERT_TRUE(process_->Write(fd, data.span()).ok());
+  Buffer patch(std::string("X"));
+  ASSERT_TRUE(process_->Pwrite(fd, 1, patch.span()).ok());
+  Buffer out(1);
+  ASSERT_TRUE(process_->Pread(fd, 1, out.mutable_span()).ok());
+  EXPECT_EQ(out.ToString(), "X");
+  // Position still at 4 (after the initial write).
+  EXPECT_EQ(*process_->Lseek(fd, 0, Whence::kCur), 4u);
+}
+
+TEST_F(PosixTest, DirectoriesAndCwd) {
+  ASSERT_TRUE(process_->Mkdir("a").ok());
+  ASSERT_TRUE(process_->Mkdir("a/b").ok());
+  ASSERT_TRUE(process_->Chdir("a/b").ok());
+  int fd = *process_->Open("rel.txt", kRdWr | kCreate);
+  ASSERT_TRUE(process_->Close(fd).ok());
+  // Visible by absolute path too.
+  EXPECT_TRUE(process_->Stat("/a/b/rel.txt").ok());
+  Result<std::vector<std::string>> entries = process_->ListDir(".");
+  ASSERT_TRUE(entries.ok());
+  ASSERT_EQ(entries->size(), 1u);
+  EXPECT_EQ((*entries)[0], "rel.txt");
+}
+
+TEST_F(PosixTest, StatAndUnlink) {
+  int fd = *process_->Open("f", kRdWr | kCreate);
+  Buffer data(std::string("12345"));
+  ASSERT_TRUE(process_->Write(fd, data.span()).ok());
+  Result<StatBuf> st = process_->Stat("f");
+  ASSERT_TRUE(st.ok());
+  EXPECT_EQ(st->size, 5u);
+  EXPECT_EQ(st->kind, FileKind::kRegular);
+  ASSERT_TRUE(process_->Mkdir("d").ok());
+  EXPECT_EQ(process_->Stat("d")->kind, FileKind::kDirectory);
+  ASSERT_TRUE(process_->Close(fd).ok());
+  ASSERT_TRUE(process_->Unlink("f").ok());
+  EXPECT_EQ(process_->Stat("f").status().code(), ErrorCode::kNotFound);
+}
+
+TEST_F(PosixTest, RenameMovesFile) {
+  int fd = *process_->Open("old", kRdWr | kCreate);
+  Buffer data(std::string("content"));
+  ASSERT_TRUE(process_->Write(fd, data.span()).ok());
+  ASSERT_TRUE(process_->Close(fd).ok());
+  ASSERT_TRUE(process_->Rename("old", "new").ok());
+  EXPECT_EQ(process_->Stat("old").status().code(), ErrorCode::kNotFound);
+  EXPECT_EQ(process_->Stat("new")->size, 7u);
+}
+
+TEST_F(PosixTest, FsyncPersists) {
+  int fd = *process_->Open("durable", kRdWr | kCreate);
+  Buffer data(std::string("synced"));
+  ASSERT_TRUE(process_->Write(fd, data.span()).ok());
+  ASSERT_TRUE(process_->Fsync(fd).ok());
+  // Visible at the disk layer after fsync.
+  Result<sp<File>> under =
+      ResolveAs<File>(sfs_.disk, "durable", Credentials::System());
+  ASSERT_TRUE(under.ok());
+  EXPECT_EQ((*under)->Stat()->size, 6u);
+}
+
+TEST_F(PosixTest, WorksOverCompressedStack) {
+  sp<CompLayer> compfs =
+      CompLayer::Create(Domain::Create("compfs"), CompLayerOptions{}, &clock_);
+  ASSERT_TRUE(compfs->StackOn(sfs_.root).ok());
+  Process proc(compfs);
+  int fd = *proc.Open("doc", kRdWr | kCreate);
+  std::string text;
+  for (int i = 0; i < 100; ++i) {
+    text += "posix over compression over coherency over disk. ";
+  }
+  Buffer data(text);
+  ASSERT_TRUE(proc.Write(fd, data.span()).ok());
+  ASSERT_TRUE(proc.Fsync(fd).ok());
+  ASSERT_TRUE(proc.Lseek(fd, 0, Whence::kSet).ok());
+  Buffer out(text.size());
+  EXPECT_EQ(*proc.Read(fd, out.mutable_span()), text.size());
+  EXPECT_EQ(out.ToString(), text);
+}
+
+}  // namespace
+}  // namespace springfs::posix

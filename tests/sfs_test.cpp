@@ -1,0 +1,344 @@
+// Tests for SFS = coherency layer stacked on the disk layer (paper §6.2,
+// Figure 10): data/attribute caching, coherent mapped clients, domain
+// placement transparency, Table 2's cached fast paths, persistence, and a
+// randomized workload checked against a reference model plus fsck.
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "src/layers/sfs/sfs.h"
+#include "src/support/rng.h"
+#include "src/ufs/checker.h"
+#include "src/vmm/vmm.h"
+
+namespace springfs {
+namespace {
+
+class SfsTest : public ::testing::TestWithParam<SfsPlacement> {
+ protected:
+  void SetUp() override {
+    device_ = std::make_unique<MemBlockDevice>(ufs::kBlockSize, 8192);
+    SfsOptions options;
+    options.placement = GetParam();
+    Result<Sfs> sfs = CreateSfs(device_.get(), options, &clock_);
+    ASSERT_TRUE(sfs.ok()) << sfs.status().ToString();
+    sfs_ = sfs.take_value();
+  }
+
+  Credentials sys_ = Credentials::System();
+  FakeClock clock_;
+  std::unique_ptr<MemBlockDevice> device_;
+  Sfs sfs_;
+};
+
+TEST_P(SfsTest, CreateWriteReadStat) {
+  sp<File> file = *sfs_.root->CreateFile(*Name::Parse("f"), sys_);
+  Buffer data(std::string("through the whole stack"));
+  ASSERT_TRUE(file->Write(0, data.span()).ok());
+  Buffer out(data.size());
+  EXPECT_EQ(*file->Read(0, out.mutable_span()), data.size());
+  EXPECT_EQ(out.ToString(), "through the whole stack");
+  Result<FileAttributes> attrs = file->Stat();
+  ASSERT_TRUE(attrs.ok());
+  EXPECT_EQ(attrs->size, data.size());
+}
+
+TEST_P(SfsTest, ResolveReturnsSameWrappedFile) {
+  sp<File> created = *sfs_.root->CreateFile(*Name::Parse("same"), sys_);
+  Result<sp<File>> resolved = ResolveAs<File>(sfs_.root, "same", sys_);
+  ASSERT_TRUE(resolved.ok());
+  EXPECT_EQ(*resolved, created);
+}
+
+TEST_P(SfsTest, SubdirectoriesWorkThroughTheStack) {
+  ASSERT_TRUE(sfs_.root->CreateContext(*Name::Parse("a"), sys_).ok());
+  Result<sp<Context>> a = ResolveAs<Context>(sfs_.root, "a", sys_);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE((*a)->CreateContext(*Name::Parse("b"), sys_).ok());
+  sp<File> file = *sfs_.root->CreateFile(*Name::Parse("a/b/f"), sys_);
+  Buffer data(std::string("nested"));
+  ASSERT_TRUE(file->Write(0, data.span()).ok());
+  Result<sp<File>> through = ResolveAs<File>(sfs_.root, "a/b/f", sys_);
+  ASSERT_TRUE(through.ok());
+  Buffer out(6);
+  EXPECT_EQ(*(*through)->Read(0, out.mutable_span()), 6u);
+  EXPECT_EQ(out.ToString(), "nested");
+}
+
+TEST_P(SfsTest, WritesReachDiskOnSync) {
+  sp<File> file = *sfs_.root->CreateFile(*Name::Parse("durable"), sys_);
+  Buffer data(std::string("must persist"));
+  ASSERT_TRUE(file->Write(0, data.span()).ok());
+  ASSERT_TRUE(sfs_.root->SyncFs().ok());
+  // Read through the *disk layer* directly: the coherency layer must have
+  // pushed both data and the length attribute down.
+  Result<sp<File>> under = ResolveAs<File>(sfs_.disk, "durable", sys_);
+  ASSERT_TRUE(under.ok());
+  EXPECT_EQ((*under)->Stat()->size, data.size());
+  Buffer out(data.size());
+  EXPECT_EQ(*(*under)->Read(0, out.mutable_span()), data.size());
+  EXPECT_EQ(out.ToString(), "must persist");
+}
+
+TEST_P(SfsTest, PersistsAcrossRemount) {
+  sp<File> file = *sfs_.root->CreateFile(*Name::Parse("keep"), sys_);
+  Buffer data(std::string("remount me"));
+  ASSERT_TRUE(file->Write(0, data.span()).ok());
+  ASSERT_TRUE(sfs_.root->SyncFs().ok());
+  file.reset();
+  sfs_ = Sfs{};  // unmount everything
+
+  SfsOptions options;
+  options.placement = GetParam();
+  options.format = false;
+  Result<Sfs> again = CreateSfs(device_.get(), options, &clock_);
+  ASSERT_TRUE(again.ok());
+  Result<sp<File>> found = ResolveAs<File>(again->root, "keep", sys_);
+  ASSERT_TRUE(found.ok());
+  Buffer out(10);
+  EXPECT_EQ(*(*found)->Read(0, out.mutable_span()), 10u);
+  EXPECT_EQ(out.ToString(), "remount me");
+}
+
+TEST_P(SfsTest, MappedClientsAreCoherentThroughSfs) {
+  if (GetParam() == SfsPlacement::kNotStacked) {
+    GTEST_SKIP() << "the bare disk layer is non-coherent by design";
+  }
+  sp<File> file = *sfs_.root->CreateFile(*Name::Parse("coh"), sys_);
+  ASSERT_TRUE(file->SetLength(kPageSize).ok());
+  sp<Domain> node = Domain::Create("client-node");
+  sp<Vmm> vmm1 = Vmm::Create(node, "vmm1");
+  sp<Vmm> vmm2 = Vmm::Create(node, "vmm2");
+  sp<MappedRegion> w = *vmm1->Map(file, AccessRights::kReadWrite);
+  sp<MappedRegion> r = *vmm2->Map(file, AccessRights::kReadOnly);
+
+  Buffer out(5);
+  ASSERT_TRUE(r->Read(0, out.mutable_span()).ok());  // cache the zero page
+  Buffer data(std::string("fresh"));
+  ASSERT_TRUE(w->Write(0, data.span()).ok());
+  ASSERT_TRUE(r->Read(0, out.mutable_span()).ok());
+  EXPECT_EQ(out.ToString(), "fresh") << "SFS failed to keep mappings coherent";
+}
+
+TEST_P(SfsTest, FileOpsCoherentWithMappings) {
+  if (GetParam() == SfsPlacement::kNotStacked) {
+    GTEST_SKIP() << "the bare disk layer is non-coherent by design";
+  }
+  sp<File> file = *sfs_.root->CreateFile(*Name::Parse("mix"), sys_);
+  ASSERT_TRUE(file->SetLength(kPageSize).ok());
+  sp<Domain> node = Domain::Create("client-node");
+  sp<Vmm> vmm = Vmm::Create(node, "vmm");
+  sp<MappedRegion> region = *vmm->Map(file, AccessRights::kReadWrite);
+
+  // Mapped write, then file read.
+  Buffer via_map(std::string("via-map"));
+  ASSERT_TRUE(region->Write(0, via_map.span()).ok());
+  Buffer out(7);
+  ASSERT_TRUE(file->Read(0, out.mutable_span()).ok());
+  EXPECT_EQ(out.ToString(), "via-map");
+
+  // File write, then mapped read.
+  Buffer via_file(std::string("via-fil"));
+  ASSERT_TRUE(file->Write(0, via_file.span()).ok());
+  ASSERT_TRUE(region->Read(0, out.mutable_span()).ok());
+  EXPECT_EQ(out.ToString(), "via-fil");
+}
+
+TEST_P(SfsTest, CachedOperationsSkipTheLowerLayer) {
+  if (GetParam() != SfsPlacement::kTwoDomains) {
+    GTEST_SKIP() << "lower-layer traffic is observable via domain crossings "
+                    "only in the two-domain configuration";
+  }
+  sp<File> file = *sfs_.root->CreateFile(*Name::Parse("hot"), sys_);
+  Buffer data(std::string("hot data"));
+  ASSERT_TRUE(file->Write(0, data.span()).ok());
+  Buffer out(8);
+  ASSERT_TRUE(file->Read(0, out.mutable_span()).ok());
+  ASSERT_TRUE(file->Stat().ok());
+
+  // Warm: further reads/writes/stats must not call into the disk domain.
+  sfs_.disk_domain->ResetStats();
+  for (int i = 0; i < 10; ++i) {
+    ASSERT_TRUE(file->Read(0, out.mutable_span()).ok());
+    ASSERT_TRUE(file->Write(0, data.span()).ok());
+    ASSERT_TRUE(file->Stat().ok());
+  }
+  DomainStats disk_stats = sfs_.disk_domain->stats();
+  EXPECT_EQ(disk_stats.cross_calls, 0u)
+      << "cached coherency-layer ops still reached the disk layer";
+  EXPECT_EQ(disk_stats.inline_calls, 0u);
+}
+
+TEST_P(SfsTest, TruncateDiscardsBeyondEofEverywhere) {
+  if (GetParam() == SfsPlacement::kNotStacked) {
+    GTEST_SKIP() << "truncation coherence needs the coherency layer";
+  }
+  sp<File> file = *sfs_.root->CreateFile(*Name::Parse("trunc"), sys_);
+  Buffer data(std::string("0123456789"));
+  ASSERT_TRUE(file->Write(0, data.span()).ok());
+  sp<Domain> node = Domain::Create("client-node");
+  sp<Vmm> vmm = Vmm::Create(node, "vmm");
+  sp<MappedRegion> region = *vmm->Map(file, AccessRights::kReadOnly);
+  Buffer out(10);
+  ASSERT_TRUE(region->Read(0, out.mutable_span()).ok());
+
+  ASSERT_TRUE(file->SetLength(4).ok());
+  EXPECT_EQ(*file->GetLength(), 4u);
+  // Extending again must yield zeros, both via file ops and the mapping.
+  ASSERT_TRUE(file->SetLength(10).ok());
+  ASSERT_TRUE(file->Read(0, out.mutable_span()).ok());
+  EXPECT_EQ(out.ToString().substr(0, 4), "0123");
+  for (int i = 4; i < 10; ++i) {
+    EXPECT_EQ(out.data()[i], 0) << "stale byte at " << i;
+  }
+  ASSERT_TRUE(region->Read(0, out.mutable_span()).ok());
+  for (int i = 4; i < 10; ++i) {
+    EXPECT_EQ(out.data()[i], 0) << "stale mapped byte at " << i;
+  }
+}
+
+TEST_P(SfsTest, FsInfoReportsStackDepth) {
+  Result<FsInfo> info = sfs_.root->GetFsInfo();
+  ASSERT_TRUE(info.ok());
+  if (GetParam() == SfsPlacement::kNotStacked) {
+    EXPECT_EQ(info->type, "disk");
+    EXPECT_EQ(info->stack_depth, 1u);
+  } else {
+    EXPECT_EQ(info->type, "coherency(disk)");
+    EXPECT_EQ(info->stack_depth, 2u);
+  }
+}
+
+TEST_P(SfsTest, RandomWorkloadMatchesModelAndDiskStaysConsistent) {
+  Rng rng(20260707);
+  std::map<std::string, Buffer> model;
+  std::map<std::string, sp<File>> files;
+
+  for (int step = 0; step < 200; ++step) {
+    uint64_t action = rng.Below(10);
+    if (action < 3 || files.empty()) {
+      std::string name = "f" + std::to_string(rng.Below(12));
+      if (files.count(name)) {
+        continue;
+      }
+      Result<sp<File>> file = sfs_.root->CreateFile(Name::Single(name), sys_);
+      if (file.ok()) {
+        files[name] = *file;
+        model[name] = Buffer();
+      }
+    } else {
+      auto it = files.begin();
+      std::advance(it, rng.Below(files.size()));
+      const std::string& name = it->first;
+      sp<File>& file = it->second;
+      if (action < 7) {  // write
+        uint64_t offset = rng.Below(3 * kPageSize);
+        Buffer data = rng.RandomBuffer(rng.Range(1, kPageSize));
+        ASSERT_TRUE(file->Write(offset, data.span()).ok());
+        model[name].WriteAt(offset, data.span());
+      } else if (action < 9) {  // read & compare
+        const Buffer& ref = model[name];
+        uint64_t offset = rng.Below(4 * kPageSize);
+        size_t len = rng.Range(1, kPageSize);
+        Buffer got(len), expect(len);
+        Result<size_t> n = file->Read(offset, got.mutable_span());
+        ASSERT_TRUE(n.ok());
+        size_t ref_n = ref.ReadAt(offset, expect.mutable_span());
+        ASSERT_EQ(*n, ref_n) << name << " offset " << offset;
+        EXPECT_TRUE(std::equal(got.data(), got.data() + *n, expect.data()));
+      } else {  // truncate
+        uint64_t new_size = rng.Below(3 * kPageSize);
+        ASSERT_TRUE(file->SetLength(new_size).ok());
+        Buffer& ref = model[name];
+        if (new_size <= ref.size()) {
+          Buffer shrunk(new_size);
+          ref.ReadAt(0, shrunk.mutable_span());
+          ref = shrunk;
+        } else {
+          ref.resize(new_size);
+        }
+      }
+    }
+  }
+
+  // Push everything to disk and fsck the device.
+  ASSERT_TRUE(sfs_.root->SyncFs().ok());
+  for (auto& [name, ref] : model) {
+    Result<sp<File>> under = ResolveAs<File>(sfs_.disk, name, sys_);
+    ASSERT_TRUE(under.ok());
+    EXPECT_EQ((*under)->Stat()->size, ref.size()) << name;
+  }
+  files.clear();
+  sfs_ = Sfs{};
+  ufs::Checker checker(device_.get());
+  Result<ufs::CheckReport> report = checker.Check();
+  ASSERT_TRUE(report.ok());
+  EXPECT_TRUE(report->clean()) << report->Summary();
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Placements, SfsTest,
+    ::testing::Values(SfsPlacement::kNotStacked, SfsPlacement::kOneDomain,
+                      SfsPlacement::kTwoDomains),
+    [](const ::testing::TestParamInfo<SfsPlacement>& info) {
+      switch (info.param) {
+        case SfsPlacement::kNotStacked:
+          return "NotStacked";
+        case SfsPlacement::kOneDomain:
+          return "OneDomain";
+        case SfsPlacement::kTwoDomains:
+          return "TwoDomains";
+      }
+      return "Unknown";
+    });
+
+// --- uncached (write-through) configuration: Table 2's "No" rows ---
+
+TEST(SfsUncachedTest, OperationsAlwaysReachTheLowerLayer) {
+  MemBlockDevice device(ufs::kBlockSize, 4096);
+  FakeClock clock;
+  SfsOptions options;
+  options.placement = SfsPlacement::kTwoDomains;
+  options.coherency.cache_data = false;
+  options.coherency.cache_attrs = false;
+  Sfs sfs = *CreateSfs(&device, options, &clock);
+
+  sp<File> file = *sfs.root->CreateFile(*Name::Parse("wt"), Credentials::System());
+  Buffer data(std::string("write through"));
+  ASSERT_TRUE(file->Write(0, data.span()).ok());
+
+  sfs.disk_domain->ResetStats();
+  Buffer out(13);
+  ASSERT_TRUE(file->Read(0, out.mutable_span()).ok());
+  EXPECT_EQ(out.ToString(), "write through");
+  ASSERT_TRUE(file->Stat().ok());
+  DomainStats stats = sfs.disk_domain->stats();
+  EXPECT_GT(stats.cross_calls, 0u)
+      << "uncached coherency layer should delegate to the disk layer";
+}
+
+TEST(SfsUncachedTest, UncachedStackIsStillCoherent) {
+  MemBlockDevice device(ufs::kBlockSize, 4096);
+  FakeClock clock;
+  SfsOptions options;
+  options.coherency.cache_data = false;
+  Sfs sfs = *CreateSfs(&device, options, &clock);
+  sp<File> file = *sfs.root->CreateFile(*Name::Parse("c"), Credentials::System());
+  ASSERT_TRUE(file->SetLength(kPageSize).ok());
+
+  sp<Domain> node = Domain::Create("n");
+  sp<Vmm> vmm1 = Vmm::Create(node, "vmm1");
+  sp<Vmm> vmm2 = Vmm::Create(node, "vmm2");
+  sp<MappedRegion> w = *vmm1->Map(file, AccessRights::kReadWrite);
+  sp<MappedRegion> r = *vmm2->Map(file, AccessRights::kReadOnly);
+  Buffer out(4);
+  ASSERT_TRUE(r->Read(0, out.mutable_span()).ok());
+  Buffer data(std::string("sync"));
+  ASSERT_TRUE(w->Write(0, data.span()).ok());
+  ASSERT_TRUE(r->Read(0, out.mutable_span()).ok());
+  EXPECT_EQ(out.ToString(), "sync");
+}
+
+}  // namespace
+}  // namespace springfs

@@ -1,0 +1,504 @@
+// Unit and property tests for the UFS substrate: format/mount, directories,
+// file data across direct/indirect/double-indirect ranges, truncation, hard
+// links, persistence, the fsck-style checker, and a randomized workload
+// checked against an in-memory reference model.
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "src/blockdev/block_device.h"
+#include "src/support/rng.h"
+#include "src/ufs/checker.h"
+#include "src/ufs/ufs.h"
+
+namespace springfs::ufs {
+namespace {
+
+class UfsTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    device_ = std::make_unique<MemBlockDevice>(kBlockSize, 4096);
+    clock_ = std::make_unique<FakeClock>();
+    Result<std::unique_ptr<Ufs>> fs = Ufs::Format(device_.get(), clock_.get());
+    ASSERT_TRUE(fs.ok()) << fs.status().ToString();
+    fs_ = fs.take_value();
+  }
+
+  void ExpectClean() {
+    ASSERT_TRUE(fs_->Sync().ok());
+    Checker checker(device_.get());
+    Result<CheckReport> report = checker.Check();
+    ASSERT_TRUE(report.ok()) << report.status().ToString();
+    EXPECT_TRUE(report->clean()) << report->Summary();
+  }
+
+  std::unique_ptr<MemBlockDevice> device_;
+  std::unique_ptr<FakeClock> clock_;
+  std::unique_ptr<Ufs> fs_;
+};
+
+TEST_F(UfsTest, FormatCreatesEmptyRoot) {
+  Result<std::vector<NamedEntry>> entries = fs_->ReadDir(kRootInode);
+  ASSERT_TRUE(entries.ok());
+  EXPECT_TRUE(entries->empty());
+  ExpectClean();
+}
+
+TEST_F(UfsTest, CreateAndLookup) {
+  Result<InodeNum> ino = fs_->Create(kRootInode, "hello", FileType::kRegular);
+  ASSERT_TRUE(ino.ok());
+  Result<InodeNum> found = fs_->Lookup(kRootInode, "hello");
+  ASSERT_TRUE(found.ok());
+  EXPECT_EQ(*found, *ino);
+  ExpectClean();
+}
+
+TEST_F(UfsTest, LookupMissingIsNotFound) {
+  EXPECT_EQ(fs_->Lookup(kRootInode, "ghost").status().code(),
+            ErrorCode::kNotFound);
+}
+
+TEST_F(UfsTest, DuplicateCreateFails) {
+  ASSERT_TRUE(fs_->Create(kRootInode, "x", FileType::kRegular).ok());
+  EXPECT_EQ(fs_->Create(kRootInode, "x", FileType::kRegular).status().code(),
+            ErrorCode::kAlreadyExists);
+}
+
+TEST_F(UfsTest, RejectsBadNames) {
+  EXPECT_EQ(fs_->Create(kRootInode, "", FileType::kRegular).status().code(),
+            ErrorCode::kInvalidArgument);
+  EXPECT_EQ(fs_->Create(kRootInode, "a/b", FileType::kRegular).status().code(),
+            ErrorCode::kInvalidArgument);
+  std::string long_name(kMaxNameLen + 1, 'n');
+  EXPECT_EQ(fs_->Create(kRootInode, long_name, FileType::kRegular)
+                .status().code(),
+            ErrorCode::kInvalidArgument);
+  std::string max_name(kMaxNameLen, 'n');
+  EXPECT_TRUE(fs_->Create(kRootInode, max_name, FileType::kRegular).ok());
+}
+
+TEST_F(UfsTest, WriteReadRoundTrip) {
+  InodeNum ino = *fs_->Create(kRootInode, "f", FileType::kRegular);
+  Rng rng(1);
+  Buffer data = rng.RandomBuffer(1000);
+  ASSERT_TRUE(fs_->Write(ino, 0, data.span()).ok());
+  Buffer out(1000);
+  Result<size_t> n = fs_->Read(ino, 0, out.mutable_span());
+  ASSERT_TRUE(n.ok());
+  EXPECT_EQ(*n, 1000u);
+  EXPECT_EQ(out, data);
+  ExpectClean();
+}
+
+TEST_F(UfsTest, UnalignedWritesPreserveNeighbors) {
+  InodeNum ino = *fs_->Create(kRootInode, "f", FileType::kRegular);
+  Buffer a(std::string("AAAA"));
+  Buffer b(std::string("BB"));
+  ASSERT_TRUE(fs_->Write(ino, 0, a.span()).ok());
+  ASSERT_TRUE(fs_->Write(ino, 1, b.span()).ok());
+  Buffer out(4);
+  ASSERT_TRUE(fs_->Read(ino, 0, out.mutable_span()).ok());
+  EXPECT_EQ(out.ToString(), "ABBA");
+}
+
+TEST_F(UfsTest, ReadPastEofIsShort) {
+  InodeNum ino = *fs_->Create(kRootInode, "f", FileType::kRegular);
+  Buffer data(std::string("12345"));
+  ASSERT_TRUE(fs_->Write(ino, 0, data.span()).ok());
+  Buffer out(100);
+  Result<size_t> n = fs_->Read(ino, 3, out.mutable_span());
+  ASSERT_TRUE(n.ok());
+  EXPECT_EQ(*n, 2u);
+  EXPECT_EQ(*fs_->Read(ino, 5, out.mutable_span()), 0u);
+  EXPECT_EQ(*fs_->Read(ino, 50, out.mutable_span()), 0u);
+}
+
+TEST_F(UfsTest, SparseFileReadsZerosInHoles) {
+  InodeNum ino = *fs_->Create(kRootInode, "sparse", FileType::kRegular);
+  Buffer tail(std::string("end"));
+  // Write beyond several blocks without touching earlier ones.
+  ASSERT_TRUE(fs_->Write(ino, 10 * kBlockSize, tail.span()).ok());
+  Buffer out(kBlockSize);
+  ASSERT_TRUE(fs_->Read(ino, kBlockSize, out.mutable_span()).ok());
+  for (size_t i = 0; i < kBlockSize; ++i) {
+    ASSERT_EQ(out.data()[i], 0);
+  }
+  Result<InodeAttrs> attrs = fs_->GetAttrs(ino);
+  ASSERT_TRUE(attrs.ok());
+  EXPECT_EQ(attrs->size, 10 * kBlockSize + 3);
+  ExpectClean();
+}
+
+TEST_F(UfsTest, LargeFileSpansIndirectBlocks) {
+  InodeNum ino = *fs_->Create(kRootInode, "big", FileType::kRegular);
+  // Beyond 12 direct blocks: 40 blocks uses the single-indirect range.
+  Rng rng(2);
+  Buffer data = rng.RandomBuffer(40 * kBlockSize);
+  ASSERT_TRUE(fs_->Write(ino, 0, data.span()).ok());
+  Buffer out(40 * kBlockSize);
+  ASSERT_TRUE(fs_->Read(ino, 0, out.mutable_span()).ok());
+  EXPECT_EQ(Fnv1a64(out.span()), Fnv1a64(data.span()));
+  ExpectClean();
+}
+
+TEST_F(UfsTest, DoubleIndirectRange) {
+  InodeNum ino = *fs_->Create(kRootInode, "huge", FileType::kRegular);
+  // File block kNumDirect + kPtrsPerBlock + 5 lives in the double-indirect
+  // range; write it as a sparse block so the test stays fast.
+  uint64_t fb = kNumDirect + kPtrsPerBlock + 5;
+  Buffer data(std::string("deep"));
+  ASSERT_TRUE(fs_->Write(ino, fb * kBlockSize, data.span()).ok());
+  Buffer out(4);
+  ASSERT_TRUE(fs_->Read(ino, fb * kBlockSize, out.mutable_span()).ok());
+  EXPECT_EQ(out.ToString(), "deep");
+  ExpectClean();
+}
+
+TEST_F(UfsTest, TruncateShrinkFreesBlocks) {
+  InodeNum ino = *fs_->Create(kRootInode, "f", FileType::kRegular);
+  Rng rng(3);
+  Buffer data = rng.RandomBuffer(20 * kBlockSize);
+  ASSERT_TRUE(fs_->Write(ino, 0, data.span()).ok());
+  uint64_t free_before = fs_->FreeBlocks();
+  ASSERT_TRUE(fs_->Truncate(ino, kBlockSize).ok());
+  EXPECT_GT(fs_->FreeBlocks(), free_before);
+  Result<InodeAttrs> attrs = fs_->GetAttrs(ino);
+  EXPECT_EQ(attrs->size, kBlockSize);
+  ExpectClean();
+}
+
+TEST_F(UfsTest, TruncateThenExtendReadsZeros) {
+  InodeNum ino = *fs_->Create(kRootInode, "f", FileType::kRegular);
+  Buffer data(std::string("secret-data"));
+  ASSERT_TRUE(fs_->Write(ino, 0, data.span()).ok());
+  ASSERT_TRUE(fs_->Truncate(ino, 3).ok());
+  ASSERT_TRUE(fs_->Truncate(ino, 11).ok());
+  Buffer out(11);
+  ASSERT_TRUE(fs_->Read(ino, 0, out.mutable_span()).ok());
+  EXPECT_EQ(out.ToString().substr(0, 3), "sec");
+  for (size_t i = 3; i < 11; ++i) {
+    EXPECT_EQ(out.data()[i], 0) << "old data resurrected at " << i;
+  }
+}
+
+TEST_F(UfsTest, RemoveFreesEverything) {
+  // Warm-up so the root directory's entry block is already allocated; a
+  // directory keeps its blocks after entries are removed.
+  ASSERT_TRUE(fs_->Create(kRootInode, "warmup", FileType::kRegular).ok());
+  ASSERT_TRUE(fs_->Remove(kRootInode, "warmup").ok());
+  uint64_t free_blocks = fs_->FreeBlocks();
+  uint64_t free_inodes = fs_->FreeInodes();
+  InodeNum ino = *fs_->Create(kRootInode, "f", FileType::kRegular);
+  Rng rng(4);
+  Buffer data = rng.RandomBuffer(30 * kBlockSize);
+  ASSERT_TRUE(fs_->Write(ino, 0, data.span()).ok());
+  ASSERT_TRUE(fs_->Remove(kRootInode, "f").ok());
+  EXPECT_EQ(fs_->FreeBlocks(), free_blocks);
+  EXPECT_EQ(fs_->FreeInodes(), free_inodes);
+  EXPECT_EQ(fs_->Lookup(kRootInode, "f").status().code(),
+            ErrorCode::kNotFound);
+  ExpectClean();
+}
+
+TEST_F(UfsTest, RemoveNonEmptyDirectoryFails) {
+  InodeNum dir = *fs_->Create(kRootInode, "d", FileType::kDirectory);
+  ASSERT_TRUE(fs_->Create(dir, "child", FileType::kRegular).ok());
+  EXPECT_EQ(fs_->Remove(kRootInode, "d").code(), ErrorCode::kNotEmpty);
+  ASSERT_TRUE(fs_->Remove(dir, "child").ok());
+  EXPECT_TRUE(fs_->Remove(kRootInode, "d").ok());
+  ExpectClean();
+}
+
+TEST_F(UfsTest, HardLinksShareData) {
+  InodeNum ino = *fs_->Create(kRootInode, "a", FileType::kRegular);
+  ASSERT_TRUE(fs_->Link(kRootInode, "b", ino).ok());
+  Buffer data(std::string("shared"));
+  ASSERT_TRUE(fs_->Write(ino, 0, data.span()).ok());
+  InodeNum via_b = *fs_->Lookup(kRootInode, "b");
+  EXPECT_EQ(via_b, ino);
+  Result<InodeAttrs> attrs = fs_->GetAttrs(ino);
+  EXPECT_EQ(attrs->nlink, 2u);
+  // Removing one name keeps the data.
+  ASSERT_TRUE(fs_->Remove(kRootInode, "a").ok());
+  Buffer out(6);
+  ASSERT_TRUE(fs_->Read(via_b, 0, out.mutable_span()).ok());
+  EXPECT_EQ(out.ToString(), "shared");
+  ASSERT_TRUE(fs_->Remove(kRootInode, "b").ok());
+  ExpectClean();
+}
+
+TEST_F(UfsTest, HardLinkToDirectoryForbidden) {
+  InodeNum dir = *fs_->Create(kRootInode, "d", FileType::kDirectory);
+  EXPECT_EQ(fs_->Link(kRootInode, "d2", dir).code(), ErrorCode::kIsADirectory);
+}
+
+TEST_F(UfsTest, RenameMovesBinding) {
+  InodeNum ino = *fs_->Create(kRootInode, "old", FileType::kRegular);
+  InodeNum dir = *fs_->Create(kRootInode, "d", FileType::kDirectory);
+  ASSERT_TRUE(fs_->Rename(kRootInode, "old", dir, "new").ok());
+  EXPECT_EQ(fs_->Lookup(kRootInode, "old").status().code(),
+            ErrorCode::kNotFound);
+  EXPECT_EQ(*fs_->Lookup(dir, "new"), ino);
+  ExpectClean();
+}
+
+TEST_F(UfsTest, ReadDirListsAllEntries) {
+  for (int i = 0; i < 100; ++i) {
+    ASSERT_TRUE(fs_->Create(kRootInode, "file" + std::to_string(i),
+                            FileType::kRegular).ok());
+  }
+  Result<std::vector<NamedEntry>> entries = fs_->ReadDir(kRootInode);
+  ASSERT_TRUE(entries.ok());
+  EXPECT_EQ(entries->size(), 100u);
+  ExpectClean();
+}
+
+TEST_F(UfsTest, DirSlotReuseAfterRemove) {
+  ASSERT_TRUE(fs_->Create(kRootInode, "a", FileType::kRegular).ok());
+  ASSERT_TRUE(fs_->Create(kRootInode, "b", FileType::kRegular).ok());
+  ASSERT_TRUE(fs_->Remove(kRootInode, "a").ok());
+  ASSERT_TRUE(fs_->Create(kRootInode, "c", FileType::kRegular).ok());
+  Result<std::vector<NamedEntry>> entries = fs_->ReadDir(kRootInode);
+  ASSERT_TRUE(entries.ok());
+  EXPECT_EQ(entries->size(), 2u);
+  ExpectClean();
+}
+
+TEST_F(UfsTest, AttributesTrackOperations) {
+  InodeNum ino = *fs_->Create(kRootInode, "f", FileType::kRegular);
+  Result<InodeAttrs> created = fs_->GetAttrs(ino);
+  clock_->Advance(1000);
+  Buffer data(std::string("x"));
+  ASSERT_TRUE(fs_->Write(ino, 0, data.span()).ok());
+  Result<InodeAttrs> written = fs_->GetAttrs(ino);
+  EXPECT_GT(written->mtime_ns, created->mtime_ns);
+  clock_->Advance(1000);
+  Buffer out(1);
+  ASSERT_TRUE(fs_->Read(ino, 0, out.mutable_span()).ok());
+  Result<InodeAttrs> read = fs_->GetAttrs(ino);
+  EXPECT_GT(read->atime_ns, written->atime_ns);
+}
+
+TEST_F(UfsTest, SetTimesAndSetSize) {
+  InodeNum ino = *fs_->Create(kRootInode, "f", FileType::kRegular);
+  ASSERT_TRUE(fs_->SetTimes(ino, 111, 222).ok());
+  Result<InodeAttrs> attrs = fs_->GetAttrs(ino);
+  EXPECT_EQ(attrs->atime_ns, 111u);
+  EXPECT_EQ(attrs->mtime_ns, 222u);
+  ASSERT_TRUE(fs_->SetSize(ino, 12345).ok());
+  EXPECT_EQ(fs_->GetAttrs(ino)->size, 12345u);
+}
+
+TEST_F(UfsTest, BlockGranularityAccess) {
+  InodeNum ino = *fs_->Create(kRootInode, "f", FileType::kRegular);
+  Rng rng(5);
+  Buffer block = rng.RandomBuffer(kBlockSize);
+  ASSERT_TRUE(fs_->WriteFileBlock(ino, 3, block.span()).ok());
+  Buffer out(kBlockSize);
+  ASSERT_TRUE(fs_->ReadFileBlock(ino, 3, out.mutable_span()).ok());
+  EXPECT_EQ(out, block);
+  // Holes read zeros.
+  ASSERT_TRUE(fs_->ReadFileBlock(ino, 1, out.mutable_span()).ok());
+  for (size_t i = 0; i < kBlockSize; ++i) {
+    ASSERT_EQ(out.data()[i], 0);
+  }
+  // Block writes do not move the size; that is SetSize's job.
+  EXPECT_EQ(fs_->GetAttrs(ino)->size, 0u);
+}
+
+TEST_F(UfsTest, PersistsAcrossRemount) {
+  InodeNum dir = *fs_->Create(kRootInode, "docs", FileType::kDirectory);
+  InodeNum ino = *fs_->Create(dir, "readme", FileType::kRegular);
+  Buffer data(std::string("persistent content"));
+  ASSERT_TRUE(fs_->Write(ino, 0, data.span()).ok());
+  ASSERT_TRUE(fs_->Sync().ok());
+  fs_.reset();  // unmount
+
+  Result<std::unique_ptr<Ufs>> remounted =
+      Ufs::Mount(device_.get(), clock_.get());
+  ASSERT_TRUE(remounted.ok()) << remounted.status().ToString();
+  std::unique_ptr<Ufs> fs2 = remounted.take_value();
+  InodeNum dir2 = *fs2->Lookup(kRootInode, "docs");
+  InodeNum ino2 = *fs2->Lookup(dir2, "readme");
+  EXPECT_EQ(ino2, ino);
+  Buffer out(data.size());
+  ASSERT_TRUE(fs2->Read(ino2, 0, out.mutable_span()).ok());
+  EXPECT_EQ(out.ToString(), "persistent content");
+}
+
+TEST_F(UfsTest, MountRejectsUnformattedDevice) {
+  MemBlockDevice raw(kBlockSize, 64);
+  EXPECT_FALSE(Ufs::Mount(&raw).ok());
+}
+
+TEST_F(UfsTest, OutOfSpaceIsReported) {
+  MemBlockDevice tiny(kBlockSize, 32);
+  Result<std::unique_ptr<Ufs>> fs = Ufs::Format(&tiny, clock_.get());
+  ASSERT_TRUE(fs.ok());
+  InodeNum ino = *(*fs)->Create(kRootInode, "f", FileType::kRegular);
+  Rng rng(6);
+  Buffer big = rng.RandomBuffer(64 * kBlockSize);
+  Result<size_t> written = (*fs)->Write(ino, 0, big.span());
+  EXPECT_EQ(written.status().code(), ErrorCode::kNoSpace);
+}
+
+TEST_F(UfsTest, InodeCacheServesRepeatLookups) {
+  InodeNum ino = *fs_->Create(kRootInode, "f", FileType::kRegular);
+  (void)fs_->GetAttrs(ino);
+  UfsStats before = fs_->stats();
+  for (int i = 0; i < 10; ++i) {
+    ASSERT_TRUE(fs_->GetAttrs(ino).ok());
+  }
+  UfsStats after = fs_->stats();
+  EXPECT_EQ(after.inode_cache_misses, before.inode_cache_misses);
+  EXPECT_GE(after.inode_cache_hits, before.inode_cache_hits + 10);
+}
+
+// --- checker corruption detection ---
+
+TEST_F(UfsTest, CheckerDetectsCorruptSuperblock) {
+  ASSERT_TRUE(fs_->Sync().ok());
+  Buffer block(kBlockSize);
+  ASSERT_TRUE(device_->ReadBlock(0, block.mutable_span()).ok());
+  block.data()[8] ^= 0xFF;  // flip bits in num_blocks
+  ASSERT_TRUE(device_->WriteBlock(0, block.span()).ok());
+  Checker checker(device_.get());
+  Result<CheckReport> report = checker.Check();
+  ASSERT_TRUE(report.ok());
+  EXPECT_FALSE(report->clean());
+}
+
+TEST_F(UfsTest, CheckerDetectsLinkCountMismatch) {
+  InodeNum ino = *fs_->Create(kRootInode, "f", FileType::kRegular);
+  ASSERT_TRUE(fs_->Sync().ok());
+  // Corrupt the inode's nlink directly on disk (re-encode with valid CRC).
+  const Superblock& sb = fs_->superblock();
+  BlockNum itb_block = sb.itb_start + ino / kInodesPerBlock;
+  Buffer block(kBlockSize);
+  ASSERT_TRUE(device_->ReadBlock(itb_block, block.mutable_span()).ok());
+  size_t slot = (ino % kInodesPerBlock) * kInodeSize;
+  Inode inode = *Inode::Decode(block.subspan(slot, kInodeSize));
+  inode.nlink = 5;
+  inode.Encode(block.mutable_span().subspan(slot, kInodeSize));
+  ASSERT_TRUE(device_->WriteBlock(itb_block, block.span()).ok());
+
+  Checker checker(device_.get());
+  Result<CheckReport> report = checker.Check();
+  ASSERT_TRUE(report.ok());
+  EXPECT_FALSE(report->clean());
+}
+
+// --- property test: random workload vs. in-memory reference model ---
+
+struct RefFile {
+  Buffer content;
+};
+
+class UfsPropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(UfsPropertyTest, RandomWorkloadMatchesReferenceModel) {
+  MemBlockDevice device(kBlockSize, 8192);
+  FakeClock clock;
+  std::unique_ptr<Ufs> fs = Ufs::Format(&device, &clock).take_value();
+  Rng rng(GetParam());
+
+  std::map<std::string, RefFile> model;
+  auto pick_existing = [&]() -> std::string {
+    if (model.empty()) {
+      return "";
+    }
+    auto it = model.begin();
+    std::advance(it, rng.Below(model.size()));
+    return it->first;
+  };
+
+  for (int step = 0; step < 400; ++step) {
+    uint64_t action = rng.Below(100);
+    if (action < 25) {  // create
+      std::string name = "f" + std::to_string(rng.Below(40));
+      Result<InodeNum> ino = fs->Create(kRootInode, name, FileType::kRegular);
+      if (model.count(name)) {
+        EXPECT_EQ(ino.status().code(), ErrorCode::kAlreadyExists);
+      } else {
+        ASSERT_TRUE(ino.ok()) << ino.status().ToString();
+        model[name] = RefFile{};
+      }
+    } else if (action < 50) {  // write
+      std::string name = pick_existing();
+      if (name.empty()) {
+        continue;
+      }
+      uint64_t offset = rng.Below(3 * kBlockSize);
+      Buffer data = rng.RandomBuffer(rng.Range(1, 2 * kBlockSize));
+      InodeNum ino = *fs->Lookup(kRootInode, name);
+      ASSERT_TRUE(fs->Write(ino, offset, data.span()).ok());
+      model[name].content.WriteAt(offset, data.span());
+    } else if (action < 70) {  // read and compare
+      std::string name = pick_existing();
+      if (name.empty()) {
+        continue;
+      }
+      InodeNum ino = *fs->Lookup(kRootInode, name);
+      const Buffer& ref = model[name].content;
+      uint64_t offset = rng.Below(4 * kBlockSize);
+      size_t len = rng.Range(1, 2 * kBlockSize);
+      Buffer got(len);
+      Result<size_t> n = fs->Read(ino, offset, got.mutable_span());
+      ASSERT_TRUE(n.ok());
+      Buffer expect(len);
+      size_t ref_n = ref.ReadAt(offset, expect.mutable_span());
+      ASSERT_EQ(*n, ref_n);
+      EXPECT_EQ(ByteSpan(got.data(), *n).size(),
+                ByteSpan(expect.data(), ref_n).size());
+      EXPECT_TRUE(std::equal(got.data(), got.data() + *n, expect.data()));
+    } else if (action < 85) {  // truncate
+      std::string name = pick_existing();
+      if (name.empty()) {
+        continue;
+      }
+      InodeNum ino = *fs->Lookup(kRootInode, name);
+      uint64_t new_size = rng.Below(4 * kBlockSize);
+      ASSERT_TRUE(fs->Truncate(ino, new_size).ok());
+      Buffer& ref = model[name].content;
+      if (new_size <= ref.size()) {
+        Buffer shrunk(new_size);
+        ref.ReadAt(0, shrunk.mutable_span());
+        ref = shrunk;
+      } else {
+        ref.resize(new_size);
+      }
+    } else {  // remove
+      std::string name = pick_existing();
+      if (name.empty()) {
+        continue;
+      }
+      ASSERT_TRUE(fs->Remove(kRootInode, name).ok());
+      model.erase(name);
+    }
+  }
+
+  // Final full comparison plus an on-disk consistency check.
+  for (const auto& [name, ref] : model) {
+    InodeNum ino = *fs->Lookup(kRootInode, name);
+    Result<InodeAttrs> attrs = fs->GetAttrs(ino);
+    ASSERT_TRUE(attrs.ok());
+    EXPECT_EQ(attrs->size, ref.content.size()) << name;
+    Buffer got(ref.content.size());
+    if (!got.empty()) {
+      ASSERT_TRUE(fs->Read(ino, 0, got.mutable_span()).ok());
+      EXPECT_EQ(Fnv1a64(got.span()), Fnv1a64(ref.content.span())) << name;
+    }
+  }
+  ASSERT_TRUE(fs->Sync().ok());
+  Checker checker(&device);
+  Result<CheckReport> report = checker.Check();
+  ASSERT_TRUE(report.ok());
+  EXPECT_TRUE(report->clean()) << report->Summary();
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, UfsPropertyTest,
+                         ::testing::Values(1, 2, 3, 42, 1234, 99991));
+
+}  // namespace
+}  // namespace springfs::ufs

@@ -1,0 +1,292 @@
+// Unit tests for the VMM: bind/channel establishment, mapped-region access,
+// page-cache sharing across equivalent memory objects, write faults,
+// eviction, coherency callbacks, and multi-VMM coherency through a
+// reference pager (MemFile).
+
+#include <gtest/gtest.h>
+
+#include "src/fs/mem_file.h"
+#include "src/vmm/vmm.h"
+
+namespace springfs {
+namespace {
+
+class VmmTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    domain_ = Domain::Create("node");
+    vmm_ = Vmm::Create(domain_, "vmm");
+    file_ = MemFile::Create(domain_);
+  }
+
+  // Writes `content` into the file through the file interface.
+  void Seed(const std::string& content) {
+    Buffer data(content);
+    ASSERT_TRUE(file_->Write(0, data.span()).ok());
+  }
+
+  sp<Domain> domain_;
+  sp<Vmm> vmm_;
+  sp<MemFile> file_;
+};
+
+TEST_F(VmmTest, MapAndReadThroughMapping) {
+  Seed("hello mapped world");
+  Result<sp<MappedRegion>> region = vmm_->Map(file_, AccessRights::kReadOnly);
+  ASSERT_TRUE(region.ok()) << region.status().ToString();
+  Buffer out(18);
+  ASSERT_TRUE((*region)->Read(0, out.mutable_span()).ok());
+  EXPECT_EQ(out.ToString(), "hello mapped world");
+  VmmStats stats = vmm_->stats();
+  EXPECT_GE(stats.faults, 1u);
+}
+
+TEST_F(VmmTest, SecondReadIsCacheHit) {
+  Seed("cached");
+  sp<MappedRegion> region = *vmm_->Map(file_, AccessRights::kReadOnly);
+  Buffer out(6);
+  ASSERT_TRUE(region->Read(0, out.mutable_span()).ok());
+  VmmStats after_first = vmm_->stats();
+  ASSERT_TRUE(region->Read(0, out.mutable_span()).ok());
+  VmmStats after_second = vmm_->stats();
+  EXPECT_EQ(after_second.faults, after_first.faults);
+  EXPECT_GT(after_second.page_hits, after_first.page_hits);
+}
+
+TEST_F(VmmTest, EquivalentMemoryObjectsShareCache) {
+  Seed("shared pages");
+  // Two maps of the same file: bind must return the same cache_rights, so
+  // the second mapping reuses cached pages (no extra fault).
+  sp<MappedRegion> r1 = *vmm_->Map(file_, AccessRights::kReadOnly);
+  sp<MappedRegion> r2 = *vmm_->Map(file_, AccessRights::kReadOnly);
+  EXPECT_EQ(r1->channel_id(), r2->channel_id());
+  Buffer out(12);
+  ASSERT_TRUE(r1->Read(0, out.mutable_span()).ok());
+  uint64_t faults = vmm_->stats().faults;
+  ASSERT_TRUE(r2->Read(0, out.mutable_span()).ok());
+  EXPECT_EQ(vmm_->stats().faults, faults);
+  EXPECT_EQ(file_->num_channels(), 1u);
+}
+
+TEST_F(VmmTest, WriteThroughMappingThenSync) {
+  ASSERT_TRUE(file_->SetLength(kPageSize).ok());
+  sp<MappedRegion> region = *vmm_->Map(file_, AccessRights::kReadWrite);
+  Buffer data(std::string("written via mapping"));
+  ASSERT_TRUE(region->Write(0, data.span()).ok());
+  // Before sync the pager's store may be stale; after sync it must match.
+  ASSERT_TRUE(region->Sync().ok());
+  Buffer out(data.size());
+  ASSERT_TRUE(file_->Read(0, out.mutable_span()).ok());
+  EXPECT_EQ(out.ToString(), "written via mapping");
+}
+
+TEST_F(VmmTest, StoreToReadOnlyMappingFails) {
+  Seed("x");
+  sp<MappedRegion> region = *vmm_->Map(file_, AccessRights::kReadOnly);
+  Buffer data(std::string("y"));
+  EXPECT_EQ(region->Write(0, data.span()).code(),
+            ErrorCode::kPermissionDenied);
+}
+
+TEST_F(VmmTest, WriteFaultUpgradesRights) {
+  Seed("upgrade me please!!");
+  sp<MappedRegion> region = *vmm_->Map(file_, AccessRights::kReadWrite);
+  Buffer out(7);
+  ASSERT_TRUE(region->Read(0, out.mutable_span()).ok());  // RO fault
+  uint64_t faults_after_read = vmm_->stats().faults;
+  Buffer data(std::string("UPGRADE"));
+  ASSERT_TRUE(region->Write(0, data.span()).ok());  // RW upgrade fault
+  EXPECT_GT(vmm_->stats().faults, faults_after_read);
+  ASSERT_TRUE(region->Read(0, out.mutable_span()).ok());
+  EXPECT_EQ(out.ToString(), "UPGRADE");
+}
+
+TEST_F(VmmTest, UnalignedAccessSpansPages) {
+  Buffer big(3 * kPageSize);
+  for (size_t i = 0; i < big.size(); ++i) {
+    big.data()[i] = static_cast<uint8_t>(i % 251);
+  }
+  ASSERT_TRUE(file_->Write(0, big.span()).ok());
+  sp<MappedRegion> region = *vmm_->Map(file_, AccessRights::kReadOnly);
+  Buffer out(kPageSize + 100);
+  ASSERT_TRUE(region->Read(kPageSize / 2, out.mutable_span()).ok());
+  for (size_t i = 0; i < out.size(); ++i) {
+    ASSERT_EQ(out.data()[i], (kPageSize / 2 + i) % 251) << "at " << i;
+  }
+}
+
+TEST_F(VmmTest, EvictionBoundsCacheAndWritesBackDirty) {
+  sp<Vmm> small = Vmm::Create(domain_, "small-vmm", /*max_pages=*/4);
+  sp<MemFile> file = MemFile::Create(domain_);
+  ASSERT_TRUE(file->SetLength(16 * kPageSize).ok());
+  sp<MappedRegion> region = *small->Map(file, AccessRights::kReadWrite);
+  // Touch 16 pages read-write.
+  for (int p = 0; p < 16; ++p) {
+    Buffer data(std::string("page" + std::to_string(p)));
+    ASSERT_TRUE(region->Write(Offset{static_cast<uint64_t>(p)} * kPageSize,
+                              data.span()).ok());
+  }
+  VmmStats stats = small->stats();
+  EXPECT_LE(stats.pages_cached, 4u);
+  EXPECT_GT(stats.evictions, 0u);
+  // Evicted dirty pages were paged out: the file must hold them.
+  Buffer out(5);
+  ASSERT_TRUE(file->Read(0, out.mutable_span()).ok());
+  EXPECT_EQ(out.ToString(), "page0");
+}
+
+TEST_F(VmmTest, DropAllPagesWritesBackDirty) {
+  ASSERT_TRUE(file_->SetLength(kPageSize).ok());
+  sp<MappedRegion> region = *vmm_->Map(file_, AccessRights::kReadWrite);
+  Buffer data(std::string("dirty"));
+  ASSERT_TRUE(region->Write(0, data.span()).ok());
+  ASSERT_TRUE(vmm_->DropAllPages().ok());
+  EXPECT_EQ(vmm_->stats().pages_cached, 0u);
+  Buffer out(5);
+  ASSERT_TRUE(file_->Read(0, out.mutable_span()).ok());
+  EXPECT_EQ(out.ToString(), "dirty");
+}
+
+// --- coherency between a mapping and the file interface ---
+
+TEST_F(VmmTest, FileWriteInvalidatesMappedReader) {
+  Seed("version-1");
+  sp<MappedRegion> region = *vmm_->Map(file_, AccessRights::kReadOnly);
+  Buffer out(9);
+  ASSERT_TRUE(region->Read(0, out.mutable_span()).ok());
+  EXPECT_EQ(out.ToString(), "version-1");
+  // A write through the file interface must flush the VMM's cached copy.
+  Buffer v2(std::string("version-2"));
+  ASSERT_TRUE(file_->Write(0, v2.span()).ok());
+  ASSERT_TRUE(region->Read(0, out.mutable_span()).ok());
+  EXPECT_EQ(out.ToString(), "version-2");
+  EXPECT_GT(vmm_->stats().flush_backs, 0u);
+}
+
+TEST_F(VmmTest, FileReadSeesMappedWriterData) {
+  ASSERT_TRUE(file_->SetLength(kPageSize).ok());
+  sp<MappedRegion> region = *vmm_->Map(file_, AccessRights::kReadWrite);
+  Buffer data(std::string("mapped-write"));
+  ASSERT_TRUE(region->Write(0, data.span()).ok());
+  // Without an explicit sync, a read through the file interface must still
+  // see the mapped writer's bytes: the pager demotes the VMM (deny_writes)
+  // and folds the recovered dirty page into its store.
+  Buffer out(12);
+  ASSERT_TRUE(file_->Read(0, out.mutable_span()).ok());
+  EXPECT_EQ(out.ToString(), "mapped-write");
+  EXPECT_GT(vmm_->stats().deny_writes, 0u);
+}
+
+TEST_F(VmmTest, TwoVmmsStayCoherent) {
+  // Two nodes (VMMs) map the same file; writes on one must be visible to
+  // reads on the other via the pager's MRSW protocol.
+  sp<Vmm> vmm2 = Vmm::Create(domain_, "vmm2");
+  ASSERT_TRUE(file_->SetLength(kPageSize).ok());
+  sp<MappedRegion> w = *vmm_->Map(file_, AccessRights::kReadWrite);
+  sp<MappedRegion> r = *vmm2->Map(file_, AccessRights::kReadOnly);
+  EXPECT_EQ(file_->num_channels(), 2u);
+
+  Buffer round1(std::string("round-1"));
+  ASSERT_TRUE(w->Write(0, round1.span()).ok());
+  Buffer out(7);
+  ASSERT_TRUE(r->Read(0, out.mutable_span()).ok());
+  EXPECT_EQ(out.ToString(), "round-1");
+
+  Buffer round2(std::string("round-2"));
+  ASSERT_TRUE(w->Write(0, round2.span()).ok());
+  ASSERT_TRUE(r->Read(0, out.mutable_span()).ok());
+  EXPECT_EQ(out.ToString(), "round-2");
+}
+
+TEST_F(VmmTest, WriterMigratesBetweenVmms) {
+  sp<Vmm> vmm2 = Vmm::Create(domain_, "vmm2");
+  ASSERT_TRUE(file_->SetLength(kPageSize).ok());
+  sp<MappedRegion> a = *vmm_->Map(file_, AccessRights::kReadWrite);
+  sp<MappedRegion> b = *vmm2->Map(file_, AccessRights::kReadWrite);
+
+  Buffer from_a(std::string("AAAA"));
+  ASSERT_TRUE(a->Write(0, from_a.span()).ok());
+  Buffer from_b(std::string("BB"));
+  ASSERT_TRUE(b->Write(1, from_b.span()).ok());  // steals write ownership
+  Buffer out(4);
+  ASSERT_TRUE(a->Read(0, out.mutable_span()).ok());  // steals it back (RO)
+  EXPECT_EQ(out.ToString(), "ABBA");
+}
+
+TEST_F(VmmTest, ManyVmmsRoundRobinWrites) {
+  constexpr int kNodes = 5;
+  std::vector<sp<Vmm>> vmms;
+  std::vector<sp<MappedRegion>> regions;
+  ASSERT_TRUE(file_->SetLength(kPageSize).ok());
+  for (int i = 0; i < kNodes; ++i) {
+    vmms.push_back(Vmm::Create(domain_, "vmm" + std::to_string(i)));
+    regions.push_back(*vmms.back()->Map(file_, AccessRights::kReadWrite));
+  }
+  for (int round = 0; round < 3; ++round) {
+    for (int i = 0; i < kNodes; ++i) {
+      std::string text = "r" + std::to_string(round) + "n" + std::to_string(i);
+      Buffer data(text);
+      ASSERT_TRUE(regions[i]->Write(0, data.span()).ok());
+      // Every other node sees it immediately.
+      for (int j = 0; j < kNodes; ++j) {
+        Buffer out(text.size());
+        ASSERT_TRUE(regions[j]->Read(0, out.mutable_span()).ok());
+        EXPECT_EQ(out.ToString(), text);
+      }
+    }
+  }
+}
+
+TEST_F(VmmTest, MapFailsWhenBindFails) {
+  // A memory object whose bind always fails.
+  class BrokenMemObj : public MemoryObject {
+   public:
+    Result<sp<CacheRights>> Bind(const sp<CacheManager>&,
+                                 AccessRights) override {
+      return ErrPermissionDenied("no binding allowed");
+    }
+    Result<Offset> GetLength() override { return Offset{0}; }
+    Status SetLength(Offset) override { return Status::Ok(); }
+  };
+  auto broken = std::make_shared<BrokenMemObj>();
+  EXPECT_EQ(vmm_->Map(broken, AccessRights::kReadOnly).status().code(),
+            ErrorCode::kPermissionDenied);
+}
+
+TEST_F(VmmTest, ForeignCacheRightsRejected) {
+  // A memory object that returns rights from a *different* VMM.
+  sp<Vmm> other = Vmm::Create(domain_, "other");
+  sp<MemFile> file = MemFile::Create(domain_);
+  sp<MappedRegion> region = *other->Map(file, AccessRights::kReadOnly);
+
+  class ForwardingMemObj : public MemoryObject {
+   public:
+    explicit ForwardingMemObj(sp<CacheRights> rights)
+        : rights_(std::move(rights)) {}
+    Result<sp<CacheRights>> Bind(const sp<CacheManager>&,
+                                 AccessRights) override {
+      return rights_;
+    }
+    Result<Offset> GetLength() override { return Offset{0}; }
+    Status SetLength(Offset) override { return Status::Ok(); }
+
+   private:
+    sp<CacheRights> rights_;
+  };
+  // Hand vmm_ the rights belonging to `other`'s channel.
+  class RightsProbe : public CacheRights {
+   public:
+    explicit RightsProbe(uint64_t id) : id_(id) {}
+    uint64_t channel_id() const override { return id_; }
+
+   private:
+    uint64_t id_;
+  };
+  auto forwarding =
+      std::make_shared<ForwardingMemObj>(std::make_shared<RightsProbe>(9999));
+  EXPECT_EQ(vmm_->Map(forwarding, AccessRights::kReadOnly).status().code(),
+            ErrorCode::kInvalidArgument);
+}
+
+}  // namespace
+}  // namespace springfs
