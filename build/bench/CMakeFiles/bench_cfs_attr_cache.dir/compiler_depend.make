@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for bench_cfs_attr_cache.
+# This may be replaced when dependencies are built.

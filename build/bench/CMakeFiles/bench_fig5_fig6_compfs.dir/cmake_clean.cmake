@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig5_fig6_compfs.dir/bench_fig5_fig6_compfs.cpp.o"
+  "CMakeFiles/bench_fig5_fig6_compfs.dir/bench_fig5_fig6_compfs.cpp.o.d"
+  "bench_fig5_fig6_compfs"
+  "bench_fig5_fig6_compfs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig5_fig6_compfs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig7_dfs.dir/bench_fig7_dfs.cpp.o"
+  "CMakeFiles/bench_fig7_dfs.dir/bench_fig7_dfs.cpp.o.d"
+  "bench_fig7_dfs"
+  "bench_fig7_dfs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig7_dfs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

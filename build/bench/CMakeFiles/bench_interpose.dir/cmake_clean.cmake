@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_interpose.dir/bench_interpose.cpp.o"
+  "CMakeFiles/bench_interpose.dir/bench_interpose.cpp.o.d"
+  "bench_interpose"
+  "bench_interpose.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_interpose.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table2_stacking.dir/bench_table2_stacking.cpp.o"
+  "CMakeFiles/bench_table2_stacking.dir/bench_table2_stacking.cpp.o.d"
+  "bench_table2_stacking"
+  "bench_table2_stacking.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table2_stacking.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

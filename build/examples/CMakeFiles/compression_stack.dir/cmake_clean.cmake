@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/compression_stack.dir/compression_stack.cpp.o"
+  "CMakeFiles/compression_stack.dir/compression_stack.cpp.o.d"
+  "compression_stack"
+  "compression_stack.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/compression_stack.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/distributed_share.dir/distributed_share.cpp.o"
+  "CMakeFiles/distributed_share.dir/distributed_share.cpp.o.d"
+  "distributed_share"
+  "distributed_share.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/distributed_share.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

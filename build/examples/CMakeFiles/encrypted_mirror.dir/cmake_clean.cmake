@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/encrypted_mirror.dir/encrypted_mirror.cpp.o"
+  "CMakeFiles/encrypted_mirror.dir/encrypted_mirror.cpp.o.d"
+  "encrypted_mirror"
+  "encrypted_mirror.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/encrypted_mirror.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/interposition.dir/interposition.cpp.o"
+  "CMakeFiles/interposition.dir/interposition.cpp.o.d"
+  "interposition"
+  "interposition.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/interposition.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,53 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/blockdev/block_device.cc" "src/CMakeFiles/springfs.dir/blockdev/block_device.cc.o" "gcc" "src/CMakeFiles/springfs.dir/blockdev/block_device.cc.o.d"
+  "/root/repo/src/blockdev/decorators.cc" "src/CMakeFiles/springfs.dir/blockdev/decorators.cc.o" "gcc" "src/CMakeFiles/springfs.dir/blockdev/decorators.cc.o.d"
+  "/root/repo/src/codec/codec.cc" "src/CMakeFiles/springfs.dir/codec/codec.cc.o" "gcc" "src/CMakeFiles/springfs.dir/codec/codec.cc.o.d"
+  "/root/repo/src/coherency/engine.cc" "src/CMakeFiles/springfs.dir/coherency/engine.cc.o" "gcc" "src/CMakeFiles/springfs.dir/coherency/engine.cc.o.d"
+  "/root/repo/src/fs/channel_table.cc" "src/CMakeFiles/springfs.dir/fs/channel_table.cc.o" "gcc" "src/CMakeFiles/springfs.dir/fs/channel_table.cc.o.d"
+  "/root/repo/src/fs/mem_file.cc" "src/CMakeFiles/springfs.dir/fs/mem_file.cc.o" "gcc" "src/CMakeFiles/springfs.dir/fs/mem_file.cc.o.d"
+  "/root/repo/src/fs/registry.cc" "src/CMakeFiles/springfs.dir/fs/registry.cc.o" "gcc" "src/CMakeFiles/springfs.dir/fs/registry.cc.o.d"
+  "/root/repo/src/layers/cfs/cfs_layer.cc" "src/CMakeFiles/springfs.dir/layers/cfs/cfs_layer.cc.o" "gcc" "src/CMakeFiles/springfs.dir/layers/cfs/cfs_layer.cc.o.d"
+  "/root/repo/src/layers/coherent/coherency_layer.cc" "src/CMakeFiles/springfs.dir/layers/coherent/coherency_layer.cc.o" "gcc" "src/CMakeFiles/springfs.dir/layers/coherent/coherency_layer.cc.o.d"
+  "/root/repo/src/layers/compfs/comp_layer.cc" "src/CMakeFiles/springfs.dir/layers/compfs/comp_layer.cc.o" "gcc" "src/CMakeFiles/springfs.dir/layers/compfs/comp_layer.cc.o.d"
+  "/root/repo/src/layers/cryptfs/crypt_layer.cc" "src/CMakeFiles/springfs.dir/layers/cryptfs/crypt_layer.cc.o" "gcc" "src/CMakeFiles/springfs.dir/layers/cryptfs/crypt_layer.cc.o.d"
+  "/root/repo/src/layers/dfs/dfs_client.cc" "src/CMakeFiles/springfs.dir/layers/dfs/dfs_client.cc.o" "gcc" "src/CMakeFiles/springfs.dir/layers/dfs/dfs_client.cc.o.d"
+  "/root/repo/src/layers/dfs/dfs_server.cc" "src/CMakeFiles/springfs.dir/layers/dfs/dfs_server.cc.o" "gcc" "src/CMakeFiles/springfs.dir/layers/dfs/dfs_server.cc.o.d"
+  "/root/repo/src/layers/disklayer/disk_layer.cc" "src/CMakeFiles/springfs.dir/layers/disklayer/disk_layer.cc.o" "gcc" "src/CMakeFiles/springfs.dir/layers/disklayer/disk_layer.cc.o.d"
+  "/root/repo/src/layers/mirrorfs/mirror_layer.cc" "src/CMakeFiles/springfs.dir/layers/mirrorfs/mirror_layer.cc.o" "gcc" "src/CMakeFiles/springfs.dir/layers/mirrorfs/mirror_layer.cc.o.d"
+  "/root/repo/src/layers/monofs/fused_sfs.cc" "src/CMakeFiles/springfs.dir/layers/monofs/fused_sfs.cc.o" "gcc" "src/CMakeFiles/springfs.dir/layers/monofs/fused_sfs.cc.o.d"
+  "/root/repo/src/layers/monofs/mono_fs.cc" "src/CMakeFiles/springfs.dir/layers/monofs/mono_fs.cc.o" "gcc" "src/CMakeFiles/springfs.dir/layers/monofs/mono_fs.cc.o.d"
+  "/root/repo/src/layers/passfs/pass_layer.cc" "src/CMakeFiles/springfs.dir/layers/passfs/pass_layer.cc.o" "gcc" "src/CMakeFiles/springfs.dir/layers/passfs/pass_layer.cc.o.d"
+  "/root/repo/src/layers/sfs/sfs.cc" "src/CMakeFiles/springfs.dir/layers/sfs/sfs.cc.o" "gcc" "src/CMakeFiles/springfs.dir/layers/sfs/sfs.cc.o.d"
+  "/root/repo/src/layers/xattrfs/xattr_layer.cc" "src/CMakeFiles/springfs.dir/layers/xattrfs/xattr_layer.cc.o" "gcc" "src/CMakeFiles/springfs.dir/layers/xattrfs/xattr_layer.cc.o.d"
+  "/root/repo/src/naming/mem_context.cc" "src/CMakeFiles/springfs.dir/naming/mem_context.cc.o" "gcc" "src/CMakeFiles/springfs.dir/naming/mem_context.cc.o.d"
+  "/root/repo/src/naming/name.cc" "src/CMakeFiles/springfs.dir/naming/name.cc.o" "gcc" "src/CMakeFiles/springfs.dir/naming/name.cc.o.d"
+  "/root/repo/src/naming/name_cache.cc" "src/CMakeFiles/springfs.dir/naming/name_cache.cc.o" "gcc" "src/CMakeFiles/springfs.dir/naming/name_cache.cc.o.d"
+  "/root/repo/src/naming/views.cc" "src/CMakeFiles/springfs.dir/naming/views.cc.o" "gcc" "src/CMakeFiles/springfs.dir/naming/views.cc.o.d"
+  "/root/repo/src/net/network.cc" "src/CMakeFiles/springfs.dir/net/network.cc.o" "gcc" "src/CMakeFiles/springfs.dir/net/network.cc.o.d"
+  "/root/repo/src/obj/domain.cc" "src/CMakeFiles/springfs.dir/obj/domain.cc.o" "gcc" "src/CMakeFiles/springfs.dir/obj/domain.cc.o.d"
+  "/root/repo/src/posix/posix_shim.cc" "src/CMakeFiles/springfs.dir/posix/posix_shim.cc.o" "gcc" "src/CMakeFiles/springfs.dir/posix/posix_shim.cc.o.d"
+  "/root/repo/src/support/bytes.cc" "src/CMakeFiles/springfs.dir/support/bytes.cc.o" "gcc" "src/CMakeFiles/springfs.dir/support/bytes.cc.o.d"
+  "/root/repo/src/support/clock.cc" "src/CMakeFiles/springfs.dir/support/clock.cc.o" "gcc" "src/CMakeFiles/springfs.dir/support/clock.cc.o.d"
+  "/root/repo/src/support/logging.cc" "src/CMakeFiles/springfs.dir/support/logging.cc.o" "gcc" "src/CMakeFiles/springfs.dir/support/logging.cc.o.d"
+  "/root/repo/src/support/result.cc" "src/CMakeFiles/springfs.dir/support/result.cc.o" "gcc" "src/CMakeFiles/springfs.dir/support/result.cc.o.d"
+  "/root/repo/src/ufs/checker.cc" "src/CMakeFiles/springfs.dir/ufs/checker.cc.o" "gcc" "src/CMakeFiles/springfs.dir/ufs/checker.cc.o.d"
+  "/root/repo/src/ufs/layout.cc" "src/CMakeFiles/springfs.dir/ufs/layout.cc.o" "gcc" "src/CMakeFiles/springfs.dir/ufs/layout.cc.o.d"
+  "/root/repo/src/ufs/ufs.cc" "src/CMakeFiles/springfs.dir/ufs/ufs.cc.o" "gcc" "src/CMakeFiles/springfs.dir/ufs/ufs.cc.o.d"
+  "/root/repo/src/vmm/vmm.cc" "src/CMakeFiles/springfs.dir/vmm/vmm.cc.o" "gcc" "src/CMakeFiles/springfs.dir/vmm/vmm.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

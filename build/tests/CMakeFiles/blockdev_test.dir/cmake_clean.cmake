@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/blockdev_test.dir/blockdev_test.cpp.o"
+  "CMakeFiles/blockdev_test.dir/blockdev_test.cpp.o.d"
+  "blockdev_test"
+  "blockdev_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/blockdev_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

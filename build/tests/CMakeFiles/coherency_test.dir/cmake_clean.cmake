@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/coherency_test.dir/coherency_test.cpp.o"
+  "CMakeFiles/coherency_test.dir/coherency_test.cpp.o.d"
+  "coherency_test"
+  "coherency_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/coherency_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/compfs_test.dir/compfs_test.cpp.o"
+  "CMakeFiles/compfs_test.dir/compfs_test.cpp.o.d"
+  "compfs_test"
+  "compfs_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/compfs_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cryptfs_passfs_test.dir/cryptfs_passfs_test.cpp.o"
+  "CMakeFiles/cryptfs_passfs_test.dir/cryptfs_passfs_test.cpp.o.d"
+  "cryptfs_passfs_test"
+  "cryptfs_passfs_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cryptfs_passfs_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/disklayer_test.dir/disklayer_test.cpp.o"
+  "CMakeFiles/disklayer_test.dir/disklayer_test.cpp.o.d"
+  "disklayer_test"
+  "disklayer_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/disklayer_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fs_framework_test.dir/fs_framework_test.cpp.o"
+  "CMakeFiles/fs_framework_test.dir/fs_framework_test.cpp.o.d"
+  "fs_framework_test"
+  "fs_framework_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fs_framework_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mirror_mono_test.dir/mirror_mono_test.cpp.o"
+  "CMakeFiles/mirror_mono_test.dir/mirror_mono_test.cpp.o.d"
+  "mirror_mono_test"
+  "mirror_mono_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mirror_mono_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sfs_test.dir/sfs_test.cpp.o"
+  "CMakeFiles/sfs_test.dir/sfs_test.cpp.o.d"
+  "sfs_test"
+  "sfs_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sfs_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

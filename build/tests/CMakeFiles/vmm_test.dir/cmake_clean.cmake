@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vmm_test.dir/vmm_test.cpp.o"
+  "CMakeFiles/vmm_test.dir/vmm_test.cpp.o.d"
+  "vmm_test"
+  "vmm_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vmm_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xattrfs_test.dir/xattrfs_test.cpp.o"
+  "CMakeFiles/xattrfs_test.dir/xattrfs_test.cpp.o.d"
+  "xattrfs_test"
+  "xattrfs_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xattrfs_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
