@@ -46,36 +46,124 @@ FaultyBlockDevice::FaultyBlockDevice(std::unique_ptr<BlockDevice> base,
     : base_(std::move(base)), predicate_(std::move(predicate)) {}
 
 Status FaultyBlockDevice::ReadBlock(BlockNum block, MutableByteSpan out) {
-  bool fail = broken_.load();
-  if (!fail) {
-    std::lock_guard<std::mutex> lock(mutex_);
-    fail = predicate_ && predicate_(0, block);
-  }
-  if (fail) {
+  if (broken_.load()) {
     read_errors_.fetch_add(1, std::memory_order_relaxed);
     return ErrIoError("injected read fault at block " + std::to_string(block));
+  }
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (crashed_) {
+    read_errors_.fetch_add(1, std::memory_order_relaxed);
+    return ErrIoError("device crashed (power lost)");
+  }
+  if (predicate_ && predicate_(0, block)) {
+    read_errors_.fetch_add(1, std::memory_order_relaxed);
+    return ErrIoError("injected read fault at block " + std::to_string(block));
+  }
+  if (armed_) {
+    auto it = unflushed_.find(block);
+    if (it != unflushed_.end()) {
+      if (out.size() < base_->block_size()) {
+        return ErrInvalidArgument("read span smaller than a block");
+      }
+      std::memcpy(out.data(), it->second.data(), base_->block_size());
+      return Status::Ok();
+    }
   }
   return base_->ReadBlock(block, out);
 }
 
 Status FaultyBlockDevice::WriteBlock(BlockNum block, ByteSpan data) {
-  bool fail = broken_.load();
-  if (!fail) {
-    std::lock_guard<std::mutex> lock(mutex_);
-    fail = predicate_ && predicate_(1, block);
-  }
-  if (fail) {
+  if (broken_.load()) {
     write_errors_.fetch_add(1, std::memory_order_relaxed);
     return ErrIoError("injected write fault at block " + std::to_string(block));
   }
-  return base_->WriteBlock(block, data);
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (crashed_) {
+    write_errors_.fetch_add(1, std::memory_order_relaxed);
+    return ErrIoError("device crashed (power lost)");
+  }
+  if (predicate_ && predicate_(1, block)) {
+    write_errors_.fetch_add(1, std::memory_order_relaxed);
+    return ErrIoError("injected write fault at block " + std::to_string(block));
+  }
+  if (!armed_) {
+    return base_->WriteBlock(block, data);
+  }
+  if (block >= base_->num_blocks() || data.size() != base_->block_size()) {
+    return ErrInvalidArgument("bad write to crash-armed device");
+  }
+  ++writes_since_arm_;
+  if (writes_since_arm_ >= plan_.crash_after_writes) {
+    CrashNow(block, data);
+    write_errors_.fetch_add(1, std::memory_order_relaxed);
+    return ErrIoError("simulated power failure at write " +
+                      std::to_string(writes_since_arm_));
+  }
+  unflushed_.insert_or_assign(block, Buffer(data));
+  return Status::Ok();
+}
+
+void FaultyBlockDevice::CrashNow(BlockNum block, ByteSpan data) {
+  Rng rng(plan_.seed);
+  // The in-flight write: a seeded-random prefix of the new data lands over
+  // whatever the platter held, modeling a torn sector write.
+  Buffer torn(data);
+  if (plan_.allow_torn_write) {
+    size_t keep = rng.Below(base_->block_size() + 1);  // bytes of new data
+    Buffer old(base_->block_size());
+    if (base_->ReadBlock(block, old.mutable_span()).ok()) {
+      std::memcpy(torn.data() + keep, old.data() + keep,
+                  base_->block_size() - keep);
+    }
+  }
+  unflushed_.insert_or_assign(block, std::move(torn));
+  // Each cached write independently reaches the platter or vanishes.
+  for (const auto& [b, buf] : unflushed_) {
+    if (rng.Chance(1, 2)) {
+      (void)base_->WriteBlock(b, buf.span());
+    }
+  }
+  unflushed_.clear();
+  crashed_ = true;
 }
 
 Status FaultyBlockDevice::Flush() {
   if (broken_.load()) {
     return ErrIoError("device broken");
   }
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (crashed_) {
+    return ErrIoError("device crashed (power lost)");
+  }
+  if (armed_) {
+    for (const auto& [b, buf] : unflushed_) {
+      RETURN_IF_ERROR(base_->WriteBlock(b, buf.span()));
+    }
+    unflushed_.clear();
+  }
   return base_->Flush();
+}
+
+void FaultyBlockDevice::ArmCrash(const CrashPlan& plan) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  armed_ = true;
+  crashed_ = false;
+  plan_ = plan;
+  writes_since_arm_ = 0;
+  unflushed_.clear();
+}
+
+bool FaultyBlockDevice::crashed() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return crashed_;
+}
+
+void FaultyBlockDevice::RecoverAfterCrash() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  armed_ = false;
+  crashed_ = false;
+  writes_since_arm_ = 0;
+  unflushed_.clear();
 }
 
 BlockDeviceStats FaultyBlockDevice::stats() const {

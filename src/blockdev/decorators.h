@@ -4,6 +4,7 @@
 #define SPRINGFS_BLOCKDEV_DECORATORS_H_
 
 #include <functional>
+#include <map>
 #include <mutex>
 
 #include "src/blockdev/block_device.h"
@@ -54,9 +55,29 @@ class LatencyBlockDevice : public BlockDevice {
   std::atomic<uint64_t> total_latency_ns_{0};
 };
 
+// A scripted power failure, for crash-recovery testing. While a plan is
+// armed the device models a volatile write cache: WriteBlock lands in
+// memory (reads see it), and only Flush makes the cached writes durable in
+// the base device. At the plan's Nth write since arming, "power is lost":
+//
+//   - the crashing write itself may be torn — a seeded-random prefix of the
+//     new data spliced over the old block contents;
+//   - each cached (unflushed) write independently either reaches the base
+//     or vanishes, chosen by the seeded Rng;
+//   - the device enters the crashed state, where every operation fails
+//     with kIoError, until RecoverAfterCrash().
+//
+// Everything is a pure function of (plan, write sequence), so a failing
+// crash point is reproducible from its seed.
+struct CrashPlan {
+  uint64_t crash_after_writes = 0;  // crash at this write (1-based count)
+  uint64_t seed = 0;                // drives torn-write and survivor choices
+  bool allow_torn_write = true;     // crashing write may land partially
+};
+
 // Deterministic fault injection: a predicate decides, per operation, whether
-// to fail it (and the whole-device `broken` switch simulates a dead disk, for
-// MIRRORFS failover tests).
+// to fail it; the whole-device `broken` switch simulates a dead disk (for
+// MIRRORFS failover tests); an armed CrashPlan simulates a power failure.
 class FaultyBlockDevice : public BlockDevice {
  public:
   // op: 0 = read, 1 = write. Return true to inject kIoError.
@@ -77,13 +98,31 @@ class FaultyBlockDevice : public BlockDevice {
   bool broken() const { return broken_.load(); }
   void set_predicate(FaultPredicate predicate);
 
+  // Arms `plan` and starts counting writes. Until the crash point the
+  // device buffers writes as described on CrashPlan.
+  void ArmCrash(const CrashPlan& plan);
+  bool crashed() const;
+  // Leaves the crashed state (and disarms): cached writes that were lost
+  // stay lost; the base now holds exactly the "durable" post-crash image.
+  void RecoverAfterCrash();
+
  private:
+  // mutex_ held. Applies the power-loss outcome for the crashing write.
+  void CrashNow(BlockNum block, ByteSpan data);
+
   std::unique_ptr<BlockDevice> base_;
-  std::mutex mutex_;
+  mutable std::mutex mutex_;
   FaultPredicate predicate_;
   std::atomic<bool> broken_{false};
   std::atomic<uint64_t> read_errors_{0};
   std::atomic<uint64_t> write_errors_{0};
+
+  // Crash-plan state (guarded by mutex_).
+  bool armed_ = false;
+  bool crashed_ = false;
+  CrashPlan plan_;
+  uint64_t writes_since_arm_ = 0;
+  std::map<BlockNum, Buffer> unflushed_;  // the volatile write cache
 };
 
 }  // namespace springfs

@@ -1,5 +1,6 @@
 #include "src/layers/dfs/dfs_client.h"
 
+#include <algorithm>
 #include <atomic>
 
 #include "src/support/logging.h"
@@ -247,10 +248,12 @@ class RemoteDirContext : public Context, public Servant {
 Result<sp<DfsClient>> DfsClient::Mount(const sp<net::Node>& node,
                                        net::Network* network,
                                        const std::string& server_node,
-                                       const std::string& service) {
+                                       const std::string& service,
+                                       Clock* clock,
+                                       const DfsClientOptions& options) {
   std::string callback_service = UniqueCallbackService();
   sp<DfsClient> client(new DfsClient(node, network, server_node, service,
-                                     callback_service));
+                                     callback_service, clock, options));
   wp<DfsClient> weak = client;
   node->RegisterService(callback_service, [weak](const net::Frame& request) {
     sp<DfsClient> strong = weak.lock();
@@ -267,21 +270,56 @@ Result<sp<DfsClient>> DfsClient::Mount(const sp<net::Node>& node,
 
 DfsClient::DfsClient(const sp<net::Node>& node, net::Network* network,
                      std::string server_node, std::string service,
-                     std::string callback_service)
+                     std::string callback_service, Clock* clock,
+                     const DfsClientOptions& options)
     : Servant(node->domain()), node_(node), network_(network),
       server_node_(std::move(server_node)), service_(std::move(service)),
-      callback_service_(std::move(callback_service)) {}
+      callback_service_(std::move(callback_service)), clock_(clock),
+      options_(options) {}
 
 DfsClient::~DfsClient() { node_->UnregisterService(callback_service_); }
 
 Result<net::Frame> DfsClient::Call(Op op, const net::Frame& request) {
-  {
-    std::lock_guard<std::mutex> lock(stats_mutex_);
-    ++stats_.calls_sent;
-  }
   net::Frame typed = request;
   typed.type = static_cast<uint32_t>(op);
-  return network_->Call(node_->name(), server_node_, service_, typed);
+  uint32_t attempt = 0;
+  for (;;) {
+    {
+      std::lock_guard<std::mutex> lock(stats_mutex_);
+      ++stats_.calls_sent;
+    }
+    Result<net::Frame> response =
+        network_->Call(node_->name(), server_node_, service_, typed);
+    if (response.ok()) {
+      if (attempt > 0) {
+        std::lock_guard<std::mutex> lock(stats_mutex_);
+        ++stats_.retry_successes;
+      }
+      return response;
+    }
+    ErrorCode code = response.status().code();
+    bool transient = code == ErrorCode::kTimedOut ||
+                     code == ErrorCode::kConnectionLost;
+    if (!transient || !IsIdempotent(op) || attempt >= options_.max_retries) {
+      if (transient && IsIdempotent(op) && attempt > 0) {
+        std::lock_guard<std::mutex> lock(stats_mutex_);
+        ++stats_.retries_exhausted;
+      }
+      return response;
+    }
+    // Capped exponential backoff, slept on the injected clock.
+    uint64_t backoff = options_.backoff_base_ns;
+    for (uint32_t i = 0; i < attempt && backoff < options_.backoff_max_ns;
+         ++i) {
+      backoff *= 2;
+    }
+    clock_->SleepNs(std::min(backoff, options_.backoff_max_ns));
+    ++attempt;
+    {
+      std::lock_guard<std::mutex> lock(stats_mutex_);
+      ++stats_.retries;
+    }
+  }
 }
 
 Result<net::Frame> DfsClient::CallPath(Op op, const std::string& path) {

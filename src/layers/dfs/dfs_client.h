@@ -19,19 +19,38 @@
 
 namespace springfs::dfs {
 
+// Client-side handling of transient transport faults: idempotent calls
+// (see IsIdempotent) that fail with kTimedOut or kConnectionLost are
+// re-sent up to `max_retries` times with capped exponential backoff. The
+// backoff sleeps on the mount's clock, so tests driving a FakeClock stay
+// deterministic.
+struct DfsClientOptions {
+  uint32_t max_retries = 4;
+  uint64_t backoff_base_ns = 1'000'000;  // first retry waits this long
+  uint64_t backoff_max_ns = 50'000'000;  // cap for the exponential growth
+};
+
 struct DfsClientStats {
   uint64_t calls_sent = 0;
   uint64_t callbacks_received = 0;
+  // Retry accounting for this client's channel to the server (one mount =
+  // one channel).
+  uint64_t retries = 0;            // individual re-sends
+  uint64_t retry_successes = 0;    // calls that succeeded after >=1 retry
+  uint64_t retries_exhausted = 0;  // calls that failed even after retrying
 };
 
 class DfsClient : public Context, public Fs, public Servant {
  public:
   // Mounts `service` exported by `server_node`. The callback service this
-  // client registers on `node` is unique per mount.
+  // client registers on `node` is unique per mount. `clock` paces retry
+  // backoff; `options` tunes the retry policy.
   static Result<sp<DfsClient>> Mount(const sp<net::Node>& node,
                                      net::Network* network,
                                      const std::string& server_node,
-                                     const std::string& service);
+                                     const std::string& service,
+                                     Clock* clock = &DefaultClock(),
+                                     const DfsClientOptions& options = {});
 
   ~DfsClient() override;
 
@@ -63,7 +82,8 @@ class DfsClient : public Context, public Fs, public Servant {
 
   DfsClient(const sp<net::Node>& node, net::Network* network,
             std::string server_node, std::string service,
-            std::string callback_service);
+            std::string callback_service, Clock* clock,
+            const DfsClientOptions& options);
 
   // One RPC to the server.
   Result<net::Frame> Call(Op op, const net::Frame& request);
@@ -91,6 +111,8 @@ class DfsClient : public Context, public Fs, public Servant {
   std::string server_node_;
   std::string service_;
   std::string callback_service_;
+  Clock* clock_;
+  DfsClientOptions options_;
 
   std::mutex mutex_;
   PagerChannelTable channels_;

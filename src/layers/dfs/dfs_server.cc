@@ -227,7 +227,14 @@ DfsServer::DfsServer(const sp<net::Node>& node, net::Network* network,
     : Servant(node->domain()), node_(node), network_(network),
       service_(std::move(service)), clock_(clock), under_(std::move(under)) {}
 
-DfsServer::~DfsServer() { node_->UnregisterService(service_); }
+DfsServer::~DfsServer() {
+  // Leave a tombstone rather than unregistering: clients that still hold
+  // the mount get a definite kDeadObject (the object died) instead of
+  // kNotFound (no such service), and never hang on a dead server.
+  node_->RegisterService(service_, [](const net::Frame&) {
+    return net::Frame::Error(ErrorCode::kDeadObject);
+  });
+}
 
 Result<net::Frame> DfsServer::SendCallback(const std::string& to_node,
                                            const std::string& to_service,

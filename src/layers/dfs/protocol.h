@@ -49,6 +49,27 @@ enum class Op : uint32_t {
   kCbAttrInvalidate = 102,
 };
 
+// True for operations the client may safely re-send when the transport
+// fails (timeout, dropped connection): pure reads, plus kSyncFile (syncing
+// twice is harmless). Mutating operations are excluded — the request may
+// have executed even though the response was lost, so retrying kCreate
+// could fail on an already-created file and retrying kWrite could
+// double-apply it around another client's writes.
+inline bool IsIdempotent(Op op) {
+  switch (op) {
+    case Op::kLookup:
+    case Op::kReadDir:
+    case Op::kGetAttr:
+    case Op::kGetLength:
+    case Op::kRead:
+    case Op::kPageIn:
+    case Op::kSyncFile:
+      return true;
+    default:
+      return false;
+  }
+}
+
 // FileAttributes wire form: kind u64, size u64, nlink u64, atime u64,
 // mtime u64.
 inline Buffer SerializeAttrs(const FileAttributes& attrs) {

@@ -112,6 +112,12 @@ void Network::SetPartitioned(const std::string& node, bool partitioned) {
   partitioned_[node] = partitioned;
 }
 
+void Network::FailNextCalls(uint64_t calls, ErrorCode code) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  fail_next_calls_ = calls;
+  fail_code_ = code;
+}
+
 uint64_t Network::LatencyBetween(const std::string& from,
                                  const std::string& to) const {
   std::lock_guard<std::mutex> lock(mutex_);
@@ -125,6 +131,11 @@ Result<Frame> Network::Call(const std::string& from, const std::string& to,
   Node::Handler handler;
   {
     std::lock_guard<std::mutex> lock(mutex_);
+    if (fail_next_calls_ > 0) {
+      --fail_next_calls_;
+      return Status(fail_code_,
+                    "injected transient fault '" + from + "' -> '" + to + "'");
+    }
     auto part_from = partitioned_.find(from);
     auto part_to = partitioned_.find(to);
     if ((part_from != partitioned_.end() && part_from->second) ||

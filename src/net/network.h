@@ -96,6 +96,11 @@ class Network {
   // kConnectionLost) — for failure-injection tests.
   void SetPartitioned(const std::string& node, bool partitioned);
 
+  // Fails the next `calls` Call() invocations (any endpoints) with `code`
+  // before they reach the destination — deterministic transient-fault
+  // injection for retry tests.
+  void FailNextCalls(uint64_t calls, ErrorCode code = ErrorCode::kTimedOut);
+
   // Synchronous RPC: serializes `request`, charges one-way latency, runs
   // the service handler inside the destination node's domain, charges the
   // return latency, and deserializes the response.
@@ -114,6 +119,8 @@ class Network {
   std::map<std::string, sp<Node>> nodes_;
   std::map<std::pair<std::string, std::string>, uint64_t> latency_;
   std::map<std::string, bool> partitioned_;
+  uint64_t fail_next_calls_ = 0;
+  ErrorCode fail_code_ = ErrorCode::kTimedOut;
   NetworkStats stats_;
 };
 

@@ -59,6 +59,12 @@ Domain::~Domain() {
 
 Domain* Domain::current() { return tls_current_; }
 
+Domain* Domain::SwapCurrent(Domain* domain) {
+  Domain* previous = tls_current_;
+  tls_current_ = domain;
+  return previous;
+}
+
 void Domain::RunOnWorker(const std::function<void()>& op) {
   std::mutex done_mutex;
   std::condition_variable done_cv;

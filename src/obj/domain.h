@@ -148,10 +148,11 @@ class Domain : public std::enable_shared_from_this<Domain> {
   // lifetime (also how client test threads claim a home domain).
   class Scope {
    public:
-    explicit Scope(Domain* domain) : previous_(tls_current_) {
-      tls_current_ = domain;
-    }
-    ~Scope() { tls_current_ = previous_; }
+    // The swap lives out of line: inline stores to an extern thread_local
+    // go through the compiler's TLS wrapper, which UBSan misreads as a
+    // null-pointer store when emitted from another translation unit.
+    explicit Scope(Domain* domain) : previous_(SwapCurrent(domain)) {}
+    ~Scope() { SwapCurrent(previous_); }
     Scope(const Scope&) = delete;
     Scope& operator=(const Scope&) = delete;
 
@@ -169,6 +170,9 @@ class Domain : public std::enable_shared_from_this<Domain> {
   friend class Scope;
 
   explicit Domain(std::string name, Transport* transport);
+
+  // Sets the calling thread's current domain, returning the previous one.
+  static Domain* SwapCurrent(Domain* domain);
 
   void WorkerLoop();
 

@@ -55,7 +55,9 @@ class Buffer {
     if (offset + src.size() > bytes_.size()) {
       bytes_.resize(offset + src.size(), 0);
     }
-    std::memcpy(bytes_.data() + offset, src.data(), src.size());
+    if (!src.empty()) {  // empty spans have a null data() memcpy rejects
+      std::memcpy(bytes_.data() + offset, src.data(), src.size());
+    }
   }
 
   // Copies up to dst.size() bytes starting at `offset`; returns bytes copied
@@ -65,7 +67,9 @@ class Buffer {
       return 0;
     }
     size_t n = std::min(dst.size(), bytes_.size() - offset);
-    std::memcpy(dst.data(), bytes_.data() + offset, n);
+    if (n != 0) {
+      std::memcpy(dst.data(), bytes_.data() + offset, n);
+    }
     return n;
   }
 

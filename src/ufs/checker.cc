@@ -36,7 +36,9 @@ Result<CheckReport> Checker::Check() {
     report.errors.push_back("superblock block count exceeds device");
     return report;
   }
-  if (sb.data_start >= sb.num_blocks) {
+  // The data area ends where the (optional) journal region begins.
+  const uint64_t data_end = sb.jnl_start();
+  if (sb.data_start >= data_end) {
     report.errors.push_back("superblock geometry leaves no data area");
     return report;
   }
@@ -106,7 +108,7 @@ Result<CheckReport> Checker::Check() {
     if (b == 0) {
       return;
     }
-    if (b < sb.data_start || b >= sb.num_blocks) {
+    if (b < sb.data_start || b >= data_end) {
       report.errors.push_back("inode " + std::to_string(ino) +
                               " references out-of-area block " +
                               std::to_string(b));
@@ -151,7 +153,7 @@ Result<CheckReport> Checker::Check() {
           continue;
         }
         reference(ino, level2);
-        if (level2 < sb.data_start || level2 >= sb.num_blocks) {
+        if (level2 < sb.data_start || level2 >= data_end) {
           continue;
         }
         RETURN_IF_ERROR(device_->ReadBlock(level2, ptr_block2.mutable_span()));
@@ -164,7 +166,7 @@ Result<CheckReport> Checker::Check() {
 
   // Allocated-but-unreferenced data blocks (leaks).
   uint64_t free_blocks = 0;
-  for (BlockNum b = sb.data_start; b < sb.num_blocks; ++b) {
+  for (BlockNum b = sb.data_start; b < data_end; ++b) {
     bool allocated = bit_of(data_bits, b);
     if (!allocated) {
       ++free_blocks;

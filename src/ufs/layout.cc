@@ -32,6 +32,8 @@ void Superblock::Encode(MutableByteSpan block) const {
   PutU64(p + 80, free_blocks);
   PutU64(p + 88, free_inodes);
   PutU32(p + 96, clean);
+  PutU64(p + 100, jnl_blocks);
+  PutU64(p + 108, last_tx);
   uint32_t crc = Crc32(ByteSpan(p, kSbCrcOffset));
   PutU32(p + kSbCrcOffset, crc);
 }
@@ -67,6 +69,11 @@ Result<Superblock> Superblock::Decode(ByteSpan block) {
   sb.free_blocks = GetU64(p + 80);
   sb.free_inodes = GetU64(p + 88);
   sb.clean = GetU32(p + 96);
+  sb.jnl_blocks = GetU64(p + 100);
+  sb.last_tx = GetU64(p + 108);
+  if (sb.jnl_blocks >= sb.num_blocks) {
+    return ErrCorrupted("journal larger than the device");
+  }
   return sb;
 }
 
@@ -139,9 +146,13 @@ DirEntry DirEntry::Decode(ByteSpan slot) {
   return entry;
 }
 
-Result<Geometry> Geometry::Compute(uint64_t num_blocks, uint64_t num_inodes) {
+Result<Geometry> Geometry::Compute(uint64_t num_blocks, uint64_t num_inodes,
+                                   uint64_t jnl_blocks) {
   if (num_blocks < 16) {
     return ErrInvalidArgument("device too small to format");
+  }
+  if (jnl_blocks >= num_blocks) {
+    return ErrInvalidArgument("journal larger than the device");
   }
   Geometry g;
   g.num_blocks = num_blocks;
@@ -153,7 +164,9 @@ Result<Geometry> Geometry::Compute(uint64_t num_blocks, uint64_t num_inodes) {
   g.itb_start = g.dbm_start + g.dbm_blocks;
   g.itb_blocks = CeilDiv(g.num_inodes, kInodesPerBlock);
   g.data_start = g.itb_start + g.itb_blocks;
-  if (g.data_start + 4 > num_blocks) {
+  g.jnl_blocks = jnl_blocks;
+  g.jnl_start = num_blocks - jnl_blocks;
+  if (g.data_start + 4 > g.jnl_start) {
     return ErrInvalidArgument("device too small for metadata + data");
   }
   return g;

@@ -7,7 +7,14 @@
 //   [ibm_start, +ibm_blocks) inode allocation bitmap
 //   [dbm_start, +dbm_blocks) data-block allocation bitmap
 //   [itb_start, +itb_blocks) inode table (kInodesPerBlock per block)
-//   [data_start, num_blocks) data blocks
+//   [data_start, jnl_start)  data blocks
+//   [jnl_start, num_blocks)  write-ahead journal (optional; jnl_blocks may
+//                            be 0, in which case data runs to num_blocks)
+//
+// The journal is pinned to the *end* of the device so that crash recovery
+// can locate its commit record (always the last device block) without a
+// readable superblock — a torn superblock write is itself one of the
+// failures the journal repairs.
 //
 // Inodes hold 12 direct pointers plus single- and double-indirect blocks,
 // like classic UFS/FFS. Directories are files containing fixed-size entries.
@@ -86,6 +93,12 @@ struct Superblock {
   uint64_t free_blocks = 0;
   uint64_t free_inodes = 0;
   uint32_t clean = 1;  // cleared while mounted dirty; checker warns if 0
+  uint64_t jnl_blocks = 0;  // journal block count; 0 = no journal
+  uint64_t last_tx = 0;     // id of the last committed journal transaction
+
+  // First journal block; equals num_blocks when there is no journal, so it
+  // always bounds the data area from above.
+  uint64_t jnl_start() const { return num_blocks - jnl_blocks; }
 
   void Encode(MutableByteSpan block) const;
   static Result<Superblock> Decode(ByteSpan block);
@@ -126,9 +139,12 @@ struct Geometry {
   uint64_t dbm_start, dbm_blocks;
   uint64_t itb_start, itb_blocks;
   uint64_t data_start;
+  uint64_t jnl_start, jnl_blocks;  // journal at the device tail (may be 0)
 
-  // Computes a layout: roughly one inode per 4 data blocks unless overridden.
-  static Result<Geometry> Compute(uint64_t num_blocks, uint64_t num_inodes = 0);
+  // Computes a layout: roughly one inode per 4 data blocks unless
+  // overridden; `jnl_blocks` tail blocks are reserved for the journal.
+  static Result<Geometry> Compute(uint64_t num_blocks, uint64_t num_inodes = 0,
+                                  uint64_t jnl_blocks = 0);
 };
 
 }  // namespace springfs::ufs

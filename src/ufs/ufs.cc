@@ -64,7 +64,7 @@ Status Bitmap::Load(BlockDevice& dev) {
   return Status::Ok();
 }
 
-Status Bitmap::FlushDirty(BlockDevice& dev) {
+Status Bitmap::FlushDirty(const BlockWriter& write) {
   Buffer block(kBlockSize);
   for (size_t b = 0; b < dirty_.size(); ++b) {
     if (!dirty_[b]) {
@@ -74,7 +74,7 @@ Status Bitmap::FlushDirty(BlockDevice& dev) {
     size_t count = std::min<size_t>(kBlockSize, bits_.size() - offset);
     std::memset(block.data(), 0, kBlockSize);
     std::memcpy(block.data(), bits_.data() + offset, count);
-    RETURN_IF_ERROR(dev.WriteBlock(disk_start_ + b, block.span()));
+    RETURN_IF_ERROR(write(disk_start_ + b, block.span()));
     dirty_[b] = false;
   }
   return Status::Ok();
@@ -85,18 +85,43 @@ Status Bitmap::FlushDirty(BlockDevice& dev) {
 Ufs::Ufs(BlockDevice* device, Clock* clock) : device_(device), clock_(clock) {}
 
 Ufs::~Ufs() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (abandoned_) {
+      return;
+    }
+  }
   Status st = Sync();
   if (!st.ok()) {
     LOG_ERROR << "unmount sync failed: " << st.ToString();
   }
 }
 
-Result<std::unique_ptr<Ufs>> Ufs::Format(BlockDevice* device, Clock* clock) {
+Result<std::unique_ptr<Ufs>> Ufs::Format(BlockDevice* device, Clock* clock,
+                                         const FormatOptions& options) {
   if (device->block_size() != kBlockSize) {
     return ErrInvalidArgument("device block size must be " +
                               std::to_string(kBlockSize));
   }
-  ASSIGN_OR_RETURN(Geometry geo, Geometry::Compute(device->num_blocks()));
+  // Journal sizing: num_blocks/8 clamped to [12, 1024] blocks, shrunk to
+  // what the device can spare. A journal too small to hold a realistic
+  // transaction is dropped entirely rather than formatted useless; an
+  // explicitly requested size is passed through so a bad fit is an error.
+  uint64_t jnl_blocks = 0;
+  if (options.journal) {
+    if (options.journal_blocks != 0) {
+      jnl_blocks = options.journal_blocks;
+    } else {
+      ASSIGN_OR_RETURN(Geometry base, Geometry::Compute(device->num_blocks()));
+      uint64_t spare = base.num_blocks - base.data_start - 4;
+      uint64_t want = std::clamp<uint64_t>(base.num_blocks / 8, 12, 1024);
+      if (std::min(want, spare) >= 8) {
+        jnl_blocks = std::min(want, spare);
+      }
+    }
+  }
+  ASSIGN_OR_RETURN(Geometry geo,
+                   Geometry::Compute(device->num_blocks(), 0, jnl_blocks));
 
   std::unique_ptr<Ufs> fs(new Ufs(device, clock));
   fs->sb_.num_blocks = geo.num_blocks;
@@ -108,26 +133,40 @@ Result<std::unique_ptr<Ufs>> Ufs::Format(BlockDevice* device, Clock* clock) {
   fs->sb_.itb_start = geo.itb_start;
   fs->sb_.itb_blocks = geo.itb_blocks;
   fs->sb_.data_start = geo.data_start;
+  fs->sb_.jnl_blocks = geo.jnl_blocks;
 
   fs->inode_bitmap_ = Bitmap(geo.num_inodes, geo.ibm_start);
   fs->data_bitmap_ = Bitmap(geo.num_blocks, geo.dbm_start);
 
-  // Metadata blocks (superblock through the end of the inode table) are
-  // permanently allocated in the data bitmap.
+  // Metadata blocks (superblock through the end of the inode table) and the
+  // journal region are permanently allocated in the data bitmap.
   for (uint64_t b = 0; b < geo.data_start; ++b) {
+    fs->data_bitmap_.Set(b);
+  }
+  for (uint64_t b = geo.jnl_start; b < geo.num_blocks; ++b) {
     fs->data_bitmap_.Set(b);
   }
   // Inode 0 is reserved so that 0 can mean "no inode".
   fs->inode_bitmap_.Set(0);
 
-  // Zero the inode table so undecodable garbage never looks like an inode.
   Buffer zero(kBlockSize);
+  // Stale-journal hygiene: a commit record left in the device's last block
+  // by a previous file system must never replay into this one.
+  RETURN_IF_ERROR(device->WriteBlock(geo.num_blocks - 1, zero.span()));
+  // Zero the inode table so undecodable garbage never looks like an inode.
   for (uint64_t b = 0; b < geo.itb_blocks; ++b) {
     RETURN_IF_ERROR(device->WriteBlock(geo.itb_start + b, zero.span()));
   }
 
-  fs->sb_.free_blocks = geo.num_blocks - geo.data_start;
+  fs->sb_.free_blocks = geo.jnl_start - geo.data_start;
   fs->sb_.free_inodes = geo.num_inodes - 1;
+
+  if (geo.jnl_blocks != 0) {
+    fs->journaled_ = true;
+    fs->journal_ = std::make_unique<Journal>(device, geo.jnl_start);
+    ByteSpan raw = fs->data_bitmap_.raw_bits();
+    fs->committed_bits_.assign(raw.begin(), raw.end());
+  }
 
   // Root directory.
   {
@@ -150,9 +189,29 @@ Result<std::unique_ptr<Ufs>> Ufs::Mount(BlockDevice* device, Clock* clock) {
   }
   Buffer block(kBlockSize);
   RETURN_IF_ERROR(device->ReadBlock(0, block.mutable_span()));
-  ASSIGN_OR_RETURN(Superblock sb, Superblock::Decode(block.span()));
+  Result<Superblock> decoded = Superblock::Decode(block.span());
+  if (!decoded.ok() || decoded->jnl_blocks > 0) {
+    // Journaled image — or an unreadable superblock, which a journal
+    // replay may repair (the superblock's own in-place update is
+    // journaled, so a crash can tear it). Redo the last committed
+    // transaction before trusting anything on the device.
+    ASSIGN_OR_RETURN(ReplayReport replayed, Journal::Replay(device));
+    if (replayed.blocks_replayed > 0) {
+      LOG_INFO << "journal replay: tx " << replayed.tx_id << " ("
+               << replayed.blocks_replayed << " blocks)";
+    }
+    RETURN_IF_ERROR(device->ReadBlock(0, block.mutable_span()));
+    decoded = Superblock::Decode(block.span());
+  }
+  if (!decoded.ok()) {
+    return decoded.status();
+  }
+  Superblock sb = decoded.take_value();
   if (sb.num_blocks > device->num_blocks()) {
     return ErrCorrupted("superblock claims more blocks than the device has");
+  }
+  if (sb.jnl_blocks > 0 && sb.data_start + 1 > sb.jnl_start()) {
+    return ErrCorrupted("journal overlaps file-system metadata");
   }
 
   std::unique_ptr<Ufs> fs(new Ufs(device, clock));
@@ -161,6 +220,13 @@ Result<std::unique_ptr<Ufs>> Ufs::Mount(BlockDevice* device, Clock* clock) {
   fs->data_bitmap_ = Bitmap(sb.num_blocks, sb.dbm_start);
   RETURN_IF_ERROR(fs->inode_bitmap_.Load(*device));
   RETURN_IF_ERROR(fs->data_bitmap_.Load(*device));
+  if (sb.jnl_blocks > 0) {
+    fs->journaled_ = true;
+    fs->journal_ = std::make_unique<Journal>(device, sb.jnl_start());
+    ByteSpan raw = fs->data_bitmap_.raw_bits();
+    fs->committed_bits_.assign(raw.begin(), raw.end());
+  }
+  fs->last_committed_tx_ = sb.last_tx;
 
   // Find the largest generation in use so new inodes stay unique. A linear
   // scan of allocated inodes at mount time stands in for a mount log.
@@ -267,10 +333,23 @@ Status Ufs::FreeBlock(BlockNum block) {
 }
 
 Status Ufs::ReadDeviceBlock(BlockNum block, MutableByteSpan out) {
+  if (journaled_) {
+    auto it = pending_.find(block);
+    if (it != pending_.end()) {
+      SPRINGFS_CHECK(out.size() >= kBlockSize);
+      std::memcpy(out.data(), it->second.data(), kBlockSize);
+      return Status::Ok();
+    }
+  }
   return device_->ReadBlock(block, out);
 }
 
 Status Ufs::WriteDeviceBlock(BlockNum block, ByteSpan data) {
+  if (journaled_) {
+    SPRINGFS_CHECK(data.size() == kBlockSize);
+    pending_.insert_or_assign(block, Buffer(data));
+    return Status::Ok();
+  }
   return device_->WriteBlock(block, data);
 }
 
@@ -873,17 +952,123 @@ Status Ufs::Sync() {
     RETURN_IF_ERROR(WriteDeviceBlock(itb_block, block.span()));
     cached.dirty = false;
   }
-  RETURN_IF_ERROR(inode_bitmap_.FlushDirty(*device_));
-  RETURN_IF_ERROR(data_bitmap_.FlushDirty(*device_));
+  Bitmap::BlockWriter writer = [this](BlockNum b, ByteSpan data) {
+    return WriteDeviceBlock(b, data);
+  };
+  RETURN_IF_ERROR(inode_bitmap_.FlushDirty(writer));
+  RETURN_IF_ERROR(data_bitmap_.FlushDirty(writer));
+  if (journaled_) {
+    return SyncJournaled();
+  }
   sb_.clean = 1;
   sb_.Encode(block.mutable_span());
   RETURN_IF_ERROR(WriteDeviceBlock(0, block.span()));
   return device_->Flush();
 }
 
+Status Ufs::SyncJournaled() {
+  if (pending_.empty()) {
+    // Nothing changed since the last commit; the on-disk superblock is
+    // already current.
+    return device_->Flush();
+  }
+  // Partition the open transaction. Blocks that durable metadata may
+  // already reference — the whole metadata area plus data blocks that were
+  // allocated at the last commit — must go through the journal, or a crash
+  // mid-checkpoint would tear durable state. Blocks that were free at the
+  // last commit are invisible until this commit lands, so they are written
+  // in place first ("ordered" mode) without journal traffic.
+  std::map<BlockNum, Buffer> journaled;
+  std::vector<std::pair<BlockNum, const Buffer*>> ordered;
+  for (const auto& [b, buf] : pending_) {
+    if (b < sb_.data_start || CommittedBitSet(b)) {
+      journaled.emplace(b, Buffer(buf.span()));
+    } else {
+      ordered.emplace_back(b, &buf);
+    }
+  }
+  uint64_t records = journaled.size() + (journaled.count(0) ? 0 : 1);
+  Buffer sb_block(kBlockSize);
+  if (!journal_->Fits(records)) {
+    // Transaction larger than the journal: fall back to unprotected
+    // in-place writes — for this sync the guarantees degrade to those of a
+    // journal-less file system. The stale commit record must go first:
+    // replaying it over these newer writes would roll blocks back.
+    ++journal_overflow_syncs_;
+    Buffer zero(kBlockSize);
+    RETURN_IF_ERROR(device_->WriteBlock(sb_.num_blocks - 1, zero.span()));
+    RETURN_IF_ERROR(device_->Flush());
+    sb_.clean = 1;
+    sb_.Encode(sb_block.mutable_span());
+    RETURN_IF_ERROR(device_->WriteBlock(0, sb_block.span()));
+    for (const auto& [b, buf] : pending_) {
+      if (b == 0) {
+        continue;  // superblock freshly encoded above
+      }
+      RETURN_IF_ERROR(device_->WriteBlock(b, buf.span()));
+    }
+    RETURN_IF_ERROR(device_->Flush());
+    FinishJournalEpoch();
+    return Status::Ok();
+  }
+
+  uint64_t tx = last_committed_tx_ + 1;
+  sb_.clean = 1;
+  sb_.last_tx = tx;
+  sb_.Encode(sb_block.mutable_span());
+  journaled.insert_or_assign(0, std::move(sb_block));
+
+  // Phase 1: ordered writes. These blocks are unreferenced until the
+  // commit record lands, so a crash in this window is invisible.
+  if (!ordered.empty()) {
+    for (const auto& [b, buf] : ordered) {
+      RETURN_IF_ERROR(device_->WriteBlock(b, buf->span()));
+    }
+    RETURN_IF_ERROR(device_->Flush());
+  }
+  // Phase 2: journal payloads, descriptor table, commit record (flushed).
+  // After this returns the transaction is durable.
+  RETURN_IF_ERROR(journal_->Commit(tx, journaled));
+  last_committed_tx_ = tx;
+  ++journal_commits_;
+  // Phase 3: checkpoint to home locations. A crash in this window is
+  // repaired by replay on the next mount.
+  for (const auto& [b, buf] : journaled) {
+    RETURN_IF_ERROR(device_->WriteBlock(b, buf.span()));
+  }
+  RETURN_IF_ERROR(device_->Flush());
+  FinishJournalEpoch();
+  return Status::Ok();
+}
+
+bool Ufs::CommittedBitSet(BlockNum block) const {
+  uint64_t byte = block / 8;
+  if (byte >= committed_bits_.size()) {
+    return true;  // untracked: journal it to be safe
+  }
+  return (committed_bits_[byte] >> (block % 8)) & 1;
+}
+
+void Ufs::FinishJournalEpoch() {
+  pending_.clear();
+  ByteSpan raw = data_bitmap_.raw_bits();
+  committed_bits_.assign(raw.begin(), raw.end());
+}
+
+void Ufs::Abandon() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  abandoned_ = true;
+}
+
+uint64_t Ufs::last_committed_tx() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return last_committed_tx_;
+}
+
 UfsStats Ufs::stats() const {
   std::lock_guard<std::mutex> lock(mutex_);
-  return UfsStats{cache_hits_, cache_misses_};
+  return UfsStats{cache_hits_, cache_misses_, journal_commits_,
+                  journal_overflow_syncs_};
 }
 
 uint64_t Ufs::FreeBlocks() const {

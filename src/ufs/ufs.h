@@ -11,6 +11,7 @@
 #ifndef SPRINGFS_UFS_UFS_H_
 #define SPRINGFS_UFS_UFS_H_
 
+#include <functional>
 #include <map>
 #include <memory>
 #include <mutex>
@@ -20,6 +21,7 @@
 
 #include "src/blockdev/block_device.h"
 #include "src/support/clock.h"
+#include "src/ufs/journal.h"
 #include "src/ufs/layout.h"
 
 namespace springfs::ufs {
@@ -40,8 +42,15 @@ class Bitmap {
 
   uint64_t num_bits() const { return num_bits_; }
 
+  // The raw backing bytes (for snapshotting the committed state).
+  ByteSpan raw_bits() const { return ByteSpan(bits_.data(), bits_.size()); }
+
   Status Load(BlockDevice& dev);
-  Status FlushDirty(BlockDevice& dev);
+  // Encodes each dirty on-disk bitmap block and hands it to `write`; the
+  // caller decides whether it goes straight to the device or into a
+  // journal transaction.
+  using BlockWriter = std::function<Status(BlockNum, ByteSpan)>;
+  Status FlushDirty(const BlockWriter& write);
 
  private:
   uint64_t num_bits_ = 0;
@@ -69,13 +78,26 @@ struct NamedEntry {
 struct UfsStats {
   uint64_t inode_cache_hits = 0;
   uint64_t inode_cache_misses = 0;
+  uint64_t journal_commits = 0;
+  // Syncs whose transaction exceeded the journal and fell back to
+  // unprotected in-place writes (crash tests keep this at 0).
+  uint64_t journal_overflow_syncs = 0;
+};
+
+struct FormatOptions {
+  // Reserve a write-ahead journal so metadata survives crashes. On devices
+  // too small to host a useful journal the region is silently omitted.
+  bool journal = true;
+  // Explicit journal size in blocks (0 = auto: num_blocks/8, clamped).
+  uint64_t journal_blocks = 0;
 };
 
 class Ufs {
  public:
   // Writes a fresh empty file system (with a root directory) to `device`.
   static Result<std::unique_ptr<Ufs>> Format(BlockDevice* device,
-                                             Clock* clock = &DefaultClock());
+                                             Clock* clock = &DefaultClock(),
+                                             const FormatOptions& options = {});
 
   // Mounts an existing file system.
   static Result<std::unique_ptr<Ufs>> Mount(BlockDevice* device,
@@ -112,7 +134,20 @@ class Ufs {
   Status SetSize(InodeNum ino, uint64_t size);
 
   // Writes all dirty state (inodes, bitmaps, superblock) to the device.
+  // When journaled, the whole sync is one atomic transaction: a crash at
+  // any device write leaves the file system either before or after it.
   Status Sync();
+
+  // Marks the instance dead: the destructor skips its unmount sync. For
+  // crash tests that abandon a file system on a failed device.
+  void Abandon();
+
+  // True when this file system has a write-ahead journal.
+  bool journaled() const { return journaled_; }
+  // Id of the last journal transaction known durable (0 = none / no
+  // journal). After a crash and remount this identifies which sync's state
+  // the recovered image carries.
+  uint64_t last_committed_tx() const;
 
   const Superblock& superblock() const { return sb_; }
   UfsStats stats() const;
@@ -137,8 +172,20 @@ class Ufs {
   // Frees all blocks mapping file indices >= first_block.
   Status FreeBlocksFrom(Inode* inode, uint64_t first_block);
 
+  // Device access. When journaled, writes land in `pending_` (the open
+  // transaction) and reads see pending content first; nothing touches the
+  // device between syncs except cache-miss reads.
   Status ReadDeviceBlock(BlockNum block, MutableByteSpan out);
   Status WriteDeviceBlock(BlockNum block, ByteSpan data);
+
+  // Journaled sync: partitions `pending_` into freshly-allocated data
+  // blocks (written in place, "ordered" mode) and everything durable
+  // metadata may reference (journaled), then commits and checkpoints.
+  Status SyncJournaled();
+  // True when `block` was allocated at the last committed transaction, so
+  // an in-place write would be visible after a crash.
+  bool CommittedBitSet(BlockNum block) const;
+  void FinishJournalEpoch();
 
   // Directory helpers.
   Result<InodeNum> DirLookup(Inode* dir_inode, std::string_view name,
@@ -168,6 +215,16 @@ class Ufs {
   uint64_t next_generation_ = 1;
   mutable uint64_t cache_hits_ = 0;
   mutable uint64_t cache_misses_ = 0;
+
+  // Journal state (only used when journaled_).
+  bool journaled_ = false;
+  bool abandoned_ = false;
+  std::unique_ptr<Journal> journal_;
+  std::map<BlockNum, Buffer> pending_;   // open transaction: block -> content
+  std::vector<uint8_t> committed_bits_;  // data bitmap at the last commit
+  uint64_t last_committed_tx_ = 0;
+  uint64_t journal_commits_ = 0;
+  uint64_t journal_overflow_syncs_ = 0;
 };
 
 }  // namespace springfs::ufs

@@ -137,6 +137,35 @@ TEST(FaultyBlockDeviceTest, PredicateInjectsErrors) {
   EXPECT_EQ(dev.ReadBlock(3, buf.mutable_span()).code(), ErrorCode::kIoError);
   EXPECT_TRUE(dev.WriteBlock(3, buf.span()).ok());  // writes unaffected
   EXPECT_EQ(dev.stats().read_errors, 1u);
+  EXPECT_EQ(dev.stats().write_errors, 0u);
+}
+
+TEST(FaultyBlockDeviceTest, WriteFaultsCountAsWriteErrors) {
+  FaultyBlockDevice dev(std::make_unique<MemBlockDevice>(kBs, 8),
+                        [](int op, BlockNum block) {
+                          return op == 1 && block >= 4;
+                        });
+  Buffer buf(kBs);
+  EXPECT_TRUE(dev.WriteBlock(3, buf.span()).ok());
+  EXPECT_EQ(dev.WriteBlock(4, buf.span()).code(), ErrorCode::kIoError);
+  EXPECT_EQ(dev.WriteBlock(7, buf.span()).code(), ErrorCode::kIoError);
+  EXPECT_TRUE(dev.ReadBlock(4, buf.mutable_span()).ok());  // reads unaffected
+  BlockDeviceStats stats = dev.stats();
+  EXPECT_EQ(stats.write_errors, 2u);
+  EXPECT_EQ(stats.read_errors, 0u);
+  dev.ResetStats();
+  EXPECT_EQ(dev.stats().write_errors, 0u);
+}
+
+TEST(FaultyBlockDeviceTest, BrokenDeviceCountsBothErrorKinds) {
+  FaultyBlockDevice dev(std::make_unique<MemBlockDevice>(kBs, 8));
+  Buffer buf(kBs);
+  dev.set_broken(true);
+  EXPECT_EQ(dev.ReadBlock(0, buf.mutable_span()).code(), ErrorCode::kIoError);
+  EXPECT_EQ(dev.WriteBlock(0, buf.span()).code(), ErrorCode::kIoError);
+  EXPECT_EQ(dev.WriteBlock(1, buf.span()).code(), ErrorCode::kIoError);
+  EXPECT_EQ(dev.stats().read_errors, 1u);
+  EXPECT_EQ(dev.stats().write_errors, 2u);
 }
 
 TEST(FaultyBlockDeviceTest, BrokenDeviceFailsEverything) {

@@ -277,6 +277,82 @@ TEST_F(DfsTest, PartitionSurfacesAsConnectionLost) {
   EXPECT_TRUE(file->Stat().ok());
 }
 
+// --- transient faults, retries, and server death ---
+
+TEST_F(DfsTest, IdempotentCallsRetryThroughTransientTimeouts) {
+  sp<File> file = *client_->CreateFile(*Name::Parse("flaky"), sys_);
+  Buffer data(std::string("eventually"));
+  ASSERT_TRUE(file->Write(0, data.span()).ok());
+
+  // The next two transport calls time out; the third goes through. Stat is
+  // idempotent, so the client must absorb the faults.
+  network_->FailNextCalls(2, ErrorCode::kTimedOut);
+  TimeNs before = clock_.Now();
+  Result<FileAttributes> attrs = file->Stat();
+  ASSERT_TRUE(attrs.ok()) << attrs.status().ToString();
+  EXPECT_EQ(attrs->size, 10u);
+  dfs::DfsClientStats stats = client_->stats();
+  EXPECT_EQ(stats.retries, 2u);
+  EXPECT_EQ(stats.retry_successes, 1u);
+  EXPECT_EQ(stats.retries_exhausted, 0u);
+  EXPECT_GT(clock_.Now(), before) << "backoff must be charged to the clock";
+}
+
+TEST_F(DfsTest, NonIdempotentCallsAreNotRetried) {
+  uint64_t calls_before = client_->stats().calls_sent;
+  network_->FailNextCalls(1, ErrorCode::kTimedOut);
+  // Create is not idempotent (a blind re-send could observe its own
+  // half-applied effect); the fault must surface immediately.
+  Result<sp<File>> created = client_->CreateFile(*Name::Parse("once"), sys_);
+  EXPECT_EQ(created.status().code(), ErrorCode::kTimedOut);
+  dfs::DfsClientStats stats = client_->stats();
+  EXPECT_EQ(stats.retries, 0u);
+  EXPECT_EQ(stats.calls_sent, calls_before + 1) << "exactly one send, no retry";
+  // The transport fault is gone; the operation works when re-issued by the
+  // caller.
+  EXPECT_TRUE(client_->CreateFile(*Name::Parse("once"), sys_).ok());
+}
+
+TEST_F(DfsTest, RetriesExhaustedSurfaceAsErrorNotHang) {
+  // A dedicated mount with a tight retry budget: a persistent partition
+  // must produce a bounded number of sends and a clean error.
+  dfs::DfsClientOptions options;
+  options.max_retries = 2;
+  sp<DfsClient> impatient = *DfsClient::Mount(client2_node_, network_.get(),
+                                              "server", "dfs", &clock_,
+                                              options);
+  sp<File> file = *impatient->CreateFile(*Name::Parse("stuck"), sys_);
+  network_->SetPartitioned("server", true);
+  uint64_t calls_before = impatient->stats().calls_sent;
+  Result<FileAttributes> attrs = file->Stat();
+  EXPECT_EQ(attrs.status().code(), ErrorCode::kConnectionLost);
+  dfs::DfsClientStats stats = impatient->stats();
+  EXPECT_EQ(stats.calls_sent, calls_before + 3) << "initial send + 2 retries";
+  EXPECT_EQ(stats.retries, 2u);
+  EXPECT_EQ(stats.retries_exhausted, 1u);
+  network_->SetPartitioned("server", false);
+  EXPECT_TRUE(file->Stat().ok());
+}
+
+TEST_F(DfsTest, ServerDeathSurfacesAsDeadObjectNotHang) {
+  // No writes/mappings here: bound caches would hold the server alive via
+  // its CacheManager registrations. A freshly created file keeps the
+  // server droppable.
+  sp<File> file = *client_->CreateFile(*Name::Parse("orphan"), sys_);
+
+  server_.reset();  // the exporting server dies; its service leaves a tombstone
+
+  // Calls against the dead server fail fast with kDeadObject: no hang, and
+  // no retry (the failure is not transient).
+  uint64_t calls_before = client_->stats().calls_sent;
+  Status stat = file->Stat().status();
+  EXPECT_EQ(stat.code(), ErrorCode::kDeadObject) << stat.ToString();
+  EXPECT_EQ(client_->stats().calls_sent, calls_before + 1);
+  EXPECT_EQ(client_->stats().retries, 0u);
+  EXPECT_EQ(client_->Resolve(*Name::Parse("orphan"), sys_).status().code(),
+            ErrorCode::kDeadObject);
+}
+
 TEST_F(DfsTest, SyncFlowsToDisk) {
   sp<File> file = *client_->CreateFile(*Name::Parse("durable"), sys_);
   Buffer data(std::string("remote durable"));

@@ -101,6 +101,55 @@ TEST_F(MirrorTest, DegradedWritesSucceedAndResilverRepairs) {
   EXPECT_GE(mirror_->stats().resilvered_files, 1u);
 }
 
+TEST_F(MirrorTest, FailoverUnderSustainedWrites) {
+  // A replica dies in the middle of a write-heavy workload: every write
+  // and read issued afterwards must still succeed, and once the replica
+  // returns, resilvering must bring it byte-identical to the survivor.
+  sp<File> file = *mirror_->CreateFile(*Name::Parse("busy"), sys_);
+  Rng rng(77);
+  Buffer expected;
+  constexpr int kRounds = 24;
+  for (int round = 0; round < kRounds; ++round) {
+    if (round == kRounds / 3) {
+      faulty_[1]->set_broken(true);  // replica 1 dies mid-workload
+    }
+    uint64_t off = rng.Below(4 * ufs::kBlockSize);
+    Buffer chunk = rng.RandomBuffer(rng.Range(1, ufs::kBlockSize));
+    ASSERT_TRUE(file->Write(off, chunk.span()).ok()) << "round " << round;
+    if (expected.size() < off + chunk.size()) {
+      expected.resize(off + chunk.size());
+    }
+    expected.WriteAt(off, chunk.span());
+    // Reads served while degraded must reflect all writes so far.
+    Buffer out(expected.size());
+    Result<size_t> n = file->Read(0, out.mutable_span());
+    ASSERT_TRUE(n.ok()) << "round " << round << ": " << n.status().ToString();
+    ASSERT_EQ(*n, expected.size()) << "round " << round;
+    ASSERT_EQ(out, expected) << "round " << round;
+    if (round % 5 == 4) {
+      Status sync = mirror_->SyncFs();
+      ASSERT_TRUE(sync.ok()) << "round " << round << ": " << sync.ToString();
+    }
+  }
+  ASSERT_TRUE(mirror_->SyncFs().ok());
+  // The dead replica rejected traffic (reads fault first on its page-in
+  // path, so either counter may absorb the hits).
+  BlockDeviceStats faults = faulty_[1]->stats();
+  EXPECT_GE(faults.read_errors + faults.write_errors, 1u);
+
+  // The replica comes back with stale contents; resilver repairs it.
+  faulty_[1]->set_broken(false);
+  clock_.Advance(1000);
+  ASSERT_TRUE(mirror_->Resilver(*Name::Parse("busy"), sys_).ok());
+  ASSERT_TRUE(mirror_->SyncFs().ok());
+  Result<sp<File>> replica1 = ResolveAs<File>(sfs_[1].root, "busy", sys_);
+  ASSERT_TRUE(replica1.ok());
+  Buffer out(expected.size());
+  ASSERT_EQ(*(*replica1)->Read(0, out.mutable_span()), expected.size());
+  EXPECT_EQ(out, expected);
+  EXPECT_GE(mirror_->stats().resilvered_files, 1u);
+}
+
 TEST_F(MirrorTest, DirectoriesMirrorToo) {
   ASSERT_TRUE(mirror_->CreateContext(*Name::Parse("d"), sys_).ok());
   sp<File> file = *mirror_->CreateFile(*Name::Parse("d/f"), sys_);
