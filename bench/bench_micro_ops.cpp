@@ -40,7 +40,7 @@ void BM_EngineAcquireUncontended(benchmark::State& state) {
   CoherencyEngine engine;
   for (auto _ : state) {
     benchmark::DoNotOptimize(
-        engine.Acquire(1, 0, kPageSize, AccessRights::kReadOnly));
+        engine.Acquire(1, Range{0, kPageSize}, AccessRights::kReadOnly));
   }
 }
 BENCHMARK(BM_EngineAcquireUncontended);

@@ -31,8 +31,9 @@ using bench::TimeOp;
 
 namespace {
 
-constexpr uint64_t kCachedIters = 10000;
-constexpr uint64_t kUncachedIters = 200;
+const uint64_t kCachedIters = bench::ScaledIters(10000);
+const uint64_t kUncachedIters = bench::ScaledIters(200);
+const uint64_t kUncachedMetaIters = bench::ScaledIters(2000);
 
 std::unique_ptr<BlockDevice> MakeDisk() {
   // The paper's 4400 RPM disk, scaled ~100x down so the bench completes;
@@ -61,17 +62,23 @@ OpSet MeasureOps(const sp<StackableFs>& fs, bool cached) {
   file->Write(0, page.span()).take_value();
 
   uint64_t iters = cached ? kCachedIters : kUncachedIters;
+  uint64_t meta_iters = cached ? kCachedIters : kUncachedMetaIters;
   OpSet ops;
   // open: resolution of a single-component path name.
   ops.open = TimeOp(
-      [&] { (void)*fs->Resolve(Name::Single("bench"), creds); },
-      cached ? kCachedIters : 2000);
+      [&] { (void)*fs->Resolve(Name::Single("bench"), creds); }, meta_iters);
   ops.read = TimeOp(
       [&] { (void)*file->Read(0, page.mutable_span()); }, iters);
   ops.write = TimeOp([&] { (void)*file->Write(0, page.span()); }, iters);
-  ops.stat = TimeOp([&] { (void)*file->Stat(); },
-                    cached ? kCachedIters : 2000);
+  ops.stat = TimeOp([&] { (void)*file->Stat(); }, meta_iters);
   return ops;
+}
+
+void AddOps(bench::BenchReport& report, const OpSet& ops) {
+  report.Add("open", ops.open);
+  report.Add("read_4k", ops.read);
+  report.Add("write_4k", ops.write);
+  report.Add("fstat", ops.stat);
 }
 
 void PrintRow(const char* op, const char* cached, const Measurement& base,
@@ -84,6 +91,7 @@ void PrintRow(const char* op, const char* cached, const Measurement& base,
 
 int main() {
   Credentials creds = Credentials::System();
+  bench::BenchReport report("table2");
 
   std::printf("Table 2: Spring stacking performance (microseconds per op, "
               "normalized to Not stacked)\n");
@@ -96,27 +104,46 @@ int main() {
   bench::PrintRule();
 
   // --- cached rows ---
+  // Each configuration is measured in its own scope: BeginConfig resets
+  // the metrics registry after setup, and EndConfig snapshots it while the
+  // configuration's layers (and their StatsProviders) are still alive, so
+  // every BENCH_table2.json config carries exactly its own per-layer
+  // latency histograms and cross-domain call counts.
   {
-    // Not stacked: fused single-layer FS.
-    auto disk0 = MakeDisk();
-    sp<FusedSfs> fused =
-        FusedSfs::Format(Domain::Create("fused"), disk0.get()).take_value();
-    fused->CreateFile(*Name::Parse("bench"), creds).take_value();
-    OpSet base = MeasureOps(fused, /*cached=*/true);
-
-    auto disk1 = MakeDisk();
-    SfsOptions one_domain;
-    one_domain.placement = SfsPlacement::kOneDomain;
-    Sfs sfs1 = CreateSfs(disk1.get(), one_domain).take_value();
-    sfs1.root->CreateFile(*Name::Parse("bench"), creds).take_value();
-    OpSet one = MeasureOps(sfs1.root, /*cached=*/true);
-
-    auto disk2 = MakeDisk();
-    SfsOptions two_domains;
-    two_domains.placement = SfsPlacement::kTwoDomains;
-    Sfs sfs2 = CreateSfs(disk2.get(), two_domains).take_value();
-    sfs2.root->CreateFile(*Name::Parse("bench"), creds).take_value();
-    OpSet two = MeasureOps(sfs2.root, /*cached=*/true);
+    OpSet base, one, two;
+    {
+      // Not stacked: fused single-layer FS.
+      auto disk0 = MakeDisk();
+      sp<FusedSfs> fused =
+          FusedSfs::Format(Domain::Create("fused"), disk0.get()).take_value();
+      fused->CreateFile(*Name::Parse("bench"), creds).take_value();
+      report.BeginConfig("cached/not_stacked");
+      base = MeasureOps(fused, /*cached=*/true);
+      AddOps(report, base);
+      report.EndConfig();
+    }
+    {
+      auto disk1 = MakeDisk();
+      SfsOptions one_domain;
+      one_domain.placement = SfsPlacement::kOneDomain;
+      Sfs sfs1 = CreateSfs(disk1.get(), one_domain).take_value();
+      sfs1.root->CreateFile(*Name::Parse("bench"), creds).take_value();
+      report.BeginConfig("cached/one_domain");
+      one = MeasureOps(sfs1.root, /*cached=*/true);
+      AddOps(report, one);
+      report.EndConfig();
+    }
+    {
+      auto disk2 = MakeDisk();
+      SfsOptions two_domains;
+      two_domains.placement = SfsPlacement::kTwoDomains;
+      Sfs sfs2 = CreateSfs(disk2.get(), two_domains).take_value();
+      sfs2.root->CreateFile(*Name::Parse("bench"), creds).take_value();
+      report.BeginConfig("cached/two_domains");
+      two = MeasureOps(sfs2.root, /*cached=*/true);
+      AddOps(report, two);
+      report.EndConfig();
+    }
 
     PrintRow("open", "-", base.open, one.open, two.open);
     PrintRow("4KB read", "yes", base.read, one.read, two.read);
@@ -126,31 +153,45 @@ int main() {
 
   // --- uncached rows: every read/write goes to the (slow) disk ---
   {
-    // Not stacked, no cache: the disk layer alone.
-    auto disk0 = MakeDisk();
-    sp<DiskLayer> bare =
-        DiskLayer::Format(Domain::Create("bare-disk"), disk0.get())
-            .take_value();
-    bare->CreateFile(*Name::Parse("bench"), creds).take_value();
-    OpSet base = MeasureOps(bare, /*cached=*/false);
-
-    auto disk1 = MakeDisk();
-    SfsOptions one_domain;
-    one_domain.placement = SfsPlacement::kOneDomain;
-    one_domain.coherency.cache_data = false;
-    one_domain.coherency.cache_attrs = false;
-    Sfs sfs1 = CreateSfs(disk1.get(), one_domain).take_value();
-    sfs1.root->CreateFile(*Name::Parse("bench"), creds).take_value();
-    OpSet one = MeasureOps(sfs1.root, /*cached=*/false);
-
-    auto disk2 = MakeDisk();
-    SfsOptions two_domains;
-    two_domains.placement = SfsPlacement::kTwoDomains;
-    two_domains.coherency.cache_data = false;
-    two_domains.coherency.cache_attrs = false;
-    Sfs sfs2 = CreateSfs(disk2.get(), two_domains).take_value();
-    sfs2.root->CreateFile(*Name::Parse("bench"), creds).take_value();
-    OpSet two = MeasureOps(sfs2.root, /*cached=*/false);
+    OpSet base, one, two;
+    {
+      // Not stacked, no cache: the disk layer alone.
+      auto disk0 = MakeDisk();
+      sp<DiskLayer> bare =
+          DiskLayer::Format(Domain::Create("bare-disk"), disk0.get())
+              .take_value();
+      bare->CreateFile(*Name::Parse("bench"), creds).take_value();
+      report.BeginConfig("uncached/not_stacked");
+      base = MeasureOps(bare, /*cached=*/false);
+      AddOps(report, base);
+      report.EndConfig();
+    }
+    {
+      auto disk1 = MakeDisk();
+      SfsOptions one_domain;
+      one_domain.placement = SfsPlacement::kOneDomain;
+      one_domain.coherency.cache_data = false;
+      one_domain.coherency.cache_attrs = false;
+      Sfs sfs1 = CreateSfs(disk1.get(), one_domain).take_value();
+      sfs1.root->CreateFile(*Name::Parse("bench"), creds).take_value();
+      report.BeginConfig("uncached/one_domain");
+      one = MeasureOps(sfs1.root, /*cached=*/false);
+      AddOps(report, one);
+      report.EndConfig();
+    }
+    {
+      auto disk2 = MakeDisk();
+      SfsOptions two_domains;
+      two_domains.placement = SfsPlacement::kTwoDomains;
+      two_domains.coherency.cache_data = false;
+      two_domains.coherency.cache_attrs = false;
+      Sfs sfs2 = CreateSfs(disk2.get(), two_domains).take_value();
+      sfs2.root->CreateFile(*Name::Parse("bench"), creds).take_value();
+      report.BeginConfig("uncached/two_domains");
+      two = MeasureOps(sfs2.root, /*cached=*/false);
+      AddOps(report, two);
+      report.EndConfig();
+    }
 
     PrintRow("4KB read", "no", base.read, one.read, two.read);
     PrintRow("4KB write", "no", base.write, one.write, two.write);
@@ -170,12 +211,16 @@ int main() {
     sfs.root->CreateFile(*Name::Parse("bench"), creds).take_value();
     sp<NameCacheContext> cache =
         NameCacheContext::Create(Domain::Create("nc"), sfs.root);
+    report.BeginConfig("name_cache/two_domains");
     Measurement uncached_open = TimeOp(
         [&] { (void)*sfs.root->Resolve(Name::Single("bench"), creds); },
         kCachedIters);
     Measurement cached_open = TimeOp(
         [&] { (void)*cache->Resolve(Name::Single("bench"), creds); },
         kCachedIters);
+    report.Add("open_no_name_cache", uncached_open);
+    report.Add("open_name_cache", cached_open);
+    report.EndConfig();
     std::printf("\nsection 8 (future work implemented): name caching\n");
     std::printf("open, two domains, no name cache : %8.2f us\n",
                 uncached_open.mean_us);
@@ -183,5 +228,12 @@ int main() {
                 cached_open.mean_us,
                 100.0 * cached_open.mean_us / uncached_open.mean_us);
   }
+
+  std::string json_path = report.Write();
+  if (json_path.empty()) {
+    std::fprintf(stderr, "failed to write BENCH_table2.json\n");
+    return 1;
+  }
+  std::printf("\nper-layer breakdown written to %s\n", json_path.c_str());
   return 0;
 }

@@ -25,8 +25,9 @@ using bench::Measurement;
 using bench::TimeOp;
 
 int main() {
-  constexpr uint64_t kIters = 10000;
+  const uint64_t kIters = bench::ScaledIters(10000);
   Credentials creds = Credentials::System();
+  bench::BenchReport report("table3");
 
   // MONOFS on a latency-modelled disk (cached ops never reach it after
   // warmup, exactly like SunOS's buffer cache).
@@ -40,6 +41,7 @@ int main() {
   rng.Fill(page.mutable_span());
   mono->Write(fd, 0, page.span()).take_value();
 
+  report.BeginConfig("monofs");
   Measurement mono_open =
       TimeOp([&] { (void)*mono->Open("bench"); }, kIters);
   Measurement mono_read =
@@ -47,6 +49,11 @@ int main() {
   Measurement mono_write =
       TimeOp([&] { (void)*mono->Write(fd, 0, page.span()); }, kIters);
   Measurement mono_stat = TimeOp([&] { (void)*mono->Stat(fd); }, kIters);
+  report.Add("open", mono_open);
+  report.Add("read_4k", mono_read);
+  report.Add("write_4k", mono_write);
+  report.Add("fstat", mono_stat);
+  report.EndConfig();
 
   // Spring SFS, one domain, cached — the Table 2 configuration to compare.
   LatencyBlockDevice sfs_disk(
@@ -57,6 +64,7 @@ int main() {
                       .take_value();
   file->Write(0, page.span()).take_value();
 
+  report.BeginConfig("sfs_one_domain_cached");
   Measurement sfs_open = TimeOp(
       [&] { (void)*sfs.root->Resolve(Name::Single("bench"), creds); }, kIters);
   Measurement sfs_read =
@@ -64,6 +72,11 @@ int main() {
   Measurement sfs_write =
       TimeOp([&] { (void)*file->Write(0, page.span()); }, kIters);
   Measurement sfs_stat = TimeOp([&] { (void)*file->Stat(); }, kIters);
+  report.Add("open", sfs_open);
+  report.Add("read_4k", sfs_read);
+  report.Add("write_4k", sfs_write);
+  report.Add("fstat", sfs_stat);
+  report.EndConfig();
 
   std::printf("Table 3: monolithic direct-call baseline (MONOFS standing in "
               "for SunOS 4.1.3)\n");
@@ -83,5 +96,12 @@ int main() {
   std::printf("paper shape: the layered object-based system is a small "
               "multiple slower than the\nmonolithic direct-call baseline "
               "(2-7x in the paper) on cached operations\n");
+
+  std::string json_path = report.Write();
+  if (json_path.empty()) {
+    std::fprintf(stderr, "failed to write BENCH_table3.json\n");
+    return 1;
+  }
+  std::printf("per-layer breakdown written to %s\n", json_path.c_str());
   return 0;
 }

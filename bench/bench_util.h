@@ -12,11 +12,27 @@
 #include <chrono>
 #include <cmath>
 #include <cstdio>
+#include <cstdlib>
 #include <functional>
 #include <string>
+#include <utility>
 #include <vector>
 
+#include "src/obs/metrics.h"
+
 namespace springfs::bench {
+
+// CI smoke mode: SPRINGFS_BENCH_QUICK=1 shrinks iteration counts ~100x so
+// the bench binaries finish in seconds while still exercising every code
+// path and emitting the same BENCH_*.json shape.
+inline bool QuickMode() {
+  const char* env = std::getenv("SPRINGFS_BENCH_QUICK");
+  return env != nullptr && env[0] != '\0' && env[0] != '0';
+}
+
+inline uint64_t ScaledIters(uint64_t iterations) {
+  return QuickMode() ? iterations / 100 + 1 : iterations;
+}
 
 struct Measurement {
   double mean_us = 0;       // mean per-operation cost
@@ -74,6 +90,94 @@ inline void PrintRule(int width = 86) {
   }
   std::putchar('\n');
 }
+
+// Machine-readable companion to the printed tables. Each bench groups its
+// measurements into named configurations ("cached/sfs one domain", ...);
+// BeginConfig resets the global metrics registry so the snapshot taken at
+// EndConfig attributes counters, per-layer latency histograms, and
+// cross-domain call counts to exactly that configuration's operations.
+class BenchReport {
+ public:
+  explicit BenchReport(std::string table) : table_(std::move(table)) {}
+
+  void BeginConfig(const std::string& name) {
+    metrics::Registry::Global().Reset();
+    configs_.push_back(Config{name, {}, {}});
+  }
+
+  void Add(const std::string& op, const Measurement& m) {
+    configs_.back().measurements.emplace_back(op, m);
+  }
+
+  void EndConfig() {
+    configs_.back().metrics = metrics::Registry::Global().Collect();
+  }
+
+  // Writes BENCH_<table>.json in the working directory; returns the path
+  // (empty string on I/O failure).
+  std::string Write() const {
+    std::string path = "BENCH_" + table_ + ".json";
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    if (f == nullptr) {
+      return "";
+    }
+    std::string json = ToJson();
+    size_t written = std::fwrite(json.data(), 1, json.size(), f);
+    std::fclose(f);
+    return written == json.size() ? path : "";
+  }
+
+  std::string ToJson() const {
+    std::string out = "{\n  \"table\": \"" + Escape(table_) + "\",\n";
+    out += std::string("  \"quick\": ") + (QuickMode() ? "true" : "false") +
+           ",\n  \"configs\": [";
+    bool first_config = true;
+    for (const Config& config : configs_) {
+      out += first_config ? "\n" : ",\n";
+      first_config = false;
+      out += "    {\"name\": \"" + Escape(config.name) +
+             "\", \"measurements\": {";
+      bool first_m = true;
+      for (const auto& [op, m] : config.measurements) {
+        if (!first_m) {
+          out += ", ";
+        }
+        first_m = false;
+        char buf[128];
+        std::snprintf(buf, sizeof(buf),
+                      "{\"mean_us\": %.4f, \"max_dev_pct\": %.2f, "
+                      "\"iterations\": %llu}",
+                      m.mean_us, m.max_dev_pct,
+                      static_cast<unsigned long long>(m.iterations));
+        out += "\"" + Escape(op) + "\": " + buf;
+      }
+      out += "},\n     \"metrics\": " + metrics::ToJson(config.metrics) + "}";
+    }
+    out += "\n  ]\n}\n";
+    return out;
+  }
+
+ private:
+  struct Config {
+    std::string name;
+    std::vector<std::pair<std::string, Measurement>> measurements;
+    metrics::Registry::Snapshot metrics;
+  };
+
+  static std::string Escape(const std::string& s) {
+    std::string out;
+    for (char c : s) {
+      if (c == '"' || c == '\\') {
+        out += '\\';
+      }
+      out += c;
+    }
+    return out;
+  }
+
+  std::string table_;
+  std::vector<Config> configs_;
+};
 
 }  // namespace springfs::bench
 

@@ -2,15 +2,9 @@
 
 #include <algorithm>
 
+#include "src/obs/trace.h"
+
 namespace springfs {
-namespace {
-
-Offset SaturatingEnd(Offset offset, Offset size) {
-  Offset end = offset + size;
-  return end < offset ? ~Offset{0} : end;
-}
-
-}  // namespace
 
 void CoherencyEngine::AddCache(uint64_t cache_id, sp<CacheObject> cache) {
   caches_[cache_id] = std::move(cache);
@@ -44,11 +38,12 @@ std::vector<sp<CacheObject>> CoherencyEngine::Caches() const {
 }
 
 Result<std::vector<BlockData>> CoherencyEngine::Acquire(uint64_t requester,
-                                                        Offset offset,
-                                                        Offset size,
+                                                        Range range,
                                                         AccessRights access) {
-  Offset begin = PageFloor(offset);
-  Offset end = SaturatingEnd(offset, size);
+  trace::ScopedSpan span("coh.acquire");
+  Range pages = range.PageExpanded();
+  Offset begin = pages.offset;
+  Offset end = pages.end();
 
   // Pass 1: which other caches conflict anywhere in the range?
   //   read access  -> a foreign writer must be demoted (deny_writes)
@@ -82,8 +77,9 @@ Result<std::vector<BlockData>> CoherencyEngine::Acquire(uint64_t requester,
       continue;
     }
     ++stats_.deny_write_calls;
+    trace::ScopedSpan callback("coh.deny_writes");
     ASSIGN_OR_RETURN(std::vector<BlockData> dirty,
-                     cache_it->second->DenyWrites(begin, end - begin));
+                     cache_it->second->DenyWrites(pages));
     stats_.blocks_recovered += dirty.size();
     for (auto& block : dirty) {
       recovered.push_back(std::move(block));
@@ -95,8 +91,9 @@ Result<std::vector<BlockData>> CoherencyEngine::Acquire(uint64_t requester,
       continue;
     }
     ++stats_.flush_back_calls;
+    trace::ScopedSpan callback("coh.flush_back");
     ASSIGN_OR_RETURN(std::vector<BlockData> dirty,
-                     cache_it->second->FlushBack(begin, end - begin));
+                     cache_it->second->FlushBack(pages));
     stats_.blocks_recovered += dirty.size();
     for (auto& block : dirty) {
       recovered.push_back(std::move(block));
@@ -144,10 +141,10 @@ Result<std::vector<BlockData>> CoherencyEngine::Acquire(uint64_t requester,
   return recovered;
 }
 
-void CoherencyEngine::ReleaseDropped(uint64_t holder, Offset offset,
-                                     Offset size) {
-  Offset begin = PageFloor(offset);
-  Offset end = SaturatingEnd(offset, size);
+void CoherencyEngine::ReleaseDropped(uint64_t holder, Range range) {
+  Range pages = range.PageExpanded();
+  Offset begin = pages.offset;
+  Offset end = pages.end();
   for (auto it = blocks_.lower_bound(begin);
        it != blocks_.end() && it->first < end;) {
     BlockState& state = it->second;
@@ -159,10 +156,10 @@ void CoherencyEngine::ReleaseDropped(uint64_t holder, Offset offset,
   }
 }
 
-void CoherencyEngine::ReleaseDowngraded(uint64_t holder, Offset offset,
-                                        Offset size) {
-  Offset begin = PageFloor(offset);
-  Offset end = SaturatingEnd(offset, size);
+void CoherencyEngine::ReleaseDowngraded(uint64_t holder, Range range) {
+  Range pages = range.PageExpanded();
+  Offset begin = pages.offset;
+  Offset end = pages.end();
   for (auto it = blocks_.lower_bound(begin);
        it != blocks_.end() && it->first < end; ++it) {
     BlockState& state = it->second;

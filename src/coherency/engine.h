@@ -45,21 +45,20 @@ class CoherencyEngine {
   // delete_range / zero_fill).
   std::vector<sp<CacheObject>> Caches() const;
 
-  // Grants `requester` the given access to [offset, offset+size),
-  // performing deny_writes/flush_back callbacks on conflicting caches.
-  // Returns the dirty blocks recovered from those caches — the most recent
-  // content, which the pager must fold into its own store before serving
-  // data. `requester` may be 0 for an anonymous reader (e.g. the pager
-  // itself serving a direct read): it forces demotion but registers no
-  // holder.
-  Result<std::vector<BlockData>> Acquire(uint64_t requester, Offset offset,
-                                         Offset size, AccessRights access);
+  // Grants `requester` the given access to `range`, performing
+  // deny_writes/flush_back callbacks on conflicting caches. Returns the
+  // dirty blocks recovered from those caches — the most recent content,
+  // which the pager must fold into its own store before serving data.
+  // `requester` may be 0 for an anonymous reader (e.g. the pager itself
+  // serving a direct read): it forces demotion but registers no holder.
+  Result<std::vector<BlockData>> Acquire(uint64_t requester, Range range,
+                                         AccessRights access);
 
   // State maintenance when holders act voluntarily:
   // page_out — the holder wrote back and dropped the range.
-  void ReleaseDropped(uint64_t holder, Offset offset, Offset size);
+  void ReleaseDropped(uint64_t holder, Range range);
   // write_out — the holder wrote back and keeps the range read-only.
-  void ReleaseDowngraded(uint64_t holder, Offset offset, Offset size);
+  void ReleaseDowngraded(uint64_t holder, Range range);
 
   // Invariant probes for tests.
   bool BlockHasWriter(Offset page_offset) const;

@@ -114,7 +114,7 @@ Result<size_t> MemFile::Read(Offset offset, MutableByteSpan out) {
   return InDomain([&]() -> Result<size_t> {
     std::lock_guard<std::mutex> lock(mutex_);
     ASSIGN_OR_RETURN(std::vector<BlockData> recovered,
-                     engine_.Acquire(0, offset, out.size(),
+                     engine_.Acquire(0, Range{offset, out.size()},
                                      AccessRights::kReadOnly));
     ApplyRecovered(recovered);
     attrs_.atime_ns = clock_->Now();
@@ -126,7 +126,7 @@ Result<size_t> MemFile::Write(Offset offset, ByteSpan data) {
   return InDomain([&]() -> Result<size_t> {
     std::lock_guard<std::mutex> lock(mutex_);
     ASSIGN_OR_RETURN(std::vector<BlockData> recovered,
-                     engine_.Acquire(0, offset, data.size(),
+                     engine_.Acquire(0, Range{offset, data.size()},
                                      AccessRights::kReadWrite));
     ApplyRecovered(recovered);
     store_.WriteAt(offset, data);
@@ -165,7 +165,7 @@ Result<Buffer> MemFile::PagerPageIn(uint64_t channel, Offset offset,
   Offset begin = PageFloor(offset);
   Offset end = PageCeil(offset + std::max<Offset>(size, 1));
   ASSIGN_OR_RETURN(std::vector<BlockData> recovered,
-                   engine_.Acquire(channel, begin, end - begin, access));
+                   engine_.Acquire(channel, Range::FromTo(begin, end), access));
   ApplyRecovered(recovered);
   Buffer out(end - begin);
   store_.ReadAt(begin, out.mutable_span());
@@ -181,9 +181,9 @@ Status MemFile::PagerWrite(uint64_t channel, Offset offset, ByteSpan data,
     store_.WriteAt(offset, data.subspan(0, count));
   }
   if (drops) {
-    engine_.ReleaseDropped(channel, offset, data.size());
+    engine_.ReleaseDropped(channel, Range{offset, data.size()});
   } else if (downgrades) {
-    engine_.ReleaseDowngraded(channel, offset, data.size());
+    engine_.ReleaseDowngraded(channel, Range{offset, data.size()});
   }
   attrs_.mtime_ns = clock_->Now();
   return Status::Ok();

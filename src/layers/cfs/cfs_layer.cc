@@ -30,17 +30,17 @@ class CfsCacheObject : public FsCacheObject, public Servant {
       : Servant(std::move(domain)), layer_(std::move(layer)),
         state_(std::move(state)) {}
 
-  Result<std::vector<BlockData>> FlushBack(Offset, Offset) override {
+  Result<std::vector<BlockData>> FlushBack(Range) override {
     return std::vector<BlockData>{};
   }
-  Result<std::vector<BlockData>> DenyWrites(Offset, Offset) override {
+  Result<std::vector<BlockData>> DenyWrites(Range) override {
     return std::vector<BlockData>{};
   }
-  Result<std::vector<BlockData>> WriteBack(Offset, Offset) override {
+  Result<std::vector<BlockData>> WriteBack(Range) override {
     return std::vector<BlockData>{};
   }
-  Status DeleteRange(Offset, Offset) override { return Status::Ok(); }
-  Status ZeroFill(Offset, Offset) override { return Status::Ok(); }
+  Status DeleteRange(Range) override { return Status::Ok(); }
+  Status ZeroFill(Range) override { return Status::Ok(); }
   Status Populate(Offset, AccessRights, ByteSpan) override {
     return Status::Ok();
   }
@@ -188,7 +188,11 @@ sp<CfsLayer> CfsLayer::Create(sp<Domain> domain, sp<Context> remote,
 CfsLayer::CfsLayer(sp<Domain> domain, sp<Context> remote, sp<Vmm> vmm,
                    Clock* clock)
     : Servant(std::move(domain)), remote_(std::move(remote)),
-      vmm_(std::move(vmm)), clock_(clock) {}
+      vmm_(std::move(vmm)), clock_(clock) {
+  metrics::Registry::Global().RegisterProvider(this);
+}
+
+CfsLayer::~CfsLayer() { metrics::Registry::Global().UnregisterProvider(this); }
 
 void CfsLayer::NoteAttrInvalidation() {
   std::lock_guard<std::mutex> lock(stats_mutex_);
@@ -373,6 +377,14 @@ Status CfsLayer::SyncFs() {
     RETURN_IF_ERROR(PushAttrs(*state));
   }
   return Status::Ok();
+}
+
+void CfsLayer::CollectStats(const metrics::StatsEmitter& emit) const {
+  CfsStats snapshot = stats();
+  emit("attr_cache_hits", snapshot.attr_cache_hits);
+  emit("attr_cache_misses", snapshot.attr_cache_misses);
+  emit("attr_invalidations", snapshot.attr_invalidations);
+  emit("files_interposed", snapshot.files_interposed);
 }
 
 CfsStats CfsLayer::stats() const {

@@ -26,10 +26,12 @@
 
 #include "src/fs/fs_objects.h"
 #include "src/naming/context.h"
+#include "src/obs/metrics.h"
 #include "src/vmm/vmm.h"
 
 namespace springfs {
 
+// Deprecated: read the metrics registry ("layer/cfs/..." keys) instead.
 struct CfsStats {
   uint64_t attr_cache_hits = 0;
   uint64_t attr_cache_misses = 0;
@@ -38,12 +40,13 @@ struct CfsStats {
 };
 
 class CfsLayer : public Context, public Fs, public CacheManager,
-                 public Servant {
+                 public Servant, public metrics::StatsProvider {
  public:
   // `remote` is the context whose files are interposed on (typically a
   // DfsClient mount); `vmm` is the local node's VMM used for data caching.
   static sp<CfsLayer> Create(sp<Domain> domain, sp<Context> remote,
                              sp<Vmm> vmm, Clock* clock = &DefaultClock());
+  ~CfsLayer() override;
 
   const char* interface_name() const override { return "cfs_layer"; }
 
@@ -66,6 +69,12 @@ class CfsLayer : public Context, public Fs, public CacheManager,
                                         sp<PagerObject> pager) override;
   std::string cache_manager_name() const override { return "cfs"; }
 
+  // --- StatsProvider ---
+  std::string stats_prefix() const override { return "layer/cfs"; }
+  void CollectStats(const metrics::StatsEmitter& emit) const override;
+
+  // Deprecated forwarder kept for one PR; equals the registry's
+  // "layer/cfs/..." values.
   CfsStats stats() const;
 
  private:

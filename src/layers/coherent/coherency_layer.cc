@@ -2,10 +2,31 @@
 
 #include <algorithm>
 
+#include "src/obs/trace.h"
 #include "src/support/logging.h"
 
 namespace springfs {
 namespace {
+
+metrics::OpMetric& PageInMetric() {
+  static metrics::OpMetric metric("layer/coherent/page_in");
+  return metric;
+}
+
+metrics::OpMetric& PageWriteMetric() {
+  static metrics::OpMetric metric("layer/coherent/page_write");
+  return metric;
+}
+
+metrics::OpMetric& ReadMetric() {
+  static metrics::OpMetric metric("layer/coherent/read");
+  return metric;
+}
+
+metrics::OpMetric& WriteMetric() {
+  static metrics::OpMetric metric("layer/coherent/write");
+  return metric;
+}
 
 // Rights object the coherency layer (as a cache manager) hands to the layer
 // below during the bind exchange.
@@ -31,22 +52,19 @@ class CoherencyLowerCacheObject : public FsCacheObject, public Servant {
       : Servant(std::move(domain)), layer_(std::move(layer)),
         state_(std::move(state)) {}
 
-  Result<std::vector<BlockData>> FlushBack(Offset offset,
-                                           Offset size) override {
-    return InDomain([&] { return layer_->LowerFlushBack(*state_, offset, size); });
+  Result<std::vector<BlockData>> FlushBack(Range range) override {
+    return InDomain([&] { return layer_->LowerFlushBack(*state_, range); });
   }
-  Result<std::vector<BlockData>> DenyWrites(Offset offset,
-                                            Offset size) override {
-    return InDomain([&] { return layer_->LowerDenyWrites(*state_, offset, size); });
+  Result<std::vector<BlockData>> DenyWrites(Range range) override {
+    return InDomain([&] { return layer_->LowerDenyWrites(*state_, range); });
   }
-  Result<std::vector<BlockData>> WriteBack(Offset offset,
-                                           Offset size) override {
+  Result<std::vector<BlockData>> WriteBack(Range range) override {
     return InDomain([&]() -> Result<std::vector<BlockData>> {
       std::lock_guard<std::mutex> lock(state_->mutex);
       std::vector<BlockData> modified;
-      Offset end = offset + size < offset ? ~Offset{0} : offset + size;
+      Offset end = range.end();
       for (auto& [off, block] : state_->blocks) {
-        if (off >= offset && off < end && block.dirty) {
+        if (off >= range.offset && off < end && block.dirty) {
           modified.push_back(BlockData{off, block.data});
           block.dirty = false;
         }
@@ -54,29 +72,29 @@ class CoherencyLowerCacheObject : public FsCacheObject, public Servant {
       return modified;
     });
   }
-  Status DeleteRange(Offset offset, Offset size) override {
+  Status DeleteRange(Range range) override {
     return InDomain([&]() -> Status {
       std::lock_guard<std::mutex> lock(state_->mutex);
-      Offset end = offset + size < offset ? ~Offset{0} : offset + size;
+      Offset end = range.end();
       for (const sp<CacheObject>& cache : state_->engine.Caches()) {
-        RETURN_IF_ERROR(cache->DeleteRange(offset, size));
+        RETURN_IF_ERROR(cache->DeleteRange(range));
       }
-      auto it = state_->blocks.lower_bound(PageFloor(offset));
+      auto it = state_->blocks.lower_bound(PageFloor(range.offset));
       while (it != state_->blocks.end() && it->first < end) {
         it = state_->blocks.erase(it);
       }
       return Status::Ok();
     });
   }
-  Status ZeroFill(Offset offset, Offset size) override {
+  Status ZeroFill(Range range) override {
     return InDomain([&]() -> Status {
       std::lock_guard<std::mutex> lock(state_->mutex);
-      Offset end = offset + size < offset ? ~Offset{0} : offset + size;
+      Offset end = range.end();
       for (const sp<CacheObject>& cache : state_->engine.Caches()) {
-        RETURN_IF_ERROR(cache->ZeroFill(offset, size));
+        RETURN_IF_ERROR(cache->ZeroFill(range));
       }
       for (auto& [off, block] : state_->blocks) {
-        if (off >= offset && off < end) {
+        if (off >= range.offset && off < end) {
           std::memset(block.data.data(), 0, block.data.size());
           block.dirty = false;
         }
@@ -258,7 +276,7 @@ class CoherentFile : public File, public Servant {
         // Truncation: discard data beyond EOF everywhere.
         Offset from = PageCeil(length);
         for (const sp<CacheObject>& cache : state_->engine.Caches()) {
-          RETURN_IF_ERROR(cache->DeleteRange(from, ~Offset{0} - from));
+          RETURN_IF_ERROR(cache->DeleteRange(Range{from, ~Offset{0} - from}));
         }
         auto it = state_->blocks.lower_bound(from);
         while (it != state_->blocks.end()) {
@@ -278,7 +296,8 @@ class CoherentFile : public File, public Servant {
             block_it->second.rights = AccessRights::kReadWrite;
           }
           for (const sp<CacheObject>& cache : state_->engine.Caches()) {
-            RETURN_IF_ERROR(cache->ZeroFill(length, kPageSize - length % kPageSize));
+            RETURN_IF_ERROR(
+                cache->ZeroFill(Range{length, kPageSize - length % kPageSize}));
           }
         }
       }
@@ -289,10 +308,11 @@ class CoherentFile : public File, public Servant {
   // --- File ---
   Result<size_t> Read(Offset offset, MutableByteSpan out) override {
     return InDomain([&]() -> Result<size_t> {
+      metrics::TimedOp timed(ReadMetric(), "coh.read");
       RETURN_IF_ERROR(layer_->EnsureBoundBelow(state_));
       std::lock_guard<std::mutex> lock(state_->mutex);
       ASSIGN_OR_RETURN(std::vector<BlockData> recovered,
-                       state_->engine.Acquire(0, offset, out.size(),
+                       state_->engine.Acquire(0, Range{offset, out.size()},
                                               AccessRights::kReadOnly));
       RETURN_IF_ERROR(layer_->FoldRecoveredLocked(*state_, recovered));
       if (!layer_->options_.cache_data) {
@@ -324,10 +344,11 @@ class CoherentFile : public File, public Servant {
 
   Result<size_t> Write(Offset offset, ByteSpan data) override {
     return InDomain([&]() -> Result<size_t> {
+      metrics::TimedOp timed(WriteMetric(), "coh.write");
       RETURN_IF_ERROR(layer_->EnsureBoundBelow(state_));
       std::lock_guard<std::mutex> lock(state_->mutex);
       ASSIGN_OR_RETURN(std::vector<BlockData> recovered,
-                       state_->engine.Acquire(0, offset, data.size(),
+                       state_->engine.Acquire(0, Range{offset, data.size()},
                                               AccessRights::kReadWrite));
       RETURN_IF_ERROR(layer_->FoldRecoveredLocked(*state_, recovered));
       if (!layer_->options_.cache_data) {
@@ -451,7 +472,23 @@ sp<CoherencyLayer> CoherencyLayer::Create(sp<Domain> domain,
 
 CoherencyLayer::CoherencyLayer(sp<Domain> domain,
                                CoherencyLayerOptions options, Clock* clock)
-    : Servant(std::move(domain)), options_(options), clock_(clock) {}
+    : Servant(std::move(domain)), options_(options), clock_(clock) {
+  metrics::Registry::Global().RegisterProvider(this);
+}
+
+CoherencyLayer::~CoherencyLayer() {
+  metrics::Registry::Global().UnregisterProvider(this);
+}
+
+void CoherencyLayer::CollectStats(const metrics::StatsEmitter& emit) const {
+  std::lock_guard<std::mutex> lock(stats_mutex_);
+  emit("data_cache_hits", stats_.data_cache_hits);
+  emit("data_cache_misses", stats_.data_cache_misses);
+  emit("attr_cache_hits", stats_.attr_cache_hits);
+  emit("attr_cache_misses", stats_.attr_cache_misses);
+  emit("lower_page_ins", stats_.lower_page_ins);
+  emit("lower_page_outs", stats_.lower_page_outs);
+}
 
 Status CoherencyLayer::StackOn(sp<StackableFs> underlying) {
   return InDomain([&]() -> Status {
@@ -600,6 +637,7 @@ Result<Buffer> CoherencyLayer::FetchFromBelow(FileState& state, Offset begin,
     std::lock_guard<std::mutex> lock(stats_mutex_);
     ++stats_.lower_page_ins;
   }
+  trace::ScopedSpan span("coh.lower_page_in");
   ASSIGN_OR_RETURN(Buffer raw, state.lower_pager->PageIn(begin, len, access));
   if (raw.size() < len) {
     raw.resize(len);
@@ -636,6 +674,7 @@ Status CoherencyLayer::PushToBelow(FileState& state, Offset offset,
     std::lock_guard<std::mutex> lock(stats_mutex_);
     ++stats_.lower_page_outs;
   }
+  trace::ScopedSpan span("coh.lower_page_out");
   return state.lower_pager->Sync(offset, encoded.span());
 }
 
@@ -732,6 +771,7 @@ Status CoherencyLayer::FoldRecoveredLocked(
 Result<Buffer> CoherencyLayer::ClientPageIn(FileState& state, uint64_t channel,
                                             Offset offset, Offset size,
                                             AccessRights access) {
+  metrics::TimedOp timed(PageInMetric(), "coh.page_in");
   std::lock_guard<std::mutex> lock(state.mutex);
   Offset begin = PageFloor(offset);
   Offset end = PageCeil(offset + std::max<Offset>(size, 1));
@@ -747,7 +787,8 @@ Result<Buffer> CoherencyLayer::ClientPageIn(FileState& state, uint64_t channel,
     }
   }
   ASSIGN_OR_RETURN(std::vector<BlockData> recovered,
-                   state.engine.Acquire(channel, begin, end - begin, access));
+                   state.engine.Acquire(channel, Range::FromTo(begin, end),
+                                        access));
   RETURN_IF_ERROR(FoldRecoveredLocked(state, recovered));
   if (!options_.cache_data) {
     // Pass-through: fetch from below without retaining.
@@ -766,6 +807,7 @@ Status CoherencyLayer::ClientPageWrite(FileState& state, uint64_t channel,
                                        Offset offset, ByteSpan data,
                                        bool drops, bool downgrades,
                                        bool push_below) {
+  metrics::TimedOp timed(PageWriteMetric(), "coh.page_write");
   std::lock_guard<std::mutex> lock(state.mutex);
   if (offset % kPageSize != 0 || data.size() % kPageSize != 0) {
     return ErrInvalidArgument("page write must be page-aligned");
@@ -792,9 +834,9 @@ Status CoherencyLayer::ClientPageWrite(FileState& state, uint64_t channel,
     RETURN_IF_ERROR(PushToBelow(state, offset, data));
   }
   if (drops) {
-    state.engine.ReleaseDropped(channel, offset, data.size());
+    state.engine.ReleaseDropped(channel, Range{offset, data.size()});
   } else if (downgrades) {
-    state.engine.ReleaseDowngraded(channel, offset, data.size());
+    state.engine.ReleaseDowngraded(channel, Range{offset, data.size()});
   }
   return Status::Ok();
 }
@@ -840,16 +882,15 @@ Status CoherencyLayer::ClientWriteAttributes(FileState& state,
 }
 
 Result<std::vector<BlockData>> CoherencyLayer::LowerFlushBack(FileState& state,
-                                                              Offset offset,
-                                                              Offset size) {
+                                                              Range range) {
+  trace::ScopedSpan span("coh.lower_flush_back");
   std::lock_guard<std::mutex> lock(state.mutex);
   // Our clients' caches depend on ours: flush them first. Recovered data is
   // returned to the caller (the layer below) via the return value — never
   // by calling back down, which could re-enter the caller mid-callback.
   ASSIGN_OR_RETURN(std::vector<BlockData> recovered,
-                   state.engine.Acquire(0, offset, size,
-                                        AccessRights::kReadWrite));
-  Offset end = offset + size < offset ? ~Offset{0} : offset + size;
+                   state.engine.Acquire(0, range, AccessRights::kReadWrite));
+  Offset end = range.end();
   std::vector<BlockData> modified = std::move(recovered);
   if (options_.cache_data) {
     // Fold first so a block dirty both here and at a client surfaces once,
@@ -857,7 +898,7 @@ Result<std::vector<BlockData>> CoherencyLayer::LowerFlushBack(FileState& state,
     for (BlockData& block : modified) {
       state.blocks.erase(block.offset);
     }
-    auto it = state.blocks.lower_bound(PageFloor(offset));
+    auto it = state.blocks.lower_bound(PageFloor(range.offset));
     while (it != state.blocks.end() && it->first < end) {
       if (it->second.dirty) {
         modified.push_back(BlockData{it->first, std::move(it->second.data)});
@@ -869,12 +910,12 @@ Result<std::vector<BlockData>> CoherencyLayer::LowerFlushBack(FileState& state,
 }
 
 Result<std::vector<BlockData>> CoherencyLayer::LowerDenyWrites(
-    FileState& state, Offset offset, Offset size) {
+    FileState& state, Range range) {
+  trace::ScopedSpan span("coh.lower_deny_writes");
   std::lock_guard<std::mutex> lock(state.mutex);
   ASSIGN_OR_RETURN(std::vector<BlockData> recovered,
-                   state.engine.Acquire(0, offset, size,
-                                        AccessRights::kReadOnly));
-  Offset end = offset + size < offset ? ~Offset{0} : offset + size;
+                   state.engine.Acquire(0, range, AccessRights::kReadOnly));
+  Offset end = range.end();
   std::vector<BlockData> modified;
   if (options_.cache_data) {
     // Keep the recovered client data in our cache (now read-only below) and
@@ -888,7 +929,7 @@ Result<std::vector<BlockData>> CoherencyLayer::LowerDenyWrites(
       state.blocks.insert_or_assign(block.offset, std::move(cached));
       modified.push_back(block);
     }
-    for (auto it = state.blocks.lower_bound(PageFloor(offset));
+    for (auto it = state.blocks.lower_bound(PageFloor(range.offset));
          it != state.blocks.end() && it->first < end; ++it) {
       if (it->second.dirty) {
         modified.push_back(BlockData{it->first, it->second.data});
@@ -916,7 +957,7 @@ Status CoherencyLayer::BroadcastAttrInvalidate(FileState& state,
 Status CoherencyLayer::SyncFileState(FileState& state) {
   // Demote client writers so their latest data lands in our cache first.
   ASSIGN_OR_RETURN(std::vector<BlockData> recovered,
-                   state.engine.Acquire(0, 0, ~Offset{0},
+                   state.engine.Acquire(0, Range::All(),
                                         AccessRights::kReadOnly));
   RETURN_IF_ERROR(FoldRecoveredLocked(state, recovered));
   if (!state.bound_below) {

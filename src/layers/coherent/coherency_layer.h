@@ -33,6 +33,7 @@
 #include "src/fs/channel_table.h"
 #include "src/fs/file.h"
 #include "src/obj/domain.h"
+#include "src/obs/metrics.h"
 #include "src/support/clock.h"
 
 namespace springfs {
@@ -48,6 +49,8 @@ struct CoherencyLayerOptions {
   uint32_t read_ahead_pages = 0;
 };
 
+// Deprecated: read the metrics registry ("layer/<type_name>/..." keys)
+// instead.
 struct CoherencyLayerStats {
   uint64_t data_cache_hits = 0;
   uint64_t data_cache_misses = 0;
@@ -59,11 +62,13 @@ struct CoherencyLayerStats {
 
 class CoherencyLayer : public StackableFs,
                        public CacheManager,
-                       public Servant {
+                       public Servant,
+                       public metrics::StatsProvider {
  public:
   static sp<CoherencyLayer> Create(sp<Domain> domain,
                                    CoherencyLayerOptions options = {},
                                    Clock* clock = &DefaultClock());
+  ~CoherencyLayer() override;
 
   const char* interface_name() const override { return "coherency_layer"; }
 
@@ -91,6 +96,12 @@ class CoherencyLayer : public StackableFs,
                                         sp<PagerObject> pager) override;
   std::string cache_manager_name() const override { return "coherency-layer"; }
 
+  // --- StatsProvider ---
+  std::string stats_prefix() const override { return "layer/" + type_name(); }
+  void CollectStats(const metrics::StatsEmitter& emit) const override;
+
+  // Deprecated forwarder kept for one PR; equals the registry's
+  // "layer/<type_name>/..." values.
   CoherencyLayerStats stats() const;
   void ResetStats();
 
@@ -185,10 +196,8 @@ class CoherencyLayer : public StackableFs,
                                const AttrUpdate& update);
 
   // Lower-cache-object entry points (callbacks from the layer below).
-  Result<std::vector<BlockData>> LowerFlushBack(FileState& state,
-                                                Offset offset, Offset size);
-  Result<std::vector<BlockData>> LowerDenyWrites(FileState& state,
-                                                 Offset offset, Offset size);
+  Result<std::vector<BlockData>> LowerFlushBack(FileState& state, Range range);
+  Result<std::vector<BlockData>> LowerDenyWrites(FileState& state, Range range);
 
   // Pushes a file's dirty blocks and attributes to the layer below.
   Status SyncFileState(FileState& state);

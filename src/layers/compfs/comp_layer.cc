@@ -65,25 +65,25 @@ class CompLowerCacheObject : public CacheObject, public Servant {
       : Servant(std::move(domain)), layer_(std::move(layer)),
         state_(std::move(state)) {}
 
-  Result<std::vector<BlockData>> FlushBack(Offset, Offset) override {
+  Result<std::vector<BlockData>> FlushBack(Range) override {
     return InDomain([&]() -> Result<std::vector<BlockData>> {
       RETURN_IF_ERROR(layer_->LowerInvalidate(*state_));
       return std::vector<BlockData>{};
     });
   }
-  Result<std::vector<BlockData>> DenyWrites(Offset, Offset) override {
+  Result<std::vector<BlockData>> DenyWrites(Range) override {
     return InDomain([&]() -> Result<std::vector<BlockData>> {
       RETURN_IF_ERROR(layer_->LowerInvalidate(*state_));
       return std::vector<BlockData>{};
     });
   }
-  Result<std::vector<BlockData>> WriteBack(Offset, Offset) override {
+  Result<std::vector<BlockData>> WriteBack(Range) override {
     return std::vector<BlockData>{};
   }
-  Status DeleteRange(Offset, Offset) override {
+  Status DeleteRange(Range) override {
     return InDomain([&] { return layer_->LowerInvalidate(*state_); });
   }
-  Status ZeroFill(Offset, Offset) override {
+  Status ZeroFill(Range) override {
     return InDomain([&] { return layer_->LowerInvalidate(*state_); });
   }
   Status Populate(Offset, AccessRights, ByteSpan) override {
@@ -240,7 +240,7 @@ class CompFile : public File, public Servant {
         }
         Offset from = PageCeil(length);
         for (const sp<CacheObject>& cache : state_->engine.Caches()) {
-          RETURN_IF_ERROR(cache->DeleteRange(from, ~Offset{0} - from));
+          RETURN_IF_ERROR(cache->DeleteRange(Range{from, ~Offset{0} - from}));
         }
         auto it = state_->cache.lower_bound(from);
         while (it != state_->cache.end()) {
@@ -257,7 +257,7 @@ class CompFile : public File, public Servant {
           }
           for (const sp<CacheObject>& cache : state_->engine.Caches()) {
             RETURN_IF_ERROR(
-                cache->ZeroFill(length, kPageSize - length % kPageSize));
+                cache->ZeroFill(Range{length, kPageSize - length % kPageSize}));
           }
         }
       }
@@ -270,7 +270,7 @@ class CompFile : public File, public Servant {
       std::lock_guard<std::mutex> lock(state_->mutex);
       RETURN_IF_ERROR(layer_->LoadMeta(*state_));
       ASSIGN_OR_RETURN(std::vector<BlockData> recovered,
-                       state_->engine.Acquire(0, offset, out.size(),
+                       state_->engine.Acquire(0, Range{offset, out.size()},
                                               AccessRights::kReadOnly));
       for (const BlockData& block : recovered) {
         Buffer page = block.data;
@@ -305,7 +305,7 @@ class CompFile : public File, public Servant {
       std::lock_guard<std::mutex> lock(state_->mutex);
       RETURN_IF_ERROR(layer_->LoadMeta(*state_));
       ASSIGN_OR_RETURN(std::vector<BlockData> recovered,
-                       state_->engine.Acquire(0, offset, data.size(),
+                       state_->engine.Acquire(0, Range{offset, data.size()},
                                               AccessRights::kReadWrite));
       for (const BlockData& block : recovered) {
         Buffer page = block.data;
@@ -368,7 +368,7 @@ class CompFile : public File, public Servant {
         std::lock_guard<std::mutex> lock(state_->mutex);
         // Recall the freshest data from client writers first.
         ASSIGN_OR_RETURN(std::vector<BlockData> recovered,
-                         state_->engine.Acquire(0, 0, ~Offset{0},
+                         state_->engine.Acquire(0, Range::All(),
                                                 AccessRights::kReadOnly));
         for (const BlockData& block : recovered) {
           Buffer page = block.data;
@@ -464,6 +464,11 @@ CompLayer::CompLayer(sp<Domain> domain, CompLayerOptions options, Clock* clock)
     : Servant(std::move(domain)), options_(std::move(options)),
       codec_(CodecByName(options_.codec)), clock_(clock) {
   SPRINGFS_CHECK(codec_ != nullptr);
+  metrics::Registry::Global().RegisterProvider(this);
+}
+
+CompLayer::~CompLayer() {
+  metrics::Registry::Global().UnregisterProvider(this);
 }
 
 bool CompLayer::IsMetaName(const std::string& component) {
@@ -1029,7 +1034,8 @@ Result<Buffer> CompLayer::ClientPageIn(FileState& state, uint64_t channel,
   Offset begin = PageFloor(offset);
   Offset end = PageCeil(offset + std::max<Offset>(size, 1));
   ASSIGN_OR_RETURN(std::vector<BlockData> recovered,
-                   state.engine.Acquire(channel, begin, end - begin, access));
+                   state.engine.Acquire(channel, Range::FromTo(begin, end),
+                                        access));
   for (const BlockData& block : recovered) {
     Buffer page = block.data;
     page.resize(kPageSize);
@@ -1068,13 +1074,24 @@ Status CompLayer::ClientPageWrite(FileState& state, uint64_t channel,
     RETURN_IF_ERROR(StoreMeta(state));
   }
   if (drops) {
-    state.engine.ReleaseDropped(channel, offset, data.size());
+    state.engine.ReleaseDropped(channel, Range{offset, data.size()});
   } else if (downgrades) {
-    state.engine.ReleaseDowngraded(channel, offset, data.size());
+    state.engine.ReleaseDowngraded(channel, Range{offset, data.size()});
   }
   state.mtime_ns = clock_->Now();
   state.meta_dirty = true;
   return Status::Ok();
+}
+
+void CompLayer::CollectStats(const metrics::StatsEmitter& emit) const {
+  CompLayerStats snapshot = stats();
+  emit("blocks_compressed", snapshot.blocks_compressed);
+  emit("blocks_decompressed", snapshot.blocks_decompressed);
+  emit("blocks_stored_raw", snapshot.blocks_stored_raw);
+  emit("bytes_logical", snapshot.bytes_logical);
+  emit("bytes_stored", snapshot.bytes_stored);
+  emit("compactions", snapshot.compactions);
+  emit("lower_invalidations", snapshot.lower_invalidations);
 }
 
 CompLayerStats CompLayer::stats() const {

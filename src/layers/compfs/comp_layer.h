@@ -40,6 +40,7 @@
 #include "src/fs/channel_table.h"
 #include "src/fs/file.h"
 #include "src/obj/domain.h"
+#include "src/obs/metrics.h"
 #include "src/support/clock.h"
 
 namespace springfs {
@@ -54,6 +55,7 @@ struct CompLayerOptions {
   double compact_waste_factor = 2.0;
 };
 
+// Deprecated: read the metrics registry ("layer/compfs/..." keys) instead.
 struct CompLayerStats {
   uint64_t blocks_compressed = 0;
   uint64_t blocks_decompressed = 0;
@@ -64,10 +66,14 @@ struct CompLayerStats {
   uint64_t lower_invalidations = 0;  // coherency callbacks from below
 };
 
-class CompLayer : public StackableFs, public CacheManager, public Servant {
+class CompLayer : public StackableFs,
+                  public CacheManager,
+                  public Servant,
+                  public metrics::StatsProvider {
  public:
   static sp<CompLayer> Create(sp<Domain> domain, CompLayerOptions options = {},
                               Clock* clock = &DefaultClock());
+  ~CompLayer() override;
 
   const char* interface_name() const override { return "comp_layer"; }
 
@@ -99,6 +105,12 @@ class CompLayer : public StackableFs, public CacheManager, public Servant {
   // reclaimed.
   Result<uint64_t> Compact(const Name& name, const Credentials& creds);
 
+  // --- StatsProvider ---
+  std::string stats_prefix() const override { return "layer/compfs"; }
+  void CollectStats(const metrics::StatsEmitter& emit) const override;
+
+  // Deprecated forwarders kept for one PR; equal the registry's
+  // "layer/compfs/..." values.
   CompLayerStats stats() const;
   void ResetStats();
 

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <atomic>
 
+#include "src/obs/trace.h"
 #include "src/support/logging.h"
 
 namespace springfs::dfs {
@@ -35,6 +36,7 @@ class RemotePagerObject : public FsPagerObject, public Servant {
   Result<Buffer> PageIn(Offset offset, Offset size,
                         AccessRights access) override {
     return InDomain([&]() -> Result<Buffer> {
+      trace::ScopedSpan span("dfs.page_in");
       ASSIGN_OR_RETURN(uint64_t cache_id,
                        client_->ServerCacheIdFor(local_channel_));
       net::Frame request;
@@ -98,6 +100,7 @@ class RemotePagerObject : public FsPagerObject, public Servant {
  private:
   Status PageWrite(Op op, Offset offset, ByteSpan data) {
     return InDomain([&]() -> Status {
+      trace::ScopedSpan span("dfs.page_out");
       ASSIGN_OR_RETURN(uint64_t cache_id,
                        client_->ServerCacheIdFor(local_channel_));
       net::Frame request;
@@ -275,11 +278,17 @@ DfsClient::DfsClient(const sp<net::Node>& node, net::Network* network,
     : Servant(node->domain()), node_(node), network_(network),
       server_node_(std::move(server_node)), service_(std::move(service)),
       callback_service_(std::move(callback_service)), clock_(clock),
-      options_(options) {}
+      options_(options) {
+  metrics::Registry::Global().RegisterProvider(this);
+}
 
-DfsClient::~DfsClient() { node_->UnregisterService(callback_service_); }
+DfsClient::~DfsClient() {
+  metrics::Registry::Global().UnregisterProvider(this);
+  node_->UnregisterService(callback_service_);
+}
 
 Result<net::Frame> DfsClient::Call(Op op, const net::Frame& request) {
+  trace::ScopedSpan span("dfs.call");
   net::Frame typed = request;
   typed.type = static_cast<uint32_t>(op);
   uint32_t attempt = 0;
@@ -329,6 +338,7 @@ Result<net::Frame> DfsClient::CallPath(Op op, const std::string& path) {
 }
 
 net::Frame DfsClient::HandleCallback(const net::Frame& request) {
+  trace::ScopedSpan span("dfs.client_callback");
   {
     std::lock_guard<std::mutex> lock(stats_mutex_);
     ++stats_.callbacks_received;
@@ -343,7 +353,7 @@ net::Frame DfsClient::HandleCallback(const net::Frame& request) {
   switch (op) {
     case Op::kCbFlushBack: {
       Result<std::vector<BlockData>> dirty =
-          channel->cache->FlushBack(request.arg1, request.arg2);
+          channel->cache->FlushBack(Range{request.arg1, request.arg2});
       if (!dirty.ok()) {
         return net::Frame::Error(dirty.status().code());
       }
@@ -353,7 +363,7 @@ net::Frame DfsClient::HandleCallback(const net::Frame& request) {
     }
     case Op::kCbDenyWrites: {
       Result<std::vector<BlockData>> dirty =
-          channel->cache->DenyWrites(request.arg1, request.arg2);
+          channel->cache->DenyWrites(Range{request.arg1, request.arg2});
       if (!dirty.ok()) {
         return net::Frame::Error(dirty.status().code());
       }
@@ -588,6 +598,15 @@ Status DfsClient::SyncFs() {
     RETURN_IF_ERROR(file->SyncFile());
   }
   return Status::Ok();
+}
+
+void DfsClient::CollectStats(const metrics::StatsEmitter& emit) const {
+  std::lock_guard<std::mutex> lock(stats_mutex_);
+  emit("calls_sent", stats_.calls_sent);
+  emit("callbacks_received", stats_.callbacks_received);
+  emit("retries", stats_.retries);
+  emit("retry_successes", stats_.retry_successes);
+  emit("retries_exhausted", stats_.retries_exhausted);
 }
 
 DfsClientStats DfsClient::stats() const {

@@ -16,6 +16,7 @@
 
 #include "src/fs/channel_table.h"
 #include "src/layers/dfs/protocol.h"
+#include "src/obs/metrics.h"
 
 namespace springfs::dfs {
 
@@ -30,6 +31,8 @@ struct DfsClientOptions {
   uint64_t backoff_max_ns = 50'000'000;  // cap for the exponential growth
 };
 
+// Deprecated: read the metrics registry ("layer/dfs_client/..." keys)
+// instead.
 struct DfsClientStats {
   uint64_t calls_sent = 0;
   uint64_t callbacks_received = 0;
@@ -40,7 +43,10 @@ struct DfsClientStats {
   uint64_t retries_exhausted = 0;  // calls that failed even after retrying
 };
 
-class DfsClient : public Context, public Fs, public Servant {
+class DfsClient : public Context,
+                  public Fs,
+                  public Servant,
+                  public metrics::StatsProvider {
  public:
   // Mounts `service` exported by `server_node`. The callback service this
   // client registers on `node` is unique per mount. `clock` paces retry
@@ -73,6 +79,12 @@ class DfsClient : public Context, public Fs, public Servant {
   // Creates a file on the server and returns its remote view.
   Result<sp<File>> CreateFile(const Name& name, const Credentials& creds);
 
+  // --- StatsProvider ---
+  std::string stats_prefix() const override { return "layer/dfs_client"; }
+  void CollectStats(const metrics::StatsEmitter& emit) const override;
+
+  // Deprecated forwarder kept for one PR; equals the registry's
+  // "layer/dfs_client/..." values.
   DfsClientStats stats() const;
 
  private:

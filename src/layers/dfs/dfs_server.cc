@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "src/obs/trace.h"
 #include "src/support/logging.h"
 
 namespace springfs::dfs {
@@ -48,31 +49,28 @@ class RemoteCacheProxy : public FsCacheObject {
         client_service_(std::move(client_service)),
         client_channel_(client_channel) {}
 
-  Result<std::vector<BlockData>> FlushBack(Offset offset,
-                                           Offset size) override {
-    return Callback(Op::kCbFlushBack, offset, size);
+  Result<std::vector<BlockData>> FlushBack(Range range) override {
+    return Callback(Op::kCbFlushBack, range);
   }
-  Result<std::vector<BlockData>> DenyWrites(Offset offset,
-                                            Offset size) override {
-    return Callback(Op::kCbDenyWrites, offset, size);
+  Result<std::vector<BlockData>> DenyWrites(Range range) override {
+    return Callback(Op::kCbDenyWrites, range);
   }
-  Result<std::vector<BlockData>> WriteBack(Offset offset,
-                                           Offset size) override {
+  Result<std::vector<BlockData>> WriteBack(Range range) override {
     // Flush-and-return is the only recall primitive the wire protocol
     // needs; write_back (retain in place) degrades to it safely.
-    return Callback(Op::kCbFlushBack, offset, size);
+    return Callback(Op::kCbFlushBack, range);
   }
-  Status DeleteRange(Offset offset, Offset size) override {
-    return Callback(Op::kCbFlushBack, offset, size).status();
+  Status DeleteRange(Range range) override {
+    return Callback(Op::kCbFlushBack, range).status();
   }
-  Status ZeroFill(Offset offset, Offset size) override {
-    return Callback(Op::kCbFlushBack, offset, size).status();
+  Status ZeroFill(Range range) override {
+    return Callback(Op::kCbFlushBack, range).status();
   }
   Status Populate(Offset, AccessRights, ByteSpan) override {
     return ErrNotSupported("populate over the DFS protocol");
   }
   Status DestroyCache() override {
-    return Callback(Op::kCbFlushBack, 0, ~Offset{0}).status();
+    return Callback(Op::kCbFlushBack, Range::All()).status();
   }
 
   Status InvalidateAttributes() override {
@@ -87,12 +85,13 @@ class RemoteCacheProxy : public FsCacheObject {
   Result<AttrUpdate> RecallAttributes() override { return AttrUpdate{}; }
 
  private:
-  Result<std::vector<BlockData>> Callback(Op op, Offset offset, Offset size) {
+  Result<std::vector<BlockData>> Callback(Op op, Range range) {
+    trace::ScopedSpan span("dfs.callback");
     net::Frame request;
     request.type = static_cast<uint32_t>(op);
     request.arg0 = client_channel_;
-    request.arg1 = offset;
-    request.arg2 = size;
+    request.arg1 = range.offset;
+    request.arg2 = range.size;
     ASSIGN_OR_RETURN(net::Frame response, server_->SendCallback(
                                               client_node_, client_service_,
                                               request));
@@ -115,23 +114,20 @@ class DfsLowerCacheObject : public FsCacheObject, public Servant {
       : Servant(std::move(domain)), server_(std::move(server)),
         file_(std::move(file)) {}
 
-  Result<std::vector<BlockData>> FlushBack(Offset offset,
-                                           Offset size) override {
-    return Recall(offset, size, AccessRights::kReadWrite);
+  Result<std::vector<BlockData>> FlushBack(Range range) override {
+    return Recall(range, AccessRights::kReadWrite);
   }
-  Result<std::vector<BlockData>> DenyWrites(Offset offset,
-                                            Offset size) override {
-    return Recall(offset, size, AccessRights::kReadOnly);
+  Result<std::vector<BlockData>> DenyWrites(Range range) override {
+    return Recall(range, AccessRights::kReadOnly);
   }
-  Result<std::vector<BlockData>> WriteBack(Offset offset,
-                                           Offset size) override {
-    return Recall(offset, size, AccessRights::kReadOnly);
+  Result<std::vector<BlockData>> WriteBack(Range range) override {
+    return Recall(range, AccessRights::kReadOnly);
   }
-  Status DeleteRange(Offset offset, Offset size) override {
-    return Recall(offset, size, AccessRights::kReadWrite).status();
+  Status DeleteRange(Range range) override {
+    return Recall(range, AccessRights::kReadWrite).status();
   }
-  Status ZeroFill(Offset offset, Offset size) override {
-    return Recall(offset, size, AccessRights::kReadWrite).status();
+  Status ZeroFill(Range range) override {
+    return Recall(range, AccessRights::kReadWrite).status();
   }
   Status Populate(Offset, AccessRights, ByteSpan) override {
     return Status::Ok();  // the server caches nothing
@@ -155,14 +151,14 @@ class DfsLowerCacheObject : public FsCacheObject, public Servant {
   Result<AttrUpdate> RecallAttributes() override { return AttrUpdate{}; }
 
  private:
-  Result<std::vector<BlockData>> Recall(Offset offset, Offset size,
-                                        AccessRights access) {
+  Result<std::vector<BlockData>> Recall(Range range, AccessRights access) {
     return InDomain([&]() -> Result<std::vector<BlockData>> {
+      trace::ScopedSpan span("dfs.lower_recall");
       server_->NoteLowerFlush();
       std::lock_guard<std::mutex> lock(file_->mutex);
       // The dirty data recovered from remote caches IS the modified data
       // the layer below is asking for.
-      return file_->engine.Acquire(0, offset, size, access);
+      return file_->engine.Acquire(0, range, access);
     });
   }
 
@@ -184,6 +180,9 @@ class DfsLocalFile : public File, public Servant {
                                AccessRights requested_access) override {
     // "When the VMM binds to a locally managed DFS file, DFS reroutes the
     // VMM to the SFS, so that the VMM ends up dealing with SFS directly."
+    // The forwarding itself shows up as a span, but DFS never appears in
+    // the resulting channel's page-in/page-out traces (Figure 7).
+    trace::ScopedSpan span("dfs.bind_forward");
     return under_->Bind(caller, requested_access);
   }
   Result<Offset> GetLength() override { return under_->GetLength(); }
@@ -225,9 +224,12 @@ Result<sp<DfsServer>> DfsServer::Create(const sp<net::Node>& node,
 DfsServer::DfsServer(const sp<net::Node>& node, net::Network* network,
                      std::string service, sp<StackableFs> under, Clock* clock)
     : Servant(node->domain()), node_(node), network_(network),
-      service_(std::move(service)), clock_(clock), under_(std::move(under)) {}
+      service_(std::move(service)), clock_(clock), under_(std::move(under)) {
+  metrics::Registry::Global().RegisterProvider(this);
+}
 
 DfsServer::~DfsServer() {
+  metrics::Registry::Global().UnregisterProvider(this);
   // Leave a tombstone rather than unregistering: clients that still hold
   // the mount get a definite kDeadObject (the object died) instead of
   // kNotFound (no such service), and never hang on a dead server.
@@ -360,6 +362,7 @@ Status DfsServer::BroadcastAttrInvalidate(ServerFile& file,
 // --- protocol dispatch ---
 
 net::Frame DfsServer::Handle(const net::Frame& request) {
+  trace::ScopedSpan span("dfs.serve");
   Op op = static_cast<Op>(request.type);
   switch (op) {
     case Op::kLookup:
@@ -532,7 +535,7 @@ net::Frame DfsServer::HandleFileOp(Op op, const net::Frame& request) {
       {
         std::lock_guard<std::mutex> lock(file->mutex);
         Result<std::vector<BlockData>> recovered = file->engine.Acquire(
-            0, request.arg1, request.arg2, AccessRights::kReadOnly);
+            0, Range{request.arg1, request.arg2}, AccessRights::kReadOnly);
         if (!recovered.ok()) {
           return StatusFrame(recovered.status());
         }
@@ -557,9 +560,9 @@ net::Frame DfsServer::HandleFileOp(Op op, const net::Frame& request) {
       RETURN_FRAME_IF_ERROR(EnsureBoundBelow(file));
       {
         std::lock_guard<std::mutex> lock(file->mutex);
-        Result<std::vector<BlockData>> recovered =
-            file->engine.Acquire(0, request.arg1, request.payload.size(),
-                                 AccessRights::kReadWrite);
+        Result<std::vector<BlockData>> recovered = file->engine.Acquire(
+            0, Range{request.arg1, request.payload.size()},
+            AccessRights::kReadWrite);
         if (!recovered.ok()) {
           return StatusFrame(recovered.status());
         }
@@ -631,8 +634,8 @@ net::Frame DfsServer::HandleFileOp(Op op, const net::Frame& request) {
                                               : AccessRights::kReadWrite;
       RETURN_FRAME_IF_ERROR(EnsureBoundBelow(file));
       std::lock_guard<std::mutex> lock(file->mutex);
-      Result<std::vector<BlockData>> recovered =
-          file->engine.Acquire(cache_id, request.arg1, request.arg2, access);
+      Result<std::vector<BlockData>> recovered = file->engine.Acquire(
+          cache_id, Range{request.arg1, request.arg2}, access);
       if (!recovered.ok()) {
         return StatusFrame(recovered.status());
       }
@@ -673,9 +676,10 @@ net::Frame DfsServer::HandleFileOp(Op op, const net::Frame& request) {
         return StatusFrame(st);
       }
       if (op == Op::kPageOut) {
-        file->engine.ReleaseDropped(cache_id, request.arg1, data.size());
+        file->engine.ReleaseDropped(cache_id, Range{request.arg1, data.size()});
       } else if (op == Op::kWriteOut) {
-        file->engine.ReleaseDowngraded(cache_id, request.arg1, data.size());
+        file->engine.ReleaseDowngraded(cache_id,
+                                       Range{request.arg1, data.size()});
       }
       return OkFrame();
     }
@@ -761,6 +765,17 @@ Result<FsInfo> DfsServer::GetFsInfo() {
 
 Status DfsServer::SyncFs() {
   return InDomain([&] { return under_->SyncFs(); });
+}
+
+void DfsServer::CollectStats(const metrics::StatsEmitter& emit) const {
+  std::lock_guard<std::mutex> lock(stats_mutex_);
+  emit("remote_lookups", stats_.remote_lookups);
+  emit("remote_page_ins", stats_.remote_page_ins);
+  emit("remote_page_outs", stats_.remote_page_outs);
+  emit("remote_reads", stats_.remote_reads);
+  emit("remote_writes", stats_.remote_writes);
+  emit("callbacks_sent", stats_.callbacks_sent);
+  emit("lower_flushes", stats_.lower_flushes);
 }
 
 DfsServerStats DfsServer::stats() const {

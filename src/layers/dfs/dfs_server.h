@@ -29,9 +29,12 @@
 #include "src/fs/file.h"
 #include "src/layers/dfs/protocol.h"
 #include "src/net/network.h"
+#include "src/obs/metrics.h"
 
 namespace springfs::dfs {
 
+// Deprecated: read the metrics registry ("layer/dfs_server/..." keys)
+// instead.
 struct DfsServerStats {
   uint64_t remote_lookups = 0;
   uint64_t remote_page_ins = 0;
@@ -42,7 +45,10 @@ struct DfsServerStats {
   uint64_t lower_flushes = 0;  // coherency callbacks received from below
 };
 
-class DfsServer : public StackableFs, public CacheManager, public Servant {
+class DfsServer : public StackableFs,
+                  public CacheManager,
+                  public Servant,
+                  public metrics::StatsProvider {
  public:
   // Creates the server on `node`, stacked on `under`, answering protocol
   // requests addressed to `service`.
@@ -80,6 +86,12 @@ class DfsServer : public StackableFs, public CacheManager, public Servant {
                                         sp<PagerObject> pager) override;
   std::string cache_manager_name() const override { return "dfs-server"; }
 
+  // --- StatsProvider ---
+  std::string stats_prefix() const override { return "layer/dfs_server"; }
+  void CollectStats(const metrics::StatsEmitter& emit) const override;
+
+  // Deprecated forwarder kept for one PR; equals the registry's
+  // "layer/dfs_server/..." values.
   DfsServerStats stats() const;
   void ResetStats();
 

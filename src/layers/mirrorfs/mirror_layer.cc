@@ -300,7 +300,13 @@ sp<MirrorLayer> MirrorLayer::Create(sp<Domain> domain, Clock* clock) {
 }
 
 MirrorLayer::MirrorLayer(sp<Domain> domain, Clock* clock)
-    : Servant(std::move(domain)), clock_(clock) {}
+    : Servant(std::move(domain)), clock_(clock) {
+  metrics::Registry::Global().RegisterProvider(this);
+}
+
+MirrorLayer::~MirrorLayer() {
+  metrics::Registry::Global().UnregisterProvider(this);
+}
 
 Status MirrorLayer::StackOn(sp<StackableFs> underlying) {
   return InDomain([&]() -> Status {
@@ -342,6 +348,15 @@ void MirrorLayer::NoteWriteFanout() {
 void MirrorLayer::NoteReplicaWriteFailure() {
   std::lock_guard<std::mutex> lock(mutex_);
   ++stats_.replica_write_failures;
+}
+
+void MirrorLayer::CollectStats(const metrics::StatsEmitter& emit) const {
+  MirrorStats snapshot = stats();
+  emit("reads_primary", snapshot.reads_primary);
+  emit("reads_failover", snapshot.reads_failover);
+  emit("write_fanouts", snapshot.write_fanouts);
+  emit("replica_write_failures", snapshot.replica_write_failures);
+  emit("resilvered_files", snapshot.resilvered_files);
 }
 
 MirrorStats MirrorLayer::stats() const {

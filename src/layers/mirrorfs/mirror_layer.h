@@ -17,10 +17,12 @@
 #include "src/fs/channel_table.h"
 #include "src/fs/file.h"
 #include "src/obj/domain.h"
+#include "src/obs/metrics.h"
 #include "src/support/clock.h"
 
 namespace springfs {
 
+// Deprecated: read the metrics registry ("layer/mirrorfs/..." keys) instead.
 struct MirrorStats {
   uint64_t reads_primary = 0;
   uint64_t reads_failover = 0;
@@ -29,10 +31,13 @@ struct MirrorStats {
   uint64_t resilvered_files = 0;
 };
 
-class MirrorLayer : public StackableFs, public Servant {
+class MirrorLayer : public StackableFs,
+                    public Servant,
+                    public metrics::StatsProvider {
  public:
   static sp<MirrorLayer> Create(sp<Domain> domain,
                                 Clock* clock = &DefaultClock());
+  ~MirrorLayer() override;
 
   const char* interface_name() const override { return "mirror_layer"; }
 
@@ -62,6 +67,12 @@ class MirrorLayer : public StackableFs, public Servant {
   Status Resilver(const Name& name, const Credentials& creds);
 
   size_t NumReplicas() const;
+  // --- StatsProvider ---
+  std::string stats_prefix() const override { return "layer/mirrorfs"; }
+  void CollectStats(const metrics::StatsEmitter& emit) const override;
+
+  // Deprecated forwarder kept for one PR; equals the registry's
+  // "layer/mirrorfs/..." values.
   MirrorStats stats() const;
 
   // Listing relative to a path prefix (union over replicas); used by the

@@ -182,7 +182,13 @@ sp<XattrLayer> XattrLayer::Create(sp<Domain> domain, Clock* clock) {
 }
 
 XattrLayer::XattrLayer(sp<Domain> domain, Clock* clock)
-    : Servant(std::move(domain)), clock_(clock) {}
+    : Servant(std::move(domain)), clock_(clock) {
+  metrics::Registry::Global().RegisterProvider(this);
+}
+
+XattrLayer::~XattrLayer() {
+  metrics::Registry::Global().UnregisterProvider(this);
+}
 
 bool XattrLayer::IsShadowName(const std::string& component) {
   size_t suffix_len = std::strlen(kShadowSuffix);
@@ -469,6 +475,14 @@ Status XattrLayer::SyncFs() {
     }
     return under_->SyncFs();
   });
+}
+
+void XattrLayer::CollectStats(const metrics::StatsEmitter& emit) const {
+  XattrLayerStats snapshot = stats();
+  emit("gets", snapshot.gets);
+  emit("sets", snapshot.sets);
+  emit("shadow_loads", snapshot.shadow_loads);
+  emit("shadow_stores", snapshot.shadow_stores);
 }
 
 XattrLayerStats XattrLayer::stats() const {

@@ -17,10 +17,12 @@
 #include "src/fs/xattr.h"
 #include "src/naming/context.h"
 #include "src/obj/domain.h"
+#include "src/obs/metrics.h"
 #include "src/support/clock.h"
 
 namespace springfs {
 
+// Deprecated: read the metrics registry ("layer/xattrfs/..." keys) instead.
 struct XattrLayerStats {
   uint64_t gets = 0;
   uint64_t sets = 0;
@@ -28,10 +30,13 @@ struct XattrLayerStats {
   uint64_t shadow_stores = 0;
 };
 
-class XattrLayer : public StackableFs, public Servant {
+class XattrLayer : public StackableFs,
+                   public Servant,
+                   public metrics::StatsProvider {
  public:
   static sp<XattrLayer> Create(sp<Domain> domain,
                                Clock* clock = &DefaultClock());
+  ~XattrLayer() override;
 
   const char* interface_name() const override { return "xattr_layer"; }
 
@@ -54,6 +59,12 @@ class XattrLayer : public StackableFs, public Servant {
   Result<FsInfo> GetFsInfo() override;
   Status SyncFs() override;
 
+  // --- StatsProvider ---
+  std::string stats_prefix() const override { return "layer/xattrfs"; }
+  void CollectStats(const metrics::StatsEmitter& emit) const override;
+
+  // Deprecated forwarder kept for one PR; equals the registry's
+  // "layer/xattrfs/..." values.
   XattrLayerStats stats() const;
 
  private:

@@ -14,7 +14,13 @@ sp<NameCacheContext> NameCacheContext::Create(sp<Domain> domain,
 NameCacheContext::NameCacheContext(sp<Domain> domain, sp<Context> target,
                                    size_t capacity)
     : Servant(std::move(domain)), target_(std::move(target)),
-      capacity_(capacity) {}
+      capacity_(capacity) {
+  metrics::Registry::Global().RegisterProvider(this);
+}
+
+NameCacheContext::~NameCacheContext() {
+  metrics::Registry::Global().UnregisterProvider(this);
+}
 
 void NameCacheContext::InsertLocked(const std::string& path,
                                     sp<Object> object) {
@@ -99,6 +105,14 @@ void NameCacheContext::Flush() {
   stats_.invalidations += entries_.size();
   entries_.clear();
   fifo_.clear();
+}
+
+void NameCacheContext::CollectStats(const metrics::StatsEmitter& emit) const {
+  NameCacheStats snapshot = stats();
+  emit("hits", snapshot.hits);
+  emit("misses", snapshot.misses);
+  emit("invalidations", snapshot.invalidations);
+  emit("evictions", snapshot.evictions);
 }
 
 NameCacheStats NameCacheContext::stats() const {

@@ -20,9 +20,12 @@
 
 #include "src/naming/context.h"
 #include "src/obj/domain.h"
+#include "src/obs/metrics.h"
 
 namespace springfs {
 
+// Deprecated: read the metrics registry ("naming/name_cache/..." keys)
+// instead.
 struct NameCacheStats {
   uint64_t hits = 0;
   uint64_t misses = 0;
@@ -30,11 +33,14 @@ struct NameCacheStats {
   uint64_t evictions = 0;
 };
 
-class NameCacheContext : public Context, public Servant {
+class NameCacheContext : public Context,
+                         public Servant,
+                         public metrics::StatsProvider {
  public:
   // `capacity` bounds the number of cached resolutions (0 = unbounded).
   static sp<NameCacheContext> Create(sp<Domain> domain, sp<Context> target,
                                      size_t capacity = 0);
+  ~NameCacheContext() override;
 
   const char* interface_name() const override { return "name_cache_context"; }
 
@@ -51,6 +57,12 @@ class NameCacheContext : public Context, public Servant {
   // cache cannot see).
   void Flush();
 
+  // --- StatsProvider ---
+  std::string stats_prefix() const override { return "naming/name_cache"; }
+  void CollectStats(const metrics::StatsEmitter& emit) const override;
+
+  // Deprecated forwarder kept for one PR; equals the registry's
+  // "naming/name_cache/..." values.
   NameCacheStats stats() const;
 
  private:

@@ -1,5 +1,7 @@
 #include "src/net/network.h"
 
+#include "src/obs/trace.h"
+
 namespace springfs::net {
 namespace {
 
@@ -82,6 +84,13 @@ void Node::UnregisterService(const std::string& service) {
   services_.erase(service);
 }
 
+Network::Network(Clock* clock, uint64_t default_latency_ns)
+    : clock_(clock), default_latency_ns_(default_latency_ns) {
+  metrics::Registry::Global().RegisterProvider(this);
+}
+
+Network::~Network() { metrics::Registry::Global().UnregisterProvider(this); }
+
 sp<Node> Network::AddNode(const std::string& name, sp<Domain> domain) {
   if (!domain) {
     domain = Domain::Create("node:" + name);
@@ -127,6 +136,8 @@ uint64_t Network::LatencyBetween(const std::string& from,
 
 Result<Frame> Network::Call(const std::string& from, const std::string& to,
                             const std::string& service, const Frame& request) {
+  trace::ScopedSpan span(trace::SpanKind::kNet, "net.call:", service);
+  span.SetDetail(from + "->" + to);
   sp<Node> dest;
   Node::Handler handler;
   {
@@ -177,6 +188,12 @@ Result<Frame> Network::Call(const std::string& from, const std::string& to,
   }
   clock_->SleepNs(LatencyBetween(to, from));
   return Frame::Deserialize(response_wire.span());
+}
+
+void Network::CollectStats(const metrics::StatsEmitter& emit) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  emit("messages", stats_.messages);
+  emit("bytes", stats_.bytes);
 }
 
 NetworkStats Network::stats() const {

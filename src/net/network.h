@@ -17,6 +17,7 @@
 #include <string>
 
 #include "src/obj/domain.h"
+#include "src/obs/metrics.h"
 #include "src/support/bytes.h"
 #include "src/support/clock.h"
 #include "src/support/result.h"
@@ -46,6 +47,7 @@ struct Frame {
   }
 };
 
+// Deprecated: read the metrics registry ("net/..." keys) instead.
 struct NetworkStats {
   uint64_t messages = 0;
   uint64_t bytes = 0;
@@ -78,11 +80,11 @@ class Node {
   std::map<std::string, Handler> services_;
 };
 
-class Network {
+class Network : public metrics::StatsProvider {
  public:
   explicit Network(Clock* clock = &DefaultClock(),
-                   uint64_t default_latency_ns = 50'000)
-      : clock_(clock), default_latency_ns_(default_latency_ns) {}
+                   uint64_t default_latency_ns = 50'000);
+  ~Network() override;
 
   // Adds a node (its domain is created on the fly when not supplied).
   sp<Node> AddNode(const std::string& name, sp<Domain> domain = nullptr);
@@ -107,6 +109,12 @@ class Network {
   Result<Frame> Call(const std::string& from, const std::string& to,
                      const std::string& service, const Frame& request);
 
+  // --- StatsProvider ---
+  std::string stats_prefix() const override { return "net"; }
+  void CollectStats(const metrics::StatsEmitter& emit) const override;
+
+  // Deprecated forwarder kept for one PR; equals the registry's "net/..."
+  // values.
   NetworkStats stats() const;
   void ResetStats();
 

@@ -1,8 +1,19 @@
 #include "src/obj/domain.h"
 
+#include <exception>
+
 namespace springfs {
 
 thread_local Domain* Domain::tls_current_ = nullptr;
+
+namespace internal {
+
+metrics::OpMetric& DomainCrossCallMetric() {
+  static metrics::OpMetric metric("domain/cross_call");
+  return metric;
+}
+
+}  // namespace internal
 
 namespace {
 
@@ -44,9 +55,12 @@ sp<Domain> Domain::Create(std::string name, Transport* transport) {
 }
 
 Domain::Domain(std::string name, Transport* transport)
-    : name_(std::move(name)), transport_(transport) {}
+    : name_(std::move(name)), transport_(transport) {
+  metrics::Registry::Global().RegisterProvider(this);
+}
 
 Domain::~Domain() {
+  metrics::Registry::Global().UnregisterProvider(this);
   {
     std::lock_guard<std::mutex> lock(pool_mutex_);
     shutting_down_ = true;
@@ -69,11 +83,25 @@ void Domain::RunOnWorker(const std::function<void()>& op) {
   std::mutex done_mutex;
   std::condition_variable done_cv;
   bool done = false;
+  std::exception_ptr error;
+
+  // The worker adopts this thread's trace context for the duration of the
+  // op; safe because this thread blocks on done_cv until the op finishes
+  // and the done_mutex handoff orders the two threads' accesses.
+  trace::Handoff handoff = trace::Capture();
+  const std::function<void()> wrapped = [&op, &error, &handoff] {
+    trace::ScopedHandoff adopt(handoff);
+    try {
+      op();
+    } catch (...) {
+      error = std::current_exception();
+    }
+  };
 
   {
     std::lock_guard<std::mutex> lock(pool_mutex_);
     SPRINGFS_CHECK(!shutting_down_);
-    queue_.push_back(PendingOp{&op, &done_mutex, &done_cv, &done});
+    queue_.push_back(PendingOp{&wrapped, &done_mutex, &done_cv, &done});
     // Grow the pool when every worker is busy so that re-entrant
     // cross-domain callbacks (pager -> cache -> pager) always find a thread.
     if (idle_workers_ == 0) {
@@ -82,8 +110,13 @@ void Domain::RunOnWorker(const std::function<void()>& op) {
   }
   pool_cv_.notify_one();
 
-  std::unique_lock<std::mutex> lock(done_mutex);
-  done_cv.wait(lock, [&done] { return done; });
+  {
+    std::unique_lock<std::mutex> lock(done_mutex);
+    done_cv.wait(lock, [&done] { return done; });
+  }
+  if (error) {
+    std::rethrow_exception(error);
+  }
 }
 
 void Domain::WorkerLoop() {
@@ -103,10 +136,13 @@ void Domain::WorkerLoop() {
     }
     (*pending.op)();
     {
+      // Notify under the lock: the waiter owns cv/flag on its stack and
+      // frees them as soon as it observes done, so the worker must not
+      // touch them after releasing the mutex.
       std::lock_guard<std::mutex> lock(*pending.done_mutex);
       *pending.done_flag = true;
+      pending.done_cv->notify_one();
     }
-    pending.done_cv->notify_one();
   }
 }
 

@@ -1,0 +1,160 @@
+#include "src/obs/metrics.h"
+
+#include <algorithm>
+
+namespace springfs::metrics {
+
+uint64_t Histogram::UpperBoundNs(size_t i) {
+  if (i + 1 >= kNumBuckets) {
+    return ~uint64_t{0};
+  }
+  return kFirstBoundNs << i;
+}
+
+size_t Histogram::BucketIndex(uint64_t ns) {
+  size_t i = 0;
+  uint64_t bound = kFirstBoundNs;
+  while (i + 1 < kNumBuckets && ns >= bound) {
+    bound <<= 1;
+    ++i;
+  }
+  return i;
+}
+
+Histogram::Snapshot Histogram::snapshot() const {
+  Snapshot snap;
+  snap.count = count_.load(std::memory_order_relaxed);
+  snap.sum_ns = sum_ns_.load(std::memory_order_relaxed);
+  for (size_t i = 0; i < kNumBuckets; ++i) {
+    snap.buckets[i] = buckets_[i].load(std::memory_order_relaxed);
+  }
+  return snap;
+}
+
+void Histogram::Reset() {
+  for (auto& bucket : buckets_) {
+    bucket.store(0, std::memory_order_relaxed);
+  }
+  count_.store(0, std::memory_order_relaxed);
+  sum_ns_.store(0, std::memory_order_relaxed);
+}
+
+uint64_t Histogram::Snapshot::ApproxQuantileNs(double q) const {
+  if (count == 0) {
+    return 0;
+  }
+  q = std::clamp(q, 0.0, 1.0);
+  uint64_t rank = static_cast<uint64_t>(q * static_cast<double>(count - 1));
+  uint64_t seen = 0;
+  for (size_t i = 0; i < kNumBuckets; ++i) {
+    seen += buckets[i];
+    if (seen > rank) {
+      return UpperBoundNs(i);
+    }
+  }
+  return UpperBoundNs(kNumBuckets - 1);
+}
+
+Registry& Registry::Global() {
+  static Registry* registry = new Registry();  // never destroyed: providers
+  return *registry;                            // may unregister at exit
+}
+
+Counter& Registry::counter(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto& slot = counters_[name];
+  if (!slot) {
+    slot = std::make_unique<Counter>();
+  }
+  return *slot;
+}
+
+Histogram& Registry::histogram(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto& slot = histograms_[name];
+  if (!slot) {
+    slot = std::make_unique<Histogram>();
+  }
+  return *slot;
+}
+
+void Registry::RegisterProvider(StatsProvider* provider) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  providers_.push_back(provider);
+}
+
+void Registry::UnregisterProvider(StatsProvider* provider) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  providers_.erase(
+      std::remove(providers_.begin(), providers_.end(), provider),
+      providers_.end());
+}
+
+size_t Registry::NumProviders() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return providers_.size();
+}
+
+Registry::Snapshot Registry::Collect() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  Snapshot snap;
+  for (const auto& [name, counter] : counters_) {
+    snap.values[name] += counter->Value();
+  }
+  for (const auto& [name, histogram] : histograms_) {
+    snap.histograms[name] = histogram->snapshot();
+  }
+  for (const StatsProvider* provider : providers_) {
+    const std::string prefix = provider->stats_prefix();
+    provider->CollectStats([&](const std::string& name, uint64_t value) {
+      snap.values[prefix + "/" + name] += value;
+    });
+  }
+  return snap;
+}
+
+void Registry::Reset() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (auto& [name, counter] : counters_) {
+    counter->Reset();
+  }
+  for (auto& [name, histogram] : histograms_) {
+    histogram->Reset();
+  }
+}
+
+std::string ToJson(const Registry::Snapshot& snapshot) {
+  std::string out = "{\"values\":{";
+  bool first = true;
+  for (const auto& [name, value] : snapshot.values) {
+    if (!first) {
+      out += ",";
+    }
+    first = false;
+    out += "\"" + name + "\":" + std::to_string(value);
+  }
+  out += "},\"histograms\":{";
+  first = true;
+  for (const auto& [name, hist] : snapshot.histograms) {
+    if (!first) {
+      out += ",";
+    }
+    first = false;
+    out += "\"" + name + "\":{\"count\":" + std::to_string(hist.count) +
+           ",\"sum_ns\":" + std::to_string(hist.sum_ns) +
+           ",\"p50_ns\":" + std::to_string(hist.ApproxQuantileNs(0.5)) +
+           ",\"p99_ns\":" + std::to_string(hist.ApproxQuantileNs(0.99)) +
+           ",\"buckets\":[";
+    for (size_t i = 0; i < Histogram::kNumBuckets; ++i) {
+      if (i > 0) {
+        out += ",";
+      }
+      out += std::to_string(hist.buckets[i]);
+    }
+    out += "]}";
+  }
+  out += "}}";
+  return out;
+}
+
+}  // namespace springfs::metrics

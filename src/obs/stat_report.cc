@@ -1,0 +1,115 @@
+#include "src/obs/stat_report.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <map>
+#include <vector>
+
+namespace springfs::obs {
+namespace {
+
+// "layer/coherent/page_in.calls" -> {"layer/coherent", "page_in"}.
+// "net/messages" -> {"net", "messages"}.
+struct SplitName {
+  std::string component;
+  std::string leaf;
+};
+
+SplitName Split(const std::string& name) {
+  size_t slash = name.rfind('/');
+  if (slash == std::string::npos) {
+    return {"(process)", name};
+  }
+  return {name.substr(0, slash), name.substr(slash + 1)};
+}
+
+std::string FormatUs(double ns) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.1f", ns / 1000.0);
+  return buf;
+}
+
+std::string StripSuffix(const std::string& s, const std::string& suffix) {
+  return s.substr(0, s.size() - suffix.size());
+}
+
+bool EndsWith(const std::string& s, const std::string& suffix) {
+  return s.size() >= suffix.size() &&
+         s.compare(s.size() - suffix.size(), suffix.size(), suffix) == 0;
+}
+
+}  // namespace
+
+std::string FormatOpLine(const std::string& op, uint64_t calls,
+                         const metrics::Histogram::Snapshot& latency) {
+  std::string line = "  " + op;
+  if (line.size() < 26) {
+    line.append(26 - line.size(), ' ');
+  }
+  line += " calls=" + std::to_string(calls);
+  line += " mean=" + FormatUs(latency.mean_ns()) + "us";
+  line += " p90<=" +
+          FormatUs(static_cast<double>(latency.ApproxQuantileNs(0.9))) + "us";
+  line += " total=" + FormatUs(static_cast<double>(latency.sum_ns) / 1000.0) +
+          "ms";
+  return line;
+}
+
+std::string PerLayerReport(const metrics::Registry::Snapshot& snapshot) {
+  struct OpRow {
+    std::string op;
+    uint64_t calls = 0;
+    metrics::Histogram::Snapshot latency;
+  };
+  struct Section {
+    std::vector<OpRow> ops;
+    std::vector<std::pair<std::string, uint64_t>> counters;
+  };
+  std::map<std::string, Section> sections;
+
+  // Timed operations: a ".latency_ns" histogram, paired with the ".calls"
+  // counter of the same operation name.
+  for (const auto& [name, hist] : snapshot.histograms) {
+    if (!EndsWith(name, ".latency_ns")) {
+      continue;
+    }
+    std::string op_name = StripSuffix(name, ".latency_ns");
+    SplitName split = Split(op_name);
+    OpRow row;
+    row.op = split.leaf;
+    row.latency = hist;
+    auto calls_it = snapshot.values.find(op_name + ".calls");
+    row.calls = calls_it != snapshot.values.end() ? calls_it->second
+                                                  : hist.count;
+    sections[split.component].ops.push_back(std::move(row));
+  }
+
+  // Plain counters (everything that is not part of a timed-op pair).
+  for (const auto& [name, value] : snapshot.values) {
+    if (EndsWith(name, ".calls") &&
+        snapshot.histograms.count(StripSuffix(name, ".calls") +
+                                  ".latency_ns") > 0) {
+      continue;
+    }
+    SplitName split = Split(name);
+    sections[split.component].counters.emplace_back(split.leaf, value);
+  }
+
+  std::string out;
+  out += "springfs per-layer overhead report\n";
+  out += "==================================\n";
+  for (auto& [component, section] : sections) {
+    out += "\n" + component + "\n";
+    std::sort(section.ops.begin(), section.ops.end(),
+              [](const OpRow& a, const OpRow& b) { return a.op < b.op; });
+    for (const OpRow& row : section.ops) {
+      out += FormatOpLine(row.op, row.calls, row.latency) + "\n";
+    }
+    for (const auto& [leaf, value] : section.counters) {
+      out += "  " + leaf + " = " + std::to_string(value) + "\n";
+    }
+  }
+  return out;
+}
+
+}  // namespace springfs::obs

@@ -1,0 +1,27 @@
+// Table-2-style rendering of a metrics snapshot: one section per
+// component ("layer/coherent", "vmm/client", "domain/sfs-disk", "net"),
+// each listing its timed operations (calls, mean and quantile latency, total
+// time) and its plain counters. This is the human-readable face of the
+// introspection API; springfs-stat prints it, and the bench binaries emit
+// the same snapshot as JSON.
+
+#ifndef SPRINGFS_OBS_STAT_REPORT_H_
+#define SPRINGFS_OBS_STAT_REPORT_H_
+
+#include <string>
+
+#include "src/obs/metrics.h"
+
+namespace springfs::obs {
+
+// Renders the whole snapshot grouped by component prefix.
+std::string PerLayerReport(const metrics::Registry::Snapshot& snapshot);
+
+// Renders one operation line ("page_in  calls=12 mean=3.1us p90<=4.0us
+// total=0.04ms") — exposed for tests.
+std::string FormatOpLine(const std::string& op, uint64_t calls,
+                         const metrics::Histogram::Snapshot& latency);
+
+}  // namespace springfs::obs
+
+#endif  // SPRINGFS_OBS_STAT_REPORT_H_

@@ -1,0 +1,223 @@
+#include "src/obs/trace.h"
+
+#include <algorithm>
+
+namespace springfs::trace {
+namespace {
+
+struct ThreadTraceState {
+  Span* current = nullptr;
+  Clock* clock = nullptr;
+};
+
+// Out-of-line accessor for the same UBSan/TLS-wrapper reason as
+// Domain::tls_current_ (see src/obj/domain.h).
+ThreadTraceState& State() {
+  static thread_local ThreadTraceState state;
+  return state;
+}
+
+void AppendJson(const Span& span, std::string* out) {
+  out->append("{\"name\":\"");
+  out->append(span.name);
+  out->append("\",\"kind\":\"");
+  out->append(SpanKindName(span.kind));
+  out->append("\"");
+  if (!span.detail.empty()) {
+    out->append(",\"detail\":\"");
+    out->append(span.detail);
+    out->append("\"");
+  }
+  out->append(",\"start_ns\":");
+  out->append(std::to_string(span.start_ns));
+  out->append(",\"dur_ns\":");
+  out->append(std::to_string(span.duration_ns()));
+  if (!span.children.empty()) {
+    out->append(",\"children\":[");
+    for (size_t i = 0; i < span.children.size(); ++i) {
+      if (i > 0) {
+        out->append(",");
+      }
+      AppendJson(*span.children[i], out);
+    }
+    out->append("]");
+  }
+  out->append("}");
+}
+
+void AppendText(const Span& span, int depth, std::string* out) {
+  out->append(static_cast<size_t>(depth) * 2, ' ');
+  out->append(span.name);
+  if (!span.detail.empty()) {
+    out->append(" [");
+    out->append(span.detail);
+    out->append("]");
+  }
+  out->append(" ");
+  out->append(std::to_string(span.duration_ns()));
+  out->append("ns (self ");
+  out->append(std::to_string(span.self_ns()));
+  out->append("ns)\n");
+  for (const auto& child : span.children) {
+    AppendText(*child, depth + 1, out);
+  }
+}
+
+void CollectMatches(const Span& span, std::string_view name_prefix,
+                    std::vector<const Span*>* out) {
+  if (span.name.compare(0, name_prefix.size(), name_prefix) == 0) {
+    out->push_back(&span);
+  }
+  for (const auto& child : span.children) {
+    CollectMatches(*child, name_prefix, out);
+  }
+}
+
+}  // namespace
+
+const char* SpanKindName(SpanKind kind) {
+  switch (kind) {
+    case SpanKind::kOp:
+      return "op";
+    case SpanKind::kCrossDomain:
+      return "xdc";
+    case SpanKind::kNet:
+      return "net";
+  }
+  return "?";
+}
+
+TimeNs Span::self_ns() const {
+  TimeNs in_children = 0;
+  for (const auto& child : children) {
+    in_children += child->duration_ns();
+  }
+  TimeNs total = duration_ns();
+  return in_children > total ? 0 : total - in_children;
+}
+
+size_t Span::TreeSize() const {
+  size_t n = 1;
+  for (const auto& child : children) {
+    n += child->TreeSize();
+  }
+  return n;
+}
+
+std::vector<const Span*> FindAll(const Span& root,
+                                 std::string_view name_prefix) {
+  std::vector<const Span*> out;
+  CollectMatches(root, name_prefix, &out);
+  return out;
+}
+
+const Span* FindFirst(const Span& root, std::string_view name_prefix) {
+  std::vector<const Span*> all = FindAll(root, name_prefix);
+  return all.empty() ? nullptr : all.front();
+}
+
+bool Contains(const Span& root, std::string_view name_prefix) {
+  return FindFirst(root, name_prefix) != nullptr;
+}
+
+std::string ToString(const Span& root) {
+  std::string out;
+  AppendText(root, 0, &out);
+  return out;
+}
+
+std::string ToJson(const Span& root) {
+  std::string out;
+  AppendJson(root, &out);
+  return out;
+}
+
+bool Active() { return State().current != nullptr; }
+
+TraceRoot::TraceRoot(std::string name, Clock* clock)
+    : root_(std::make_unique<Span>()), clock_(clock) {
+  root_->name = std::move(name);
+  root_->start_ns = clock_->Now();
+  ThreadTraceState& state = State();
+  saved_current_ = state.current;
+  saved_clock_ = state.clock;
+  state.current = root_.get();
+  state.clock = clock_;
+}
+
+const Span& TraceRoot::Finish() {
+  if (!finished_) {
+    finished_ = true;
+    root_->end_ns = clock_->Now();
+    ThreadTraceState& state = State();
+    state.current = saved_current_;
+    state.clock = saved_clock_;
+  }
+  return *root_;
+}
+
+TraceRoot::~TraceRoot() { Finish(); }
+
+ScopedSpan::ScopedSpan(const char* name, SpanKind kind) {
+  if (name != nullptr && State().current != nullptr) {
+    Open(name, kind);
+  }
+}
+
+ScopedSpan::ScopedSpan(SpanKind kind, const char* prefix,
+                       const std::string& suffix) {
+  if (State().current != nullptr) {
+    Open(std::string(prefix) + suffix, kind);
+  }
+}
+
+void ScopedSpan::Open(std::string name, SpanKind kind) {
+  ThreadTraceState& state = State();
+  auto span = std::make_unique<Span>();
+  span->name = std::move(name);
+  span->kind = kind;
+  span->parent = state.current;
+  span->start_ns = state.clock->Now();
+  span_ = span.get();
+  state.current->children.push_back(std::move(span));
+  state.current = span_;
+}
+
+ScopedSpan::~ScopedSpan() {
+  if (span_ == nullptr) {
+    return;
+  }
+  ThreadTraceState& state = State();
+  span_->end_ns = state.clock->Now();
+  // Unwind to the parent even if inner spans leaked open (they cannot: RAII).
+  state.current = span_->parent;
+}
+
+void ScopedSpan::SetDetail(std::string detail) {
+  if (span_ != nullptr) {
+    span_->detail = std::move(detail);
+  }
+}
+
+Handoff Capture() {
+  ThreadTraceState& state = State();
+  return Handoff{state.current, state.clock};
+}
+
+ScopedHandoff::ScopedHandoff(const Handoff& handoff) {
+  ThreadTraceState& state = State();
+  saved_current_ = state.current;
+  saved_clock_ = state.clock;
+  if (handoff.active()) {
+    state.current = handoff.parent;
+    state.clock = handoff.clock;
+  }
+}
+
+ScopedHandoff::~ScopedHandoff() {
+  ThreadTraceState& state = State();
+  state.current = saved_current_;
+  state.clock = saved_clock_;
+}
+
+}  // namespace springfs::trace

@@ -1,0 +1,169 @@
+// springtrace: span-tree tracing for one file operation across the stack.
+//
+// The paper's evaluation is entirely about *attributing* cost per layer
+// (Tables 2/3, Figures 5-7, 9): proving, e.g., that DFS "is not involved in
+// local page-in/page-out requests" once it forwards binds. Raw per-domain
+// invocation counters cannot show that — a span tree can. One traced
+// operation yields a tree of timed spans: the root is the operation, child
+// spans are the layers, pager/cache channels, cross-domain calls, and
+// network hops it touched, in causal order.
+//
+// Model:
+//  * Tracing is *thread-scoped and explicit*: constructing a TraceRoot
+//    starts collection on the calling thread; destroying it (or calling
+//    Finish) ends it. No global enable flag — when no TraceRoot is live on
+//    the current logical call path, ScopedSpan is a single thread-local
+//    load and nothing is allocated.
+//  * Propagation follows the call, not the thread. SpinTransport runs
+//    cross-domain calls on the caller's thread, so the thread-local context
+//    simply persists. ThreadTransport hands off to a worker thread:
+//    Domain::RunOnWorker captures the caller's context (trace::Capture) and
+//    the worker adopts it (trace::ScopedHandoff) for the duration of the
+//    op. The caller is blocked for that duration and the hand-off is
+//    mutex-synchronized, so exactly one thread mutates a subtree at a time
+//    (TSan-clean by construction). The DFS network hop propagates the same
+//    way: Network::Call runs the remote handler inside the destination
+//    domain on the calling thread's context.
+//  * Time comes from the injected Clock, so span trees are deterministic
+//    under SpinTransport driven by a FakeClock and merely monotonic under
+//    real clocks.
+//
+// Span naming convention (asserted by tests and rolled up by the
+// per-layer reports): "<layer>.<operation>", e.g. "coh.page_in",
+// "disk.page_out", "vmm.fault", "dfs.bind_forward"; cross-domain calls are
+// "xdc:<domain>" and network hops "net.call:<service>" / "net.serve:...".
+
+#ifndef SPRINGFS_OBS_TRACE_H_
+#define SPRINGFS_OBS_TRACE_H_
+
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/support/clock.h"
+
+namespace springfs::trace {
+
+enum class SpanKind : uint8_t {
+  kOp,           // a layer-level operation (page_in, read, resolve, ...)
+  kCrossDomain,  // a cross-domain invocation carried by a Transport
+  kNet,          // a network hop (request+handler+response)
+};
+
+const char* SpanKindName(SpanKind kind);
+
+struct Span {
+  std::string name;
+  std::string detail;  // free-form, e.g. "channel=3" or "a->b"
+  SpanKind kind = SpanKind::kOp;
+  TimeNs start_ns = 0;
+  TimeNs end_ns = 0;
+  Span* parent = nullptr;
+  std::vector<std::unique_ptr<Span>> children;
+
+  TimeNs duration_ns() const { return end_ns - start_ns; }
+  // Time not covered by child spans (the span's own cost).
+  TimeNs self_ns() const;
+  // This span plus all descendants.
+  size_t TreeSize() const;
+};
+
+// --- queries (used by tests and the per-layer reports) ---
+
+// Depth-first search for spans whose name starts with `name_prefix`.
+std::vector<const Span*> FindAll(const Span& root, std::string_view name_prefix);
+const Span* FindFirst(const Span& root, std::string_view name_prefix);
+bool Contains(const Span& root, std::string_view name_prefix);
+
+// Indented human-readable tree / machine-readable JSON.
+std::string ToString(const Span& root);
+std::string ToJson(const Span& root);
+
+// True when the calling thread is collecting a trace (a TraceRoot is live
+// here or was handed off to this thread).
+bool Active();
+
+// Starts a trace on the calling thread; the root span covers the
+// TraceRoot's lifetime (or until Finish). Non-reentrant per thread in the
+// sense that a nested TraceRoot simply records as a child tree of the
+// outer one... it does not: a nested TraceRoot replaces the context and
+// restores it on destruction, so nest freely — outer traces just do not
+// see the inner operation's spans.
+class TraceRoot {
+ public:
+  explicit TraceRoot(std::string name, Clock* clock = &DefaultClock());
+  ~TraceRoot();
+
+  TraceRoot(const TraceRoot&) = delete;
+  TraceRoot& operator=(const TraceRoot&) = delete;
+
+  // Ends the root span and detaches the context (idempotent). The returned
+  // tree stays owned by this TraceRoot.
+  const Span& Finish();
+  const Span& root() const { return *root_; }
+
+ private:
+  std::unique_ptr<Span> root_;
+  Clock* clock_;
+  Span* saved_current_;
+  Clock* saved_clock_;
+  bool finished_ = false;
+};
+
+// RAII child span. When no trace is active on this thread, construction is
+// one thread-local load and the destructor a null check. A null `name`
+// means "no span" (callers that time an op but open their span elsewhere).
+class ScopedSpan {
+ public:
+  explicit ScopedSpan(const char* name, SpanKind kind = SpanKind::kOp);
+  // Builds "<prefix><suffix>" as the span name — the concatenation happens
+  // only while tracing is active (hot paths pay nothing otherwise).
+  ScopedSpan(SpanKind kind, const char* prefix, const std::string& suffix);
+  ~ScopedSpan();
+
+  ScopedSpan(const ScopedSpan&) = delete;
+  ScopedSpan& operator=(const ScopedSpan&) = delete;
+
+  // No-op when tracing is inactive.
+  void SetDetail(std::string detail);
+
+  bool active() const { return span_ != nullptr; }
+
+ private:
+  void Open(std::string name, SpanKind kind);
+
+  Span* span_ = nullptr;
+};
+
+// --- cross-thread propagation (used by Domain::RunOnWorker) ---
+
+struct Handoff {
+  Span* parent = nullptr;
+  Clock* clock = nullptr;
+
+  bool active() const { return parent != nullptr; }
+};
+
+// Captures the calling thread's trace context (null Handoff when inactive).
+Handoff Capture();
+
+// Adopts a captured context on the current thread for the guard's lifetime.
+// The capturing thread must be blocked waiting on this work item — two
+// threads must never extend the same subtree concurrently.
+class ScopedHandoff {
+ public:
+  explicit ScopedHandoff(const Handoff& handoff);
+  ~ScopedHandoff();
+
+  ScopedHandoff(const ScopedHandoff&) = delete;
+  ScopedHandoff& operator=(const ScopedHandoff&) = delete;
+
+ private:
+  Span* saved_current_;
+  Clock* saved_clock_;
+};
+
+}  // namespace springfs::trace
+
+#endif  // SPRINGFS_OBS_TRACE_H_

@@ -82,9 +82,12 @@ Status Bitmap::FlushDirty(const BlockWriter& write) {
 
 // --- Ufs lifecycle ---
 
-Ufs::Ufs(BlockDevice* device, Clock* clock) : device_(device), clock_(clock) {}
+Ufs::Ufs(BlockDevice* device, Clock* clock) : device_(device), clock_(clock) {
+  metrics::Registry::Global().RegisterProvider(this);
+}
 
 Ufs::~Ufs() {
+  metrics::Registry::Global().UnregisterProvider(this);
   {
     std::lock_guard<std::mutex> lock(mutex_);
     if (abandoned_) {
@@ -1063,6 +1066,14 @@ void Ufs::Abandon() {
 uint64_t Ufs::last_committed_tx() const {
   std::lock_guard<std::mutex> lock(mutex_);
   return last_committed_tx_;
+}
+
+void Ufs::CollectStats(const metrics::StatsEmitter& emit) const {
+  UfsStats snapshot = stats();
+  emit("inode_cache_hits", snapshot.inode_cache_hits);
+  emit("inode_cache_misses", snapshot.inode_cache_misses);
+  emit("journal_commits", snapshot.journal_commits);
+  emit("journal_overflow_syncs", snapshot.journal_overflow_syncs);
 }
 
 UfsStats Ufs::stats() const {

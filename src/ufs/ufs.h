@@ -20,6 +20,7 @@
 #include <vector>
 
 #include "src/blockdev/block_device.h"
+#include "src/obs/metrics.h"
 #include "src/support/clock.h"
 #include "src/ufs/journal.h"
 #include "src/ufs/layout.h"
@@ -75,6 +76,7 @@ struct NamedEntry {
   FileType type;
 };
 
+// Deprecated: read the metrics registry ("ufs/..." keys) instead.
 struct UfsStats {
   uint64_t inode_cache_hits = 0;
   uint64_t inode_cache_misses = 0;
@@ -92,7 +94,7 @@ struct FormatOptions {
   uint64_t journal_blocks = 0;
 };
 
-class Ufs {
+class Ufs : public metrics::StatsProvider {
  public:
   // Writes a fresh empty file system (with a root directory) to `device`.
   static Result<std::unique_ptr<Ufs>> Format(BlockDevice* device,
@@ -150,6 +152,12 @@ class Ufs {
   uint64_t last_committed_tx() const;
 
   const Superblock& superblock() const { return sb_; }
+  // --- StatsProvider ---
+  std::string stats_prefix() const override { return "ufs"; }
+  void CollectStats(const metrics::StatsEmitter& emit) const override;
+
+  // Deprecated forwarder kept for one PR; equals the registry's "ufs/..."
+  // values.
   UfsStats stats() const;
   uint64_t FreeBlocks() const;
   uint64_t FreeInodes() const;

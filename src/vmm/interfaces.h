@@ -33,10 +33,48 @@ namespace springfs {
 using Offset = uint64_t;
 inline constexpr uint32_t kPageSize = 4096;
 
-inline Offset PageFloor(Offset offset) { return offset & ~Offset{kPageSize - 1}; }
-inline Offset PageCeil(Offset offset) {
+inline constexpr Offset PageFloor(Offset offset) {
+  return offset & ~Offset{kPageSize - 1};
+}
+inline constexpr Offset PageCeil(Offset offset) {
   return PageFloor(offset + kPageSize - 1);
 }
+
+// A byte range within a memory object. Every coherency-facing operation
+// takes a Range instead of a bare (Offset, Offset) pair so that swapped
+// offset/size arguments are a type error at the call site, not a data
+// corruption at runtime.
+struct Range {
+  Offset offset = 0;
+  Offset size = 0;
+
+  // The whole memory object ([0, ~0)); the conventional argument for
+  // whole-file flushes and teardown.
+  static constexpr Range All() { return Range{0, ~Offset{0}}; }
+  static constexpr Range FromTo(Offset begin, Offset end) {
+    return Range{begin, end - begin};
+  }
+
+  // One-past-the-end offset, saturating at the top of the offset space so
+  // Range::All() and other huge ranges never wrap.
+  constexpr Offset end() const {
+    Offset e = offset + size;
+    return e < offset ? ~Offset{0} : e;
+  }
+  constexpr bool empty() const { return size == 0; }
+  constexpr bool Contains(Offset o) const { return o >= offset && o < end(); }
+
+  // Expands to whole pages: page-floors the start, keeps the (saturating)
+  // end. This is the granularity coherency state is kept at.
+  constexpr Range PageExpanded() const {
+    Offset begin = PageFloor(offset);
+    return Range{begin, end() - begin};
+  }
+
+  constexpr bool operator==(const Range& other) const {
+    return offset == other.offset && size == other.size;
+  }
+};
 
 enum class AccessRights : uint8_t {
   kReadOnly,
@@ -60,23 +98,20 @@ class CacheObject : public virtual Object {
   const char* interface_name() const override { return "cache_object"; }
 
   // Removes data from the cache and returns modified blocks to the pager.
-  virtual Result<std::vector<BlockData>> FlushBack(Offset offset,
-                                                   Offset size) = 0;
+  virtual Result<std::vector<BlockData>> FlushBack(Range range) = 0;
 
   // Downgrades read-write blocks to read-only and returns modified blocks.
-  virtual Result<std::vector<BlockData>> DenyWrites(Offset offset,
-                                                    Offset size) = 0;
+  virtual Result<std::vector<BlockData>> DenyWrites(Range range) = 0;
 
   // Returns modified blocks; data is retained in the cache in the same mode
   // as before the call.
-  virtual Result<std::vector<BlockData>> WriteBack(Offset offset,
-                                                   Offset size) = 0;
+  virtual Result<std::vector<BlockData>> WriteBack(Range range) = 0;
 
   // Removes data from the cache; no data is returned.
-  virtual Status DeleteRange(Offset offset, Offset size) = 0;
+  virtual Status DeleteRange(Range range) = 0;
 
   // Indicates that a particular range of the cache is zero-filled.
-  virtual Status ZeroFill(Offset offset, Offset size) = 0;
+  virtual Status ZeroFill(Range range) = 0;
 
   // Introduces data into the cache.
   virtual Status Populate(Offset offset, AccessRights access,

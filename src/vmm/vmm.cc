@@ -3,12 +3,19 @@
 #include <algorithm>
 #include <functional>
 
+#include "src/obs/trace.h"
+
 namespace springfs {
 namespace {
 
-Offset SaturatingEnd(Offset offset, Offset size) {
-  Offset end = offset + size;
-  return end < offset ? ~Offset{0} : end;
+metrics::OpMetric& FaultMetric() {
+  static metrics::OpMetric metric("vmm/fault");
+  return metric;
+}
+
+metrics::OpMetric& MapMetric() {
+  static metrics::OpMetric metric("vmm/map");
+  return metric;
 }
 
 }  // namespace
@@ -31,56 +38,53 @@ class VmmCacheObject : public CacheObject, public Servant {
       : Servant(std::move(domain)), vmm_(std::move(vmm)),
         channel_id_(channel_id) {}
 
-  Result<std::vector<BlockData>> FlushBack(Offset offset,
-                                           Offset size) override {
+  Result<std::vector<BlockData>> FlushBack(Range range) override {
     return InDomain([&]() -> Result<std::vector<BlockData>> {
       sp<Vmm> vmm = vmm_.lock();
       if (!vmm) {
         return ErrDeadObject("vmm gone");
       }
-      return vmm->CacheFlushBack(channel_id_, offset, size);
+      return vmm->CacheFlushBack(channel_id_, range);
     });
   }
 
-  Result<std::vector<BlockData>> DenyWrites(Offset offset,
-                                            Offset size) override {
+  Result<std::vector<BlockData>> DenyWrites(Range range) override {
     return InDomain([&]() -> Result<std::vector<BlockData>> {
       sp<Vmm> vmm = vmm_.lock();
       if (!vmm) {
         return ErrDeadObject("vmm gone");
       }
-      return vmm->CacheDenyWrites(channel_id_, offset, size);
+      return vmm->CacheDenyWrites(channel_id_, range);
     });
   }
 
-  Result<std::vector<BlockData>> WriteBack(Offset offset,
-                                           Offset size) override {
+  Result<std::vector<BlockData>> WriteBack(Range range) override {
     return InDomain([&]() -> Result<std::vector<BlockData>> {
       sp<Vmm> vmm = vmm_.lock();
       if (!vmm) {
         return ErrDeadObject("vmm gone");
       }
-      return vmm->CacheWriteBack(channel_id_, offset, size);
+      return vmm->CacheWriteBack(channel_id_, range);
     });
   }
 
-  Status DeleteRange(Offset offset, Offset size) override {
+  Status DeleteRange(Range range) override {
     return InDomain([&]() -> Status {
       sp<Vmm> vmm = vmm_.lock();
       if (!vmm) {
         return ErrDeadObject("vmm gone");
       }
-      return vmm->CacheDeleteRange(channel_id_, offset, size);
+      return vmm->CacheDeleteRange(channel_id_, range);
     });
   }
 
-  Status ZeroFill(Offset offset, Offset size) override {
+  Status ZeroFill(Range range) override {
     return InDomain([&]() -> Status {
       sp<Vmm> vmm = vmm_.lock();
       if (!vmm) {
         return ErrDeadObject("vmm gone");
       }
-      return vmm->CacheZeroFill(channel_id_, offset, size);
+      return vmm->CacheZeroFill(channel_id_, range);
     });
   }
 
@@ -115,7 +119,22 @@ sp<Vmm> Vmm::Create(sp<Domain> domain, std::string name, size_t max_pages) {
 
 Vmm::Vmm(sp<Domain> domain, std::string name, size_t max_pages)
     : Servant(std::move(domain)), name_(std::move(name)),
-      max_pages_(max_pages) {}
+      max_pages_(max_pages) {
+  metrics::Registry::Global().RegisterProvider(this);
+}
+
+Vmm::~Vmm() { metrics::Registry::Global().UnregisterProvider(this); }
+
+void Vmm::CollectStats(const metrics::StatsEmitter& emit) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  emit("faults", stats_.faults);
+  emit("page_hits", stats_.page_hits);
+  emit("evictions", stats_.evictions);
+  emit("pages_cached", stats_.pages_cached);
+  emit("flush_backs", stats_.flush_backs);
+  emit("deny_writes", stats_.deny_writes);
+  emit("write_backs", stats_.write_backs);
+}
 
 Result<CacheManager::ChannelSetup> Vmm::EstablishChannel(
     uint64_t pager_key, sp<PagerObject> pager) {
@@ -143,6 +162,7 @@ Result<CacheManager::ChannelSetup> Vmm::EstablishChannel(
 
 Result<sp<MappedRegion>> Vmm::Map(const sp<MemoryObject>& object,
                                   AccessRights access) {
+  metrics::TimedOp timed(MapMetric(), "vmm.map");
   sp<Vmm> self = std::dynamic_pointer_cast<Vmm>(shared_from_this());
   ASSIGN_OR_RETURN(sp<CacheRights> rights, object->Bind(self, access));
   uint64_t channel_id = rights->channel_id();
@@ -184,6 +204,7 @@ Status Vmm::EnsurePageAnd(uint64_t channel_id, Offset page_offset,
     // Fault: issue the page_in with no lock held — the pager's coherency
     // protocol may re-enter our cache objects (deny_writes on another
     // channel, or even this one).
+    metrics::TimedOp timed(FaultMetric(), "vmm.fault");
     ASSIGN_OR_RETURN(Buffer data, pager->PageIn(page_offset, kPageSize, access));
     if (data.size() < kPageSize || data.size() % kPageSize != 0) {
       data.resize(PageCeil(std::max<Offset>(data.size(), 1)));
@@ -256,6 +277,7 @@ Status Vmm::EvictIfNeeded() {
       stats_.pages_cached = total_pages_;
     }
     if (victim_dirty) {
+      trace::ScopedSpan span("vmm.evict");
       RETURN_IF_ERROR(pager->PageOut(victim_offset, victim_data.span()));
     }
   }
@@ -294,6 +316,7 @@ Status Vmm::RegionWrite(uint64_t channel_id, Offset offset, ByteSpan data) {
 }
 
 Status Vmm::RegionSync(uint64_t channel_id) {
+  trace::ScopedSpan span("vmm.sync");
   sp<PagerObject> pager;
   std::vector<BlockData> dirty;
   {
@@ -332,8 +355,8 @@ Status Vmm::RegionSync(uint64_t channel_id) {
 // --- cache-object callbacks ---
 
 Result<std::vector<BlockData>> Vmm::CacheFlushBack(uint64_t channel_id,
-                                                   Offset offset,
-                                                   Offset size) {
+                                                   Range range) {
+  trace::ScopedSpan span("vmm.flush_back");
   std::lock_guard<std::mutex> lock(mutex_);
   ++stats_.flush_backs;
   auto ch_it = channels_.find(channel_id);
@@ -341,9 +364,9 @@ Result<std::vector<BlockData>> Vmm::CacheFlushBack(uint64_t channel_id,
     return ErrStale("channel destroyed");
   }
   Channel& ch = ch_it->second;
-  Offset end = SaturatingEnd(offset, size);
+  Offset end = range.end();
   std::vector<BlockData> modified;
-  auto it = ch.pages.lower_bound(PageFloor(offset));
+  auto it = ch.pages.lower_bound(PageFloor(range.offset));
   while (it != ch.pages.end() && it->first < end) {
     if (it->second.dirty) {
       modified.push_back(BlockData{it->first, std::move(it->second.data)});
@@ -356,8 +379,8 @@ Result<std::vector<BlockData>> Vmm::CacheFlushBack(uint64_t channel_id,
 }
 
 Result<std::vector<BlockData>> Vmm::CacheDenyWrites(uint64_t channel_id,
-                                                    Offset offset,
-                                                    Offset size) {
+                                                    Range range) {
+  trace::ScopedSpan span("vmm.deny_writes");
   std::lock_guard<std::mutex> lock(mutex_);
   ++stats_.deny_writes;
   auto ch_it = channels_.find(channel_id);
@@ -365,9 +388,9 @@ Result<std::vector<BlockData>> Vmm::CacheDenyWrites(uint64_t channel_id,
     return ErrStale("channel destroyed");
   }
   Channel& ch = ch_it->second;
-  Offset end = SaturatingEnd(offset, size);
+  Offset end = range.end();
   std::vector<BlockData> modified;
-  for (auto it = ch.pages.lower_bound(PageFloor(offset));
+  for (auto it = ch.pages.lower_bound(PageFloor(range.offset));
        it != ch.pages.end() && it->first < end; ++it) {
     Page& page = it->second;
     if (page.dirty) {
@@ -380,8 +403,8 @@ Result<std::vector<BlockData>> Vmm::CacheDenyWrites(uint64_t channel_id,
 }
 
 Result<std::vector<BlockData>> Vmm::CacheWriteBack(uint64_t channel_id,
-                                                   Offset offset,
-                                                   Offset size) {
+                                                   Range range) {
+  trace::ScopedSpan span("vmm.write_back");
   std::lock_guard<std::mutex> lock(mutex_);
   ++stats_.write_backs;
   auto ch_it = channels_.find(channel_id);
@@ -389,9 +412,9 @@ Result<std::vector<BlockData>> Vmm::CacheWriteBack(uint64_t channel_id,
     return ErrStale("channel destroyed");
   }
   Channel& ch = ch_it->second;
-  Offset end = SaturatingEnd(offset, size);
+  Offset end = range.end();
   std::vector<BlockData> modified;
-  for (auto it = ch.pages.lower_bound(PageFloor(offset));
+  for (auto it = ch.pages.lower_bound(PageFloor(range.offset));
        it != ch.pages.end() && it->first < end; ++it) {
     Page& page = it->second;
     if (page.dirty) {
@@ -402,15 +425,15 @@ Result<std::vector<BlockData>> Vmm::CacheWriteBack(uint64_t channel_id,
   return modified;
 }
 
-Status Vmm::CacheDeleteRange(uint64_t channel_id, Offset offset, Offset size) {
+Status Vmm::CacheDeleteRange(uint64_t channel_id, Range range) {
   std::lock_guard<std::mutex> lock(mutex_);
   auto ch_it = channels_.find(channel_id);
   if (ch_it == channels_.end()) {
     return ErrStale("channel destroyed");
   }
   Channel& ch = ch_it->second;
-  Offset end = SaturatingEnd(offset, size);
-  auto it = ch.pages.lower_bound(PageFloor(offset));
+  Offset end = range.end();
+  auto it = ch.pages.lower_bound(PageFloor(range.offset));
   while (it != ch.pages.end() && it->first < end) {
     it = ch.pages.erase(it);
     --total_pages_;
@@ -419,15 +442,15 @@ Status Vmm::CacheDeleteRange(uint64_t channel_id, Offset offset, Offset size) {
   return Status::Ok();
 }
 
-Status Vmm::CacheZeroFill(uint64_t channel_id, Offset offset, Offset size) {
+Status Vmm::CacheZeroFill(uint64_t channel_id, Range range) {
   std::lock_guard<std::mutex> lock(mutex_);
   auto ch_it = channels_.find(channel_id);
   if (ch_it == channels_.end()) {
     return ErrStale("channel destroyed");
   }
   Channel& ch = ch_it->second;
-  Offset end = SaturatingEnd(offset, size);
-  for (auto it = ch.pages.lower_bound(PageFloor(offset));
+  Offset end = range.end();
+  for (auto it = ch.pages.lower_bound(PageFloor(range.offset));
        it != ch.pages.end() && it->first < end; ++it) {
     std::memset(it->second.data.data(), 0, it->second.data.size());
     it->second.dirty = false;

@@ -25,12 +25,14 @@
 #include <vector>
 
 #include "src/obj/domain.h"
+#include "src/obs/metrics.h"
 #include "src/vmm/interfaces.h"
 
 namespace springfs {
 
 class MappedRegion;
 
+// Deprecated: read the metrics registry ("vmm/<name>/..." keys) instead.
 struct VmmStats {
   uint64_t faults = 0;        // page_in calls issued
   uint64_t page_hits = 0;     // page accesses served from cache
@@ -41,11 +43,12 @@ struct VmmStats {
   uint64_t write_backs = 0;
 };
 
-class Vmm : public CacheManager, public Servant {
+class Vmm : public CacheManager, public Servant, public metrics::StatsProvider {
  public:
   // `max_pages` bounds the page cache; 0 means unbounded.
   static sp<Vmm> Create(sp<Domain> domain, std::string name,
                         size_t max_pages = 0);
+  ~Vmm() override;
 
   // Maps `object` for this node. The bind operation on the memory object
   // establishes (or reuses) a pager-cache channel.
@@ -57,6 +60,12 @@ class Vmm : public CacheManager, public Servant {
                                         sp<PagerObject> pager) override;
   std::string cache_manager_name() const override { return name_; }
 
+  // --- StatsProvider ---
+  std::string stats_prefix() const override { return "vmm/" + name_; }
+  void CollectStats(const metrics::StatsEmitter& emit) const override;
+
+  // Deprecated forwarder kept for one PR; equals the registry's
+  // "vmm/<name>/..." values.
   VmmStats stats() const;
   void ResetStats();
 
@@ -103,13 +112,13 @@ class Vmm : public CacheManager, public Servant {
 
   // Cache-object callbacks (invoked by pagers), one per channel.
   Result<std::vector<BlockData>> CacheFlushBack(uint64_t channel_id,
-                                                Offset offset, Offset size);
+                                                Range range);
   Result<std::vector<BlockData>> CacheDenyWrites(uint64_t channel_id,
-                                                 Offset offset, Offset size);
+                                                 Range range);
   Result<std::vector<BlockData>> CacheWriteBack(uint64_t channel_id,
-                                                Offset offset, Offset size);
-  Status CacheDeleteRange(uint64_t channel_id, Offset offset, Offset size);
-  Status CacheZeroFill(uint64_t channel_id, Offset offset, Offset size);
+                                                Range range);
+  Status CacheDeleteRange(uint64_t channel_id, Range range);
+  Status CacheZeroFill(uint64_t channel_id, Range range);
   Status CachePopulate(uint64_t channel_id, Offset offset, AccessRights access,
                        ByteSpan data);
   Status CacheDestroy(uint64_t channel_id);

@@ -16,23 +16,20 @@ namespace {
 // loaded with dirty blocks to hand back.
 class FakeCache : public CacheObject {
  public:
-  Result<std::vector<BlockData>> FlushBack(Offset offset,
-                                           Offset size) override {
+  Result<std::vector<BlockData>> FlushBack(Range range) override {
     ++flush_backs;
-    return TakeDirty(offset, size);
+    return TakeDirty(range);
   }
-  Result<std::vector<BlockData>> DenyWrites(Offset offset,
-                                            Offset size) override {
+  Result<std::vector<BlockData>> DenyWrites(Range range) override {
     ++deny_writes;
-    return TakeDirty(offset, size);
+    return TakeDirty(range);
   }
-  Result<std::vector<BlockData>> WriteBack(Offset offset,
-                                           Offset size) override {
+  Result<std::vector<BlockData>> WriteBack(Range range) override {
     ++write_backs;
-    return TakeDirty(offset, size);
+    return TakeDirty(range);
   }
-  Status DeleteRange(Offset, Offset) override { return Status::Ok(); }
-  Status ZeroFill(Offset, Offset) override { return Status::Ok(); }
+  Status DeleteRange(Range) override { return Status::Ok(); }
+  Status ZeroFill(Range) override { return Status::Ok(); }
   Status Populate(Offset, AccessRights, ByteSpan) override {
     return Status::Ok();
   }
@@ -47,11 +44,10 @@ class FakeCache : public CacheObject {
   int write_backs = 0;
 
  private:
-  std::vector<BlockData> TakeDirty(Offset offset, Offset size) {
+  std::vector<BlockData> TakeDirty(Range range) {
     std::vector<BlockData> out;
-    Offset end = offset + size;
     for (auto it = dirty_.begin(); it != dirty_.end();) {
-      if (it->first >= offset && it->first < end) {
+      if (range.Contains(it->first)) {
         out.push_back(BlockData{it->first, std::move(it->second)});
         it = dirty_.erase(it);
       } else {
@@ -80,9 +76,12 @@ class EngineTest : public ::testing::Test {
 };
 
 TEST_F(EngineTest, ReadersCoexistWithoutCallbacks) {
-  ASSERT_TRUE(engine_.Acquire(1, 0, kPageSize, AccessRights::kReadOnly).ok());
-  ASSERT_TRUE(engine_.Acquire(2, 0, kPageSize, AccessRights::kReadOnly).ok());
-  ASSERT_TRUE(engine_.Acquire(3, 0, kPageSize, AccessRights::kReadOnly).ok());
+  ASSERT_TRUE(engine_.Acquire(1, Range{0, kPageSize},
+                              AccessRights::kReadOnly).ok());
+  ASSERT_TRUE(engine_.Acquire(2, Range{0, kPageSize},
+                              AccessRights::kReadOnly).ok());
+  ASSERT_TRUE(engine_.Acquire(3, Range{0, kPageSize},
+                              AccessRights::kReadOnly).ok());
   EXPECT_EQ(c1_->flush_backs + c2_->flush_backs + c3_->flush_backs, 0);
   EXPECT_EQ(c1_->deny_writes + c2_->deny_writes + c3_->deny_writes, 0);
   EXPECT_EQ(engine_.BlockNumReaders(0), 3u);
@@ -90,9 +89,12 @@ TEST_F(EngineTest, ReadersCoexistWithoutCallbacks) {
 }
 
 TEST_F(EngineTest, WriterFlushesAllReaders) {
-  ASSERT_TRUE(engine_.Acquire(1, 0, kPageSize, AccessRights::kReadOnly).ok());
-  ASSERT_TRUE(engine_.Acquire(2, 0, kPageSize, AccessRights::kReadOnly).ok());
-  ASSERT_TRUE(engine_.Acquire(3, 0, kPageSize, AccessRights::kReadWrite).ok());
+  ASSERT_TRUE(engine_.Acquire(1, Range{0, kPageSize},
+                              AccessRights::kReadOnly).ok());
+  ASSERT_TRUE(engine_.Acquire(2, Range{0, kPageSize},
+                              AccessRights::kReadOnly).ok());
+  ASSERT_TRUE(engine_.Acquire(3, Range{0, kPageSize},
+                              AccessRights::kReadWrite).ok());
   EXPECT_EQ(c1_->flush_backs, 1);
   EXPECT_EQ(c2_->flush_backs, 1);
   EXPECT_EQ(c3_->flush_backs, 0);
@@ -102,12 +104,13 @@ TEST_F(EngineTest, WriterFlushesAllReaders) {
 }
 
 TEST_F(EngineTest, ReaderDemotesWriterAndRecoversDirtyData) {
-  ASSERT_TRUE(engine_.Acquire(1, 0, kPageSize, AccessRights::kReadWrite).ok());
+  ASSERT_TRUE(engine_.Acquire(1, Range{0, kPageSize},
+                              AccessRights::kReadWrite).ok());
   Buffer dirty(kPageSize);
   dirty.data()[0] = 0x42;
   c1_->LoadDirty(0, dirty);
   Result<std::vector<BlockData>> recovered =
-      engine_.Acquire(2, 0, kPageSize, AccessRights::kReadOnly);
+      engine_.Acquire(2, Range{0, kPageSize}, AccessRights::kReadOnly);
   ASSERT_TRUE(recovered.ok());
   EXPECT_EQ(c1_->deny_writes, 1);
   ASSERT_EQ(recovered->size(), 1u);
@@ -121,23 +124,29 @@ TEST_F(EngineTest, ReaderDemotesWriterAndRecoversDirtyData) {
 }
 
 TEST_F(EngineTest, WriterStealsFromWriter) {
-  ASSERT_TRUE(engine_.Acquire(1, 0, kPageSize, AccessRights::kReadWrite).ok());
-  ASSERT_TRUE(engine_.Acquire(2, 0, kPageSize, AccessRights::kReadWrite).ok());
+  ASSERT_TRUE(engine_.Acquire(1, Range{0, kPageSize},
+                              AccessRights::kReadWrite).ok());
+  ASSERT_TRUE(engine_.Acquire(2, Range{0, kPageSize},
+                              AccessRights::kReadWrite).ok());
   EXPECT_EQ(c1_->flush_backs, 1);
   EXPECT_TRUE(engine_.BlockHasWriter(0));
   EXPECT_TRUE(engine_.CheckInvariants());
 }
 
 TEST_F(EngineTest, RepeatAcquireBySameHolderIsFree) {
-  ASSERT_TRUE(engine_.Acquire(1, 0, kPageSize, AccessRights::kReadWrite).ok());
-  ASSERT_TRUE(engine_.Acquire(1, 0, kPageSize, AccessRights::kReadWrite).ok());
-  ASSERT_TRUE(engine_.Acquire(1, 0, kPageSize, AccessRights::kReadOnly).ok());
+  ASSERT_TRUE(engine_.Acquire(1, Range{0, kPageSize},
+                              AccessRights::kReadWrite).ok());
+  ASSERT_TRUE(engine_.Acquire(1, Range{0, kPageSize},
+                              AccessRights::kReadWrite).ok());
+  ASSERT_TRUE(engine_.Acquire(1, Range{0, kPageSize},
+                              AccessRights::kReadOnly).ok());
   EXPECT_EQ(c1_->flush_backs + c1_->deny_writes, 0);
 }
 
 TEST_F(EngineTest, BlocksAreIndependent) {
-  ASSERT_TRUE(engine_.Acquire(1, 0, kPageSize, AccessRights::kReadWrite).ok());
-  ASSERT_TRUE(engine_.Acquire(2, kPageSize, kPageSize,
+  ASSERT_TRUE(engine_.Acquire(1, Range{0, kPageSize},
+                              AccessRights::kReadWrite).ok());
+  ASSERT_TRUE(engine_.Acquire(2, Range{kPageSize, kPageSize},
                               AccessRights::kReadWrite).ok());
   EXPECT_EQ(c1_->flush_backs, 0);
   EXPECT_EQ(c2_->flush_backs, 0);
@@ -147,11 +156,12 @@ TEST_F(EngineTest, BlocksAreIndependent) {
 }
 
 TEST_F(EngineTest, RangeAcquireSpansMultipleBlocks) {
-  ASSERT_TRUE(engine_.Acquire(1, 0, kPageSize, AccessRights::kReadWrite).ok());
-  ASSERT_TRUE(engine_.Acquire(1, 2 * kPageSize, kPageSize,
+  ASSERT_TRUE(engine_.Acquire(1, Range{0, kPageSize},
+                              AccessRights::kReadWrite).ok());
+  ASSERT_TRUE(engine_.Acquire(1, Range{2 * kPageSize, kPageSize},
                               AccessRights::kReadWrite).ok());
   // One flush_back call covering the whole range, not one per block.
-  ASSERT_TRUE(engine_.Acquire(2, 0, 3 * kPageSize,
+  ASSERT_TRUE(engine_.Acquire(2, Range{0, 3 * kPageSize},
                               AccessRights::kReadWrite).ok());
   EXPECT_EQ(c1_->flush_backs, 1);
   EXPECT_TRUE(engine_.BlockHasWriter(0));
@@ -160,17 +170,22 @@ TEST_F(EngineTest, RangeAcquireSpansMultipleBlocks) {
 }
 
 TEST_F(EngineTest, AnonymousReaderDemotesButHoldsNothing) {
-  ASSERT_TRUE(engine_.Acquire(1, 0, kPageSize, AccessRights::kReadWrite).ok());
-  ASSERT_TRUE(engine_.Acquire(0, 0, kPageSize, AccessRights::kReadOnly).ok());
+  ASSERT_TRUE(engine_.Acquire(1, Range{0, kPageSize},
+                              AccessRights::kReadWrite).ok());
+  ASSERT_TRUE(engine_.Acquire(0, Range{0, kPageSize},
+                              AccessRights::kReadOnly).ok());
   EXPECT_EQ(c1_->deny_writes, 1);
   EXPECT_FALSE(engine_.BlockHasWriter(0));
   EXPECT_EQ(engine_.BlockNumReaders(0), 1u);  // only the demoted ex-writer
 }
 
 TEST_F(EngineTest, AnonymousWriterFlushesEveryone) {
-  ASSERT_TRUE(engine_.Acquire(1, 0, kPageSize, AccessRights::kReadOnly).ok());
-  ASSERT_TRUE(engine_.Acquire(2, 0, kPageSize, AccessRights::kReadOnly).ok());
-  ASSERT_TRUE(engine_.Acquire(0, 0, kPageSize, AccessRights::kReadWrite).ok());
+  ASSERT_TRUE(engine_.Acquire(1, Range{0, kPageSize},
+                              AccessRights::kReadOnly).ok());
+  ASSERT_TRUE(engine_.Acquire(2, Range{0, kPageSize},
+                              AccessRights::kReadOnly).ok());
+  ASSERT_TRUE(engine_.Acquire(0, Range{0, kPageSize},
+                              AccessRights::kReadWrite).ok());
   EXPECT_EQ(c1_->flush_backs, 1);
   EXPECT_EQ(c2_->flush_backs, 1);
   EXPECT_FALSE(engine_.BlockHasWriter(0));
@@ -178,26 +193,31 @@ TEST_F(EngineTest, AnonymousWriterFlushesEveryone) {
 }
 
 TEST_F(EngineTest, ReleaseDroppedClearsHolder) {
-  ASSERT_TRUE(engine_.Acquire(1, 0, kPageSize, AccessRights::kReadWrite).ok());
-  engine_.ReleaseDropped(1, 0, kPageSize);
+  ASSERT_TRUE(engine_.Acquire(1, Range{0, kPageSize},
+                              AccessRights::kReadWrite).ok());
+  engine_.ReleaseDropped(1, Range{0, kPageSize});
   EXPECT_FALSE(engine_.BlockHasWriter(0));
   // A new writer needs no callbacks now.
-  ASSERT_TRUE(engine_.Acquire(2, 0, kPageSize, AccessRights::kReadWrite).ok());
+  ASSERT_TRUE(engine_.Acquire(2, Range{0, kPageSize},
+                              AccessRights::kReadWrite).ok());
   EXPECT_EQ(c1_->flush_backs, 0);
 }
 
 TEST_F(EngineTest, ReleaseDowngradedKeepsReader) {
-  ASSERT_TRUE(engine_.Acquire(1, 0, kPageSize, AccessRights::kReadWrite).ok());
-  engine_.ReleaseDowngraded(1, 0, kPageSize);
+  ASSERT_TRUE(engine_.Acquire(1, Range{0, kPageSize},
+                              AccessRights::kReadWrite).ok());
+  engine_.ReleaseDowngraded(1, Range{0, kPageSize});
   EXPECT_FALSE(engine_.BlockHasWriter(0));
   EXPECT_EQ(engine_.BlockNumReaders(0), 1u);
   // A subsequent writer must flush the downgraded holder.
-  ASSERT_TRUE(engine_.Acquire(2, 0, kPageSize, AccessRights::kReadWrite).ok());
+  ASSERT_TRUE(engine_.Acquire(2, Range{0, kPageSize},
+                              AccessRights::kReadWrite).ok());
   EXPECT_EQ(c1_->flush_backs, 1);
 }
 
 TEST_F(EngineTest, RemoveCacheForgetsItsHoldings) {
-  ASSERT_TRUE(engine_.Acquire(1, 0, kPageSize, AccessRights::kReadWrite).ok());
+  ASSERT_TRUE(engine_.Acquire(1, Range{0, kPageSize},
+                              AccessRights::kReadWrite).ok());
   engine_.RemoveCache(1);
   EXPECT_FALSE(engine_.BlockHasWriter(0));
   EXPECT_EQ(engine_.NumCaches(), 2u);
@@ -220,15 +240,15 @@ TEST_P(EnginePropertyTest, RandomAcquireSequencePreservesInvariants) {
     Offset size = rng.Range(1, 3) * kPageSize;
     uint64_t action = rng.Below(10);
     if (action < 5) {
-      ASSERT_TRUE(engine.Acquire(cache_id, offset, size,
+      ASSERT_TRUE(engine.Acquire(cache_id, Range{offset, size},
                                  AccessRights::kReadOnly).ok());
     } else if (action < 8) {
-      ASSERT_TRUE(engine.Acquire(cache_id, offset, size,
+      ASSERT_TRUE(engine.Acquire(cache_id, Range{offset, size},
                                  AccessRights::kReadWrite).ok());
     } else if (action < 9) {
-      engine.ReleaseDropped(cache_id, offset, size);
+      engine.ReleaseDropped(cache_id, Range{offset, size});
     } else {
-      engine.ReleaseDowngraded(cache_id, offset, size);
+      engine.ReleaseDowngraded(cache_id, Range{offset, size});
     }
     ASSERT_TRUE(engine.CheckInvariants()) << "step " << step;
   }

@@ -17,17 +17,17 @@ class PlainManager : public CacheManager {
  public:
   class PlainCache : public CacheObject {
    public:
-    Result<std::vector<BlockData>> FlushBack(Offset, Offset) override {
+    Result<std::vector<BlockData>> FlushBack(Range) override {
       return std::vector<BlockData>{};
     }
-    Result<std::vector<BlockData>> DenyWrites(Offset, Offset) override {
+    Result<std::vector<BlockData>> DenyWrites(Range) override {
       return std::vector<BlockData>{};
     }
-    Result<std::vector<BlockData>> WriteBack(Offset, Offset) override {
+    Result<std::vector<BlockData>> WriteBack(Range) override {
       return std::vector<BlockData>{};
     }
-    Status DeleteRange(Offset, Offset) override { return Status::Ok(); }
-    Status ZeroFill(Offset, Offset) override { return Status::Ok(); }
+    Status DeleteRange(Range) override { return Status::Ok(); }
+    Status ZeroFill(Range) override { return Status::Ok(); }
     Status Populate(Offset, AccessRights, ByteSpan) override {
       return Status::Ok();
     }
@@ -70,17 +70,17 @@ class FsManager : public CacheManager {
  public:
   class FsCache : public FsCacheObject {
    public:
-    Result<std::vector<BlockData>> FlushBack(Offset, Offset) override {
+    Result<std::vector<BlockData>> FlushBack(Range) override {
       return std::vector<BlockData>{};
     }
-    Result<std::vector<BlockData>> DenyWrites(Offset, Offset) override {
+    Result<std::vector<BlockData>> DenyWrites(Range) override {
       return std::vector<BlockData>{};
     }
-    Result<std::vector<BlockData>> WriteBack(Offset, Offset) override {
+    Result<std::vector<BlockData>> WriteBack(Range) override {
       return std::vector<BlockData>{};
     }
-    Status DeleteRange(Offset, Offset) override { return Status::Ok(); }
-    Status ZeroFill(Offset, Offset) override { return Status::Ok(); }
+    Status DeleteRange(Range) override { return Status::Ok(); }
+    Status ZeroFill(Range) override { return Status::Ok(); }
     Status Populate(Offset, AccessRights, ByteSpan) override {
       return Status::Ok();
     }
