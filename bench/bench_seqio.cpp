@@ -1,0 +1,193 @@
+// Sequential I/O through the full DFS stack: fault clustering end to end.
+//
+// A client VMM maps a remote file (DFS client -> network -> DFS server ->
+// SFS) and reads 256 pages. With read-ahead off every page costs one
+// PageIn and one network round trip; with the adaptive cluster window on,
+// sequential faults widen (1, 2, 4, ... pages) and ride the batched
+// kPageInRange op, so the same read costs a handful of round trips. The
+// random-access control shows the window resetting: clustering must not
+// penalize non-sequential workloads.
+//
+// Emits BENCH_seqio.json and self-checks the acceptance ratios (>=5x fewer
+// pager calls and >=3x fewer net round trips sequentially, <5% random
+// regression, byte-identical reads), exiting non-zero on violation.
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <numeric>
+#include <random>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "src/layers/dfs/dfs_client.h"
+#include "src/layers/dfs/dfs_server.h"
+#include "src/layers/sfs/sfs.h"
+#include "src/support/rng.h"
+#include "src/vmm/vmm.h"
+
+using namespace springfs;
+using bench::Measurement;
+using dfs::DfsClient;
+using dfs::DfsServer;
+
+namespace {
+
+constexpr int kPages = 256;
+constexpr uint32_t kReadAheadPages = 32;
+constexpr uint64_t kLatencyNs = 100'000;  // 100us one-way
+
+struct RunResult {
+  uint64_t pager_calls = 0;      // PageIn calls the client VMM issued
+  uint64_t net_calls = 0;        // network round trips during the reads
+  uint64_t read_ahead_hits = 0;  // demand hits on prefetched pages
+  bool identical = false;        // bytes match the seeded file exactly
+  double wall_us = 0;
+};
+
+RunResult RunWorkload(bench::BenchReport& report, const std::string& name,
+                      bool sequential, uint32_t read_ahead) {
+  Credentials creds = Credentials::System();
+  net::Network network(&DefaultClock(), kLatencyNs);
+  sp<net::Node> server_node = network.AddNode("server");
+  sp<net::Node> client_node = network.AddNode("client");
+
+  MemBlockDevice device(ufs::kBlockSize, 16384);
+  Sfs sfs = CreateSfs(&device, SfsOptions{}).take_value();
+  sp<DfsServer> server =
+      DfsServer::Create(server_node, &network, "dfs", sfs.root).take_value();
+  sp<DfsClient> client =
+      DfsClient::Mount(client_node, &network, "server", "dfs").take_value();
+
+  sp<File> file = server->CreateFile(*Name::Parse("f"), creds).take_value();
+  Rng rng(1);
+  Buffer expect = rng.RandomBuffer(Offset{kPages} * kPageSize);
+  file->Write(0, expect.span()).take_value();
+
+  sp<File> remote = ResolveAs<File>(client, "f", creds).take_value();
+  VmmOptions options;
+  options.read_ahead_pages = read_ahead;
+  sp<Vmm> vmm = Vmm::Create(client_node->domain(), "seqio-" + name, options);
+  sp<MappedRegion> region =
+      vmm->Map(remote, AccessRights::kReadOnly).take_value();
+
+  std::vector<int> order(kPages);
+  std::iota(order.begin(), order.end(), 0);
+  if (!sequential) {
+    std::mt19937 shuffle_rng(1234);
+    std::shuffle(order.begin(), order.end(), shuffle_rng);
+  }
+
+  // Setup traffic (mount, resolve, bind, seeding the file) must not count.
+  report.BeginConfig(name);
+  network.ResetStats();
+  vmm->ResetStats();
+
+  RunResult result;
+  result.identical = true;
+  Buffer out(kPageSize);
+  auto start = std::chrono::steady_clock::now();
+  for (int p : order) {
+    Offset at = Offset{static_cast<uint64_t>(p)} * kPageSize;
+    if (!region->Read(at, out.mutable_span()).ok() ||
+        std::memcmp(out.data(),
+                    expect.data() + static_cast<size_t>(p) * kPageSize,
+                    kPageSize) != 0) {
+      result.identical = false;
+    }
+  }
+  auto end = std::chrono::steady_clock::now();
+  result.wall_us =
+      std::chrono::duration<double, std::micro>(end - start).count();
+
+  VmmStats vmm_stats = vmm->stats();
+  result.pager_calls = vmm_stats.faults;
+  result.net_calls = network.stats().calls;
+  result.read_ahead_hits = vmm_stats.read_ahead_hits;
+
+  Measurement per_page;
+  per_page.mean_us = result.wall_us / kPages;
+  per_page.iterations = kPages;
+  report.Add("4KB page read", per_page);
+  report.EndConfig();
+
+  std::printf("%-22s: %8.2f us/page, %4llu pager calls, %4llu net calls, "
+              "%4llu read-ahead hits, bytes %s\n",
+              name.c_str(), per_page.mean_us,
+              static_cast<unsigned long long>(result.pager_calls),
+              static_cast<unsigned long long>(result.net_calls),
+              static_cast<unsigned long long>(result.read_ahead_hits),
+              result.identical ? "identical" : "MISMATCH");
+  return result;
+}
+
+Measurement Ratio(double value) {
+  Measurement m;
+  m.mean_us = value;
+  m.iterations = 1;
+  return m;
+}
+
+}  // namespace
+
+int main() {
+  bench::BenchReport report("seqio");
+  std::printf("Sequential I/O, %d pages through VMM -> DFS client -> "
+              "network (%llu us one-way) -> DFS server -> SFS\n",
+              kPages, static_cast<unsigned long long>(kLatencyNs / 1000));
+  bench::PrintRule(96);
+
+  RunResult seq_off = RunWorkload(report, "seq/read_ahead_off",
+                                  /*sequential=*/true, /*read_ahead=*/0);
+  RunResult seq_on = RunWorkload(report, "seq/read_ahead_on",
+                                 /*sequential=*/true, kReadAheadPages);
+  RunResult rand_off = RunWorkload(report, "rand/read_ahead_off",
+                                   /*sequential=*/false, /*read_ahead=*/0);
+  RunResult rand_on = RunWorkload(report, "rand/read_ahead_on",
+                                  /*sequential=*/false, kReadAheadPages);
+  bench::PrintRule(96);
+
+  double pager_reduction =
+      static_cast<double>(seq_off.pager_calls) /
+      static_cast<double>(std::max<uint64_t>(seq_on.pager_calls, 1));
+  double net_reduction =
+      static_cast<double>(seq_off.net_calls) /
+      static_cast<double>(std::max<uint64_t>(seq_on.net_calls, 1));
+  double rand_regression =
+      static_cast<double>(rand_on.pager_calls) /
+      static_cast<double>(std::max<uint64_t>(rand_off.pager_calls, 1));
+
+  report.BeginConfig("summary");
+  report.Add("pager_call_reduction_x", Ratio(pager_reduction));
+  report.Add("net_call_reduction_x", Ratio(net_reduction));
+  report.Add("random_pager_call_ratio", Ratio(rand_regression));
+  report.EndConfig();
+
+  std::printf("sequential: %.1fx fewer pager calls, %.1fx fewer net round "
+              "trips; random pager-call ratio %.3f\n",
+              pager_reduction, net_reduction, rand_regression);
+
+  std::string path = report.Write();
+  std::printf("wrote %s\n", path.empty() ? "(write failed!)" : path.c_str());
+
+  bool ok = true;
+  auto check = [&](bool cond, const char* what) {
+    if (!cond) {
+      std::fprintf(stderr, "FAIL: %s\n", what);
+      ok = false;
+    }
+  };
+  check(!path.empty(), "BENCH_seqio.json written");
+  check(seq_off.identical && seq_on.identical && rand_off.identical &&
+            rand_on.identical,
+        "all reads byte-identical to the seeded file");
+  check(pager_reduction >= 5.0,
+        "sequential pager calls reduced >=5x by clustering");
+  check(net_reduction >= 3.0,
+        "sequential net round trips reduced >=3x by kPageInRange");
+  check(rand_regression <= 1.05,
+        "random-access pager calls regress <5% with clustering on");
+  check(seq_on.read_ahead_hits > 0, "prefetched pages served demand hits");
+  return ok ? 0 : 1;
+}

@@ -1,0 +1,106 @@
+#!/usr/bin/env python3
+"""Diff a BENCH_*.json run against its checked-in baseline.
+
+Usage: check_bench_regression.py CURRENT... BASELINE
+           [--tolerance 0.25] [--min-delta-us 5.0]
+
+The last positional argument is the baseline; every preceding one is a
+current run. With several current runs the per-measurement minimum is
+compared (best-of-N), which strips scheduler noise the way a single
+timing sample cannot — CI runs each quick bench three times.
+
+Compares every (config, measurement) mean_us present in both sides. Raw
+wall-clock comparisons across different machines would gate on hardware, so
+the check normalizes by the run's overall speed shift first:
+
+    ratio(m)  = current.mean_us / baseline.mean_us
+    scale     = median ratio across all shared measurements
+    fail when ratio(m) > (1 + tolerance) * scale
+         and current - baseline > min_delta_us
+
+On identical hardware scale ~= 1 and this is a plain >25%-regression gate;
+on a slower CI runner every measurement shifts together and only an op that
+regressed *relative to the rest of the suite* trips the gate. Measurements
+that are ratios rather than timings (e.g. seqio's summary reductions) shift
+with scale ~= 1 on any machine, so a genuine drop still sticks out. The
+absolute floor exists because quick mode runs ~100x fewer iterations:
+microsecond-scale ops routinely swing 2x run to run, so for them the gate
+only catches order-of-magnitude blowups; the 25% relative gate bites on
+measurements that dwarf the floor (e.g. seqio's per-page network reads).
+Semantic ratios (pager-call / round-trip reductions) are gated separately
+by bench_seqio's own exit code, not by this timing diff.
+
+Exit codes: 0 clean, 1 regression found, 2 usage/shape error.
+"""
+
+import json
+import statistics
+import sys
+
+
+def load(path):
+    try:
+        with open(path) as f:
+            return json.load(f)
+    except (OSError, ValueError) as e:
+        print(f"error: cannot load {path}: {e}", file=sys.stderr)
+        sys.exit(2)
+
+
+def flatten(doc):
+    out = {}
+    for config in doc.get("configs", []):
+        for op, m in config.get("measurements", {}).items():
+            mean = m.get("mean_us", 0.0)
+            if mean > 0:
+                out[f"{config['name']}::{op}"] = mean
+    return out
+
+
+def main(argv):
+    args, flags = [], {}
+    it = iter(argv[1:])
+    for a in it:
+        if a.startswith("--"):
+            name, _, value = a.partition("=")
+            flags[name] = value if value else next(it, "")
+        else:
+            args.append(a)
+    tolerance = float(flags.get("--tolerance", 0.25))
+    min_delta_us = float(flags.get("--min-delta-us", 5.0))
+    if len(args) < 2:
+        print(__doc__, file=sys.stderr)
+        return 2
+
+    current = {}
+    for path in args[:-1]:
+        for key, mean in flatten(load(path)).items():
+            current[key] = min(mean, current.get(key, mean))
+    baseline = flatten(load(args[-1]))
+    shared = sorted(set(current) & set(baseline))
+    if not shared:
+        print(f"error: no shared measurements between {args[:-1]} and "
+              f"{args[-1]}", file=sys.stderr)
+        return 2
+
+    ratios = {k: current[k] / baseline[k] for k in shared}
+    scale = statistics.median(ratios.values())
+    limit = (1.0 + tolerance) * scale
+    print(f"best of {len(args) - 1} run(s) vs {args[-1]}: "
+          f"{len(shared)} measurements, speed scale {scale:.2f}x, "
+          f"regression limit {limit:.2f}x")
+
+    failed = False
+    for key in shared:
+        r = ratios[key]
+        regressed = r > limit and current[key] - baseline[key] > min_delta_us
+        if regressed:
+            failed = True
+        flag = "REGRESSION" if regressed else "ok"
+        print(f"  {flag:>10}  {key:<45} {baseline[key]:10.3f} -> "
+              f"{current[key]:10.3f} us  ({r:5.2f}x)")
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

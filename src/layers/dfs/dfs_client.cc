@@ -45,10 +45,32 @@ class RemotePagerObject : public FsPagerObject, public Servant {
       request.arg2 = size;
       request.arg3 = access == AccessRights::kReadWrite ? 1 : 0;
       request.payload = CacheIdPayload(cache_id);
+      if (size <= kPageSize) {
+        ASSIGN_OR_RETURN(net::Frame response,
+                         client_->Call(Op::kPageIn, request));
+        RETURN_IF_ERROR(response.ToStatus());
+        return std::move(response.payload);
+      }
+      // A fault cluster: one kPageInRange round trip returns the whole
+      // block list instead of one kPageIn per page.
       ASSIGN_OR_RETURN(net::Frame response,
-                       client_->Call(Op::kPageIn, request));
+                       client_->Call(Op::kPageInRange, request));
       RETURN_IF_ERROR(response.ToStatus());
-      return std::move(response.payload);
+      ASSIGN_OR_RETURN(std::vector<BlockData> blocks,
+                       DeserializeBlocks(response.payload.span()));
+      // Reassemble the contiguous prefix starting at `offset`; the server
+      // may have clamped the tail at EOF.
+      Buffer out;
+      for (const BlockData& block : blocks) {
+        if (block.offset != offset + out.size()) {
+          break;  // hole: keep only the contiguous prefix
+        }
+        out.append(block.data.span());
+      }
+      if (out.size() == 0) {
+        return ErrCorrupted("page_in_range returned no usable blocks");
+      }
+      return out;
     });
   }
   Status PageOut(Offset offset, ByteSpan data) override {

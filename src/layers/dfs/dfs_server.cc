@@ -652,6 +652,60 @@ net::Frame DfsServer::HandleFileOp(Op op, const net::Frame& request) {
       response.payload = std::move(*data);
       return response;
     }
+    case Op::kPageInRange: {
+      {
+        std::lock_guard<std::mutex> lock(stats_mutex_);
+        ++stats_.remote_range_page_ins;
+      }
+      if (request.payload.size() < 8) {
+        return StatusFrame(ErrInvalidArgument("page-in-range missing cache id"));
+      }
+      uint64_t cache_id = 0;
+      for (int i = 7; i >= 0; --i) {
+        cache_id = (cache_id << 8) | request.payload.data()[i];
+      }
+      if (request.arg1 % kPageSize != 0 || request.arg2 == 0) {
+        return StatusFrame(ErrInvalidArgument("malformed page-in-range"));
+      }
+      AccessRights access = request.arg3 == 0 ? AccessRights::kReadOnly
+                                              : AccessRights::kReadWrite;
+      RETURN_FRAME_IF_ERROR(EnsureBoundBelow(file));
+      std::lock_guard<std::mutex> lock(file->mutex);
+      // One acquire covers the whole cluster, then one clustered page_in
+      // against the layer below — the server-side mirror of the client's
+      // fault clustering.
+      Result<std::vector<BlockData>> recovered = file->engine.Acquire(
+          cache_id, Range{request.arg1, request.arg2}, access);
+      if (!recovered.ok()) {
+        return StatusFrame(recovered.status());
+      }
+      Status pushed = PushRecovered(*file, *recovered);
+      if (!pushed.ok()) {
+        return StatusFrame(pushed);
+      }
+      Result<Buffer> data =
+          file->lower_pager->PageIn(request.arg1, request.arg2, access);
+      if (!data.ok()) {
+        return StatusFrame(data.status());
+      }
+      // The lower layer may clamp at EOF; ship whatever whole pages exist
+      // as a block list so the client can take the contiguous prefix.
+      std::vector<BlockData> blocks;
+      Offset usable = PageFloor(data->size());
+      if (data->size() % kPageSize != 0) {
+        data->resize(PageCeil(data->size()));
+        usable = data->size();
+      }
+      blocks.reserve(usable / kPageSize);
+      for (Offset off = 0; off < usable; off += kPageSize) {
+        blocks.push_back(
+            BlockData{request.arg1 + off,
+                      Buffer(data->subspan(off, kPageSize))});
+      }
+      net::Frame response;
+      response.payload = SerializeBlocks(blocks);
+      return response;
+    }
     case Op::kPageOut:
     case Op::kWriteOut:
     case Op::kSyncPages: {
@@ -771,6 +825,7 @@ void DfsServer::CollectStats(const metrics::StatsEmitter& emit) const {
   std::lock_guard<std::mutex> lock(stats_mutex_);
   emit("remote_lookups", stats_.remote_lookups);
   emit("remote_page_ins", stats_.remote_page_ins);
+  emit("remote_range_page_ins", stats_.remote_range_page_ins);
   emit("remote_page_outs", stats_.remote_page_outs);
   emit("remote_reads", stats_.remote_reads);
   emit("remote_writes", stats_.remote_writes);

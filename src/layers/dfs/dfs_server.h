@@ -38,6 +38,7 @@ namespace springfs::dfs {
 struct DfsServerStats {
   uint64_t remote_lookups = 0;
   uint64_t remote_page_ins = 0;
+  uint64_t remote_range_page_ins = 0;  // batched kPageInRange round trips
   uint64_t remote_page_outs = 0;
   uint64_t remote_reads = 0;
   uint64_t remote_writes = 0;

@@ -41,6 +41,15 @@ enum class Op : uint32_t {
   kPageOut = 33,  // arg1 = offset, payload = u64 cache id + data
   kWriteOut = 34,
   kSyncPages = 35,
+  kPageInRange = 36,  // arg1 = offset, arg2 = size, arg3 = access,
+                      // payload = u64 server cache id
+                      // -> payload: (u64 offset + page)* block list.
+                      // Batched cousin of kPageIn: one round trip returns a
+                      // whole fault cluster, served from the server's own
+                      // clustered path. The block-list response (rather than
+                      // one contiguous blob) lets the server clamp or
+                      // shorten the range at EOF. kPageIn stays for
+                      // single-page faults and old clients.
 
   // callbacks (server -> client); arg0 = client channel id
   kCbFlushBack = 100,   // arg1 = offset, arg2 = size
@@ -63,6 +72,7 @@ inline bool IsIdempotent(Op op) {
     case Op::kGetLength:
     case Op::kRead:
     case Op::kPageIn:
+    case Op::kPageInRange:
     case Op::kSyncFile:
       return true;
     default:

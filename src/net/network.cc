@@ -172,6 +172,7 @@ Result<Frame> Network::Call(const std::string& from, const std::string& to,
   Buffer request_wire = request.Serialize();
   {
     std::lock_guard<std::mutex> lock(mutex_);
+    ++stats_.calls;
     ++stats_.messages;
     stats_.bytes += request_wire.size();
   }
@@ -192,6 +193,7 @@ Result<Frame> Network::Call(const std::string& from, const std::string& to,
 
 void Network::CollectStats(const metrics::StatsEmitter& emit) const {
   std::lock_guard<std::mutex> lock(mutex_);
+  emit("calls", stats_.calls);
   emit("messages", stats_.messages);
   emit("bytes", stats_.bytes);
 }

@@ -49,6 +49,7 @@ struct Frame {
 
 // Deprecated: read the metrics registry ("net/..." keys) instead.
 struct NetworkStats {
+  uint64_t calls = 0;  // round trips (each costs two messages on the wire)
   uint64_t messages = 0;
   uint64_t bytes = 0;
 };

@@ -155,7 +155,12 @@ TEST_F(ReadAheadTest, WithoutReadAheadEveryPageFaults) {
   Rng rng(1);
   Buffer data = rng.RandomBuffer(16 * kPageSize);
   ASSERT_TRUE(file->Write(0, data.span()).ok());
-  sp<Vmm> vmm = Vmm::Create(Domain::Create("n"), "vmm");
+  // Both read-ahead stages off: the layer grants no window and the VMM
+  // does not cluster faults, so this is the true one-fault-per-page
+  // control.
+  VmmOptions no_cluster;
+  no_cluster.read_ahead_pages = 0;
+  sp<Vmm> vmm = Vmm::Create(Domain::Create("n"), "vmm", no_cluster);
   sp<MappedRegion> region = *vmm->Map(file, AccessRights::kReadOnly);
   Buffer out(kPageSize);
   for (int p = 0; p < 16; ++p) {
@@ -176,6 +181,28 @@ TEST_F(ReadAheadTest, ReadAheadClampsAtEof) {
   ASSERT_TRUE(region->Read(0, out.mutable_span()).ok());
   EXPECT_EQ(out.ToString(), "tiny");
   EXPECT_LE(vmm->stats().pages_cached, 1u);
+}
+
+TEST_F(ReadAheadTest, VmmClusterClampsToPartialPageAtEof) {
+  // Layer read-ahead off; only the VMM's own fault clustering is active.
+  // The file ends mid-page, so a widened cluster request crosses EOF and
+  // the layer returns a short (partial) reply: the VMM must keep the
+  // partial tail page and stay byte-exact.
+  Sfs sfs = MakeSfs(0);
+  sp<File> file = *sfs.root->CreateFile(*Name::Parse("partial"), sys_);
+  Rng rng(7);
+  Buffer data = rng.RandomBuffer(2 * kPageSize + 100);
+  ASSERT_TRUE(file->Write(0, data.span()).ok());
+
+  sp<Vmm> vmm = Vmm::Create(Domain::Create("n"), "vmm");
+  sp<MappedRegion> region = *vmm->Map(file, AccessRights::kReadOnly);
+  Buffer out(data.size());
+  ASSERT_TRUE(region->Read(0, out.mutable_span()).ok());
+  EXPECT_EQ(Fnv1a64(out.span()), Fnv1a64(data.span()));
+  // Clustering must not fabricate pages past the end of the file: three
+  // pages of content, at most three cached (the tail one partial).
+  EXPECT_LE(vmm->stats().pages_cached, 3u);
+  EXPECT_LE(vmm->stats().faults, 3u);
 }
 
 TEST_F(ReadAheadTest, WriteFaultsAreNotExtended) {
