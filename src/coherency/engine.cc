@@ -2,12 +2,66 @@
 
 #include <algorithm>
 
+#include "src/obs/metrics.h"
 #include "src/obs/trace.h"
 
 namespace springfs {
+namespace {
 
-void CoherencyEngine::AddCache(uint64_t cache_id, sp<CacheObject> cache) {
-  caches_[cache_id] = std::move(cache);
+// Process-wide eviction counters ("coh/..."): engines are per-file and
+// short-lived, so aggregate accounting lives in the global registry.
+metrics::Counter& EvictionsCounter() {
+  static metrics::Counter& c =
+      metrics::Registry::Global().counter("coh/evictions");
+  return c;
+}
+metrics::Counter& LostDirtyCounter() {
+  static metrics::Counter& c =
+      metrics::Registry::Global().counter("coh/lost_dirty_blocks");
+  return c;
+}
+metrics::Counter& FlushBackFailuresCounter() {
+  static metrics::Counter& c =
+      metrics::Registry::Global().counter("coh/flush_back_failures");
+  return c;
+}
+
+// An unreachable holder: the callback transport timed out, the link is
+// down, the peer's domain is gone, or its callback service is no longer
+// registered (a destroyed client unregisters, so the node answers
+// kNotFound). These all mean "the holder cannot be reached", not "the
+// holder refused" — safe grounds for eviction.
+bool IsUnreachable(ErrorCode code) {
+  return code == ErrorCode::kTimedOut || code == ErrorCode::kConnectionLost ||
+         code == ErrorCode::kDeadObject || code == ErrorCode::kNotFound;
+}
+
+}  // namespace
+
+void CoherencyEngine::ConfigureLeases(Clock* clock, uint64_t lease_ns) {
+  clock_ = clock;
+  lease_ns_ = lease_ns;
+  for (auto& [id, holder] : caches_) {
+    RenewLease(holder);
+  }
+}
+
+void CoherencyEngine::RenewLease(Holder& holder) {
+  holder.lease_expires =
+      (clock_ != nullptr && lease_ns_ != 0) ? clock_->Now() + lease_ns_ : 0;
+}
+
+bool CoherencyEngine::LeaseExpired(const Holder& holder) const {
+  return holder.lease_expires != 0 && clock_ != nullptr &&
+         clock_->Now() >= holder.lease_expires;
+}
+
+uint64_t CoherencyEngine::AddCache(uint64_t cache_id, sp<CacheObject> cache) {
+  Holder& holder = caches_[cache_id];
+  holder.cache = std::move(cache);
+  holder.incarnation = ++next_incarnation_;
+  RenewLease(holder);
+  return holder.incarnation;
 }
 
 void CoherencyEngine::RemoveCache(uint64_t cache_id) {
@@ -28,13 +82,49 @@ bool CoherencyEngine::HasCache(uint64_t cache_id) const {
 
 size_t CoherencyEngine::NumCaches() const { return caches_.size(); }
 
+uint64_t CoherencyEngine::Incarnation(uint64_t cache_id) const {
+  auto it = caches_.find(cache_id);
+  return it == caches_.end() ? 0 : it->second.incarnation;
+}
+
 std::vector<sp<CacheObject>> CoherencyEngine::Caches() const {
   std::vector<sp<CacheObject>> out;
   out.reserve(caches_.size());
-  for (const auto& [id, cache] : caches_) {
-    out.push_back(cache);
+  for (const auto& [id, holder] : caches_) {
+    out.push_back(holder.cache);
   }
   return out;
+}
+
+bool CoherencyEngine::ShouldEvictOnFailure(const Status& status,
+                                           const Holder& holder) {
+  if (IsUnreachable(status.code())) {
+    return true;
+  }
+  if (LeaseExpired(holder)) {
+    ++stats_.lease_expiries;
+    return true;
+  }
+  return false;
+}
+
+void CoherencyEngine::EvictHolder(uint64_t cache_id) {
+  ++stats_.evictions;
+  EvictionsCounter().Increment();
+  for (auto it = blocks_.begin(); it != blocks_.end();) {
+    BlockState& state = it->second;
+    if (state.writer == cache_id) {
+      // The evicted holder may have dirtied this block and never flushed:
+      // the pager's copy is the last stable one. Record the loss.
+      state.writer = kNoWriter;
+      recovery_needed_.insert(it->first);
+      ++stats_.lost_dirty_blocks;
+      LostDirtyCounter().Increment();
+    }
+    state.readers.erase(cache_id);
+    it = state.Idle() ? blocks_.erase(it) : std::next(it);
+  }
+  caches_.erase(cache_id);
 }
 
 Result<std::vector<BlockData>> CoherencyEngine::Acquire(uint64_t requester,
@@ -44,6 +134,17 @@ Result<std::vector<BlockData>> CoherencyEngine::Acquire(uint64_t requester,
   Range pages = range.PageExpanded();
   Offset begin = pages.offset;
   Offset end = pages.end();
+
+  if (requester != 0) {
+    auto self = caches_.find(requester);
+    if (self == caches_.end()) {
+      // The requester was evicted (or never registered): refusing here keeps
+      // ghost holders out of blocks_ and tells the caller to re-register.
+      return ErrStale("acquire from unregistered cache " +
+                      std::to_string(requester));
+    }
+    RenewLease(self->second);
+  }
 
   // Pass 1: which other caches conflict anywhere in the range?
   //   read access  -> a foreign writer must be demoted (deny_writes)
@@ -69,35 +170,54 @@ Result<std::vector<BlockData>> CoherencyEngine::Acquire(uint64_t requester,
     }
   }
 
-  // Pass 2: one callback per conflicting cache over the whole range.
+  // Pass 2: one callback per conflicting cache over the whole range. A
+  // holder whose lease has already lapsed is evicted without being called
+  // (it is presumed dead; calling it would charge a pointless timeout). A
+  // callback that fails against an unreachable holder evicts it too; any
+  // other failure propagates to the caller.
   std::vector<BlockData> recovered;
-  for (uint64_t cache_id : demote) {
+  auto run_callback = [&](uint64_t cache_id, bool deny) -> Status {
     auto cache_it = caches_.find(cache_id);
     if (cache_it == caches_.end()) {
-      continue;
+      return Status::Ok();
     }
-    ++stats_.deny_write_calls;
-    trace::ScopedSpan callback("coh.deny_writes");
-    ASSIGN_OR_RETURN(std::vector<BlockData> dirty,
-                     cache_it->second->DenyWrites(pages));
-    stats_.blocks_recovered += dirty.size();
-    for (auto& block : dirty) {
+    Holder& holder = cache_it->second;
+    if (LeaseExpired(holder)) {
+      ++stats_.lease_expiries;
+      EvictHolder(cache_id);
+      return Status::Ok();
+    }
+    Result<std::vector<BlockData>> dirty = [&] {
+      if (deny) {
+        ++stats_.deny_write_calls;
+        trace::ScopedSpan callback("coh.deny_writes");
+        return holder.cache->DenyWrites(pages);
+      }
+      ++stats_.flush_back_calls;
+      trace::ScopedSpan callback("coh.flush_back");
+      return holder.cache->FlushBack(pages);
+    }();
+    if (!dirty.ok()) {
+      ++stats_.callback_failures;
+      FlushBackFailuresCounter().Increment();
+      if (ShouldEvictOnFailure(dirty.status(), holder)) {
+        EvictHolder(cache_id);
+        return Status::Ok();
+      }
+      return dirty.status();
+    }
+    RenewLease(holder);
+    stats_.blocks_recovered += dirty.value().size();
+    for (auto& block : dirty.value()) {
       recovered.push_back(std::move(block));
     }
+    return Status::Ok();
+  };
+  for (uint64_t cache_id : demote) {
+    RETURN_IF_ERROR(run_callback(cache_id, /*deny=*/true));
   }
   for (uint64_t cache_id : flush) {
-    auto cache_it = caches_.find(cache_id);
-    if (cache_it == caches_.end()) {
-      continue;
-    }
-    ++stats_.flush_back_calls;
-    trace::ScopedSpan callback("coh.flush_back");
-    ASSIGN_OR_RETURN(std::vector<BlockData> dirty,
-                     cache_it->second->FlushBack(pages));
-    stats_.blocks_recovered += dirty.size();
-    for (auto& block : dirty) {
-      recovered.push_back(std::move(block));
-    }
+    RETURN_IF_ERROR(run_callback(cache_id, /*deny=*/false));
   }
 
   // Pass 3a: apply the demote/flush transitions to every *existing* block
@@ -135,13 +255,24 @@ Result<std::vector<BlockData>> CoherencyEngine::Acquire(uint64_t requester,
       } else {
         state.readers.erase(requester);
         state.writer = requester;
+        // A fresh writer supersedes whatever an evicted predecessor lost.
+        recovery_needed_.erase(page);
       }
     }
   }
   return recovered;
 }
 
-void CoherencyEngine::ReleaseDropped(uint64_t holder, Range range) {
+void CoherencyEngine::ReleaseDropped(uint64_t holder, Range range,
+                                     uint64_t incarnation) {
+  auto self = caches_.find(holder);
+  if (self == caches_.end() ||
+      (incarnation != 0 && self->second.incarnation != incarnation)) {
+    // Fence: a stale frame from an evicted (possibly since revived) holder.
+    ++stats_.fenced_releases;
+    return;
+  }
+  RenewLease(self->second);
   Range pages = range.PageExpanded();
   Offset begin = pages.offset;
   Offset end = pages.end();
@@ -156,7 +287,15 @@ void CoherencyEngine::ReleaseDropped(uint64_t holder, Range range) {
   }
 }
 
-void CoherencyEngine::ReleaseDowngraded(uint64_t holder, Range range) {
+void CoherencyEngine::ReleaseDowngraded(uint64_t holder, Range range,
+                                        uint64_t incarnation) {
+  auto self = caches_.find(holder);
+  if (self == caches_.end() ||
+      (incarnation != 0 && self->second.incarnation != incarnation)) {
+    ++stats_.fenced_releases;
+    return;
+  }
+  RenewLease(self->second);
   Range pages = range.PageExpanded();
   Offset begin = pages.offset;
   Offset end = pages.end();
@@ -178,6 +317,10 @@ bool CoherencyEngine::BlockHasWriter(Offset page_offset) const {
 size_t CoherencyEngine::BlockNumReaders(Offset page_offset) const {
   auto it = blocks_.find(PageFloor(page_offset));
   return it == blocks_.end() ? 0 : it->second.readers.size();
+}
+
+bool CoherencyEngine::BlockNeedsRecovery(Offset page_offset) const {
+  return recovery_needed_.count(PageFloor(page_offset)) > 0;
 }
 
 bool CoherencyEngine::CheckInvariants() const {

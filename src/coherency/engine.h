@@ -16,6 +16,21 @@
 // The caller provides the per-file lock; the engine performs cache-object
 // callbacks inline (callees — VMMs, stacked layers — never call back into
 // the owning layer from these callbacks, so holding the file lock is safe).
+//
+// Failure model (DESIGN.md §11): callbacks can fail — the holder may be a
+// remote cache whose client died or whose link dropped the frame. With
+// leases configured (ConfigureLeases), each holder carries a clock-stamped
+// lease, renewed whenever the holder is heard from (AddCache, Acquire,
+// Release*, a successful callback). A conflicting holder whose callback
+// fails with an unreachable-style code (kTimedOut / kConnectionLost /
+// kDeadObject / kNotFound) — or whose lease has already expired — is
+// EVICTED: removed from every block, its possibly-dirty writer blocks
+// marked recovery_needed (the pager serves its last stable copy), and the
+// waiter proceeds. Any other callback failure before the lease expires is
+// propagated to the caller. Stale messages from an evicted-then-revived
+// holder are fenced: Release* from a non-member holder id is a no-op, and
+// AddCache hands out a fresh incarnation number callers can record to
+// reject frames minted under an older registration.
 
 #ifndef SPRINGFS_COHERENCY_ENGINE_H_
 #define SPRINGFS_COHERENCY_ENGINE_H_
@@ -24,6 +39,7 @@
 #include <set>
 #include <vector>
 
+#include "src/support/clock.h"
 #include "src/vmm/interfaces.h"
 
 namespace springfs {
@@ -32,15 +48,30 @@ struct CoherencyStats {
   uint64_t flush_back_calls = 0;
   uint64_t deny_write_calls = 0;
   uint64_t blocks_recovered = 0;  // dirty blocks pulled out of demoted caches
+  uint64_t callback_failures = 0;  // deny_writes/flush_back returned an error
+  uint64_t evictions = 0;          // holders forcibly removed
+  uint64_t lease_expiries = 0;     // evictions where the lease had lapsed
+  uint64_t lost_dirty_blocks = 0;  // possibly-dirty blocks of evicted holders
+  uint64_t fenced_releases = 0;    // Release*/stale frames from non-members
 };
 
 class CoherencyEngine {
  public:
-  // Registers a cache (identified by the pager's channel id for it).
-  void AddCache(uint64_t cache_id, sp<CacheObject> cache);
+  // Enables holder leases. Off by default (lease_ns = 0): local users
+  // (mem_file, the coherency layer) share one address space with their
+  // caches and never need eviction. DFS configures this per server file.
+  void ConfigureLeases(Clock* clock, uint64_t lease_ns);
+
+  // Registers a cache (identified by the pager's channel id for it) and
+  // stamps its lease. Returns the holder's incarnation number — a value
+  // unique across registrations of the same cache_id, used to fence
+  // messages from an evicted predecessor.
+  uint64_t AddCache(uint64_t cache_id, sp<CacheObject> cache);
   void RemoveCache(uint64_t cache_id);
   bool HasCache(uint64_t cache_id) const;
   size_t NumCaches() const;
+  // Current incarnation of a registered holder (0 if not registered).
+  uint64_t Incarnation(uint64_t cache_id) const;
   // Every registered cache object (for broadcast actions such as truncation
   // delete_range / zero_fill).
   std::vector<sp<CacheObject>> Caches() const;
@@ -51,18 +82,28 @@ class CoherencyEngine {
   // which the pager must fold into its own store before serving data.
   // `requester` may be 0 for an anonymous reader (e.g. the pager itself
   // serving a direct read): it forces demotion but registers no holder.
+  // Renews the requester's lease; evicts unreachable/expired conflicting
+  // holders as described above instead of failing forever.
   Result<std::vector<BlockData>> Acquire(uint64_t requester, Range range,
                                          AccessRights access);
 
-  // State maintenance when holders act voluntarily:
+  // State maintenance when holders act voluntarily. A release from a
+  // holder that is no longer registered (evicted, then the stale frame
+  // arrives) is fenced off as a no-op. When `incarnation` is non-zero the
+  // release additionally only applies if it matches the holder's current
+  // incarnation.
   // page_out — the holder wrote back and dropped the range.
-  void ReleaseDropped(uint64_t holder, Range range);
+  void ReleaseDropped(uint64_t holder, Range range, uint64_t incarnation = 0);
   // write_out — the holder wrote back and keeps the range read-only.
-  void ReleaseDowngraded(uint64_t holder, Range range);
+  void ReleaseDowngraded(uint64_t holder, Range range,
+                         uint64_t incarnation = 0);
 
   // Invariant probes for tests.
   bool BlockHasWriter(Offset page_offset) const;
   size_t BlockNumReaders(Offset page_offset) const;
+  // True iff the block lost a (possibly dirty) writer to an eviction and
+  // has not been rewritten since; the pager's copy is the last stable one.
+  bool BlockNeedsRecovery(Offset page_offset) const;
   // True iff for every block: at most one writer, and a writer excludes all
   // other holders.
   bool CheckInvariants() const;
@@ -79,8 +120,26 @@ class CoherencyEngine {
     bool Idle() const { return writer == kNoWriter && readers.empty(); }
   };
 
-  std::map<uint64_t, sp<CacheObject>> caches_;
+  struct Holder {
+    sp<CacheObject> cache;
+    uint64_t incarnation = 0;
+    TimeNs lease_expires = 0;  // 0 = leases disabled, never expires
+  };
+
+  void RenewLease(Holder& holder);
+  bool LeaseExpired(const Holder& holder) const;
+  // Classifies a callback failure: evict (true) or propagate (false).
+  bool ShouldEvictOnFailure(const Status& status, const Holder& holder);
+  // Removes the holder from every block; writer blocks become
+  // recovery_needed and count as lost dirty.
+  void EvictHolder(uint64_t cache_id);
+
+  Clock* clock_ = nullptr;
+  uint64_t lease_ns_ = 0;
+  uint64_t next_incarnation_ = 0;
+  std::map<uint64_t, Holder> caches_;
   std::map<Offset, BlockState> blocks_;  // keyed by page-aligned offset
+  std::set<Offset> recovery_needed_;     // kept across block-state erasure
   CoherencyStats stats_;
 };
 

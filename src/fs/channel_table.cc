@@ -66,6 +66,17 @@ std::vector<PagerChannelTable::Channel> PagerChannelTable::ChannelsForFile(
   return out;
 }
 
+std::vector<PagerChannelTable::Channel> PagerChannelTable::AllChannels()
+    const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<Channel> out;
+  out.reserve(channels_.size());
+  for (const auto& [id, ch] : channels_) {
+    out.push_back(ch);
+  }
+  return out;
+}
+
 Result<PagerChannelTable::Channel> PagerChannelTable::GetChannel(
     uint64_t local_id) const {
   std::lock_guard<std::mutex> lock(mutex_);

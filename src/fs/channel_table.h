@@ -51,6 +51,9 @@ class PagerChannelTable {
   // All channels currently established for a file (for coherency fan-out).
   std::vector<Channel> ChannelsForFile(uint64_t file_id) const;
 
+  // Every channel in the table (for whole-mount invalidation).
+  std::vector<Channel> AllChannels() const;
+
   Result<Channel> GetChannel(uint64_t local_id) const;
 
   // Drops one channel (cache manager closed its end) or a whole file's

@@ -14,6 +14,13 @@ std::string UniqueCallbackService() {
   return "dfs-cb-" + std::to_string(next.fetch_add(1));
 }
 
+// Request ids are process-global (not per client): a server's dedup window
+// keys on the id alone, so two mounts must never mint the same one.
+uint64_t NewRequestId() {
+  static std::atomic<uint64_t> next{1};
+  return next.fetch_add(1);
+}
+
 Buffer CacheIdPayload(uint64_t cache_id, ByteSpan data = {}) {
   Buffer payload(8 + data.size());
   for (int i = 0; i < 8; ++i) {
@@ -48,14 +55,14 @@ class RemotePagerObject : public FsPagerObject, public Servant {
       if (size <= kPageSize) {
         ASSIGN_OR_RETURN(net::Frame response,
                          client_->Call(Op::kPageIn, request));
-        RETURN_IF_ERROR(response.ToStatus());
+        RETURN_IF_ERROR(CheckStale(response.ToStatus()));
         return std::move(response.payload);
       }
       // A fault cluster: one kPageInRange round trip returns the whole
       // block list instead of one kPageIn per page.
       ASSIGN_OR_RETURN(net::Frame response,
                        client_->Call(Op::kPageInRange, request));
-      RETURN_IF_ERROR(response.ToStatus());
+      RETURN_IF_ERROR(CheckStale(response.ToStatus()));
       ASSIGN_OR_RETURN(std::vector<BlockData> blocks,
                        DeserializeBlocks(response.payload.span()));
       // Reassemble the contiguous prefix starting at `offset`; the server
@@ -130,8 +137,18 @@ class RemotePagerObject : public FsPagerObject, public Servant {
       request.arg1 = offset;
       request.payload = CacheIdPayload(cache_id, data);
       ASSIGN_OR_RETURN(net::Frame response, client_->Call(op, request));
-      return response.ToStatus();
+      return CheckStale(response.ToStatus());
     });
+  }
+
+  // A kStale response means the server evicted this cache or forgot the
+  // handle (it restarted): the channel's pages are not trusted anymore.
+  // Tear the channel down locally so the next access re-binds afresh.
+  Status CheckStale(Status st) {
+    if (st.code() == ErrorCode::kStale) {
+      client_->InvalidateChannel(local_channel_);
+    }
+    return st;
   }
 
   sp<DfsClient> client_;
@@ -139,26 +156,37 @@ class RemotePagerObject : public FsPagerObject, public Servant {
   uint64_t local_channel_;
 };
 
-// A remote file as seen on the client node.
+// A remote file as seen on the client node. Identified durably by path:
+// the server's handle space resets across a restart, so a kStale response
+// triggers one re-resolution by path and one retry.
 class RemoteFile : public File, public Servant {
  public:
-  RemoteFile(sp<Domain> domain, sp<DfsClient> client, uint64_t handle)
+  RemoteFile(sp<Domain> domain, sp<DfsClient> client, std::string path,
+             uint64_t handle)
       : Servant(std::move(domain)), client_(std::move(client)),
-        handle_(handle) {}
+        path_(std::move(path)), handle_(handle) {}
 
-  uint64_t handle() const { return handle_; }
+  uint64_t handle() const { return handle_.load(); }
+  void UpdateHandle(uint64_t handle) { handle_.store(handle); }
 
   Result<sp<CacheRights>> Bind(const sp<CacheManager>& caller,
                                AccessRights) override {
-    return InDomain([&] { return client_->BindRemote(handle_, caller); });
+    return InDomain([&]() -> Result<sp<CacheRights>> {
+      Result<sp<CacheRights>> rights =
+          client_->BindRemote(handle_.load(), caller);
+      if (!rights.ok() && rights.code() == ErrorCode::kStale) {
+        ASSIGN_OR_RETURN(uint64_t fresh, client_->RebindHandle(path_));
+        handle_.store(fresh);
+        rights = client_->BindRemote(fresh, caller);
+      }
+      return rights;
+    });
   }
 
   Result<Offset> GetLength() override {
     return InDomain([&]() -> Result<Offset> {
-      net::Frame request;
-      request.arg0 = handle_;
       ASSIGN_OR_RETURN(net::Frame response,
-                       client_->Call(Op::kGetLength, request));
+                       CallFile(Op::kGetLength, net::Frame{}));
       RETURN_IF_ERROR(response.ToStatus());
       return Offset{response.arg0};
     });
@@ -167,10 +195,9 @@ class RemoteFile : public File, public Servant {
   Status SetLength(Offset length) override {
     return InDomain([&]() -> Status {
       net::Frame request;
-      request.arg0 = handle_;
       request.arg1 = length;
       ASSIGN_OR_RETURN(net::Frame response,
-                       client_->Call(Op::kSetLength, request));
+                       CallFile(Op::kSetLength, request));
       return response.ToStatus();
     });
   }
@@ -178,10 +205,9 @@ class RemoteFile : public File, public Servant {
   Result<size_t> Read(Offset offset, MutableByteSpan out) override {
     return InDomain([&]() -> Result<size_t> {
       net::Frame request;
-      request.arg0 = handle_;
       request.arg1 = offset;
       request.arg2 = out.size();
-      ASSIGN_OR_RETURN(net::Frame response, client_->Call(Op::kRead, request));
+      ASSIGN_OR_RETURN(net::Frame response, CallFile(Op::kRead, request));
       RETURN_IF_ERROR(response.ToStatus());
       return response.payload.ReadAt(0, out);
     });
@@ -190,10 +216,9 @@ class RemoteFile : public File, public Servant {
   Result<size_t> Write(Offset offset, ByteSpan data) override {
     return InDomain([&]() -> Result<size_t> {
       net::Frame request;
-      request.arg0 = handle_;
       request.arg1 = offset;
       request.payload = Buffer(data);
-      ASSIGN_OR_RETURN(net::Frame response, client_->Call(Op::kWrite, request));
+      ASSIGN_OR_RETURN(net::Frame response, CallFile(Op::kWrite, request));
       RETURN_IF_ERROR(response.ToStatus());
       return size_t{response.arg0};
     });
@@ -201,10 +226,8 @@ class RemoteFile : public File, public Servant {
 
   Result<FileAttributes> Stat() override {
     return InDomain([&]() -> Result<FileAttributes> {
-      net::Frame request;
-      request.arg0 = handle_;
       ASSIGN_OR_RETURN(net::Frame response,
-                       client_->Call(Op::kGetAttr, request));
+                       CallFile(Op::kGetAttr, net::Frame{}));
       RETURN_IF_ERROR(response.ToStatus());
       return DeserializeAttrs(response.payload.span());
     });
@@ -213,28 +236,43 @@ class RemoteFile : public File, public Servant {
   Status SetTimes(uint64_t atime_ns, uint64_t mtime_ns) override {
     return InDomain([&]() -> Status {
       net::Frame request;
-      request.arg0 = handle_;
       request.arg1 = atime_ns;
       request.arg2 = mtime_ns;
       ASSIGN_OR_RETURN(net::Frame response,
-                       client_->Call(Op::kSetTimes, request));
+                       CallFile(Op::kSetTimes, request));
       return response.ToStatus();
     });
   }
 
   Status SyncFile() override {
     return InDomain([&]() -> Status {
-      net::Frame request;
-      request.arg0 = handle_;
       ASSIGN_OR_RETURN(net::Frame response,
-                       client_->Call(Op::kSyncFile, request));
+                       CallFile(Op::kSyncFile, net::Frame{}));
       return response.ToStatus();
     });
   }
 
  private:
+  // One RPC against this file's handle. On kStale (the server restarted
+  // and forgot the handle) the path is re-resolved and the call retried
+  // once. The retry mints a fresh request id for mutating ops — the first
+  // attempt definitively did not execute, so this is a new operation, not
+  // a retransmission.
+  Result<net::Frame> CallFile(Op op, net::Frame request) {
+    request.arg0 = handle_.load();
+    ASSIGN_OR_RETURN(net::Frame response, client_->Call(op, request));
+    if (response.ToStatus().code() != ErrorCode::kStale) {
+      return response;
+    }
+    ASSIGN_OR_RETURN(uint64_t fresh, client_->RebindHandle(path_));
+    handle_.store(fresh);
+    request.arg0 = fresh;
+    return client_->Call(op, request);
+  }
+
   sp<DfsClient> client_;
-  uint64_t handle_;
+  std::string path_;
+  std::atomic<uint64_t> handle_;
 };
 
 // Remote directory, identified by path prefix.
@@ -313,6 +351,11 @@ Result<net::Frame> DfsClient::Call(Op op, const net::Frame& request) {
   trace::ScopedSpan span("dfs.call");
   net::Frame typed = request;
   typed.type = static_cast<uint32_t>(op);
+  // Mutating ops carry a request id so the server's dedup window makes the
+  // retransmissions below safe (the same id is re-sent on every attempt).
+  if (!IsIdempotent(op)) {
+    typed.request_id = NewRequestId();
+  }
   uint32_t attempt = 0;
   for (;;) {
     {
@@ -321,18 +364,34 @@ Result<net::Frame> DfsClient::Call(Op op, const net::Frame& request) {
     }
     Result<net::Frame> response =
         network_->Call(node_->name(), server_node_, service_, typed);
+    ErrorCode code;
     if (response.ok()) {
-      if (attempt > 0) {
-        std::lock_guard<std::mutex> lock(stats_mutex_);
-        ++stats_.retry_successes;
+      // A kDeadObject *frame* is the dead server's tombstone: the
+      // transport works, the server object is gone. Anything else is a
+      // real response — track the boot epoch it was minted under.
+      if (response.value().ToStatus().code() != ErrorCode::kDeadObject) {
+        NoteServerEpoch(response.value().epoch);
+        if (attempt > 0) {
+          std::lock_guard<std::mutex> lock(stats_mutex_);
+          ++stats_.retry_successes;
+        }
+        return response;
       }
-      return response;
+      code = ErrorCode::kDeadObject;
+    } else {
+      code = response.status().code();
     }
-    ErrorCode code = response.status().code();
+    if (code == ErrorCode::kDeadObject) {
+      // Whatever we cached came from an object that no longer exists. A
+      // replacement server (same node, same service) will answer the next
+      // attempt under a fresh epoch.
+      InvalidateCaches();
+    }
     bool transient = code == ErrorCode::kTimedOut ||
-                     code == ErrorCode::kConnectionLost;
-    if (!transient || !IsIdempotent(op) || attempt >= options_.max_retries) {
-      if (transient && IsIdempotent(op) && attempt > 0) {
+                     code == ErrorCode::kConnectionLost ||
+                     code == ErrorCode::kDeadObject;
+    if (!transient || attempt >= options_.max_retries) {
+      if (transient && attempt > 0) {
         std::lock_guard<std::mutex> lock(stats_mutex_);
         ++stats_.retries_exhausted;
       }
@@ -351,6 +410,80 @@ Result<net::Frame> DfsClient::Call(Op op, const net::Frame& request) {
       ++stats_.retries;
     }
   }
+}
+
+void DfsClient::NoteServerEpoch(uint64_t epoch) {
+  if (epoch == 0) {
+    return;  // not minted by a DfsServer::Handle (e.g. a transport error)
+  }
+  uint64_t seen = server_epoch_.load();
+  for (;;) {
+    if (seen >= epoch) {
+      return;  // same epoch, or a delayed frame from a dead predecessor
+    }
+    if (server_epoch_.compare_exchange_weak(seen, epoch)) {
+      break;
+    }
+  }
+  if (seen != 0) {
+    // Epoch bump: the server restarted since we last heard from it. Its
+    // engine state, handle space, and cache ids are all fresh — everything
+    // this client cached is stale.
+    {
+      std::lock_guard<std::mutex> lock(stats_mutex_);
+      ++stats_.server_restarts;
+    }
+    InvalidateCaches();
+  }
+}
+
+void DfsClient::InvalidateCaches() {
+  std::vector<PagerChannelTable::Channel> stale = channels_.AllChannels();
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    server_cache_ids_.clear();
+  }
+  for (const auto& ch : stale) {
+    if (ch.cache) {
+      // Local-only teardown: no kUnbindCache RPC — the server that minted
+      // these cache ids is gone. Unflushed dirty pages are dropped; the
+      // server's copy is authoritative after a restart/eviction.
+      (void)ch.cache->DestroyCache();
+    }
+    channels_.RemoveChannel(ch.local_id);
+  }
+  if (!stale.empty()) {
+    std::lock_guard<std::mutex> lock(stats_mutex_);
+    stats_.channels_invalidated += stale.size();
+  }
+}
+
+void DfsClient::InvalidateChannel(uint64_t local_channel) {
+  Result<PagerChannelTable::Channel> channel =
+      channels_.GetChannel(local_channel);
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    server_cache_ids_.erase(local_channel);
+  }
+  if (!channel.ok()) {
+    return;
+  }
+  if (channel->cache) {
+    (void)channel->cache->DestroyCache();
+  }
+  channels_.RemoveChannel(local_channel);
+  std::lock_guard<std::mutex> lock(stats_mutex_);
+  ++stats_.channels_invalidated;
+}
+
+Result<uint64_t> DfsClient::RebindHandle(const std::string& path) {
+  ASSIGN_OR_RETURN(net::Frame response, CallPath(Op::kLookup, path));
+  RETURN_IF_ERROR(response.ToStatus());
+  {
+    std::lock_guard<std::mutex> lock(stats_mutex_);
+    ++stats_.handle_rebinds;
+  }
+  return response.arg0;
 }
 
 Result<net::Frame> DfsClient::CallPath(Op op, const std::string& path) {
@@ -500,12 +633,15 @@ Result<sp<Object>> DfsClient::ObjectForPath(const std::string& path) {
   }
   uint64_t handle = response.arg0;
   std::lock_guard<std::mutex> lock(mutex_);
-  auto it = remote_files_.find(handle);
+  auto it = remote_files_.find(path);
   if (it != remote_files_.end()) {
+    // The lookup just returned the authoritative handle — refresh the
+    // cached file's copy (it may predate a server restart).
+    std::static_pointer_cast<RemoteFile>(it->second)->UpdateHandle(handle);
     return sp<Object>(it->second);
   }
-  sp<File> file = std::make_shared<RemoteFile>(domain(), self, handle);
-  remote_files_[handle] = file;
+  sp<File> file = std::make_shared<RemoteFile>(domain(), self, path, handle);
+  remote_files_[path] = file;
   return sp<Object>(file);
 }
 
@@ -589,13 +725,15 @@ Result<sp<File>> DfsClient::CreateFile(const Name& name,
     sp<DfsClient> self =
         std::dynamic_pointer_cast<DfsClient>(shared_from_this());
     uint64_t handle = response.arg0;
+    std::string path = name.ToString();
     std::lock_guard<std::mutex> lock(mutex_);
-    auto it = remote_files_.find(handle);
+    auto it = remote_files_.find(path);
     if (it != remote_files_.end()) {
+      std::static_pointer_cast<RemoteFile>(it->second)->UpdateHandle(handle);
       return it->second;
     }
-    sp<File> file = std::make_shared<RemoteFile>(domain(), self, handle);
-    remote_files_[handle] = file;
+    sp<File> file = std::make_shared<RemoteFile>(domain(), self, path, handle);
+    remote_files_[path] = file;
     return file;
   });
 }
@@ -629,6 +767,9 @@ void DfsClient::CollectStats(const metrics::StatsEmitter& emit) const {
   emit("retries", stats_.retries);
   emit("retry_successes", stats_.retry_successes);
   emit("retries_exhausted", stats_.retries_exhausted);
+  emit("server_restarts", stats_.server_restarts);
+  emit("channels_invalidated", stats_.channels_invalidated);
+  emit("handle_rebinds", stats_.handle_rebinds);
 }
 
 DfsClientStats DfsClient::stats() const {

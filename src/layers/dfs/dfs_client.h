@@ -12,6 +12,7 @@
 #ifndef SPRINGFS_LAYERS_DFS_DFS_CLIENT_H_
 #define SPRINGFS_LAYERS_DFS_DFS_CLIENT_H_
 
+#include <atomic>
 #include <map>
 
 #include "src/fs/channel_table.h"
@@ -20,11 +21,13 @@
 
 namespace springfs::dfs {
 
-// Client-side handling of transient transport faults: idempotent calls
-// (see IsIdempotent) that fail with kTimedOut or kConnectionLost are
-// re-sent up to `max_retries` times with capped exponential backoff. The
-// backoff sleeps on the mount's clock, so tests driving a FakeClock stay
-// deterministic.
+// Client-side handling of transient transport faults: calls that fail with
+// kTimedOut / kConnectionLost / kDeadObject are re-sent up to `max_retries`
+// times with capped exponential backoff. Idempotent calls (see
+// IsIdempotent) are naturally safe to re-send; mutating calls are stamped
+// with a unique Frame::request_id so the server's dedup window replays the
+// original response instead of applying the op twice. The backoff sleeps
+// on the mount's clock, so tests driving a FakeClock stay deterministic.
 struct DfsClientOptions {
   uint32_t max_retries = 4;
   uint64_t backoff_base_ns = 1'000'000;  // first retry waits this long
@@ -41,6 +44,10 @@ struct DfsClientStats {
   uint64_t retries = 0;            // individual re-sends
   uint64_t retry_successes = 0;    // calls that succeeded after >=1 retry
   uint64_t retries_exhausted = 0;  // calls that failed even after retrying
+  // Failure-recovery accounting (DESIGN.md §11).
+  uint64_t server_restarts = 0;        // boot-epoch bumps observed
+  uint64_t channels_invalidated = 0;   // local channels torn down
+  uint64_t handle_rebinds = 0;         // stale handles re-resolved by path
 };
 
 class DfsClient : public Context,
@@ -87,6 +94,16 @@ class DfsClient : public Context,
   // "layer/dfs_client/..." values.
   DfsClientStats stats() const;
 
+  // The last server boot epoch observed (0 until the first response).
+  uint64_t observed_server_epoch() const { return server_epoch_.load(); }
+
+  // Tears down every local pager-cache channel WITHOUT telling the server:
+  // cached pages are discarded through the VMM's channel-destroy path
+  // (unflushed dirty data is lost — the server's copy is authoritative
+  // after an eviction or restart). Called automatically when the client
+  // observes a server restart or death; public as a test probe.
+  void InvalidateCaches();
+
  private:
   friend class RemoteFile;
   friend class RemoteDirContext;
@@ -113,6 +130,14 @@ class DfsClient : public Context,
   Result<uint64_t> ServerCacheIdFor(uint64_t local_channel);
   // Tears a channel down locally and at the server.
   void DropChannel(uint64_t local_channel);
+  // Tears one channel down locally only (the server already evicted it).
+  void InvalidateChannel(uint64_t local_channel);
+  // Tracks the boot epoch stamped on a response; an epoch bump means the
+  // server restarted — every channel and server cache id is stale.
+  void NoteServerEpoch(uint64_t epoch);
+  // Re-resolves a path to a fresh handle after the server forgot the old
+  // one (kStale across a restart).
+  Result<uint64_t> RebindHandle(const std::string& path);
   // Directory listing for a path (RemoteDirContext delegate).
   Result<std::vector<BindingInfo>> ListPath(const std::string& path);
 
@@ -126,11 +151,15 @@ class DfsClient : public Context,
   Clock* clock_;
   DfsClientOptions options_;
 
+  std::atomic<uint64_t> server_epoch_{0};
+
   std::mutex mutex_;
   PagerChannelTable channels_;
   std::map<uint64_t, uint64_t> server_cache_ids_;  // local channel -> server
   std::map<uint64_t, uint64_t> pager_keys_;        // handle -> pager key
-  std::map<uint64_t, sp<File>> remote_files_;      // handle -> RemoteFile
+  // Keyed by path, not handle: the server's handle space resets across a
+  // restart, and RemoteFile re-resolves its handle by path.
+  std::map<std::string, sp<File>> remote_files_;
 
   mutable std::mutex stats_mutex_;
   DfsClientStats stats_;

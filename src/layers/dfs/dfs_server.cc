@@ -28,6 +28,14 @@ net::Frame StatusFrame(const Status& st) {
   return frame;
 }
 
+// Monotonic boot-epoch source shared by every server instance in the
+// process: a restarted server (new DfsServer on the same node/service)
+// necessarily gets a larger epoch than its predecessor.
+uint64_t NextBootEpoch() {
+  static std::atomic<uint64_t> next{1};
+  return next.fetch_add(1);
+}
+
 }  // namespace
 
 // Converts a Status error into an error frame from inside a handler.
@@ -158,7 +166,12 @@ class DfsLowerCacheObject : public FsCacheObject, public Servant {
       std::lock_guard<std::mutex> lock(file_->mutex);
       // The dirty data recovered from remote caches IS the modified data
       // the layer below is asking for.
-      return file_->engine.Acquire(0, range, access);
+      Result<std::vector<BlockData>> recovered =
+          file_->engine.Acquire(0, range, access);
+      if (recovered.ok()) {
+        server_->PruneEvicted(*file_);
+      }
+      return recovered;
     });
   }
 
@@ -207,9 +220,10 @@ class DfsLocalFile : public File, public Servant {
 Result<sp<DfsServer>> DfsServer::Create(const sp<net::Node>& node,
                                         net::Network* network,
                                         const std::string& service,
-                                        sp<StackableFs> under, Clock* clock) {
+                                        sp<StackableFs> under, Clock* clock,
+                                        const DfsServerOptions& options) {
   sp<DfsServer> server(new DfsServer(node, network, service, std::move(under),
-                                     clock));
+                                     clock, options));
   wp<DfsServer> weak = server;
   node->RegisterService(service, [weak](const net::Frame& request) {
     sp<DfsServer> strong = weak.lock();
@@ -222,9 +236,11 @@ Result<sp<DfsServer>> DfsServer::Create(const sp<net::Node>& node,
 }
 
 DfsServer::DfsServer(const sp<net::Node>& node, net::Network* network,
-                     std::string service, sp<StackableFs> under, Clock* clock)
+                     std::string service, sp<StackableFs> under, Clock* clock,
+                     const DfsServerOptions& options)
     : Servant(node->domain()), node_(node), network_(network),
-      service_(std::move(service)), clock_(clock), under_(std::move(under)) {
+      service_(std::move(service)), clock_(clock), options_(options),
+      boot_epoch_(NextBootEpoch()), under_(std::move(under)) {
   metrics::Registry::Global().RegisterProvider(this);
 }
 
@@ -267,6 +283,7 @@ Result<sp<DfsServer::ServerFile>> DfsServer::FileForPath(
   auto file = std::make_shared<ServerFile>();
   file->path = path;
   file->under = std::move(under_file);
+  file->engine.ConfigureLeases(clock_, options_.lease_ns);
   std::lock_guard<std::mutex> lock(mutex_);
   auto it = handles_by_path_.find(path);
   if (it != handles_by_path_.end()) {
@@ -330,6 +347,13 @@ Result<CacheManager::ChannelSetup> DfsServer::EstablishChannel(
   return setup;
 }
 
+void DfsServer::PruneEvicted(ServerFile& file) {
+  for (auto it = file.remote_caches.begin(); it != file.remote_caches.end();) {
+    it = file.engine.HasCache(it->first) ? std::next(it)
+                                         : file.remote_caches.erase(it);
+  }
+}
+
 Status DfsServer::PushRecovered(ServerFile& file,
                                 const std::vector<BlockData>& blocks) {
   for (const BlockData& block : blocks) {
@@ -364,6 +388,39 @@ Status DfsServer::BroadcastAttrInvalidate(ServerFile& file,
 net::Frame DfsServer::Handle(const net::Frame& request) {
   trace::ScopedSpan span("dfs.serve");
   Op op = static_cast<Op>(request.type);
+  // Mutating requests carry a client-generated request id: a
+  // retransmission (the original response was lost in flight) replays the
+  // stored response instead of applying the operation twice.
+  if (request.request_id != 0) {
+    std::lock_guard<std::mutex> lock(dedup_mutex_);
+    auto it = dedup_.find(request.request_id);
+    if (it != dedup_.end()) {
+      {
+        std::lock_guard<std::mutex> stats_lock(stats_mutex_);
+        ++stats_.dedup_hits;
+      }
+      net::Frame replay = it->second;
+      replay.epoch = boot_epoch_;
+      return replay;
+    }
+  }
+  net::Frame response = Dispatch(op, request);
+  if (request.request_id != 0) {
+    std::lock_guard<std::mutex> lock(dedup_mutex_);
+    auto [it, inserted] = dedup_.emplace(request.request_id, response);
+    if (inserted) {
+      dedup_order_.push_back(request.request_id);
+      while (dedup_order_.size() > options_.dedup_window) {
+        dedup_.erase(dedup_order_.front());
+        dedup_order_.pop_front();
+      }
+    }
+  }
+  response.epoch = boot_epoch_;
+  return response;
+}
+
+net::Frame DfsServer::Dispatch(Op op, const net::Frame& request) {
   switch (op) {
     case Op::kLookup:
     case Op::kCreate:
@@ -539,6 +596,7 @@ net::Frame DfsServer::HandleFileOp(Op op, const net::Frame& request) {
         if (!recovered.ok()) {
           return StatusFrame(recovered.status());
         }
+        PruneEvicted(*file);
         Status pushed = PushRecovered(*file, *recovered);
         if (!pushed.ok()) {
           return StatusFrame(pushed);
@@ -566,6 +624,7 @@ net::Frame DfsServer::HandleFileOp(Op op, const net::Frame& request) {
         if (!recovered.ok()) {
           return StatusFrame(recovered.status());
         }
+        PruneEvicted(*file);
         Status pushed = PushRecovered(*file, *recovered);
         if (!pushed.ok()) {
           return StatusFrame(pushed);
@@ -604,10 +663,10 @@ net::Frame DfsServer::HandleFileOp(Op op, const net::Frame& request) {
       info.service = target->second;
       info.client_channel = request.arg1;
       info.is_fs_cache = request.arg2 != 0;
-      file->remote_caches[cache_id] = info;
-      file->engine.AddCache(
+      info.incarnation = file->engine.AddCache(
           cache_id, std::make_shared<RemoteCacheProxy>(
                         this, info.node, info.service, info.client_channel));
+      file->remote_caches[cache_id] = info;
       net::Frame response;
       response.arg0 = cache_id;
       return response;
@@ -634,11 +693,22 @@ net::Frame DfsServer::HandleFileOp(Op op, const net::Frame& request) {
                                               : AccessRights::kReadWrite;
       RETURN_FRAME_IF_ERROR(EnsureBoundBelow(file));
       std::lock_guard<std::mutex> lock(file->mutex);
+      // Fence page-ins from evicted cache ids: the client must re-register
+      // (rebind) before it may fault pages again.
+      if (!file->engine.HasCache(cache_id)) {
+        {
+          std::lock_guard<std::mutex> stats_lock(stats_mutex_);
+          ++stats_.stale_fenced;
+        }
+        return StatusFrame(ErrStale("page-in from evicted cache id " +
+                                    std::to_string(cache_id)));
+      }
       Result<std::vector<BlockData>> recovered = file->engine.Acquire(
           cache_id, Range{request.arg1, request.arg2}, access);
       if (!recovered.ok()) {
         return StatusFrame(recovered.status());
       }
+      PruneEvicted(*file);
       Status pushed = PushRecovered(*file, *recovered);
       if (!pushed.ok()) {
         return StatusFrame(pushed);
@@ -671,6 +741,14 @@ net::Frame DfsServer::HandleFileOp(Op op, const net::Frame& request) {
                                               : AccessRights::kReadWrite;
       RETURN_FRAME_IF_ERROR(EnsureBoundBelow(file));
       std::lock_guard<std::mutex> lock(file->mutex);
+      if (!file->engine.HasCache(cache_id)) {
+        {
+          std::lock_guard<std::mutex> stats_lock(stats_mutex_);
+          ++stats_.stale_fenced;
+        }
+        return StatusFrame(ErrStale("page-in from evicted cache id " +
+                                    std::to_string(cache_id)));
+      }
       // One acquire covers the whole cluster, then one clustered page_in
       // against the layer below — the server-side mirror of the client's
       // fault clustering.
@@ -679,6 +757,7 @@ net::Frame DfsServer::HandleFileOp(Op op, const net::Frame& request) {
       if (!recovered.ok()) {
         return StatusFrame(recovered.status());
       }
+      PruneEvicted(*file);
       Status pushed = PushRecovered(*file, *recovered);
       if (!pushed.ok()) {
         return StatusFrame(pushed);
@@ -725,15 +804,31 @@ net::Frame DfsServer::HandleFileOp(Op op, const net::Frame& request) {
                                               request.payload.size() - 8);
       RETURN_FRAME_IF_ERROR(EnsureBoundBelow(file));
       std::lock_guard<std::mutex> lock(file->mutex);
+      // Fence stale page-outs before they touch the layer below: an evicted
+      // holder's writer claim was already handed to someone else, so its
+      // late write-back would clobber newer data.
+      auto rc = file->remote_caches.find(cache_id);
+      if (rc == file->remote_caches.end() ||
+          !file->engine.HasCache(cache_id)) {
+        {
+          std::lock_guard<std::mutex> stats_lock(stats_mutex_);
+          ++stats_.stale_fenced;
+        }
+        return StatusFrame(
+            ErrStale("page-out from evicted cache id " +
+                     std::to_string(cache_id)));
+      }
       Status st = file->lower_pager->Sync(request.arg1, data);
       if (!st.ok()) {
         return StatusFrame(st);
       }
       if (op == Op::kPageOut) {
-        file->engine.ReleaseDropped(cache_id, Range{request.arg1, data.size()});
+        file->engine.ReleaseDropped(cache_id, Range{request.arg1, data.size()},
+                                    rc->second.incarnation);
       } else if (op == Op::kWriteOut) {
         file->engine.ReleaseDowngraded(cache_id,
-                                       Range{request.arg1, data.size()});
+                                       Range{request.arg1, data.size()},
+                                       rc->second.incarnation);
       }
       return OkFrame();
     }
@@ -831,6 +926,51 @@ void DfsServer::CollectStats(const metrics::StatsEmitter& emit) const {
   emit("remote_writes", stats_.remote_writes);
   emit("callbacks_sent", stats_.callbacks_sent);
   emit("lower_flushes", stats_.lower_flushes);
+  emit("dedup_hits", stats_.dedup_hits);
+  emit("stale_fenced", stats_.stale_fenced);
+}
+
+bool DfsServer::CheckCoherencyInvariants() {
+  std::vector<sp<ServerFile>> files;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    files.reserve(files_by_handle_.size());
+    for (const auto& [handle, file] : files_by_handle_) {
+      files.push_back(file);
+    }
+  }
+  for (const sp<ServerFile>& file : files) {
+    std::lock_guard<std::mutex> lock(file->mutex);
+    if (!file->engine.CheckInvariants()) {
+      return false;
+    }
+  }
+  return true;
+}
+
+CoherencyStats DfsServer::AggregateCoherencyStats() {
+  std::vector<sp<ServerFile>> files;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    files.reserve(files_by_handle_.size());
+    for (const auto& [handle, file] : files_by_handle_) {
+      files.push_back(file);
+    }
+  }
+  CoherencyStats total;
+  for (const sp<ServerFile>& file : files) {
+    std::lock_guard<std::mutex> lock(file->mutex);
+    CoherencyStats s = file->engine.stats();
+    total.flush_back_calls += s.flush_back_calls;
+    total.deny_write_calls += s.deny_write_calls;
+    total.blocks_recovered += s.blocks_recovered;
+    total.callback_failures += s.callback_failures;
+    total.evictions += s.evictions;
+    total.lease_expiries += s.lease_expiries;
+    total.lost_dirty_blocks += s.lost_dirty_blocks;
+    total.fenced_releases += s.fenced_releases;
+  }
+  return total;
 }
 
 DfsServerStats DfsServer::stats() const {

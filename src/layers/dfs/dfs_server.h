@@ -22,6 +22,7 @@
 #ifndef SPRINGFS_LAYERS_DFS_DFS_SERVER_H_
 #define SPRINGFS_LAYERS_DFS_DFS_SERVER_H_
 
+#include <deque>
 #include <map>
 
 #include "src/coherency/engine.h"
@@ -32,6 +33,17 @@
 #include "src/obs/metrics.h"
 
 namespace springfs::dfs {
+
+// Failure-model knobs (DESIGN.md §11).
+struct DfsServerOptions {
+  // Holder lease for remote caches: a client not heard from for this long
+  // is presumed dead and may be evicted when it conflicts with another
+  // client. Simulated nanoseconds on the server's clock. 0 disables leases
+  // (callback-failure eviction still applies).
+  uint64_t lease_ns = 30'000'000'000;
+  // How many mutating responses the dedup window retains per server.
+  size_t dedup_window = 256;
+};
 
 // Deprecated: read the metrics registry ("layer/dfs_server/..." keys)
 // instead.
@@ -44,6 +56,8 @@ struct DfsServerStats {
   uint64_t remote_writes = 0;
   uint64_t callbacks_sent = 0;
   uint64_t lower_flushes = 0;  // coherency callbacks received from below
+  uint64_t dedup_hits = 0;     // retransmissions answered from the window
+  uint64_t stale_fenced = 0;   // page-outs rejected from evicted cache ids
 };
 
 class DfsServer : public StackableFs,
@@ -52,12 +66,14 @@ class DfsServer : public StackableFs,
                   public metrics::StatsProvider {
  public:
   // Creates the server on `node`, stacked on `under`, answering protocol
-  // requests addressed to `service`.
+  // requests addressed to `service`. Each server instance gets a fresh
+  // boot epoch, stamped on every response, so clients detect a restart.
   static Result<sp<DfsServer>> Create(const sp<net::Node>& node,
                                       net::Network* network,
                                       const std::string& service,
                                       sp<StackableFs> under,
-                                      Clock* clock = &DefaultClock());
+                                      Clock* clock = &DefaultClock(),
+                                      const DfsServerOptions& options = {});
 
   ~DfsServer() override;
 
@@ -102,6 +118,14 @@ class DfsServer : public StackableFs,
                                   const std::string& to_service,
                                   const net::Frame& request);
 
+  // This instance's boot epoch (stamped on every response frame).
+  uint64_t boot_epoch() const { return boot_epoch_; }
+
+  // Diagnostic probes for tests: per-file coherency invariants and the sum
+  // of every file engine's stats.
+  bool CheckCoherencyInvariants();
+  CoherencyStats AggregateCoherencyStats();
+
  private:
   friend class DfsLocalFile;
   friend class DfsLowerCacheObject;
@@ -114,6 +138,7 @@ class DfsServer : public StackableFs,
     std::string service;
     uint64_t client_channel = 0;
     bool is_fs_cache = false;
+    uint64_t incarnation = 0;  // engine registration this entry belongs to
   };
 
   struct ServerFile {
@@ -130,12 +155,19 @@ class DfsServer : public StackableFs,
   };
 
   DfsServer(const sp<net::Node>& node, net::Network* network,
-            std::string service, sp<StackableFs> under, Clock* clock);
+            std::string service, sp<StackableFs> under, Clock* clock,
+            const DfsServerOptions& options);
 
-  // Protocol dispatch.
+  // Protocol dispatch. Handle() wraps Dispatch() with the mutating-request
+  // dedup window and stamps the boot epoch on every response.
   net::Frame Handle(const net::Frame& request);
+  net::Frame Dispatch(Op op, const net::Frame& request);
   net::Frame HandleNameOp(Op op, const net::Frame& request);
   net::Frame HandleFileOp(Op op, const net::Frame& request);
+
+  // Drops remote_caches entries whose engine registration is gone (the
+  // engine evicted the holder); `file.mutex` held.
+  void PruneEvicted(ServerFile& file);
 
   Result<sp<ServerFile>> FileForPath(const std::string& path);
   Result<sp<ServerFile>> FileForHandle(uint64_t handle);
@@ -153,12 +185,21 @@ class DfsServer : public StackableFs,
   net::Network* network_;
   std::string service_;
   Clock* clock_;
+  DfsServerOptions options_;
+  uint64_t boot_epoch_;
   sp<StackableFs> under_;
 
   std::mutex mutex_;
   std::map<uint64_t, sp<ServerFile>> files_by_handle_;
   std::map<std::string, uint64_t> handles_by_path_;
   uint64_t next_handle_ = 1;
+
+  // Bounded dedup window: request_id -> original response, FIFO-evicted.
+  // Retransmissions of mutating ops replay the stored response instead of
+  // re-executing (exactly-once within this boot epoch).
+  std::mutex dedup_mutex_;
+  std::map<uint64_t, net::Frame> dedup_;
+  std::deque<uint64_t> dedup_order_;
 
   std::mutex bind_mutex_;
   sp<ServerFile> binding_file_;

@@ -58,12 +58,17 @@ enum class Op : uint32_t {
   kCbAttrInvalidate = 102,
 };
 
-// True for operations the client may safely re-send when the transport
-// fails (timeout, dropped connection): pure reads, plus kSyncFile (syncing
-// twice is harmless). Mutating operations are excluded — the request may
-// have executed even though the response was lost, so retrying kCreate
-// could fail on an already-created file and retrying kWrite could
-// double-apply it around another client's writes.
+// True for operations that are naturally safe to re-send when the
+// transport fails (timeout, dropped connection): pure reads, plus
+// kSyncFile (syncing twice is harmless). Mutating operations are NOT on
+// this list — the request may have executed even though the response was
+// lost, so a blind retry of kCreate could fail on an already-created file
+// and a blind retry of kWrite could double-apply it around another
+// client's writes. They become retry-safe anyway through a different
+// mechanism: the client stamps each mutating request with a unique
+// Frame::request_id and the server keeps a bounded dedup window that
+// replays the original response to a retransmission (exactly-once within
+// one server boot epoch; see DESIGN.md §11).
 inline bool IsIdempotent(Op op) {
   switch (op) {
     case Op::kLookup:

@@ -5,7 +5,8 @@
 namespace springfs::net {
 namespace {
 
-constexpr size_t kHeaderSize = 4 + 4 * 8 + 4 + 8;  // type, args, status, len
+// type, args, status, request_id, epoch, len
+constexpr size_t kHeaderSize = 4 + 4 * 8 + 4 + 8 + 8 + 8;
 
 void PutU32(uint8_t* p, uint32_t v) {
   for (int i = 0; i < 4; ++i) {
@@ -43,7 +44,9 @@ Buffer Frame::Serialize() const {
   PutU64(p + 20, arg2);
   PutU64(p + 28, arg3);
   PutU32(p + 36, static_cast<uint32_t>(status));
-  PutU64(p + 40, payload.size());
+  PutU64(p + 40, request_id);
+  PutU64(p + 48, epoch);
+  PutU64(p + 56, payload.size());
   wire.WriteAt(kHeaderSize, payload.span());
   return wire;
 }
@@ -60,7 +63,9 @@ Result<Frame> Frame::Deserialize(ByteSpan wire) {
   frame.arg2 = GetU64(p + 20);
   frame.arg3 = GetU64(p + 28);
   frame.status = static_cast<int32_t>(GetU32(p + 36));
-  uint64_t payload_len = GetU64(p + 40);
+  frame.request_id = GetU64(p + 40);
+  frame.epoch = GetU64(p + 48);
+  uint64_t payload_len = GetU64(p + 56);
   if (wire.size() != kHeaderSize + payload_len) {
     return ErrCorrupted("frame payload length mismatch");
   }
@@ -123,8 +128,75 @@ void Network::SetPartitioned(const std::string& node, bool partitioned) {
 
 void Network::FailNextCalls(uint64_t calls, ErrorCode code) {
   std::lock_guard<std::mutex> lock(mutex_);
-  fail_next_calls_ = calls;
-  fail_code_ = code;
+  global_fail_ = {calls, code};
+}
+
+void Network::FailNextCallsOnLink(const std::string& from,
+                                  const std::string& to, uint64_t calls,
+                                  ErrorCode code) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (calls == 0) {
+    link_fail_.erase({from, to});
+  } else {
+    link_fail_[{from, to}] = {calls, code};
+  }
+}
+
+void Network::DropNextResponses(const std::string& from, const std::string& to,
+                                uint64_t n) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (n == 0) {
+    drop_responses_.erase({from, to});
+  } else {
+    drop_responses_[{from, to}] = n;
+  }
+}
+
+void Network::ArmFaults(const FaultPlan& plan) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  global_faults_.emplace(plan);
+  faults_armed_.store(true, std::memory_order_relaxed);
+}
+
+void Network::ArmFaultsOnLink(const std::string& from, const std::string& to,
+                              const FaultPlan& plan) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  link_faults_.insert_or_assign(LinkKey{from, to}, ArmedFaults(plan));
+  faults_armed_.store(true, std::memory_order_relaxed);
+}
+
+void Network::DisarmFaults() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  global_faults_.reset();
+  link_faults_.clear();
+  faults_armed_.store(false, std::memory_order_relaxed);
+}
+
+Network::FaultDecision Network::DecideFaults(const std::string& from,
+                                             const std::string& to) {
+  FaultDecision d;
+  ArmedFaults* armed = nullptr;
+  auto it = link_faults_.find({from, to});
+  if (it != link_faults_.end()) {
+    armed = &it->second;
+  } else if (global_faults_) {
+    armed = &*global_faults_;
+  }
+  if (armed == nullptr || armed->plan.Empty()) {
+    return d;
+  }
+  // Draw every coin unconditionally: the stream position then depends only
+  // on the call sequence, not on the percentages, so tweaking one knob does
+  // not reshuffle every other fault in a seeded schedule.
+  bool drop_req = armed->rng.Chance(armed->plan.drop_request_pct, 100);
+  bool drop_resp = armed->rng.Chance(armed->plan.drop_response_pct, 100);
+  bool dup_req = armed->rng.Chance(armed->plan.dup_request_pct, 100);
+  bool delay = armed->rng.Chance(armed->plan.delay_pct, 100);
+  d.drop_request = drop_req;
+  d.drop_response = drop_resp;
+  d.dup_request = dup_req && !drop_req;
+  d.extra_delay_ns = delay ? armed->plan.delay_ns : 0;
+  return d;
 }
 
 uint64_t Network::LatencyBetween(const std::string& from,
@@ -140,11 +212,20 @@ Result<Frame> Network::Call(const std::string& from, const std::string& to,
   span.SetDetail(from + "->" + to);
   sp<Node> dest;
   Node::Handler handler;
+  FaultDecision faults;
   {
     std::lock_guard<std::mutex> lock(mutex_);
-    if (fail_next_calls_ > 0) {
-      --fail_next_calls_;
-      return Status(fail_code_,
+    FailBudget* budget = nullptr;
+    auto link_it = link_fail_.find({from, to});
+    if (link_it != link_fail_.end() && link_it->second.calls > 0) {
+      budget = &link_it->second;
+    } else if (global_fail_.calls > 0) {
+      budget = &global_fail_;
+    }
+    if (budget != nullptr) {
+      --budget->calls;
+      ++stats_.injected_failures;
+      return Status(budget->code,
                     "injected transient fault '" + from + "' -> '" + to + "'");
     }
     auto part_from = partitioned_.find(from);
@@ -158,6 +239,14 @@ Result<Frame> Network::Call(const std::string& from, const std::string& to,
       return ErrNotFound("no node '" + to + "'");
     }
     dest = node_it->second;
+    if (faults_armed_.load(std::memory_order_relaxed)) {
+      faults = DecideFaults(from, to);
+    }
+    auto drop_it = drop_responses_.find({from, to});
+    if (drop_it != drop_responses_.end() && drop_it->second > 0) {
+      --drop_it->second;
+      faults.drop_response = true;
+    }
   }
   {
     std::lock_guard<std::mutex> lock(dest->mutex_);
@@ -175,10 +264,28 @@ Result<Frame> Network::Call(const std::string& from, const std::string& to,
     ++stats_.calls;
     ++stats_.messages;
     stats_.bytes += request_wire.size();
+    if (faults.extra_delay_ns != 0) {
+      ++stats_.delayed_messages;
+    }
   }
-  clock_->SleepNs(LatencyBetween(from, to));
+  clock_->SleepNs(LatencyBetween(from, to) + faults.extra_delay_ns);
+  if (faults.drop_request) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    ++stats_.dropped_requests;
+    return ErrTimedOut("chaos: request dropped '" + from + "' -> '" + to +
+                       "'");
+  }
   ASSIGN_OR_RETURN(Frame delivered, Frame::Deserialize(request_wire.span()));
   Frame response = dest->domain()->Run([&] { return handler(delivered); });
+  if (faults.dup_request) {
+    // A retransmitted frame whose first copy also arrived: the handler runs
+    // again with identical bytes and the duplicate's response is discarded.
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      ++stats_.duplicated_requests;
+    }
+    (void)dest->domain()->Run([&] { return handler(delivered); });
+  }
 
   // Return hop.
   Buffer response_wire = response.Serialize();
@@ -188,6 +295,12 @@ Result<Frame> Network::Call(const std::string& from, const std::string& to,
     stats_.bytes += response_wire.size();
   }
   clock_->SleepNs(LatencyBetween(to, from));
+  if (faults.drop_response) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    ++stats_.dropped_responses;
+    return ErrTimedOut("chaos: response dropped '" + to + "' -> '" + from +
+                       "'");
+  }
   return Frame::Deserialize(response_wire.span());
 }
 
@@ -196,6 +309,11 @@ void Network::CollectStats(const metrics::StatsEmitter& emit) const {
   emit("calls", stats_.calls);
   emit("messages", stats_.messages);
   emit("bytes", stats_.bytes);
+  emit("dropped_requests", stats_.dropped_requests);
+  emit("dropped_responses", stats_.dropped_responses);
+  emit("duplicated_requests", stats_.duplicated_requests);
+  emit("delayed_messages", stats_.delayed_messages);
+  emit("injected_failures", stats_.injected_failures);
 }
 
 NetworkStats Network::stats() const {

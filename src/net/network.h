@@ -12,8 +12,10 @@
 #ifndef SPRINGFS_NET_NETWORK_H_
 #define SPRINGFS_NET_NETWORK_H_
 
+#include <atomic>
 #include <functional>
 #include <map>
+#include <optional>
 #include <string>
 
 #include "src/obj/domain.h"
@@ -21,18 +23,28 @@
 #include "src/support/bytes.h"
 #include "src/support/clock.h"
 #include "src/support/result.h"
+#include "src/support/rng.h"
 
 namespace springfs::net {
 
-// One protocol frame. Fixed header (type + four u64 arguments + status) and
-// a variable payload; everything crosses the "wire" serialized.
+// One protocol frame. Fixed header (type + four u64 arguments + status +
+// request id + boot epoch) and a variable payload; everything crosses the
+// "wire" serialized.
+//
+// `request_id` is a client-generated identity for mutating requests: a
+// server that keeps a dedup window can recognise a retransmission and
+// replay its original response instead of applying the operation twice.
+// `epoch` is stamped on responses with the server's boot epoch so clients
+// can detect a restart (see DfsServer).
 struct Frame {
   uint32_t type = 0;
   uint64_t arg0 = 0;
   uint64_t arg1 = 0;
   uint64_t arg2 = 0;
   uint64_t arg3 = 0;
-  int32_t status = 0;  // ErrorCode of the response (0 = OK)
+  int32_t status = 0;       // ErrorCode of the response (0 = OK)
+  uint64_t request_id = 0;  // 0 = not deduplicable
+  uint64_t epoch = 0;       // 0 = sender has no boot epoch
   Buffer payload;
 
   Buffer Serialize() const;
@@ -52,6 +64,40 @@ struct NetworkStats {
   uint64_t calls = 0;  // round trips (each costs two messages on the wire)
   uint64_t messages = 0;
   uint64_t bytes = 0;
+  // Fault-injection accounting (chaos tests; always 0 with faults disarmed).
+  uint64_t dropped_requests = 0;
+  uint64_t dropped_responses = 0;
+  uint64_t duplicated_requests = 0;
+  uint64_t delayed_messages = 0;
+  uint64_t injected_failures = 0;  // FailNextCalls / FailNextCallsOnLink
+};
+
+// Seeded message-loss plan, the network analogue of blockdev::CrashPlan.
+// Armed globally or per ordered link; every Call() draws from a
+// deterministic seeded stream, so a failing chaos schedule replays exactly
+// from its seed. Percentages are 0..100.
+//
+// Semantics (chosen to expose the interesting distributed bugs):
+//  - drop_request:  the handler never runs; the caller sees kTimedOut.
+//  - drop_response: the handler RAN (side effects applied!) but the caller
+//    still sees kTimedOut — the case that makes blind retry of mutating
+//    ops unsafe without request-id dedup.
+//  - dup_request:   the handler runs twice back to back (a retransmitted
+//    frame both copies of which arrive); the duplicate's response is
+//    discarded.
+//  - delay:         adds delay_ns on top of the link latency.
+struct FaultPlan {
+  uint64_t seed = 0;
+  uint32_t drop_request_pct = 0;
+  uint32_t drop_response_pct = 0;
+  uint32_t dup_request_pct = 0;
+  uint32_t delay_pct = 0;
+  uint64_t delay_ns = 0;
+
+  bool Empty() const {
+    return drop_request_pct == 0 && drop_response_pct == 0 &&
+           dup_request_pct == 0 && delay_pct == 0;
+  }
 };
 
 class Network;
@@ -101,8 +147,30 @@ class Network : public metrics::StatsProvider {
 
   // Fails the next `calls` Call() invocations (any endpoints) with `code`
   // before they reach the destination — deterministic transient-fault
-  // injection for retry tests.
+  // injection for retry tests. All bookkeeping lives under the network
+  // mutex, so concurrent senders each consume exactly one budgeted failure.
   void FailNextCalls(uint64_t calls, ErrorCode code = ErrorCode::kTimedOut);
+
+  // Same, scoped to the ordered link `from` -> `to`; other links are
+  // unaffected. Link-scoped budgets are consumed before the global one.
+  void FailNextCallsOnLink(const std::string& from, const std::string& to,
+                           uint64_t calls,
+                           ErrorCode code = ErrorCode::kTimedOut);
+
+  // Drops the next `n` *responses* on the ordered link `from` -> `to`: the
+  // handler runs (server-side effects apply) but the caller sees kTimedOut.
+  // Deterministic counterpart of FaultPlan::drop_response_pct, for
+  // exactly-once dedup tests.
+  void DropNextResponses(const std::string& from, const std::string& to,
+                         uint64_t n);
+
+  // Arms the seeded fault plan for every link / one ordered link. Per-link
+  // plans override the global one. The armed check is a single relaxed
+  // atomic load, so the machinery costs nothing when disarmed.
+  void ArmFaults(const FaultPlan& plan);
+  void ArmFaultsOnLink(const std::string& from, const std::string& to,
+                       const FaultPlan& plan);
+  void DisarmFaults();
 
   // Synchronous RPC: serializes `request`, charges one-way latency, runs
   // the service handler inside the destination node's domain, charges the
@@ -120,16 +188,47 @@ class Network : public metrics::StatsProvider {
   void ResetStats();
 
  private:
+  using LinkKey = std::pair<std::string, std::string>;
+
+  struct FailBudget {
+    uint64_t calls = 0;
+    ErrorCode code = ErrorCode::kTimedOut;
+  };
+
+  // A FaultPlan plus its private deterministic stream.
+  struct ArmedFaults {
+    FaultPlan plan;
+    Rng rng;
+
+    explicit ArmedFaults(const FaultPlan& p) : plan(p), rng(p.seed) {}
+  };
+
+  // Per-call fault verdict, drawn under mutex_ and applied lock-free.
+  struct FaultDecision {
+    bool drop_request = false;
+    bool drop_response = false;
+    bool dup_request = false;
+    uint64_t extra_delay_ns = 0;
+  };
+
   uint64_t LatencyBetween(const std::string& from, const std::string& to) const;
+  // Requires mutex_. Draws all four coin flips unconditionally so the
+  // random stream (and thus seed reproducibility) does not depend on plan
+  // percentages.
+  FaultDecision DecideFaults(const std::string& from, const std::string& to);
 
   Clock* clock_;
   uint64_t default_latency_ns_;
   mutable std::mutex mutex_;
   std::map<std::string, sp<Node>> nodes_;
-  std::map<std::pair<std::string, std::string>, uint64_t> latency_;
+  std::map<LinkKey, uint64_t> latency_;
   std::map<std::string, bool> partitioned_;
-  uint64_t fail_next_calls_ = 0;
-  ErrorCode fail_code_ = ErrorCode::kTimedOut;
+  FailBudget global_fail_;
+  std::map<LinkKey, FailBudget> link_fail_;
+  std::map<LinkKey, uint64_t> drop_responses_;
+  std::atomic<bool> faults_armed_{false};
+  std::optional<ArmedFaults> global_faults_;
+  std::map<LinkKey, ArmedFaults> link_faults_;
   NetworkStats stats_;
 };
 

@@ -617,6 +617,7 @@ Status Vmm::DropAllPages() {
       snapshot.push_back(ch);
     }
   }
+  Status first_error;
   for (const sp<Channel>& ch : snapshot) {
     // Coalesce contiguous dirty pages into single multi-page page_outs.
     std::vector<DirtyRun> runs;
@@ -637,11 +638,18 @@ Status Vmm::DropAllPages() {
       total_pages_.fetch_sub(ch->pages.size(), std::memory_order_relaxed);
       ch->pages.clear();
     }
+    // Best effort across channels: one channel whose pager rejects the
+    // write-back (e.g. a fenced/stale DFS channel after a server-side
+    // eviction) must not strand every other channel's dirty data. The
+    // first error is still reported.
     for (const DirtyRun& run : runs) {
-      RETURN_IF_ERROR(ch->pager->PageOut(run.offset, run.data.span()));
+      Status st = ch->pager->PageOut(run.offset, run.data.span());
+      if (!st.ok() && first_error.ok()) {
+        first_error = st;
+      }
     }
   }
-  return Status::Ok();
+  return first_error;
 }
 
 VmmStats Vmm::stats() const {

@@ -1,0 +1,506 @@
+// Seeded network-chaos property harness for DFS (DESIGN.md §11).
+//
+// Two writer clients work disjoint pages of one exported file while the
+// schedule kills and revives clients, restarts the server, partitions and
+// heals links, and arms seeded FaultPlans that drop/duplicate/delay
+// requests and responses. After every schedule the world is healed and the
+// harness asserts:
+//
+//   * no lost acknowledged writes — every page's final server-side value is
+//     one of {last acknowledged write} ∪ {writes whose fate was unknown};
+//   * eventual convergence — a fresh verifier mount and every surviving
+//     client (after invalidating its caches) read the same value;
+//   * the server's per-file coherency invariants hold.
+//
+// Schedules are deterministic from their seed (FakeClock + seeded Rng +
+// seeded FaultPlans); a failure prints "seed=N" for replay.
+//
+// The file also carries deterministic exactly-once tests for duplicated
+// frames and the multi-threaded fault-injection tests the TSan CI job
+// exercises.
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <thread>
+
+#include "src/layers/dfs/dfs_client.h"
+#include "src/layers/dfs/dfs_server.h"
+#include "src/layers/sfs/sfs.h"
+#include "src/support/rng.h"
+#include "src/vmm/vmm.h"
+
+namespace springfs {
+namespace {
+
+using dfs::DfsClient;
+using dfs::DfsServer;
+
+constexpr int kClients = 2;
+constexpr int kPagesPerClient = 2;
+constexpr int kPages = kClients * kPagesPerClient;
+
+Buffer TagBuffer(uint64_t value) {
+  Buffer out(8);
+  for (int i = 0; i < 8; ++i) {
+    out.data()[i] = static_cast<uint8_t>(value >> (8 * i));
+  }
+  return out;
+}
+
+Result<uint64_t> ReadTag(const sp<File>& file, int page) {
+  Buffer out(8);
+  ASSIGN_OR_RETURN(size_t n,
+                   file->Read(static_cast<Offset>(page) * kPageSize,
+                              out.mutable_span()));
+  uint64_t value = 0;
+  for (int i = static_cast<int>(n) - 1; i >= 0; --i) {
+    value = (value << 8) | out.data()[i];
+  }
+  return value;
+}
+
+// One simulated cluster: a server node exporting one SFS file, two client
+// nodes with VMMs, and a spare node for the end-of-schedule verifier.
+struct ChaosWorld {
+  Credentials sys = Credentials::System();
+  FakeClock clock;
+  std::unique_ptr<net::Network> network;
+  sp<net::Node> server_node, client_nodes[kClients], verifier_node;
+  std::unique_ptr<MemBlockDevice> device;
+  Sfs sfs;
+  sp<DfsServer> server;
+  // Replaced servers stay alive until the end of the schedule: destroying
+  // one would stamp its tombstone over the live successor's service.
+  std::vector<sp<DfsServer>> retired_servers;
+  sp<DfsClient> clients[kClients];
+  sp<Vmm> vmms[kClients];
+  sp<File> files[kClients];
+
+  explicit ChaosWorld(uint64_t lease_ns = 10'000'000) {
+    network = std::make_unique<net::Network>(&clock, 1000);
+    server_node = network->AddNode("server");
+    verifier_node = network->AddNode("verifier");
+    for (int i = 0; i < kClients; ++i) {
+      client_nodes[i] = network->AddNode("client" + std::to_string(i));
+    }
+    device = std::make_unique<MemBlockDevice>(ufs::kBlockSize, 8192);
+    sfs = *CreateSfs(device.get(), SfsOptions{}, &clock);
+    dfs::DfsServerOptions options;
+    options.lease_ns = lease_ns;
+    server = *DfsServer::Create(server_node, network.get(), "dfs", sfs.root,
+                                &clock, options);
+    sp<File> seeded = *sfs.root->CreateFile(*Name::Parse("chaos"), sys);
+    EXPECT_TRUE(seeded->SetLength(kPages * kPageSize).ok());
+    for (int i = 0; i < kClients; ++i) {
+      clients[i] = *DfsClient::Mount(client_nodes[i], network.get(), "server",
+                                     "dfs", &clock);
+      vmms[i] = Vmm::Create(client_nodes[i]->domain(),
+                            "vmm" + std::to_string(i));
+      files[i] = *ResolveAs<File>(clients[i], "chaos", sys);
+    }
+  }
+
+  void RestartServer() {
+    dfs::DfsServerOptions options;
+    options.lease_ns = 10'000'000;
+    retired_servers.push_back(server);
+    server = *DfsServer::Create(server_node, network.get(), "dfs", sfs.root,
+                                &clock, options);
+  }
+};
+
+// Model of one page: the last write the writer saw acknowledged, plus every
+// write whose fate is unknown (errored out, or sitting unsynced in a cache
+// when its client was killed). The server's value must always be in
+// {acked} ∪ pending.
+struct PageModel {
+  uint64_t acked = 0;  // pages start zero-filled
+  std::set<uint64_t> pending;
+
+  bool Allows(uint64_t value) const {
+    return value == acked || pending.count(value) > 0;
+  }
+  std::string Describe() const {
+    std::string out = "acked=" + std::to_string(acked) + " pending={";
+    for (uint64_t v : pending) {
+      out += std::to_string(v) + ",";
+    }
+    return out + "}";
+  }
+  void Ack(uint64_t value) {
+    acked = value;
+    pending.clear();
+  }
+};
+
+void RunChaosSeed(uint64_t seed) {
+  SCOPED_TRACE("seed=" + std::to_string(seed));
+  ChaosWorld world;
+  Rng rng(seed);
+  PageModel model[kPages];
+  sp<MappedRegion> regions[kClients];
+  uint64_t mapped_value[kPages] = {};  // latest value written via a mapping
+  // A sync may only acknowledge a mapped value if the page is still the
+  // client's dirty copy: a recall (triggered by a direct write) or a cache
+  // invalidation in between means the sync pushed nothing.
+  bool mapped_dirty[kPages] = {};
+  uint64_t invalidations_at_write[kPages] = {};
+  bool dead[kClients] = {};
+  bool faults_armed = false;
+  uint64_t next_value = 1;
+
+  auto own_page = [&](int client) {
+    return client * kPagesPerClient +
+           static_cast<int>(rng.Below(kPagesPerClient));
+  };
+
+  constexpr int kSteps = 40;
+  for (int step = 0; step < kSteps; ++step) {
+    world.clock.Advance(rng.Range(1, 2'000'000));
+    int c = static_cast<int>(rng.Below(kClients));
+    uint64_t action = rng.Below(100);
+
+    if (action < 30) {
+      // Direct write to an own page. ok => acknowledged; error => fate
+      // unknown (a dropped response means it may have applied anyway).
+      if (dead[c]) continue;
+      int page = own_page(c);
+      uint64_t value = next_value++;
+      Buffer tag = TagBuffer(value);
+      Result<size_t> wrote =
+          world.files[c]->Write(static_cast<Offset>(page) * kPageSize,
+                                tag.span());
+      if (wrote.ok()) {
+        model[page].Ack(value);
+      } else {
+        model[page].pending.insert(value);
+      }
+      // Either way the server-side acquire recalled (or orphaned) whatever
+      // mapped copy the client held; a later sync pushes nothing.
+      mapped_dirty[page] = false;
+    } else if (action < 45) {
+      // Direct read of any page: whatever comes back must be a value the
+      // model allows (this also recalls other clients' cached dirty data
+      // through the server's coherency engine).
+      if (dead[c]) continue;
+      int page = static_cast<int>(rng.Below(kPages));
+      Result<uint64_t> value = ReadTag(world.files[c], page);
+      if (value.ok()) {
+        EXPECT_TRUE(model[page].Allows(*value))
+            << "step " << step << " page " << page << " read " << *value
+            << " but model has " << model[page].Describe();
+      }
+    } else if (action < 60) {
+      // Mapped write to an own page: lands only in the client's cache, so
+      // it is pending until a sync (or a server-side recall) pushes it.
+      if (dead[c]) continue;
+      if (!regions[c]) {
+        Result<sp<MappedRegion>> mapped =
+            world.vmms[c]->Map(world.files[c], AccessRights::kReadWrite);
+        if (!mapped.ok()) continue;
+        regions[c] = *mapped;
+      }
+      int page = own_page(c);
+      uint64_t value = next_value++;
+      Buffer tag = TagBuffer(value);
+      if (regions[c]->Write(static_cast<Offset>(page) * kPageSize,
+                            tag.span()).ok()) {
+        model[page].pending.insert(value);
+        mapped_value[page] = value;
+        mapped_dirty[page] = true;
+        invalidations_at_write[page] =
+            world.clients[c]->stats().channels_invalidated;
+      } else {
+        // The region's channel is gone (evicted / invalidated); remap on
+        // the next mapped action.
+        regions[c].reset();
+      }
+    } else if (action < 70) {
+      // Sync the mapping: success acknowledges the latest mapped value of
+      // every own page that is still this client's dirty copy.
+      if (dead[c] || !regions[c]) continue;
+      if (regions[c]->Sync().ok()) {
+        uint64_t invalidations =
+            world.clients[c]->stats().channels_invalidated;
+        for (int p = c * kPagesPerClient; p < (c + 1) * kPagesPerClient;
+             ++p) {
+          if (mapped_dirty[p] && mapped_value[p] != 0 &&
+              invalidations_at_write[p] == invalidations) {
+            model[p].Ack(mapped_value[p]);
+          }
+          mapped_dirty[p] = false;
+        }
+      } else {
+        regions[c].reset();
+      }
+    } else if (action < 80) {
+      // Kill / revive. A killed client keeps whatever it cached; a revived
+      // one must not trust it (it has likely been evicted), so revival
+      // invalidates the caches and drops the mapping.
+      if (!dead[c]) {
+        world.network->SetPartitioned(world.client_nodes[c]->name(), true);
+        dead[c] = true;
+      } else {
+        world.network->SetPartitioned(world.client_nodes[c]->name(), false);
+        world.clients[c]->InvalidateCaches();
+        regions[c].reset();
+        for (int p = c * kPagesPerClient; p < (c + 1) * kPagesPerClient;
+             ++p) {
+          mapped_dirty[p] = false;
+        }
+        dead[c] = false;
+      }
+    } else if (action < 85) {
+      world.RestartServer();
+    } else if (action < 92) {
+      // Toggle seeded message loss (sometimes global, sometimes one link).
+      if (faults_armed) {
+        world.network->DisarmFaults();
+        faults_armed = false;
+      } else {
+        net::FaultPlan plan;
+        plan.seed = seed ^ (0x9E3779B97F4A7C15ull * (step + 1));
+        plan.drop_request_pct = 15;
+        plan.drop_response_pct = 15;
+        plan.dup_request_pct = 10;
+        plan.delay_pct = 10;
+        plan.delay_ns = 50'000;
+        if (rng.Chance(1, 2)) {
+          world.network->ArmFaults(plan);
+        } else {
+          world.network->ArmFaultsOnLink(
+              world.client_nodes[rng.Below(kClients)]->name(), "server",
+              plan);
+        }
+        faults_armed = true;
+      }
+    } else {
+      // Long silence: leases lapse, so the next conflicting acquire evicts
+      // idle holders instead of calling them.
+      world.clock.Advance(rng.Range(15'000'000, 30'000'000));
+    }
+  }
+
+  // Heal the world and converge.
+  world.network->DisarmFaults();
+  for (int c = 0; c < kClients; ++c) {
+    world.network->SetPartitioned(world.client_nodes[c]->name(), false);
+    world.clients[c]->InvalidateCaches();
+    regions[c].reset();
+  }
+  ASSERT_TRUE(world.server->CheckCoherencyInvariants());
+
+  sp<DfsClient> verifier = *DfsClient::Mount(
+      world.verifier_node, world.network.get(), "server", "dfs",
+      &world.clock);
+  sp<File> verified = *ResolveAs<File>(verifier, "chaos", world.sys);
+  for (int page = 0; page < kPages; ++page) {
+    Result<uint64_t> value = ReadTag(verified, page);
+    ASSERT_TRUE(value.ok()) << value.status().ToString();
+    EXPECT_TRUE(model[page].Allows(*value))
+        << "page " << page << " converged to " << *value
+        << " but model has " << model[page].Describe()
+        << " — an acknowledged write was lost";
+    // Every surviving client agrees with the verifier.
+    for (int c = 0; c < kClients; ++c) {
+      Result<uint64_t> theirs = ReadTag(world.files[c], page);
+      ASSERT_TRUE(theirs.ok()) << theirs.status().ToString();
+      EXPECT_EQ(*theirs, *value) << "client " << c << " diverges on page "
+                                 << page;
+    }
+  }
+  ASSERT_TRUE(world.server->CheckCoherencyInvariants());
+}
+
+// 4 shards x 55 seeds = 220 schedules.
+void RunChaosShard(uint64_t first_seed) {
+  for (uint64_t seed = first_seed; seed < first_seed + 55; ++seed) {
+    RunChaosSeed(seed);
+    if (::testing::Test::HasFatalFailure()) {
+      return;
+    }
+  }
+}
+
+TEST(ChaosDfs, SeededSchedulesShard0) { RunChaosShard(1000); }
+TEST(ChaosDfs, SeededSchedulesShard1) { RunChaosShard(2000); }
+TEST(ChaosDfs, SeededSchedulesShard2) { RunChaosShard(3000); }
+TEST(ChaosDfs, SeededSchedulesShard3) { RunChaosShard(4000); }
+
+// The chaos machinery must have teeth: across a handful of schedules the
+// interesting failure paths actually fire (otherwise the harness is
+// asserting nothing).
+TEST(ChaosDfs, SchedulesExerciseTheFailurePaths) {
+  metrics::Registry::Global().counter("coh/evictions").Reset();
+  uint64_t dedup_hits = 0, evicted = 0, dropped = 0, restarts = 0;
+  for (uint64_t seed = 7000; seed < 7012; ++seed) {
+    RunChaosSeed(seed);
+    if (::testing::Test::HasFatalFailure()) {
+      return;
+    }
+  }
+  evicted = metrics::Registry::Global().counter("coh/evictions").Value();
+  // Network + client counters are per-world, so re-run one seed and sample.
+  {
+    ChaosWorld world;
+    net::FaultPlan plan;
+    plan.seed = 42;
+    plan.drop_response_pct = 100;
+    world.network->ArmFaultsOnLink("client0", "server", plan);
+    Buffer tag = TagBuffer(77);
+    (void)world.files[0]->Write(0, tag.span());
+    world.network->DisarmFaults();
+    dedup_hits = world.server->stats().dedup_hits;
+    dropped = world.network->stats().dropped_responses;
+    restarts = world.clients[0]->stats().retries;
+  }
+  EXPECT_GT(evicted, 0u) << "no schedule ever evicted a holder";
+  EXPECT_GT(dedup_hits, 0u) << "dedup window never answered";
+  EXPECT_GT(dropped, 0u);
+  EXPECT_GT(restarts, 0u);
+}
+
+// --- deterministic exactly-once tests ---
+
+TEST(ChaosDfs, DuplicatedMutatingFrameAppliesExactlyOnce) {
+  ChaosWorld world;
+  // Every request from client0 is delivered twice; the duplicate carries
+  // the same request id, so the dedup window must swallow the second run.
+  net::FaultPlan plan;
+  plan.seed = 9;
+  plan.dup_request_pct = 100;
+  world.network->ArmFaultsOnLink("client0", "server", plan);
+  Result<sp<File>> created =
+      world.clients[0]->CreateFile(*Name::Parse("dup-once"), world.sys);
+  world.network->DisarmFaults();
+  ASSERT_TRUE(created.ok()) << created.status().ToString();
+  EXPECT_GT(world.network->stats().duplicated_requests, 0u);
+  EXPECT_GT(world.server->stats().dedup_hits, 0u)
+      << "the duplicate must be answered from the window, not re-executed";
+  EXPECT_TRUE(ResolveAs<File>(world.sfs.root, "dup-once", world.sys).ok());
+}
+
+TEST(ChaosDfs, DroppedResponseRetransmissionAppliesExactlyOnce) {
+  ChaosWorld world;
+  world.network->DropNextResponses("client0", "server", 1);
+  Buffer tag = TagBuffer(123);
+  // The write executes, its response is lost, the client retries the same
+  // request id, and the dedup window replays the original response.
+  Result<size_t> wrote = world.files[0]->Write(0, tag.span());
+  ASSERT_TRUE(wrote.ok()) << wrote.status().ToString();
+  EXPECT_EQ(world.server->stats().dedup_hits, 1u);
+  EXPECT_EQ(*ReadTag(world.files[1], 0), 123u);
+}
+
+// --- thread-safety of the fault-injection plumbing (run under TSan) ---
+
+TEST(ChaosNet, LinkFailureBudgetIsExactUnderConcurrency) {
+  FakeClock clock;
+  net::Network network(&clock, 1000);
+  network.AddNode("a");
+  sp<net::Node> b = network.AddNode("b");
+  b->RegisterService("echo",
+                     [](const net::Frame& request) { return request; });
+
+  constexpr int kThreads = 4;
+  constexpr int kCallsPerThread = 50;
+  constexpr uint64_t kBudget = 50;
+  network.FailNextCallsOnLink("a", "b", kBudget, ErrorCode::kTimedOut);
+
+  std::atomic<uint64_t> failures{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&] {
+      for (int i = 0; i < kCallsPerThread; ++i) {
+        Result<net::Frame> got = network.Call("a", "b", "echo", net::Frame{});
+        if (!got.ok()) {
+          EXPECT_EQ(got.status().code(), ErrorCode::kTimedOut);
+          failures.fetch_add(1);
+        }
+      }
+    });
+  }
+  for (auto& t : threads) {
+    t.join();
+  }
+  // Each budgeted failure is consumed exactly once, no more, no fewer.
+  EXPECT_EQ(failures.load(), kBudget);
+  EXPECT_EQ(network.stats().injected_failures, kBudget);
+  EXPECT_TRUE(network.Call("a", "b", "echo", net::Frame{}).ok());
+}
+
+TEST(ChaosNet, ConcurrentSendersSurviveFaultToggling) {
+  FakeClock clock;
+  net::Network network(&clock, 1000);
+  sp<net::Node> a = network.AddNode("a");
+  sp<net::Node> b = network.AddNode("b");
+  a->RegisterService("echo",
+                     [](const net::Frame& request) { return request; });
+  b->RegisterService("echo",
+                     [](const net::Frame& request) { return request; });
+
+  std::atomic<bool> stop{false};
+  std::vector<std::thread> senders;
+  for (int t = 0; t < 4; ++t) {
+    senders.emplace_back([&, t] {
+      const std::string from = (t % 2 == 0) ? "a" : "b";
+      const std::string to = (t % 2 == 0) ? "b" : "a";
+      net::Frame request;
+      for (int i = 0; i < 400; ++i) {
+        request.arg0 = i;
+        (void)network.Call(from, to, "echo", request);
+      }
+    });
+  }
+  std::thread chaos([&] {
+    Rng rng(77);
+    while (!stop.load()) {
+      switch (rng.Below(6)) {
+        case 0:
+          network.FailNextCalls(rng.Range(1, 4), ErrorCode::kTimedOut);
+          break;
+        case 1:
+          network.FailNextCallsOnLink("a", "b", rng.Range(1, 4),
+                                      ErrorCode::kConnectionLost);
+          break;
+        case 2: {
+          net::FaultPlan plan;
+          plan.seed = rng.Next();
+          plan.drop_request_pct = 20;
+          plan.drop_response_pct = 20;
+          plan.dup_request_pct = 10;
+          network.ArmFaults(plan);
+          break;
+        }
+        case 3:
+          network.DisarmFaults();
+          break;
+        case 4:
+          network.SetPartitioned("a", true);
+          break;
+        default:
+          network.SetPartitioned("a", false);
+          break;
+      }
+    }
+  });
+  for (auto& t : senders) {
+    t.join();
+  }
+  stop.store(true);
+  chaos.join();
+  // Heal and confirm the fabric still works. DisarmFaults clears the
+  // seeded plans but not FailNextCalls budgets, so drain any leftovers.
+  network.DisarmFaults();
+  network.SetPartitioned("a", false);
+  bool healed = false;
+  for (int i = 0; i < 32 && !healed; ++i) {
+    healed = network.Call("a", "b", "echo", net::Frame{}).ok();
+  }
+  EXPECT_TRUE(healed);
+  EXPECT_GT(network.stats().calls, 0u);
+}
+
+}  // namespace
+}  // namespace springfs

@@ -12,16 +12,23 @@
 namespace springfs {
 namespace {
 
-// A scripted cache object that records the callbacks it receives and can be
-// loaded with dirty blocks to hand back.
+// A scripted cache object that records the callbacks it receives, can be
+// loaded with dirty blocks to hand back, and can be scripted to fail its
+// callbacks (a dead or misbehaving holder).
 class FakeCache : public CacheObject {
  public:
   Result<std::vector<BlockData>> FlushBack(Range range) override {
     ++flush_backs;
+    if (!fail_with.ok()) {
+      return fail_with;
+    }
     return TakeDirty(range);
   }
   Result<std::vector<BlockData>> DenyWrites(Range range) override {
     ++deny_writes;
+    if (!fail_with.ok()) {
+      return fail_with;
+    }
     return TakeDirty(range);
   }
   Result<std::vector<BlockData>> WriteBack(Range range) override {
@@ -42,6 +49,7 @@ class FakeCache : public CacheObject {
   int flush_backs = 0;
   int deny_writes = 0;
   int write_backs = 0;
+  Status fail_with = Status::Ok();  // sticky callback failure when not OK
 
  private:
   std::vector<BlockData> TakeDirty(Range range) {
@@ -221,6 +229,125 @@ TEST_F(EngineTest, RemoveCacheForgetsItsHoldings) {
   engine_.RemoveCache(1);
   EXPECT_FALSE(engine_.BlockHasWriter(0));
   EXPECT_EQ(engine_.NumCaches(), 2u);
+  EXPECT_TRUE(engine_.CheckInvariants());
+}
+
+// --- failure model: callback errors, eviction, leases, fencing ---
+
+TEST_F(EngineTest, CallbackErrorFromHealthyHolderPropagates) {
+  ASSERT_TRUE(engine_.Acquire(1, Range{0, kPageSize},
+                              AccessRights::kReadWrite).ok());
+  // An in-process error (not an unreachable-style code, no lease configured)
+  // means the holder is alive but failing: the engine must surface it, not
+  // silently evict a live cache.
+  c1_->fail_with = ErrIoError("cache torn");
+  Result<std::vector<BlockData>> got =
+      engine_.Acquire(2, Range{0, kPageSize}, AccessRights::kReadWrite);
+  EXPECT_EQ(got.status().code(), ErrorCode::kIoError);
+  EXPECT_EQ(engine_.stats().callback_failures, 1u);
+  EXPECT_EQ(engine_.stats().evictions, 0u);
+  EXPECT_TRUE(engine_.HasCache(1)) << "a live holder must not be evicted";
+  EXPECT_TRUE(engine_.CheckInvariants());
+  // Once the holder recovers, the acquire goes through.
+  c1_->fail_with = Status::Ok();
+  EXPECT_TRUE(engine_.Acquire(2, Range{0, kPageSize},
+                              AccessRights::kReadWrite).ok());
+}
+
+TEST_F(EngineTest, UnreachableWriterIsEvictedAndLossRecorded) {
+  ASSERT_TRUE(engine_.Acquire(1, Range{0, kPageSize},
+                              AccessRights::kReadWrite).ok());
+  c1_->fail_with = ErrTimedOut("holder dead");
+  // A read acquire demotes the dead writer: the callback times out, the
+  // holder is evicted, and the reader proceeds instead of failing forever.
+  Result<std::vector<BlockData>> got =
+      engine_.Acquire(2, Range{0, kPageSize}, AccessRights::kReadOnly);
+  ASSERT_TRUE(got.ok()) << got.status().ToString();
+  EXPECT_FALSE(engine_.HasCache(1));
+  EXPECT_EQ(engine_.stats().evictions, 1u);
+  EXPECT_EQ(engine_.stats().lost_dirty_blocks, 1u);
+  EXPECT_TRUE(engine_.BlockNeedsRecovery(0))
+      << "the evicted writer's block may have lost dirty data";
+  EXPECT_TRUE(engine_.CheckInvariants());
+}
+
+TEST_F(EngineTest, FreshWriterClearsRecoveryNeeded) {
+  ASSERT_TRUE(engine_.Acquire(1, Range{0, kPageSize},
+                              AccessRights::kReadWrite).ok());
+  c1_->fail_with = ErrConnectionLost("gone");
+  ASSERT_TRUE(engine_.Acquire(2, Range{0, kPageSize},
+                              AccessRights::kReadOnly).ok());
+  ASSERT_TRUE(engine_.BlockNeedsRecovery(0));
+  // A new writer supersedes whatever the evicted one lost.
+  ASSERT_TRUE(engine_.Acquire(2, Range{0, kPageSize},
+                              AccessRights::kReadWrite).ok());
+  EXPECT_FALSE(engine_.BlockNeedsRecovery(0));
+}
+
+TEST_F(EngineTest, ExpiredLeaseEvictsWithoutCalling) {
+  FakeClock clock;
+  engine_.ConfigureLeases(&clock, /*lease_ns=*/1'000'000);
+  ASSERT_TRUE(engine_.Acquire(1, Range{0, kPageSize},
+                              AccessRights::kReadWrite).ok());
+  int calls_before = c1_->flush_backs + c1_->deny_writes;
+  clock.Advance(2'000'000);  // the writer goes silent past its lease
+  ASSERT_TRUE(engine_.Acquire(2, Range{0, kPageSize},
+                              AccessRights::kReadWrite).ok());
+  EXPECT_EQ(c1_->flush_backs + c1_->deny_writes, calls_before)
+      << "an expired holder is presumed dead: no pointless callback";
+  EXPECT_FALSE(engine_.HasCache(1));
+  EXPECT_EQ(engine_.stats().lease_expiries, 1u);
+  EXPECT_EQ(engine_.stats().evictions, 1u);
+  EXPECT_TRUE(engine_.CheckInvariants());
+}
+
+TEST_F(EngineTest, AcquireRenewsTheRequestersLease) {
+  FakeClock clock;
+  engine_.ConfigureLeases(&clock, /*lease_ns=*/1'000'000);
+  ASSERT_TRUE(engine_.Acquire(1, Range{0, kPageSize},
+                              AccessRights::kReadWrite).ok());
+  // Keep touching the engine just inside the lease each time.
+  for (int i = 0; i < 5; ++i) {
+    clock.Advance(900'000);
+    ASSERT_TRUE(engine_.Acquire(1, Range{0, kPageSize},
+                                AccessRights::kReadWrite).ok());
+  }
+  clock.Advance(900'000);
+  ASSERT_TRUE(engine_.Acquire(2, Range{0, kPageSize},
+                              AccessRights::kReadWrite).ok());
+  EXPECT_EQ(engine_.stats().lease_expiries, 0u)
+      << "an active holder's lease must keep sliding forward";
+  EXPECT_EQ(c1_->flush_backs, 1) << "live holder is flushed, not evicted";
+}
+
+TEST_F(EngineTest, StaleReleasesAreFenced) {
+  uint64_t inc_old = engine_.Incarnation(1);
+  ASSERT_NE(inc_old, 0u);
+  ASSERT_TRUE(engine_.Acquire(1, Range{0, kPageSize},
+                              AccessRights::kReadWrite).ok());
+  c1_->fail_with = ErrTimedOut("dead");
+  ASSERT_TRUE(engine_.Acquire(2, Range{0, kPageSize},
+                              AccessRights::kReadOnly).ok());
+  ASSERT_FALSE(engine_.HasCache(1));
+
+  // The dead client revives and its stale page-out frame finally lands:
+  // holder 1 is no longer a member, so the release is a no-op.
+  engine_.ReleaseDropped(1, Range{0, kPageSize}, inc_old);
+  EXPECT_EQ(engine_.stats().fenced_releases, 1u);
+
+  // The client re-registers (new incarnation) and becomes a writer; a
+  // leftover frame minted under the OLD incarnation must still be fenced.
+  c1_->fail_with = Status::Ok();
+  uint64_t inc_new = engine_.AddCache(1, c1_);
+  EXPECT_NE(inc_new, inc_old);
+  ASSERT_TRUE(engine_.Acquire(1, Range{0, kPageSize},
+                              AccessRights::kReadWrite).ok());
+  engine_.ReleaseDropped(1, Range{0, kPageSize}, inc_old);
+  EXPECT_EQ(engine_.stats().fenced_releases, 2u);
+  EXPECT_TRUE(engine_.BlockHasWriter(0)) << "stale frame must not release";
+  // The current incarnation's release applies normally.
+  engine_.ReleaseDropped(1, Range{0, kPageSize}, inc_new);
+  EXPECT_FALSE(engine_.BlockHasWriter(0));
   EXPECT_TRUE(engine_.CheckInvariants());
 }
 

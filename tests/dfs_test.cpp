@@ -298,19 +298,59 @@ TEST_F(DfsTest, IdempotentCallsRetryThroughTransientTimeouts) {
   EXPECT_GT(clock_.Now(), before) << "backoff must be charged to the clock";
 }
 
-TEST_F(DfsTest, NonIdempotentCallsAreNotRetried) {
+TEST_F(DfsTest, MutatingCallsRetrySafelyThroughDedup) {
+  // The request itself is lost: the server never ran the op, and the
+  // retransmission (same request id) simply executes it.
   uint64_t calls_before = client_->stats().calls_sent;
   network_->FailNextCalls(1, ErrorCode::kTimedOut);
-  // Create is not idempotent (a blind re-send could observe its own
-  // half-applied effect); the fault must surface immediately.
   Result<sp<File>> created = client_->CreateFile(*Name::Parse("once"), sys_);
-  EXPECT_EQ(created.status().code(), ErrorCode::kTimedOut);
+  ASSERT_TRUE(created.ok()) << created.status().ToString();
   dfs::DfsClientStats stats = client_->stats();
-  EXPECT_EQ(stats.retries, 0u);
-  EXPECT_EQ(stats.calls_sent, calls_before + 1) << "exactly one send, no retry";
-  // The transport fault is gone; the operation works when re-issued by the
-  // caller.
-  EXPECT_TRUE(client_->CreateFile(*Name::Parse("once"), sys_).ok());
+  EXPECT_EQ(stats.retries, 1u);
+  EXPECT_EQ(stats.calls_sent, calls_before + 2);
+  EXPECT_EQ(server_->stats().dedup_hits, 0u) << "first attempt never ran";
+  EXPECT_TRUE(ResolveAs<File>(sfs_.root, "once", sys_).ok());
+}
+
+TEST_F(DfsTest, LostResponseRetransmissionAppliesExactlyOnce) {
+  // The *response* is lost: the server HAS executed the create, the client
+  // times out and retransmits the same request id, and the server's dedup
+  // window replays the original response instead of re-executing. A blind
+  // re-execute would fail with kAlreadyExists — the ok result proves the
+  // dedup path answered.
+  uint64_t calls_before = client_->stats().calls_sent;
+  network_->DropNextResponses("client1", "server", 1);
+  Result<sp<File>> created = client_->CreateFile(*Name::Parse("exactly"),
+                                                 sys_);
+  ASSERT_TRUE(created.ok()) << created.status().ToString();
+  dfs::DfsClientStats stats = client_->stats();
+  EXPECT_EQ(stats.retries, 1u);
+  EXPECT_EQ(stats.calls_sent, calls_before + 2);
+  EXPECT_EQ(server_->stats().dedup_hits, 1u);
+  EXPECT_EQ(network_->stats().dropped_responses, 1u);
+  // Exactly-once: the file exists and the remote view is usable.
+  EXPECT_TRUE(ResolveAs<File>(sfs_.root, "exactly", sys_).ok());
+  Buffer data(std::string("ok"));
+  EXPECT_TRUE((*created)->Write(0, data.span()).ok());
+}
+
+TEST_F(DfsTest, LostWriteResponseDoesNotDoubleApply) {
+  // Double-applying a kWrite around another client's write would resurface
+  // old bytes. Drop the write's response; the retransmission must replay,
+  // not re-execute.
+  sp<File> file = *client_->CreateFile(*Name::Parse("w-once"), sys_);
+  Buffer first(std::string("AAAA"));
+  network_->DropNextResponses("client1", "server", 1);
+  ASSERT_TRUE(file->Write(0, first.span()).ok());
+  EXPECT_EQ(server_->stats().dedup_hits, 1u);
+  // Another client overwrites; if the first write's retransmission had
+  // re-executed after this, "BBBB" would be clobbered.
+  sp<File> other = *ResolveAs<File>(client2_, "w-once", sys_);
+  Buffer second(std::string("BBBB"));
+  ASSERT_TRUE(other->Write(0, second.span()).ok());
+  Buffer out(4);
+  ASSERT_TRUE(file->Read(0, out.mutable_span()).ok());
+  EXPECT_EQ(out.ToString(), "BBBB");
 }
 
 TEST_F(DfsTest, RetriesExhaustedSurfaceAsErrorNotHang) {
@@ -342,15 +382,90 @@ TEST_F(DfsTest, ServerDeathSurfacesAsDeadObjectNotHang) {
 
   server_.reset();  // the exporting server dies; its service leaves a tombstone
 
-  // Calls against the dead server fail fast with kDeadObject: no hang, and
-  // no retry (the failure is not transient).
+  // Calls against the dead server fail with kDeadObject after a bounded
+  // number of retries (a replacement server could have taken the service
+  // over, so the client probes for one): no hang, clean error.
   uint64_t calls_before = client_->stats().calls_sent;
   Status stat = file->Stat().status();
   EXPECT_EQ(stat.code(), ErrorCode::kDeadObject) << stat.ToString();
-  EXPECT_EQ(client_->stats().calls_sent, calls_before + 1);
-  EXPECT_EQ(client_->stats().retries, 0u);
+  EXPECT_EQ(client_->stats().calls_sent, calls_before + 5)
+      << "initial send + max_retries probes";
   EXPECT_EQ(client_->Resolve(*Name::Parse("orphan"), sys_).status().code(),
             ErrorCode::kDeadObject);
+}
+
+TEST_F(DfsTest, ServerRestartInvalidatesCachesAndRebindsTransparently) {
+  sp<File> created = *sfs_.root->CreateFile(*Name::Parse("reborn"), sys_);
+  ASSERT_TRUE(created->SetLength(kPageSize).ok());
+  sp<File> remote = *ResolveAs<File>(client_, "reborn", sys_);
+  sp<MappedRegion> region = *client_vmm_->Map(remote, AccessRights::kReadWrite);
+  Buffer v1(std::string("->v1"));
+  ASSERT_TRUE(region->Write(0, v1.span()).ok());
+  ASSERT_TRUE(region->Sync().ok());
+  uint64_t epoch_before = client_->observed_server_epoch();
+  ASSERT_NE(epoch_before, 0u);
+
+  // Restart: a new server instance takes over the same service name. (The
+  // old instance stays referenced by the SFS channel below, as after a
+  // failover; what matters to the client is the service answering with a
+  // new boot epoch and an empty handle space.)
+  server_ = *DfsServer::Create(server_node_, network_.get(), "dfs",
+                               sfs_.root, &clock_);
+
+  // The next call observes the epoch bump, tears down the local channels
+  // (cached pages are discarded), re-resolves the handle by path, and
+  // succeeds — the restart is transparent to the File API.
+  Result<FileAttributes> attrs = remote->Stat();
+  ASSERT_TRUE(attrs.ok()) << attrs.status().ToString();
+  EXPECT_GT(client_->observed_server_epoch(), epoch_before);
+  EXPECT_GE(client_->stats().server_restarts, 1u);
+  EXPECT_GT(client_->stats().channels_invalidated, 0u);
+  EXPECT_GE(client_->stats().handle_rebinds, 1u);
+
+  // Data synced before the restart survives, served through a fresh
+  // mapping bound to the new server.
+  sp<MappedRegion> region2 = *client_vmm_->Map(remote, AccessRights::kReadOnly);
+  Buffer out(4);
+  ASSERT_TRUE(region2->Read(0, out.mutable_span()).ok());
+  EXPECT_EQ(out.ToString(), "->v1");
+}
+
+TEST_F(DfsTest, KilledWriterDoesNotBlockOtherClients) {
+  // Two clients write-map the same file; client1 holds writer blocks, then
+  // its node is partitioned away for good (client death). client2's next
+  // acquire must evict the dead holder instead of failing forever.
+  sp<File> created = *sfs_.root->CreateFile(*Name::Parse("seized"), sys_);
+  ASSERT_TRUE(created->SetLength(kPageSize).ok());
+  sp<File> r1 = *ResolveAs<File>(client_, "seized", sys_);
+  sp<File> r2 = *ResolveAs<File>(client2_, "seized", sys_);
+  sp<MappedRegion> m1 = *client_vmm_->Map(r1, AccessRights::kReadWrite);
+  Buffer mine(std::string("mine"));
+  ASSERT_TRUE(m1->Write(0, mine.span()).ok());  // client1 becomes the writer
+
+  network_->SetPartitioned("client1", true);  // client1 dies mid-hold
+
+  sp<MappedRegion> m2 = *client2_vmm_->Map(r2, AccessRights::kReadWrite);
+  Buffer theirs(std::string("ours"));
+  ASSERT_TRUE(m2->Write(0, theirs.span()).ok())
+      << "a dead writer must be evicted, not block the acquire";
+  ASSERT_TRUE(m2->Sync().ok());
+  CoherencyStats coh = server_->AggregateCoherencyStats();
+  EXPECT_GE(coh.evictions, 1u);
+  EXPECT_GE(coh.lost_dirty_blocks, 1u) << "client1's unflushed write is lost";
+  EXPECT_TRUE(server_->CheckCoherencyInvariants());
+
+  // The revived client's stale page-out is fenced, not applied.
+  network_->SetPartitioned("client1", false);
+  Status late = m1->Sync();
+  Buffer out(4);
+  ASSERT_TRUE(created->Read(0, out.mutable_span()).ok());
+  EXPECT_EQ(out.ToString(), "ours")
+      << "stale write-back from the evicted holder must not clobber";
+  if (!late.ok()) {
+    EXPECT_EQ(late.code(), ErrorCode::kStale);
+  }
+  EXPECT_GE(server_->stats().stale_fenced + client_->stats().channels_invalidated,
+            1u);
 }
 
 TEST_F(DfsTest, SyncFlowsToDisk) {
