@@ -76,7 +76,7 @@ int main() {
                 stat_plain.mean_us, stat_cfs.mean_us, read_plain.mean_us,
                 read_cfs.mean_us,
                 static_cast<unsigned long long>(
-                    cfs->stats().attr_invalidations),
+                    metrics::StatValue(*cfs, "attr_invalidations")),
                 fresh ? "" : "STALE!");
   }
   bench::PrintRule(86);

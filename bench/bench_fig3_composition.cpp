@@ -12,6 +12,8 @@
 // device dies.
 
 #include <cstdio>
+#include <map>
+#include <string>
 
 #include "bench/bench_util.h"
 #include "src/blockdev/decorators.h"
@@ -91,16 +93,17 @@ int main() {
   Measurement degraded =
       TimeOp([&] { (void)*ha2->Read(0, out.mutable_span()); }, 2000);
   disks[0]->set_broken(false);
-  MirrorStats stats = fs4->stats();
+  std::map<std::string, uint64_t> stats = metrics::CollectFrom(*fs4);
   std::printf("mirror read, both replicas healthy : %9.2f us/op\n",
               healthy.mean_us);
   std::printf("mirror read, primary dead (failover): %8.2f us/op\n",
               degraded.mean_us);
   std::printf("mirror: %llu write fan-outs, %llu failover reads, %llu "
               "replica write failures\n",
-              static_cast<unsigned long long>(stats.write_fanouts),
-              static_cast<unsigned long long>(stats.reads_failover),
-              static_cast<unsigned long long>(stats.replica_write_failures));
+              static_cast<unsigned long long>(stats["write_fanouts"]),
+              static_cast<unsigned long long>(stats["reads_failover"]),
+              static_cast<unsigned long long>(
+                  stats["replica_write_failures"]));
   std::printf("shape: composition is free-form; the mirror doubles write "
               "work and survives a\ndead replica with a bounded failover "
               "penalty\n");

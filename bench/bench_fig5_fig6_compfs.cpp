@@ -139,7 +139,7 @@ int main() {
     std::printf("  %s: %llu lower-layer invalidation callbacks\n",
                 coherent ? "Fig.6 (coherent)    " : "Fig.5 (non-coherent)",
                 static_cast<unsigned long long>(
-                    s.compfs->stats().lower_invalidations));
+                    metrics::StatValue(*s.compfs, "lower_invalidations")));
   }
   return 0;
 }

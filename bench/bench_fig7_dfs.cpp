@@ -10,6 +10,8 @@
 //      connection — measured as the callback cost on a ping-pong workload.
 
 #include <cstdio>
+#include <map>
+#include <string>
 
 #include "bench/bench_util.h"
 #include "src/layers/dfs/dfs_client.h"
@@ -59,14 +61,13 @@ int main() {
   server->ResetStats();
   Measurement local_read = TimeOp(
       [&] { local_map->Read(0, out.mutable_span()); }, 10000);
-  net::NetworkStats after_local = network.stats();
-  dfs::DfsServerStats server_after_local = server->stats();
   std::printf("local mapped 4KB read : %8.2f us/op, %llu network msgs, "
               "%llu DFS page-ins\n",
               local_read.mean_us,
-              static_cast<unsigned long long>(after_local.messages),
               static_cast<unsigned long long>(
-                  server_after_local.remote_page_ins));
+                  metrics::StatValue(network, "messages")),
+              static_cast<unsigned long long>(
+                  metrics::StatValue(*server, "remote_page_ins")));
 
   // Direct SFS access for comparison.
   sp<File> direct = ResolveAs<File>(sfs.root, "f", creds).take_value();
@@ -108,12 +109,12 @@ int main() {
         remote_map->Read(0, out.mutable_span());    // remote re-read
       },
       100);
-  dfs::DfsServerStats stats = server->stats();
+  std::map<std::string, uint64_t> stats = metrics::CollectFrom(*server);
   std::printf("coherent ping-pong    : %8.2f us/round (%llu callbacks, "
               "%llu lower flushes)\n",
               pingpong.mean_us,
-              static_cast<unsigned long long>(stats.callbacks_sent),
-              static_cast<unsigned long long>(stats.lower_flushes));
+              static_cast<unsigned long long>(stats["callbacks_sent"]),
+              static_cast<unsigned long long>(stats["lower_flushes"]));
   bench::PrintRule(72);
   std::printf("shape: local path unaffected by DFS; remote ops pay 2x "
               "latency; sharing costs\nper-transition callbacks only\n");

@@ -10,6 +10,8 @@
 // load.
 
 #include <cstdio>
+#include <map>
+#include <string>
 
 #include "bench/bench_util.h"
 #include "src/layers/compfs/comp_layer.h"
@@ -107,13 +109,13 @@ int main() {
   std::printf("  20 write/read rounds: %s\n",
               coherent ? "all coherent" : "FAILED");
 
-  dfs::DfsServerStats stats = server->stats();
-  CompLayerStats comp_stats = compfs->stats();
+  std::map<std::string, uint64_t> stats = metrics::CollectFrom(*server);
   std::printf("server: %llu remote page-ins, %llu callbacks; compfs: %llu "
               "decompressions\n",
-              static_cast<unsigned long long>(stats.remote_page_ins),
-              static_cast<unsigned long long>(stats.callbacks_sent),
-              static_cast<unsigned long long>(comp_stats.blocks_decompressed));
+              static_cast<unsigned long long>(stats["remote_page_ins"]),
+              static_cast<unsigned long long>(stats["callbacks_sent"]),
+              static_cast<unsigned long long>(
+                  metrics::StatValue(*compfs, "blocks_decompressed")));
   std::printf("shape: remote ops pay network latency; mapped re-reads are "
               "local; COMPFS adds\ndecompression CPU; coherence holds across "
               "every access path\n");

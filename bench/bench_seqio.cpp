@@ -16,8 +16,10 @@
 #include <chrono>
 #include <cstdio>
 #include <cstring>
+#include <map>
 #include <numeric>
 #include <random>
+#include <string>
 #include <vector>
 
 #include "bench/bench_util.h"
@@ -101,10 +103,10 @@ RunResult RunWorkload(bench::BenchReport& report, const std::string& name,
   result.wall_us =
       std::chrono::duration<double, std::micro>(end - start).count();
 
-  VmmStats vmm_stats = vmm->stats();
-  result.pager_calls = vmm_stats.faults;
-  result.net_calls = network.stats().calls;
-  result.read_ahead_hits = vmm_stats.read_ahead_hits;
+  std::map<std::string, uint64_t> vmm_stats = metrics::CollectFrom(*vmm);
+  result.pager_calls = vmm_stats["faults"];
+  result.net_calls = metrics::StatValue(network, "calls");
+  result.read_ahead_hits = vmm_stats["read_ahead_hits"];
 
   Measurement per_page;
   per_page.mean_us = result.wall_us / kPages;

@@ -93,16 +93,18 @@ inline void PrintRule(int width = 86) {
 
 // Machine-readable companion to the printed tables. Each bench groups its
 // measurements into named configurations ("cached/sfs one domain", ...);
-// BeginConfig resets the global metrics registry so the snapshot taken at
-// EndConfig attributes counters, per-layer latency histograms, and
-// cross-domain call counts to exactly that configuration's operations.
+// BeginConfig snapshots the global metrics registry and EndConfig stores
+// Delta(begin, now), so each configuration's JSON carries exactly the
+// counters, per-layer latency histograms, and cross-domain call counts its
+// own operations produced — including live provider counters, which a
+// registry Reset() cannot zero.
 class BenchReport {
  public:
   explicit BenchReport(std::string table) : table_(std::move(table)) {}
 
   void BeginConfig(const std::string& name) {
-    metrics::Registry::Global().Reset();
     configs_.push_back(Config{name, {}, {}});
+    begin_ = metrics::Registry::Global().Collect();
   }
 
   void Add(const std::string& op, const Measurement& m) {
@@ -110,7 +112,8 @@ class BenchReport {
   }
 
   void EndConfig() {
-    configs_.back().metrics = metrics::Registry::Global().Collect();
+    configs_.back().metrics =
+        metrics::Delta(begin_, metrics::Registry::Global().Collect());
   }
 
   // Writes BENCH_<table>.json in the working directory; returns the path
@@ -177,6 +180,7 @@ class BenchReport {
 
   std::string table_;
   std::vector<Config> configs_;
+  metrics::Registry::Snapshot begin_;
 };
 
 }  // namespace springfs::bench

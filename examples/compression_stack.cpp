@@ -6,6 +6,8 @@
 //   ./build/examples/compression_stack
 
 #include <cstdio>
+#include <map>
+#include <string>
 
 #include "src/fs/registry.h"
 #include "src/layers/compfs/comp_layer.h"
@@ -76,7 +78,8 @@ int main() {
   // Figure 6 coherence: a direct write to the underlying SFS file triggers
   // a coherency callback that invalidates COMPFS's decompressed cache.
   sp<CompLayer> layer = narrow<CompLayer>(compfs);
-  uint64_t invalidations_before = layer->stats().lower_invalidations;
+  uint64_t invalidations_before =
+      metrics::StatValue(*layer, "lower_invalidations");
   sp<Domain> node = Domain::Create("client");
   sp<Vmm> vmm = Vmm::Create(node, "vmm");
   sp<MappedRegion> region =
@@ -89,15 +92,15 @@ int main() {
               "direct underlying write\n",
               static_cast<unsigned long long>(invalidations_before),
               static_cast<unsigned long long>(
-                  layer->stats().lower_invalidations));
+                  metrics::StatValue(*layer, "lower_invalidations")));
 
-  CompLayerStats stats = layer->stats();
+  std::map<std::string, uint64_t> stats = metrics::CollectFrom(*layer);
   std::printf("compfs stats : %llu blocks compressed, %llu raw, "
               "%llu bytes logical -> %llu stored\n",
-              static_cast<unsigned long long>(stats.blocks_compressed),
-              static_cast<unsigned long long>(stats.blocks_stored_raw),
-              static_cast<unsigned long long>(stats.bytes_logical),
-              static_cast<unsigned long long>(stats.bytes_stored));
+              static_cast<unsigned long long>(stats["blocks_compressed"]),
+              static_cast<unsigned long long>(stats["blocks_stored_raw"]),
+              static_cast<unsigned long long>(stats["bytes_logical"]),
+              static_cast<unsigned long long>(stats["bytes_stored"]));
   std::printf("ok\n");
   return 0;
 }

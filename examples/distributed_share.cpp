@@ -6,6 +6,8 @@
 //   ./build/examples/distributed_share
 
 #include <cstdio>
+#include <map>
+#include <string>
 
 #include "src/layers/cfs/cfs_layer.h"
 #include "src/layers/dfs/dfs_client.h"
@@ -68,31 +70,32 @@ int main() {
   alice_map->Read(0, seen.mutable_span());
   std::printf("alice now sees: '%s'\n", seen.ToString().c_str());
 
-  dfs::DfsServerStats sstats = server->stats();
+  std::map<std::string, uint64_t> sstats = metrics::CollectFrom(*server);
   std::printf("server: %llu remote page-ins, %llu callbacks sent, "
               "%llu lower-layer flushes\n",
-              static_cast<unsigned long long>(sstats.remote_page_ins),
-              static_cast<unsigned long long>(sstats.callbacks_sent),
-              static_cast<unsigned long long>(sstats.lower_flushes));
+              static_cast<unsigned long long>(sstats["remote_page_ins"]),
+              static_cast<unsigned long long>(sstats["callbacks_sent"]),
+              static_cast<unsigned long long>(sstats["lower_flushes"]));
 
   // CFS on Bob's node: the attribute cache absorbs a stat storm.
   sp<CfsLayer> cfs =
       CfsLayer::Create(bob_node->domain(), bob, bob_vmm);
   sp<File> cfs_file = ResolveAs<File>(cfs, "shared.txt", creds).take_value();
   cfs_file->Stat().take_value();  // one round trip
-  uint64_t calls_before = bob->stats().calls_sent;
+  uint64_t calls_before = metrics::StatValue(*bob, "calls_sent");
   for (int i = 0; i < 1000; ++i) {
     cfs_file->Stat().take_value();
   }
   std::printf("cfs: 1000 stats cost %llu network calls (cache hits: %llu)\n",
-              static_cast<unsigned long long>(bob->stats().calls_sent -
-                                              calls_before),
-              static_cast<unsigned long long>(cfs->stats().attr_cache_hits));
+              static_cast<unsigned long long>(
+                  metrics::StatValue(*bob, "calls_sent") - calls_before),
+              static_cast<unsigned long long>(
+                  metrics::StatValue(*cfs, "attr_cache_hits")));
 
-  net::NetworkStats nstats = network.stats();
+  std::map<std::string, uint64_t> nstats = metrics::CollectFrom(network);
   std::printf("network: %llu messages, %llu bytes total\n",
-              static_cast<unsigned long long>(nstats.messages),
-              static_cast<unsigned long long>(nstats.bytes));
+              static_cast<unsigned long long>(nstats["messages"]),
+              static_cast<unsigned long long>(nstats["bytes"]));
   std::printf("ok\n");
   return 0;
 }

@@ -6,6 +6,8 @@
 //   ./build/examples/encrypted_mirror
 
 #include <cstdio>
+#include <map>
+#include <string>
 
 #include "src/blockdev/decorators.h"
 #include "src/layers/cryptfs/crypt_layer.h"
@@ -73,12 +75,13 @@ int main() {
   mirror->Resilver(*Name::Parse("secrets.db"), creds);
   mirror->SyncFs();
 
-  MirrorStats stats = mirror->stats();
+  std::map<std::string, uint64_t> stats = metrics::CollectFrom(*mirror);
   std::printf("mirror: %llu fanouts, %llu replica write failures, "
               "%llu resilvered\n",
-              static_cast<unsigned long long>(stats.write_fanouts),
-              static_cast<unsigned long long>(stats.replica_write_failures),
-              static_cast<unsigned long long>(stats.resilvered_files));
+              static_cast<unsigned long long>(stats["write_fanouts"]),
+              static_cast<unsigned long long>(
+                  stats["replica_write_failures"]),
+              static_cast<unsigned long long>(stats["resilvered_files"]));
 
   // Final read through the full stack.
   proc.Lseek(fd, 0, posix::Whence::kSet).take_value();

@@ -5,6 +5,8 @@
 //   ./build/examples/quickstart
 
 #include <cstdio>
+#include <map>
+#include <string>
 
 #include "src/layers/sfs/sfs.h"
 #include "src/vmm/vmm.h"
@@ -57,11 +59,11 @@ int main() {
   std::printf("after mapped write, file read: %s",
               through_file.ToString().c_str());
 
-  VmmStats stats = vmm->stats();
+  std::map<std::string, uint64_t> stats = metrics::CollectFrom(*vmm);
   std::printf("vmm: %llu faults, %llu hits, %llu deny-writes received\n",
-              static_cast<unsigned long long>(stats.faults),
-              static_cast<unsigned long long>(stats.page_hits),
-              static_cast<unsigned long long>(stats.deny_writes));
+              static_cast<unsigned long long>(stats["faults"]),
+              static_cast<unsigned long long>(stats["page_hits"]),
+              static_cast<unsigned long long>(stats["deny_writes"]));
 
   // 4. Push everything to the simulated disk and show it survived.
   sfs.root->SyncFs();

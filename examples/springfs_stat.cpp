@@ -4,21 +4,78 @@
 // a Table-2-style per-layer overhead report, plus one traced operation's
 // span tree showing where the time went.
 //
-//   ./build/examples/springfs_stat
+//   ./build/examples/springfs_stat [--diff] [--watch [rounds]] [--trace-dump]
+//
+//   --diff        render each workload phase (local, remote) as its own
+//                 interval report — Delta(before, after) of the registry —
+//                 instead of one cumulative report
+//   --watch [N]   after the workload, keep driving remote reads for N
+//                 rounds (default 3), printing the interval report of each
+//                 round as it completes
+//   --trace-dump  append the flight-recorder dump (the last few hundred
+//                 retry/fault/eviction events with their trace ids)
 
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
 
 #include "src/blockdev/decorators.h"
 #include "src/layers/dfs/dfs_client.h"
 #include "src/layers/dfs/dfs_server.h"
 #include "src/layers/sfs/sfs.h"
+#include "src/obs/flight_recorder.h"
 #include "src/obs/stat_report.h"
 #include "src/obs/trace.h"
 #include "src/vmm/vmm.h"
 
 using namespace springfs;
 
-int main() {
+namespace {
+
+metrics::Registry::Snapshot Snap() {
+  return metrics::Registry::Global().Collect();
+}
+
+void PrintInterval(const char* title,
+                   const metrics::Registry::Snapshot& before,
+                   const metrics::Registry::Snapshot& after) {
+  std::printf("=== interval: %s ===\n", title);
+  std::fputs(obs::PerLayerReport(metrics::Delta(before, after)).c_str(),
+             stdout);
+}
+
+int Usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s [--diff] [--watch [rounds]] [--trace-dump]\n",
+               argv0);
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool diff = false;
+  bool trace_dump = false;
+  int watch_rounds = 0;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--diff") == 0) {
+      diff = true;
+    } else if (std::strcmp(argv[i], "--trace-dump") == 0) {
+      trace_dump = true;
+    } else if (std::strcmp(argv[i], "--watch") == 0) {
+      watch_rounds = 3;
+      if (i + 1 < argc && argv[i + 1][0] != '-') {
+        watch_rounds = std::atoi(argv[++i]);
+        if (watch_rounds <= 0) {
+          return Usage(argv[0]);
+        }
+      }
+    } else {
+      return Usage(argv[0]);
+    }
+  }
+
   Credentials creds = Credentials::System();
   metrics::Registry::Global().Reset();
 
@@ -33,6 +90,7 @@ int main() {
   Sfs sfs = CreateSfs(&disk, options).take_value();
 
   // Local workload: file-interface I/O plus a coherent mapping.
+  metrics::Registry::Snapshot before_local = Snap();
   sp<File> file =
       sfs.root->CreateFile(*Name::Parse("workload"), creds).take_value();
   Buffer page(kPageSize);
@@ -54,6 +112,7 @@ int main() {
 
   // Remote workload: export the stack over DFS and read it from a second
   // node, so the network and DFS layers show up in the report too.
+  metrics::Registry::Snapshot before_remote = Snap();
   net::Network network(&DefaultClock(), /*default_latency_ns=*/200'000);
   sp<net::Node> server_node = network.AddNode("fileserver");
   sp<net::Node> client_node = network.AddNode("client");
@@ -68,6 +127,7 @@ int main() {
   for (int i = 0; i < 20; ++i) {
     remote_file->Read(0, page.mutable_span()).take_value();
   }
+  metrics::Registry::Snapshot after_remote = Snap();
 
   // One traced operation: the span tree attributes a single remote read's
   // time to the DFS client call, the network hop, the server's dispatch,
@@ -80,9 +140,32 @@ int main() {
                 trace::ToString(span).c_str());
   }
 
-  // The unified introspection surface: one Collect() covers every layer,
-  // domain, VMM, coherency engine, and the network.
-  std::fputs(obs::PerLayerReport(metrics::Registry::Global().Collect()).c_str(),
-             stdout);
+  if (diff) {
+    // Per-phase interval reports instead of one cumulative blob.
+    PrintInterval("local workload", before_local, before_remote);
+    PrintInterval("remote workload", before_remote, after_remote);
+  } else {
+    // The unified introspection surface: one Collect() covers every layer,
+    // domain, VMM, coherency engine, and the network.
+    std::fputs(
+        obs::PerLayerReport(metrics::Registry::Global().Collect()).c_str(),
+        stdout);
+  }
+
+  // --watch: keep the remote reader going, reporting each round's interval.
+  for (int round = 1; round <= watch_rounds; ++round) {
+    metrics::Registry::Snapshot before = Snap();
+    for (int i = 0; i < 20; ++i) {
+      remote_file->Read(0, page.mutable_span()).take_value();
+    }
+    char title[32];
+    std::snprintf(title, sizeof(title), "watch round %d/%d", round,
+                  watch_rounds);
+    PrintInterval(title, before, Snap());
+  }
+
+  if (trace_dump) {
+    std::printf("=== flight recorder ===\n%s", flight::Dump().c_str());
+  }
   return 0;
 }

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "src/obs/flight_recorder.h"
 #include "src/obs/metrics.h"
 #include "src/obs/trace.h"
 
@@ -111,6 +112,11 @@ bool CoherencyEngine::ShouldEvictOnFailure(const Status& status,
 void CoherencyEngine::EvictHolder(uint64_t cache_id) {
   ++stats_.evictions;
   EvictionsCounter().Increment();
+  if (trace::Active()) {
+    trace::AnnotateCurrent("coh:evicted holder cache_id=" +
+                           std::to_string(cache_id));
+  }
+  flight::Record(flight::Severity::kWarn, "coh", "holder evicted", cache_id);
   for (auto it = blocks_.begin(); it != blocks_.end();) {
     BlockState& state = it->second;
     if (state.writer == cache_id) {
@@ -184,6 +190,8 @@ Result<std::vector<BlockData>> CoherencyEngine::Acquire(uint64_t requester,
     Holder& holder = cache_it->second;
     if (LeaseExpired(holder)) {
       ++stats_.lease_expiries;
+      flight::Record(flight::Severity::kWarn, "coh", "lease expired",
+                     cache_id);
       EvictHolder(cache_id);
       return Status::Ok();
     }

@@ -380,16 +380,15 @@ Status CfsLayer::SyncFs() {
 }
 
 void CfsLayer::CollectStats(const metrics::StatsEmitter& emit) const {
-  CfsStats snapshot = stats();
+  Stats snapshot;
+  {
+    std::lock_guard<std::mutex> lock(stats_mutex_);
+    snapshot = stats_;
+  }
   emit("attr_cache_hits", snapshot.attr_cache_hits);
   emit("attr_cache_misses", snapshot.attr_cache_misses);
   emit("attr_invalidations", snapshot.attr_invalidations);
   emit("files_interposed", snapshot.files_interposed);
-}
-
-CfsStats CfsLayer::stats() const {
-  std::lock_guard<std::mutex> lock(stats_mutex_);
-  return stats_;
 }
 
 }  // namespace springfs

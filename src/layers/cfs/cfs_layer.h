@@ -31,14 +31,6 @@
 
 namespace springfs {
 
-// Deprecated: read the metrics registry ("layer/cfs/..." keys) instead.
-struct CfsStats {
-  uint64_t attr_cache_hits = 0;
-  uint64_t attr_cache_misses = 0;
-  uint64_t attr_invalidations = 0;
-  uint64_t files_interposed = 0;
-};
-
 class CfsLayer : public Context, public Fs, public CacheManager,
                  public Servant, public metrics::StatsProvider {
  public:
@@ -73,13 +65,18 @@ class CfsLayer : public Context, public Fs, public CacheManager,
   std::string stats_prefix() const override { return "layer/cfs"; }
   void CollectStats(const metrics::StatsEmitter& emit) const override;
 
-  // Deprecated forwarder kept for one PR; equals the registry's
-  // "layer/cfs/..." values.
-  CfsStats stats() const;
-
  private:
   friend class CfsFile;
   friend class CfsCacheObject;
+
+  // Interposition accounting, guarded by stats_mutex_; published via
+  // CollectStats.
+  struct Stats {
+    uint64_t attr_cache_hits = 0;
+    uint64_t attr_cache_misses = 0;
+    uint64_t attr_invalidations = 0;
+    uint64_t files_interposed = 0;
+  };
 
   void NoteAttrInvalidation();
 
@@ -117,7 +114,7 @@ class CfsLayer : public Context, public Fs, public CacheManager,
   sp<FileState> binding_state_;
 
   mutable std::mutex stats_mutex_;
-  CfsStats stats_;
+  Stats stats_;
 };
 
 }  // namespace springfs

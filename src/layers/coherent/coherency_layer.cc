@@ -1113,14 +1113,9 @@ Status CoherencyLayer::SyncFs() {
   });
 }
 
-CoherencyLayerStats CoherencyLayer::stats() const {
-  std::lock_guard<std::mutex> lock(stats_mutex_);
-  return stats_;
-}
-
 void CoherencyLayer::ResetStats() {
   std::lock_guard<std::mutex> lock(stats_mutex_);
-  stats_ = CoherencyLayerStats{};
+  stats_ = Stats{};
 }
 
 }  // namespace springfs

@@ -49,17 +49,6 @@ struct CoherencyLayerOptions {
   uint32_t read_ahead_pages = 0;
 };
 
-// Deprecated: read the metrics registry ("layer/<type_name>/..." keys)
-// instead.
-struct CoherencyLayerStats {
-  uint64_t data_cache_hits = 0;
-  uint64_t data_cache_misses = 0;
-  uint64_t attr_cache_hits = 0;
-  uint64_t attr_cache_misses = 0;
-  uint64_t lower_page_ins = 0;
-  uint64_t lower_page_outs = 0;
-};
-
 class CoherencyLayer : public StackableFs,
                        public CacheManager,
                        public Servant,
@@ -100,9 +89,7 @@ class CoherencyLayer : public StackableFs,
   std::string stats_prefix() const override { return "layer/" + type_name(); }
   void CollectStats(const metrics::StatsEmitter& emit) const override;
 
-  // Deprecated forwarder kept for one PR; equals the registry's
-  // "layer/<type_name>/..." values.
-  CoherencyLayerStats stats() const;
+  // Zeroes the cache accounting (bench phase isolation).
   void ResetStats();
 
  protected:
@@ -222,8 +209,18 @@ class CoherencyLayer : public StackableFs,
   std::mutex bind_mutex_;
   sp<FileState> binding_state_;
 
+  // Cache accounting, guarded by stats_mutex_; published via CollectStats.
+  struct Stats {
+    uint64_t data_cache_hits = 0;
+    uint64_t data_cache_misses = 0;
+    uint64_t attr_cache_hits = 0;
+    uint64_t attr_cache_misses = 0;
+    uint64_t lower_page_ins = 0;
+    uint64_t lower_page_outs = 0;
+  };
+
   mutable std::mutex stats_mutex_;
-  CoherencyLayerStats stats_;
+  Stats stats_;
 };
 
 }  // namespace springfs

@@ -1084,7 +1084,11 @@ Status CompLayer::ClientPageWrite(FileState& state, uint64_t channel,
 }
 
 void CompLayer::CollectStats(const metrics::StatsEmitter& emit) const {
-  CompLayerStats snapshot = stats();
+  Stats snapshot;
+  {
+    std::lock_guard<std::mutex> lock(stats_mutex_);
+    snapshot = stats_;
+  }
   emit("blocks_compressed", snapshot.blocks_compressed);
   emit("blocks_decompressed", snapshot.blocks_decompressed);
   emit("blocks_stored_raw", snapshot.blocks_stored_raw);
@@ -1094,14 +1098,9 @@ void CompLayer::CollectStats(const metrics::StatsEmitter& emit) const {
   emit("lower_invalidations", snapshot.lower_invalidations);
 }
 
-CompLayerStats CompLayer::stats() const {
-  std::lock_guard<std::mutex> lock(stats_mutex_);
-  return stats_;
-}
-
 void CompLayer::ResetStats() {
   std::lock_guard<std::mutex> lock(stats_mutex_);
-  stats_ = CompLayerStats{};
+  stats_ = Stats{};
 }
 
 }  // namespace springfs

@@ -55,17 +55,6 @@ struct CompLayerOptions {
   double compact_waste_factor = 2.0;
 };
 
-// Deprecated: read the metrics registry ("layer/compfs/..." keys) instead.
-struct CompLayerStats {
-  uint64_t blocks_compressed = 0;
-  uint64_t blocks_decompressed = 0;
-  uint64_t blocks_stored_raw = 0;
-  uint64_t bytes_logical = 0;    // plaintext bytes written
-  uint64_t bytes_stored = 0;     // chunk bytes appended
-  uint64_t compactions = 0;
-  uint64_t lower_invalidations = 0;  // coherency callbacks from below
-};
-
 class CompLayer : public StackableFs,
                   public CacheManager,
                   public Servant,
@@ -109,9 +98,7 @@ class CompLayer : public StackableFs,
   std::string stats_prefix() const override { return "layer/compfs"; }
   void CollectStats(const metrics::StatsEmitter& emit) const override;
 
-  // Deprecated forwarders kept for one PR; equal the registry's
-  // "layer/compfs/..." values.
-  CompLayerStats stats() const;
+  // Zeroes the codec accounting (bench phase isolation).
   void ResetStats();
 
  private:
@@ -121,6 +108,17 @@ class CompLayer : public StackableFs,
   friend class CompLowerCacheObject;
 
   CompLayer(sp<Domain> domain, CompLayerOptions options, Clock* clock);
+
+  // Codec accounting, guarded by stats_mutex_; published via CollectStats.
+  struct Stats {
+    uint64_t blocks_compressed = 0;
+    uint64_t blocks_decompressed = 0;
+    uint64_t blocks_stored_raw = 0;
+    uint64_t bytes_logical = 0;    // plaintext bytes written
+    uint64_t bytes_stored = 0;     // chunk bytes appended
+    uint64_t compactions = 0;
+    uint64_t lower_invalidations = 0;  // coherency callbacks from below
+  };
 
   // One chunk-table entry: where a logical block lives in the chunk store.
   struct ChunkEntry {
@@ -205,7 +203,7 @@ class CompLayer : public StackableFs,
   sp<FileState> binding_state_;
 
   mutable std::mutex stats_mutex_;
-  CompLayerStats stats_;
+  Stats stats_;
 };
 
 }  // namespace springfs

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <atomic>
 
+#include "src/obs/flight_recorder.h"
 #include "src/obs/trace.h"
 #include "src/support/logging.h"
 
@@ -363,7 +364,7 @@ Result<net::Frame> DfsClient::Call(Op op, const net::Frame& request) {
       ++stats_.calls_sent;
     }
     Result<net::Frame> response =
-        network_->Call(node_->name(), server_node_, service_, typed);
+        network_->Call(node_->name(), server_node_, service_, typed, attempt);
     ErrorCode code;
     if (response.ok()) {
       // A kDeadObject *frame* is the dead server's tombstone: the
@@ -392,8 +393,13 @@ Result<net::Frame> DfsClient::Call(Op op, const net::Frame& request) {
                      code == ErrorCode::kDeadObject;
     if (!transient || attempt >= options_.max_retries) {
       if (transient && attempt > 0) {
-        std::lock_guard<std::mutex> lock(stats_mutex_);
-        ++stats_.retries_exhausted;
+        {
+          std::lock_guard<std::mutex> lock(stats_mutex_);
+          ++stats_.retries_exhausted;
+        }
+        span.Annotate("retries exhausted");
+        flight::Record(flight::Severity::kError, "dfs", "retries exhausted",
+                       typed.type, attempt);
       }
       return response;
     }
@@ -409,6 +415,14 @@ Result<net::Frame> DfsClient::Call(Op op, const net::Frame& request) {
       std::lock_guard<std::mutex> lock(stats_mutex_);
       ++stats_.retries;
     }
+    // The retransmission itself shows up as a "net.retry:" child; note the
+    // cause here on the logical call span.
+    if (span.active()) {
+      span.Annotate("retry attempt=" + std::to_string(attempt) + " after " +
+                    ErrorCodeName(code));
+    }
+    flight::Record(flight::Severity::kInfo, "dfs", "retrying call",
+                   typed.type, attempt);
   }
 }
 
@@ -433,6 +447,8 @@ void DfsClient::NoteServerEpoch(uint64_t epoch) {
       std::lock_guard<std::mutex> lock(stats_mutex_);
       ++stats_.server_restarts;
     }
+    flight::Record(flight::Severity::kWarn, "dfs", "server epoch bump", seen,
+                   epoch);
     InvalidateCaches();
   }
 }
@@ -453,8 +469,12 @@ void DfsClient::InvalidateCaches() {
     channels_.RemoveChannel(ch.local_id);
   }
   if (!stale.empty()) {
-    std::lock_guard<std::mutex> lock(stats_mutex_);
-    stats_.channels_invalidated += stale.size();
+    {
+      std::lock_guard<std::mutex> lock(stats_mutex_);
+      stats_.channels_invalidated += stale.size();
+    }
+    flight::Record(flight::Severity::kWarn, "dfs", "channels invalidated",
+                   stale.size());
   }
 }
 
@@ -770,11 +790,6 @@ void DfsClient::CollectStats(const metrics::StatsEmitter& emit) const {
   emit("server_restarts", stats_.server_restarts);
   emit("channels_invalidated", stats_.channels_invalidated);
   emit("handle_rebinds", stats_.handle_rebinds);
-}
-
-DfsClientStats DfsClient::stats() const {
-  std::lock_guard<std::mutex> lock(stats_mutex_);
-  return stats_;
 }
 
 }  // namespace springfs::dfs

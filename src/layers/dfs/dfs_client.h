@@ -34,22 +34,6 @@ struct DfsClientOptions {
   uint64_t backoff_max_ns = 50'000'000;  // cap for the exponential growth
 };
 
-// Deprecated: read the metrics registry ("layer/dfs_client/..." keys)
-// instead.
-struct DfsClientStats {
-  uint64_t calls_sent = 0;
-  uint64_t callbacks_received = 0;
-  // Retry accounting for this client's channel to the server (one mount =
-  // one channel).
-  uint64_t retries = 0;            // individual re-sends
-  uint64_t retry_successes = 0;    // calls that succeeded after >=1 retry
-  uint64_t retries_exhausted = 0;  // calls that failed even after retrying
-  // Failure-recovery accounting (DESIGN.md §11).
-  uint64_t server_restarts = 0;        // boot-epoch bumps observed
-  uint64_t channels_invalidated = 0;   // local channels torn down
-  uint64_t handle_rebinds = 0;         // stale handles re-resolved by path
-};
-
 class DfsClient : public Context,
                   public Fs,
                   public Servant,
@@ -90,10 +74,6 @@ class DfsClient : public Context,
   std::string stats_prefix() const override { return "layer/dfs_client"; }
   void CollectStats(const metrics::StatsEmitter& emit) const override;
 
-  // Deprecated forwarder kept for one PR; equals the registry's
-  // "layer/dfs_client/..." values.
-  DfsClientStats stats() const;
-
   // The last server boot epoch observed (0 until the first response).
   uint64_t observed_server_epoch() const { return server_epoch_.load(); }
 
@@ -108,6 +88,22 @@ class DfsClient : public Context,
   friend class RemoteFile;
   friend class RemoteDirContext;
   friend class RemotePagerObject;
+
+  // Per-mount accounting, guarded by stats_mutex_; published via
+  // CollectStats.
+  struct Stats {
+    uint64_t calls_sent = 0;
+    uint64_t callbacks_received = 0;
+    // Retry accounting for this client's channel to the server (one mount
+    // = one channel).
+    uint64_t retries = 0;            // individual re-sends
+    uint64_t retry_successes = 0;    // calls that succeeded after >=1 retry
+    uint64_t retries_exhausted = 0;  // calls that failed even after retrying
+    // Failure-recovery accounting (DESIGN.md §11).
+    uint64_t server_restarts = 0;        // boot-epoch bumps observed
+    uint64_t channels_invalidated = 0;   // local channels torn down
+    uint64_t handle_rebinds = 0;         // stale handles re-resolved by path
+  };
 
   DfsClient(const sp<net::Node>& node, net::Network* network,
             std::string server_node, std::string service,
@@ -162,7 +158,7 @@ class DfsClient : public Context,
   std::map<std::string, sp<File>> remote_files_;
 
   mutable std::mutex stats_mutex_;
-  DfsClientStats stats_;
+  Stats stats_;
 };
 
 }  // namespace springfs::dfs

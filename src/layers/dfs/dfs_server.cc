@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "src/obs/flight_recorder.h"
 #include "src/obs/trace.h"
 #include "src/support/logging.h"
 
@@ -387,6 +388,12 @@ Status DfsServer::BroadcastAttrInvalidate(ServerFile& file,
 
 net::Frame DfsServer::Handle(const net::Frame& request) {
   trace::ScopedSpan span("dfs.serve");
+  // Adopt the trace context the client stamped into the frame header: this
+  // span is the server-domain anchor of the caller's tree, so client
+  // dfs.page_in -> net.call -> dfs.serve -> UFS/VMM spans share one
+  // trace_id across the wire.
+  span.AdoptRemote(
+      trace::TraceContext{request.trace_id, request.parent_span_id});
   Op op = static_cast<Op>(request.type);
   // Mutating requests carry a client-generated request id: a
   // retransmission (the original response was lost in flight) replays the
@@ -399,6 +406,12 @@ net::Frame DfsServer::Handle(const net::Frame& request) {
         std::lock_guard<std::mutex> stats_lock(stats_mutex_);
         ++stats_.dedup_hits;
       }
+      if (span.active()) {
+        span.Annotate("dedup replay request_id=" +
+                      std::to_string(request.request_id));
+      }
+      flight::Record(flight::Severity::kWarn, "dfs", "dedup replay",
+                     request.request_id, request.type);
       net::Frame replay = it->second;
       replay.epoch = boot_epoch_;
       return replay;
@@ -700,6 +713,8 @@ net::Frame DfsServer::HandleFileOp(Op op, const net::Frame& request) {
           std::lock_guard<std::mutex> stats_lock(stats_mutex_);
           ++stats_.stale_fenced;
         }
+        flight::Record(flight::Severity::kError, "dfs", "stale fence page_in",
+                       cache_id, file->handle);
         return StatusFrame(ErrStale("page-in from evicted cache id " +
                                     std::to_string(cache_id)));
       }
@@ -746,6 +761,8 @@ net::Frame DfsServer::HandleFileOp(Op op, const net::Frame& request) {
           std::lock_guard<std::mutex> stats_lock(stats_mutex_);
           ++stats_.stale_fenced;
         }
+        flight::Record(flight::Severity::kError, "dfs",
+                       "stale fence page_in_range", cache_id, file->handle);
         return StatusFrame(ErrStale("page-in from evicted cache id " +
                                     std::to_string(cache_id)));
       }
@@ -814,6 +831,8 @@ net::Frame DfsServer::HandleFileOp(Op op, const net::Frame& request) {
           std::lock_guard<std::mutex> stats_lock(stats_mutex_);
           ++stats_.stale_fenced;
         }
+        flight::Record(flight::Severity::kError, "dfs",
+                       "stale fence page_out", cache_id, file->handle);
         return StatusFrame(
             ErrStale("page-out from evicted cache id " +
                      std::to_string(cache_id)));
@@ -973,14 +992,9 @@ CoherencyStats DfsServer::AggregateCoherencyStats() {
   return total;
 }
 
-DfsServerStats DfsServer::stats() const {
-  std::lock_guard<std::mutex> lock(stats_mutex_);
-  return stats_;
-}
-
 void DfsServer::ResetStats() {
   std::lock_guard<std::mutex> lock(stats_mutex_);
-  stats_ = DfsServerStats{};
+  stats_ = Stats{};
 }
 
 }  // namespace springfs::dfs

@@ -45,21 +45,6 @@ struct DfsServerOptions {
   size_t dedup_window = 256;
 };
 
-// Deprecated: read the metrics registry ("layer/dfs_server/..." keys)
-// instead.
-struct DfsServerStats {
-  uint64_t remote_lookups = 0;
-  uint64_t remote_page_ins = 0;
-  uint64_t remote_range_page_ins = 0;  // batched kPageInRange round trips
-  uint64_t remote_page_outs = 0;
-  uint64_t remote_reads = 0;
-  uint64_t remote_writes = 0;
-  uint64_t callbacks_sent = 0;
-  uint64_t lower_flushes = 0;  // coherency callbacks received from below
-  uint64_t dedup_hits = 0;     // retransmissions answered from the window
-  uint64_t stale_fenced = 0;   // page-outs rejected from evicted cache ids
-};
-
 class DfsServer : public StackableFs,
                   public CacheManager,
                   public Servant,
@@ -107,9 +92,7 @@ class DfsServer : public StackableFs,
   std::string stats_prefix() const override { return "layer/dfs_server"; }
   void CollectStats(const metrics::StatsEmitter& emit) const override;
 
-  // Deprecated forwarder kept for one PR; equals the registry's
-  // "layer/dfs_server/..." values.
-  DfsServerStats stats() const;
+  // Zeroes the protocol accounting (bench phase isolation).
   void ResetStats();
 
   // Sends a server->client callback frame (used by the remote-cache
@@ -130,6 +113,21 @@ class DfsServer : public StackableFs,
   friend class DfsLocalFile;
   friend class DfsLowerCacheObject;
   friend class RemoteCacheProxy;
+
+  // Protocol accounting, guarded by stats_mutex_; published via
+  // CollectStats.
+  struct Stats {
+    uint64_t remote_lookups = 0;
+    uint64_t remote_page_ins = 0;
+    uint64_t remote_range_page_ins = 0;  // batched kPageInRange round trips
+    uint64_t remote_page_outs = 0;
+    uint64_t remote_reads = 0;
+    uint64_t remote_writes = 0;
+    uint64_t callbacks_sent = 0;
+    uint64_t lower_flushes = 0;  // coherency callbacks received from below
+    uint64_t dedup_hits = 0;     // retransmissions answered from the window
+    uint64_t stale_fenced = 0;   // page I/O rejected from evicted cache ids
+  };
 
   void NoteLowerFlush();
 
@@ -205,7 +203,7 @@ class DfsServer : public StackableFs,
   sp<ServerFile> binding_file_;
 
   mutable std::mutex stats_mutex_;
-  DfsServerStats stats_;
+  Stats stats_;
 };
 
 }  // namespace springfs::dfs

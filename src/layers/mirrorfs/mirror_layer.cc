@@ -351,17 +351,16 @@ void MirrorLayer::NoteReplicaWriteFailure() {
 }
 
 void MirrorLayer::CollectStats(const metrics::StatsEmitter& emit) const {
-  MirrorStats snapshot = stats();
+  Stats snapshot;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    snapshot = stats_;
+  }
   emit("reads_primary", snapshot.reads_primary);
   emit("reads_failover", snapshot.reads_failover);
   emit("write_fanouts", snapshot.write_fanouts);
   emit("replica_write_failures", snapshot.replica_write_failures);
   emit("resilvered_files", snapshot.resilvered_files);
-}
-
-MirrorStats MirrorLayer::stats() const {
-  std::lock_guard<std::mutex> lock(mutex_);
-  return stats_;
 }
 
 Result<sp<Object>> MirrorLayer::Resolve(const Name& name,

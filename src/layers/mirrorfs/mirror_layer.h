@@ -22,15 +22,6 @@
 
 namespace springfs {
 
-// Deprecated: read the metrics registry ("layer/mirrorfs/..." keys) instead.
-struct MirrorStats {
-  uint64_t reads_primary = 0;
-  uint64_t reads_failover = 0;
-  uint64_t write_fanouts = 0;
-  uint64_t replica_write_failures = 0;
-  uint64_t resilvered_files = 0;
-};
-
 class MirrorLayer : public StackableFs,
                     public Servant,
                     public metrics::StatsProvider {
@@ -71,10 +62,6 @@ class MirrorLayer : public StackableFs,
   std::string stats_prefix() const override { return "layer/mirrorfs"; }
   void CollectStats(const metrics::StatsEmitter& emit) const override;
 
-  // Deprecated forwarder kept for one PR; equals the registry's
-  // "layer/mirrorfs/..." values.
-  MirrorStats stats() const;
-
   // Listing relative to a path prefix (union over replicas); used by the
   // directory views.
   Result<std::vector<BindingInfo>> ListAt(const Name& prefix,
@@ -87,6 +74,15 @@ class MirrorLayer : public StackableFs,
 
   explicit MirrorLayer(sp<Domain> domain, Clock* clock);
 
+  // Replica accounting, guarded by mutex_; published via CollectStats.
+  struct Stats {
+    uint64_t reads_primary = 0;
+    uint64_t reads_failover = 0;
+    uint64_t write_fanouts = 0;
+    uint64_t replica_write_failures = 0;
+    uint64_t resilvered_files = 0;
+  };
+
   Status RequireReplicas() const;
 
   // Statistics hooks for MirrorFile.
@@ -98,7 +94,7 @@ class MirrorLayer : public StackableFs,
   mutable std::mutex mutex_;
   std::vector<sp<StackableFs>> replicas_;
   PagerChannelTable channels_;  // client pager-cache channels per file
-  mutable MirrorStats stats_;
+  mutable Stats stats_;
 };
 
 }  // namespace springfs

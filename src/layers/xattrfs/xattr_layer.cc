@@ -478,16 +478,15 @@ Status XattrLayer::SyncFs() {
 }
 
 void XattrLayer::CollectStats(const metrics::StatsEmitter& emit) const {
-  XattrLayerStats snapshot = stats();
+  Stats snapshot;
+  {
+    std::lock_guard<std::mutex> lock(stats_mutex_);
+    snapshot = stats_;
+  }
   emit("gets", snapshot.gets);
   emit("sets", snapshot.sets);
   emit("shadow_loads", snapshot.shadow_loads);
   emit("shadow_stores", snapshot.shadow_stores);
-}
-
-XattrLayerStats XattrLayer::stats() const {
-  std::lock_guard<std::mutex> lock(stats_mutex_);
-  return stats_;
 }
 
 }  // namespace springfs

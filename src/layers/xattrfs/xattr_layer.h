@@ -22,14 +22,6 @@
 
 namespace springfs {
 
-// Deprecated: read the metrics registry ("layer/xattrfs/..." keys) instead.
-struct XattrLayerStats {
-  uint64_t gets = 0;
-  uint64_t sets = 0;
-  uint64_t shadow_loads = 0;
-  uint64_t shadow_stores = 0;
-};
-
 class XattrLayer : public StackableFs,
                    public Servant,
                    public metrics::StatsProvider {
@@ -63,15 +55,20 @@ class XattrLayer : public StackableFs,
   std::string stats_prefix() const override { return "layer/xattrfs"; }
   void CollectStats(const metrics::StatsEmitter& emit) const override;
 
-  // Deprecated forwarder kept for one PR; equals the registry's
-  // "layer/xattrfs/..." values.
-  XattrLayerStats stats() const;
-
  private:
   friend class XattrFileImpl;
   friend class XattrDirContext;
 
   XattrLayer(sp<Domain> domain, Clock* clock);
+
+  // Attribute accounting, guarded by stats_mutex_; published via
+  // CollectStats.
+  struct Stats {
+    uint64_t gets = 0;
+    uint64_t sets = 0;
+    uint64_t shadow_loads = 0;
+    uint64_t shadow_stores = 0;
+  };
 
   void NoteGet();
   void NoteSet();
@@ -99,7 +96,7 @@ class XattrLayer : public StackableFs,
   std::mutex mutex_;
   std::map<std::string, sp<File>> wrapped_files_;  // by full path
   mutable std::mutex stats_mutex_;
-  XattrLayerStats stats_;
+  Stats stats_;
 };
 
 }  // namespace springfs

@@ -108,16 +108,15 @@ void NameCacheContext::Flush() {
 }
 
 void NameCacheContext::CollectStats(const metrics::StatsEmitter& emit) const {
-  NameCacheStats snapshot = stats();
+  Stats snapshot;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    snapshot = stats_;
+  }
   emit("hits", snapshot.hits);
   emit("misses", snapshot.misses);
   emit("invalidations", snapshot.invalidations);
   emit("evictions", snapshot.evictions);
-}
-
-NameCacheStats NameCacheContext::stats() const {
-  std::lock_guard<std::mutex> lock(mutex_);
-  return stats_;
 }
 
 }  // namespace springfs

@@ -24,15 +24,6 @@
 
 namespace springfs {
 
-// Deprecated: read the metrics registry ("naming/name_cache/..." keys)
-// instead.
-struct NameCacheStats {
-  uint64_t hits = 0;
-  uint64_t misses = 0;
-  uint64_t invalidations = 0;
-  uint64_t evictions = 0;
-};
-
 class NameCacheContext : public Context,
                          public Servant,
                          public metrics::StatsProvider {
@@ -61,12 +52,16 @@ class NameCacheContext : public Context,
   std::string stats_prefix() const override { return "naming/name_cache"; }
   void CollectStats(const metrics::StatsEmitter& emit) const override;
 
-  // Deprecated forwarder kept for one PR; equals the registry's
-  // "naming/name_cache/..." values.
-  NameCacheStats stats() const;
-
  private:
   NameCacheContext(sp<Domain> domain, sp<Context> target, size_t capacity);
+
+  // Cache accounting, guarded by mutex_; published via CollectStats.
+  struct Stats {
+    uint64_t hits = 0;
+    uint64_t misses = 0;
+    uint64_t invalidations = 0;
+    uint64_t evictions = 0;
+  };
 
   void InvalidateLocked(const std::string& path);
   void InsertLocked(const std::string& path, sp<Object> object);
@@ -76,7 +71,7 @@ class NameCacheContext : public Context,
   mutable std::mutex mutex_;
   std::map<std::string, sp<Object>> entries_;
   std::list<std::string> fifo_;  // eviction order
-  NameCacheStats stats_;
+  Stats stats_;
 };
 
 }  // namespace springfs

@@ -1,12 +1,13 @@
 #include "src/net/network.h"
 
+#include "src/obs/flight_recorder.h"
 #include "src/obs/trace.h"
 
 namespace springfs::net {
 namespace {
 
-// type, args, status, request_id, epoch, len
-constexpr size_t kHeaderSize = 4 + 4 * 8 + 4 + 8 + 8 + 8;
+// type, args, status, request_id, epoch, trace_id, parent_span_id, len
+constexpr size_t kHeaderSize = 4 + 4 * 8 + 4 + 8 + 8 + 8 + 8 + 8;
 
 void PutU32(uint8_t* p, uint32_t v) {
   for (int i = 0; i < 4; ++i) {
@@ -46,7 +47,9 @@ Buffer Frame::Serialize() const {
   PutU32(p + 36, static_cast<uint32_t>(status));
   PutU64(p + 40, request_id);
   PutU64(p + 48, epoch);
-  PutU64(p + 56, payload.size());
+  PutU64(p + 56, trace_id);
+  PutU64(p + 64, parent_span_id);
+  PutU64(p + 72, payload.size());
   wire.WriteAt(kHeaderSize, payload.span());
   return wire;
 }
@@ -65,7 +68,9 @@ Result<Frame> Frame::Deserialize(ByteSpan wire) {
   frame.status = static_cast<int32_t>(GetU32(p + 36));
   frame.request_id = GetU64(p + 40);
   frame.epoch = GetU64(p + 48);
-  uint64_t payload_len = GetU64(p + 56);
+  frame.trace_id = GetU64(p + 56);
+  frame.parent_span_id = GetU64(p + 64);
+  uint64_t payload_len = GetU64(p + 72);
   if (wire.size() != kHeaderSize + payload_len) {
     return ErrCorrupted("frame payload length mismatch");
   }
@@ -207,9 +212,19 @@ uint64_t Network::LatencyBetween(const std::string& from,
 }
 
 Result<Frame> Network::Call(const std::string& from, const std::string& to,
-                            const std::string& service, const Frame& request) {
-  trace::ScopedSpan span(trace::SpanKind::kNet, "net.call:", service);
-  span.SetDetail(from + "->" + to);
+                            const std::string& service, const Frame& request,
+                            uint32_t attempt) {
+  // Retransmissions get their own prefix so "net.call:" counts one span per
+  // logical call even when a FaultPlan forces retries.
+  trace::ScopedSpan span(trace::SpanKind::kNet,
+                         attempt == 0 ? "net.call:" : "net.retry:", service);
+  if (span.active()) {
+    std::string detail = from + "->" + to;
+    if (attempt != 0) {
+      detail += " attempt=" + std::to_string(attempt);
+    }
+    span.SetDetail(std::move(detail));
+  }
   sp<Node> dest;
   Node::Handler handler;
   FaultDecision faults;
@@ -225,6 +240,9 @@ Result<Frame> Network::Call(const std::string& from, const std::string& to,
     if (budget != nullptr) {
       --budget->calls;
       ++stats_.injected_failures;
+      span.Annotate("fault:injected_failure");
+      flight::Record(flight::Severity::kWarn, "net", "injected failure",
+                     static_cast<uint64_t>(budget->code), attempt);
       return Status(budget->code,
                     "injected transient fault '" + from + "' -> '" + to + "'");
     }
@@ -248,6 +266,27 @@ Result<Frame> Network::Call(const std::string& from, const std::string& to,
       faults.drop_response = true;
     }
   }
+  // The FaultPlan's verdict is part of the causal story: surface it on the
+  // span and in the flight recorder instead of leaving it a side effect.
+  if (faults.drop_request || faults.drop_response || faults.dup_request ||
+      faults.extra_delay_ns != 0) {
+    if (span.active()) {
+      std::string note = "fault:";
+      if (faults.drop_request) note += " drop_request";
+      if (faults.drop_response) note += " drop_response";
+      if (faults.dup_request) note += " dup_request";
+      if (faults.extra_delay_ns != 0) {
+        note += " delay=" + std::to_string(faults.extra_delay_ns) + "ns";
+      }
+      span.Annotate(std::move(note));
+    }
+    flight::Record(flight::Severity::kWarn, "net",
+                   faults.drop_request    ? "fault: drop_request"
+                   : faults.drop_response ? "fault: drop_response"
+                   : faults.dup_request   ? "fault: dup_request"
+                                          : "fault: delay",
+                   faults.extra_delay_ns, attempt);
+  }
   {
     std::lock_guard<std::mutex> lock(dest->mutex_);
     auto svc_it = dest->services_.find(service);
@@ -258,7 +297,16 @@ Result<Frame> Network::Call(const std::string& from, const std::string& to,
   }
 
   // Serialize, charge the forward hop, deliver on the destination domain.
+  // The caller's trace context is stamped into the header bytes on the way
+  // out: the remote handler span adopts it, stitching one tree across the
+  // wire. Patching the serialized header (rather than copying the Frame)
+  // keeps the hot path to the single Serialize allocation.
   Buffer request_wire = request.Serialize();
+  trace::TraceContext trace_context = trace::CurrentContext();
+  if (trace_context.active()) {
+    PutU64(request_wire.data() + 56, trace_context.trace_id);
+    PutU64(request_wire.data() + 64, trace_context.parent_span_id);
+  }
   {
     std::lock_guard<std::mutex> lock(mutex_);
     ++stats_.calls;
@@ -316,14 +364,9 @@ void Network::CollectStats(const metrics::StatsEmitter& emit) const {
   emit("injected_failures", stats_.injected_failures);
 }
 
-NetworkStats Network::stats() const {
-  std::lock_guard<std::mutex> lock(mutex_);
-  return stats_;
-}
-
 void Network::ResetStats() {
   std::lock_guard<std::mutex> lock(mutex_);
-  stats_ = NetworkStats{};
+  stats_ = Stats{};
 }
 
 }  // namespace springfs::net

@@ -28,14 +28,19 @@
 namespace springfs::net {
 
 // One protocol frame. Fixed header (type + four u64 arguments + status +
-// request id + boot epoch) and a variable payload; everything crosses the
-// "wire" serialized.
+// request id + boot epoch + trace context) and a variable payload;
+// everything crosses the "wire" serialized.
 //
 // `request_id` is a client-generated identity for mutating requests: a
 // server that keeps a dedup window can recognise a retransmission and
 // replay its original response instead of applying the operation twice.
 // `epoch` is stamped on responses with the server's boot epoch so clients
 // can detect a restart (see DfsServer).
+//
+// `trace_id`/`parent_span_id` carry the caller's trace::TraceContext:
+// Network::Call stamps them into every outbound request (zeroes when the
+// caller is not tracing) and the serving side adopts them onto its handler
+// span, so one logical operation is one trace tree across the wire.
 struct Frame {
   uint32_t type = 0;
   uint64_t arg0 = 0;
@@ -45,6 +50,8 @@ struct Frame {
   int32_t status = 0;       // ErrorCode of the response (0 = OK)
   uint64_t request_id = 0;  // 0 = not deduplicable
   uint64_t epoch = 0;       // 0 = sender has no boot epoch
+  uint64_t trace_id = 0;        // 0 = caller not tracing
+  uint64_t parent_span_id = 0;  // caller span the remote work hangs under
   Buffer payload;
 
   Buffer Serialize() const;
@@ -57,19 +64,6 @@ struct Frame {
                        : Status(static_cast<ErrorCode>(status),
                                 payload.ToString());
   }
-};
-
-// Deprecated: read the metrics registry ("net/..." keys) instead.
-struct NetworkStats {
-  uint64_t calls = 0;  // round trips (each costs two messages on the wire)
-  uint64_t messages = 0;
-  uint64_t bytes = 0;
-  // Fault-injection accounting (chaos tests; always 0 with faults disarmed).
-  uint64_t dropped_requests = 0;
-  uint64_t dropped_responses = 0;
-  uint64_t duplicated_requests = 0;
-  uint64_t delayed_messages = 0;
-  uint64_t injected_failures = 0;  // FailNextCalls / FailNextCallsOnLink
 };
 
 // Seeded message-loss plan, the network analogue of blockdev::CrashPlan.
@@ -172,19 +166,25 @@ class Network : public metrics::StatsProvider {
                        const FaultPlan& plan);
   void DisarmFaults();
 
-  // Synchronous RPC: serializes `request`, charges one-way latency, runs
-  // the service handler inside the destination node's domain, charges the
-  // return latency, and deserializes the response.
+  // Synchronous RPC: serializes `request` (stamping the caller's trace
+  // context into the header), charges one-way latency, runs the service
+  // handler inside the destination node's domain, charges the return
+  // latency, and deserializes the response.
+  //
+  // `attempt` is the caller's retransmission count for this logical call:
+  // attempt 0 records a "net.call:<service>" span, retransmissions record
+  // "net.retry:<service>" — so "net.call:" span counts per operation stay
+  // stable under an armed FaultPlan (the retries remain visible, just
+  // under their own prefix).
   Result<Frame> Call(const std::string& from, const std::string& to,
-                     const std::string& service, const Frame& request);
+                     const std::string& service, const Frame& request,
+                     uint32_t attempt = 0);
 
   // --- StatsProvider ---
   std::string stats_prefix() const override { return "net"; }
   void CollectStats(const metrics::StatsEmitter& emit) const override;
 
-  // Deprecated forwarder kept for one PR; equals the registry's "net/..."
-  // values.
-  NetworkStats stats() const;
+  // Zeroes the wire/fault accounting (bench phase isolation).
   void ResetStats();
 
  private:
@@ -193,6 +193,19 @@ class Network : public metrics::StatsProvider {
   struct FailBudget {
     uint64_t calls = 0;
     ErrorCode code = ErrorCode::kTimedOut;
+  };
+
+  // Wire/fault accounting, guarded by mutex_; published via CollectStats.
+  struct Stats {
+    uint64_t calls = 0;  // round trips (each costs two messages on the wire)
+    uint64_t messages = 0;
+    uint64_t bytes = 0;
+    // Fault-injection accounting (always 0 with faults disarmed).
+    uint64_t dropped_requests = 0;
+    uint64_t dropped_responses = 0;
+    uint64_t duplicated_requests = 0;
+    uint64_t delayed_messages = 0;
+    uint64_t injected_failures = 0;  // FailNextCalls / FailNextCallsOnLink
   };
 
   // A FaultPlan plus its private deterministic stream.
@@ -229,7 +242,7 @@ class Network : public metrics::StatsProvider {
   std::atomic<bool> faults_armed_{false};
   std::optional<ArmedFaults> global_faults_;
   std::map<LinkKey, ArmedFaults> link_faults_;
-  NetworkStats stats_;
+  Stats stats_;
 };
 
 }  // namespace springfs::net

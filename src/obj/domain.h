@@ -90,13 +90,6 @@ class ThreadTransport : public Transport {
   void Execute(Domain* target, const std::function<void()>& op) override;
 };
 
-// Per-domain invocation statistics.
-// Deprecated: read the metrics registry ("domain/<name>/..." keys) instead.
-struct DomainStats {
-  uint64_t inline_calls = 0;  // same-domain: plain procedure call
-  uint64_t cross_calls = 0;   // cross-domain: via transport
-};
-
 namespace internal {
 // Process-wide cross-domain call instrument ("domain/cross_call"), shared
 // by every domain; defined out of line so the templated Run below can use
@@ -153,11 +146,6 @@ class Domain : public std::enable_shared_from_this<Domain>,
     emit("cross_calls", stats_cross_.load(std::memory_order_relaxed));
   }
 
-  // Deprecated forwarder kept for one PR; equals the registry's
-  // "domain/<name>/..." values.
-  DomainStats stats() const {
-    return DomainStats{stats_inline_.load(), stats_cross_.load()};
-  }
   void ResetStats() {
     stats_inline_.store(0);
     stats_cross_.store(0);

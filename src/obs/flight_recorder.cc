@@ -1,0 +1,209 @@
+#include "src/obs/flight_recorder.h"
+
+#include <algorithm>
+#include <atomic>
+#include <cstdio>
+#include <cstring>
+#include <memory>
+#include <mutex>
+
+#include "src/obs/metrics.h"
+#include "src/obs/trace.h"
+
+namespace springfs::flight {
+namespace {
+
+std::atomic<bool> enabled{true};
+std::atomic<uint64_t> next_seq{1};
+std::atomic<uint64_t> total_dropped{0};
+
+// One thread's ring. Owned jointly by the thread (via a thread_local
+// shared_ptr) and the global ring list, so it survives thread exit.
+struct Ring {
+  std::mutex mutex;
+  Event slots[kRingCapacity];
+  size_t next = 0;    // slot the next event lands in
+  size_t count = 0;   // events retained (caps at kRingCapacity)
+
+  void Push(const Event& event) {
+    std::lock_guard<std::mutex> lock(mutex);
+    if (count == kRingCapacity) {
+      total_dropped.fetch_add(1, std::memory_order_relaxed);
+    } else {
+      ++count;
+    }
+    slots[next] = event;
+    next = (next + 1) % kRingCapacity;
+  }
+};
+
+struct RingList {
+  std::mutex mutex;
+  std::vector<std::shared_ptr<Ring>> rings;
+};
+
+RingList& Rings() {
+  static RingList* list = new RingList();  // never destroyed: threads may
+  return *list;                            // record during static teardown
+}
+
+Ring& LocalRing() {
+  static thread_local std::shared_ptr<Ring> ring = [] {
+    auto r = std::make_shared<Ring>();
+    RingList& list = Rings();
+    std::lock_guard<std::mutex> lock(list.mutex);
+    list.rings.push_back(r);
+    return r;
+  }();
+  return *ring;
+}
+
+void CopyTruncated(char* dst, size_t dst_size, const char* src) {
+  if (src == nullptr) {
+    dst[0] = '\0';
+    return;
+  }
+  std::strncpy(dst, src, dst_size - 1);
+  dst[dst_size - 1] = '\0';
+}
+
+}  // namespace
+
+const char* SeverityName(Severity severity) {
+  switch (severity) {
+    case Severity::kDebug:
+      return "DEBUG";
+    case Severity::kInfo:
+      return "INFO";
+    case Severity::kWarn:
+      return "WARN";
+    case Severity::kError:
+      return "ERROR";
+  }
+  return "?";
+}
+
+void SetEnabled(bool on) { enabled.store(on, std::memory_order_relaxed); }
+
+bool Enabled() { return enabled.load(std::memory_order_relaxed); }
+
+void RecordWithContext(uint64_t trace_id, uint64_t span_id, Severity severity,
+                       const char* layer, const char* message, uint64_t arg0,
+                       uint64_t arg1) {
+  if (!Enabled()) {
+    return;
+  }
+  Event event;
+  event.seq = next_seq.fetch_add(1, std::memory_order_relaxed);
+  event.time_ns = metrics::Registry::Global().clock()->Now();
+  event.trace_id = trace_id;
+  event.span_id = span_id;
+  event.arg0 = arg0;
+  event.arg1 = arg1;
+  event.severity = severity;
+  CopyTruncated(event.layer, sizeof(event.layer), layer);
+  CopyTruncated(event.message, sizeof(event.message), message);
+  LocalRing().Push(event);
+}
+
+void Record(Severity severity, const char* layer, const char* message,
+            uint64_t arg0, uint64_t arg1) {
+  if (!Enabled()) {
+    return;
+  }
+  trace::TraceContext context = trace::CurrentContext();
+  RecordWithContext(context.trace_id, context.parent_span_id, severity, layer,
+                    message, arg0, arg1);
+}
+
+std::vector<Event> Snapshot() {
+  std::vector<std::shared_ptr<Ring>> rings;
+  {
+    RingList& list = Rings();
+    std::lock_guard<std::mutex> lock(list.mutex);
+    rings = list.rings;
+  }
+  std::vector<Event> out;
+  for (const auto& ring : rings) {
+    std::lock_guard<std::mutex> lock(ring->mutex);
+    size_t oldest = (ring->next + kRingCapacity - ring->count) % kRingCapacity;
+    for (size_t i = 0; i < ring->count; ++i) {
+      out.push_back(ring->slots[(oldest + i) % kRingCapacity]);
+    }
+  }
+  std::sort(out.begin(), out.end(),
+            [](const Event& a, const Event& b) { return a.seq < b.seq; });
+  return out;
+}
+
+uint64_t TotalDropped() {
+  return total_dropped.load(std::memory_order_relaxed);
+}
+
+std::string Dump(size_t last_n) {
+  std::vector<Event> events = Snapshot();
+  size_t begin = 0;
+  if (last_n != 0 && events.size() > last_n) {
+    begin = events.size() - last_n;
+  }
+  std::string out = "flight recorder: " + std::to_string(events.size()) +
+                    " event(s) retained, " + std::to_string(TotalDropped()) +
+                    " overwritten";
+  if (begin > 0) {
+    out += ", showing last " + std::to_string(events.size() - begin);
+  }
+  out += "\n";
+  for (size_t i = begin; i < events.size(); ++i) {
+    const Event& e = events[i];
+    char line[192];
+    std::snprintf(line, sizeof(line),
+                  "  #%llu t=%lldns %-5s [%s] %s (arg0=%llu arg1=%llu",
+                  static_cast<unsigned long long>(e.seq),
+                  static_cast<long long>(e.time_ns), SeverityName(e.severity),
+                  e.layer, e.message, static_cast<unsigned long long>(e.arg0),
+                  static_cast<unsigned long long>(e.arg1));
+    out += line;
+    if (e.trace_id != 0) {
+      std::snprintf(line, sizeof(line), " trace=%llu span=%llu",
+                    static_cast<unsigned long long>(e.trace_id),
+                    static_cast<unsigned long long>(e.span_id));
+      out += line;
+    }
+    out += ")\n";
+  }
+  return out;
+}
+
+bool DumpToFile(const std::string& path, const std::string& header,
+                size_t last_n) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    return false;
+  }
+  std::string body = header;
+  if (!body.empty() && body.back() != '\n') {
+    body += '\n';
+  }
+  body += Dump(last_n);
+  size_t written = std::fwrite(body.data(), 1, body.size(), f);
+  bool ok = written == body.size();
+  ok = std::fclose(f) == 0 && ok;
+  return ok;
+}
+
+void Clear() {
+  std::vector<std::shared_ptr<Ring>> rings;
+  {
+    RingList& list = Rings();
+    std::lock_guard<std::mutex> lock(list.mutex);
+    rings = list.rings;
+  }
+  for (const auto& ring : rings) {
+    std::lock_guard<std::mutex> lock(ring->mutex);
+    ring->next = 0;
+    ring->count = 0;
+  }
+  total_dropped.store(0, std::memory_order_relaxed);
+}
+
+}  // namespace springfs::flight

@@ -1,0 +1,104 @@
+// Flight recorder: a bounded, always-on, post-mortem event log.
+//
+// The chaos harness (tests/chaos_dfs_test.cpp) runs 220 seeded schedules of
+// kills, partitions, and armed FaultPlans; when a schedule fails, the final
+// assertion alone says nothing about the sequence of drops, retries, dedup
+// replays, and lease evictions that led there. The flight recorder keeps
+// the last few hundred such events per thread in fixed-size rings — the
+// black box a failing seed dumps alongside its seed number.
+//
+// Design constraints:
+//  * Bounded memory, no allocation on the record path: events are PODs
+//    with fixed char arrays, stored in per-thread rings of kRingCapacity
+//    slots that overwrite the oldest entry.
+//  * Cheap when idle: recording starts with one relaxed atomic load of the
+//    enable flag; spans only reach RecordWithContext while a trace is
+//    live, and the chaos-relevant call sites (fault decisions, retries,
+//    dedup replays, epoch bumps, lease evictions) only fire on those rare
+//    events — a clean sequential read records nothing.
+//  * Thread-safe and TSan-clean: each ring has its own mutex, touched by
+//    its owning thread on record and by a snapshotting thread on dump.
+//    Contention is therefore one-reader-vs-one-writer during dumps only (a
+//    seqlock would be faster but its deliberate read races would trip the
+//    TSan CI legs for no measurable win at this event rate).
+//  * Rings outlive their threads: a ring is a shared_ptr registered in a
+//    global list, so events recorded by a ThreadTransport worker survive
+//    the worker's exit and still appear in the dump.
+//
+// Timestamps come from the metrics registry clock, so a FakeClock makes
+// event times deterministic; the global `seq` counter gives a total order
+// even when many events share one fake timestamp.
+
+#ifndef SPRINGFS_OBS_FLIGHT_RECORDER_H_
+#define SPRINGFS_OBS_FLIGHT_RECORDER_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace springfs::flight {
+
+enum class Severity : uint8_t {
+  kDebug = 0,  // completed trace spans
+  kInfo = 1,   // expected-but-notable transitions (retry, epoch bump)
+  kWarn = 2,   // injected faults, dedup replays, lease evictions
+  kError = 3,  // stale fences, retries exhausted
+};
+
+const char* SeverityName(Severity severity);
+
+// One recorded event. Fixed-size POD: the record path copies (truncating)
+// into the arrays and never allocates.
+struct Event {
+  uint64_t seq = 0;      // global order across all rings
+  int64_t time_ns = 0;   // registry clock at record time
+  uint64_t trace_id = 0; // 0 when recorded outside any trace
+  uint64_t span_id = 0;
+  uint64_t arg0 = 0;     // event-specific numerics (seed, epoch, attempt...)
+  uint64_t arg1 = 0;
+  Severity severity = Severity::kInfo;
+  char layer[12] = {};    // "net", "dfs", "coh", "vmm", "trace", ...
+  char message[52] = {};  // truncated human-readable note
+};
+
+// Slots per thread-ring. ~128 bytes/event keeps a ring at ~32KB.
+inline constexpr size_t kRingCapacity = 256;
+
+// Recording is on by default (it is bounded and off the hot paths); tests
+// that assert exact ring contents can disable/enable around phases.
+void SetEnabled(bool enabled);
+bool Enabled();
+
+// Records one event, stamping the calling thread's current trace context
+// (see trace::CurrentContext) and the registry clock time.
+void Record(Severity severity, const char* layer, const char* message,
+            uint64_t arg0 = 0, uint64_t arg1 = 0);
+
+// Same with an explicit trace identity — used by the tracing layer itself
+// for completed spans (the span is already unwound when it records).
+void RecordWithContext(uint64_t trace_id, uint64_t span_id, Severity severity,
+                       const char* layer, const char* message,
+                       uint64_t arg0 = 0, uint64_t arg1 = 0);
+
+// All retained events from every ring (live and exited threads), oldest
+// first by global seq. Events overwritten by ring wraparound are gone;
+// TotalDropped() counts them.
+std::vector<Event> Snapshot();
+uint64_t TotalDropped();
+
+// Human-readable dump of the last `last_n` events (0 = all retained),
+// one line per event. The chaos/crash harnesses print this on failure.
+std::string Dump(size_t last_n = 0);
+
+// Writes Dump(last_n) plus a header line to `path` (for CI artifact
+// upload). Returns false when the file cannot be written.
+bool DumpToFile(const std::string& path, const std::string& header,
+                size_t last_n = 0);
+
+// Discards all retained events and the dropped count (test isolation).
+void Clear();
+
+}  // namespace springfs::flight
+
+#endif  // SPRINGFS_OBS_FLIGHT_RECORDER_H_

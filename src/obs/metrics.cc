@@ -123,6 +123,60 @@ void Registry::Reset() {
   }
 }
 
+namespace {
+
+uint64_t ClampedSub(uint64_t after, uint64_t before) {
+  return after > before ? after - before : 0;
+}
+
+}  // namespace
+
+Histogram::Snapshot Delta(const Histogram::Snapshot& before,
+                          const Histogram::Snapshot& after) {
+  Histogram::Snapshot d;
+  d.count = ClampedSub(after.count, before.count);
+  d.sum_ns = ClampedSub(after.sum_ns, before.sum_ns);
+  for (size_t i = 0; i < Histogram::kNumBuckets; ++i) {
+    d.buckets[i] = ClampedSub(after.buckets[i], before.buckets[i]);
+  }
+  return d;
+}
+
+Registry::Snapshot Delta(const Registry::Snapshot& before,
+                         const Registry::Snapshot& after) {
+  Registry::Snapshot d;
+  for (const auto& [name, value] : after.values) {
+    auto it = before.values.find(name);
+    d.values[name] =
+        ClampedSub(value, it == before.values.end() ? 0 : it->second);
+  }
+  for (const auto& [name, hist] : after.histograms) {
+    auto it = before.histograms.find(name);
+    d.histograms[name] = it == before.histograms.end()
+                             ? hist
+                             : Delta(it->second, hist);
+  }
+  return d;
+}
+
+std::map<std::string, uint64_t> CollectFrom(const StatsProvider& provider) {
+  std::map<std::string, uint64_t> values;
+  provider.CollectStats([&](const std::string& name, uint64_t value) {
+    values[name] += value;
+  });
+  return values;
+}
+
+uint64_t StatValue(const StatsProvider& provider, const std::string& name) {
+  uint64_t found = 0;
+  provider.CollectStats([&](const std::string& emitted, uint64_t value) {
+    if (emitted == name) {
+      found += value;
+    }
+  });
+  return found;
+}
+
 std::string ToJson(const Registry::Snapshot& snapshot) {
   std::string out = "{\"values\":{";
   bool first = true;

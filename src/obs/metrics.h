@@ -27,9 +27,15 @@
 // produce bit-identical snapshots; under ThreadTransport everything here is
 // merely thread-safe (atomics + one mutex around the maps).
 //
-// The legacy per-subsystem stats() accessors (VmmStats, DomainStats,
-// CoherencyLayerStats, ...) remain as thin deprecated forwarders for one PR
-// — new code should read the registry.
+// Interval metrics: Collect() is cumulative since process start (provider
+// counters are live subsystem state, deliberately untouched by Reset()).
+// Phase-scoped accounting therefore snapshots before and after and takes
+// Delta(before, after) — what BenchReport emits per configuration and
+// springfs-stat --diff/--watch render.
+//
+// The legacy per-subsystem stats() accessors (VmmStats, DomainStats, ...)
+// are gone; read one provider through CollectFrom()/StatValue() or the
+// whole system through Registry::Collect().
 
 #ifndef SPRINGFS_OBS_METRICS_H_
 #define SPRINGFS_OBS_METRICS_H_
@@ -163,6 +169,29 @@ class Registry {
 
 // JSON rendering of a snapshot ({"values": {...}, "histograms": {...}}).
 std::string ToJson(const Registry::Snapshot& snapshot);
+
+// --- interval (per-phase) metrics ---
+
+// Per-bucket/count/sum difference `after - before`, clamped at zero per
+// component so a counter reset mid-interval yields zeros, not underflow.
+Histogram::Snapshot Delta(const Histogram::Snapshot& before,
+                          const Histogram::Snapshot& after);
+
+// Snapshot difference: every value/histogram of `after` minus its
+// counterpart in `before` (absent in `before` = zero). Keys only in
+// `before` are dropped — an instrument that vanished recorded nothing in
+// the interval.
+Registry::Snapshot Delta(const Registry::Snapshot& before,
+                         const Registry::Snapshot& after);
+
+// --- single-provider reads (the replacement for the legacy stats()
+// accessors) ---
+
+// One provider's emitted values under their bare names (no prefix).
+std::map<std::string, uint64_t> CollectFrom(const StatsProvider& provider);
+
+// One named value from one provider; 0 when the provider does not emit it.
+uint64_t StatValue(const StatsProvider& provider, const std::string& name);
 
 // Counter + latency histogram pair for one named operation, resolved once
 // (typically a function-local static) so hot paths skip the name lookup.

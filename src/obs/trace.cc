@@ -1,6 +1,9 @@
 #include "src/obs/trace.h"
 
 #include <algorithm>
+#include <atomic>
+
+#include "src/obs/flight_recorder.h"
 
 namespace springfs::trace {
 namespace {
@@ -17,6 +20,10 @@ ThreadTraceState& State() {
   return state;
 }
 
+// Process-unique id mints. Never 0: zero means "no trace" on the wire.
+std::atomic<uint64_t> next_trace_id{1};
+std::atomic<uint64_t> next_span_id{1};
+
 void AppendJson(const Span& span, std::string* out) {
   out->append("{\"name\":\"");
   out->append(span.name);
@@ -28,10 +35,30 @@ void AppendJson(const Span& span, std::string* out) {
     out->append(span.detail);
     out->append("\"");
   }
+  out->append(",\"trace_id\":");
+  out->append(std::to_string(span.trace_id));
+  out->append(",\"span_id\":");
+  out->append(std::to_string(span.span_id));
+  if (span.remote_parent_span_id != 0) {
+    out->append(",\"remote_parent_span_id\":");
+    out->append(std::to_string(span.remote_parent_span_id));
+  }
   out->append(",\"start_ns\":");
   out->append(std::to_string(span.start_ns));
   out->append(",\"dur_ns\":");
   out->append(std::to_string(span.duration_ns()));
+  if (!span.annotations.empty()) {
+    out->append(",\"annotations\":[");
+    for (size_t i = 0; i < span.annotations.size(); ++i) {
+      if (i > 0) {
+        out->append(",");
+      }
+      out->append("\"");
+      out->append(span.annotations[i]);
+      out->append("\"");
+    }
+    out->append("]");
+  }
   if (!span.children.empty()) {
     out->append(",\"children\":[");
     for (size_t i = 0; i < span.children.size(); ++i) {
@@ -58,6 +85,12 @@ void AppendText(const Span& span, int depth, std::string* out) {
   out->append("ns (self ");
   out->append(std::to_string(span.self_ns()));
   out->append("ns)\n");
+  for (const std::string& note : span.annotations) {
+    out->append(static_cast<size_t>(depth + 1) * 2, ' ');
+    out->append("@ ");
+    out->append(note);
+    out->append("\n");
+  }
   for (const auto& child : span.children) {
     AppendText(*child, depth + 1, out);
   }
@@ -134,9 +167,26 @@ std::string ToJson(const Span& root) {
 
 bool Active() { return State().current != nullptr; }
 
+TraceContext CurrentContext() {
+  const Span* current = State().current;
+  if (current == nullptr) {
+    return TraceContext{};
+  }
+  return TraceContext{current->trace_id, current->span_id};
+}
+
+void AnnotateCurrent(std::string note) {
+  Span* current = State().current;
+  if (current != nullptr) {
+    current->annotations.push_back(std::move(note));
+  }
+}
+
 TraceRoot::TraceRoot(std::string name, Clock* clock)
     : root_(std::make_unique<Span>()), clock_(clock) {
   root_->name = std::move(name);
+  root_->trace_id = next_trace_id.fetch_add(1, std::memory_order_relaxed);
+  root_->span_id = next_span_id.fetch_add(1, std::memory_order_relaxed);
   root_->start_ns = clock_->Now();
   ThreadTraceState& state = State();
   saved_current_ = state.current;
@@ -152,6 +202,10 @@ const Span& TraceRoot::Finish() {
     ThreadTraceState& state = State();
     state.current = saved_current_;
     state.clock = saved_clock_;
+    flight::RecordWithContext(
+        root_->trace_id, root_->span_id, flight::Severity::kInfo, "trace",
+        ("trace '" + root_->name + "' complete").c_str(), root_->TreeSize(),
+        static_cast<uint64_t>(root_->duration_ns()));
   }
   return *root_;
 }
@@ -177,6 +231,8 @@ void ScopedSpan::Open(std::string name, SpanKind kind) {
   span->name = std::move(name);
   span->kind = kind;
   span->parent = state.current;
+  span->trace_id = state.current->trace_id;
+  span->span_id = next_span_id.fetch_add(1, std::memory_order_relaxed);
   span->start_ns = state.clock->Now();
   span_ = span.get();
   state.current->children.push_back(std::move(span));
@@ -191,11 +247,35 @@ ScopedSpan::~ScopedSpan() {
   span_->end_ns = state.clock->Now();
   // Unwind to the parent even if inner spans leaked open (they cannot: RAII).
   state.current = span_->parent;
+  // Completed spans feed the flight recorder's post-mortem ring. Only
+  // reached while tracing is active, so untraced hot paths stay free.
+  flight::RecordWithContext(span_->trace_id, span_->span_id,
+                            flight::Severity::kDebug, "trace",
+                            span_->name.c_str(), span_->remote_parent_span_id,
+                            static_cast<uint64_t>(span_->duration_ns()));
 }
 
 void ScopedSpan::SetDetail(std::string detail) {
   if (span_ != nullptr) {
     span_->detail = std::move(detail);
+  }
+}
+
+void ScopedSpan::Annotate(std::string note) {
+  if (span_ != nullptr) {
+    span_->annotations.push_back(std::move(note));
+  }
+}
+
+void ScopedSpan::AdoptRemote(const TraceContext& context) {
+  if (span_ == nullptr || !context.active()) {
+    return;
+  }
+  span_->remote_parent_span_id = context.parent_span_id;
+  if (span_->trace_id != context.trace_id) {
+    // A genuinely foreign trace (the in-process fast path inherits the same
+    // id): children opened from here on belong to the inbound trace.
+    span_->trace_id = context.trace_id;
   }
 }
 

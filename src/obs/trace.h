@@ -32,6 +32,16 @@
 // per-layer reports): "<layer>.<operation>", e.g. "coh.page_in",
 // "disk.page_out", "vmm.fault", "dfs.bind_forward"; cross-domain calls are
 // "xdc:<domain>" and network hops "net.call:<service>" / "net.serve:...".
+// Retransmissions of one logical network call are "net.retry:<service>" so
+// that "net.call:" counts stay stable under an armed FaultPlan.
+//
+// Distributed identity: every TraceRoot mints a process-unique trace_id,
+// every opened span a process-unique span_id; children inherit the
+// trace_id. CurrentContext() packages the pair as a TraceContext, which the
+// network layer serializes into each frame header; the serving side adopts
+// the inbound context onto its handler span (AdoptRemote), so one logical
+// read() is a single tree whose client- and server-domain spans share one
+// trace_id, stitched across the wire by remote_parent_span_id.
 
 #ifndef SPRINGFS_OBS_TRACE_H_
 #define SPRINGFS_OBS_TRACE_H_
@@ -59,6 +69,16 @@ struct Span {
   SpanKind kind = SpanKind::kOp;
   TimeNs start_ns = 0;
   TimeNs end_ns = 0;
+  // Process-unique identity (see file comment). trace_id is shared by every
+  // span under one TraceRoot; remote_parent_span_id is nonzero only on
+  // server-side handler spans whose parent arrived over the wire.
+  uint64_t trace_id = 0;
+  uint64_t span_id = 0;
+  uint64_t remote_parent_span_id = 0;
+  // Point-in-time notes ("retry attempt=2 status=timed out",
+  // "fault:drop_response", "dedup replay"); appended only while tracing is
+  // active, so untraced hot paths never build the strings.
+  std::vector<std::string> annotations;
   Span* parent = nullptr;
   std::vector<std::unique_ptr<Span>> children;
 
@@ -83,6 +103,24 @@ std::string ToJson(const Span& root);
 // True when the calling thread is collecting a trace (a TraceRoot is live
 // here or was handed off to this thread).
 bool Active();
+
+// The compact distributed-trace identity carried in every net::Frame
+// header: which trace the caller belongs to and which of its spans is the
+// logical parent of the remote work. Zeroes mean "caller not tracing".
+struct TraceContext {
+  uint64_t trace_id = 0;
+  uint64_t parent_span_id = 0;
+
+  bool active() const { return trace_id != 0; }
+};
+
+// The calling thread's current context (inactive when no trace is live).
+TraceContext CurrentContext();
+
+// Appends a note to the innermost active span — for deep call sites (e.g.
+// a coherency eviction) that do not own the enclosing ScopedSpan. No-op
+// when no trace is live; guard expensive formatting with Active().
+void AnnotateCurrent(std::string note);
 
 // Starts a trace on the calling thread; the root span covers the
 // TraceRoot's lifetime (or until Finish). Non-reentrant per thread in the
@@ -128,7 +166,20 @@ class ScopedSpan {
   // No-op when tracing is inactive.
   void SetDetail(std::string detail);
 
+  // Appends a point-in-time note to the span. No-op when inactive; guard
+  // expensive message formatting with active().
+  void Annotate(std::string note);
+
+  // Marks this span as the adoption point of a context received over the
+  // wire: stamps remote_parent_span_id and, when the inbound trace_id
+  // differs from the locally inherited one (a genuinely foreign trace),
+  // re-labels this span and its future children with it. No-op when the
+  // context is inactive or no trace is live here.
+  void AdoptRemote(const TraceContext& context);
+
   bool active() const { return span_ != nullptr; }
+  // 0 when inactive.
+  uint64_t span_id() const { return span_ == nullptr ? 0 : span_->span_id; }
 
  private:
   void Open(std::string name, SpanKind kind);

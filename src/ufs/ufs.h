@@ -76,16 +76,6 @@ struct NamedEntry {
   FileType type;
 };
 
-// Deprecated: read the metrics registry ("ufs/..." keys) instead.
-struct UfsStats {
-  uint64_t inode_cache_hits = 0;
-  uint64_t inode_cache_misses = 0;
-  uint64_t journal_commits = 0;
-  // Syncs whose transaction exceeded the journal and fell back to
-  // unprotected in-place writes (crash tests keep this at 0).
-  uint64_t journal_overflow_syncs = 0;
-};
-
 struct FormatOptions {
   // Reserve a write-ahead journal so metadata survives crashes. On devices
   // too small to host a useful journal the region is silently omitted.
@@ -156,9 +146,6 @@ class Ufs : public metrics::StatsProvider {
   std::string stats_prefix() const override { return "ufs"; }
   void CollectStats(const metrics::StatsEmitter& emit) const override;
 
-  // Deprecated forwarder kept for one PR; equals the registry's "ufs/..."
-  // values.
-  UfsStats stats() const;
   uint64_t FreeBlocks() const;
   uint64_t FreeInodes() const;
 

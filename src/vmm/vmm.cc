@@ -652,19 +652,6 @@ Status Vmm::DropAllPages() {
   return first_error;
 }
 
-VmmStats Vmm::stats() const {
-  VmmStats s;
-  s.faults = faults_.load(std::memory_order_relaxed);
-  s.page_hits = page_hits_.load(std::memory_order_relaxed);
-  s.read_ahead_hits = read_ahead_hits_.load(std::memory_order_relaxed);
-  s.evictions = evictions_.load(std::memory_order_relaxed);
-  s.pages_cached = total_pages_.load(std::memory_order_relaxed);
-  s.flush_backs = flush_backs_.load(std::memory_order_relaxed);
-  s.deny_writes = deny_writes_.load(std::memory_order_relaxed);
-  s.write_backs = write_backs_.load(std::memory_order_relaxed);
-  return s;
-}
-
 void Vmm::ResetStats() {
   faults_.store(0, std::memory_order_relaxed);
   page_hits_.store(0, std::memory_order_relaxed);

@@ -43,18 +43,6 @@ namespace springfs {
 
 class MappedRegion;
 
-// Deprecated: read the metrics registry ("vmm/<name>/..." keys) instead.
-struct VmmStats {
-  uint64_t faults = 0;           // page_in calls issued
-  uint64_t page_hits = 0;        // page accesses served from cache
-  uint64_t read_ahead_hits = 0;  // hits on pages brought in by clustering
-  uint64_t evictions = 0;
-  uint64_t pages_cached = 0;  // current
-  uint64_t flush_backs = 0;   // coherency callbacks received
-  uint64_t deny_writes = 0;
-  uint64_t write_backs = 0;
-};
-
 struct VmmOptions {
   // Bounds the page cache; 0 means unbounded.
   size_t max_pages = 0;
@@ -89,9 +77,8 @@ class Vmm : public CacheManager, public Servant, public metrics::StatsProvider {
   std::string stats_prefix() const override { return "vmm/" + name_; }
   void CollectStats(const metrics::StatsEmitter& emit) const override;
 
-  // Deprecated forwarder kept for one PR; equals the registry's
-  // "vmm/<name>/..." values.
-  VmmStats stats() const;
+  // Zeroes the fault/cache accounting (bench phase isolation);
+  // pages_cached, being a level not a counter, is left alone.
   void ResetStats();
 
   // Drops every cached page of every channel (testing: simulates memory

@@ -21,12 +21,15 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdio>
 #include <set>
+#include <string>
 #include <thread>
 
 #include "src/layers/dfs/dfs_client.h"
 #include "src/layers/dfs/dfs_server.h"
 #include "src/layers/sfs/sfs.h"
+#include "src/obs/flight_recorder.h"
 #include "src/support/rng.h"
 #include "src/vmm/vmm.h"
 
@@ -135,6 +138,9 @@ struct PageModel {
 };
 
 void RunChaosSeed(uint64_t seed) {
+  // Per-seed black box: the flight recorder holds only this schedule's
+  // events, so a failure dump reads as the seed's own story.
+  flight::Clear();
   SCOPED_TRACE("seed=" + std::to_string(seed));
   ChaosWorld world;
   Rng rng(seed);
@@ -210,7 +216,7 @@ void RunChaosSeed(uint64_t seed) {
         mapped_value[page] = value;
         mapped_dirty[page] = true;
         invalidations_at_write[page] =
-            world.clients[c]->stats().channels_invalidated;
+            metrics::StatValue(*world.clients[c], "channels_invalidated");
       } else {
         // The region's channel is gone (evicted / invalidated); remap on
         // the next mapped action.
@@ -222,7 +228,7 @@ void RunChaosSeed(uint64_t seed) {
       if (dead[c] || !regions[c]) continue;
       if (regions[c]->Sync().ok()) {
         uint64_t invalidations =
-            world.clients[c]->stats().channels_invalidated;
+            metrics::StatValue(*world.clients[c], "channels_invalidated");
         for (int p = c * kPagesPerClient; p < (c + 1) * kPagesPerClient;
              ++p) {
           if (mapped_dirty[p] && mapped_value[p] != 0 &&
@@ -313,10 +319,26 @@ void RunChaosSeed(uint64_t seed) {
   ASSERT_TRUE(world.server->CheckCoherencyInvariants());
 }
 
+// On the first seed that fails, print the flight recorder — the drops,
+// retries, dedup replays, and evictions that preceded the bad assertion —
+// and save it to a file CI uploads as an artifact.
+void DumpFlightOnFailure(uint64_t seed, bool* dumped) {
+  if (*dumped || !::testing::Test::HasFailure()) {
+    return;
+  }
+  *dumped = true;
+  std::string header = "chaos seed=" + std::to_string(seed);
+  std::fprintf(stderr, "=== flight recorder (%s, last 64 events) ===\n%s",
+               header.c_str(), flight::Dump(64).c_str());
+  flight::DumpToFile("flight_dump_chaos.txt", header);
+}
+
 // 4 shards x 55 seeds = 220 schedules.
 void RunChaosShard(uint64_t first_seed) {
+  bool dumped = false;
   for (uint64_t seed = first_seed; seed < first_seed + 55; ++seed) {
     RunChaosSeed(seed);
+    DumpFlightOnFailure(seed, &dumped);
     if (::testing::Test::HasFatalFailure()) {
       return;
     }
@@ -334,8 +356,10 @@ TEST(ChaosDfs, SeededSchedulesShard3) { RunChaosShard(4000); }
 TEST(ChaosDfs, SchedulesExerciseTheFailurePaths) {
   metrics::Registry::Global().counter("coh/evictions").Reset();
   uint64_t dedup_hits = 0, evicted = 0, dropped = 0, restarts = 0;
+  bool dumped = false;
   for (uint64_t seed = 7000; seed < 7012; ++seed) {
     RunChaosSeed(seed);
+    DumpFlightOnFailure(seed, &dumped);
     if (::testing::Test::HasFatalFailure()) {
       return;
     }
@@ -351,9 +375,9 @@ TEST(ChaosDfs, SchedulesExerciseTheFailurePaths) {
     Buffer tag = TagBuffer(77);
     (void)world.files[0]->Write(0, tag.span());
     world.network->DisarmFaults();
-    dedup_hits = world.server->stats().dedup_hits;
-    dropped = world.network->stats().dropped_responses;
-    restarts = world.clients[0]->stats().retries;
+    dedup_hits = metrics::StatValue(*world.server, "dedup_hits");
+    dropped = metrics::StatValue(*world.network, "dropped_responses");
+    restarts = metrics::StatValue(*world.clients[0], "retries");
   }
   EXPECT_GT(evicted, 0u) << "no schedule ever evicted a holder";
   EXPECT_GT(dedup_hits, 0u) << "dedup window never answered";
@@ -375,8 +399,8 @@ TEST(ChaosDfs, DuplicatedMutatingFrameAppliesExactlyOnce) {
       world.clients[0]->CreateFile(*Name::Parse("dup-once"), world.sys);
   world.network->DisarmFaults();
   ASSERT_TRUE(created.ok()) << created.status().ToString();
-  EXPECT_GT(world.network->stats().duplicated_requests, 0u);
-  EXPECT_GT(world.server->stats().dedup_hits, 0u)
+  EXPECT_GT(metrics::StatValue(*world.network, "duplicated_requests"), 0u);
+  EXPECT_GT(metrics::StatValue(*world.server, "dedup_hits"), 0u)
       << "the duplicate must be answered from the window, not re-executed";
   EXPECT_TRUE(ResolveAs<File>(world.sfs.root, "dup-once", world.sys).ok());
 }
@@ -389,7 +413,7 @@ TEST(ChaosDfs, DroppedResponseRetransmissionAppliesExactlyOnce) {
   // request id, and the dedup window replays the original response.
   Result<size_t> wrote = world.files[0]->Write(0, tag.span());
   ASSERT_TRUE(wrote.ok()) << wrote.status().ToString();
-  EXPECT_EQ(world.server->stats().dedup_hits, 1u);
+  EXPECT_EQ(metrics::StatValue(*world.server, "dedup_hits"), 1u);
   EXPECT_EQ(*ReadTag(world.files[1], 0), 123u);
 }
 
@@ -426,7 +450,7 @@ TEST(ChaosNet, LinkFailureBudgetIsExactUnderConcurrency) {
   }
   // Each budgeted failure is consumed exactly once, no more, no fewer.
   EXPECT_EQ(failures.load(), kBudget);
-  EXPECT_EQ(network.stats().injected_failures, kBudget);
+  EXPECT_EQ(metrics::StatValue(network, "injected_failures"), kBudget);
   EXPECT_TRUE(network.Call("a", "b", "echo", net::Frame{}).ok());
 }
 
@@ -499,7 +523,7 @@ TEST(ChaosNet, ConcurrentSendersSurviveFaultToggling) {
     healed = network.Call("a", "b", "echo", net::Frame{}).ok();
   }
   EXPECT_TRUE(healed);
-  EXPECT_GT(network.stats().calls, 0u);
+  EXPECT_GT(metrics::StatValue(network, "calls"), 0u);
 }
 
 }  // namespace

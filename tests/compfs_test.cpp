@@ -80,8 +80,7 @@ TEST_P(CompfsTest, IncompressibleDataStoredRaw) {
   Buffer data = rng.RandomBuffer(2 * kPageSize);
   ASSERT_TRUE(file->Write(0, data.span()).ok());
   ASSERT_TRUE(file->SyncFile().ok());
-  CompLayerStats stats = stack_.compfs->stats();
-  EXPECT_GT(stats.blocks_stored_raw, 0u);
+  EXPECT_GT(metrics::StatValue(*stack_.compfs, "blocks_stored_raw"), 0u);
   Buffer out(data.size());
   EXPECT_EQ(*file->Read(0, out.mutable_span()), data.size());
   EXPECT_EQ(out, data);
@@ -161,7 +160,7 @@ TEST_P(CompfsTest, RewritesCreateGarbageCompactionReclaims) {
   Buffer out(4 * kPageSize);
   ASSERT_TRUE(file->Read(0, out.mutable_span()).ok());
   EXPECT_EQ(out, expected);
-  EXPECT_GE(stack_.compfs->stats().compactions, 1u);
+  EXPECT_GE(metrics::StatValue(*stack_.compfs, "compactions"), 1u);
 }
 
 TEST_P(CompfsTest, SparseFilesReadZerosInHoles) {
@@ -268,11 +267,13 @@ TEST(CompfsCoherencyTest, Fig6SeesDirectUnderlyingWrites) {
 
   // Someone rewrites the underlying compressed file directly (e.g. restores
   // it from backup): replace it with a fresh COMPFS image of new content.
-  uint64_t invalidations_before = stack.compfs->stats().lower_invalidations;
+  uint64_t invalidations_before =
+      metrics::StatValue(*stack.compfs, "lower_invalidations");
   sp<File> under = *ResolveAs<File>(stack.sfs.root, "f", sys);
   Buffer junk(std::string("overwritten directly!"));
   ASSERT_TRUE(under->Write(0, junk.span()).ok());
-  EXPECT_GT(stack.compfs->stats().lower_invalidations, invalidations_before)
+  EXPECT_GT(metrics::StatValue(*stack.compfs, "lower_invalidations"),
+            invalidations_before)
       << "COMPFS (Fig. 6) must receive coherency callbacks from below";
 }
 
@@ -294,11 +295,13 @@ TEST(CompfsCoherencyTest, Fig5DoesNotBindBelow) {
   ASSERT_TRUE(region->Read(0, out.mutable_span()).ok());
 
   // Direct underlying write: COMPFS (Fig. 5) does not hear about it.
-  uint64_t invalidations_before = stack.compfs->stats().lower_invalidations;
+  uint64_t invalidations_before =
+      metrics::StatValue(*stack.compfs, "lower_invalidations");
   sp<File> under = *ResolveAs<File>(stack.sfs.root, "f", sys);
   Buffer junk(std::string("overwritten directly!"));
   ASSERT_TRUE(under->Write(0, junk.span()).ok());
-  EXPECT_EQ(stack.compfs->stats().lower_invalidations, invalidations_before)
+  EXPECT_EQ(metrics::StatValue(*stack.compfs, "lower_invalidations"),
+            invalidations_before)
       << "Fig. 5 COMPFS must not be engaged in lower-layer coherency";
 }
 

@@ -14,12 +14,14 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdio>
 #include <map>
 #include <set>
 #include <string>
 
 #include "src/blockdev/block_device.h"
 #include "src/blockdev/decorators.h"
+#include "src/obs/flight_recorder.h"
 #include "src/support/rng.h"
 #include "src/ufs/checker.h"
 #include "src/ufs/journal.h"
@@ -137,7 +139,7 @@ uint64_t CountWorkloadWrites(uint64_t seed, bool journal) {
   }
   uint64_t before = device->stats().writes;
   EXPECT_TRUE(RunWorkload(fs->get(), seed, nullptr));
-  EXPECT_EQ((*fs)->stats().journal_overflow_syncs, 0u);
+  EXPECT_EQ(metrics::StatValue(**fs, "journal_overflow_syncs"), 0u);
   uint64_t writes = device->stats().writes - before;
   (*fs)->Abandon();  // already synced; skip the unmount sync
   return writes;
@@ -173,6 +175,9 @@ void ExpectMatchesModel(ufs::Ufs* fs, const Model& want) {
 
 // One full crash/recovery property check for one seed.
 void RunCrashSeed(uint64_t seed) {
+  // Per-seed black box (see tests/chaos_dfs_test.cpp): a failure dump below
+  // then shows only this seed's journal/crash events.
+  flight::Clear();
   SCOPED_TRACE("seed=" + std::to_string(seed));
   uint64_t writes = CountWorkloadWrites(seed, /*journal=*/true);
   ASSERT_GT(writes, 0u);
@@ -423,7 +428,7 @@ TEST(CrashRecovery, FormatReservesJournalAndMountReplays) {
   ASSERT_TRUE((*fs)->Create(kRootInode, "a", ufs::FileType::kRegular).ok());
   ASSERT_TRUE((*fs)->Sync().ok());
   EXPECT_EQ((*fs)->last_committed_tx(), 2u);
-  EXPECT_GE((*fs)->stats().journal_commits, 2u);
+  EXPECT_GE(metrics::StatValue(**fs, "journal_commits"), 2u);
   (*fs)->Abandon();
   fs->reset();
 
@@ -452,41 +457,30 @@ TEST(CrashRecovery, JournalOffFormatStillWorks) {
 
 // --- The crash/recovery property suite: >= 200 seeded crash points ---
 
-TEST(CrashRecovery, SeededCrashPointsShard0) {
-  for (uint64_t seed = 1000; seed < 1055; ++seed) {
+// On the first failing seed, print the flight recorder (journal commits,
+// replay decisions, injected crash point) and save it for CI upload.
+void RunCrashShard(uint64_t first_seed) {
+  bool dumped = false;
+  for (uint64_t seed = first_seed; seed < first_seed + 55; ++seed) {
     RunCrashSeed(seed);
+    if (!dumped && ::testing::Test::HasFailure()) {
+      dumped = true;
+      std::string header = "crash seed=" + std::to_string(seed);
+      std::fprintf(stderr,
+                   "=== flight recorder (%s, last 64 events) ===\n%s",
+                   header.c_str(), flight::Dump(64).c_str());
+      flight::DumpToFile("flight_dump_crash.txt", header);
+    }
     if (::testing::Test::HasFatalFailure()) {
       return;
     }
   }
 }
 
-TEST(CrashRecovery, SeededCrashPointsShard1) {
-  for (uint64_t seed = 2000; seed < 2055; ++seed) {
-    RunCrashSeed(seed);
-    if (::testing::Test::HasFatalFailure()) {
-      return;
-    }
-  }
-}
-
-TEST(CrashRecovery, SeededCrashPointsShard2) {
-  for (uint64_t seed = 3000; seed < 3055; ++seed) {
-    RunCrashSeed(seed);
-    if (::testing::Test::HasFatalFailure()) {
-      return;
-    }
-  }
-}
-
-TEST(CrashRecovery, SeededCrashPointsShard3) {
-  for (uint64_t seed = 4000; seed < 4055; ++seed) {
-    RunCrashSeed(seed);
-    if (::testing::Test::HasFatalFailure()) {
-      return;
-    }
-  }
-}
+TEST(CrashRecovery, SeededCrashPointsShard0) { RunCrashShard(1000); }
+TEST(CrashRecovery, SeededCrashPointsShard1) { RunCrashShard(2000); }
+TEST(CrashRecovery, SeededCrashPointsShard2) { RunCrashShard(3000); }
+TEST(CrashRecovery, SeededCrashPointsShard3) { RunCrashShard(4000); }
 
 // Control: with the journal disabled the same crashes corrupt the file
 // system and the harness notices — i.e. the property suite above is not

@@ -4,6 +4,9 @@
 
 #include <gtest/gtest.h>
 
+#include <map>
+#include <string>
+
 #include "src/layers/cfs/cfs_layer.h"
 #include "src/layers/compfs/comp_layer.h"
 #include "src/layers/dfs/dfs_client.h"
@@ -62,7 +65,7 @@ TEST(NetworkTest, CallDispatchesAndCharges) {
   EXPECT_EQ(response->arg0, 42u);
   EXPECT_EQ(response->payload.ToString(), "hi");
   EXPECT_EQ(clock.Now() - before, 2000u);  // two hops
-  EXPECT_EQ(network.stats().messages, 2u);
+  EXPECT_EQ(metrics::StatValue(network, "messages"), 2u);
 }
 
 TEST(NetworkTest, UnknownNodeOrServiceFails) {
@@ -176,7 +179,7 @@ TEST_F(DfsTest, RemoteMappedAccess) {
   Buffer out(19);
   ASSERT_TRUE(file->Read(100, out.mutable_span()).ok());
   EXPECT_EQ(out.ToString(), "mapped remote write");
-  EXPECT_GT(server_->stats().remote_page_ins, 0u);
+  EXPECT_GT(metrics::StatValue(*server_, "remote_page_ins"), 0u);
 }
 
 // Figure 7's headline: local clients of file_DFS end up talking to SFS
@@ -193,8 +196,8 @@ TEST_F(DfsTest, LocalBindForwarding) {
   Buffer out(5);
   ASSERT_TRUE(region->Read(0, out.mutable_span()).ok());
   // No network traffic and no DFS page-in involvement for local access.
-  EXPECT_EQ(network_->stats().messages, 0u);
-  EXPECT_EQ(server_->stats().remote_page_ins, 0u);
+  EXPECT_EQ(metrics::StatValue(*network_, "messages"), 0u);
+  EXPECT_EQ(metrics::StatValue(*server_, "remote_page_ins"), 0u);
   // And the mapping is genuinely the SFS channel: the local VMM shares the
   // cache with a direct SFS mapping of the same file.
   sp<File> sfs_file = *ResolveAs<File>(sfs_.root, "fig7", sys_);
@@ -228,7 +231,7 @@ TEST_F(DfsTest, RemoteAndLocalStayCoherent) {
   // Local read must observe it.
   ASSERT_TRUE(created->Read(0, out.mutable_span()).ok());
   EXPECT_EQ(out.ToString(), "REMOT");
-  EXPECT_GT(server_->stats().lower_flushes, 0u);
+  EXPECT_GT(metrics::StatValue(*server_, "lower_flushes"), 0u);
 }
 
 TEST_F(DfsTest, TwoRemoteClientsStayCoherent) {
@@ -254,7 +257,7 @@ TEST_F(DfsTest, TwoRemoteClientsStayCoherent) {
     ASSERT_TRUE(m1->Read(0, out.mutable_span()).ok());
     EXPECT_EQ(out.ToString(), text2) << "round " << round;
   }
-  EXPECT_GT(server_->stats().callbacks_sent, 0u);
+  EXPECT_GT(metrics::StatValue(*server_, "callbacks_sent"), 0u);
 }
 
 TEST_F(DfsTest, RemoteRemoveAndErrors) {
@@ -291,24 +294,25 @@ TEST_F(DfsTest, IdempotentCallsRetryThroughTransientTimeouts) {
   Result<FileAttributes> attrs = file->Stat();
   ASSERT_TRUE(attrs.ok()) << attrs.status().ToString();
   EXPECT_EQ(attrs->size, 10u);
-  dfs::DfsClientStats stats = client_->stats();
-  EXPECT_EQ(stats.retries, 2u);
-  EXPECT_EQ(stats.retry_successes, 1u);
-  EXPECT_EQ(stats.retries_exhausted, 0u);
+  std::map<std::string, uint64_t> stats = metrics::CollectFrom(*client_);
+  EXPECT_EQ(stats["retries"], 2u);
+  EXPECT_EQ(stats["retry_successes"], 1u);
+  EXPECT_EQ(stats["retries_exhausted"], 0u);
   EXPECT_GT(clock_.Now(), before) << "backoff must be charged to the clock";
 }
 
 TEST_F(DfsTest, MutatingCallsRetrySafelyThroughDedup) {
   // The request itself is lost: the server never ran the op, and the
   // retransmission (same request id) simply executes it.
-  uint64_t calls_before = client_->stats().calls_sent;
+  uint64_t calls_before = metrics::StatValue(*client_, "calls_sent");
   network_->FailNextCalls(1, ErrorCode::kTimedOut);
   Result<sp<File>> created = client_->CreateFile(*Name::Parse("once"), sys_);
   ASSERT_TRUE(created.ok()) << created.status().ToString();
-  dfs::DfsClientStats stats = client_->stats();
-  EXPECT_EQ(stats.retries, 1u);
-  EXPECT_EQ(stats.calls_sent, calls_before + 2);
-  EXPECT_EQ(server_->stats().dedup_hits, 0u) << "first attempt never ran";
+  std::map<std::string, uint64_t> stats = metrics::CollectFrom(*client_);
+  EXPECT_EQ(stats["retries"], 1u);
+  EXPECT_EQ(stats["calls_sent"], calls_before + 2);
+  EXPECT_EQ(metrics::StatValue(*server_, "dedup_hits"), 0u)
+      << "first attempt never ran";
   EXPECT_TRUE(ResolveAs<File>(sfs_.root, "once", sys_).ok());
 }
 
@@ -318,16 +322,16 @@ TEST_F(DfsTest, LostResponseRetransmissionAppliesExactlyOnce) {
   // window replays the original response instead of re-executing. A blind
   // re-execute would fail with kAlreadyExists — the ok result proves the
   // dedup path answered.
-  uint64_t calls_before = client_->stats().calls_sent;
+  uint64_t calls_before = metrics::StatValue(*client_, "calls_sent");
   network_->DropNextResponses("client1", "server", 1);
   Result<sp<File>> created = client_->CreateFile(*Name::Parse("exactly"),
                                                  sys_);
   ASSERT_TRUE(created.ok()) << created.status().ToString();
-  dfs::DfsClientStats stats = client_->stats();
-  EXPECT_EQ(stats.retries, 1u);
-  EXPECT_EQ(stats.calls_sent, calls_before + 2);
-  EXPECT_EQ(server_->stats().dedup_hits, 1u);
-  EXPECT_EQ(network_->stats().dropped_responses, 1u);
+  std::map<std::string, uint64_t> stats = metrics::CollectFrom(*client_);
+  EXPECT_EQ(stats["retries"], 1u);
+  EXPECT_EQ(stats["calls_sent"], calls_before + 2);
+  EXPECT_EQ(metrics::StatValue(*server_, "dedup_hits"), 1u);
+  EXPECT_EQ(metrics::StatValue(*network_, "dropped_responses"), 1u);
   // Exactly-once: the file exists and the remote view is usable.
   EXPECT_TRUE(ResolveAs<File>(sfs_.root, "exactly", sys_).ok());
   Buffer data(std::string("ok"));
@@ -342,7 +346,7 @@ TEST_F(DfsTest, LostWriteResponseDoesNotDoubleApply) {
   Buffer first(std::string("AAAA"));
   network_->DropNextResponses("client1", "server", 1);
   ASSERT_TRUE(file->Write(0, first.span()).ok());
-  EXPECT_EQ(server_->stats().dedup_hits, 1u);
+  EXPECT_EQ(metrics::StatValue(*server_, "dedup_hits"), 1u);
   // Another client overwrites; if the first write's retransmission had
   // re-executed after this, "BBBB" would be clobbered.
   sp<File> other = *ResolveAs<File>(client2_, "w-once", sys_);
@@ -363,13 +367,14 @@ TEST_F(DfsTest, RetriesExhaustedSurfaceAsErrorNotHang) {
                                               options);
   sp<File> file = *impatient->CreateFile(*Name::Parse("stuck"), sys_);
   network_->SetPartitioned("server", true);
-  uint64_t calls_before = impatient->stats().calls_sent;
+  uint64_t calls_before = metrics::StatValue(*impatient, "calls_sent");
   Result<FileAttributes> attrs = file->Stat();
   EXPECT_EQ(attrs.status().code(), ErrorCode::kConnectionLost);
-  dfs::DfsClientStats stats = impatient->stats();
-  EXPECT_EQ(stats.calls_sent, calls_before + 3) << "initial send + 2 retries";
-  EXPECT_EQ(stats.retries, 2u);
-  EXPECT_EQ(stats.retries_exhausted, 1u);
+  std::map<std::string, uint64_t> stats = metrics::CollectFrom(*impatient);
+  EXPECT_EQ(stats["calls_sent"], calls_before + 3)
+      << "initial send + 2 retries";
+  EXPECT_EQ(stats["retries"], 2u);
+  EXPECT_EQ(stats["retries_exhausted"], 1u);
   network_->SetPartitioned("server", false);
   EXPECT_TRUE(file->Stat().ok());
 }
@@ -385,10 +390,10 @@ TEST_F(DfsTest, ServerDeathSurfacesAsDeadObjectNotHang) {
   // Calls against the dead server fail with kDeadObject after a bounded
   // number of retries (a replacement server could have taken the service
   // over, so the client probes for one): no hang, clean error.
-  uint64_t calls_before = client_->stats().calls_sent;
+  uint64_t calls_before = metrics::StatValue(*client_, "calls_sent");
   Status stat = file->Stat().status();
   EXPECT_EQ(stat.code(), ErrorCode::kDeadObject) << stat.ToString();
-  EXPECT_EQ(client_->stats().calls_sent, calls_before + 5)
+  EXPECT_EQ(metrics::StatValue(*client_, "calls_sent"), calls_before + 5)
       << "initial send + max_retries probes";
   EXPECT_EQ(client_->Resolve(*Name::Parse("orphan"), sys_).status().code(),
             ErrorCode::kDeadObject);
@@ -418,9 +423,9 @@ TEST_F(DfsTest, ServerRestartInvalidatesCachesAndRebindsTransparently) {
   Result<FileAttributes> attrs = remote->Stat();
   ASSERT_TRUE(attrs.ok()) << attrs.status().ToString();
   EXPECT_GT(client_->observed_server_epoch(), epoch_before);
-  EXPECT_GE(client_->stats().server_restarts, 1u);
-  EXPECT_GT(client_->stats().channels_invalidated, 0u);
-  EXPECT_GE(client_->stats().handle_rebinds, 1u);
+  EXPECT_GE(metrics::StatValue(*client_, "server_restarts"), 1u);
+  EXPECT_GT(metrics::StatValue(*client_, "channels_invalidated"), 0u);
+  EXPECT_GE(metrics::StatValue(*client_, "handle_rebinds"), 1u);
 
   // Data synced before the restart survives, served through a fresh
   // mapping bound to the new server.
@@ -464,7 +469,8 @@ TEST_F(DfsTest, KilledWriterDoesNotBlockOtherClients) {
   if (!late.ok()) {
     EXPECT_EQ(late.code(), ErrorCode::kStale);
   }
-  EXPECT_GE(server_->stats().stale_fenced + client_->stats().channels_invalidated,
+  EXPECT_GE(metrics::StatValue(*server_, "stale_fenced") +
+                metrics::StatValue(*client_, "channels_invalidated"),
             1u);
 }
 
@@ -535,23 +541,23 @@ TEST_F(CfsTest, AttrCacheAbsorbsStatStorm) {
   ASSERT_TRUE(client_->CreateFile(*Name::Parse("hot"), sys_).ok());
   sp<File> file = *ResolveAs<File>(cfs_, "hot", sys_);
   ASSERT_TRUE(file->Stat().ok());  // first stat: one network round trip
-  uint64_t calls_before = client_->stats().calls_sent;
+  uint64_t calls_before = metrics::StatValue(*client_, "calls_sent");
   for (int i = 0; i < 50; ++i) {
     ASSERT_TRUE(file->Stat().ok());
   }
-  EXPECT_EQ(client_->stats().calls_sent, calls_before)
+  EXPECT_EQ(metrics::StatValue(*client_, "calls_sent"), calls_before)
       << "CFS must serve repeated stats from its attribute cache";
-  EXPECT_GE(cfs_->stats().attr_cache_hits, 50u);
+  EXPECT_GE(metrics::StatValue(*cfs_, "attr_cache_hits"), 50u);
 }
 
 TEST_F(CfsTest, WithoutCfsEveryStatGoesRemote) {
   ASSERT_TRUE(client_->CreateFile(*Name::Parse("cold"), sys_).ok());
   sp<File> file = *ResolveAs<File>(client_, "cold", sys_);
-  uint64_t calls_before = client_->stats().calls_sent;
+  uint64_t calls_before = metrics::StatValue(*client_, "calls_sent");
   for (int i = 0; i < 10; ++i) {
     ASSERT_TRUE(file->Stat().ok());
   }
-  EXPECT_EQ(client_->stats().calls_sent, calls_before + 10);
+  EXPECT_EQ(metrics::StatValue(*client_, "calls_sent"), calls_before + 10);
 }
 
 TEST_F(CfsTest, ReadsServedFromLocalVmmCache) {
@@ -563,13 +569,13 @@ TEST_F(CfsTest, ReadsServedFromLocalVmmCache) {
   Buffer out(16);
   ASSERT_TRUE(file->Read(0, out.mutable_span()).ok());  // faults once
   EXPECT_EQ(out.ToString(), "cache me locally");
-  uint64_t calls_before = client_->stats().calls_sent;
+  uint64_t calls_before = metrics::StatValue(*client_, "calls_sent");
   for (int i = 0; i < 20; ++i) {
     ASSERT_TRUE(file->Read(0, out.mutable_span()).ok());
   }
   // Attribute checks are cached and pages come from the local VMM: no
   // further network calls.
-  EXPECT_EQ(client_->stats().calls_sent, calls_before);
+  EXPECT_EQ(metrics::StatValue(*client_, "calls_sent"), calls_before);
 }
 
 TEST_F(CfsTest, WritesVisibleRemotely) {
@@ -599,7 +605,7 @@ TEST_F(CfsTest, AttrInvalidationCallback) {
   // Another client changes the file's length on the server.
   sp<File> other = *ResolveAs<File>(client2_, "inval", sys_);
   ASSERT_TRUE(other->SetLength(100).ok());
-  EXPECT_GE(cfs_->stats().attr_invalidations, 1u);
+  EXPECT_GE(metrics::StatValue(*cfs_, "attr_invalidations"), 1u);
   // CFS refetches: the new size is visible.
   EXPECT_EQ(file->Stat()->size, 100u);
 }

@@ -203,13 +203,13 @@ TEST_F(DiskLayerTest, ServantsLiveInTheLayerDomain) {
   sp<File> file = *layer_->CreateFile(*Name::Parse("dom"), sys_);
   domain_->ResetStats();
   ASSERT_TRUE(file->Stat().ok());
-  EXPECT_EQ(domain_->stats().cross_calls, 1u);
+  EXPECT_EQ(metrics::StatValue(*domain_, "cross_calls"), 1u);
   {
     Domain::Scope scope(domain_.get());
     ASSERT_TRUE(file->Stat().ok());
   }
-  EXPECT_EQ(domain_->stats().cross_calls, 1u);
-  EXPECT_GE(domain_->stats().inline_calls, 1u);
+  EXPECT_EQ(metrics::StatValue(*domain_, "cross_calls"), 1u);
+  EXPECT_GE(metrics::StatValue(*domain_, "inline_calls"), 1u);
 }
 
 }  // namespace

@@ -5,6 +5,9 @@
 
 #include <gtest/gtest.h>
 
+#include <map>
+#include <string>
+
 #include "src/layers/sfs/sfs.h"
 #include "src/naming/name_cache.h"
 #include "src/support/rng.h"
@@ -33,13 +36,13 @@ class NameCacheTest : public ::testing::Test {
 TEST_F(NameCacheTest, SecondResolveIsAHit) {
   ASSERT_TRUE(sfs_.root->CreateFile(*Name::Parse("f"), sys_).ok());
   ASSERT_TRUE(cache_->Resolve(*Name::Parse("f"), sys_).ok());
-  EXPECT_EQ(cache_->stats().misses, 1u);
+  EXPECT_EQ(metrics::StatValue(*cache_, "misses"), 1u);
   for (int i = 0; i < 10; ++i) {
     ASSERT_TRUE(cache_->Resolve(*Name::Parse("f"), sys_).ok());
   }
-  NameCacheStats stats = cache_->stats();
-  EXPECT_EQ(stats.misses, 1u);
-  EXPECT_EQ(stats.hits, 10u);
+  std::map<std::string, uint64_t> stats = metrics::CollectFrom(*cache_);
+  EXPECT_EQ(stats["misses"], 1u);
+  EXPECT_EQ(stats["hits"], 10u);
 }
 
 TEST_F(NameCacheTest, CachedOpenSkipsEveryLayer) {
@@ -52,8 +55,8 @@ TEST_F(NameCacheTest, CachedOpenSkipsEveryLayer) {
   for (int i = 0; i < 100; ++i) {
     ASSERT_TRUE(cache_->Resolve(*Name::Parse("hot"), sys_).ok());
   }
-  EXPECT_EQ(sfs_.top_domain->stats().cross_calls, 0u);
-  EXPECT_EQ(sfs_.disk_domain->stats().cross_calls, 0u);
+  EXPECT_EQ(metrics::StatValue(*sfs_.top_domain, "cross_calls"), 0u);
+  EXPECT_EQ(metrics::StatValue(*sfs_.disk_domain, "cross_calls"), 0u);
 }
 
 TEST_F(NameCacheTest, MutationsInvalidate) {
@@ -62,7 +65,7 @@ TEST_F(NameCacheTest, MutationsInvalidate) {
   ASSERT_TRUE(cache_->Unbind(*Name::Parse("f"), sys_).ok());
   EXPECT_EQ(cache_->Resolve(*Name::Parse("f"), sys_).status().code(),
             ErrorCode::kNotFound);
-  EXPECT_GE(cache_->stats().invalidations, 1u);
+  EXPECT_GE(metrics::StatValue(*cache_, "invalidations"), 1u);
 }
 
 TEST_F(NameCacheTest, InvalidationCoversDescendants) {
@@ -78,10 +81,10 @@ TEST_F(NameCacheTest, InvalidationCoversDescendants) {
   // Prefix logic must not over-invalidate sibling names ("d" vs "dd").
   ASSERT_TRUE(sfs_.root->CreateFile(*Name::Parse("dd"), sys_).ok());
   ASSERT_TRUE(cache_->Resolve(*Name::Parse("dd"), sys_).ok());
-  uint64_t invals = cache_->stats().invalidations;
+  uint64_t invals = metrics::StatValue(*cache_, "invalidations");
   ASSERT_TRUE(cache_->CreateContext(*Name::Parse("d/sub"), sys_).ok());
   ASSERT_TRUE(cache_->Resolve(*Name::Parse("dd"), sys_).ok());
-  EXPECT_EQ(cache_->stats().invalidations, invals)
+  EXPECT_EQ(metrics::StatValue(*cache_, "invalidations"), invals)
       << "'d/...' invalidation must not touch 'dd'";
 }
 
@@ -94,11 +97,10 @@ TEST_F(NameCacheTest, CapacityEvictsFifo) {
     ASSERT_TRUE(small->Resolve(Name::Single("f" + std::to_string(i)), sys_)
                     .ok());
   }
-  NameCacheStats stats = small->stats();
-  EXPECT_EQ(stats.evictions, 2u);
+  EXPECT_EQ(metrics::StatValue(*small, "evictions"), 2u);
   // The most recent two are hits; the evicted ones miss again.
   ASSERT_TRUE(small->Resolve(Name::Single("f3"), sys_).ok());
-  EXPECT_EQ(small->stats().hits, 1u);
+  EXPECT_EQ(metrics::StatValue(*small, "hits"), 1u);
 }
 
 TEST_F(NameCacheTest, FlushDropsEverything) {
@@ -106,7 +108,7 @@ TEST_F(NameCacheTest, FlushDropsEverything) {
   ASSERT_TRUE(cache_->Resolve(*Name::Parse("f"), sys_).ok());
   cache_->Flush();
   ASSERT_TRUE(cache_->Resolve(*Name::Parse("f"), sys_).ok());
-  EXPECT_EQ(cache_->stats().misses, 2u);
+  EXPECT_EQ(metrics::StatValue(*cache_, "misses"), 2u);
 }
 
 // --- read-ahead ---
@@ -140,9 +142,9 @@ TEST_F(ReadAheadTest, SequentialMappedReadFaultsOncePerWindow) {
     ASSERT_TRUE(region->Read(Offset{static_cast<uint64_t>(p)} * kPageSize,
                              out.mutable_span()).ok());
   }
-  VmmStats stats = vmm->stats();
   // 16 pages with an 8-page grant window: 2 faults instead of 16.
-  EXPECT_LE(stats.faults, 2u) << "read-ahead did not batch the faults";
+  EXPECT_LE(metrics::StatValue(*vmm, "faults"), 2u)
+      << "read-ahead did not batch the faults";
   // Content must still be exact.
   Buffer all(16 * kPageSize);
   ASSERT_TRUE(region->Read(0, all.mutable_span()).ok());
@@ -167,7 +169,7 @@ TEST_F(ReadAheadTest, WithoutReadAheadEveryPageFaults) {
     ASSERT_TRUE(region->Read(Offset{static_cast<uint64_t>(p)} * kPageSize,
                              out.mutable_span()).ok());
   }
-  EXPECT_EQ(vmm->stats().faults, 16u);
+  EXPECT_EQ(metrics::StatValue(*vmm, "faults"), 16u);
 }
 
 TEST_F(ReadAheadTest, ReadAheadClampsAtEof) {
@@ -180,7 +182,7 @@ TEST_F(ReadAheadTest, ReadAheadClampsAtEof) {
   Buffer out(4);
   ASSERT_TRUE(region->Read(0, out.mutable_span()).ok());
   EXPECT_EQ(out.ToString(), "tiny");
-  EXPECT_LE(vmm->stats().pages_cached, 1u);
+  EXPECT_LE(metrics::StatValue(*vmm, "pages_cached"), 1u);
 }
 
 TEST_F(ReadAheadTest, VmmClusterClampsToPartialPageAtEof) {
@@ -201,8 +203,8 @@ TEST_F(ReadAheadTest, VmmClusterClampsToPartialPageAtEof) {
   EXPECT_EQ(Fnv1a64(out.span()), Fnv1a64(data.span()));
   // Clustering must not fabricate pages past the end of the file: three
   // pages of content, at most three cached (the tail one partial).
-  EXPECT_LE(vmm->stats().pages_cached, 3u);
-  EXPECT_LE(vmm->stats().faults, 3u);
+  EXPECT_LE(metrics::StatValue(*vmm, "pages_cached"), 3u);
+  EXPECT_LE(metrics::StatValue(*vmm, "faults"), 3u);
 }
 
 TEST_F(ReadAheadTest, WriteFaultsAreNotExtended) {
@@ -215,7 +217,7 @@ TEST_F(ReadAheadTest, WriteFaultsAreNotExtended) {
   sp<MappedRegion> region = *vmm->Map(file, AccessRights::kReadWrite);
   Buffer one(std::string("x"));
   ASSERT_TRUE(region->Write(0, one.span()).ok());
-  EXPECT_EQ(vmm->stats().pages_cached, 1u);
+  EXPECT_EQ(metrics::StatValue(*vmm, "pages_cached"), 1u);
 }
 
 }  // namespace

@@ -55,7 +55,7 @@ TEST_F(MirrorTest, WritesLandOnBothReplicas) {
     EXPECT_EQ(*(*replica)->Read(0, out.mutable_span()), 10u);
     EXPECT_EQ(out.ToString(), "replicated") << "replica " << i;
   }
-  EXPECT_GE(mirror_->stats().write_fanouts, 1u);
+  EXPECT_GE(metrics::StatValue(*mirror_, "write_fanouts"), 1u);
 }
 
 TEST_F(MirrorTest, ReadsFailOverWhenPrimaryDies) {
@@ -72,7 +72,7 @@ TEST_F(MirrorTest, ReadsFailOverWhenPrimaryDies) {
   Result<size_t> n = again->Read(0, out.mutable_span());
   ASSERT_TRUE(n.ok()) << n.status().ToString();
   EXPECT_EQ(out.ToString(), "still served");
-  EXPECT_GE(mirror_->stats().reads_failover, 0u);
+  EXPECT_GE(metrics::StatValue(*mirror_, "reads_failover"), 0u);
 }
 
 TEST_F(MirrorTest, DegradedWritesSucceedAndResilverRepairs) {
@@ -98,7 +98,7 @@ TEST_F(MirrorTest, DegradedWritesSucceedAndResilverRepairs) {
   Buffer out(11);
   EXPECT_EQ(*(*replica1)->Read(0, out.mutable_span()), 11u);
   EXPECT_EQ(out.ToString(), "version-two");
-  EXPECT_GE(mirror_->stats().resilvered_files, 1u);
+  EXPECT_GE(metrics::StatValue(*mirror_, "resilvered_files"), 1u);
 }
 
 TEST_F(MirrorTest, FailoverUnderSustainedWrites) {
@@ -147,7 +147,7 @@ TEST_F(MirrorTest, FailoverUnderSustainedWrites) {
   Buffer out(expected.size());
   ASSERT_EQ(*(*replica1)->Read(0, out.mutable_span()), expected.size());
   EXPECT_EQ(out, expected);
-  EXPECT_GE(mirror_->stats().resilvered_files, 1u);
+  EXPECT_GE(metrics::StatValue(*mirror_, "resilvered_files"), 1u);
 }
 
 TEST_F(MirrorTest, DirectoriesMirrorToo) {

@@ -5,13 +5,18 @@
 
 #include <gtest/gtest.h>
 
+#include <map>
 #include <stdexcept>
+#include <string>
 #include <thread>
 
+#include "src/layers/dfs/dfs_client.h"
 #include "src/layers/dfs/dfs_server.h"
 #include "src/layers/sfs/sfs.h"
+#include "src/obs/flight_recorder.h"
 #include "src/obs/stat_report.h"
 #include "src/obs/trace.h"
+#include "src/posix/posix_shim.h"
 #include "src/vmm/vmm.h"
 
 namespace springfs {
@@ -188,22 +193,20 @@ TEST(MetricsTest, ProvidersSumAcrossInstances) {
   EXPECT_EQ(reg.NumProviders(), before);
 }
 
-// Subtracts `base` from `end`, keeping only the keys that moved — the
-// workload's own contribution, immune to leftovers from other tests (the
-// layer stacks hold intentional sp<> cycles, so earlier providers linger
-// with frozen values).
-std::map<std::string, uint64_t> Delta(
-    const std::map<std::string, uint64_t>& end,
-    const std::map<std::string, uint64_t>& base) {
-  std::map<std::string, uint64_t> delta;
-  for (const auto& [key, value] : end) {
-    auto it = base.find(key);
-    uint64_t before = it == base.end() ? 0 : it->second;
-    if (value != before) {
-      delta[key] = value - before;
+// The workload's own contribution: metrics::Delta against the pre-workload
+// snapshot, dropping keys that did not move (earlier tests' layer stacks
+// hold intentional sp<> cycles, so their providers linger with frozen
+// values that would otherwise differ between two runs).
+std::map<std::string, uint64_t> MovedValues(
+    const metrics::Registry::Snapshot& base,
+    const metrics::Registry::Snapshot& end) {
+  std::map<std::string, uint64_t> moved;
+  for (const auto& [key, value] : metrics::Delta(base, end).values) {
+    if (value != 0) {
+      moved[key] = value;
     }
   }
-  return delta;
+  return moved;
 }
 
 std::map<std::string, metrics::Histogram::Snapshot> NonEmptyHistograms(
@@ -250,7 +253,7 @@ RunResult InstrumentedRun() {
       file->Stat().take_value();
     }
     metrics::Registry::Snapshot end = reg.Collect();
-    result.value_delta = Delta(end.values, base.values);
+    result.value_delta = MovedValues(base, end);
     result.histograms = NonEmptyHistograms(end.histograms);
   }
 
@@ -309,6 +312,184 @@ TEST(MetricsTest, RegistryThreadSafeUnderThreadTransport) {
             static_cast<uint64_t>(kThreads) * kOpsPerThread);
   EXPECT_GE(reg.histogram("test/tt.op.latency_ns").snapshot().count,
             static_cast<uint64_t>(kThreads) * kOpsPerThread);
+}
+
+TEST(MetricsTest, DeltaSubtractsValuesAndHistogramBuckets) {
+  metrics::Histogram h;
+  h.Record(100);
+  h.Record(1000);
+  metrics::Registry::Snapshot before;
+  before.values["a"] = 3;
+  before.values["gone"] = 9;
+  before.histograms["h"] = h.snapshot();
+
+  h.Record(100);
+  h.Record(1'000'000);
+  metrics::Registry::Snapshot after;
+  after.values["a"] = 5;
+  after.values["fresh"] = 2;
+  after.histograms["h"] = h.snapshot();
+
+  metrics::Registry::Snapshot d = metrics::Delta(before, after);
+  EXPECT_EQ(d.values.at("a"), 2u);
+  // An instrument born inside the interval counts in full.
+  EXPECT_EQ(d.values.at("fresh"), 2u);
+  // One that vanished recorded nothing in the interval.
+  EXPECT_EQ(d.values.count("gone"), 0u);
+  const metrics::Histogram::Snapshot& hd = d.histograms.at("h");
+  EXPECT_EQ(hd.count, 2u);
+  EXPECT_EQ(hd.sum_ns, 1'000'100u);
+  EXPECT_EQ(hd.buckets[metrics::Histogram::BucketIndex(100)], 1u);
+  EXPECT_EQ(hd.buckets[metrics::Histogram::BucketIndex(1'000'000)], 1u);
+  EXPECT_EQ(hd.buckets[metrics::Histogram::BucketIndex(1000)], 0u);
+  // A counter reset mid-interval clamps at zero instead of underflowing.
+  EXPECT_EQ(metrics::Delta(after, before).values.at("a"), 0u);
+}
+
+// --- distributed tracing across the DFS wire ---
+
+struct WireWorld {
+  FakeClock clock;
+  net::Network network{&clock, 1000};
+  sp<net::Node> server_node, client_node;
+  MemBlockDevice device{ufs::kBlockSize, 8192};
+  Sfs sfs;
+  sp<dfs::DfsServer> server;
+  sp<dfs::DfsClient> client;
+  Credentials sys = Credentials::System();
+
+  WireWorld() {
+    server_node = network.AddNode("server");
+    client_node = network.AddNode("client");
+    sfs = *CreateSfs(&device, SfsOptions{}, &clock);
+    server = *dfs::DfsServer::Create(server_node, &network, "dfs", sfs.root,
+                                     &clock);
+    client =
+        *dfs::DfsClient::Mount(client_node, &network, "server", "dfs", &clock);
+  }
+};
+
+// The acceptance path: a POSIX read against a DFS mount produces ONE trace
+// tree — client span, network hop, and the server-domain handler all share
+// the root's trace_id, stitched by remote_parent_span_id.
+TEST(TraceTest, PosixReadOverDfsIsOneTraceTree) {
+  WireWorld w;
+  sp<File> file = *w.server->CreateFile(*Name::Parse("doc"), w.sys);
+  Buffer data(std::string("one tree across the wire"));
+  ASSERT_TRUE(file->Write(0, data.span()).ok());
+
+  posix::Process proc(w.client, w.sys);
+  int fd = *proc.Open("doc", posix::kRdOnly);
+
+  trace::TraceRoot root("posix_read", &w.clock);
+  Buffer out(24);
+  ASSERT_TRUE(proc.Read(fd, out.mutable_span()).ok());
+  const trace::Span& tree = root.Finish();
+  EXPECT_EQ(out.ToString(), "one tree across the wire");
+
+  ASSERT_NE(tree.trace_id, 0u);
+  const trace::Span* serve = trace::FindFirst(tree, "dfs.serve");
+  ASSERT_NE(serve, nullptr) << trace::ToString(tree);
+  ASSERT_TRUE(trace::Contains(tree, "net.call:")) << trace::ToString(tree);
+  // The server-side handler is in the SAME tree with the SAME trace_id...
+  EXPECT_EQ(serve->trace_id, tree.trace_id);
+  EXPECT_NE(serve->span_id, 0u);
+  // ...and its wire-carried parent is the network hop it arrived on.
+  const trace::Span* hop = serve->parent;
+  while (hop != nullptr && hop->name.rfind("net.", 0) != 0) {
+    hop = hop->parent;
+  }
+  ASSERT_NE(hop, nullptr) << trace::ToString(tree);
+  EXPECT_EQ(serve->remote_parent_span_id, hop->span_id)
+      << trace::ToString(tree);
+}
+
+// Retransmissions appear as "net.retry:" spans, so the "net.call:" count of
+// one logical operation is identical with and without injected faults.
+TEST(TraceTest, RetriesAreRetrySpansNotExtraNetCalls) {
+  WireWorld w;
+  sp<File> file = *w.server->CreateFile(*Name::Parse("f"), w.sys);
+  Buffer data(std::string("stable"));
+  ASSERT_TRUE(file->Write(0, data.span()).ok());
+  sp<File> remote = *ResolveAs<File>(w.client, "f", w.sys);
+  Buffer out(6);
+  ASSERT_TRUE(remote->Read(0, out.mutable_span()).ok());  // warm everything
+
+  size_t clean_calls = 0;
+  {
+    trace::TraceRoot root("clean_read", &w.clock);
+    ASSERT_TRUE(remote->Read(0, out.mutable_span()).ok());
+    const trace::Span& tree = root.Finish();
+    clean_calls = trace::FindAll(tree, "net.call:").size();
+    EXPECT_TRUE(trace::FindAll(tree, "net.retry:").empty())
+        << trace::ToString(tree);
+  }
+  ASSERT_GT(clean_calls, 0u);
+
+  w.network.DropNextResponses("client", "server", 1);
+  {
+    trace::TraceRoot root("faulted_read", &w.clock);
+    ASSERT_TRUE(remote->Read(0, out.mutable_span()).ok());
+    const trace::Span& tree = root.Finish();
+    EXPECT_EQ(trace::FindAll(tree, "net.call:").size(), clean_calls)
+        << trace::ToString(tree);
+    EXPECT_GE(trace::FindAll(tree, "net.retry:").size(), 1u)
+        << trace::ToString(tree);
+  }
+}
+
+// --- flight recorder ---
+
+std::vector<flight::Event> EventsInLayer(const char* layer) {
+  std::vector<flight::Event> mine;
+  for (const flight::Event& e : flight::Snapshot()) {
+    if (std::string(e.layer) == layer) {
+      mine.push_back(e);
+    }
+  }
+  return mine;
+}
+
+TEST(FlightRecorderTest, RingWrapsKeepingTheNewestEvents) {
+  flight::Clear();
+  const uint64_t total = flight::kRingCapacity + 50;
+  for (uint64_t i = 0; i < total; ++i) {
+    flight::Record(flight::Severity::kInfo, "fr-test", "wrap", i);
+  }
+  std::vector<flight::Event> mine = EventsInLayer("fr-test");
+  ASSERT_EQ(mine.size(), flight::kRingCapacity);
+  EXPECT_GE(flight::TotalDropped(), 50u);
+  // Oldest retained is exactly `total - capacity`; the newest is the last
+  // record; seq is strictly increasing (Snapshot is oldest-first).
+  EXPECT_EQ(mine.front().arg0, total - flight::kRingCapacity);
+  EXPECT_EQ(mine.back().arg0, total - 1);
+  for (size_t i = 1; i < mine.size(); ++i) {
+    EXPECT_LT(mine[i - 1].seq, mine[i].seq);
+  }
+  flight::Clear();
+  EXPECT_TRUE(flight::Snapshot().empty());
+  EXPECT_EQ(flight::TotalDropped(), 0u);
+}
+
+TEST(FlightRecorderTest, EventsStampTheActiveTraceContext) {
+  flight::Clear();
+  {
+    trace::TraceRoot root("flight-ctx");
+    flight::Record(flight::Severity::kWarn, "fr-ctx", "inside");
+  }
+  flight::Record(flight::Severity::kInfo, "fr-ctx", "outside");
+  std::vector<flight::Event> mine = EventsInLayer("fr-ctx");
+  ASSERT_EQ(mine.size(), 2u);
+  EXPECT_NE(mine[0].trace_id, 0u);
+  EXPECT_NE(mine[0].span_id, 0u);
+  EXPECT_EQ(mine[1].trace_id, 0u);
+  // The dump names layer, severity, and message.
+  std::string dump = flight::Dump();
+  EXPECT_NE(dump.find("fr-ctx"), std::string::npos);
+  EXPECT_NE(dump.find("inside"), std::string::npos);
+  EXPECT_NE(dump.find(flight::SeverityName(flight::Severity::kWarn)),
+            std::string::npos);
+  flight::Clear();
 }
 
 // --- the human-readable report ---

@@ -164,10 +164,9 @@ TEST_P(SfsTest, CachedOperationsSkipTheLowerLayer) {
     ASSERT_TRUE(file->Write(0, data.span()).ok());
     ASSERT_TRUE(file->Stat().ok());
   }
-  DomainStats disk_stats = sfs_.disk_domain->stats();
-  EXPECT_EQ(disk_stats.cross_calls, 0u)
+  EXPECT_EQ(metrics::StatValue(*sfs_.disk_domain, "cross_calls"), 0u)
       << "cached coherency-layer ops still reached the disk layer";
-  EXPECT_EQ(disk_stats.inline_calls, 0u);
+  EXPECT_EQ(metrics::StatValue(*sfs_.disk_domain, "inline_calls"), 0u);
 }
 
 TEST_P(SfsTest, TruncateDiscardsBeyondEofEverywhere) {
@@ -313,8 +312,7 @@ TEST(SfsUncachedTest, OperationsAlwaysReachTheLowerLayer) {
   ASSERT_TRUE(file->Read(0, out.mutable_span()).ok());
   EXPECT_EQ(out.ToString(), "write through");
   ASSERT_TRUE(file->Stat().ok());
-  DomainStats stats = sfs.disk_domain->stats();
-  EXPECT_GT(stats.cross_calls, 0u)
+  EXPECT_GT(metrics::StatValue(*sfs.disk_domain, "cross_calls"), 0u)
       << "uncached coherency layer should delegate to the disk layer";
 }
 

@@ -6,6 +6,7 @@
 #include <gtest/gtest.h>
 
 #include <map>
+#include <string>
 
 #include "src/blockdev/block_device.h"
 #include "src/support/rng.h"
@@ -346,13 +347,13 @@ TEST_F(UfsTest, OutOfSpaceIsReported) {
 TEST_F(UfsTest, InodeCacheServesRepeatLookups) {
   InodeNum ino = *fs_->Create(kRootInode, "f", FileType::kRegular);
   (void)fs_->GetAttrs(ino);
-  UfsStats before = fs_->stats();
+  std::map<std::string, uint64_t> before = metrics::CollectFrom(*fs_);
   for (int i = 0; i < 10; ++i) {
     ASSERT_TRUE(fs_->GetAttrs(ino).ok());
   }
-  UfsStats after = fs_->stats();
-  EXPECT_EQ(after.inode_cache_misses, before.inode_cache_misses);
-  EXPECT_GE(after.inode_cache_hits, before.inode_cache_hits + 10);
+  std::map<std::string, uint64_t> after = metrics::CollectFrom(*fs_);
+  EXPECT_EQ(after["inode_cache_misses"], before["inode_cache_misses"]);
+  EXPECT_GE(after["inode_cache_hits"], before["inode_cache_hits"] + 10);
 }
 
 // --- checker corruption detection ---

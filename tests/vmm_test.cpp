@@ -8,7 +8,9 @@
 
 #include <algorithm>
 #include <atomic>
+#include <map>
 #include <random>
+#include <string>
 #include <thread>
 
 #include "src/fs/mem_file.h"
@@ -43,8 +45,7 @@ TEST_F(VmmTest, MapAndReadThroughMapping) {
   Buffer out(18);
   ASSERT_TRUE((*region)->Read(0, out.mutable_span()).ok());
   EXPECT_EQ(out.ToString(), "hello mapped world");
-  VmmStats stats = vmm_->stats();
-  EXPECT_GE(stats.faults, 1u);
+  EXPECT_GE(metrics::StatValue(*vmm_, "faults"), 1u);
 }
 
 TEST_F(VmmTest, SecondReadIsCacheHit) {
@@ -52,11 +53,11 @@ TEST_F(VmmTest, SecondReadIsCacheHit) {
   sp<MappedRegion> region = *vmm_->Map(file_, AccessRights::kReadOnly);
   Buffer out(6);
   ASSERT_TRUE(region->Read(0, out.mutable_span()).ok());
-  VmmStats after_first = vmm_->stats();
+  std::map<std::string, uint64_t> after_first = metrics::CollectFrom(*vmm_);
   ASSERT_TRUE(region->Read(0, out.mutable_span()).ok());
-  VmmStats after_second = vmm_->stats();
-  EXPECT_EQ(after_second.faults, after_first.faults);
-  EXPECT_GT(after_second.page_hits, after_first.page_hits);
+  std::map<std::string, uint64_t> after_second = metrics::CollectFrom(*vmm_);
+  EXPECT_EQ(after_second["faults"], after_first["faults"]);
+  EXPECT_GT(after_second["page_hits"], after_first["page_hits"]);
 }
 
 TEST_F(VmmTest, EquivalentMemoryObjectsShareCache) {
@@ -68,9 +69,9 @@ TEST_F(VmmTest, EquivalentMemoryObjectsShareCache) {
   EXPECT_EQ(r1->channel_id(), r2->channel_id());
   Buffer out(12);
   ASSERT_TRUE(r1->Read(0, out.mutable_span()).ok());
-  uint64_t faults = vmm_->stats().faults;
+  uint64_t faults = metrics::StatValue(*vmm_, "faults");
   ASSERT_TRUE(r2->Read(0, out.mutable_span()).ok());
-  EXPECT_EQ(vmm_->stats().faults, faults);
+  EXPECT_EQ(metrics::StatValue(*vmm_, "faults"), faults);
   EXPECT_EQ(file_->num_channels(), 1u);
 }
 
@@ -99,10 +100,10 @@ TEST_F(VmmTest, WriteFaultUpgradesRights) {
   sp<MappedRegion> region = *vmm_->Map(file_, AccessRights::kReadWrite);
   Buffer out(7);
   ASSERT_TRUE(region->Read(0, out.mutable_span()).ok());  // RO fault
-  uint64_t faults_after_read = vmm_->stats().faults;
+  uint64_t faults_after_read = metrics::StatValue(*vmm_, "faults");
   Buffer data(std::string("UPGRADE"));
   ASSERT_TRUE(region->Write(0, data.span()).ok());  // RW upgrade fault
-  EXPECT_GT(vmm_->stats().faults, faults_after_read);
+  EXPECT_GT(metrics::StatValue(*vmm_, "faults"), faults_after_read);
   ASSERT_TRUE(region->Read(0, out.mutable_span()).ok());
   EXPECT_EQ(out.ToString(), "UPGRADE");
 }
@@ -132,9 +133,9 @@ TEST_F(VmmTest, EvictionBoundsCacheAndWritesBackDirty) {
     ASSERT_TRUE(region->Write(Offset{static_cast<uint64_t>(p)} * kPageSize,
                               data.span()).ok());
   }
-  VmmStats stats = small->stats();
-  EXPECT_LE(stats.pages_cached, 4u);
-  EXPECT_GT(stats.evictions, 0u);
+  std::map<std::string, uint64_t> stats = metrics::CollectFrom(*small);
+  EXPECT_LE(stats["pages_cached"], 4u);
+  EXPECT_GT(stats["evictions"], 0u);
   // Evicted dirty pages were paged out: the file must hold them.
   Buffer out(5);
   ASSERT_TRUE(file->Read(0, out.mutable_span()).ok());
@@ -147,7 +148,7 @@ TEST_F(VmmTest, DropAllPagesWritesBackDirty) {
   Buffer data(std::string("dirty"));
   ASSERT_TRUE(region->Write(0, data.span()).ok());
   ASSERT_TRUE(vmm_->DropAllPages().ok());
-  EXPECT_EQ(vmm_->stats().pages_cached, 0u);
+  EXPECT_EQ(metrics::StatValue(*vmm_, "pages_cached"), 0u);
   Buffer out(5);
   ASSERT_TRUE(file_->Read(0, out.mutable_span()).ok());
   EXPECT_EQ(out.ToString(), "dirty");
@@ -180,10 +181,10 @@ TEST_F(VmmTest, SequentialReadClustersFaults) {
                              kPageSize))
         << "page " << p;
   }
-  VmmStats stats = vmm_->stats();
+  std::map<std::string, uint64_t> stats = metrics::CollectFrom(*vmm_);
   // The window doubles 1,2,4,8,8,...: 32 pages in well under 32 faults.
-  EXPECT_LE(stats.faults, 9u) << "sequential faults were not clustered";
-  EXPECT_GT(stats.read_ahead_hits, 0u);
+  EXPECT_LE(stats["faults"], 9u) << "sequential faults were not clustered";
+  EXPECT_GT(stats["read_ahead_hits"], 0u);
 }
 
 TEST_F(VmmTest, RandomAccessKeepsSinglePageFaults) {
@@ -206,7 +207,7 @@ TEST_F(VmmTest, RandomAccessKeepsSinglePageFaults) {
   }
   // Random access must not widen the window: no more faults than pages
   // (accidentally-adjacent pairs may cluster, never hurting the count).
-  EXPECT_LE(vmm_->stats().faults, static_cast<uint64_t>(kPages));
+  EXPECT_LE(metrics::StatValue(*vmm_, "faults"), static_cast<uint64_t>(kPages));
 }
 
 TEST_F(VmmTest, ClusterInsertOverflowingMaxPagesKeepsLruBound) {
@@ -228,10 +229,10 @@ TEST_F(VmmTest, ClusterInsertOverflowingMaxPagesKeepsLruBound) {
         << "page " << p;
     // A cluster insert may momentarily overshoot, but eviction must restore
     // the bound before the fault returns.
-    EXPECT_LE(small->stats().pages_cached, 4u) << "after page " << p;
+    EXPECT_LE(metrics::StatValue(*small, "pages_cached"), 4u)
+        << "after page " << p;
   }
-  VmmStats stats = small->stats();
-  EXPECT_GT(stats.evictions, 0u);
+  EXPECT_GT(metrics::StatValue(*small, "evictions"), 0u);
   // Re-reads after overflow still return exact bytes (LRU didn't corrupt
   // the map when a cluster displaced its own older half).
   Buffer all(static_cast<size_t>(kPages) * kPageSize);
@@ -249,9 +250,9 @@ TEST_F(VmmTest, WriteFaultsNeverCluster) {
   }
   // Sequential *write* faults stay one page each: the writer set must not
   // be widened speculatively.
-  VmmStats stats = vmm_->stats();
-  EXPECT_EQ(stats.faults, 8u);
-  EXPECT_EQ(stats.pages_cached, 8u);
+  std::map<std::string, uint64_t> stats = metrics::CollectFrom(*vmm_);
+  EXPECT_EQ(stats["faults"], 8u);
+  EXPECT_EQ(stats["pages_cached"], 8u);
 }
 
 // --- multi-threaded region access (exercised under the TSan CI job) ---
@@ -343,7 +344,7 @@ TEST_F(VmmTest, FileWriteInvalidatesMappedReader) {
   ASSERT_TRUE(file_->Write(0, v2.span()).ok());
   ASSERT_TRUE(region->Read(0, out.mutable_span()).ok());
   EXPECT_EQ(out.ToString(), "version-2");
-  EXPECT_GT(vmm_->stats().flush_backs, 0u);
+  EXPECT_GT(metrics::StatValue(*vmm_, "flush_backs"), 0u);
 }
 
 TEST_F(VmmTest, FileReadSeesMappedWriterData) {
@@ -357,7 +358,7 @@ TEST_F(VmmTest, FileReadSeesMappedWriterData) {
   Buffer out(12);
   ASSERT_TRUE(file_->Read(0, out.mutable_span()).ok());
   EXPECT_EQ(out.ToString(), "mapped-write");
-  EXPECT_GT(vmm_->stats().deny_writes, 0u);
+  EXPECT_GT(metrics::StatValue(*vmm_, "deny_writes"), 0u);
 }
 
 TEST_F(VmmTest, TwoVmmsStayCoherent) {

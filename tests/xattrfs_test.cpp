@@ -80,7 +80,7 @@ TEST_F(XattrfsTest, AttributesPersistViaShadowFiles) {
   Result<Buffer> got = file->GetXattr("key");
   ASSERT_TRUE(got.ok());
   EXPECT_EQ(got->ToString(), "survives");
-  EXPECT_GE(fresh->stats().shadow_loads, 1u);
+  EXPECT_GE(metrics::StatValue(*fresh, "shadow_loads"), 1u);
 }
 
 TEST_F(XattrfsTest, ShadowFilesHiddenFromListing) {
