@@ -2,7 +2,7 @@
 """Diff a BENCH_*.json run against its checked-in baseline.
 
 Usage: check_bench_regression.py CURRENT... BASELINE
-           [--tolerance 0.25] [--min-delta-us 5.0]
+           [--tolerance 0.25] [--min-delta-us 5.0] [--require SUBSTR]
 
 The last positional argument is the baseline; every preceding one is a
 current run. With several current runs the per-measurement minimum is
@@ -29,6 +29,12 @@ only catches order-of-magnitude blowups; the 25% relative gate bites on
 measurements that dwarf the floor (e.g. seqio's per-page network reads).
 Semantic ratios (pager-call / round-trip reductions) are gated separately
 by bench_seqio's own exit code, not by this timing diff.
+
+--require SUBSTR fails the check (exit 2) unless at least one shared
+measurement key contains SUBSTR. A renamed or silently dropped config
+otherwise just shrinks the shared set and the diff passes vacuously; the
+flag pins configs that must keep being measured (CI requires seqio's
+pipeline/depth sweep this way).
 
 Exit codes: 0 clean, 1 regression found, 2 usage/shape error.
 """
@@ -81,6 +87,11 @@ def main(argv):
     if not shared:
         print(f"error: no shared measurements between {args[:-1]} and "
               f"{args[-1]}", file=sys.stderr)
+        return 2
+    required = flags.get("--require")
+    if required and not any(required in key for key in shared):
+        print(f"error: no shared measurement matches --require "
+              f"'{required}' (configs dropped or renamed?)", file=sys.stderr)
         return 2
 
     ratios = {k: current[k] / baseline[k] for k in shared}

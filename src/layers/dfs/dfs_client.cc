@@ -59,8 +59,18 @@ class RemotePagerObject : public FsPagerObject, public Servant {
         RETURN_IF_ERROR(CheckStale(response.ToStatus()));
         return std::move(response.payload);
       }
-      // A fault cluster: one kPageInRange round trip returns the whole
-      // block list instead of one kPageIn per page.
+      // A fault cluster: on a pipelined mount the range is split into up
+      // to async_depth kPageInRange chunks whose round trips overlap.
+      if (client_->channel_ && client_->options_.async_depth > 1) {
+        Result<Buffer> out =
+            client_->FanoutPageIn(handle_, cache_id, offset, size, access);
+        if (!out.ok()) {
+          return CheckStale(out.status());
+        }
+        return out;
+      }
+      // Sync mount: one kPageInRange round trip returns the whole block
+      // list instead of one kPageIn per page.
       ASSIGN_OR_RETURN(net::Frame response,
                        client_->Call(Op::kPageInRange, request));
       RETURN_IF_ERROR(CheckStale(response.ToStatus()));
@@ -258,17 +268,20 @@ class RemoteFile : public File, public Servant {
   // and forgot the handle) the path is re-resolved and the call retried
   // once. The retry mints a fresh request id for mutating ops — the first
   // attempt definitively did not execute, so this is a new operation, not
-  // a retransmission.
+  // a retransmission. The RetryState is shared across the rebind so the
+  // capped backoff keeps growing and the attempt budget keeps shrinking
+  // on the re-resolved handle instead of resetting to the base value.
   Result<net::Frame> CallFile(Op op, net::Frame request) {
+    RetryState retry;
     request.arg0 = handle_.load();
-    ASSIGN_OR_RETURN(net::Frame response, client_->Call(op, request));
+    ASSIGN_OR_RETURN(net::Frame response, client_->Call(op, request, &retry));
     if (response.ToStatus().code() != ErrorCode::kStale) {
       return response;
     }
     ASSIGN_OR_RETURN(uint64_t fresh, client_->RebindHandle(path_));
     handle_.store(fresh);
     request.arg0 = fresh;
-    return client_->Call(op, request);
+    return client_->Call(op, request, &retry);
   }
 
   sp<DfsClient> client_;
@@ -340,6 +353,12 @@ DfsClient::DfsClient(const sp<net::Node>& node, net::Network* network,
       server_node_(std::move(server_node)), service_(std::move(service)),
       callback_service_(std::move(callback_service)), clock_(clock),
       options_(options) {
+  if (options_.pipelined) {
+    net::ChannelOptions chan = options_.channel;
+    chan.max_inflight = std::max<size_t>(1, options_.async_depth);
+    channel_ = network_->OpenChannel(node_->name(), server_node_, service_,
+                                     chan);
+  }
   metrics::Registry::Global().RegisterProvider(this);
 }
 
@@ -349,22 +368,43 @@ DfsClient::~DfsClient() {
 }
 
 Result<net::Frame> DfsClient::Call(Op op, const net::Frame& request) {
+  RetryState retry;
+  return Call(op, request, &retry);
+}
+
+Result<net::Frame> DfsClient::Transport(const net::Frame& typed,
+                                        uint32_t attempt) {
+  if (channel_) {
+    // Pipelined mount: ride the persistent channel. The channel's own
+    // RACK/RTO machinery retransmits lost frames (byte-identical, so the
+    // server dedup window absorbs duplicates); this logical loop only sees
+    // a failure once the transport gave up.
+    uint64_t tag = channel_->Submit(typed, attempt);
+    ASSIGN_OR_RETURN(net::Completion done, channel_->Wait(tag));
+    RETURN_IF_ERROR(done.status);
+    return std::move(done.response);
+  }
+  return network_->Call(node_->name(), server_node_, service_, typed, attempt);
+}
+
+Result<net::Frame> DfsClient::Call(Op op, const net::Frame& request,
+                                   RetryState* retry) {
   trace::ScopedSpan span("dfs.call");
   net::Frame typed = request;
   typed.type = static_cast<uint32_t>(op);
   // Mutating ops carry a request id so the server's dedup window makes the
   // retransmissions below safe (the same id is re-sent on every attempt).
+  // Each Call invocation mints a fresh id: a caller re-issuing after kStale
+  // is starting a new operation, not retransmitting one.
   if (!IsIdempotent(op)) {
     typed.request_id = NewRequestId();
   }
-  uint32_t attempt = 0;
   for (;;) {
     {
       std::lock_guard<std::mutex> lock(stats_mutex_);
       ++stats_.calls_sent;
     }
-    Result<net::Frame> response =
-        network_->Call(node_->name(), server_node_, service_, typed, attempt);
+    Result<net::Frame> response = Transport(typed, retry->attempt);
     ErrorCode code;
     if (response.ok()) {
       // A kDeadObject *frame* is the dead server's tombstone: the
@@ -372,7 +412,7 @@ Result<net::Frame> DfsClient::Call(Op op, const net::Frame& request) {
       // real response — track the boot epoch it was minted under.
       if (response.value().ToStatus().code() != ErrorCode::kDeadObject) {
         NoteServerEpoch(response.value().epoch);
-        if (attempt > 0) {
+        if (retry->attempt > 0) {
           std::lock_guard<std::mutex> lock(stats_mutex_);
           ++stats_.retry_successes;
         }
@@ -391,26 +431,27 @@ Result<net::Frame> DfsClient::Call(Op op, const net::Frame& request) {
     bool transient = code == ErrorCode::kTimedOut ||
                      code == ErrorCode::kConnectionLost ||
                      code == ErrorCode::kDeadObject;
-    if (!transient || attempt >= options_.max_retries) {
-      if (transient && attempt > 0) {
+    if (!transient || retry->attempt >= options_.max_retries) {
+      if (transient && retry->attempt > 0) {
         {
           std::lock_guard<std::mutex> lock(stats_mutex_);
           ++stats_.retries_exhausted;
         }
         span.Annotate("retries exhausted");
         flight::Record(flight::Severity::kError, "dfs", "retries exhausted",
-                       typed.type, attempt);
+                       typed.type, retry->attempt);
       }
       return response;
     }
-    // Capped exponential backoff, slept on the injected clock.
-    uint64_t backoff = options_.backoff_base_ns;
-    for (uint32_t i = 0; i < attempt && backoff < options_.backoff_max_ns;
-         ++i) {
-      backoff *= 2;
-    }
-    clock_->SleepNs(std::min(backoff, options_.backoff_max_ns));
-    ++attempt;
+    // Capped exponential backoff, slept on the injected clock. The state
+    // lives in `retry` so a caller that re-issues after a kStale rebind
+    // keeps the grown backoff instead of restarting at the base value.
+    uint64_t backoff = retry->next_backoff_ns == 0 ? options_.backoff_base_ns
+                                                   : retry->next_backoff_ns;
+    backoff = std::min(backoff, options_.backoff_max_ns);
+    clock_->SleepNs(backoff);
+    retry->next_backoff_ns = std::min(backoff * 2, options_.backoff_max_ns);
+    ++retry->attempt;
     {
       std::lock_guard<std::mutex> lock(stats_mutex_);
       ++stats_.retries;
@@ -418,12 +459,176 @@ Result<net::Frame> DfsClient::Call(Op op, const net::Frame& request) {
     // The retransmission itself shows up as a "net.retry:" child; note the
     // cause here on the logical call span.
     if (span.active()) {
-      span.Annotate("retry attempt=" + std::to_string(attempt) + " after " +
-                    ErrorCodeName(code));
+      span.Annotate("retry attempt=" + std::to_string(retry->attempt) +
+                    " after " + ErrorCodeName(code));
     }
     flight::Record(flight::Severity::kInfo, "dfs", "retrying call",
-                   typed.type, attempt);
+                   typed.type, retry->attempt);
   }
+}
+
+Result<Buffer> DfsClient::FanoutPageIn(uint64_t handle, uint64_t cache_id,
+                                       Offset offset, Offset size,
+                                       AccessRights access) {
+  trace::ScopedSpan span("dfs.page_in_fanout");
+  size_t pages = static_cast<size_t>((size + kPageSize - 1) / kPageSize);
+  size_t chunks = std::min(options_.async_depth, pages);
+  size_t chunk_pages = (pages + chunks - 1) / chunks;
+  uint64_t chunk_bytes = uint64_t{chunk_pages} * kPageSize;
+  struct Chunk {
+    uint64_t tag;
+    Offset offset;
+  };
+  std::vector<Chunk> inflight;
+  for (Offset at = offset; at < offset + size; at += chunk_bytes) {
+    net::Frame request;
+    request.type = static_cast<uint32_t>(Op::kPageInRange);
+    request.arg0 = handle;
+    request.arg1 = at;
+    request.arg2 = std::min<Offset>(chunk_bytes, offset + size - at);
+    request.arg3 = access == AccessRights::kReadWrite ? 1 : 0;
+    request.payload = CacheIdPayload(cache_id);
+    {
+      std::lock_guard<std::mutex> lock(stats_mutex_);
+      ++stats_.calls_sent;
+    }
+    inflight.push_back({channel_->Submit(request), at});
+  }
+  // Wait for EVERY chunk (leaving one stranded would leak its completion
+  // into a later op's WaitAny), then keep the contiguous prefix from
+  // `offset`. A kStale on any chunk wins over partial data: the binding
+  // this fault runs under is dead, so the pages must not be installed.
+  Buffer out;
+  Status failure = Status::Ok();
+  bool stale = false;
+  bool contiguous = true;
+  for (const Chunk& chunk : inflight) {
+    Result<net::Completion> done = channel_->Wait(chunk.tag);
+    Status st = done.ok() ? done->status : done.status();
+    net::Frame* response = nullptr;
+    if (st.ok()) {
+      response = &done->response;
+      NoteServerEpoch(response->epoch);
+      st = response->ToStatus();
+    }
+    if (!st.ok()) {
+      if (st.code() == ErrorCode::kStale) {
+        stale = true;
+      }
+      if (failure.ok()) {
+        failure = st;
+      }
+      contiguous = false;
+      continue;
+    }
+    if (!contiguous) {
+      continue;  // a hole before this chunk: the tail is unusable
+    }
+    Result<std::vector<BlockData>> blocks =
+        DeserializeBlocks(response->payload.span());
+    if (!blocks.ok()) {
+      if (failure.ok()) {
+        failure = blocks.status();
+      }
+      contiguous = false;
+      continue;
+    }
+    for (const BlockData& block : *blocks) {
+      if (block.offset != offset + out.size()) {
+        contiguous = false;  // hole (EOF clamp): keep the prefix
+        break;
+      }
+      out.append(block.data.span());
+    }
+  }
+  if (stale) {
+    return failure;
+  }
+  if (out.size() == 0) {
+    if (!failure.ok()) {
+      return failure;
+    }
+    return ErrCorrupted("page_in_range returned no usable blocks");
+  }
+  return out;
+}
+
+Result<Buffer> DfsClient::ReadPipelined(const std::string& path, Offset offset,
+                                        Offset size, size_t chunk_bytes) {
+  return InDomain([&]() -> Result<Buffer> {
+    trace::ScopedSpan span("dfs.read_pipelined");
+    if (chunk_bytes == 0) {
+      chunk_bytes = kPageSize;
+    }
+    ASSIGN_OR_RETURN(net::Frame looked_up, CallPath(Op::kLookup, path));
+    RETURN_IF_ERROR(looked_up.ToStatus());
+    uint64_t handle = looked_up.arg0;
+    Buffer out;
+    if (!channel_) {
+      // Sync mount: the same per-chunk frames, one blocking round trip
+      // each — the bench's depth=1 baseline.
+      for (Offset at = offset; at < offset + size; at += chunk_bytes) {
+        net::Frame request;
+        request.arg0 = handle;
+        request.arg1 = at;
+        request.arg2 = std::min<Offset>(chunk_bytes, offset + size - at);
+        ASSIGN_OR_RETURN(net::Frame response, Call(Op::kRead, request));
+        RETURN_IF_ERROR(response.ToStatus());
+        out.append(response.payload.span());
+        if (response.payload.size() < request.arg2) {
+          break;  // short read: EOF
+        }
+      }
+      return out;
+    }
+    // Pipelined mount: submit every chunk; the channel caps the in-flight
+    // window at async_depth and Submit blocks (pumping) when it is full.
+    struct Chunk {
+      uint64_t tag;
+      uint64_t want;
+    };
+    std::vector<Chunk> inflight;
+    for (Offset at = offset; at < offset + size; at += chunk_bytes) {
+      net::Frame request;
+      request.type = static_cast<uint32_t>(Op::kRead);
+      request.arg0 = handle;
+      request.arg1 = at;
+      request.arg2 = std::min<Offset>(chunk_bytes, offset + size - at);
+      {
+        std::lock_guard<std::mutex> lock(stats_mutex_);
+        ++stats_.calls_sent;
+      }
+      inflight.push_back({channel_->Submit(request), request.arg2});
+    }
+    Status failure = Status::Ok();
+    bool contiguous = true;
+    for (const Chunk& chunk : inflight) {
+      Result<net::Completion> done = channel_->Wait(chunk.tag);
+      Status st = done.ok() ? done->status : done.status();
+      if (st.ok()) {
+        NoteServerEpoch(done->response.epoch);
+        st = done->response.ToStatus();
+      }
+      if (!st.ok()) {
+        if (failure.ok()) {
+          failure = st;
+        }
+        contiguous = false;
+        continue;
+      }
+      if (!contiguous) {
+        continue;
+      }
+      out.append(done->response.payload.span());
+      if (done->response.payload.size() < chunk.want) {
+        contiguous = false;  // short read: EOF, drop the tail
+      }
+    }
+    if (out.size() == 0 && !failure.ok()) {
+      return failure;
+    }
+    return out;
+  });
 }
 
 void DfsClient::NoteServerEpoch(uint64_t epoch) {

@@ -32,6 +32,26 @@ struct DfsClientOptions {
   uint32_t max_retries = 4;
   uint64_t backoff_base_ns = 1'000'000;  // first retry waits this long
   uint64_t backoff_max_ns = 50'000'000;  // cap for the exponential growth
+
+  // Pipelined transport (DESIGN.md §12): the mount opens one persistent
+  // async channel to the server and every op rides submit/completion, so
+  // the channel's RACK/RTO machinery recovers lost frames below the
+  // logical retry loop, and a multi-page fault cluster fans out into up
+  // to `async_depth` kPageInRange chunks whose round trips overlap.
+  // `channel` tunes the loss recovery; channel.max_inflight is derived
+  // from async_depth at mount time.
+  bool pipelined = false;
+  size_t async_depth = 8;
+  net::ChannelOptions channel;
+};
+
+// Logical-retry bookkeeping for one client operation. Carried across a
+// kStale handle rebind so the capped exponential backoff keeps growing
+// (and the attempt budget keeps shrinking) instead of restarting from the
+// base value on the re-resolved handle.
+struct RetryState {
+  uint32_t attempt = 0;
+  uint64_t next_backoff_ns = 0;  // 0 = start at backoff_base_ns
 };
 
 class DfsClient : public Context,
@@ -69,6 +89,15 @@ class DfsClient : public Context,
 
   // Creates a file on the server and returns its remote view.
   Result<sp<File>> CreateFile(const Name& name, const Credentials& creds);
+
+  // Bulk sequential read: fetches [offset, offset+size) of `path`'s file
+  // as per-`chunk_bytes` kRead frames. On a pipelined mount up to
+  // async_depth chunks stay in flight at once (the Lustre-direction
+  // precursor: many outstanding requests per channel); a sync mount
+  // degrades to a serial loop. Returns the bytes actually read (short at
+  // EOF or when a chunk's transport gave up).
+  Result<Buffer> ReadPipelined(const std::string& path, Offset offset,
+                               Offset size, size_t chunk_bytes);
 
   // --- StatsProvider ---
   std::string stats_prefix() const override { return "layer/dfs_client"; }
@@ -112,8 +141,20 @@ class DfsClient : public Context,
 
   // One RPC to the server.
   Result<net::Frame> Call(Op op, const net::Frame& request);
+  // Same, with caller-held retry state (RemoteFile threads it across a
+  // kStale rebind so backoff carries over).
+  Result<net::Frame> Call(Op op, const net::Frame& request, RetryState* retry);
   // Convenience: path-carrying call.
   Result<net::Frame> CallPath(Op op, const std::string& path);
+  // One wire round trip (no logical retry): the mount channel when
+  // pipelined, Network::Call otherwise.
+  Result<net::Frame> Transport(const net::Frame& typed, uint32_t attempt);
+  // Pipelined fan-out for a multi-page fault cluster: splits the range
+  // into up to async_depth kPageInRange chunks, keeps them all in flight,
+  // and reassembles the contiguous prefix from `offset`.
+  Result<Buffer> FanoutPageIn(uint64_t handle, uint64_t cache_id,
+                              Offset offset, Offset size,
+                              AccessRights access);
 
   // Server->client callbacks.
   net::Frame HandleCallback(const net::Frame& request);
@@ -146,6 +187,8 @@ class DfsClient : public Context,
   std::string callback_service_;
   Clock* clock_;
   DfsClientOptions options_;
+  // The mount's persistent async channel (null on a sync mount).
+  sp<net::Channel> channel_;
 
   std::atomic<uint64_t> server_epoch_{0};
 

@@ -6,8 +6,8 @@
 namespace springfs::net {
 namespace {
 
-// type, args, status, request_id, epoch, trace_id, parent_span_id, len
-constexpr size_t kHeaderSize = 4 + 4 * 8 + 4 + 8 + 8 + 8 + 8 + 8;
+// type, args, status, request_id, epoch, trace_id, parent_span_id, tag, len
+constexpr size_t kHeaderSize = 4 + 4 * 8 + 4 + 8 + 8 + 8 + 8 + 8 + 8;
 
 void PutU32(uint8_t* p, uint32_t v) {
   for (int i = 0; i < 4; ++i) {
@@ -49,7 +49,8 @@ Buffer Frame::Serialize() const {
   PutU64(p + 48, epoch);
   PutU64(p + 56, trace_id);
   PutU64(p + 64, parent_span_id);
-  PutU64(p + 72, payload.size());
+  PutU64(p + 72, tag);
+  PutU64(p + 80, payload.size());
   wire.WriteAt(kHeaderSize, payload.span());
   return wire;
 }
@@ -70,7 +71,8 @@ Result<Frame> Frame::Deserialize(ByteSpan wire) {
   frame.epoch = GetU64(p + 48);
   frame.trace_id = GetU64(p + 56);
   frame.parent_span_id = GetU64(p + 64);
-  uint64_t payload_len = GetU64(p + 72);
+  frame.tag = GetU64(p + 72);
+  uint64_t payload_len = GetU64(p + 80);
   if (wire.size() != kHeaderSize + payload_len) {
     return ErrCorrupted("frame payload length mismatch");
   }
@@ -82,6 +84,14 @@ Frame Frame::Error(ErrorCode code) {
   Frame frame;
   frame.status = static_cast<int32_t>(code);
   return frame;
+}
+
+void StampTraceContext(Buffer& wire, const trace::TraceContext& ctx) {
+  // Offsets fixed by Frame::Serialize. Patching the serialized header
+  // (rather than copying the Frame) keeps the hot path to the single
+  // Serialize allocation.
+  PutU64(wire.data() + 56, ctx.trace_id);
+  PutU64(wire.data() + 64, ctx.parent_span_id);
 }
 
 void Node::RegisterService(const std::string& service, Handler handler) {
@@ -157,6 +167,26 @@ void Network::DropNextResponses(const std::string& from, const std::string& to,
   }
 }
 
+void Network::DropNextRequests(const std::string& from, const std::string& to,
+                               uint64_t n) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (n == 0) {
+    drop_requests_.erase({from, to});
+  } else {
+    drop_requests_[{from, to}] = n;
+  }
+}
+
+void Network::DelayNextRequests(const std::string& from, const std::string& to,
+                                uint64_t n, uint64_t delay_ns) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (n == 0) {
+    delay_requests_.erase({from, to});
+  } else {
+    delay_requests_[{from, to}] = {n, delay_ns};
+  }
+}
+
 void Network::ArmFaults(const FaultPlan& plan) {
   std::lock_guard<std::mutex> lock(mutex_);
   global_faults_.emplace(plan);
@@ -211,6 +241,14 @@ uint64_t Network::LatencyBetween(const std::string& from,
   return it != latency_.end() ? it->second : default_latency_ns_;
 }
 
+sp<Channel> Network::OpenChannel(const std::string& from,
+                                 const std::string& to,
+                                 const std::string& service,
+                                 const ChannelOptions& options) {
+  return sp<Channel>(new Channel(this, from, to, service, options,
+                                 /*sync_compat=*/false));
+}
+
 Result<Frame> Network::Call(const std::string& from, const std::string& to,
                             const std::string& service, const Frame& request,
                             uint32_t attempt) {
@@ -225,131 +263,18 @@ Result<Frame> Network::Call(const std::string& from, const std::string& to,
     }
     span.SetDetail(std::move(detail));
   }
-  sp<Node> dest;
-  Node::Handler handler;
-  FaultDecision faults;
-  {
-    std::lock_guard<std::mutex> lock(mutex_);
-    FailBudget* budget = nullptr;
-    auto link_it = link_fail_.find({from, to});
-    if (link_it != link_fail_.end() && link_it->second.calls > 0) {
-      budget = &link_it->second;
-    } else if (global_fail_.calls > 0) {
-      budget = &global_fail_;
-    }
-    if (budget != nullptr) {
-      --budget->calls;
-      ++stats_.injected_failures;
-      span.Annotate("fault:injected_failure");
-      flight::Record(flight::Severity::kWarn, "net", "injected failure",
-                     static_cast<uint64_t>(budget->code), attempt);
-      return Status(budget->code,
-                    "injected transient fault '" + from + "' -> '" + to + "'");
-    }
-    auto part_from = partitioned_.find(from);
-    auto part_to = partitioned_.find(to);
-    if ((part_from != partitioned_.end() && part_from->second) ||
-        (part_to != partitioned_.end() && part_to->second)) {
-      return ErrConnectionLost("'" + from + "' -> '" + to + "' partitioned");
-    }
-    auto node_it = nodes_.find(to);
-    if (node_it == nodes_.end()) {
-      return ErrNotFound("no node '" + to + "'");
-    }
-    dest = node_it->second;
-    if (faults_armed_.load(std::memory_order_relaxed)) {
-      faults = DecideFaults(from, to);
-    }
-    auto drop_it = drop_responses_.find({from, to});
-    if (drop_it != drop_responses_.end() && drop_it->second > 0) {
-      --drop_it->second;
-      faults.drop_response = true;
-    }
-  }
-  // The FaultPlan's verdict is part of the causal story: surface it on the
-  // span and in the flight recorder instead of leaving it a side effect.
-  if (faults.drop_request || faults.drop_response || faults.dup_request ||
-      faults.extra_delay_ns != 0) {
-    if (span.active()) {
-      std::string note = "fault:";
-      if (faults.drop_request) note += " drop_request";
-      if (faults.drop_response) note += " drop_response";
-      if (faults.dup_request) note += " dup_request";
-      if (faults.extra_delay_ns != 0) {
-        note += " delay=" + std::to_string(faults.extra_delay_ns) + "ns";
-      }
-      span.Annotate(std::move(note));
-    }
-    flight::Record(flight::Severity::kWarn, "net",
-                   faults.drop_request    ? "fault: drop_request"
-                   : faults.drop_response ? "fault: drop_response"
-                   : faults.dup_request   ? "fault: dup_request"
-                                          : "fault: delay",
-                   faults.extra_delay_ns, attempt);
-  }
-  {
-    std::lock_guard<std::mutex> lock(dest->mutex_);
-    auto svc_it = dest->services_.find(service);
-    if (svc_it == dest->services_.end()) {
-      return ErrNotFound("node '" + to + "' has no service '" + service + "'");
-    }
-    handler = svc_it->second;
-  }
-
-  // Serialize, charge the forward hop, deliver on the destination domain.
-  // The caller's trace context is stamped into the header bytes on the way
-  // out: the remote handler span adopts it, stitching one tree across the
-  // wire. Patching the serialized header (rather than copying the Frame)
-  // keeps the hot path to the single Serialize allocation.
-  Buffer request_wire = request.Serialize();
-  trace::TraceContext trace_context = trace::CurrentContext();
-  if (trace_context.active()) {
-    PutU64(request_wire.data() + 56, trace_context.trace_id);
-    PutU64(request_wire.data() + 64, trace_context.parent_span_id);
-  }
-  {
-    std::lock_guard<std::mutex> lock(mutex_);
-    ++stats_.calls;
-    ++stats_.messages;
-    stats_.bytes += request_wire.size();
-    if (faults.extra_delay_ns != 0) {
-      ++stats_.delayed_messages;
-    }
-  }
-  clock_->SleepNs(LatencyBetween(from, to) + faults.extra_delay_ns);
-  if (faults.drop_request) {
-    std::lock_guard<std::mutex> lock(mutex_);
-    ++stats_.dropped_requests;
-    return ErrTimedOut("chaos: request dropped '" + from + "' -> '" + to +
-                       "'");
-  }
-  ASSIGN_OR_RETURN(Frame delivered, Frame::Deserialize(request_wire.span()));
-  Frame response = dest->domain()->Run([&] { return handler(delivered); });
-  if (faults.dup_request) {
-    // A retransmitted frame whose first copy also arrived: the handler runs
-    // again with identical bytes and the duplicate's response is discarded.
-    {
-      std::lock_guard<std::mutex> lock(mutex_);
-      ++stats_.duplicated_requests;
-    }
-    (void)dest->domain()->Run([&] { return handler(delivered); });
-  }
-
-  // Return hop.
-  Buffer response_wire = response.Serialize();
-  {
-    std::lock_guard<std::mutex> lock(mutex_);
-    ++stats_.messages;
-    stats_.bytes += response_wire.size();
-  }
-  clock_->SleepNs(LatencyBetween(to, from));
-  if (faults.drop_response) {
-    std::lock_guard<std::mutex> lock(mutex_);
-    ++stats_.dropped_responses;
-    return ErrTimedOut("chaos: response dropped '" + to + "' -> '" + from +
-                       "'");
-  }
-  return Frame::Deserialize(response_wire.span());
+  // A single-use channel in sync-compat mode: one outstanding frame, no
+  // internal retransmission (retry policy stays with the caller), and the
+  // legacy deterministic fault timing.
+  ChannelOptions compat;
+  compat.max_inflight = 1;
+  compat.pace_gap_ns = 0;
+  compat.max_retransmits = 0;
+  Channel channel(this, from, to, service, compat, /*sync_compat=*/true);
+  uint64_t tag = channel.Submit(request, attempt);
+  ASSIGN_OR_RETURN(Completion done, channel.Wait(tag));
+  RETURN_IF_ERROR(done.status);
+  return std::move(done.response);
 }
 
 void Network::CollectStats(const metrics::StatsEmitter& emit) const {
@@ -362,6 +287,8 @@ void Network::CollectStats(const metrics::StatsEmitter& emit) const {
   emit("duplicated_requests", stats_.duplicated_requests);
   emit("delayed_messages", stats_.delayed_messages);
   emit("injected_failures", stats_.injected_failures);
+  emit("rack_retransmits", stats_.rack_retransmits);
+  emit("rto_retransmits", stats_.rto_retransmits);
 }
 
 void Network::ResetStats() {

@@ -3,23 +3,36 @@
 //
 // The paper's DFS exports files "to other machines in a coherent fashion
 // through some existing protocol (e.g., AFS)". We have no machines, so this
-// module provides the synthetic equivalent: named nodes, synchronous
-// request/response message delivery with per-link latency, explicit
-// byte-serialized frames (a real wire format, so protocol handling code is
-// genuine), and message/byte accounting. A node is an address space world:
-// it owns a Domain (its servants run there) and typically a VMM.
+// module provides the synthetic equivalent: named nodes, request/response
+// message delivery with per-link latency, explicit byte-serialized frames
+// (a real wire format, so protocol handling code is genuine), and
+// message/byte accounting. A node is an address space world: it owns a
+// Domain (its servants run there) and typically a VMM.
+//
+// Delivery is built around an async submission/completion model
+// (DESIGN.md §12): a Channel carries multiple outstanding tagged requests,
+// a client-side pacer bounds the burst rate, and loss recovery is
+// reordering-tolerant in the spirit of FreeBSD's RACK (a frame is declared
+// lost as soon as later-sent frames complete, with a capped-backoff
+// retransmission timer as the last resort). The synchronous Network::Call
+// is a thin submit+wait wrapper over a single-use channel, so layers that
+// want one blocking round trip are unchanged.
 
 #ifndef SPRINGFS_NET_NETWORK_H_
 #define SPRINGFS_NET_NETWORK_H_
 
 #include <atomic>
+#include <condition_variable>
+#include <deque>
 #include <functional>
 #include <map>
 #include <optional>
 #include <string>
+#include <thread>
 
 #include "src/obj/domain.h"
 #include "src/obs/metrics.h"
+#include "src/obs/trace.h"
 #include "src/support/bytes.h"
 #include "src/support/clock.h"
 #include "src/support/result.h"
@@ -28,8 +41,8 @@
 namespace springfs::net {
 
 // One protocol frame. Fixed header (type + four u64 arguments + status +
-// request id + boot epoch + trace context) and a variable payload;
-// everything crosses the "wire" serialized.
+// request id + boot epoch + trace context + channel tag) and a variable
+// payload; everything crosses the "wire" serialized.
 //
 // `request_id` is a client-generated identity for mutating requests: a
 // server that keeps a dedup window can recognise a retransmission and
@@ -38,9 +51,16 @@ namespace springfs::net {
 // can detect a restart (see DfsServer).
 //
 // `trace_id`/`parent_span_id` carry the caller's trace::TraceContext:
-// Network::Call stamps them into every outbound request (zeroes when the
+// the transport stamps them into every outbound request (zeroes when the
 // caller is not tracing) and the serving side adopts them onto its handler
 // span, so one logical operation is one trace tree across the wire.
+//
+// `tag` is the channel-level submission identity: the transport stamps it
+// on requests at transmit time and echoes it onto the matching response,
+// so a channel with many outstanding frames can pair completions with
+// submissions. Retransmissions of one submission reuse the tag (and thus
+// identical wire bytes), which is what lets a server's request-id dedup
+// window absorb reordered duplicates.
 struct Frame {
   uint32_t type = 0;
   uint64_t arg0 = 0;
@@ -52,6 +72,7 @@ struct Frame {
   uint64_t epoch = 0;       // 0 = sender has no boot epoch
   uint64_t trace_id = 0;        // 0 = caller not tracing
   uint64_t parent_span_id = 0;  // caller span the remote work hangs under
+  uint64_t tag = 0;             // channel submission id (transport-stamped)
   Buffer payload;
 
   Buffer Serialize() const;
@@ -66,15 +87,21 @@ struct Frame {
   }
 };
 
+// Patches the trace-context words of a serialized frame in place (offsets
+// fixed by Frame::Serialize); used when stamping a submission's captured
+// context onto each transmitted copy.
+void StampTraceContext(Buffer& wire, const trace::TraceContext& ctx);
+
 // Seeded message-loss plan, the network analogue of blockdev::CrashPlan.
-// Armed globally or per ordered link; every Call() draws from a
+// Armed globally or per ordered link; every transmission draws from a
 // deterministic seeded stream, so a failing chaos schedule replays exactly
 // from its seed. Percentages are 0..100.
 //
 // Semantics (chosen to expose the interesting distributed bugs):
-//  - drop_request:  the handler never runs; the caller sees kTimedOut.
-//  - drop_response: the handler RAN (side effects applied!) but the caller
-//    still sees kTimedOut — the case that makes blind retry of mutating
+//  - drop_request:  the handler never runs; a synchronous caller sees
+//    kTimedOut, a pipelined channel recovers by retransmission.
+//  - drop_response: the handler RAN (side effects applied!) but the
+//    response vanishes — the case that makes blind retry of mutating
 //    ops unsafe without request-id dedup.
 //  - dup_request:   the handler runs twice back to back (a retransmitted
 //    frame both copies of which arrive); the duplicate's response is
@@ -111,6 +138,7 @@ class Node {
 
  private:
   friend class Network;
+  friend class Channel;
 
   Node(std::string name, sp<Domain> domain) : name_(std::move(name)),
                                               domain_(std::move(domain)) {}
@@ -119,6 +147,162 @@ class Node {
   sp<Domain> domain_;
   std::mutex mutex_;
   std::map<std::string, Handler> services_;
+};
+
+// Tunables for an async channel (DESIGN.md §12).
+struct ChannelOptions {
+  // Submission window: Submit() blocks (pumping completions) while this
+  // many frames are outstanding.
+  size_t max_inflight = 16;
+
+  // Client-side pacer: once `pace_burst` back-to-back sends have used up
+  // the burst allowance, further sends are spaced `pace_gap_ns` apart.
+  // 0 = unpaced.
+  uint64_t pace_gap_ns = 0;
+  size_t pace_burst = 4;
+
+  // RACK-style loss declaration: a pending frame is declared lost (and
+  // retransmitted immediately) when a later-sent frame completes and the
+  // pending frame has been in flight at least this reordering window.
+  uint64_t rack_reorder_ns = 100'000;
+
+  // Last-resort retransmission timer: capped exponential backoff starting
+  // at rto_ns. After max_retransmits the frame completes with kTimedOut.
+  uint64_t rto_ns = 1'000'000;
+  uint64_t rto_max_ns = 50'000'000;
+  uint32_t max_retransmits = 4;
+};
+
+// One finished submission, as returned by Channel::Wait/WaitAny.
+struct Completion {
+  uint64_t tag = 0;
+  Status status = Status::Ok();  // transport verdict; response valid if ok
+  Frame response;
+  uint32_t retransmits = 0;      // wire copies spent beyond the first
+  bool rack_recovered = false;   // a retransmission was RACK-triggered
+  TimeNs first_send_ns = 0;      // when the first copy hit the wire
+  TimeNs last_send_ns = 0;       // when the latest copy hit the wire
+};
+
+// An async RPC channel: one ordered (from, to, service) flow carrying up
+// to max_inflight tagged requests at once. Submit() places a frame on the
+// wire (through the pacer) and returns its tag; Wait()/WaitAny() drive the
+// channel's virtual-time event loop until a completion is available.
+//
+// Time model: every transmission schedules arrival/response/timer events
+// at absolute times computed from link latency and fault verdicts; whoever
+// waits pops the earliest event, advances the clock to it, and runs its
+// handler. N outstanding requests therefore overlap their round trips —
+// the wall/virtual cost is one RTT plus recovery, not N RTTs.
+//
+// Thread-safe; re-entrant from handlers (a server handler that calls back
+// into the same channel pumps it recursively).
+class Channel {
+ public:
+  // Per-channel accounting, exposed for tests.
+  struct Stats {
+    uint64_t submitted = 0;
+    uint64_t completed = 0;
+    uint64_t rack_retransmits = 0;  // losses declared by later completions
+    uint64_t rto_retransmits = 0;   // losses declared by the timer
+    uint64_t exhausted = 0;         // completions that gave up (kTimedOut)
+    uint64_t paced_sends = 0;       // sends the pacer pushed later
+    uint64_t duplicate_responses = 0;  // responses for completed tags
+  };
+
+  // Submits one request; returns its tag. Blocks (pumping the channel)
+  // while the window is full. `attempt` is the caller's *logical*
+  // retransmission count, used only for the net.call:/net.retry: span
+  // prefix; channel-internal retransmissions always record net.retry:.
+  uint64_t Submit(const Frame& request, uint32_t attempt = 0);
+
+  // Waits for a specific tag / the earliest unclaimed completion.
+  Result<Completion> Wait(uint64_t tag);
+  Result<Completion> WaitAny();
+
+  size_t in_flight() const;
+  Stats stats() const;
+
+ private:
+  friend class Network;
+
+  // A tag-table entry: one submission, possibly multiple transmissions.
+  struct Pending {
+    Frame request;
+    uint32_t attempt_hint = 0;
+    trace::TraceContext trace_ctx;  // captured at Submit; identical on
+                                    // every retransmitted copy
+    uint64_t latest_xmit = 0;       // transmission seq of the newest copy
+    TimeNs first_send_ns = 0;
+    TimeNs last_send_ns = 0;
+    uint32_t retransmits = 0;
+    uint64_t cur_rto_ns = 0;
+    bool rack_recovered = false;
+  };
+
+  // A scheduled point on the channel's virtual timeline.
+  struct Event {
+    enum class Kind {
+      kArrive,   // request reaches the destination: run the handler
+      kRespond,  // response reaches the caller: complete the tag
+      kRto,      // retransmission timer for one transmission
+      kFail,     // sync-compat deterministic failure (dropped frame)
+    };
+    Kind kind = Kind::kArrive;
+    uint64_t tag = 0;
+    uint64_t xmit = 0;      // which transmission this event belongs to
+    Buffer wire;            // kArrive: request bytes; kRespond: response
+    bool dup = false;       // kArrive: duplicated copy, response discarded
+    bool drop_response = false;  // kArrive: response vanishes after handler
+    Node::Handler handler;  // sync-compat: resolved at submit time
+    Status fail = Status::Ok();  // kFail: the completion's error
+  };
+
+  Channel(Network* network, std::string from, std::string to,
+          std::string service, const ChannelOptions& options,
+          bool sync_compat);
+
+  // Pops the earliest event, advances the clock to it, and processes it
+  // (or waits for the thread currently doing so). `lock` holds mu_.
+  void PumpOne(std::unique_lock<std::mutex>& lock);
+  void ProcessEvent(Event event);
+  void ProcessArrive(Event& event);
+  void ProcessRespond(Event& event);
+
+  // Places (or re-places) pending_[tag] on the wire: draws fault verdicts,
+  // accounts the message, and schedules its events. Requires mu_.
+  void TransmitLocked(uint64_t tag);
+  void RetransmitLocked(uint64_t tag, bool rack);
+  // Earliest pacer-conforming send time >= now. Requires mu_.
+  TimeNs PaceLocked(TimeNs now);
+  void ScheduleLocked(TimeNs at, Event event);
+  // Moves pending_[tag] to the completion queue. Requires mu_.
+  void CompleteLocked(uint64_t tag, Result<Frame> response);
+  Completion TakeCompletionLocked(std::map<uint64_t, Completion>::iterator it);
+
+  Network* network_;
+  std::string from_, to_, service_;
+  ChannelOptions options_;
+  // Sync-compat channels (Network::Call) reproduce the legacy blocking
+  // semantics exactly: faults resolve at submit time, dropped frames
+  // surface as kTimedOut at the deterministic legacy times, and there is
+  // no internal retransmission.
+  bool sync_compat_;
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  bool pumping_ = false;
+  std::thread::id pump_owner_;
+
+  uint64_t next_tag_ = 0;
+  uint64_t next_xmit_ = 0;
+  uint64_t next_event_seq_ = 0;
+  TimeNs pace_tat_ = 0;  // pacer's theoretical-arrival-time (GCRA)
+  std::map<uint64_t, Pending> pending_;                  // tag table
+  std::map<std::pair<TimeNs, uint64_t>, Event> events_;  // (time, seq)
+  std::map<uint64_t, Completion> done_;
+  std::deque<uint64_t> done_order_;
+  Stats stats_;
 };
 
 class Network : public metrics::StatsProvider {
@@ -139,7 +323,7 @@ class Network : public metrics::StatsProvider {
   // kConnectionLost) — for failure-injection tests.
   void SetPartitioned(const std::string& node, bool partitioned);
 
-  // Fails the next `calls` Call() invocations (any endpoints) with `code`
+  // Fails the next `calls` transmissions (any endpoints) with `code`
   // before they reach the destination — deterministic transient-fault
   // injection for retry tests. All bookkeeping lives under the network
   // mutex, so concurrent senders each consume exactly one budgeted failure.
@@ -152,11 +336,22 @@ class Network : public metrics::StatsProvider {
                            ErrorCode code = ErrorCode::kTimedOut);
 
   // Drops the next `n` *responses* on the ordered link `from` -> `to`: the
-  // handler runs (server-side effects apply) but the caller sees kTimedOut.
-  // Deterministic counterpart of FaultPlan::drop_response_pct, for
-  // exactly-once dedup tests.
+  // handler runs (server-side effects apply) but the response never makes
+  // it back. Deterministic counterpart of FaultPlan::drop_response_pct,
+  // for exactly-once dedup tests.
   void DropNextResponses(const std::string& from, const std::string& to,
                          uint64_t n);
+
+  // Drops the next `n` requests on the ordered link: the handler never
+  // runs. Deterministic counterpart of FaultPlan::drop_request_pct, for
+  // loss-recovery tests.
+  void DropNextRequests(const std::string& from, const std::string& to,
+                        uint64_t n);
+
+  // Delays the next `n` requests on the ordered link by `delay_ns` on top
+  // of the link latency — deterministic reordering for RACK/dedup tests.
+  void DelayNextRequests(const std::string& from, const std::string& to,
+                         uint64_t n, uint64_t delay_ns);
 
   // Arms the seeded fault plan for every link / one ordered link. Per-link
   // plans override the global one. The armed check is a single relaxed
@@ -166,10 +361,16 @@ class Network : public metrics::StatsProvider {
                        const FaultPlan& plan);
   void DisarmFaults();
 
-  // Synchronous RPC: serializes `request` (stamping the caller's trace
-  // context into the header), charges one-way latency, runs the service
-  // handler inside the destination node's domain, charges the return
-  // latency, and deserializes the response.
+  // Opens a persistent async channel (see Channel above).
+  sp<Channel> OpenChannel(const std::string& from, const std::string& to,
+                          const std::string& service,
+                          const ChannelOptions& options = {});
+
+  // Synchronous RPC: a thin submit+wait wrapper over a single-use channel.
+  // Serializes `request` (stamping the caller's trace context into the
+  // header), charges one-way latency, runs the service handler inside the
+  // destination node's domain, charges the return latency, and
+  // deserializes the response.
   //
   // `attempt` is the caller's retransmission count for this logical call:
   // attempt 0 records a "net.call:<service>" span, retransmissions record
@@ -188,6 +389,8 @@ class Network : public metrics::StatsProvider {
   void ResetStats();
 
  private:
+  friend class Channel;
+
   using LinkKey = std::pair<std::string, std::string>;
 
   struct FailBudget {
@@ -195,9 +398,14 @@ class Network : public metrics::StatsProvider {
     ErrorCode code = ErrorCode::kTimedOut;
   };
 
+  struct DelayBudget {
+    uint64_t n = 0;
+    uint64_t delay_ns = 0;
+  };
+
   // Wire/fault accounting, guarded by mutex_; published via CollectStats.
   struct Stats {
-    uint64_t calls = 0;  // round trips (each costs two messages on the wire)
+    uint64_t calls = 0;  // transmissions (each costs two wire messages)
     uint64_t messages = 0;
     uint64_t bytes = 0;
     // Fault-injection accounting (always 0 with faults disarmed).
@@ -206,6 +414,9 @@ class Network : public metrics::StatsProvider {
     uint64_t duplicated_requests = 0;
     uint64_t delayed_messages = 0;
     uint64_t injected_failures = 0;  // FailNextCalls / FailNextCallsOnLink
+    // Loss-recovery accounting across every channel.
+    uint64_t rack_retransmits = 0;
+    uint64_t rto_retransmits = 0;
   };
 
   // A FaultPlan plus its private deterministic stream.
@@ -216,7 +427,8 @@ class Network : public metrics::StatsProvider {
     explicit ArmedFaults(const FaultPlan& p) : plan(p), rng(p.seed) {}
   };
 
-  // Per-call fault verdict, drawn under mutex_ and applied lock-free.
+  // Per-transmission fault verdict, drawn under mutex_ and applied
+  // lock-free.
   struct FaultDecision {
     bool drop_request = false;
     bool drop_response = false;
@@ -239,6 +451,8 @@ class Network : public metrics::StatsProvider {
   FailBudget global_fail_;
   std::map<LinkKey, FailBudget> link_fail_;
   std::map<LinkKey, uint64_t> drop_responses_;
+  std::map<LinkKey, uint64_t> drop_requests_;
+  std::map<LinkKey, DelayBudget> delay_requests_;
   std::atomic<bool> faults_armed_{false};
   std::optional<ArmedFaults> global_faults_;
   std::map<LinkKey, ArmedFaults> link_faults_;

@@ -80,7 +80,7 @@ struct ChaosWorld {
   sp<Vmm> vmms[kClients];
   sp<File> files[kClients];
 
-  explicit ChaosWorld(uint64_t lease_ns = 10'000'000) {
+  explicit ChaosWorld(uint64_t lease_ns = 10'000'000, bool pipelined = false) {
     network = std::make_unique<net::Network>(&clock, 1000);
     server_node = network->AddNode("server");
     verifier_node = network->AddNode("verifier");
@@ -95,9 +95,21 @@ struct ChaosWorld {
                                 &clock, options);
     sp<File> seeded = *sfs.root->CreateFile(*Name::Parse("chaos"), sys);
     EXPECT_TRUE(seeded->SetLength(kPages * kPageSize).ok());
+    // Pipelined worlds mount the clients over the async channel, tuned for
+    // this fabric (1µs links, 50µs injected delays): the 100µs RTO beats
+    // nothing that merely crawled, but recovers drops long before the sync
+    // path's logical backoff would.
+    dfs::DfsClientOptions client_options;
+    if (pipelined) {
+      client_options.pipelined = true;
+      client_options.async_depth = 4;
+      client_options.channel.rto_ns = 100'000;
+      client_options.channel.rack_reorder_ns = 10'000;
+      client_options.channel.max_retransmits = 3;
+    }
     for (int i = 0; i < kClients; ++i) {
       clients[i] = *DfsClient::Mount(client_nodes[i], network.get(), "server",
-                                     "dfs", &clock);
+                                     "dfs", &clock, client_options);
       vmms[i] = Vmm::Create(client_nodes[i]->domain(),
                             "vmm" + std::to_string(i));
       files[i] = *ResolveAs<File>(clients[i], "chaos", sys);
@@ -137,12 +149,13 @@ struct PageModel {
   }
 };
 
-void RunChaosSeed(uint64_t seed) {
+void RunChaosSeed(uint64_t seed, bool pipelined = false) {
   // Per-seed black box: the flight recorder holds only this schedule's
   // events, so a failure dump reads as the seed's own story.
   flight::Clear();
-  SCOPED_TRACE("seed=" + std::to_string(seed));
-  ChaosWorld world;
+  SCOPED_TRACE("seed=" + std::to_string(seed) +
+               (pipelined ? " (pipelined)" : ""));
+  ChaosWorld world(10'000'000, pipelined);
   Rng rng(seed);
   PageModel model[kPages];
   sp<MappedRegion> regions[kClients];
@@ -333,11 +346,13 @@ void DumpFlightOnFailure(uint64_t seed, bool* dumped) {
   flight::DumpToFile("flight_dump_chaos.txt", header);
 }
 
-// 4 shards x 55 seeds = 220 schedules.
-void RunChaosShard(uint64_t first_seed) {
+// 4 shards x 55 seeds = 220 schedules, each run twice: once over the
+// synchronous transport and once pipelined (same seeds, so the two sweeps
+// face the same schedules).
+void RunChaosShard(uint64_t first_seed, bool pipelined = false) {
   bool dumped = false;
   for (uint64_t seed = first_seed; seed < first_seed + 55; ++seed) {
-    RunChaosSeed(seed);
+    RunChaosSeed(seed, pipelined);
     DumpFlightOnFailure(seed, &dumped);
     if (::testing::Test::HasFatalFailure()) {
       return;
@@ -349,6 +364,57 @@ TEST(ChaosDfs, SeededSchedulesShard0) { RunChaosShard(1000); }
 TEST(ChaosDfs, SeededSchedulesShard1) { RunChaosShard(2000); }
 TEST(ChaosDfs, SeededSchedulesShard2) { RunChaosShard(3000); }
 TEST(ChaosDfs, SeededSchedulesShard3) { RunChaosShard(4000); }
+
+TEST(ChaosDfs, PipelinedSeededSchedulesShard0) { RunChaosShard(1000, true); }
+TEST(ChaosDfs, PipelinedSeededSchedulesShard1) { RunChaosShard(2000, true); }
+TEST(ChaosDfs, PipelinedSeededSchedulesShard2) { RunChaosShard(3000, true); }
+TEST(ChaosDfs, PipelinedSeededSchedulesShard3) { RunChaosShard(4000, true); }
+
+// On a delay-heavy plan the pipelined transport must converge in strictly
+// fewer virtual-clock ticks than the synchronous one: a crawling request
+// pins a synchronous caller for the whole injected delay, while the
+// channel's RTO copy races past it.
+struct DelayHeavyRun {
+  uint64_t ticks = 0;
+  uint64_t recoveries = 0;  // rack + rto retransmits spent
+};
+
+DelayHeavyRun MeasureDelayHeavyRun(bool pipelined) {
+  DelayHeavyRun run;
+  ChaosWorld world(10'000'000, pipelined);
+  net::FaultPlan plan;
+  plan.seed = 3;
+  plan.delay_pct = 60;
+  plan.delay_ns = 500'000;
+  world.network->ArmFaultsOnLink("client0", "server", plan);
+  TimeNs before = world.clock.Now();
+  for (uint64_t i = 1; i <= 12; ++i) {
+    Buffer tag = TagBuffer(i);
+    Result<size_t> wrote = world.files[0]->Write(0, tag.span());
+    EXPECT_TRUE(wrote.ok()) << wrote.status().ToString();
+    Result<uint64_t> back = ReadTag(world.files[0], 0);
+    EXPECT_TRUE(back.ok()) << back.status().ToString();
+    if (back.ok()) {
+      EXPECT_EQ(*back, i);
+    }
+  }
+  run.ticks = world.clock.Now() - before;
+  run.recoveries = metrics::StatValue(*world.network, "rack_retransmits") +
+                   metrics::StatValue(*world.network, "rto_retransmits");
+  world.network->DisarmFaults();
+  return run;
+}
+
+TEST(ChaosDfs, PipelinedConvergesInFewerTicksThanSyncUnderDelay) {
+  DelayHeavyRun sync = MeasureDelayHeavyRun(false);
+  DelayHeavyRun piped = MeasureDelayHeavyRun(true);
+  EXPECT_LT(piped.ticks, sync.ticks)
+      << "pipelined recovery must beat synchronous waiting on delay-heavy "
+         "plans";
+  EXPECT_EQ(sync.recoveries, 0u) << "sync transport never retransmits";
+  EXPECT_GT(piped.recoveries, 0u)
+      << "the speedup should come from RTO/RACK copies racing the delays";
+}
 
 // The chaos machinery must have teeth: across a handful of schedules the
 // interesting failure paths actually fire (otherwise the harness is

@@ -357,6 +357,104 @@ TEST_F(DfsTest, LostWriteResponseDoesNotDoubleApply) {
   EXPECT_EQ(out.ToString(), "BBBB");
 }
 
+TEST_F(DfsTest, ReorderedDuplicateOfMutatingOpAppliesExactlyOnce) {
+  // Pipelined transport, pathological reordering: the original copy of a
+  // kWrite is delayed so long that the channel's RTO retransmits it, the
+  // *retransmission* executes first, and the original limps in much later
+  // — after another client has overwritten the bytes. The server's dedup
+  // window must replay, not re-execute, or the stale write resurfaces.
+  sp<File> created = *sfs_.root->CreateFile(*Name::Parse("reorder"), sys_);
+  (void)created;
+  dfs::DfsClientOptions options;
+  options.pipelined = true;
+  options.async_depth = 4;
+  options.channel.rto_ns = 100'000;
+  options.channel.max_retransmits = 3;
+  sp<DfsClient> piped = *DfsClient::Mount(client2_node_, network_.get(),
+                                          "server", "dfs", &clock_, options);
+  sp<File> remote = *ResolveAs<File>(piped, "reorder", sys_);
+
+  uint64_t dedup_before = metrics::StatValue(*server_, "dedup_hits");
+  // The next request on the link crawls: 10ms against a 100µs RTO.
+  network_->DelayNextRequests("client2", "server", 1, 10'000'000);
+  Buffer stale_bytes(std::string("AAAA"));
+  ASSERT_TRUE(remote->Write(0, stale_bytes.span()).ok());
+  // The write completed via the retransmitted copy; the delayed original
+  // is still on the wire. Another client overwrites meanwhile.
+  EXPECT_EQ(metrics::StatValue(*server_, "dedup_hits"), dedup_before);
+  sp<File> other = *ResolveAs<File>(client_, "reorder", sys_);
+  Buffer fresh_bytes(std::string("BBBB"));
+  ASSERT_TRUE(other->Write(0, fresh_bytes.span()).ok());
+
+  // Let virtual time reach the original's arrival; the next pipelined op
+  // pumps it into the server, whose dedup window replays the original
+  // response instead of re-executing the write.
+  clock_.Advance(10'000'000);
+  ASSERT_TRUE(remote->Stat().ok());
+  EXPECT_EQ(metrics::StatValue(*server_, "dedup_hits"), dedup_before + 1);
+  Buffer out(4);
+  ASSERT_TRUE(other->Read(0, out.mutable_span()).ok());
+  EXPECT_EQ(out.ToString(), "BBBB")
+      << "the reordered duplicate must not re-apply the stale write";
+}
+
+TEST_F(DfsTest, BackoffCarriesAcrossStaleHandleRebind) {
+  // A scripted service walks one logical op through the worst case: two
+  // transient timeouts, then kStale (server forgot the handle), a rebind
+  // lookup that succeeds, and one more timeout on the re-issued call
+  // before it completes. The retry state must carry across the rebind:
+  // backoff base + 2·base before the kStale, then 4·base after it —
+  // restarting at base post-rebind (the old bug) would sleep only
+  // base + 2·base + base.
+  int lookups = 0;
+  int getattrs = 0;
+  server_node_->RegisterService(
+      "scripted", [&](const net::Frame& request) -> net::Frame {
+        switch (static_cast<dfs::Op>(request.type)) {
+          case dfs::Op::kReadDir:
+            return net::Frame{};  // mount probe
+          case dfs::Op::kLookup: {
+            ++lookups;
+            net::Frame response;
+            response.arg0 = lookups;  // a fresh handle per resolution
+            response.arg1 = 0;
+            if (lookups == 2) {
+              // The rebind lookup: arm one more transient fault so the
+              // re-issued call times out once before succeeding.
+              network_->FailNextCallsOnLink("client2", "server", 1,
+                                            ErrorCode::kTimedOut);
+            }
+            return response;
+          }
+          case dfs::Op::kGetAttr: {
+            if (++getattrs == 1) {
+              return net::Frame::Error(ErrorCode::kStale);
+            }
+            net::Frame response;
+            response.payload = dfs::SerializeAttrs(FileAttributes{});
+            return response;
+          }
+          default:
+            return net::Frame::Error(ErrorCode::kNotSupported);
+        }
+      });
+  sp<DfsClient> scripted = *DfsClient::Mount(client2_node_, network_.get(),
+                                             "server", "scripted", &clock_);
+  sp<File> file = *ResolveAs<File>(scripted, "f", sys_);
+  network_->FailNextCallsOnLink("client2", "server", 2, ErrorCode::kTimedOut);
+  TimeNs before = clock_.Now();
+  Result<FileAttributes> attrs = file->Stat();
+  ASSERT_TRUE(attrs.ok()) << attrs.status().ToString();
+  // Slept backoff: 1ms + 2ms (pre-kStale) + 4ms (carried past the rebind),
+  // plus three successful round trips (kStale, lookup, retry) at 2µs each.
+  EXPECT_EQ(clock_.Now() - before, 7'006'000u)
+      << "backoff must keep growing across the kStale rebind";
+  std::map<std::string, uint64_t> stats = metrics::CollectFrom(*scripted);
+  EXPECT_EQ(stats["retries"], 3u);
+  EXPECT_EQ(stats["handle_rebinds"], 1u);
+  EXPECT_EQ(getattrs, 2);
+}
+
 TEST_F(DfsTest, RetriesExhaustedSurfaceAsErrorNotHang) {
   // A dedicated mount with a tight retry budget: a persistent partition
   // must produce a bounded number of sends and a clean error.

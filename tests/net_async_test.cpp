@@ -1,0 +1,310 @@
+// Deterministic unit tests for the async channel (DESIGN.md §12): tag
+// allocation and pairing, completion ordering under reordering, pacing
+// bounds, RACK-style early loss declaration, the capped RTO fallback, and
+// full-window behaviour. Everything runs on a FakeClock — the channel's
+// event pump advances virtual time itself, so there are no sleeps and no
+// timing flakes.
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "src/net/network.h"
+
+namespace springfs {
+namespace {
+
+// Fabric with two nodes and an echo service that returns arg0 + 1.
+class NetAsyncTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    network_ = std::make_unique<net::Network>(&clock_, /*latency=*/1000);
+    a_ = network_->AddNode("a");
+    b_ = network_->AddNode("b");
+    b_->RegisterService("echo", [this](const net::Frame& request) {
+      ++handler_runs_;
+      net::Frame response;
+      response.arg0 = request.arg0 + 1;
+      response.payload = request.payload;
+      return response;
+    });
+  }
+
+  uint64_t Submit(const sp<net::Channel>& channel, uint64_t arg0) {
+    net::Frame request;
+    request.arg0 = arg0;
+    return channel->Submit(request);
+  }
+
+  FakeClock clock_;
+  std::unique_ptr<net::Network> network_;
+  sp<net::Node> a_, b_;
+  int handler_runs_ = 0;
+};
+
+TEST_F(NetAsyncTest, TagsAreUniqueAndTrackOutstanding) {
+  net::ChannelOptions options;
+  options.max_inflight = 8;
+  sp<net::Channel> channel = network_->OpenChannel("a", "b", "echo", options);
+  uint64_t t1 = Submit(channel, 10);
+  uint64_t t2 = Submit(channel, 20);
+  uint64_t t3 = Submit(channel, 30);
+  EXPECT_NE(t1, t2);
+  EXPECT_NE(t2, t3);
+  EXPECT_EQ(channel->in_flight(), 3u);
+  // Responses pair with their submission by tag, not completion order.
+  Result<net::Completion> c2 = channel->Wait(t2);
+  ASSERT_TRUE(c2.ok());
+  ASSERT_TRUE(c2->status.ok());
+  EXPECT_EQ(c2->tag, t2);
+  EXPECT_EQ(c2->response.arg0, 21u);
+  Result<net::Completion> c1 = channel->Wait(t1);
+  ASSERT_TRUE(c1.ok());
+  EXPECT_EQ(c1->response.arg0, 11u);
+  Result<net::Completion> c3 = channel->Wait(t3);
+  ASSERT_TRUE(c3.ok());
+  EXPECT_EQ(c3->response.arg0, 31u);
+  EXPECT_EQ(channel->in_flight(), 0u);
+  EXPECT_EQ(channel->stats().submitted, 3u);
+  EXPECT_EQ(channel->stats().completed, 3u);
+  // A tag that was never submitted (or already claimed) is an error.
+  EXPECT_EQ(channel->Wait(t1).status().code(), ErrorCode::kNotFound);
+  EXPECT_EQ(channel->WaitAny().status().code(), ErrorCode::kNotFound);
+}
+
+TEST_F(NetAsyncTest, PipelinedRoundTripsOverlap) {
+  // N outstanding requests cost one round trip of virtual time, not N.
+  net::ChannelOptions options;
+  options.max_inflight = 16;
+  sp<net::Channel> channel = network_->OpenChannel("a", "b", "echo", options);
+  TimeNs before = clock_.Now();
+  std::vector<uint64_t> tags;
+  for (uint64_t i = 0; i < 16; ++i) {
+    tags.push_back(Submit(channel, i));
+  }
+  for (uint64_t tag : tags) {
+    Result<net::Completion> done = channel->Wait(tag);
+    ASSERT_TRUE(done.ok());
+    ASSERT_TRUE(done->status.ok());
+  }
+  // All 16 submitted at the same instant: every arrival lands at +1000,
+  // every response at +2000. A synchronous loop would burn 32000.
+  EXPECT_EQ(clock_.Now() - before, 2000u);
+}
+
+TEST_F(NetAsyncTest, CompletionsReorderUnderDelay) {
+  net::ChannelOptions options;
+  options.max_inflight = 4;
+  options.rto_ns = 10'000'000;  // far beyond the injected delay
+  sp<net::Channel> channel = network_->OpenChannel("a", "b", "echo", options);
+  // First frame limps, second overtakes it.
+  network_->DelayNextRequests("a", "b", 1, /*delay_ns=*/100'000);
+  uint64_t slow = Submit(channel, 1);
+  uint64_t fast = Submit(channel, 2);
+  Result<net::Completion> first = channel->WaitAny();
+  ASSERT_TRUE(first.ok());
+  EXPECT_EQ(first->tag, fast);
+  EXPECT_EQ(first->response.arg0, 3u);
+  Result<net::Completion> second = channel->WaitAny();
+  ASSERT_TRUE(second.ok());
+  EXPECT_EQ(second->tag, slow);
+  EXPECT_EQ(second->response.arg0, 2u);
+  // Reordering alone must not trigger loss recovery: the fast completion
+  // arrived inside the (default, 100µs) reordering window.
+  EXPECT_EQ(channel->stats().rack_retransmits, 0u);
+  EXPECT_EQ(channel->stats().rto_retransmits, 0u);
+  EXPECT_EQ(handler_runs_, 2);
+}
+
+TEST_F(NetAsyncTest, PacerSpacesBurstsAndAccountsPacedSends) {
+  net::ChannelOptions options;
+  options.max_inflight = 8;
+  options.pace_gap_ns = 10'000;
+  options.pace_burst = 2;
+  sp<net::Channel> channel = network_->OpenChannel("a", "b", "echo", options);
+  std::vector<uint64_t> tags;
+  for (uint64_t i = 0; i < 6; ++i) {
+    tags.push_back(Submit(channel, i));
+  }
+  // GCRA with burst 2: the first two sends go back to back at T, then one
+  // every gap: T, T, T+10k, T+20k, T+30k, T+40k.
+  std::vector<TimeNs> sends;
+  for (uint64_t tag : tags) {
+    Result<net::Completion> done = channel->Wait(tag);
+    ASSERT_TRUE(done.ok());
+    ASSERT_TRUE(done->status.ok());
+    sends.push_back(done->last_send_ns);
+  }
+  EXPECT_EQ(sends[0], sends[1]);
+  for (size_t i = 2; i < sends.size(); ++i) {
+    EXPECT_EQ(sends[i], sends[1] + (i - 1) * 10'000) << "send " << i;
+  }
+  EXPECT_EQ(channel->stats().paced_sends, 4u);
+}
+
+TEST_F(NetAsyncTest, RackDeclaresLossWhenLaterSendCompletes) {
+  net::ChannelOptions options;
+  options.max_inflight = 4;
+  options.rack_reorder_ns = 1000;
+  options.rto_ns = 50'000'000;  // the timer must not be what recovers this
+  sp<net::Channel> channel = network_->OpenChannel("a", "b", "echo", options);
+  network_->DropNextRequests("a", "b", 1);
+  TimeNs before = clock_.Now();
+  uint64_t lost = Submit(channel, 1);
+  uint64_t witness = Submit(channel, 2);
+  Result<net::Completion> w = channel->Wait(witness);
+  ASSERT_TRUE(w.ok());
+  EXPECT_EQ(clock_.Now() - before, 2000u);
+  // The witness's completion testified against the dropped frame: it was
+  // retransmitted immediately, not at the 50ms timer.
+  Result<net::Completion> recovered = channel->Wait(lost);
+  ASSERT_TRUE(recovered.ok());
+  ASSERT_TRUE(recovered->status.ok());
+  EXPECT_EQ(recovered->response.arg0, 2u);
+  EXPECT_TRUE(recovered->rack_recovered);
+  EXPECT_EQ(recovered->retransmits, 1u);
+  EXPECT_EQ(recovered->last_send_ns, before + 2000);
+  EXPECT_EQ(clock_.Now() - before, 4000u);  // retransmit RTT, not 50ms
+  EXPECT_EQ(channel->stats().rack_retransmits, 1u);
+  EXPECT_EQ(channel->stats().rto_retransmits, 0u);
+}
+
+TEST_F(NetAsyncTest, RtoBackoffDoublesAndRecoversSolitaryLoss) {
+  // A solitary frame has no later completion to testify for it — only the
+  // timer can recover it, doubling on each unanswered copy.
+  net::ChannelOptions options;
+  options.max_inflight = 4;
+  options.rto_ns = 10'000;
+  options.max_retransmits = 4;
+  sp<net::Channel> channel = network_->OpenChannel("a", "b", "echo", options);
+  network_->DropNextRequests("a", "b", 2);
+  TimeNs before = clock_.Now();
+  uint64_t tag = Submit(channel, 7);
+  Result<net::Completion> done = channel->Wait(tag);
+  ASSERT_TRUE(done.ok());
+  ASSERT_TRUE(done->status.ok());
+  EXPECT_EQ(done->response.arg0, 8u);
+  EXPECT_EQ(done->retransmits, 2u);
+  EXPECT_FALSE(done->rack_recovered);
+  // Copies at T (dropped), T+10k (dropped), T+30k (10k + doubled 20k);
+  // the survivor's round trip completes at T+32k.
+  EXPECT_EQ(done->last_send_ns, before + 30'000);
+  EXPECT_EQ(clock_.Now() - before, 32'000u);
+  EXPECT_EQ(channel->stats().rto_retransmits, 2u);
+}
+
+TEST_F(NetAsyncTest, ExhaustedRetransmitsCompleteWithTimeout) {
+  net::ChannelOptions options;
+  options.max_inflight = 4;
+  options.rto_ns = 10'000;
+  options.max_retransmits = 1;
+  sp<net::Channel> channel = network_->OpenChannel("a", "b", "echo", options);
+  network_->DropNextRequests("a", "b", 10);
+  uint64_t tag = Submit(channel, 1);
+  Result<net::Completion> done = channel->Wait(tag);
+  ASSERT_TRUE(done.ok());
+  EXPECT_EQ(done->status.code(), ErrorCode::kTimedOut);
+  EXPECT_EQ(done->retransmits, 1u);
+  EXPECT_EQ(channel->stats().exhausted, 1u);
+  network_->DropNextRequests("a", "b", 0);  // disarm the leftover budget
+}
+
+TEST_F(NetAsyncTest, WindowBlocksSubmitUntilCompletionsDrain) {
+  net::ChannelOptions options;
+  options.max_inflight = 2;
+  sp<net::Channel> channel = network_->OpenChannel("a", "b", "echo", options);
+  std::vector<uint64_t> tags;
+  for (uint64_t i = 0; i < 5; ++i) {
+    tags.push_back(Submit(channel, i));
+    EXPECT_LE(channel->in_flight(), 2u);
+  }
+  // The third submit had to pump at least one completion to make room.
+  EXPECT_GE(channel->stats().completed, 3u);
+  for (uint64_t tag : tags) {
+    Result<net::Completion> done = channel->Wait(tag);
+    ASSERT_TRUE(done.ok());
+    ASSERT_TRUE(done->status.ok());
+  }
+  EXPECT_EQ(channel->stats().completed, 5u);
+}
+
+TEST_F(NetAsyncTest, SeededFaultSweepCompletesEveryTagExactlyOnce) {
+  // Loss, duplication, and reordering all at once, from seeded streams:
+  // every submission must complete exactly once with its own response.
+  for (uint64_t seed : {11u, 29u, 47u, 101u}) {
+    net::FaultPlan plan;
+    plan.seed = seed;
+    plan.drop_request_pct = 20;
+    plan.drop_response_pct = 10;
+    plan.dup_request_pct = 15;
+    plan.delay_pct = 25;
+    plan.delay_ns = 5'000;
+    network_->ArmFaultsOnLink("a", "b", plan);
+    net::ChannelOptions options;
+    options.max_inflight = 8;
+    options.rack_reorder_ns = 2'000;
+    options.rto_ns = 20'000;
+    options.max_retransmits = 10;
+    sp<net::Channel> channel =
+        network_->OpenChannel("a", "b", "echo", options);
+    std::map<uint64_t, uint64_t> want;  // tag -> expected arg0
+    for (uint64_t i = 0; i < 40; ++i) {
+      net::Frame request;
+      request.arg0 = seed * 1000 + i;
+      want[channel->Submit(request)] = request.arg0 + 1;
+    }
+    size_t completions = 0;
+    while (!want.empty()) {
+      Result<net::Completion> done = channel->WaitAny();
+      ASSERT_TRUE(done.ok()) << "seed " << seed;
+      ASSERT_TRUE(done->status.ok())
+          << "seed " << seed << ": " << done->status.ToString();
+      auto it = want.find(done->tag);
+      ASSERT_NE(it, want.end()) << "seed " << seed << " duplicate completion";
+      EXPECT_EQ(done->response.arg0, it->second) << "seed " << seed;
+      want.erase(it);
+      ++completions;
+    }
+    EXPECT_EQ(completions, 40u);
+    net::Channel::Stats stats = channel->stats();
+    EXPECT_EQ(stats.submitted, 40u);
+    EXPECT_EQ(stats.completed, 40u);
+    EXPECT_EQ(stats.exhausted, 0u) << "seed " << seed;
+    network_->DisarmFaults();
+  }
+}
+
+TEST_F(NetAsyncTest, RetransmittedCopiesAreByteIdentical) {
+  // The retransmission must reuse the tag (and request id): that is what
+  // lets a server-side dedup window absorb reordered duplicates.
+  std::vector<uint64_t> seen_tags;
+  std::vector<uint64_t> seen_request_ids;
+  b_->RegisterService("capture", [&](const net::Frame& request) {
+    seen_tags.push_back(request.tag);
+    seen_request_ids.push_back(request.request_id);
+    return net::Frame{};
+  });
+  net::ChannelOptions options;
+  options.max_inflight = 2;
+  options.rto_ns = 10'000;
+  sp<net::Channel> channel = network_->OpenChannel("a", "b", "capture",
+                                                   options);
+  // Drop the response (not the request): the handler sees the original AND
+  // the timer-driven copy.
+  network_->DropNextResponses("a", "b", 1);
+  net::Frame request;
+  request.request_id = 424242;
+  uint64_t tag = channel->Submit(request);
+  Result<net::Completion> done = channel->Wait(tag);
+  ASSERT_TRUE(done.ok());
+  ASSERT_TRUE(done->status.ok());
+  ASSERT_EQ(seen_tags.size(), 2u);
+  EXPECT_EQ(seen_tags[0], seen_tags[1]);
+  EXPECT_EQ(seen_request_ids[0], 424242u);
+  EXPECT_EQ(seen_request_ids[1], 424242u);
+}
+
+}  // namespace
+}  // namespace springfs
