@@ -33,8 +33,9 @@ by bench_seqio's own exit code, not by this timing diff.
 --require SUBSTR fails the check (exit 2) unless at least one shared
 measurement key contains SUBSTR. A renamed or silently dropped config
 otherwise just shrinks the shared set and the diff passes vacuously; the
-flag pins configs that must keep being measured (CI requires seqio's
-pipeline/depth sweep this way).
+flag pins configs that must keep being measured, and may be repeated —
+every SUBSTR must match (CI requires seqio's pipeline/depth sweep and
+coldopen's compound + delegated_reopen configs this way).
 
 Exit codes: 0 clean, 1 regression found, 2 usage/shape error.
 """
@@ -64,12 +65,16 @@ def flatten(doc):
 
 
 def main(argv):
-    args, flags = [], {}
+    args, flags, requires = [], {}, []
     it = iter(argv[1:])
     for a in it:
         if a.startswith("--"):
             name, _, value = a.partition("=")
-            flags[name] = value if value else next(it, "")
+            value = value if value else next(it, "")
+            if name == "--require":
+                requires.append(value)
+            else:
+                flags[name] = value
         else:
             args.append(a)
     tolerance = float(flags.get("--tolerance", 0.25))
@@ -88,11 +93,12 @@ def main(argv):
         print(f"error: no shared measurements between {args[:-1]} and "
               f"{args[-1]}", file=sys.stderr)
         return 2
-    required = flags.get("--require")
-    if required and not any(required in key for key in shared):
-        print(f"error: no shared measurement matches --require "
-              f"'{required}' (configs dropped or renamed?)", file=sys.stderr)
-        return 2
+    for required in requires:
+        if not any(required in key for key in shared):
+            print(f"error: no shared measurement matches --require "
+                  f"'{required}' (configs dropped or renamed?)",
+                  file=sys.stderr)
+            return 2
 
     ratios = {k: current[k] / baseline[k] for k in shared}
     scale = statistics.median(ratios.values())

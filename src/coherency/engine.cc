@@ -100,7 +100,16 @@ std::vector<sp<CacheObject>> CoherencyEngine::Caches() const {
 bool CoherencyEngine::ShouldEvictOnFailure(const Status& status,
                                            const Holder& holder) {
   if (IsUnreachable(status.code())) {
-    return true;
+    // kDeadObject / kNotFound mean the holder's domain or callback service
+    // is definitively gone — safe to evict regardless of policy. A mere
+    // timeout or lost connection only justifies immediate eviction under
+    // the default policy; in conservative mode the holder keeps its claim
+    // until the lease lapses (checked below).
+    if (evict_unreachable_before_expiry_ ||
+        status.code() == ErrorCode::kDeadObject ||
+        status.code() == ErrorCode::kNotFound) {
+      return true;
+    }
   }
   if (LeaseExpired(holder)) {
     ++stats_.lease_expiries;

@@ -62,6 +62,20 @@ class CoherencyEngine {
   // caches and never need eviction. DFS configures this per server file.
   void ConfigureLeases(Clock* clock, uint64_t lease_ns);
 
+  // Eviction policy for merely-unreachable holders (kTimedOut /
+  // kConnectionLost callback failures). Default (true): evict immediately —
+  // right for page caches, where the pager holds a last stable copy and
+  // losing the holder's dirty pages is already modeled as recovery. When
+  // false, an unreachable holder keeps its blocks until its lease actually
+  // expires and the failure propagates to the caller instead; definitively
+  // dead holders (kDeadObject / kNotFound) are still evicted at once. DFS
+  // uses the conservative mode for its delegation engine: a delegation
+  // authorizes zero-round-trip local serves, so the server must not hand
+  // out conflicting access until the holder's lease provably lapsed.
+  void SetEvictUnreachableBeforeExpiry(bool evict) {
+    evict_unreachable_before_expiry_ = evict;
+  }
+
   // Registers a cache (identified by the pager's channel id for it) and
   // stamps its lease. Returns the holder's incarnation number — a value
   // unique across registrations of the same cache_id, used to fence
@@ -136,6 +150,7 @@ class CoherencyEngine {
 
   Clock* clock_ = nullptr;
   uint64_t lease_ns_ = 0;
+  bool evict_unreachable_before_expiry_ = true;
   uint64_t next_incarnation_ = 0;
   std::map<uint64_t, Holder> caches_;
   std::map<Offset, BlockState> blocks_;  // keyed by page-aligned offset

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <atomic>
+#include <functional>
+#include <optional>
 
 #include "src/obs/flight_recorder.h"
 #include "src/obs/trace.h"
@@ -22,14 +24,10 @@ uint64_t NewRequestId() {
   return next.fetch_add(1);
 }
 
-Buffer CacheIdPayload(uint64_t cache_id, ByteSpan data = {}) {
-  Buffer payload(8 + data.size());
-  for (int i = 0; i < 8; ++i) {
-    payload.data()[i] = static_cast<uint8_t>(cache_id >> (8 * i));
-  }
-  payload.WriteAt(8, data);
-  return payload;
-}
+// A recall can arrive for a delegation whose grant response is still in
+// flight to us; remember a bounded number of such ids so the grant is
+// discarded on arrival instead of installed stale.
+constexpr size_t kMaxUnknownRecalls = 64;
 
 }  // namespace
 
@@ -47,17 +45,21 @@ class RemotePagerObject : public FsPagerObject, public Servant {
       trace::ScopedSpan span("dfs.page_in");
       ASSIGN_OR_RETURN(uint64_t cache_id,
                        client_->ServerCacheIdFor(local_channel_));
+      PageInRequest body;
+      body.handle = handle_;
+      body.cache_id = cache_id;
+      body.offset = offset;
+      body.size = size;
+      body.write_access = access == AccessRights::kReadWrite;
       net::Frame request;
-      request.arg0 = handle_;
-      request.arg1 = offset;
-      request.arg2 = size;
-      request.arg3 = access == AccessRights::kReadWrite ? 1 : 0;
-      request.payload = CacheIdPayload(cache_id);
+      request.payload = body.Encode();
       if (size <= kPageSize) {
         ASSIGN_OR_RETURN(net::Frame response,
                          client_->Call(Op::kPageIn, request));
         RETURN_IF_ERROR(CheckStale(response.ToStatus()));
-        return std::move(response.payload);
+        ASSIGN_OR_RETURN(PageInResponse page,
+                         PageInResponse::Decode(response.payload.span()));
+        return std::move(page.data);
       }
       // A fault cluster: on a pipelined mount the range is split into up
       // to async_depth kPageInRange chunks whose round trips overlap.
@@ -74,12 +76,12 @@ class RemotePagerObject : public FsPagerObject, public Servant {
       ASSIGN_OR_RETURN(net::Frame response,
                        client_->Call(Op::kPageInRange, request));
       RETURN_IF_ERROR(CheckStale(response.ToStatus()));
-      ASSIGN_OR_RETURN(std::vector<BlockData> blocks,
-                       DeserializeBlocks(response.payload.span()));
+      ASSIGN_OR_RETURN(PageInRangeResponse range,
+                       PageInRangeResponse::Decode(response.payload.span()));
       // Reassemble the contiguous prefix starting at `offset`; the server
       // may have clamped the tail at EOF.
       Buffer out;
-      for (const BlockData& block : blocks) {
+      for (const BlockData& block : range.blocks) {
         if (block.offset != offset + out.size()) {
           break;  // hole: keep only the contiguous prefix
         }
@@ -106,29 +108,37 @@ class RemotePagerObject : public FsPagerObject, public Servant {
 
   Result<FileAttributes> GetAttributes() override {
     return InDomain([&]() -> Result<FileAttributes> {
+      HandleRequest body;
+      body.handle = handle_;
       net::Frame request;
-      request.arg0 = handle_;
+      request.payload = body.Encode();
       ASSIGN_OR_RETURN(net::Frame response,
                        client_->Call(Op::kGetAttr, request));
       RETURN_IF_ERROR(response.ToStatus());
-      return DeserializeAttrs(response.payload.span());
+      ASSIGN_OR_RETURN(GetAttrResponse attrs,
+                       GetAttrResponse::Decode(response.payload.span()));
+      return attrs.attrs;
     });
   }
   Status WriteAttributes(const AttrUpdate& update) override {
     return InDomain([&]() -> Status {
       if (update.size) {
+        SetLengthRequest body;
+        body.handle = handle_;
+        body.length = *update.size;
         net::Frame request;
-        request.arg0 = handle_;
-        request.arg1 = *update.size;
+        request.payload = body.Encode();
         ASSIGN_OR_RETURN(net::Frame response,
                          client_->Call(Op::kSetLength, request));
         RETURN_IF_ERROR(response.ToStatus());
       }
       if (update.atime_ns || update.mtime_ns) {
+        SetTimesRequest body;
+        body.handle = handle_;
+        body.atime_ns = update.atime_ns.value_or(0);
+        body.mtime_ns = update.mtime_ns.value_or(0);
         net::Frame request;
-        request.arg0 = handle_;
-        request.arg1 = update.atime_ns.value_or(0);
-        request.arg2 = update.mtime_ns.value_or(0);
+        request.payload = body.Encode();
         ASSIGN_OR_RETURN(net::Frame response,
                          client_->Call(Op::kSetTimes, request));
         RETURN_IF_ERROR(response.ToStatus());
@@ -143,10 +153,13 @@ class RemotePagerObject : public FsPagerObject, public Servant {
       trace::ScopedSpan span("dfs.page_out");
       ASSIGN_OR_RETURN(uint64_t cache_id,
                        client_->ServerCacheIdFor(local_channel_));
+      PageOutRequest body;
+      body.handle = handle_;
+      body.cache_id = cache_id;
+      body.offset = offset;
+      body.data = Buffer(data);
       net::Frame request;
-      request.arg0 = handle_;
-      request.arg1 = offset;
-      request.payload = CacheIdPayload(cache_id, data);
+      request.payload = body.Encode();
       ASSIGN_OR_RETURN(net::Frame response, client_->Call(op, request));
       return CheckStale(response.ToStatus());
     });
@@ -170,6 +183,13 @@ class RemotePagerObject : public FsPagerObject, public Servant {
 // A remote file as seen on the client node. Identified durably by path:
 // the server's handle space resets across a restart, so a kStale response
 // triggers one re-resolution by path and one retry.
+//
+// A RemoteFile may hold a delegation (DESIGN.md §13): until the server
+// recalls it or its absolute expiry passes, re-opens, Stat/GetLength, and
+// reads covered by the prefetched first page are served locally with zero
+// round trips; a write delegation additionally buffers SetTimes. Without
+// a delegation, a compound open primes a one-shot close-to-open cache
+// (cto_*) consumed by the first Stat and first covered Read.
 class RemoteFile : public File, public Servant {
  public:
   RemoteFile(sp<Domain> domain, sp<DfsClient> client, std::string path,
@@ -179,6 +199,90 @@ class RemoteFile : public File, public Servant {
 
   uint64_t handle() const { return handle_.load(); }
   void UpdateHandle(uint64_t handle) { handle_.store(handle); }
+
+  // True while a delegation is valid; lazily drops an expired one.
+  bool HasValidDelegation() {
+    uint64_t expired = 0;
+    {
+      std::lock_guard<std::mutex> lock(deleg_mutex_);
+      if (!has_deleg_) {
+        return false;
+      }
+      if (client_->clock_->Now() < deleg_.expires_at) {
+        return true;
+      }
+      expired = deleg_.id;
+      has_deleg_ = false;
+      deleg_ = {};
+    }
+    client_->ForgetDelegation(expired);
+    return false;
+  }
+
+  void InstallDelegation(const OpenResponse& open,
+                         const std::optional<FileAttributes>& attrs,
+                         const std::optional<Buffer>& first_page) {
+    std::lock_guard<std::mutex> lock(deleg_mutex_);
+    has_deleg_ = true;
+    deleg_ = {};
+    deleg_.id = open.deleg_id;
+    deleg_.incarnation = open.incarnation;
+    deleg_.write_access = open.granted == DelegationKind::kWrite;
+    deleg_.expires_at = open.expires_at;
+    if (attrs) {
+      deleg_.attrs = *attrs;
+      deleg_.attrs_valid = true;
+    }
+    if (first_page) {
+      deleg_.prefetch = *first_page;
+      deleg_.prefetch_valid = true;
+    }
+  }
+
+  void InstallPrefetch(const std::optional<FileAttributes>& attrs,
+                       const std::optional<Buffer>& first_page) {
+    std::lock_guard<std::mutex> lock(deleg_mutex_);
+    if (attrs) {
+      cto_attrs_ = *attrs;
+      cto_attrs_valid_ = true;
+    }
+    if (first_page) {
+      cto_prefetch_ = *first_page;
+      cto_prefetch_valid_ = true;
+    }
+  }
+
+  // Local-only teardown (recall raced, server restarted, caches
+  // invalidated). Buffered attr writes are dropped — after a restart the
+  // server's copy is authoritative, same as unflushed dirty pages.
+  void DropDelegation() {
+    std::lock_guard<std::mutex> lock(deleg_mutex_);
+    has_deleg_ = false;
+    deleg_ = {};
+    cto_attrs_valid_ = false;
+    cto_prefetch_valid_ = false;
+  }
+
+  // Serves a kCbRecallDeleg: stop serving locally and hand any buffered
+  // attr writes back. A recall minted under a different incarnation (or
+  // after we already dropped the delegation) is fenced: respond clean.
+  CbRecallDelegResponse HandleDelegRecall(uint64_t deleg_id,
+                                          uint64_t incarnation) {
+    CbRecallDelegResponse response;
+    std::lock_guard<std::mutex> lock(deleg_mutex_);
+    if (!has_deleg_ || deleg_.id != deleg_id ||
+        deleg_.incarnation != incarnation) {
+      return response;
+    }
+    if (deleg_.attrs_dirty) {
+      response.has_times = true;
+      response.atime_ns = deleg_.dirty_atime;
+      response.mtime_ns = deleg_.dirty_mtime;
+    }
+    has_deleg_ = false;
+    deleg_ = {};
+    return response;
+  }
 
   Result<sp<CacheRights>> Bind(const sp<CacheManager>& caller,
                                AccessRights) override {
@@ -196,97 +300,317 @@ class RemoteFile : public File, public Servant {
 
   Result<Offset> GetLength() override {
     return InDomain([&]() -> Result<Offset> {
+      if (std::optional<FileAttributes> local = ServeAttrsLocally()) {
+        return Offset{local->size};
+      }
       ASSIGN_OR_RETURN(net::Frame response,
-                       CallFile(Op::kGetLength, net::Frame{}));
+                       CallFile(Op::kGetLength, [](uint64_t handle) {
+                         HandleRequest body;
+                         body.handle = handle;
+                         return body.Encode();
+                       }));
       RETURN_IF_ERROR(response.ToStatus());
-      return Offset{response.arg0};
+      ASSIGN_OR_RETURN(GetLengthResponse body,
+                       GetLengthResponse::Decode(response.payload.span()));
+      return Offset{body.length};
     });
   }
 
   Status SetLength(Offset length) override {
     return InDomain([&]() -> Status {
-      net::Frame request;
-      request.arg1 = length;
+      InvalidateLocalCaches();
       ASSIGN_OR_RETURN(net::Frame response,
-                       CallFile(Op::kSetLength, request));
+                       CallFile(Op::kSetLength, [&](uint64_t handle) {
+                         SetLengthRequest body;
+                         body.handle = handle;
+                         body.length = length;
+                         return body.Encode();
+                       }));
       return response.ToStatus();
     });
   }
 
   Result<size_t> Read(Offset offset, MutableByteSpan out) override {
     return InDomain([&]() -> Result<size_t> {
-      net::Frame request;
-      request.arg1 = offset;
-      request.arg2 = out.size();
-      ASSIGN_OR_RETURN(net::Frame response, CallFile(Op::kRead, request));
+      if (std::optional<size_t> local = ServeReadLocally(offset, out)) {
+        return *local;
+      }
+      ASSIGN_OR_RETURN(net::Frame response,
+                       CallFile(Op::kRead, [&](uint64_t handle) {
+                         ReadRequest body;
+                         body.handle = handle;
+                         body.offset = offset;
+                         body.length = out.size();
+                         return body.Encode();
+                       }));
       RETURN_IF_ERROR(response.ToStatus());
-      return response.payload.ReadAt(0, out);
+      ASSIGN_OR_RETURN(ReadResponse body,
+                       ReadResponse::Decode(response.payload.span()));
+      return body.data.ReadAt(0, out);
     });
   }
 
   Result<size_t> Write(Offset offset, ByteSpan data) override {
     return InDomain([&]() -> Result<size_t> {
-      net::Frame request;
-      request.arg1 = offset;
-      request.payload = Buffer(data);
-      ASSIGN_OR_RETURN(net::Frame response, CallFile(Op::kWrite, request));
+      // A wire write invalidates whatever this client cached locally; the
+      // server additionally recalls every delegation on the file
+      // (including ours) before applying it.
+      InvalidateLocalCaches();
+      ASSIGN_OR_RETURN(net::Frame response,
+                       CallFile(Op::kWrite, [&](uint64_t handle) {
+                         WriteRequest body;
+                         body.handle = handle;
+                         body.offset = offset;
+                         body.data = Buffer(data);
+                         return body.Encode();
+                       }));
       RETURN_IF_ERROR(response.ToStatus());
-      return size_t{response.arg0};
+      ASSIGN_OR_RETURN(WriteResponse body,
+                       WriteResponse::Decode(response.payload.span()));
+      return size_t{body.written};
     });
   }
 
   Result<FileAttributes> Stat() override {
     return InDomain([&]() -> Result<FileAttributes> {
+      if (std::optional<FileAttributes> local = ServeAttrsLocally()) {
+        return *local;
+      }
       ASSIGN_OR_RETURN(net::Frame response,
-                       CallFile(Op::kGetAttr, net::Frame{}));
+                       CallFile(Op::kGetAttr, [](uint64_t handle) {
+                         HandleRequest body;
+                         body.handle = handle;
+                         return body.Encode();
+                       }));
       RETURN_IF_ERROR(response.ToStatus());
-      return DeserializeAttrs(response.payload.span());
+      ASSIGN_OR_RETURN(GetAttrResponse body,
+                       GetAttrResponse::Decode(response.payload.span()));
+      // Refresh the delegation's attr cache so the next Stat is local
+      // again; buffered times win over what the server returned.
+      {
+        std::lock_guard<std::mutex> lock(deleg_mutex_);
+        if (has_deleg_ && client_->clock_->Now() < deleg_.expires_at) {
+          deleg_.attrs = body.attrs;
+          if (deleg_.attrs_dirty) {
+            deleg_.attrs.atime_ns = deleg_.dirty_atime;
+            deleg_.attrs.mtime_ns = deleg_.dirty_mtime;
+          }
+          deleg_.attrs_valid = true;
+        }
+      }
+      return body.attrs;
     });
   }
 
   Status SetTimes(uint64_t atime_ns, uint64_t mtime_ns) override {
     return InDomain([&]() -> Status {
-      net::Frame request;
-      request.arg1 = atime_ns;
-      request.arg2 = mtime_ns;
+      {
+        std::lock_guard<std::mutex> lock(deleg_mutex_);
+        if (has_deleg_ && deleg_.write_access &&
+            client_->clock_->Now() < deleg_.expires_at) {
+          // Write delegation: buffer the times locally. They ride the
+          // recall response or a voluntary return (SyncFile) back to the
+          // server.
+          deleg_.attrs_dirty = true;
+          deleg_.dirty_atime = atime_ns;
+          deleg_.dirty_mtime = mtime_ns;
+          if (deleg_.attrs_valid) {
+            deleg_.attrs.atime_ns = atime_ns;
+            deleg_.attrs.mtime_ns = mtime_ns;
+          }
+          return Status::Ok();
+        }
+        cto_attrs_valid_ = false;
+      }
       ASSIGN_OR_RETURN(net::Frame response,
-                       CallFile(Op::kSetTimes, request));
+                       CallFile(Op::kSetTimes, [&](uint64_t handle) {
+                         SetTimesRequest body;
+                         body.handle = handle;
+                         body.atime_ns = atime_ns;
+                         body.mtime_ns = mtime_ns;
+                         return body.Encode();
+                       }));
       return response.ToStatus();
     });
   }
 
   Status SyncFile() override {
     return InDomain([&]() -> Status {
+      RETURN_IF_ERROR(ReturnDelegationIfDirty());
       ASSIGN_OR_RETURN(net::Frame response,
-                       CallFile(Op::kSyncFile, net::Frame{}));
+                       CallFile(Op::kSyncFile, [](uint64_t handle) {
+                         HandleRequest body;
+                         body.handle = handle;
+                         return body.Encode();
+                       }));
       return response.ToStatus();
     });
   }
 
  private:
-  // One RPC against this file's handle. On kStale (the server restarted
-  // and forgot the handle) the path is re-resolved and the call retried
-  // once. The retry mints a fresh request id for mutating ops — the first
-  // attempt definitively did not execute, so this is a new operation, not
-  // a retransmission. The RetryState is shared across the rebind so the
-  // capped backoff keeps growing and the attempt budget keeps shrinking
-  // on the re-resolved handle instead of resetting to the base value.
-  Result<net::Frame> CallFile(Op op, net::Frame request) {
+  struct DelegationState {
+    uint64_t id = 0;
+    uint64_t incarnation = 0;
+    bool write_access = false;
+    uint64_t expires_at = 0;  // absolute, on the shared mount clock
+    bool attrs_valid = false;
+    FileAttributes attrs;
+    bool attrs_dirty = false;  // SetTimes buffered under a write delegation
+    uint64_t dirty_atime = 0;
+    uint64_t dirty_mtime = 0;
+    bool prefetch_valid = false;
+    Buffer prefetch;  // the file's first page, as of the grant
+  };
+
+  // Serves Stat/GetLength from the delegation's attr cache (repeatable
+  // while valid) or the close-to-open one-shot (consumed).
+  std::optional<FileAttributes> ServeAttrsLocally() {
+    uint64_t expired = 0;
+    std::optional<FileAttributes> out;
+    bool one_shot = false;
+    {
+      std::lock_guard<std::mutex> lock(deleg_mutex_);
+      if (has_deleg_) {
+        if (client_->clock_->Now() < deleg_.expires_at) {
+          if (deleg_.attrs_valid) {
+            out = deleg_.attrs;
+          }
+        } else {
+          expired = deleg_.id;
+          has_deleg_ = false;
+          deleg_ = {};
+        }
+      }
+      if (!out && cto_attrs_valid_) {
+        out = cto_attrs_;
+        cto_attrs_valid_ = false;
+        one_shot = true;
+      }
+    }
+    if (expired != 0) {
+      client_->ForgetDelegation(expired);
+    }
+    if (out) {
+      client_->Bump(one_shot ? &DfsClient::Stats::cto_serves
+                             : &DfsClient::Stats::local_attr_serves);
+    }
+    return out;
+  }
+
+  // Serves a read that fits entirely inside the prefetched first page.
+  std::optional<size_t> ServeReadLocally(Offset offset, MutableByteSpan out) {
+    uint64_t expired = 0;
+    std::optional<size_t> served;
+    bool one_shot = false;
+    {
+      std::lock_guard<std::mutex> lock(deleg_mutex_);
+      if (has_deleg_) {
+        if (client_->clock_->Now() < deleg_.expires_at) {
+          if (deleg_.prefetch_valid &&
+              offset + out.size() <= deleg_.prefetch.size()) {
+            served = deleg_.prefetch.ReadAt(offset, out);
+          }
+        } else {
+          expired = deleg_.id;
+          has_deleg_ = false;
+          deleg_ = {};
+        }
+      }
+      if (!served && cto_prefetch_valid_ &&
+          offset + out.size() <= cto_prefetch_.size()) {
+        served = cto_prefetch_.ReadAt(offset, out);
+        cto_prefetch_valid_ = false;
+        one_shot = true;
+      }
+    }
+    if (expired != 0) {
+      client_->ForgetDelegation(expired);
+    }
+    if (served) {
+      client_->Bump(one_shot ? &DfsClient::Stats::cto_serves
+                             : &DfsClient::Stats::local_read_serves);
+    }
+    return served;
+  }
+
+  // Before a wire mutation: locally cached attrs/data stop being
+  // trustworthy (the delegation itself, if any, is recalled server-side
+  // as part of serving the mutation).
+  void InvalidateLocalCaches() {
+    std::lock_guard<std::mutex> lock(deleg_mutex_);
+    deleg_.attrs_valid = false;
+    deleg_.prefetch_valid = false;
+    cto_attrs_valid_ = false;
+    cto_prefetch_valid_ = false;
+  }
+
+  // Voluntarily returns a dirty write delegation (kDelegReturn carrying
+  // the buffered times) so SyncFile leaves the server's attrs durable.
+  Status ReturnDelegationIfDirty() {
+    DelegReturnRequest ret;
+    bool need_return = false;
+    {
+      std::lock_guard<std::mutex> lock(deleg_mutex_);
+      if (has_deleg_ && deleg_.attrs_dirty &&
+          client_->clock_->Now() < deleg_.expires_at) {
+        ret.deleg_id = deleg_.id;
+        ret.incarnation = deleg_.incarnation;
+        ret.has_times = true;
+        ret.atime_ns = deleg_.dirty_atime;
+        ret.mtime_ns = deleg_.dirty_mtime;
+        has_deleg_ = false;
+        deleg_ = {};
+        need_return = true;
+      }
+    }
+    if (!need_return) {
+      return Status::Ok();
+    }
+    client_->ForgetDelegation(ret.deleg_id);
+    ASSIGN_OR_RETURN(net::Frame response,
+                     CallFile(Op::kDelegReturn, [&](uint64_t handle) {
+                       ret.handle = handle;
+                       return ret.Encode();
+                     }));
+    RETURN_IF_ERROR(response.ToStatus());
+    client_->Bump(&DfsClient::Stats::deleg_returns);
+    return Status::Ok();
+  }
+
+  // One RPC against this file's handle. The payload is re-encoded from the
+  // fresh handle if a kStale response forces a re-resolution by path (the
+  // server restarted and forgot the handle); the retry then mints a fresh
+  // request id for mutating ops — the first attempt definitively did not
+  // execute, so this is a new operation, not a retransmission. The
+  // RetryState is shared across the rebind so the capped backoff keeps
+  // growing and the attempt budget keeps shrinking.
+  Result<net::Frame> CallFile(
+      Op op, const std::function<Buffer(uint64_t)>& encode) {
     RetryState retry;
-    request.arg0 = handle_.load();
+    net::Frame request;
+    request.payload = encode(handle_.load());
     ASSIGN_OR_RETURN(net::Frame response, client_->Call(op, request, &retry));
     if (response.ToStatus().code() != ErrorCode::kStale) {
       return response;
     }
     ASSIGN_OR_RETURN(uint64_t fresh, client_->RebindHandle(path_));
     handle_.store(fresh);
-    request.arg0 = fresh;
+    request.payload = encode(fresh);
     return client_->Call(op, request, &retry);
   }
 
   sp<DfsClient> client_;
   std::string path_;
   std::atomic<uint64_t> handle_;
+
+  std::mutex deleg_mutex_;  // never held across a wire call
+  bool has_deleg_ = false;
+  DelegationState deleg_;
+  // Close-to-open one-shot cache (compound open without a delegation).
+  bool cto_attrs_valid_ = false;
+  FileAttributes cto_attrs_;
+  bool cto_prefetch_valid_ = false;
+  Buffer cto_prefetch_;
 };
 
 // Remote directory, identified by path prefix.
@@ -328,6 +652,7 @@ Result<sp<DfsClient>> DfsClient::Mount(const sp<net::Node>& node,
                                        const std::string& service,
                                        Clock* clock,
                                        const DfsClientOptions& options) {
+  net::SetFrameTypeNamer(&OpNamer);
   std::string callback_service = UniqueCallbackService();
   sp<DfsClient> client(new DfsClient(node, network, server_node, service,
                                      callback_service, clock, options));
@@ -365,6 +690,11 @@ DfsClient::DfsClient(const sp<net::Node>& node, net::Network* network,
 DfsClient::~DfsClient() {
   metrics::Registry::Global().UnregisterProvider(this);
   node_->UnregisterService(callback_service_);
+}
+
+void DfsClient::Bump(uint64_t Stats::*field) {
+  std::lock_guard<std::mutex> lock(stats_mutex_);
+  ++(stats_.*field);
 }
 
 Result<net::Frame> DfsClient::Call(Op op, const net::Frame& request) {
@@ -408,17 +738,24 @@ Result<net::Frame> DfsClient::Call(Op op, const net::Frame& request,
     ErrorCode code;
     if (response.ok()) {
       // A kDeadObject *frame* is the dead server's tombstone: the
-      // transport works, the server object is gone. Anything else is a
-      // real response — track the boot epoch it was minted under.
-      if (response.value().ToStatus().code() != ErrorCode::kDeadObject) {
+      // transport works, the server object is gone. A kTimedOut frame is a
+      // live server refusing transiently (post-boot grace period, blocked
+      // acquire) — worth the same backoff-and-retry as a transport
+      // timeout, and safe because the server does not execute or dedup
+      // such ops. Anything else is a final response.
+      ErrorCode frame_code = response.value().ToStatus().code();
+      if (frame_code != ErrorCode::kDeadObject) {
         NoteServerEpoch(response.value().epoch);
+      }
+      if (frame_code != ErrorCode::kDeadObject &&
+          frame_code != ErrorCode::kTimedOut) {
         if (retry->attempt > 0) {
           std::lock_guard<std::mutex> lock(stats_mutex_);
           ++stats_.retry_successes;
         }
         return response;
       }
-      code = ErrorCode::kDeadObject;
+      code = frame_code;
     } else {
       code = response.status().code();
     }
@@ -481,13 +818,15 @@ Result<Buffer> DfsClient::FanoutPageIn(uint64_t handle, uint64_t cache_id,
   };
   std::vector<Chunk> inflight;
   for (Offset at = offset; at < offset + size; at += chunk_bytes) {
+    PageInRequest body;
+    body.handle = handle;
+    body.cache_id = cache_id;
+    body.offset = at;
+    body.size = std::min<Offset>(chunk_bytes, offset + size - at);
+    body.write_access = access == AccessRights::kReadWrite;
     net::Frame request;
     request.type = static_cast<uint32_t>(Op::kPageInRange);
-    request.arg0 = handle;
-    request.arg1 = at;
-    request.arg2 = std::min<Offset>(chunk_bytes, offset + size - at);
-    request.arg3 = access == AccessRights::kReadWrite ? 1 : 0;
-    request.payload = CacheIdPayload(cache_id);
+    request.payload = body.Encode();
     {
       std::lock_guard<std::mutex> lock(stats_mutex_);
       ++stats_.calls_sent;
@@ -524,16 +863,16 @@ Result<Buffer> DfsClient::FanoutPageIn(uint64_t handle, uint64_t cache_id,
     if (!contiguous) {
       continue;  // a hole before this chunk: the tail is unusable
     }
-    Result<std::vector<BlockData>> blocks =
-        DeserializeBlocks(response->payload.span());
-    if (!blocks.ok()) {
+    Result<PageInRangeResponse> range =
+        PageInRangeResponse::Decode(response->payload.span());
+    if (!range.ok()) {
       if (failure.ok()) {
-        failure = blocks.status();
+        failure = range.status();
       }
       contiguous = false;
       continue;
     }
-    for (const BlockData& block : *blocks) {
+    for (const BlockData& block : range->blocks) {
       if (block.offset != offset + out.size()) {
         contiguous = false;  // hole (EOF clamp): keep the prefix
         break;
@@ -562,20 +901,26 @@ Result<Buffer> DfsClient::ReadPipelined(const std::string& path, Offset offset,
     }
     ASSIGN_OR_RETURN(net::Frame looked_up, CallPath(Op::kLookup, path));
     RETURN_IF_ERROR(looked_up.ToStatus());
-    uint64_t handle = looked_up.arg0;
+    ASSIGN_OR_RETURN(LookupResponse looked,
+                     LookupResponse::Decode(looked_up.payload.span()));
+    uint64_t handle = looked.handle;
     Buffer out;
     if (!channel_) {
       // Sync mount: the same per-chunk frames, one blocking round trip
       // each — the bench's depth=1 baseline.
       for (Offset at = offset; at < offset + size; at += chunk_bytes) {
+        ReadRequest body;
+        body.handle = handle;
+        body.offset = at;
+        body.length = std::min<Offset>(chunk_bytes, offset + size - at);
         net::Frame request;
-        request.arg0 = handle;
-        request.arg1 = at;
-        request.arg2 = std::min<Offset>(chunk_bytes, offset + size - at);
+        request.payload = body.Encode();
         ASSIGN_OR_RETURN(net::Frame response, Call(Op::kRead, request));
         RETURN_IF_ERROR(response.ToStatus());
-        out.append(response.payload.span());
-        if (response.payload.size() < request.arg2) {
+        ASSIGN_OR_RETURN(ReadResponse chunk,
+                         ReadResponse::Decode(response.payload.span()));
+        out.append(chunk.data.span());
+        if (chunk.data.size() < body.length) {
           break;  // short read: EOF
         }
       }
@@ -589,16 +934,18 @@ Result<Buffer> DfsClient::ReadPipelined(const std::string& path, Offset offset,
     };
     std::vector<Chunk> inflight;
     for (Offset at = offset; at < offset + size; at += chunk_bytes) {
+      ReadRequest body;
+      body.handle = handle;
+      body.offset = at;
+      body.length = std::min<Offset>(chunk_bytes, offset + size - at);
       net::Frame request;
       request.type = static_cast<uint32_t>(Op::kRead);
-      request.arg0 = handle;
-      request.arg1 = at;
-      request.arg2 = std::min<Offset>(chunk_bytes, offset + size - at);
+      request.payload = body.Encode();
       {
         std::lock_guard<std::mutex> lock(stats_mutex_);
         ++stats_.calls_sent;
       }
-      inflight.push_back({channel_->Submit(request), request.arg2});
+      inflight.push_back({channel_->Submit(request), body.length});
     }
     Status failure = Status::Ok();
     bool contiguous = true;
@@ -609,9 +956,12 @@ Result<Buffer> DfsClient::ReadPipelined(const std::string& path, Offset offset,
         NoteServerEpoch(done->response.epoch);
         st = done->response.ToStatus();
       }
-      if (!st.ok()) {
+      Result<ReadResponse> body =
+          st.ok() ? ReadResponse::Decode(done->response.payload.span())
+                  : Result<ReadResponse>(st);
+      if (!body.ok()) {
         if (failure.ok()) {
-          failure = st;
+          failure = body.status();
         }
         contiguous = false;
         continue;
@@ -619,8 +969,8 @@ Result<Buffer> DfsClient::ReadPipelined(const std::string& path, Offset offset,
       if (!contiguous) {
         continue;
       }
-      out.append(done->response.payload.span());
-      if (done->response.payload.size() < chunk.want) {
+      out.append(body->data.span());
+      if (body->data.size() < chunk.want) {
         contiguous = false;  // short read: EOF, drop the tail
       }
     }
@@ -660,9 +1010,23 @@ void DfsClient::NoteServerEpoch(uint64_t epoch) {
 
 void DfsClient::InvalidateCaches() {
   std::vector<PagerChannelTable::Channel> stale = channels_.AllChannels();
+  // Delegations died with the server (or the eviction that tombstoned it):
+  // the new incumbent never heard of them. Drop them locally — buffered
+  // attr writes are lost, like unflushed dirty pages.
+  std::vector<sp<RemoteFile>> holders;
   {
     std::lock_guard<std::mutex> lock(mutex_);
     server_cache_ids_.clear();
+    for (const auto& [id, weak] : delegations_by_id_) {
+      if (sp<RemoteFile> holder = weak.lock()) {
+        holders.push_back(std::move(holder));
+      }
+    }
+    delegations_by_id_.clear();
+    unknown_recall_ids_.clear();
+  }
+  for (const sp<RemoteFile>& holder : holders) {
+    holder->DropDelegation();
   }
   for (const auto& ch : stale) {
     if (ch.cache) {
@@ -701,19 +1065,31 @@ void DfsClient::InvalidateChannel(uint64_t local_channel) {
   ++stats_.channels_invalidated;
 }
 
+void DfsClient::ForgetDelegation(uint64_t deleg_id) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  delegations_by_id_.erase(deleg_id);
+}
+
 Result<uint64_t> DfsClient::RebindHandle(const std::string& path) {
   ASSIGN_OR_RETURN(net::Frame response, CallPath(Op::kLookup, path));
   RETURN_IF_ERROR(response.ToStatus());
+  ASSIGN_OR_RETURN(LookupResponse looked,
+                   LookupResponse::Decode(response.payload.span()));
+  if (looked.is_dir) {
+    return ErrWrongType("'" + path + "' resolves to a directory now");
+  }
   {
     std::lock_guard<std::mutex> lock(stats_mutex_);
     ++stats_.handle_rebinds;
   }
-  return response.arg0;
+  return looked.handle;
 }
 
 Result<net::Frame> DfsClient::CallPath(Op op, const std::string& path) {
+  PathRequest body;
+  body.path = path;
   net::Frame request;
-  request.payload = Buffer(path);
+  request.payload = body.Encode();
   return Call(op, request);
 }
 
@@ -724,34 +1100,47 @@ net::Frame DfsClient::HandleCallback(const net::Frame& request) {
     ++stats_.callbacks_received;
   }
   Op op = static_cast<Op>(request.type);
-  uint64_t local_channel = request.arg0;
-  Result<PagerChannelTable::Channel> channel = channels_.GetChannel(local_channel);
-  if (!channel.ok()) {
-    // The local cache is already gone; nothing to recall.
-    return net::Frame{};
-  }
   switch (op) {
-    case Op::kCbFlushBack: {
-      Result<std::vector<BlockData>> dirty =
-          channel->cache->FlushBack(Range{request.arg1, request.arg2});
-      if (!dirty.ok()) {
-        return net::Frame::Error(dirty.status().code());
-      }
-      net::Frame response;
-      response.payload = SerializeBlocks(*dirty);
-      return response;
-    }
+    case Op::kCbFlushBack:
     case Op::kCbDenyWrites: {
+      Result<CbRecallRequest> req =
+          CbRecallRequest::Decode(request.payload.span());
+      if (!req.ok()) {
+        return net::Frame::Error(req.status().code());
+      }
+      Result<PagerChannelTable::Channel> channel =
+          channels_.GetChannel(req->client_channel);
+      if (!channel.ok()) {
+        // The local cache is already gone; nothing to recall. Still a
+        // well-formed (empty) block list — the server decodes the body.
+        net::Frame response;
+        response.payload = CbRecallResponse{}.Encode();
+        return response;
+      }
+      Range range{req->offset, req->size};
       Result<std::vector<BlockData>> dirty =
-          channel->cache->DenyWrites(Range{request.arg1, request.arg2});
+          op == Op::kCbFlushBack ? channel->cache->FlushBack(range)
+                                 : channel->cache->DenyWrites(range);
       if (!dirty.ok()) {
         return net::Frame::Error(dirty.status().code());
       }
+      CbRecallResponse body;
+      body.blocks = std::move(*dirty);
       net::Frame response;
-      response.payload = SerializeBlocks(*dirty);
+      response.payload = body.Encode();
       return response;
     }
     case Op::kCbAttrInvalidate: {
+      Result<CbAttrInvalidateRequest> req =
+          CbAttrInvalidateRequest::Decode(request.payload.span());
+      if (!req.ok()) {
+        return net::Frame::Error(req.status().code());
+      }
+      Result<PagerChannelTable::Channel> channel =
+          channels_.GetChannel(req->client_channel);
+      if (!channel.ok()) {
+        return net::Frame{};
+      }
       if (channel->fs_cache) {
         Status st = channel->fs_cache->InvalidateAttributes();
         if (!st.ok()) {
@@ -759,6 +1148,39 @@ net::Frame DfsClient::HandleCallback(const net::Frame& request) {
         }
       }
       return net::Frame{};
+    }
+    case Op::kCbRecallDeleg: {
+      Result<CbRecallDelegRequest> req =
+          CbRecallDelegRequest::Decode(request.payload.span());
+      if (!req.ok()) {
+        return net::Frame::Error(req.status().code());
+      }
+      sp<RemoteFile> holder;
+      {
+        std::lock_guard<std::mutex> lock(mutex_);
+        auto it = delegations_by_id_.find(req->deleg_id);
+        if (it != delegations_by_id_.end()) {
+          holder = it->second.lock();
+          delegations_by_id_.erase(it);
+        } else {
+          // The grant may still be in flight toward us: remember the id so
+          // installing it later discards the delegation instead.
+          unknown_recall_ids_.push_back(req->deleg_id);
+          while (unknown_recall_ids_.size() > kMaxUnknownRecalls) {
+            unknown_recall_ids_.pop_front();
+          }
+        }
+      }
+      CbRecallDelegResponse body;
+      if (holder) {
+        body = holder->HandleDelegRecall(req->deleg_id, req->incarnation);
+        Bump(&Stats::deleg_recalls);
+        flight::Record(flight::Severity::kInfo, "dfs", "delegation recalled",
+                       req->deleg_id, req->incarnation);
+      }
+      net::Frame response;
+      response.payload = body.Encode();
+      return response;
     }
     default:
       return net::Frame::Error(ErrorCode::kNotSupported);
@@ -800,16 +1222,21 @@ Result<sp<CacheRights>> DfsClient::BindRemote(uint64_t handle,
       return rights;
     }
   }
+  BindCacheRequest body;
+  body.handle = handle;
+  body.client_channel = local_channel;
+  body.is_fs_cache = is_fs_cache;
+  body.node = node_->name();
+  body.service = callback_service_;
   net::Frame request;
-  request.arg0 = handle;
-  request.arg1 = local_channel;
-  request.arg2 = is_fs_cache ? 1 : 0;
-  request.payload = Buffer(node_->name() + '\0' + callback_service_);
+  request.payload = body.Encode();
   ASSIGN_OR_RETURN(net::Frame response, Call(Op::kBindCache, request));
   RETURN_IF_ERROR(response.ToStatus());
+  ASSIGN_OR_RETURN(BindCacheResponse bound,
+                   BindCacheResponse::Decode(response.payload.span()));
   {
     std::lock_guard<std::mutex> lock(mutex_);
-    server_cache_ids_[local_channel] = response.arg0;
+    server_cache_ids_[local_channel] = bound.cache_id;
   }
   return rights;
 }
@@ -834,39 +1261,192 @@ void DfsClient::DropChannel(uint64_t local_channel) {
       server_cache_ids_.erase(it);
     }
   }
-  Result<PagerChannelTable::Channel> channel = channels_.GetChannel(local_channel);
+  Result<PagerChannelTable::Channel> channel =
+      channels_.GetChannel(local_channel);
   if (channel.ok()) {
     handle = channel->file_id;
   }
   channels_.RemoveChannel(local_channel);
   if (server_cache_id != 0) {
+    UnbindCacheRequest body;
+    body.handle = handle;
+    body.cache_id = server_cache_id;
     net::Frame request;
-    request.arg0 = handle;
-    request.arg1 = server_cache_id;
+    request.payload = body.Encode();
     (void)Call(Op::kUnbindCache, request);
   }
 }
 
 Result<sp<Object>> DfsClient::ObjectForPath(const std::string& path) {
+  if (options_.compound) {
+    return ObjectForPathCompound(path);
+  }
   ASSIGN_OR_RETURN(net::Frame response, CallPath(Op::kLookup, path));
   RETURN_IF_ERROR(response.ToStatus());
+  ASSIGN_OR_RETURN(LookupResponse looked,
+                   LookupResponse::Decode(response.payload.span()));
   sp<DfsClient> self = std::dynamic_pointer_cast<DfsClient>(shared_from_this());
-  if (response.arg1 == 1) {
+  if (looked.is_dir) {
     ASSIGN_OR_RETURN(Name prefix, Name::Parse(path));
     return sp<Object>(std::make_shared<RemoteDirContext>(domain(), self,
                                                          prefix));
   }
-  uint64_t handle = response.arg0;
   std::lock_guard<std::mutex> lock(mutex_);
   auto it = remote_files_.find(path);
   if (it != remote_files_.end()) {
     // The lookup just returned the authoritative handle — refresh the
     // cached file's copy (it may predate a server restart).
-    std::static_pointer_cast<RemoteFile>(it->second)->UpdateHandle(handle);
+    std::static_pointer_cast<RemoteFile>(it->second)->UpdateHandle(
+        looked.handle);
     return sp<Object>(it->second);
   }
-  sp<File> file = std::make_shared<RemoteFile>(domain(), self, path, handle);
+  sp<File> file = std::make_shared<RemoteFile>(domain(), self, path,
+                                               looked.handle);
   remote_files_[path] = file;
+  return sp<Object>(file);
+}
+
+Result<sp<Object>> DfsClient::ObjectForPathCompound(const std::string& path) {
+  // A held delegation answers the whole open locally: zero round trips.
+  sp<RemoteFile> cached;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = remote_files_.find(path);
+    if (it != remote_files_.end()) {
+      cached = std::static_pointer_cast<RemoteFile>(it->second);
+    }
+  }
+  if (cached && cached->HasValidDelegation()) {
+    Bump(&Stats::local_opens);
+    return sp<Object>(cached);
+  }
+  // One frame: lookup -> open (maybe asking for a delegation) -> getattr
+  // -> first-page read. The ops after the lookup use the current-handle
+  // register (handle 0), so the program needs no round trip in between.
+  DelegationKind want =
+      options_.delegations
+          ? (options_.write_delegations ? DelegationKind::kWrite
+                                        : DelegationKind::kRead)
+          : DelegationKind::kNone;
+  CompoundRequest program;
+  {
+    PathRequest sub;
+    sub.path = path;
+    program.ops.push_back(
+        {static_cast<uint32_t>(Op::kLookup), sub.Encode()});
+  }
+  {
+    OpenRequest sub;
+    sub.want_delegation = want;
+    if (want != DelegationKind::kNone) {
+      sub.node = node_->name();
+      sub.service = callback_service_;
+    }
+    program.ops.push_back({static_cast<uint32_t>(Op::kOpen), sub.Encode()});
+  }
+  {
+    HandleRequest sub;
+    program.ops.push_back(
+        {static_cast<uint32_t>(Op::kGetAttr), sub.Encode()});
+  }
+  {
+    ReadRequest sub;
+    sub.offset = 0;
+    sub.length = kPageSize;
+    program.ops.push_back({static_cast<uint32_t>(Op::kRead), sub.Encode()});
+  }
+  net::Frame request;
+  request.payload = program.Encode();
+  Bump(&Stats::compound_opens);
+  ASSIGN_OR_RETURN(net::Frame response, Call(Op::kCompound, request));
+  RETURN_IF_ERROR(response.ToStatus());
+  ASSIGN_OR_RETURN(CompoundResponse results,
+                   CompoundResponse::Decode(response.payload.span()));
+  if (results.results.empty()) {
+    return ErrCorrupted("empty compound response");
+  }
+  // Sub-op 0, the lookup, gates the whole resolve; the later ops are
+  // opportunistic (a failure there just means no prefetch/delegation —
+  // e.g. kOpen fails with kStale handle 0 when the path is a directory).
+  const CompoundResponse::SubResult& looked_result = results.results[0];
+  if (looked_result.status != 0) {
+    return Status(static_cast<ErrorCode>(looked_result.status),
+                  looked_result.body.ToString());
+  }
+  ASSIGN_OR_RETURN(LookupResponse looked,
+                   LookupResponse::Decode(looked_result.body.span()));
+  sp<DfsClient> self = std::dynamic_pointer_cast<DfsClient>(shared_from_this());
+  if (looked.is_dir) {
+    ASSIGN_OR_RETURN(Name prefix, Name::Parse(path));
+    return sp<Object>(std::make_shared<RemoteDirContext>(domain(), self,
+                                                         prefix));
+  }
+  sp<RemoteFile> file;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = remote_files_.find(path);
+    if (it != remote_files_.end()) {
+      file = std::static_pointer_cast<RemoteFile>(it->second);
+      file->UpdateHandle(looked.handle);
+    } else {
+      file = std::make_shared<RemoteFile>(domain(), self, path,
+                                          looked.handle);
+      remote_files_[path] = file;
+    }
+  }
+  std::optional<OpenResponse> open;
+  std::optional<FileAttributes> attrs;
+  std::optional<Buffer> first_page;
+  if (results.results.size() > 1 && results.results[1].status == 0) {
+    Result<OpenResponse> sub =
+        OpenResponse::Decode(results.results[1].body.span());
+    if (sub.ok()) {
+      open = *sub;
+    }
+  }
+  if (results.results.size() > 2 && results.results[2].status == 0) {
+    Result<GetAttrResponse> sub =
+        GetAttrResponse::Decode(results.results[2].body.span());
+    if (sub.ok()) {
+      attrs = sub->attrs;
+    }
+  }
+  if (results.results.size() > 3 && results.results[3].status == 0) {
+    Result<ReadResponse> sub =
+        ReadResponse::Decode(results.results[3].body.span());
+    if (sub.ok()) {
+      first_page = std::move(sub->data);
+    }
+  }
+  if (open && open->deleg_id != 0) {
+    bool revoked = false;
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      auto hit = std::find(unknown_recall_ids_.begin(),
+                           unknown_recall_ids_.end(), open->deleg_id);
+      if (hit != unknown_recall_ids_.end()) {
+        // The recall overtook the grant: this delegation is already dead.
+        unknown_recall_ids_.erase(hit);
+        revoked = true;
+      } else {
+        delegations_by_id_[open->deleg_id] = file;
+      }
+    }
+    if (revoked) {
+      Bump(&Stats::deleg_grant_races);
+      flight::Record(flight::Severity::kWarn, "dfs", "grant raced by recall",
+                     open->deleg_id, open->incarnation);
+    } else {
+      file->InstallDelegation(*open, attrs, first_page);
+      Bump(&Stats::delegations_held);
+      return sp<Object>(file);
+    }
+  }
+  if (!options_.delegations) {
+    // Close-to-open: the attr+data piggybacked on the open serve exactly
+    // one Stat and one covered Read, then expire.
+    file->InstallPrefetch(attrs, first_page);
+  }
   return sp<Object>(file);
 }
 
@@ -903,19 +1483,15 @@ Result<std::vector<BindingInfo>> DfsClient::ListPath(const std::string& path) {
   return InDomain([&]() -> Result<std::vector<BindingInfo>> {
     ASSIGN_OR_RETURN(net::Frame response, CallPath(Op::kReadDir, path));
     RETURN_IF_ERROR(response.ToStatus());
+    ASSIGN_OR_RETURN(ReadDirResponse body,
+                     ReadDirResponse::Decode(response.payload.span()));
     std::vector<BindingInfo> entries;
-    std::string wire = response.payload.ToString();
-    size_t at = 0;
-    while (at < wire.size()) {
-      size_t nul = wire.find('\0', at);
-      if (nul == std::string::npos || nul + 2 > wire.size()) {
-        return ErrCorrupted("malformed readdir payload");
-      }
-      BindingInfo entry;
-      entry.name = wire.substr(at, nul - at);
-      entry.is_context = wire[nul + 1] == '1';
-      entries.push_back(std::move(entry));
-      at = nul + 3;  // skip kind char and ';'
+    entries.reserve(body.entries.size());
+    for (const ReadDirResponse::Entry& entry : body.entries) {
+      BindingInfo info;
+      info.name = entry.name;
+      info.is_context = entry.is_dir;
+      entries.push_back(std::move(info));
     }
     return entries;
   });
@@ -947,17 +1523,20 @@ Result<sp<File>> DfsClient::CreateFile(const Name& name,
     ASSIGN_OR_RETURN(net::Frame response,
                      CallPath(Op::kCreate, name.ToString()));
     RETURN_IF_ERROR(response.ToStatus());
+    ASSIGN_OR_RETURN(CreateResponse created,
+                     CreateResponse::Decode(response.payload.span()));
     sp<DfsClient> self =
         std::dynamic_pointer_cast<DfsClient>(shared_from_this());
-    uint64_t handle = response.arg0;
     std::string path = name.ToString();
     std::lock_guard<std::mutex> lock(mutex_);
     auto it = remote_files_.find(path);
     if (it != remote_files_.end()) {
-      std::static_pointer_cast<RemoteFile>(it->second)->UpdateHandle(handle);
+      std::static_pointer_cast<RemoteFile>(it->second)->UpdateHandle(
+          created.handle);
       return it->second;
     }
-    sp<File> file = std::make_shared<RemoteFile>(domain(), self, path, handle);
+    sp<File> file = std::make_shared<RemoteFile>(domain(), self, path,
+                                                 created.handle);
     remote_files_[path] = file;
     return file;
   });
@@ -995,6 +1574,15 @@ void DfsClient::CollectStats(const metrics::StatsEmitter& emit) const {
   emit("server_restarts", stats_.server_restarts);
   emit("channels_invalidated", stats_.channels_invalidated);
   emit("handle_rebinds", stats_.handle_rebinds);
+  emit("compound_opens", stats_.compound_opens);
+  emit("local_opens", stats_.local_opens);
+  emit("local_attr_serves", stats_.local_attr_serves);
+  emit("local_read_serves", stats_.local_read_serves);
+  emit("cto_serves", stats_.cto_serves);
+  emit("delegations_held", stats_.delegations_held);
+  emit("deleg_recalls", stats_.deleg_recalls);
+  emit("deleg_returns", stats_.deleg_returns);
+  emit("deleg_grant_races", stats_.deleg_grant_races);
 }
 
 }  // namespace springfs::dfs

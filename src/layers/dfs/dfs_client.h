@@ -13,10 +13,12 @@
 #define SPRINGFS_LAYERS_DFS_DFS_CLIENT_H_
 
 #include <atomic>
+#include <deque>
 #include <map>
 
 #include "src/fs/channel_table.h"
 #include "src/layers/dfs/protocol.h"
+#include "src/layers/dfs/wire.h"
 #include "src/obs/metrics.h"
 
 namespace springfs::dfs {
@@ -43,6 +45,21 @@ struct DfsClientOptions {
   bool pipelined = false;
   size_t async_depth = 8;
   net::ChannelOptions channel;
+
+  // Compound open (DESIGN.md §13): resolving a path sends ONE kCompound
+  // frame carrying the program lookup -> open -> getattr -> first-page
+  // read instead of a bare lookup. When no delegation comes back, the
+  // attr and data results prime a close-to-open one-shot cache consumed
+  // by the file's first Stat/GetLength and first covered Read.
+  bool compound = false;
+  // Ask for a delegation at open (needs `compound`). While a delegation
+  // is valid this client serves re-opens, Stat/GetLength, and first-page
+  // reads locally with ZERO round trips; the server recalls it through
+  // the callback service before granting anyone conflicting access.
+  bool delegations = false;
+  // Request write (instead of read) delegations: SetTimes is then also
+  // buffered locally and shipped with the recall or return.
+  bool write_delegations = false;
 };
 
 // Logical-retry bookkeeping for one client operation. Carried across a
@@ -132,12 +149,26 @@ class DfsClient : public Context,
     uint64_t server_restarts = 0;        // boot-epoch bumps observed
     uint64_t channels_invalidated = 0;   // local channels torn down
     uint64_t handle_rebinds = 0;         // stale handles re-resolved by path
+    // Compound + delegation accounting (DESIGN.md §13).
+    uint64_t compound_opens = 0;      // kCompound frames sent for a resolve
+    uint64_t local_opens = 0;         // re-opens served by a held delegation
+    uint64_t local_attr_serves = 0;   // Stat/GetLength served locally
+    uint64_t local_read_serves = 0;   // reads served from the prefetch
+    uint64_t cto_serves = 0;          // one-shot close-to-open cache hits
+    uint64_t delegations_held = 0;    // grants installed
+    uint64_t deleg_recalls = 0;       // recall callbacks honored
+    uint64_t deleg_returns = 0;       // voluntary kDelegReturn trips
+    uint64_t deleg_grant_races = 0;   // grants killed by an earlier recall
   };
 
   DfsClient(const sp<net::Node>& node, net::Network* network,
             std::string server_node, std::string service,
             std::string callback_service, Clock* clock,
             const DfsClientOptions& options);
+
+  // Locked single-counter increment (also used by RemoteFile for the
+  // local-serve accounting).
+  void Bump(uint64_t Stats::*field);
 
   // One RPC to the server.
   Result<net::Frame> Call(Op op, const net::Frame& request);
@@ -179,6 +210,16 @@ class DfsClient : public Context,
   Result<std::vector<BindingInfo>> ListPath(const std::string& path);
 
   Result<sp<Object>> ObjectForPath(const std::string& path);
+  // The compound variant: a delegated cache hit resolves with zero round
+  // trips; otherwise one kCompound frame looks up, opens (asking for a
+  // delegation when configured), stats, and prefetches the first page.
+  Result<sp<Object>> ObjectForPathCompound(const std::string& path);
+
+  // Delegation bookkeeping (all under mutex_). A recall that arrives for
+  // an id we have not installed yet (the grant response is still in
+  // flight) lands in unknown_recall_ids_; installing a grant consumes a
+  // matching entry and discards the delegation instead.
+  void ForgetDelegation(uint64_t deleg_id);
 
   sp<net::Node> node_;
   net::Network* network_;
@@ -199,6 +240,10 @@ class DfsClient : public Context,
   // Keyed by path, not handle: the server's handle space resets across a
   // restart, and RemoteFile re-resolves its handle by path.
   std::map<std::string, sp<File>> remote_files_;
+  // Held delegations, for recall routing (deleg_id -> holder).
+  std::map<uint64_t, wp<class RemoteFile>> delegations_by_id_;
+  // Recalls that raced their grant (bounded; see ForgetDelegation's doc).
+  std::deque<uint64_t> unknown_recall_ids_;
 
   mutable std::mutex stats_mutex_;
   Stats stats_;

@@ -1,6 +1,7 @@
 #include "src/layers/dfs/dfs_server.h"
 
 #include <algorithm>
+#include <optional>
 
 #include "src/obs/flight_recorder.h"
 #include "src/obs/trace.h"
@@ -35,6 +36,49 @@ net::Frame StatusFrame(const Status& st) {
 uint64_t NextBootEpoch() {
   static std::atomic<uint64_t> next{1};
   return next.fetch_add(1);
+}
+
+// Delegation ids are process-global and never reused, so an id minted by a
+// restarted server can never collide with one its predecessor handed out.
+uint64_t NextDelegId() {
+  static std::atomic<uint64_t> next{1};
+  return next.fetch_add(1);
+}
+
+// Ops that modify server state — rejected during the post-boot grace
+// period and counted toward the dedup-window policy.
+bool IsMutating(Op op) {
+  switch (op) {
+    case Op::kCreate:
+    case Op::kMkdir:
+    case Op::kRemove:
+    case Op::kWrite:
+    case Op::kSetTimes:
+    case Op::kSetLength:
+    case Op::kPageOut:
+    case Op::kWriteOut:
+    case Op::kSyncPages:
+      return true;
+    default:
+      return false;
+  }
+}
+
+// Every handle-carrying request struct puts its handle in the first 8
+// bytes of the body (see wire.h), so the compound executor can substitute
+// the current-handle register with a fixed-offset patch.
+bool CarriesLeadingHandle(Op op) {
+  switch (op) {
+    case Op::kLookup:
+    case Op::kCreate:
+    case Op::kMkdir:
+    case Op::kRemove:
+    case Op::kReadDir:
+    case Op::kCompound:
+      return false;
+    default:
+      return static_cast<uint32_t>(op) < 100;  // callbacks excluded
+  }
 }
 
 }  // namespace
@@ -83,9 +127,11 @@ class RemoteCacheProxy : public FsCacheObject {
   }
 
   Status InvalidateAttributes() override {
+    CbAttrInvalidateRequest body;
+    body.client_channel = client_channel_;
     net::Frame request;
     request.type = static_cast<uint32_t>(Op::kCbAttrInvalidate);
-    request.arg0 = client_channel_;
+    request.payload = body.Encode();
     ASSIGN_OR_RETURN(net::Frame response, server_->SendCallback(
                                               client_node_, client_service_,
                                               request));
@@ -96,22 +142,96 @@ class RemoteCacheProxy : public FsCacheObject {
  private:
   Result<std::vector<BlockData>> Callback(Op op, Range range) {
     trace::ScopedSpan span("dfs.callback");
+    CbRecallRequest body;
+    body.client_channel = client_channel_;
+    body.offset = range.offset;
+    body.size = range.size;
     net::Frame request;
     request.type = static_cast<uint32_t>(op);
-    request.arg0 = client_channel_;
-    request.arg1 = range.offset;
-    request.arg2 = range.size;
+    request.payload = body.Encode();
     ASSIGN_OR_RETURN(net::Frame response, server_->SendCallback(
                                               client_node_, client_service_,
                                               request));
     RETURN_IF_ERROR(response.ToStatus());
-    return DeserializeBlocks(response.payload.span());
+    ASSIGN_OR_RETURN(CbRecallResponse resp,
+                     CbRecallResponse::Decode(response.payload.span()));
+    return resp.blocks;
   }
 
   DfsServer* server_;
   std::string client_node_;
   std::string client_service_;
   uint64_t client_channel_;
+};
+
+// A delegation holder as seen by the per-file deleg_engine. A "recall"
+// here is one kCbRecallDeleg round trip; the response doubles as the
+// return and may carry attr writes the holder buffered under a write
+// delegation. Those are stashed (NOT applied inline — the engine runs
+// callbacks under file->mutex, and SetTimes can re-enter the lower
+// coherency path which takes the same lock) and applied by the server
+// after the locked section.
+class DelegationProxy : public FsCacheObject {
+ public:
+  DelegationProxy(DfsServer* server, std::string client_node,
+                  std::string client_service, uint64_t deleg_id)
+      : server_(server), client_node_(std::move(client_node)),
+        client_service_(std::move(client_service)), deleg_id_(deleg_id) {}
+
+  void set_incarnation(uint64_t incarnation) { incarnation_ = incarnation; }
+
+  std::optional<std::pair<uint64_t, uint64_t>> TakeDirtyTimes() {
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto times = dirty_times_;
+    dirty_times_.reset();
+    return times;
+  }
+
+  Result<std::vector<BlockData>> FlushBack(Range) override { return Recall(); }
+  Result<std::vector<BlockData>> DenyWrites(Range) override {
+    return Recall();
+  }
+  Result<std::vector<BlockData>> WriteBack(Range) override { return Recall(); }
+  Status DeleteRange(Range) override { return Recall().status(); }
+  Status ZeroFill(Range) override { return Recall().status(); }
+  Status Populate(Offset, AccessRights, ByteSpan) override {
+    return ErrNotSupported("populate on a delegation");
+  }
+  Status DestroyCache() override { return Recall().status(); }
+  Status InvalidateAttributes() override { return Status::Ok(); }
+  Result<AttrUpdate> RecallAttributes() override { return AttrUpdate{}; }
+
+ private:
+  Result<std::vector<BlockData>> Recall() {
+    trace::ScopedSpan span("dfs.recall_deleg");
+    CbRecallDelegRequest body;
+    body.deleg_id = deleg_id_;
+    body.incarnation = incarnation_;
+    net::Frame request;
+    request.type = static_cast<uint32_t>(Op::kCbRecallDeleg);
+    request.payload = body.Encode();
+    ASSIGN_OR_RETURN(net::Frame response, server_->SendCallback(
+                                              client_node_, client_service_,
+                                              request));
+    RETURN_IF_ERROR(response.ToStatus());
+    ASSIGN_OR_RETURN(CbRecallDelegResponse resp,
+                     CbRecallDelegResponse::Decode(response.payload.span()));
+    if (resp.has_times) {
+      std::lock_guard<std::mutex> lock(mutex_);
+      dirty_times_ = std::make_pair(resp.atime_ns, resp.mtime_ns);
+    }
+    // A delegation never holds dirty pages — data writes go to the wire —
+    // so there is nothing to flush back.
+    return std::vector<BlockData>{};
+  }
+
+  DfsServer* server_;
+  std::string client_node_;
+  std::string client_service_;
+  uint64_t deleg_id_;
+  uint64_t incarnation_ = 0;
+  std::mutex mutex_;
+  std::optional<std::pair<uint64_t, uint64_t>> dirty_times_;
 };
 
 // The server's cache object toward the layer below: callbacks propagate to
@@ -164,6 +284,9 @@ class DfsLowerCacheObject : public FsCacheObject, public Servant {
     return InDomain([&]() -> Result<std::vector<BlockData>> {
       trace::ScopedSpan span("dfs.lower_recall");
       server_->NoteLowerFlush();
+      // Local conflicts recall delegations too: a local writer must not
+      // race a remote holder's zero-round-trip serves.
+      RETURN_IF_ERROR(server_->RecallConflicting(file_, 0, access));
       std::lock_guard<std::mutex> lock(file_->mutex);
       // The dirty data recovered from remote caches IS the modified data
       // the layer below is asking for.
@@ -223,6 +346,7 @@ Result<sp<DfsServer>> DfsServer::Create(const sp<net::Node>& node,
                                         const std::string& service,
                                         sp<StackableFs> under, Clock* clock,
                                         const DfsServerOptions& options) {
+  net::SetFrameTypeNamer(&OpNamer);
   sp<DfsServer> server(new DfsServer(node, network, service, std::move(under),
                                      clock, options));
   wp<DfsServer> weak = server;
@@ -241,7 +365,8 @@ DfsServer::DfsServer(const sp<net::Node>& node, net::Network* network,
                      const DfsServerOptions& options)
     : Servant(node->domain()), node_(node), network_(network),
       service_(std::move(service)), clock_(clock), options_(options),
-      boot_epoch_(NextBootEpoch()), under_(std::move(under)) {
+      boot_epoch_(NextBootEpoch()), boot_time_(clock->Now()),
+      under_(std::move(under)) {
   metrics::Registry::Global().RegisterProvider(this);
 }
 
@@ -270,6 +395,11 @@ void DfsServer::NoteLowerFlush() {
   ++stats_.lower_flushes;
 }
 
+bool DfsServer::InGracePeriod() const {
+  return options_.grace_ns != 0 &&
+         clock_->Now() < boot_time_ + options_.grace_ns;
+}
+
 Result<sp<DfsServer::ServerFile>> DfsServer::FileForPath(
     const std::string& path) {
   {
@@ -285,6 +415,11 @@ Result<sp<DfsServer::ServerFile>> DfsServer::FileForPath(
   file->path = path;
   file->under = std::move(under_file);
   file->engine.ConfigureLeases(clock_, options_.lease_ns);
+  file->deleg_engine.ConfigureLeases(clock_, options_.lease_ns);
+  // Conservative eviction for delegations: an unreachable holder may still
+  // be serving opens/attrs locally, so it keeps its claim (and conflicting
+  // ops fail transiently) until the lease provably lapsed.
+  file->deleg_engine.SetEvictUnreachableBeforeExpiry(false);
   std::lock_guard<std::mutex> lock(mutex_);
   auto it = handles_by_path_.find(path);
   if (it != handles_by_path_.end()) {
@@ -355,6 +490,105 @@ void DfsServer::PruneEvicted(ServerFile& file) {
   }
 }
 
+void DfsServer::PruneDelegations(
+    ServerFile& file,
+    std::vector<std::pair<uint64_t, uint64_t>>* dirty_times) {
+  uint64_t now = clock_->Now();
+  for (auto it = file.delegations.begin(); it != file.delegations.end();) {
+    DelegationInfo& info = it->second;
+    bool engine_gone = !file.deleg_engine.HasCache(info.deleg_id);
+    bool expired = now >= info.expires_at;
+    if (!engine_gone && !expired) {
+      ++it;
+      continue;
+    }
+    if (!engine_gone) {
+      file.deleg_engine.RemoveCache(info.deleg_id);
+    }
+    if (auto times = info.proxy->TakeDirtyTimes()) {
+      dirty_times->push_back(*times);
+    }
+    {
+      std::lock_guard<std::mutex> stats_lock(stats_mutex_);
+      if (expired) {
+        ++stats_.delegations_expired;
+      } else {
+        ++stats_.delegations_recalled;
+      }
+    }
+    flight::Record(flight::Severity::kInfo, "dfs",
+                   expired ? "delegation expired" : "delegation evicted",
+                   info.deleg_id, file.handle);
+    it = file.delegations.erase(it);
+  }
+}
+
+Status DfsServer::RecallConflicting(const sp<ServerFile>& file,
+                                    uint64_t except_deleg,
+                                    AccessRights access) {
+  std::vector<std::pair<uint64_t, uint64_t>> dirty_times;
+  Status result = Status::Ok();
+  {
+    std::lock_guard<std::mutex> lock(file->mutex);
+    if (file->delegations.empty()) {
+      return Status::Ok();
+    }
+    PruneDelegations(*file, &dirty_times);
+    std::vector<uint64_t> conflicts;
+    for (const auto& [id, info] : file->delegations) {
+      if (id == except_deleg) {
+        continue;
+      }
+      if (access == AccessRights::kReadOnly &&
+          info.kind != DelegationKind::kWrite) {
+        continue;  // readers coexist with read delegations
+      }
+      conflicts.push_back(id);
+    }
+    if (!conflicts.empty()) {
+      uint64_t requester =
+          file->deleg_engine.HasCache(except_deleg) ? except_deleg : 0;
+      Result<std::vector<BlockData>> recalled = file->deleg_engine.Acquire(
+          requester, Range{0, kPageSize}, access);
+      if (!recalled.ok()) {
+        // Conservative mode: the holder is unreachable but its lease has
+        // not lapsed — the op fails transiently rather than racing the
+        // holder's local serves.
+        result = recalled.status();
+      } else {
+        for (uint64_t id : conflicts) {
+          auto it = file->delegations.find(id);
+          if (it == file->delegations.end()) {
+            continue;  // already pruned by an engine eviction
+          }
+          if (file->deleg_engine.HasCache(id)) {
+            file->deleg_engine.RemoveCache(id);
+          }
+          if (auto times = it->second.proxy->TakeDirtyTimes()) {
+            dirty_times.push_back(*times);
+          }
+          {
+            std::lock_guard<std::mutex> stats_lock(stats_mutex_);
+            ++stats_.delegations_recalled;
+          }
+          flight::Record(flight::Severity::kInfo, "dfs", "delegation recalled",
+                         id, file->handle);
+          file->delegations.erase(it);
+        }
+      }
+    }
+  }
+  // Apply buffered attr writes outside the lock: SetTimes can re-enter the
+  // lower coherency path, which takes file->mutex again.
+  for (const auto& [atime, mtime] : dirty_times) {
+    Status st = file->under->SetTimes(atime, mtime);
+    if (!st.ok() && result.ok()) {
+      result = st;
+    }
+  }
+  return result;
+}
+
 Status DfsServer::PushRecovered(ServerFile& file,
                                 const std::vector<BlockData>& blocks) {
   for (const BlockData& block : blocks) {
@@ -371,9 +605,11 @@ Status DfsServer::BroadcastAttrInvalidate(ServerFile& file,
     if (cache_id == except_cache_id || !info.is_fs_cache) {
       continue;
     }
+    CbAttrInvalidateRequest body;
+    body.client_channel = info.client_channel;
     net::Frame request;
     request.type = static_cast<uint32_t>(Op::kCbAttrInvalidate);
-    request.arg0 = info.client_channel;
+    request.payload = body.Encode();
     Result<net::Frame> response =
         SendCallback(info.node, info.service, request);
     if (!response.ok() &&
@@ -397,7 +633,10 @@ net::Frame DfsServer::Handle(const net::Frame& request) {
   Op op = static_cast<Op>(request.type);
   // Mutating requests carry a client-generated request id: a
   // retransmission (the original response was lost in flight) replays the
-  // stored response instead of applying the operation twice.
+  // stored response instead of applying the operation twice. A compound
+  // frame is deduplicated as a unit: the stored response replays every
+  // sub-op result, so a retransmitted compound never re-executes a
+  // mutating sub-op.
   if (request.request_id != 0) {
     std::lock_guard<std::mutex> lock(dedup_mutex_);
     auto it = dedup_.find(request.request_id);
@@ -418,7 +657,11 @@ net::Frame DfsServer::Handle(const net::Frame& request) {
     }
   }
   net::Frame response = Dispatch(op, request);
-  if (request.request_id != 0) {
+  // kTimedOut responses (grace rejects, acquire timeouts) mean the op did
+  // NOT execute; keeping them out of the window lets a retransmission
+  // re-execute instead of replaying the transient failure forever.
+  if (request.request_id != 0 &&
+      response.ToStatus().code() != ErrorCode::kTimedOut) {
     std::lock_guard<std::mutex> lock(dedup_mutex_);
     auto [it, inserted] = dedup_.emplace(request.request_id, response);
     if (inserted) {
@@ -433,7 +676,18 @@ net::Frame DfsServer::Handle(const net::Frame& request) {
   return response;
 }
 
-net::Frame DfsServer::Dispatch(Op op, const net::Frame& request) {
+net::Frame DfsServer::Dispatch(Op op, const net::Frame& request,
+                               uint64_t except_deleg) {
+  if (IsMutating(op) && InGracePeriod()) {
+    {
+      std::lock_guard<std::mutex> lock(stats_mutex_);
+      ++stats_.grace_rejects;
+    }
+    flight::Record(flight::Severity::kWarn, "dfs", "grace reject",
+                   static_cast<uint64_t>(op), boot_epoch_);
+    return StatusFrame(ErrTimedOut(
+        "server in post-boot grace period; retry after it lapses"));
+  }
   switch (op) {
     case Op::kLookup:
     case Op::kCreate:
@@ -441,50 +695,56 @@ net::Frame DfsServer::Dispatch(Op op, const net::Frame& request) {
     case Op::kRemove:
     case Op::kReadDir:
       return HandleNameOp(op, request);
+    case Op::kOpen:
+      return HandleOpen(request);
+    case Op::kDelegReturn:
+      return HandleDelegReturn(request);
+    case Op::kCompound:
+      return HandleCompound(request);
     default:
-      return HandleFileOp(op, request);
+      return HandleFileOp(op, request, except_deleg);
   }
 }
 
 net::Frame DfsServer::HandleNameOp(Op op, const net::Frame& request) {
   Credentials creds = Credentials::System();
-  std::string path = request.payload.ToString();
+  Result<PathRequest> req = PathRequest::Decode(request.payload.span());
+  if (!req.ok()) {
+    return StatusFrame(req.status());
+  }
+  const std::string& path = req->path;
   {
     std::lock_guard<std::mutex> lock(stats_mutex_);
     ++stats_.remote_lookups;
   }
+  Result<Name> name = Name::Parse(path);
+  if (!name.ok()) {
+    return StatusFrame(name.status());
+  }
   switch (op) {
     case Op::kLookup: {
-      Result<Name> name = Name::Parse(path);
-      if (!name.ok()) {
-        return StatusFrame(name.status());
-      }
       Result<sp<Object>> object = under_->Resolve(*name, creds);
       if (!object.ok()) {
         return StatusFrame(object.status());
       }
+      LookupResponse body;
       if (narrow<Context>(*object)) {
-        net::Frame response;
-        response.arg1 = 1;  // directory
-        return response;
-      }
-      if (!narrow<File>(*object)) {
-        return StatusFrame(ErrWrongType("not a file or directory"));
-      }
-      Result<sp<ServerFile>> file = FileForPath(path);
-      if (!file.ok()) {
-        return StatusFrame(file.status());
+        body.is_dir = true;
+      } else {
+        if (!narrow<File>(*object)) {
+          return StatusFrame(ErrWrongType("not a file or directory"));
+        }
+        Result<sp<ServerFile>> file = FileForPath(path);
+        if (!file.ok()) {
+          return StatusFrame(file.status());
+        }
+        body.handle = (*file)->handle;
       }
       net::Frame response;
-      response.arg0 = (*file)->handle;
-      response.arg1 = 0;  // file
+      response.payload = body.Encode();
       return response;
     }
     case Op::kCreate: {
-      Result<Name> name = Name::Parse(path);
-      if (!name.ok()) {
-        return StatusFrame(name.status());
-      }
       Result<sp<File>> created = under_->CreateFile(*name, creds);
       if (!created.ok()) {
         return StatusFrame(created.status());
@@ -493,22 +753,15 @@ net::Frame DfsServer::HandleNameOp(Op op, const net::Frame& request) {
       if (!file.ok()) {
         return StatusFrame(file.status());
       }
+      CreateResponse body;
+      body.handle = (*file)->handle;
       net::Frame response;
-      response.arg0 = (*file)->handle;
+      response.payload = body.Encode();
       return response;
     }
-    case Op::kMkdir: {
-      Result<Name> name = Name::Parse(path);
-      if (!name.ok()) {
-        return StatusFrame(name.status());
-      }
+    case Op::kMkdir:
       return StatusFrame(under_->CreateContext(*name, creds).status());
-    }
     case Op::kRemove: {
-      Result<Name> name = Name::Parse(path);
-      if (!name.ok()) {
-        return StatusFrame(name.status());
-      }
       Status st = under_->Unbind(*name, creds);
       if (st.ok()) {
         std::lock_guard<std::mutex> lock(mutex_);
@@ -521,10 +774,6 @@ net::Frame DfsServer::HandleNameOp(Op op, const net::Frame& request) {
       return StatusFrame(st);
     }
     case Op::kReadDir: {
-      Result<Name> name = Name::Parse(path);
-      if (!name.ok()) {
-        return StatusFrame(name.status());
-      }
       Result<sp<Object>> dir_obj = under_->Resolve(*name, creds);
       if (!dir_obj.ok()) {
         return StatusFrame(dir_obj.status());
@@ -537,15 +786,13 @@ net::Frame DfsServer::HandleNameOp(Op op, const net::Frame& request) {
       if (!entries.ok()) {
         return StatusFrame(entries.status());
       }
-      net::Frame response;
-      std::string wire;
+      ReadDirResponse body;
+      body.entries.reserve(entries->size());
       for (const auto& entry : *entries) {
-        wire += entry.name;
-        wire += '\0';
-        wire += entry.is_context ? '1' : '0';
-        wire += ';';
+        body.entries.push_back({entry.name, entry.is_context});
       }
-      response.payload = Buffer(wire);
+      net::Frame response;
+      response.payload = body.Encode();
       return response;
     }
     default:
@@ -553,25 +800,248 @@ net::Frame DfsServer::HandleNameOp(Op op, const net::Frame& request) {
   }
 }
 
-net::Frame DfsServer::HandleFileOp(Op op, const net::Frame& request) {
-  Result<sp<ServerFile>> file_result = FileForHandle(request.arg0);
+net::Frame DfsServer::HandleOpen(const net::Frame& request) {
+  Result<OpenRequest> req = OpenRequest::Decode(request.payload.span());
+  if (!req.ok()) {
+    return StatusFrame(req.status());
+  }
+  Result<sp<ServerFile>> file_result = FileForHandle(req->handle);
   if (!file_result.ok()) {
     return StatusFrame(file_result.status());
   }
   sp<ServerFile> file = *file_result;
+  OpenResponse body;
+  body.handle = file->handle;
+  // Delegations need a live lease clock and a callback address; without
+  // either the open succeeds plain.
+  bool want = req->want_delegation != DelegationKind::kNone &&
+              !req->node.empty() && options_.lease_ns != 0;
+  std::vector<std::pair<uint64_t, uint64_t>> dirty_times;
+  if (want) {
+    std::lock_guard<std::mutex> lock(file->mutex);
+    PruneDelegations(*file, &dirty_times);
+    // Admission (NFSv4 rules): a read delegation coexists with other read
+    // delegations but not a write one; a write delegation must be alone.
+    // On conflict the grant is simply denied — the opener still got its
+    // handle, and the conflicting holder keeps its zero-trip serves.
+    bool write_wanted = req->want_delegation == DelegationKind::kWrite;
+    bool conflict = false;
+    for (const auto& [id, info] : file->delegations) {
+      if (write_wanted || info.kind == DelegationKind::kWrite) {
+        conflict = true;
+        break;
+      }
+    }
+    if (!conflict) {
+      uint64_t deleg_id = NextDelegId();
+      auto proxy = std::make_shared<DelegationProxy>(this, req->node,
+                                                     req->service, deleg_id);
+      uint64_t incarnation = file->deleg_engine.AddCache(deleg_id, proxy);
+      proxy->set_incarnation(incarnation);
+      Result<std::vector<BlockData>> claimed = file->deleg_engine.Acquire(
+          deleg_id, Range{0, kPageSize},
+          write_wanted ? AccessRights::kReadWrite : AccessRights::kReadOnly);
+      if (claimed.ok()) {
+        DelegationInfo info;
+        info.deleg_id = deleg_id;
+        info.kind = req->want_delegation;
+        info.node = req->node;
+        info.service = req->service;
+        info.incarnation = incarnation;
+        // The expiry ships to the client as an ABSOLUTE clock value and is
+        // never renewed, so both sides agree on the exact instant local
+        // serves must stop (the simulation shares one clock; a real system
+        // would subtract a safety margin client-side).
+        info.expires_at = clock_->Now() + options_.lease_ns;
+        info.proxy = proxy;
+        file->delegations[deleg_id] = info;
+        body.deleg_id = deleg_id;
+        body.granted = req->want_delegation;
+        body.incarnation = incarnation;
+        body.expires_at = info.expires_at;
+        {
+          std::lock_guard<std::mutex> stats_lock(stats_mutex_);
+          ++stats_.delegations_granted;
+        }
+        flight::Record(flight::Severity::kInfo, "dfs", "delegation granted",
+                       deleg_id, file->handle);
+      } else {
+        file->deleg_engine.RemoveCache(deleg_id);
+      }
+    }
+  }
+  for (const auto& [atime, mtime] : dirty_times) {
+    Status st = file->under->SetTimes(atime, mtime);
+    if (!st.ok()) {
+      return StatusFrame(st);
+    }
+  }
+  net::Frame response;
+  response.payload = body.Encode();
+  return response;
+}
 
+net::Frame DfsServer::HandleDelegReturn(const net::Frame& request) {
+  Result<DelegReturnRequest> req =
+      DelegReturnRequest::Decode(request.payload.span());
+  if (!req.ok()) {
+    return StatusFrame(req.status());
+  }
+  Result<sp<ServerFile>> file_result = FileForHandle(req->handle);
+  if (!file_result.ok()) {
+    return StatusFrame(file_result.status());
+  }
+  sp<ServerFile> file = *file_result;
+  {
+    std::lock_guard<std::mutex> lock(file->mutex);
+    auto it = file->delegations.find(req->deleg_id);
+    if (it == file->delegations.end() ||
+        it->second.incarnation != req->incarnation) {
+      // Stale return: the delegation was already recalled, expired, or
+      // re-granted under a fresh incarnation. Fence it — the times it
+      // carries were already collected by the recall (or are void).
+      std::lock_guard<std::mutex> stats_lock(stats_mutex_);
+      ++stats_.deleg_fenced;
+      return OkFrame();
+    }
+    file->deleg_engine.RemoveCache(req->deleg_id);
+    file->delegations.erase(it);
+    {
+      std::lock_guard<std::mutex> stats_lock(stats_mutex_);
+      ++stats_.delegations_returned;
+    }
+  }
+  if (req->has_times) {
+    RETURN_FRAME_IF_ERROR(file->under->SetTimes(req->atime_ns, req->mtime_ns));
+  }
+  return OkFrame();
+}
+
+net::Frame DfsServer::HandleCompound(const net::Frame& request) {
+  Result<CompoundRequest> req =
+      CompoundRequest::Decode(request.payload.span());
+  if (!req.ok()) {
+    return StatusFrame(req.status());
+  }
+  {
+    std::lock_guard<std::mutex> lock(stats_mutex_);
+    ++stats_.compounds;
+  }
+  CompoundResponse out;
+  uint64_t current_handle = 0;
+  uint64_t current_deleg = 0;
+  for (const CompoundRequest::SubOp& sub : req->ops) {
+    Op op = static_cast<Op>(sub.op);
+    CompoundResponse::SubResult result;
+    result.op = sub.op;
+    if (op == Op::kCompound || static_cast<uint32_t>(sub.op) >= 100) {
+      result.status = static_cast<int32_t>(ErrorCode::kInvalidArgument);
+      result.body = Buffer("op not allowed inside a compound");
+      out.results.push_back(std::move(result));
+      break;
+    }
+    // Substitute the current-handle register: a zero handle in the leading
+    // 8 bytes of a handle-carrying body means "whatever the last
+    // kLookup/kCreate/kOpen produced".
+    net::Frame sub_request;
+    sub_request.type = sub.op;
+    sub_request.payload = sub.body;
+    if (CarriesLeadingHandle(op) && sub_request.payload.size() >= 8 &&
+        current_handle != 0) {
+      uint8_t* raw = sub_request.payload.data();
+      bool zero = true;
+      for (int i = 0; i < 8; ++i) {
+        zero = zero && raw[i] == 0;
+      }
+      if (zero) {
+        for (int i = 0; i < 8; ++i) {
+          raw[i] = static_cast<uint8_t>(current_handle >> (8 * i));
+        }
+      }
+    }
+    net::Frame sub_response = Dispatch(op, sub_request, current_deleg);
+    {
+      std::lock_guard<std::mutex> lock(stats_mutex_);
+      ++stats_.compound_sub_ops;
+    }
+    Status st = sub_response.ToStatus();
+    result.status = static_cast<int32_t>(st.code());
+    result.body = st.ok() ? sub_response.payload : Buffer(st.message());
+    out.results.push_back(std::move(result));
+    if (!st.ok()) {
+      break;  // stop at the first failing op; later ops are not attempted
+    }
+    // Track the current handle through the ops that produce one.
+    if (op == Op::kLookup) {
+      Result<LookupResponse> looked =
+          LookupResponse::Decode(sub_response.payload.span());
+      if (looked.ok()) {
+        current_handle = looked->is_dir ? 0 : looked->handle;
+      }
+    } else if (op == Op::kCreate) {
+      Result<CreateResponse> created =
+          CreateResponse::Decode(sub_response.payload.span());
+      if (created.ok()) {
+        current_handle = created->handle;
+      }
+    } else if (op == Op::kOpen) {
+      Result<OpenResponse> opened =
+          OpenResponse::Decode(sub_response.payload.span());
+      if (opened.ok()) {
+        current_handle = opened->handle;
+        // Later sub-ops run under this open's delegation: without the
+        // exemption the program's own getattr/read tail would recall the
+        // write delegation it just asked for.
+        current_deleg = opened->deleg_id;
+      }
+    }
+  }
+  net::Frame response;
+  response.payload = out.Encode();
+  return response;
+}
+
+net::Frame DfsServer::HandleFileOp(Op op, const net::Frame& request,
+                                   uint64_t except_deleg) {
   switch (op) {
     case Op::kGetAttr: {
+      Result<HandleRequest> req = HandleRequest::Decode(request.payload.span());
+      if (!req.ok()) {
+        return StatusFrame(req.status());
+      }
+      Result<sp<ServerFile>> file_result = FileForHandle(req->handle);
+      if (!file_result.ok()) {
+        return StatusFrame(file_result.status());
+      }
+      sp<ServerFile> file = *file_result;
+      // A write-delegation holder may have buffered attr writes — pull
+      // them in before serving attributes to anyone else.
+      RETURN_FRAME_IF_ERROR(
+          RecallConflicting(file, except_deleg, AccessRights::kReadOnly));
       Result<FileAttributes> attrs = file->under->Stat();
       if (!attrs.ok()) {
         return StatusFrame(attrs.status());
       }
+      GetAttrResponse body;
+      body.attrs = *attrs;
       net::Frame response;
-      response.payload = SerializeAttrs(*attrs);
+      response.payload = body.Encode();
       return response;
     }
     case Op::kSetTimes: {
-      Status st = file->under->SetTimes(request.arg1, request.arg2);
+      Result<SetTimesRequest> req =
+          SetTimesRequest::Decode(request.payload.span());
+      if (!req.ok()) {
+        return StatusFrame(req.status());
+      }
+      Result<sp<ServerFile>> file_result = FileForHandle(req->handle);
+      if (!file_result.ok()) {
+        return StatusFrame(file_result.status());
+      }
+      sp<ServerFile> file = *file_result;
+      RETURN_FRAME_IF_ERROR(
+          RecallConflicting(file, except_deleg, AccessRights::kReadWrite));
+      Status st = file->under->SetTimes(req->atime_ns, req->mtime_ns);
       if (st.ok()) {
         std::lock_guard<std::mutex> lock(file->mutex);
         st = BroadcastAttrInvalidate(*file, 0);
@@ -579,7 +1049,19 @@ net::Frame DfsServer::HandleFileOp(Op op, const net::Frame& request) {
       return StatusFrame(st);
     }
     case Op::kSetLength: {
-      Status st = file->under->SetLength(request.arg1);
+      Result<SetLengthRequest> req =
+          SetLengthRequest::Decode(request.payload.span());
+      if (!req.ok()) {
+        return StatusFrame(req.status());
+      }
+      Result<sp<ServerFile>> file_result = FileForHandle(req->handle);
+      if (!file_result.ok()) {
+        return StatusFrame(file_result.status());
+      }
+      sp<ServerFile> file = *file_result;
+      RETURN_FRAME_IF_ERROR(
+          RecallConflicting(file, except_deleg, AccessRights::kReadWrite));
+      Status st = file->under->SetLength(req->length);
       if (st.ok()) {
         std::lock_guard<std::mutex> lock(file->mutex);
         st = BroadcastAttrInvalidate(*file, 0);
@@ -587,25 +1069,49 @@ net::Frame DfsServer::HandleFileOp(Op op, const net::Frame& request) {
       return StatusFrame(st);
     }
     case Op::kGetLength: {
+      Result<HandleRequest> req = HandleRequest::Decode(request.payload.span());
+      if (!req.ok()) {
+        return StatusFrame(req.status());
+      }
+      Result<sp<ServerFile>> file_result = FileForHandle(req->handle);
+      if (!file_result.ok()) {
+        return StatusFrame(file_result.status());
+      }
+      sp<ServerFile> file = *file_result;
+      RETURN_FRAME_IF_ERROR(
+          RecallConflicting(file, except_deleg, AccessRights::kReadOnly));
       Result<Offset> length = file->under->GetLength();
       if (!length.ok()) {
         return StatusFrame(length.status());
       }
+      GetLengthResponse body;
+      body.length = *length;
       net::Frame response;
-      response.arg0 = *length;
+      response.payload = body.Encode();
       return response;
     }
     case Op::kRead: {
+      Result<ReadRequest> req = ReadRequest::Decode(request.payload.span());
+      if (!req.ok()) {
+        return StatusFrame(req.status());
+      }
+      Result<sp<ServerFile>> file_result = FileForHandle(req->handle);
+      if (!file_result.ok()) {
+        return StatusFrame(file_result.status());
+      }
+      sp<ServerFile> file = *file_result;
       {
         std::lock_guard<std::mutex> lock(stats_mutex_);
         ++stats_.remote_reads;
       }
+      RETURN_FRAME_IF_ERROR(
+          RecallConflicting(file, except_deleg, AccessRights::kReadOnly));
       RETURN_FRAME_IF_ERROR(EnsureBoundBelow(file));
-      Buffer out(request.arg2);
+      Buffer out(req->length);
       {
         std::lock_guard<std::mutex> lock(file->mutex);
         Result<std::vector<BlockData>> recovered = file->engine.Acquire(
-            0, Range{request.arg1, request.arg2}, AccessRights::kReadOnly);
+            0, Range{req->offset, req->length}, AccessRights::kReadOnly);
         if (!recovered.ok()) {
           return StatusFrame(recovered.status());
         }
@@ -615,24 +1121,40 @@ net::Frame DfsServer::HandleFileOp(Op op, const net::Frame& request) {
           return StatusFrame(pushed);
         }
       }
-      Result<size_t> n = file->under->Read(request.arg1, out.mutable_span());
+      Result<size_t> n = file->under->Read(req->offset, out.mutable_span());
       if (!n.ok()) {
         return StatusFrame(n.status());
       }
+      ReadResponse body;
+      body.data = Buffer(out.subspan(0, *n));
       net::Frame response;
-      response.payload = Buffer(out.subspan(0, *n));
+      response.payload = body.Encode();
       return response;
     }
     case Op::kWrite: {
+      Result<WriteRequest> req = WriteRequest::Decode(request.payload.span());
+      if (!req.ok()) {
+        return StatusFrame(req.status());
+      }
+      Result<sp<ServerFile>> file_result = FileForHandle(req->handle);
+      if (!file_result.ok()) {
+        return StatusFrame(file_result.status());
+      }
+      sp<ServerFile> file = *file_result;
       {
         std::lock_guard<std::mutex> lock(stats_mutex_);
         ++stats_.remote_writes;
       }
+      // A wire write conflicts with EVERY delegation, including the
+      // writer's own (it chose the wire path, so local attr serves must
+      // stop being authoritative).
+      RETURN_FRAME_IF_ERROR(
+          RecallConflicting(file, except_deleg, AccessRights::kReadWrite));
       RETURN_FRAME_IF_ERROR(EnsureBoundBelow(file));
       {
         std::lock_guard<std::mutex> lock(file->mutex);
         Result<std::vector<BlockData>> recovered = file->engine.Acquire(
-            0, Range{request.arg1, request.payload.size()},
+            0, Range{req->offset, req->data.size()},
             AccessRights::kReadWrite);
         if (!recovered.ok()) {
           return StatusFrame(recovered.status());
@@ -643,8 +1165,7 @@ net::Frame DfsServer::HandleFileOp(Op op, const net::Frame& request) {
           return StatusFrame(pushed);
         }
       }
-      Result<size_t> n = file->under->Write(request.arg1,
-                                            request.payload.span());
+      Result<size_t> n = file->under->Write(req->offset, req->data.span());
       if (!n.ok()) {
         return StatusFrame(n.status());
       }
@@ -655,71 +1176,114 @@ net::Frame DfsServer::HandleFileOp(Op op, const net::Frame& request) {
           return StatusFrame(st);
         }
       }
+      WriteResponse body;
+      body.written = *n;
       net::Frame response;
-      response.arg0 = *n;
+      response.payload = body.Encode();
       return response;
     }
-    case Op::kSyncFile:
-      return StatusFrame(file->under->SyncFile());
+    case Op::kSyncFile: {
+      Result<HandleRequest> req = HandleRequest::Decode(request.payload.span());
+      if (!req.ok()) {
+        return StatusFrame(req.status());
+      }
+      Result<sp<ServerFile>> file_result = FileForHandle(req->handle);
+      if (!file_result.ok()) {
+        return StatusFrame(file_result.status());
+      }
+      return StatusFrame((*file_result)->under->SyncFile());
+    }
 
     case Op::kBindCache: {
-      Result<std::pair<std::string, std::string>> target =
-          SplitNodeService(request.payload.span());
-      if (!target.ok()) {
-        return StatusFrame(target.status());
+      Result<BindCacheRequest> req =
+          BindCacheRequest::Decode(request.payload.span());
+      if (!req.ok()) {
+        return StatusFrame(req.status());
       }
+      Result<sp<ServerFile>> file_result = FileForHandle(req->handle);
+      if (!file_result.ok()) {
+        return StatusFrame(file_result.status());
+      }
+      sp<ServerFile> file = *file_result;
       RETURN_FRAME_IF_ERROR(EnsureBoundBelow(file));
       std::lock_guard<std::mutex> lock(file->mutex);
       uint64_t cache_id = file->next_cache_id++;
       RemoteCacheInfo info;
-      info.node = target->first;
-      info.service = target->second;
-      info.client_channel = request.arg1;
-      info.is_fs_cache = request.arg2 != 0;
+      info.node = req->node;
+      info.service = req->service;
+      info.client_channel = req->client_channel;
+      info.is_fs_cache = req->is_fs_cache;
       info.incarnation = file->engine.AddCache(
           cache_id, std::make_shared<RemoteCacheProxy>(
                         this, info.node, info.service, info.client_channel));
       file->remote_caches[cache_id] = info;
+      BindCacheResponse body;
+      body.cache_id = cache_id;
       net::Frame response;
-      response.arg0 = cache_id;
+      response.payload = body.Encode();
       return response;
     }
     case Op::kUnbindCache: {
+      Result<UnbindCacheRequest> req =
+          UnbindCacheRequest::Decode(request.payload.span());
+      if (!req.ok()) {
+        return StatusFrame(req.status());
+      }
+      Result<sp<ServerFile>> file_result = FileForHandle(req->handle);
+      if (!file_result.ok()) {
+        return StatusFrame(file_result.status());
+      }
+      sp<ServerFile> file = *file_result;
       std::lock_guard<std::mutex> lock(file->mutex);
-      file->engine.RemoveCache(request.arg1);
-      file->remote_caches.erase(request.arg1);
+      file->engine.RemoveCache(req->cache_id);
+      file->remote_caches.erase(req->cache_id);
       return OkFrame();
     }
-    case Op::kPageIn: {
+    case Op::kPageIn:
+    case Op::kPageInRange: {
+      Result<PageInRequest> req = PageInRequest::Decode(request.payload.span());
+      if (!req.ok()) {
+        return StatusFrame(req.status());
+      }
+      Result<sp<ServerFile>> file_result = FileForHandle(req->handle);
+      if (!file_result.ok()) {
+        return StatusFrame(file_result.status());
+      }
+      sp<ServerFile> file = *file_result;
+      bool range_op = op == Op::kPageInRange;
       {
         std::lock_guard<std::mutex> lock(stats_mutex_);
-        ++stats_.remote_page_ins;
+        if (range_op) {
+          ++stats_.remote_range_page_ins;
+        } else {
+          ++stats_.remote_page_ins;
+        }
       }
-      if (request.payload.size() < 8) {
-        return StatusFrame(ErrInvalidArgument("page-in missing cache id"));
+      if (range_op && (req->offset % kPageSize != 0 || req->size == 0)) {
+        return StatusFrame(ErrInvalidArgument("malformed page-in-range"));
       }
-      uint64_t cache_id = 0;
-      for (int i = 7; i >= 0; --i) {
-        cache_id = (cache_id << 8) | request.payload.data()[i];
-      }
-      AccessRights access = request.arg3 == 0 ? AccessRights::kReadOnly
-                                              : AccessRights::kReadWrite;
+      AccessRights access = req->write_access ? AccessRights::kReadWrite
+                                              : AccessRights::kReadOnly;
+      RETURN_FRAME_IF_ERROR(RecallConflicting(file, except_deleg, access));
       RETURN_FRAME_IF_ERROR(EnsureBoundBelow(file));
       std::lock_guard<std::mutex> lock(file->mutex);
       // Fence page-ins from evicted cache ids: the client must re-register
       // (rebind) before it may fault pages again.
-      if (!file->engine.HasCache(cache_id)) {
+      if (!file->engine.HasCache(req->cache_id)) {
         {
           std::lock_guard<std::mutex> stats_lock(stats_mutex_);
           ++stats_.stale_fenced;
         }
         flight::Record(flight::Severity::kError, "dfs", "stale fence page_in",
-                       cache_id, file->handle);
+                       req->cache_id, file->handle);
         return StatusFrame(ErrStale("page-in from evicted cache id " +
-                                    std::to_string(cache_id)));
+                                    std::to_string(req->cache_id)));
       }
+      // One acquire covers the whole request, then one page_in against the
+      // layer below — for kPageInRange this is the server-side mirror of
+      // the client's fault clustering.
       Result<std::vector<BlockData>> recovered = file->engine.Acquire(
-          cache_id, Range{request.arg1, request.arg2}, access);
+          req->cache_id, Range{req->offset, req->size}, access);
       if (!recovered.ok()) {
         return StatusFrame(recovered.status());
       }
@@ -729,124 +1293,85 @@ net::Frame DfsServer::HandleFileOp(Op op, const net::Frame& request) {
         return StatusFrame(pushed);
       }
       Result<Buffer> data =
-          file->lower_pager->PageIn(request.arg1, request.arg2, access);
+          file->lower_pager->PageIn(req->offset, req->size, access);
       if (!data.ok()) {
         return StatusFrame(data.status());
       }
-      net::Frame response;
-      response.payload = std::move(*data);
-      return response;
-    }
-    case Op::kPageInRange: {
-      {
-        std::lock_guard<std::mutex> lock(stats_mutex_);
-        ++stats_.remote_range_page_ins;
-      }
-      if (request.payload.size() < 8) {
-        return StatusFrame(ErrInvalidArgument("page-in-range missing cache id"));
-      }
-      uint64_t cache_id = 0;
-      for (int i = 7; i >= 0; --i) {
-        cache_id = (cache_id << 8) | request.payload.data()[i];
-      }
-      if (request.arg1 % kPageSize != 0 || request.arg2 == 0) {
-        return StatusFrame(ErrInvalidArgument("malformed page-in-range"));
-      }
-      AccessRights access = request.arg3 == 0 ? AccessRights::kReadOnly
-                                              : AccessRights::kReadWrite;
-      RETURN_FRAME_IF_ERROR(EnsureBoundBelow(file));
-      std::lock_guard<std::mutex> lock(file->mutex);
-      if (!file->engine.HasCache(cache_id)) {
-        {
-          std::lock_guard<std::mutex> stats_lock(stats_mutex_);
-          ++stats_.stale_fenced;
-        }
-        flight::Record(flight::Severity::kError, "dfs",
-                       "stale fence page_in_range", cache_id, file->handle);
-        return StatusFrame(ErrStale("page-in from evicted cache id " +
-                                    std::to_string(cache_id)));
-      }
-      // One acquire covers the whole cluster, then one clustered page_in
-      // against the layer below — the server-side mirror of the client's
-      // fault clustering.
-      Result<std::vector<BlockData>> recovered = file->engine.Acquire(
-          cache_id, Range{request.arg1, request.arg2}, access);
-      if (!recovered.ok()) {
-        return StatusFrame(recovered.status());
-      }
-      PruneEvicted(*file);
-      Status pushed = PushRecovered(*file, *recovered);
-      if (!pushed.ok()) {
-        return StatusFrame(pushed);
-      }
-      Result<Buffer> data =
-          file->lower_pager->PageIn(request.arg1, request.arg2, access);
-      if (!data.ok()) {
-        return StatusFrame(data.status());
+      if (!range_op) {
+        PageInResponse body;
+        body.data = std::move(*data);
+        net::Frame response;
+        response.payload = body.Encode();
+        return response;
       }
       // The lower layer may clamp at EOF; ship whatever whole pages exist
       // as a block list so the client can take the contiguous prefix.
-      std::vector<BlockData> blocks;
+      PageInRangeResponse body;
       Offset usable = PageFloor(data->size());
       if (data->size() % kPageSize != 0) {
         data->resize(PageCeil(data->size()));
         usable = data->size();
       }
-      blocks.reserve(usable / kPageSize);
+      body.blocks.reserve(usable / kPageSize);
       for (Offset off = 0; off < usable; off += kPageSize) {
-        blocks.push_back(
-            BlockData{request.arg1 + off,
-                      Buffer(data->subspan(off, kPageSize))});
+        body.blocks.push_back(
+            BlockData{req->offset + off, Buffer(data->subspan(off, kPageSize))});
       }
       net::Frame response;
-      response.payload = SerializeBlocks(blocks);
+      response.payload = body.Encode();
       return response;
     }
     case Op::kPageOut:
     case Op::kWriteOut:
     case Op::kSyncPages: {
+      Result<PageOutRequest> req =
+          PageOutRequest::Decode(request.payload.span());
+      if (!req.ok()) {
+        return StatusFrame(req.status());
+      }
+      if (req->data.size() % kPageSize != 0) {
+        return StatusFrame(ErrInvalidArgument("malformed page-out"));
+      }
+      Result<sp<ServerFile>> file_result = FileForHandle(req->handle);
+      if (!file_result.ok()) {
+        return StatusFrame(file_result.status());
+      }
+      sp<ServerFile> file = *file_result;
       {
         std::lock_guard<std::mutex> lock(stats_mutex_);
         ++stats_.remote_page_outs;
       }
-      if (request.payload.size() < 8 ||
-          (request.payload.size() - 8) % kPageSize != 0) {
-        return StatusFrame(ErrInvalidArgument("malformed page-out"));
-      }
-      uint64_t cache_id = 0;
-      for (int i = 7; i >= 0; --i) {
-        cache_id = (cache_id << 8) | request.payload.data()[i];
-      }
-      ByteSpan data = request.payload.subspan(8,
-                                              request.payload.size() - 8);
+      RETURN_FRAME_IF_ERROR(
+          RecallConflicting(file, except_deleg, AccessRights::kReadWrite));
       RETURN_FRAME_IF_ERROR(EnsureBoundBelow(file));
       std::lock_guard<std::mutex> lock(file->mutex);
       // Fence stale page-outs before they touch the layer below: an evicted
       // holder's writer claim was already handed to someone else, so its
       // late write-back would clobber newer data.
-      auto rc = file->remote_caches.find(cache_id);
+      auto rc = file->remote_caches.find(req->cache_id);
       if (rc == file->remote_caches.end() ||
-          !file->engine.HasCache(cache_id)) {
+          !file->engine.HasCache(req->cache_id)) {
         {
           std::lock_guard<std::mutex> stats_lock(stats_mutex_);
           ++stats_.stale_fenced;
         }
         flight::Record(flight::Severity::kError, "dfs",
-                       "stale fence page_out", cache_id, file->handle);
+                       "stale fence page_out", req->cache_id, file->handle);
         return StatusFrame(
             ErrStale("page-out from evicted cache id " +
-                     std::to_string(cache_id)));
+                     std::to_string(req->cache_id)));
       }
-      Status st = file->lower_pager->Sync(request.arg1, data);
+      Status st = file->lower_pager->Sync(req->offset, req->data.span());
       if (!st.ok()) {
         return StatusFrame(st);
       }
       if (op == Op::kPageOut) {
-        file->engine.ReleaseDropped(cache_id, Range{request.arg1, data.size()},
+        file->engine.ReleaseDropped(req->cache_id,
+                                    Range{req->offset, req->data.size()},
                                     rc->second.incarnation);
       } else if (op == Op::kWriteOut) {
-        file->engine.ReleaseDowngraded(cache_id,
-                                       Range{request.arg1, data.size()},
+        file->engine.ReleaseDowngraded(req->cache_id,
+                                       Range{req->offset, req->data.size()},
                                        rc->second.incarnation);
       }
       return OkFrame();
@@ -947,6 +1472,14 @@ void DfsServer::CollectStats(const metrics::StatsEmitter& emit) const {
   emit("lower_flushes", stats_.lower_flushes);
   emit("dedup_hits", stats_.dedup_hits);
   emit("stale_fenced", stats_.stale_fenced);
+  emit("compounds", stats_.compounds);
+  emit("compound_sub_ops", stats_.compound_sub_ops);
+  emit("delegations_granted", stats_.delegations_granted);
+  emit("delegations_recalled", stats_.delegations_recalled);
+  emit("delegations_returned", stats_.delegations_returned);
+  emit("delegations_expired", stats_.delegations_expired);
+  emit("deleg_fenced", stats_.deleg_fenced);
+  emit("grace_rejects", stats_.grace_rejects);
 }
 
 bool DfsServer::CheckCoherencyInvariants() {
@@ -960,7 +1493,8 @@ bool DfsServer::CheckCoherencyInvariants() {
   }
   for (const sp<ServerFile>& file : files) {
     std::lock_guard<std::mutex> lock(file->mutex);
-    if (!file->engine.CheckInvariants()) {
+    if (!file->engine.CheckInvariants() ||
+        !file->deleg_engine.CheckInvariants()) {
       return false;
     }
   }

@@ -29,20 +29,32 @@
 #include "src/fs/channel_table.h"
 #include "src/fs/file.h"
 #include "src/layers/dfs/protocol.h"
+#include "src/layers/dfs/wire.h"
 #include "src/net/network.h"
 #include "src/obs/metrics.h"
 
 namespace springfs::dfs {
 
-// Failure-model knobs (DESIGN.md §11).
+// Failure-model knobs (DESIGN.md §11, §13).
 struct DfsServerOptions {
   // Holder lease for remote caches: a client not heard from for this long
   // is presumed dead and may be evicted when it conflicts with another
   // client. Simulated nanoseconds on the server's clock. 0 disables leases
-  // (callback-failure eviction still applies).
+  // (callback-failure eviction still applies). Delegations (DESIGN.md §13)
+  // use the same duration, but their leases are never renewed: a
+  // delegation's expiry is fixed at grant time so the absolute expires_at
+  // the client received stays exact.
   uint64_t lease_ns = 30'000'000'000;
   // How many mutating responses the dedup window retains per server.
   size_t dedup_window = 256;
+  // Grace period after boot during which mutating ops are rejected with a
+  // transient kTimedOut. A restarted server cannot know which delegations
+  // its predecessor handed out; as long as grace_ns >= the predecessor's
+  // lease_ns, every pre-restart delegation has provably expired before the
+  // first post-restart mutation can conflict with its local serves.
+  // 0 (default) disables the grace period — correct when the server is the
+  // first on its node or delegations are not in use.
+  uint64_t grace_ns = 0;
 };
 
 class DfsServer : public StackableFs,
@@ -113,6 +125,7 @@ class DfsServer : public StackableFs,
   friend class DfsLocalFile;
   friend class DfsLowerCacheObject;
   friend class RemoteCacheProxy;
+  friend class DelegationProxy;
 
   // Protocol accounting, guarded by stats_mutex_; published via
   // CollectStats.
@@ -127,6 +140,14 @@ class DfsServer : public StackableFs,
     uint64_t lower_flushes = 0;  // coherency callbacks received from below
     uint64_t dedup_hits = 0;     // retransmissions answered from the window
     uint64_t stale_fenced = 0;   // page I/O rejected from evicted cache ids
+    uint64_t compounds = 0;      // kCompound frames served
+    uint64_t compound_sub_ops = 0;  // sub-ops executed inside compounds
+    uint64_t delegations_granted = 0;
+    uint64_t delegations_recalled = 0;  // recalled for a conflicting op
+    uint64_t delegations_returned = 0;  // voluntary kDelegReturn
+    uint64_t delegations_expired = 0;   // lapsed without recall or return
+    uint64_t deleg_fenced = 0;   // stale returns fenced by incarnation
+    uint64_t grace_rejects = 0;  // mutations bounced during the boot grace
   };
 
   void NoteLowerFlush();
@@ -139,6 +160,19 @@ class DfsServer : public StackableFs,
     uint64_t incarnation = 0;  // engine registration this entry belongs to
   };
 
+  // One outstanding delegation (DESIGN.md §13). The holder is registered
+  // in the file's deleg_engine under deleg_id, claiming the pseudo-block
+  // at offset 0 as a proxy for "the whole file's open/attr state".
+  struct DelegationInfo {
+    uint64_t deleg_id = 0;
+    DelegationKind kind = DelegationKind::kNone;
+    std::string node;
+    std::string service;
+    uint64_t incarnation = 0;  // deleg_engine registration
+    uint64_t expires_at = 0;   // absolute; never renewed
+    sp<class DelegationProxy> proxy;
+  };
+
   struct ServerFile {
     uint64_t handle = 0;
     std::string path;
@@ -149,6 +183,12 @@ class DfsServer : public StackableFs,
     CoherencyEngine engine;  // across remote caches (proxies)
     std::map<uint64_t, RemoteCacheInfo> remote_caches;  // by engine cache id
     uint64_t next_cache_id = 1;
+    // Delegations, tracked by a second engine so recall/lease/eviction/
+    // fencing reuse the PR 4 machinery without colliding with page-cache
+    // holder ids. Runs in conservative mode: an unreachable delegation
+    // holder keeps its claim until the lease provably lapsed.
+    CoherencyEngine deleg_engine;
+    std::map<uint64_t, DelegationInfo> delegations;  // by deleg_id
     std::mutex mutex;
   };
 
@@ -157,15 +197,43 @@ class DfsServer : public StackableFs,
             const DfsServerOptions& options);
 
   // Protocol dispatch. Handle() wraps Dispatch() with the mutating-request
-  // dedup window and stamps the boot epoch on every response.
+  // dedup window and stamps the boot epoch on every response. Compound
+  // sub-ops re-enter through Dispatch(), so they share the per-op handlers
+  // (and the grace-period check) but not the dedup window — the compound
+  // frame as a whole is the dedup unit.
   net::Frame Handle(const net::Frame& request);
-  net::Frame Dispatch(Op op, const net::Frame& request);
+  // `except_deleg` exempts one delegation from conflict recalls — the
+  // delegation the enclosing compound's kOpen granted, so the program's
+  // own tail runs under it.
+  net::Frame Dispatch(Op op, const net::Frame& request,
+                      uint64_t except_deleg = 0);
   net::Frame HandleNameOp(Op op, const net::Frame& request);
-  net::Frame HandleFileOp(Op op, const net::Frame& request);
+  net::Frame HandleFileOp(Op op, const net::Frame& request,
+                          uint64_t except_deleg = 0);
+  net::Frame HandleCompound(const net::Frame& request);
+  net::Frame HandleOpen(const net::Frame& request);
+  net::Frame HandleDelegReturn(const net::Frame& request);
+
+  // True while mutating ops are rejected after boot (options_.grace_ns).
+  bool InGracePeriod() const;
+
+  // Recalls every delegation that conflicts with `access` on this file
+  // (read access conflicts with write delegations; write access with all),
+  // except `except_deleg`. Takes file->mutex itself; call it BEFORE the
+  // op's own locked section. Applies any attr writes the recalled holders
+  // buffered (outside the lock — SetTimes can re-enter the lower coherency
+  // path).
+  Status RecallConflicting(const sp<ServerFile>& file, uint64_t except_deleg,
+                           AccessRights access);
 
   // Drops remote_caches entries whose engine registration is gone (the
   // engine evicted the holder); `file.mutex` held.
   void PruneEvicted(ServerFile& file);
+  // Same for delegations the deleg_engine evicted or whose lease lapsed;
+  // `file.mutex` held. Appends buffered attr writes of dropped holders to
+  // `dirty_times` for the caller to apply after unlocking.
+  void PruneDelegations(ServerFile& file,
+                        std::vector<std::pair<uint64_t, uint64_t>>* dirty_times);
 
   Result<sp<ServerFile>> FileForPath(const std::string& path);
   Result<sp<ServerFile>> FileForHandle(uint64_t handle);
@@ -185,6 +253,7 @@ class DfsServer : public StackableFs,
   Clock* clock_;
   DfsServerOptions options_;
   uint64_t boot_epoch_;
+  uint64_t boot_time_ = 0;  // clock at construction, for the grace period
   sp<StackableFs> under_;
 
   std::mutex mutex_;

@@ -3,6 +3,10 @@
 // models it on AFS-style protocols; ours carries the pager/cache operations
 // across the wire so remote VMMs participate in the server's coherency
 // protocol exactly as local cache managers do.
+//
+// Every op carries a typed request/response body in the Frame payload —
+// see src/layers/dfs/wire.h for the per-op structs and the codec. The
+// Frame's positional arg0..arg3 words are no longer used by DFS.
 
 #ifndef SPRINGFS_LAYERS_DFS_PROTOCOL_H_
 #define SPRINGFS_LAYERS_DFS_PROTOCOL_H_
@@ -13,37 +17,32 @@
 namespace springfs::dfs {
 
 enum class Op : uint32_t {
-  // name space (client -> server); payload carries the path
-  kLookup = 1,   // -> arg0 handle, arg1 kind (0 file / 1 dir)
-  kCreate = 2,   // -> arg0 handle
+  // name space (client -> server); body: PathRequest
+  kLookup = 1,   // -> LookupResponse
+  kCreate = 2,   // -> CreateResponse
   kMkdir = 3,
   kRemove = 4,
-  kReadDir = 5,  // -> payload: (name '\0' kind ';')*
+  kReadDir = 5,  // -> ReadDirResponse
 
-  // attributes (arg0 = handle)
-  kGetAttr = 10,    // -> payload: serialized FileAttributes
-  kSetTimes = 11,   // arg1 = atime, arg2 = mtime
-  kSetLength = 12,  // arg1 = length
-  kGetLength = 13,  // -> arg0 length
+  // attributes
+  kGetAttr = 10,    // HandleRequest -> GetAttrResponse
+  kSetTimes = 11,   // SetTimesRequest
+  kSetLength = 12,  // SetLengthRequest
+  kGetLength = 13,  // HandleRequest -> GetLengthResponse
 
-  // whole-file data path (arg0 = handle)
-  kRead = 20,   // arg1 = offset, arg2 = length -> payload data
-  kWrite = 21,  // arg1 = offset, payload data -> arg0 bytes written
-  kSyncFile = 22,
+  // whole-file data path
+  kRead = 20,   // ReadRequest -> ReadResponse
+  kWrite = 21,  // WriteRequest -> WriteResponse
+  kSyncFile = 22,  // HandleRequest
 
-  // pager-cache channel (arg0 = handle)
-  kBindCache = 30,  // arg1 = client channel id, arg2 = is_fs_cache,
-                    // payload = client node '\0' callback service
-                    // -> arg0 = server-side cache id
-  kUnbindCache = 31,  // arg1 = server-side cache id
-  kPageIn = 32,   // arg1 = offset, arg2 = size, arg3 = access,
-                  // payload = u64 server cache id -> payload data
-  kPageOut = 33,  // arg1 = offset, payload = u64 cache id + data
+  // pager-cache channel
+  kBindCache = 30,    // BindCacheRequest -> BindCacheResponse
+  kUnbindCache = 31,  // UnbindCacheRequest
+  kPageIn = 32,       // PageInRequest -> PageInResponse
+  kPageOut = 33,      // PageOutRequest
   kWriteOut = 34,
   kSyncPages = 35,
-  kPageInRange = 36,  // arg1 = offset, arg2 = size, arg3 = access,
-                      // payload = u64 server cache id
-                      // -> payload: (u64 offset + page)* block list.
+  kPageInRange = 36,  // PageInRequest -> PageInRangeResponse.
                       // Batched cousin of kPageIn: one round trip returns a
                       // whole fault cluster, served from the server's own
                       // clustered path. The block-list response (rather than
@@ -51,11 +50,30 @@ enum class Op : uint32_t {
                       // shorten the range at EOF. kPageIn stays for
                       // single-page faults and old clients.
 
-  // callbacks (server -> client); arg0 = client channel id
-  kCbFlushBack = 100,   // arg1 = offset, arg2 = size
-                        // -> payload: (u64 offset + page)*
+  // open + delegations (client -> server)
+  kOpen = 40,         // OpenRequest -> OpenResponse. Opens a looked-up
+                      // handle and optionally asks for a read/write
+                      // delegation (NFSv4-style, built on the PR 4 holder
+                      // leases): while the delegation is valid the client
+                      // serves opens/attrs locally with zero round trips.
+  kDelegReturn = 41,  // DelegReturnRequest. Voluntarily returns a
+                      // delegation, carrying any attr writes buffered
+                      // under a write delegation.
+
+  // compound (client -> server): an ordered program of the ops above,
+  // executed server-side as a pipeline. Stops at the first failing op and
+  // returns per-op status plus results for every completed op.
+  kCompound = 50,  // CompoundRequest -> CompoundResponse
+
+  // callbacks (server -> client); body: CbRecallRequest etc.
+  kCbFlushBack = 100,   // CbRecallRequest -> CbRecallResponse
   kCbDenyWrites = 101,  // same shape
-  kCbAttrInvalidate = 102,
+  kCbAttrInvalidate = 102,   // CbAttrInvalidateRequest
+  kCbRecallDeleg = 103,      // CbRecallDelegRequest -> CbRecallDelegResponse.
+                             // The response doubles as the return: it carries
+                             // the holder's buffered attr writes, so no
+                             // separate kDelegReturn trip is needed after a
+                             // recall.
 };
 
 // True for operations that are naturally safe to re-send when the
@@ -69,6 +87,9 @@ enum class Op : uint32_t {
 // Frame::request_id and the server keeps a bounded dedup window that
 // replays the original response to a retransmission (exactly-once within
 // one server boot epoch; see DESIGN.md §11).
+// kCompound and kOpen are deliberately NOT idempotent: a compound may
+// embed mutating sub-ops, and kOpen allocates delegation state — both ride
+// the request-id dedup window instead.
 inline bool IsIdempotent(Op op) {
   switch (op) {
     case Op::kLookup:
@@ -83,6 +104,49 @@ inline bool IsIdempotent(Op op) {
     default:
       return false;
   }
+}
+
+// Human-readable op names, used for per-op net/calls metrics
+// ("net/calls/lookup") and trace spans. Returns "op<N>" for unknown values.
+inline const char* OpName(Op op) {
+  switch (op) {
+    case Op::kLookup: return "lookup";
+    case Op::kCreate: return "create";
+    case Op::kMkdir: return "mkdir";
+    case Op::kRemove: return "remove";
+    case Op::kReadDir: return "readdir";
+    case Op::kGetAttr: return "getattr";
+    case Op::kSetTimes: return "settimes";
+    case Op::kSetLength: return "setlength";
+    case Op::kGetLength: return "getlength";
+    case Op::kRead: return "read";
+    case Op::kWrite: return "write";
+    case Op::kSyncFile: return "syncfile";
+    case Op::kBindCache: return "bindcache";
+    case Op::kUnbindCache: return "unbindcache";
+    case Op::kPageIn: return "pagein";
+    case Op::kPageOut: return "pageout";
+    case Op::kWriteOut: return "writeout";
+    case Op::kSyncPages: return "syncpages";
+    case Op::kPageInRange: return "pageinrange";
+    case Op::kOpen: return "open";
+    case Op::kDelegReturn: return "delegreturn";
+    case Op::kCompound: return "compound";
+    case Op::kCbFlushBack: return "cb_flushback";
+    case Op::kCbDenyWrites: return "cb_denywrites";
+    case Op::kCbAttrInvalidate: return "cb_attrinvalidate";
+    case Op::kCbRecallDeleg: return "cb_recall_deleg";
+  }
+  return "op?";
+}
+
+// Adapter for net::SetFrameTypeNamer: names DFS frame types for the
+// per-op net/calls metrics; nullptr for values outside the Op vocabulary
+// so the transport falls back to its generic "type<N>" form.
+inline const char* OpNamer(uint32_t type) {
+  const char* name = OpName(static_cast<Op>(type));
+  return (name[0] == 'o' && name[1] == 'p' && name[2] == '?') ? nullptr
+                                                              : name;
 }
 
 // FileAttributes wire form: kind u64, size u64, nlink u64, atime u64,
@@ -154,18 +218,6 @@ inline Result<std::vector<BlockData>> DeserializeBlocks(ByteSpan wire) {
     blocks.push_back(std::move(block));
   }
   return blocks;
-}
-
-// Splits "node\0service" payloads.
-inline Result<std::pair<std::string, std::string>> SplitNodeService(
-    ByteSpan payload) {
-  std::string text(reinterpret_cast<const char*>(payload.data()),
-                   payload.size());
-  size_t nul = text.find('\0');
-  if (nul == std::string::npos) {
-    return ErrCorrupted("missing node/service separator");
-  }
-  return std::make_pair(text.substr(0, nul), text.substr(nul + 1));
 }
 
 }  // namespace springfs::dfs

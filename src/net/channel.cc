@@ -511,6 +511,7 @@ void Channel::TransmitLocked(uint64_t tag) {
   {
     std::lock_guard<std::mutex> net_lock(network_->mutex_);
     ++network_->stats_.calls;
+    ++network_->stats_.calls_by_type[p.request.type];
     ++network_->stats_.messages;
     network_->stats_.bytes += wire.size();
     if (faults.extra_delay_ns != 0) {

@@ -277,9 +277,29 @@ Result<Frame> Network::Call(const std::string& from, const std::string& to,
   return std::move(done.response);
 }
 
+namespace {
+std::atomic<FrameTypeNamer> g_frame_type_namer{nullptr};
+}  // namespace
+
+void SetFrameTypeNamer(FrameTypeNamer namer) {
+  g_frame_type_namer.store(namer, std::memory_order_relaxed);
+}
+
+std::string FrameTypeName(uint32_t type) {
+  if (FrameTypeNamer namer = g_frame_type_namer.load(std::memory_order_relaxed)) {
+    if (const char* name = namer(type)) {
+      return name;
+    }
+  }
+  return "type" + std::to_string(type);
+}
+
 void Network::CollectStats(const metrics::StatsEmitter& emit) const {
   std::lock_guard<std::mutex> lock(mutex_);
   emit("calls", stats_.calls);
+  for (const auto& [type, n] : stats_.calls_by_type) {
+    emit("calls/" + FrameTypeName(type), n);
+  }
   emit("messages", stats_.messages);
   emit("bytes", stats_.bytes);
   emit("dropped_requests", stats_.dropped_requests);

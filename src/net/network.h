@@ -417,6 +417,10 @@ class Network : public metrics::StatsProvider {
     // Loss-recovery accounting across every channel.
     uint64_t rack_retransmits = 0;
     uint64_t rto_retransmits = 0;
+    // Per-frame-type transmissions, published as "calls/<name>" where
+    // <name> comes from the installed FrameTypeNamer (below). Lets
+    // `springfs_stat --diff` show per-op round-trip counts.
+    std::map<uint32_t, uint64_t> calls_by_type;
   };
 
   // A FaultPlan plus its private deterministic stream.
@@ -458,6 +462,17 @@ class Network : public metrics::StatsProvider {
   std::map<LinkKey, ArmedFaults> link_faults_;
   Stats stats_;
 };
+
+// Process-wide pretty-printer for Frame::type values in metrics output
+// ("net/calls/<name>"). A protocol layer installs one when it starts
+// speaking over the network — DFS does so in DfsServer::Create and
+// DfsClient::Mount, mapping types through dfs::OpName. Without a namer
+// (or for values the namer does not know) the fallback is "type<N>".
+// Stored in a single atomic function pointer: installing is idempotent
+// and thread-safe, and lookups are wait-free.
+using FrameTypeNamer = const char* (*)(uint32_t type);
+void SetFrameTypeNamer(FrameTypeNamer namer);
+std::string FrameTypeName(uint32_t type);
 
 }  // namespace springfs::net
 

@@ -80,7 +80,11 @@ struct ChaosWorld {
   sp<Vmm> vmms[kClients];
   sp<File> files[kClients];
 
-  explicit ChaosWorld(uint64_t lease_ns = 10'000'000, bool pipelined = false) {
+  bool delegated = false;
+
+  explicit ChaosWorld(uint64_t lease_ns = 10'000'000, bool pipelined = false,
+                      bool with_delegations = false)
+      : delegated(with_delegations) {
     network = std::make_unique<net::Network>(&clock, 1000);
     server_node = network->AddNode("server");
     verifier_node = network->AddNode("verifier");
@@ -100,6 +104,12 @@ struct ChaosWorld {
     // nothing that merely crawled, but recovers drops long before the sync
     // path's logical backoff would.
     dfs::DfsClientOptions client_options;
+    if (delegated) {
+      // Compound opens asking for read delegations: grants, recalls,
+      // conflicts, and expiry now ride every schedule.
+      client_options.compound = true;
+      client_options.delegations = true;
+    }
     if (pipelined) {
       client_options.pipelined = true;
       client_options.async_depth = 4;
@@ -119,6 +129,12 @@ struct ChaosWorld {
   void RestartServer() {
     dfs::DfsServerOptions options;
     options.lease_ns = 10'000'000;
+    if (delegated) {
+      // A successor cannot know the delegations its predecessor granted;
+      // grace >= the predecessor's lease keeps mutations out until every
+      // pre-restart delegation has provably expired (DESIGN.md §13).
+      options.grace_ns = options.lease_ns;
+    }
     retired_servers.push_back(server);
     server = *DfsServer::Create(server_node, network.get(), "dfs", sfs.root,
                                 &clock, options);
@@ -149,13 +165,23 @@ struct PageModel {
   }
 };
 
-void RunChaosSeed(uint64_t seed, bool pipelined = false) {
+// Accumulated across a shard so the sweep can prove it exercised the
+// delegation machinery (individual seeds may legitimately never grant).
+struct DelegationTeeth {
+  uint64_t granted = 0;
+  uint64_t recalled = 0;
+};
+
+void RunChaosSeed(uint64_t seed, bool pipelined = false,
+                  bool delegated = false,
+                  DelegationTeeth* teeth = nullptr) {
   // Per-seed black box: the flight recorder holds only this schedule's
   // events, so a failure dump reads as the seed's own story.
   flight::Clear();
   SCOPED_TRACE("seed=" + std::to_string(seed) +
-               (pipelined ? " (pipelined)" : ""));
-  ChaosWorld world(10'000'000, pipelined);
+               (pipelined ? " (pipelined)" : "") +
+               (delegated ? " (delegated)" : ""));
+  ChaosWorld world(10'000'000, pipelined, delegated);
   Rng rng(seed);
   PageModel model[kPages];
   sp<MappedRegion> regions[kClients];
@@ -203,6 +229,15 @@ void RunChaosSeed(uint64_t seed, bool pipelined = false) {
       // model allows (this also recalls other clients' cached dirty data
       // through the server's coherency engine).
       if (dead[c]) continue;
+      if (world.delegated && rng.Chance(1, 3)) {
+        // Re-open: zero trips under a valid delegation, else a fresh
+        // compound open (which may re-grant).
+        Result<sp<File>> reopened =
+            ResolveAs<File>(world.clients[c], "chaos", world.sys);
+        if (reopened.ok()) {
+          world.files[c] = *reopened;
+        }
+      }
       int page = static_cast<int>(rng.Below(kPages));
       Result<uint64_t> value = ReadTag(world.files[c], page);
       if (value.ok()) {
@@ -330,6 +365,15 @@ void RunChaosSeed(uint64_t seed, bool pipelined = false) {
     }
   }
   ASSERT_TRUE(world.server->CheckCoherencyInvariants());
+  if (teeth) {
+    teeth->granted += metrics::StatValue(*world.server, "delegations_granted");
+    teeth->recalled +=
+        metrics::StatValue(*world.server, "delegations_recalled");
+    for (const auto& retired : world.retired_servers) {
+      teeth->granted += metrics::StatValue(*retired, "delegations_granted");
+      teeth->recalled += metrics::StatValue(*retired, "delegations_recalled");
+    }
+  }
 }
 
 // On the first seed that fails, print the flight recorder — the drops,
@@ -346,17 +390,24 @@ void DumpFlightOnFailure(uint64_t seed, bool* dumped) {
   flight::DumpToFile("flight_dump_chaos.txt", header);
 }
 
-// 4 shards x 55 seeds = 220 schedules, each run twice: once over the
-// synchronous transport and once pipelined (same seeds, so the two sweeps
-// face the same schedules).
-void RunChaosShard(uint64_t first_seed, bool pipelined = false) {
+// 4 shards x 55 seeds = 220 schedules, each run three times: over the
+// synchronous transport, pipelined, and with compound opens + read
+// delegations enabled (same seeds, so every sweep faces the same
+// schedules).
+void RunChaosShard(uint64_t first_seed, bool pipelined = false,
+                   bool delegated = false) {
   bool dumped = false;
+  DelegationTeeth teeth;
   for (uint64_t seed = first_seed; seed < first_seed + 55; ++seed) {
-    RunChaosSeed(seed, pipelined);
+    RunChaosSeed(seed, pipelined, delegated, &teeth);
     DumpFlightOnFailure(seed, &dumped);
     if (::testing::Test::HasFatalFailure()) {
       return;
     }
+  }
+  if (delegated) {
+    EXPECT_GT(teeth.granted, 0u) << "the sweep never granted a delegation";
+    EXPECT_GT(teeth.recalled, 0u) << "the sweep never recalled a delegation";
   }
 }
 
@@ -364,6 +415,19 @@ TEST(ChaosDfs, SeededSchedulesShard0) { RunChaosShard(1000); }
 TEST(ChaosDfs, SeededSchedulesShard1) { RunChaosShard(2000); }
 TEST(ChaosDfs, SeededSchedulesShard2) { RunChaosShard(3000); }
 TEST(ChaosDfs, SeededSchedulesShard3) { RunChaosShard(4000); }
+
+TEST(ChaosDfs, DelegatedSeededSchedulesShard0) {
+  RunChaosShard(1000, false, true);
+}
+TEST(ChaosDfs, DelegatedSeededSchedulesShard1) {
+  RunChaosShard(2000, false, true);
+}
+TEST(ChaosDfs, DelegatedSeededSchedulesShard2) {
+  RunChaosShard(3000, false, true);
+}
+TEST(ChaosDfs, DelegatedSeededSchedulesShard3) {
+  RunChaosShard(4000, false, true);
+}
 
 TEST(ChaosDfs, PipelinedSeededSchedulesShard0) { RunChaosShard(1000, true); }
 TEST(ChaosDfs, PipelinedSeededSchedulesShard1) { RunChaosShard(2000, true); }

@@ -1,0 +1,528 @@
+// Tests for compound DFS operations and client delegations (DESIGN.md §13):
+// the typed wire codec, server-side compound pipeline semantics (stop at
+// first failure, current-handle substitution, nested/callback rejection),
+// delegation grant/recall/return/expiry/fencing, the post-restart grace
+// period, and the zero-round-trip client serves.
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <string>
+
+#include "src/layers/dfs/dfs_client.h"
+#include "src/layers/dfs/dfs_server.h"
+#include "src/layers/dfs/wire.h"
+#include "src/layers/sfs/sfs.h"
+#include "src/vmm/vmm.h"
+
+namespace springfs {
+namespace {
+
+using dfs::DfsClient;
+using dfs::DfsServer;
+
+// --- wire codec round trips ---
+
+TEST(DfsWire, OpenRoundTrip) {
+  dfs::OpenRequest req;
+  req.handle = 7;
+  req.want_delegation = dfs::DelegationKind::kWrite;
+  req.node = "client1";
+  req.service = "dfs-cb-3";
+  Result<dfs::OpenRequest> back = dfs::OpenRequest::Decode(req.Encode().span());
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(back->handle, 7u);
+  EXPECT_EQ(back->want_delegation, dfs::DelegationKind::kWrite);
+  EXPECT_EQ(back->node, "client1");
+  EXPECT_EQ(back->service, "dfs-cb-3");
+
+  dfs::OpenResponse resp;
+  resp.handle = 7;
+  resp.deleg_id = 42;
+  resp.granted = dfs::DelegationKind::kRead;
+  resp.incarnation = 3;
+  resp.expires_at = 1'000'000;
+  Result<dfs::OpenResponse> r2 =
+      dfs::OpenResponse::Decode(resp.Encode().span());
+  ASSERT_TRUE(r2.ok());
+  EXPECT_EQ(r2->deleg_id, 42u);
+  EXPECT_EQ(r2->granted, dfs::DelegationKind::kRead);
+  EXPECT_EQ(r2->incarnation, 3u);
+  EXPECT_EQ(r2->expires_at, 1'000'000u);
+}
+
+TEST(DfsWire, CompoundRoundTrip) {
+  dfs::CompoundRequest req;
+  dfs::PathRequest lookup;
+  lookup.path = "a/b";
+  req.ops.push_back({static_cast<uint32_t>(dfs::Op::kLookup),
+                     lookup.Encode()});
+  dfs::HandleRequest attr;
+  req.ops.push_back({static_cast<uint32_t>(dfs::Op::kGetAttr),
+                     attr.Encode()});
+  Result<dfs::CompoundRequest> back =
+      dfs::CompoundRequest::Decode(req.Encode().span());
+  ASSERT_TRUE(back.ok());
+  ASSERT_EQ(back->ops.size(), 2u);
+  EXPECT_EQ(back->ops[0].op, static_cast<uint32_t>(dfs::Op::kLookup));
+  Result<dfs::PathRequest> sub =
+      dfs::PathRequest::Decode(back->ops[0].body.span());
+  ASSERT_TRUE(sub.ok());
+  EXPECT_EQ(sub->path, "a/b");
+
+  dfs::CompoundResponse resp;
+  resp.results.push_back({static_cast<uint32_t>(dfs::Op::kLookup), 0,
+                          Buffer(std::string("ok"))});
+  resp.results.push_back(
+      {static_cast<uint32_t>(dfs::Op::kGetAttr),
+       static_cast<int32_t>(ErrorCode::kNotFound), Buffer()});
+  Result<dfs::CompoundResponse> r2 =
+      dfs::CompoundResponse::Decode(resp.Encode().span());
+  ASSERT_TRUE(r2.ok());
+  ASSERT_EQ(r2->results.size(), 2u);
+  EXPECT_EQ(r2->results[0].status, 0);
+  EXPECT_EQ(r2->results[0].body.ToString(), "ok");
+  EXPECT_EQ(r2->results[1].status,
+            static_cast<int32_t>(ErrorCode::kNotFound));
+}
+
+TEST(DfsWire, DelegReturnAndRecallRoundTrip) {
+  dfs::DelegReturnRequest ret;
+  ret.handle = 5;
+  ret.deleg_id = 9;
+  ret.incarnation = 2;
+  ret.has_times = true;
+  ret.atime_ns = 123;
+  ret.mtime_ns = 456;
+  Result<dfs::DelegReturnRequest> back =
+      dfs::DelegReturnRequest::Decode(ret.Encode().span());
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(back->deleg_id, 9u);
+  EXPECT_TRUE(back->has_times);
+  EXPECT_EQ(back->mtime_ns, 456u);
+
+  dfs::CbRecallDelegRequest recall;
+  recall.deleg_id = 9;
+  recall.incarnation = 2;
+  Result<dfs::CbRecallDelegRequest> r2 =
+      dfs::CbRecallDelegRequest::Decode(recall.Encode().span());
+  ASSERT_TRUE(r2.ok());
+  EXPECT_EQ(r2->deleg_id, 9u);
+
+  dfs::CbRecallDelegResponse resp;
+  resp.has_times = true;
+  resp.atime_ns = 7;
+  resp.mtime_ns = 8;
+  Result<dfs::CbRecallDelegResponse> r3 =
+      dfs::CbRecallDelegResponse::Decode(resp.Encode().span());
+  ASSERT_TRUE(r3.ok());
+  EXPECT_TRUE(r3->has_times);
+  EXPECT_EQ(r3->atime_ns, 7u);
+}
+
+TEST(DfsWire, TruncatedBodiesAreRejected) {
+  dfs::OpenResponse resp;
+  resp.deleg_id = 42;
+  Buffer wire = resp.Encode();
+  for (size_t cut = 0; cut < wire.size(); cut += 7) {
+    EXPECT_FALSE(dfs::OpenResponse::Decode(wire.subspan(0, cut)).ok())
+        << "cut=" << cut;
+  }
+  dfs::CompoundRequest req;
+  req.ops.push_back({1, Buffer(std::string("xyzw"))});
+  Buffer cwire = req.Encode();
+  EXPECT_FALSE(
+      dfs::CompoundRequest::Decode(cwire.subspan(0, cwire.size() - 1)).ok());
+}
+
+// --- fixture: server + SFS, clients mounted with various options ---
+
+class CompoundDfsTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    network_ = std::make_unique<net::Network>(&clock_, 1000);
+    server_node_ = network_->AddNode("server");
+    client_node_ = network_->AddNode("client1");
+    client2_node_ = network_->AddNode("client2");
+    device_ = std::make_unique<MemBlockDevice>(ufs::kBlockSize, 8192);
+    sfs_ = *CreateSfs(device_.get(), SfsOptions{}, &clock_);
+    server_ = *DfsServer::Create(server_node_, network_.get(), "dfs",
+                                 sfs_.root, &clock_);
+  }
+
+  sp<DfsClient> MountWith(const sp<net::Node>& node,
+                          const dfs::DfsClientOptions& options) {
+    return *DfsClient::Mount(node, network_.get(), "server", "dfs", &clock_,
+                             options);
+  }
+
+  // A seeded file with one page of known content.
+  sp<File> Seed(const std::string& name, const std::string& content) {
+    sp<File> file = *sfs_.root->CreateFile(*Name::Parse(name), sys_);
+    Buffer data(content);
+    EXPECT_TRUE(file->Write(0, data.span()).ok());
+    return file;
+  }
+
+  uint64_t NetMessages() {
+    return metrics::StatValue(*network_, "messages");
+  }
+
+  // Raw protocol round trip, bypassing the client (for malformed-program
+  // and fencing probes).
+  net::Frame Raw(dfs::Op op, Buffer payload) {
+    net::Frame request;
+    request.type = static_cast<uint32_t>(op);
+    request.payload = std::move(payload);
+    Result<net::Frame> response =
+        network_->Call("client1", "server", "dfs", request);
+    EXPECT_TRUE(response.ok());
+    return response.ok() ? *response : net::Frame{};
+  }
+
+  Credentials sys_ = Credentials::System();
+  FakeClock clock_;
+  std::unique_ptr<net::Network> network_;
+  sp<net::Node> server_node_, client_node_, client2_node_;
+  std::unique_ptr<MemBlockDevice> device_;
+  Sfs sfs_;
+  sp<DfsServer> server_;
+};
+
+// --- compound pipeline semantics ---
+
+TEST_F(CompoundDfsTest, CompoundOpenHalvesTheWireTraffic) {
+  Seed("cold", "compound payload");
+  dfs::DfsClientOptions sync_options;
+  sp<DfsClient> sync_client = MountWith(client_node_, sync_options);
+  dfs::DfsClientOptions compound_options;
+  compound_options.compound = true;
+  sp<DfsClient> compound_client = MountWith(client2_node_, compound_options);
+
+  Buffer out(8);
+  // Sync cold open: lookup + getattr + read, one round trip each.
+  uint64_t before = NetMessages();
+  sp<File> f1 = *ResolveAs<File>(sync_client, "cold", sys_);
+  ASSERT_TRUE(f1->Stat().ok());
+  ASSERT_TRUE(f1->Read(0, out.mutable_span()).ok());
+  uint64_t sync_msgs = NetMessages() - before;
+
+  // Compound cold open: ONE round trip; the stat and first read are then
+  // served from the close-to-open one-shot cache.
+  before = NetMessages();
+  sp<File> f2 = *ResolveAs<File>(compound_client, "cold", sys_);
+  ASSERT_TRUE(f2->Stat().ok());
+  ASSERT_TRUE(f2->Read(0, out.mutable_span()).ok());
+  uint64_t compound_msgs = NetMessages() - before;
+  EXPECT_EQ(out.ToString(), "compound");
+
+  EXPECT_LE(compound_msgs * 2, sync_msgs)
+      << "a compound open must cost at most half the sync messages";
+  EXPECT_EQ(metrics::StatValue(*compound_client, "compound_opens"), 1u);
+  EXPECT_EQ(metrics::StatValue(*compound_client, "cto_serves"), 2u);
+  EXPECT_EQ(metrics::StatValue(*server_, "compounds"), 1u);
+  EXPECT_EQ(metrics::StatValue(*server_, "compound_sub_ops"), 4u);
+
+  // The close-to-open cache is one-shot: the next stat goes to the wire.
+  before = NetMessages();
+  ASSERT_TRUE(f2->Stat().ok());
+  EXPECT_GT(NetMessages(), before);
+}
+
+TEST_F(CompoundDfsTest, CompoundStopsAtFirstFailure) {
+  Seed("exists", "x");
+  dfs::CompoundRequest program;
+  dfs::PathRequest ok_lookup;
+  ok_lookup.path = "exists";
+  program.ops.push_back({static_cast<uint32_t>(dfs::Op::kLookup),
+                         ok_lookup.Encode()});
+  dfs::PathRequest bad_lookup;
+  bad_lookup.path = "missing";
+  program.ops.push_back({static_cast<uint32_t>(dfs::Op::kLookup),
+                         bad_lookup.Encode()});
+  dfs::HandleRequest never_runs;
+  program.ops.push_back({static_cast<uint32_t>(dfs::Op::kGetAttr),
+                         never_runs.Encode()});
+
+  net::Frame response = Raw(dfs::Op::kCompound, program.Encode());
+  ASSERT_TRUE(response.ToStatus().ok());
+  Result<dfs::CompoundResponse> results =
+      dfs::CompoundResponse::Decode(response.payload.span());
+  ASSERT_TRUE(results.ok());
+  ASSERT_EQ(results->results.size(), 2u)
+      << "execution must stop at the first failing op";
+  EXPECT_EQ(results->results[0].status, 0);
+  EXPECT_EQ(results->results[1].status,
+            static_cast<int32_t>(ErrorCode::kNotFound));
+}
+
+TEST_F(CompoundDfsTest, CompoundSubstitutesCurrentHandle) {
+  Seed("hs", "hello substitution");
+  dfs::CompoundRequest program;
+  dfs::PathRequest lookup;
+  lookup.path = "hs";
+  program.ops.push_back({static_cast<uint32_t>(dfs::Op::kLookup),
+                         lookup.Encode()});
+  dfs::HandleRequest attr;  // handle 0 -> replaced by the lookup's result
+  program.ops.push_back({static_cast<uint32_t>(dfs::Op::kGetAttr),
+                         attr.Encode()});
+  dfs::ReadRequest read;
+  read.length = 5;
+  program.ops.push_back({static_cast<uint32_t>(dfs::Op::kRead),
+                         read.Encode()});
+
+  net::Frame response = Raw(dfs::Op::kCompound, program.Encode());
+  Result<dfs::CompoundResponse> results =
+      dfs::CompoundResponse::Decode(response.payload.span());
+  ASSERT_TRUE(results.ok());
+  ASSERT_EQ(results->results.size(), 3u);
+  EXPECT_EQ(results->results[1].status, 0);
+  Result<dfs::GetAttrResponse> attrs =
+      dfs::GetAttrResponse::Decode(results->results[1].body.span());
+  ASSERT_TRUE(attrs.ok());
+  EXPECT_EQ(attrs->attrs.size, 18u);
+  Result<dfs::ReadResponse> data =
+      dfs::ReadResponse::Decode(results->results[2].body.span());
+  ASSERT_TRUE(data.ok());
+  EXPECT_EQ(data->data.ToString(), "hello");
+}
+
+TEST_F(CompoundDfsTest, CompoundRejectsNestedAndCallbackOps) {
+  for (dfs::Op bad : {dfs::Op::kCompound, dfs::Op::kCbFlushBack}) {
+    dfs::CompoundRequest program;
+    program.ops.push_back({static_cast<uint32_t>(bad), Buffer()});
+    net::Frame response = Raw(dfs::Op::kCompound, program.Encode());
+    Result<dfs::CompoundResponse> results =
+        dfs::CompoundResponse::Decode(response.payload.span());
+    ASSERT_TRUE(results.ok());
+    ASSERT_EQ(results->results.size(), 1u);
+    EXPECT_EQ(results->results[0].status,
+              static_cast<int32_t>(ErrorCode::kInvalidArgument))
+        << "op " << static_cast<uint32_t>(bad);
+  }
+}
+
+TEST_F(CompoundDfsTest, CompoundResolvesDirectories) {
+  ASSERT_TRUE(sfs_.root->CreateContext(*Name::Parse("d"), sys_).ok());
+  Seed("d/f", "inside");
+  dfs::DfsClientOptions options;
+  options.compound = true;
+  sp<DfsClient> client = MountWith(client_node_, options);
+  // The open/getattr/read tail of the program fails on a directory, but
+  // the resolve still succeeds from the lookup result alone.
+  Result<sp<Object>> dir = client->Resolve(*Name::Parse("d"), sys_);
+  ASSERT_TRUE(dir.ok());
+  sp<Context> ctx = narrow<Context>(*dir);
+  ASSERT_NE(ctx, nullptr);
+  Result<std::vector<BindingInfo>> list = ctx->List(sys_);
+  ASSERT_TRUE(list.ok());
+  ASSERT_EQ(list->size(), 1u);
+  EXPECT_EQ((*list)[0].name, "f");
+}
+
+// --- delegations ---
+
+dfs::DfsClientOptions DelegatedOptions(bool write = false) {
+  dfs::DfsClientOptions options;
+  options.compound = true;
+  options.delegations = true;
+  options.write_delegations = write;
+  return options;
+}
+
+TEST_F(CompoundDfsTest, DelegationServesReopenStatAndReadWithZeroTrips) {
+  Seed("warm", "delegated bytes");
+  sp<DfsClient> client = MountWith(client_node_, DelegatedOptions());
+  sp<File> file = *ResolveAs<File>(client, "warm", sys_);
+  EXPECT_EQ(metrics::StatValue(*client, "delegations_held"), 1u);
+  EXPECT_EQ(metrics::StatValue(*server_, "delegations_granted"), 1u);
+
+  // Re-open, stat, length, and a first-page read: ZERO round trips.
+  uint64_t before = NetMessages();
+  sp<File> again = *ResolveAs<File>(client, "warm", sys_);
+  EXPECT_EQ(again.get(), file.get());
+  Result<FileAttributes> attrs = file->Stat();
+  ASSERT_TRUE(attrs.ok());
+  EXPECT_EQ(attrs->size, 15u);
+  EXPECT_EQ(*file->GetLength(), 15u);
+  Buffer out(9);
+  ASSERT_TRUE(file->Read(0, out.mutable_span()).ok());
+  EXPECT_EQ(out.ToString(), "delegated");
+  EXPECT_EQ(NetMessages(), before)
+      << "a delegation-holding client must serve these locally";
+  EXPECT_EQ(metrics::StatValue(*client, "local_opens"), 1u);
+  EXPECT_EQ(metrics::StatValue(*client, "local_attr_serves"), 2u);
+  EXPECT_EQ(metrics::StatValue(*client, "local_read_serves"), 1u);
+}
+
+TEST_F(CompoundDfsTest, ConflictingWriteRecallsDelegation) {
+  Seed("contested", "v1");
+  sp<DfsClient> holder = MountWith(client_node_, DelegatedOptions());
+  sp<File> held = *ResolveAs<File>(holder, "contested", sys_);
+  ASSERT_TRUE(held->Stat().ok());  // local
+
+  // Another client writes: the server must recall the delegation before
+  // applying the write.
+  sp<DfsClient> writer = MountWith(client2_node_, dfs::DfsClientOptions{});
+  sp<File> their = *ResolveAs<File>(writer, "contested", sys_);
+  Buffer v2(std::string("v2!!"));
+  ASSERT_TRUE(their->Write(0, v2.span()).ok());
+  EXPECT_EQ(metrics::StatValue(*server_, "delegations_recalled"), 1u);
+  EXPECT_EQ(metrics::StatValue(*holder, "deleg_recalls"), 1u);
+
+  // The holder's next stat goes to the wire and sees the new size.
+  uint64_t before = NetMessages();
+  Result<FileAttributes> attrs = held->Stat();
+  ASSERT_TRUE(attrs.ok());
+  EXPECT_EQ(attrs->size, 4u);
+  EXPECT_GT(NetMessages(), before);
+}
+
+TEST_F(CompoundDfsTest, WriteDelegationIsExclusive) {
+  Seed("solo", "x");
+  sp<DfsClient> writer = MountWith(client_node_, DelegatedOptions(true));
+  ASSERT_TRUE(ResolveAs<File>(writer, "solo", sys_).ok());
+  EXPECT_EQ(metrics::StatValue(*writer, "delegations_held"), 1u);
+
+  // A read-delegation request from another client is denied while the
+  // write delegation stands (the open itself still succeeds).
+  sp<DfsClient> reader = MountWith(client2_node_, DelegatedOptions());
+  ASSERT_TRUE(ResolveAs<File>(reader, "solo", sys_).ok());
+  EXPECT_EQ(metrics::StatValue(*reader, "delegations_held"), 0u);
+  EXPECT_EQ(metrics::StatValue(*server_, "delegations_granted"), 1u);
+}
+
+TEST_F(CompoundDfsTest, WriteDelegationBuffersSetTimesAndReturnsOnSync) {
+  Seed("times", "x");
+  sp<DfsClient> client = MountWith(client_node_, DelegatedOptions(true));
+  sp<File> file = *ResolveAs<File>(client, "times", sys_);
+
+  // SetTimes under a write delegation: zero round trips.
+  uint64_t before = NetMessages();
+  ASSERT_TRUE(file->SetTimes(111, 222).ok());
+  EXPECT_EQ(NetMessages(), before);
+  // And the local attr cache reflects it.
+  Result<FileAttributes> attrs = file->Stat();
+  ASSERT_TRUE(attrs.ok());
+  EXPECT_EQ(attrs->atime_ns, 111u);
+
+  // SyncFile voluntarily returns the delegation, carrying the times.
+  ASSERT_TRUE(file->SyncFile().ok());
+  EXPECT_EQ(metrics::StatValue(*client, "deleg_returns"), 1u);
+  EXPECT_EQ(metrics::StatValue(*server_, "delegations_returned"), 1u);
+  Result<FileAttributes> below =
+      (*ResolveAs<File>(sfs_.root, "times", sys_))->Stat();
+  ASSERT_TRUE(below.ok());
+  EXPECT_EQ(below->atime_ns, 111u);
+  EXPECT_EQ(below->mtime_ns, 222u);
+}
+
+TEST_F(CompoundDfsTest, RecallShipsBufferedTimesToTheConflictingReader) {
+  Seed("shipit", "x");
+  sp<DfsClient> holder = MountWith(client_node_, DelegatedOptions(true));
+  sp<File> held = *ResolveAs<File>(holder, "shipit", sys_);
+  ASSERT_TRUE(held->SetTimes(333, 444).ok());  // buffered locally
+
+  // A reader's stat recalls the write delegation; the recall response
+  // carries the buffered times, which the server applies before answering.
+  sp<DfsClient> reader = MountWith(client2_node_, dfs::DfsClientOptions{});
+  sp<File> their = *ResolveAs<File>(reader, "shipit", sys_);
+  Result<FileAttributes> attrs = their->Stat();
+  ASSERT_TRUE(attrs.ok());
+  EXPECT_EQ(attrs->atime_ns, 333u);
+  EXPECT_EQ(attrs->mtime_ns, 444u);
+  EXPECT_EQ(metrics::StatValue(*server_, "delegations_recalled"), 1u);
+}
+
+TEST_F(CompoundDfsTest, DelegationExpiresAtItsAbsoluteDeadline) {
+  Seed("lapse", "x");
+  sp<DfsClient> client = MountWith(client_node_, DelegatedOptions());
+  sp<File> file = *ResolveAs<File>(client, "lapse", sys_);
+  ASSERT_TRUE(file->Stat().ok());  // local while valid
+
+  clock_.Advance(31'000'000'000);  // past the 30s default lease
+
+  // The client stops serving locally (lazy expiry) ...
+  uint64_t before = NetMessages();
+  ASSERT_TRUE(file->Stat().ok());
+  EXPECT_GT(NetMessages(), before);
+  // ... and the server prunes the lapsed delegation on its next conflict
+  // scan rather than recalling a dead claim.
+  EXPECT_EQ(metrics::StatValue(*server_, "delegations_expired"), 1u);
+  EXPECT_EQ(metrics::StatValue(*server_, "delegations_recalled"), 0u);
+}
+
+TEST_F(CompoundDfsTest, StaleDelegReturnIsFencedByIncarnation) {
+  Seed("fenced", "x");
+  // Find the real handle with a raw lookup, then return a delegation that
+  // was never granted: the server must fence it, not crash or corrupt.
+  dfs::PathRequest lookup;
+  lookup.path = "fenced";
+  net::Frame looked = Raw(dfs::Op::kLookup, lookup.Encode());
+  Result<dfs::LookupResponse> handle =
+      dfs::LookupResponse::Decode(looked.payload.span());
+  ASSERT_TRUE(handle.ok());
+
+  dfs::DelegReturnRequest bogus;
+  bogus.handle = handle->handle;
+  bogus.deleg_id = 424242;
+  bogus.incarnation = 7;
+  net::Frame response = Raw(dfs::Op::kDelegReturn, bogus.Encode());
+  EXPECT_TRUE(response.ToStatus().ok()) << "fenced returns answer OK";
+  EXPECT_EQ(metrics::StatValue(*server_, "deleg_fenced"), 1u);
+  EXPECT_EQ(metrics::StatValue(*server_, "delegations_returned"), 0u);
+}
+
+TEST_F(CompoundDfsTest, GracePeriodBouncesMutationsUntilLeasesLapse) {
+  Seed("reborn", "pre-restart");
+  // Restart the service with a grace period covering the old lease span.
+  dfs::DfsServerOptions graced;
+  graced.grace_ns = 10'000'000;
+  sp<DfsServer> successor = *DfsServer::Create(
+      server_node_, network_.get(), "dfs", sfs_.root, &clock_, graced);
+
+  sp<DfsClient> client = MountWith(client_node_, dfs::DfsClientOptions{});
+  sp<File> file = *ResolveAs<File>(client, "reborn", sys_);
+  // Reads pass during grace.
+  Buffer out(3);
+  ASSERT_TRUE(file->Read(0, out.mutable_span()).ok());
+  EXPECT_EQ(out.ToString(), "pre");
+  // A mutation is bounced with a transient error; the client's retry
+  // backoff (slept on the shared clock) carries it past the grace window.
+  Buffer data(std::string("post-grace!!"));
+  Result<size_t> wrote = file->Write(0, data.span());
+  ASSERT_TRUE(wrote.ok()) << wrote.status().ToString();
+  EXPECT_GT(metrics::StatValue(*successor, "grace_rejects"), 0u);
+  Buffer check(12);
+  ASSERT_TRUE(file->Read(0, check.mutable_span()).ok());
+  EXPECT_EQ(check.ToString(), "post-grace!!");
+}
+
+TEST_F(CompoundDfsTest, DelegationsSurviveMappedCoherencyTraffic) {
+  // A delegation and a VMM mapping on the same file: the page-cache
+  // engine (remote_caches) and the delegation engine must not trample
+  // each other, and the server invariants must hold throughout.
+  Seed("both", "mapped and delegated");
+  sp<DfsClient> holder = MountWith(client_node_, DelegatedOptions());
+  sp<File> held = *ResolveAs<File>(holder, "both", sys_);
+  ASSERT_TRUE(held->Stat().ok());
+
+  sp<DfsClient> mapper = MountWith(client2_node_, dfs::DfsClientOptions{});
+  sp<Vmm> vmm = Vmm::Create(client2_node_->domain(), "vmm2");
+  sp<File> their = *ResolveAs<File>(mapper, "both", sys_);
+  sp<MappedRegion> region = *vmm->Map(their, AccessRights::kReadWrite);
+  Buffer tag(std::string("MAPW"));
+  ASSERT_TRUE(region->Write(0, tag.span()).ok());
+  ASSERT_TRUE(region->Sync().ok());
+  // The mapped write-access fault recalled the read delegation.
+  EXPECT_EQ(metrics::StatValue(*server_, "delegations_recalled"), 1u);
+  EXPECT_TRUE(server_->CheckCoherencyInvariants());
+
+  // The ex-holder sees the mapped write.
+  Buffer out(4);
+  ASSERT_TRUE(held->Read(0, out.mutable_span()).ok());
+  EXPECT_EQ(out.ToString(), "MAPW");
+}
+
+}  // namespace
+}  // namespace springfs

@@ -415,9 +415,10 @@ TEST_F(DfsTest, BackoffCarriesAcrossStaleHandleRebind) {
             return net::Frame{};  // mount probe
           case dfs::Op::kLookup: {
             ++lookups;
+            dfs::LookupResponse body;
+            body.handle = lookups;  // a fresh handle per resolution
             net::Frame response;
-            response.arg0 = lookups;  // a fresh handle per resolution
-            response.arg1 = 0;
+            response.payload = body.Encode();
             if (lookups == 2) {
               // The rebind lookup: arm one more transient fault so the
               // re-issued call times out once before succeeding.
@@ -430,8 +431,9 @@ TEST_F(DfsTest, BackoffCarriesAcrossStaleHandleRebind) {
             if (++getattrs == 1) {
               return net::Frame::Error(ErrorCode::kStale);
             }
+            dfs::GetAttrResponse body;
             net::Frame response;
-            response.payload = dfs::SerializeAttrs(FileAttributes{});
+            response.payload = body.Encode();
             return response;
           }
           default:
@@ -529,7 +531,8 @@ TEST_F(DfsTest, ServerRestartInvalidatesCachesAndRebindsTransparently) {
   // mapping bound to the new server.
   sp<MappedRegion> region2 = *client_vmm_->Map(remote, AccessRights::kReadOnly);
   Buffer out(4);
-  ASSERT_TRUE(region2->Read(0, out.mutable_span()).ok());
+  Status got = region2->Read(0, out.mutable_span());
+  ASSERT_TRUE(got.ok()) << got.ToString();
   EXPECT_EQ(out.ToString(), "->v1");
 }
 
