@@ -34,8 +34,10 @@ by bench_seqio's own exit code, not by this timing diff.
 measurement key contains SUBSTR. A renamed or silently dropped config
 otherwise just shrinks the shared set and the diff passes vacuously; the
 flag pins configs that must keep being measured, and may be repeated —
-every SUBSTR must match (CI requires seqio's pipeline/depth sweep and
-coldopen's compound + delegated_reopen configs this way).
+every SUBSTR must match, and every unmatched one is reported before the
+check exits (CI requires seqio's pipeline/depth sweep, coldopen's
+compound + delegated_reopen configs, and bench_stripe's width sweep this
+way).
 
 Exit codes: 0 clean, 1 regression found, 2 usage/shape error.
 """
@@ -93,12 +95,17 @@ def main(argv):
         print(f"error: no shared measurements between {args[:-1]} and "
               f"{args[-1]}", file=sys.stderr)
         return 2
-    for required in requires:
-        if not any(required in key for key in shared):
+    unmatched = [required for required in requires
+                 if not any(required in key for key in shared)]
+    if unmatched:
+        # Report every missing key, not just the first: a CI invocation
+        # pins several configs at once, and fixing them one failure per
+        # push is miserable.
+        for required in unmatched:
             print(f"error: no shared measurement matches --require "
                   f"'{required}' (configs dropped or renamed?)",
                   file=sys.stderr)
-            return 2
+        return 2
 
     ratios = {k: current[k] / baseline[k] for k in shared}
     scale = statistics.median(ratios.values())

@@ -134,6 +134,9 @@ class DfsClient : public Context,
   friend class RemoteFile;
   friend class RemoteDirContext;
   friend class RemotePagerObject;
+  // The striped client (striped_client.h) drives its metadata traffic
+  // through this client's Call/retry machinery instead of duplicating it.
+  friend class StripedDfsClient;
 
   // Per-mount accounting, guarded by stats_mutex_; published via
   // CollectStats.

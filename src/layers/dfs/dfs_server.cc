@@ -1,6 +1,7 @@
 #include "src/layers/dfs/dfs_server.h"
 
 #include <algorithm>
+#include <cstdio>
 #include <optional>
 
 #include "src/obs/flight_recorder.h"
@@ -43,6 +44,19 @@ uint64_t NextBootEpoch() {
 uint64_t NextDelegId() {
   static std::atomic<uint64_t> next{1};
   return next.fetch_add(1);
+}
+
+// Durable name of a file's per-data-server stripe object, derived from the
+// metadata path with FNV-1a so it stays stable across metadata- and
+// data-server restarts. Every data server holds the object under the same
+// name; what differs per server is which stripes of the file it stores.
+std::string StripeObjectName(const std::string& path) {
+  uint64_t h = Fnv1a64(
+      ByteSpan(reinterpret_cast<const uint8_t*>(path.data()), path.size()));
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "stripe-%016llx",
+                static_cast<unsigned long long>(h));
+  return buf;
 }
 
 // Ops that modify server state — rejected during the post-boot grace
@@ -367,6 +381,12 @@ DfsServer::DfsServer(const sp<net::Node>& node, net::Network* network,
       service_(std::move(service)), clock_(clock), options_(options),
       boot_epoch_(NextBootEpoch()), boot_time_(clock->Now()),
       under_(std::move(under)) {
+  // Handles are unique across instances, not just within one: a restarted
+  // server starts its handle space at a fresh boot-epoch prefix, so a
+  // client's stale handle can never silently resolve to a *different* file
+  // on the new incumbent — it always gets kStale and re-resolves by path.
+  // (The striped client relies on this to fence writes per data server.)
+  next_handle_ = (boot_epoch_ << 32) + 1;
   metrics::Registry::Global().RegisterProvider(this);
 }
 
@@ -699,6 +719,8 @@ net::Frame DfsServer::Dispatch(Op op, const net::Frame& request,
       return HandleOpen(request);
     case Op::kDelegReturn:
       return HandleDelegReturn(request);
+    case Op::kGetStripeMap:
+      return HandleGetStripeMap(request);
     case Op::kCompound:
       return HandleCompound(request);
     default:
@@ -915,6 +937,110 @@ net::Frame DfsServer::HandleDelegReturn(const net::Frame& request) {
     RETURN_FRAME_IF_ERROR(file->under->SetTimes(req->atime_ns, req->mtime_ns));
   }
   return OkFrame();
+}
+
+net::Frame DfsServer::HandleGetStripeMap(const net::Frame& request) {
+  Result<HandleRequest> req = HandleRequest::Decode(request.payload.span());
+  if (!req.ok()) {
+    return StatusFrame(req.status());
+  }
+  if (options_.stripe_targets.empty()) {
+    return StatusFrame(
+        ErrInvalidArgument("server has no stripe targets (not a metadata "
+                           "server); use the single-server path"));
+  }
+  if (options_.stripe_size == 0 || options_.stripe_size % kPageSize != 0) {
+    return StatusFrame(ErrInvalidArgument("stripe_size must be a non-zero "
+                                          "page multiple"));
+  }
+  Result<sp<ServerFile>> file_result = FileForHandle(req->handle);
+  if (!file_result.ok()) {
+    return StatusFrame(file_result.status());
+  }
+  sp<ServerFile> file = *file_result;
+
+  StripeMapResponse body;
+  body.stripe_size = options_.stripe_size;
+  body.object_name = StripeObjectName(file->path);
+  Result<Offset> length = file->under->GetLength();
+  if (!length.ok()) {
+    return StatusFrame(length.status());
+  }
+  body.length = *length;
+
+  // Ensure the per-file stripe object exists on every data server and
+  // collect its current handle. Deliberately uncached: handles are only
+  // valid for a data server's boot epoch, so re-resolving on every map
+  // request means a client that refetches the map after a data-server
+  // restart gets working handles with no extra re-lookup protocol. The
+  // lookup -> create -> re-lookup ladder is convergent, which is what lets
+  // kGetStripeMap stay idempotent even though it may create objects.
+  for (const DfsServerOptions::StripeTarget& target : options_.stripe_targets) {
+    PathRequest object;
+    object.path = body.object_name;
+    net::Frame lookup;
+    lookup.type = static_cast<uint32_t>(Op::kLookup);
+    lookup.payload = object.Encode();
+    Result<net::Frame> reply =
+        network_->Call(node_->name(), target.node, target.service, lookup);
+    if (!reply.ok()) {
+      return StatusFrame(reply.status());
+    }
+    Status st = reply->ToStatus();
+    if (st.code() == ErrorCode::kNotFound) {
+      net::Frame create;
+      create.type = static_cast<uint32_t>(Op::kCreate);
+      create.payload = object.Encode();
+      Result<net::Frame> created =
+          network_->Call(node_->name(), target.node, target.service, create);
+      if (!created.ok()) {
+        return StatusFrame(created.status());
+      }
+      Status create_st = created->ToStatus();
+      if (create_st.ok()) {
+        Result<CreateResponse> made =
+            CreateResponse::Decode(created->payload.span());
+        if (!made.ok()) {
+          return StatusFrame(made.status());
+        }
+        {
+          std::lock_guard<std::mutex> lock(stats_mutex_);
+          ++stats_.stripe_objects_created;
+        }
+        body.targets.push_back(StripeMapResponse::Target{
+            target.node, target.service, made->handle});
+        continue;
+      }
+      if (create_st.code() != ErrorCode::kAlreadyExists) {
+        return StatusFrame(create_st);
+      }
+      // Lost-response race: our earlier create landed but its reply did
+      // not. Fall through to the re-lookup below.
+      reply = network_->Call(node_->name(), target.node, target.service,
+                             lookup);
+      if (!reply.ok()) {
+        return StatusFrame(reply.status());
+      }
+      st = reply->ToStatus();
+    }
+    if (!st.ok()) {
+      return StatusFrame(st);
+    }
+    Result<LookupResponse> found = LookupResponse::Decode(reply->payload.span());
+    if (!found.ok()) {
+      return StatusFrame(found.status());
+    }
+    body.targets.push_back(StripeMapResponse::Target{
+        target.node, target.service, found->handle});
+  }
+
+  {
+    std::lock_guard<std::mutex> lock(stats_mutex_);
+    ++stats_.stripe_maps_served;
+  }
+  net::Frame response;
+  response.payload = body.Encode();
+  return response;
 }
 
 net::Frame DfsServer::HandleCompound(const net::Frame& request) {
@@ -1279,6 +1405,24 @@ net::Frame DfsServer::HandleFileOp(Op op, const net::Frame& request,
         return StatusFrame(ErrStale("page-in from evicted cache id " +
                                     std::to_string(req->cache_id)));
       }
+      // Clamp the range at EOF before touching the lower pager: a striped
+      // client computes extents from the *logical* length, so a sparse or
+      // short stripe object legitimately sees requests at or past its own
+      // end. An empty block list tells it to zero-fill.
+      if (range_op) {
+        Result<Offset> length = file->under->GetLength();
+        if (!length.ok()) {
+          return StatusFrame(length.status());
+        }
+        if (req->offset >= *length) {
+          PageInRangeResponse body;
+          net::Frame response;
+          response.payload = body.Encode();
+          return response;
+        }
+        req->size = std::min<uint64_t>(req->size,
+                                       PageCeil(*length) - req->offset);
+      }
       // One acquire covers the whole request, then one page_in against the
       // layer below — for kPageInRange this is the server-side mirror of
       // the client's fault clustering.
@@ -1480,6 +1624,8 @@ void DfsServer::CollectStats(const metrics::StatsEmitter& emit) const {
   emit("delegations_expired", stats_.delegations_expired);
   emit("deleg_fenced", stats_.deleg_fenced);
   emit("grace_rejects", stats_.grace_rejects);
+  emit("stripe_maps_served", stats_.stripe_maps_served);
+  emit("stripe_objects_created", stats_.stripe_objects_created);
 }
 
 bool DfsServer::CheckCoherencyInvariants() {

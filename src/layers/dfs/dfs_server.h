@@ -55,6 +55,22 @@ struct DfsServerOptions {
   // 0 (default) disables the grace period — correct when the server is the
   // first on its node or delegations are not in use.
   uint64_t grace_ns = 0;
+
+  // Striped-cluster role (DESIGN.md §14). When `stripe_targets` is
+  // non-empty this server is a *metadata* server: it answers
+  // kGetStripeMap with this geometry, lazily creating the per-file stripe
+  // objects on the listed data servers. The data servers themselves are
+  // plain DfsServers (each over its own backing store) and need no
+  // configuration — they just see lookups/creates/page I/O on
+  // "stripe-<hash>" names at their root. Empty (default) = single-server
+  // DFS;
+  // kGetStripeMap answers kInvalidArgument.
+  struct StripeTarget {
+    std::string node;
+    std::string service;
+  };
+  uint64_t stripe_size = 4 * 4096;  // bytes per stripe unit (page multiple)
+  std::vector<StripeTarget> stripe_targets;
 };
 
 class DfsServer : public StackableFs,
@@ -148,6 +164,9 @@ class DfsServer : public StackableFs,
     uint64_t delegations_expired = 0;   // lapsed without recall or return
     uint64_t deleg_fenced = 0;   // stale returns fenced by incarnation
     uint64_t grace_rejects = 0;  // mutations bounced during the boot grace
+    uint64_t stripe_maps_served = 0;  // kGetStripeMap replies (metadata role)
+    uint64_t stripe_objects_created = 0;  // stripe objects ensured on data
+                                          // servers (first map of a file)
   };
 
   void NoteLowerFlush();
@@ -213,6 +232,7 @@ class DfsServer : public StackableFs,
   net::Frame HandleCompound(const net::Frame& request);
   net::Frame HandleOpen(const net::Frame& request);
   net::Frame HandleDelegReturn(const net::Frame& request);
+  net::Frame HandleGetStripeMap(const net::Frame& request);
 
   // True while mutating ops are rejected after boot (options_.grace_ns).
   bool InGracePeriod() const;

@@ -60,6 +60,18 @@ enum class Op : uint32_t {
                       // delegation, carrying any attr writes buffered
                       // under a write delegation.
 
+  // striping (client -> metadata server)
+  kGetStripeMap = 60,  // HandleRequest -> StripeMapResponse. Returns the
+                       // file's striping geometry: stripe size, logical
+                       // length, the durable per-file object name, and the
+                       // ordered list of data-server targets with their
+                       // per-server stripe-object handles. The metadata
+                       // server lazily creates the backing stripe objects
+                       // on the data servers the first time the map is
+                       // requested. A non-striped server answers
+                       // kInvalidArgument, which tells the client to stay
+                       // on the single-server path.
+
   // compound (client -> server): an ordered program of the ops above,
   // executed server-side as a pipeline. Stops at the first failing op and
   // returns per-op status plus results for every completed op.
@@ -100,6 +112,11 @@ inline bool IsIdempotent(Op op) {
     case Op::kPageIn:
     case Op::kPageInRange:
     case Op::kSyncFile:
+    // kGetStripeMap mutates only in the create-if-missing sense: the
+    // metadata server ensures the per-target stripe objects exist, and an
+    // object that already exists is simply reused. Re-sending it converges
+    // on the same map, so it is retry-safe without the dedup window.
+    case Op::kGetStripeMap:
       return true;
     default:
       return false;
@@ -131,6 +148,7 @@ inline const char* OpName(Op op) {
     case Op::kPageInRange: return "pageinrange";
     case Op::kOpen: return "open";
     case Op::kDelegReturn: return "delegreturn";
+    case Op::kGetStripeMap: return "getstripemap";
     case Op::kCompound: return "compound";
     case Op::kCbFlushBack: return "cb_flushback";
     case Op::kCbDenyWrites: return "cb_denywrites";

@@ -1,0 +1,1150 @@
+#include "src/layers/dfs/striped_client.h"
+
+#include <algorithm>
+#include <atomic>
+#include <cstring>
+#include <set>
+
+#include "src/obs/flight_recorder.h"
+#include "src/obs/trace.h"
+#include "src/support/logging.h"
+
+namespace springfs::dfs {
+namespace {
+
+std::string UniqueStripedCallbackService() {
+  static std::atomic<uint64_t> next{1};
+  return "striped-cb-" + std::to_string(next.fetch_add(1));
+}
+
+// Striped data-path request ids land in the same per-server dedup keyspace
+// as the plain client's ids (a data server cannot tell the mints apart), so
+// this counter starts in a disjoint range.
+uint64_t NewStripedRequestId() {
+  static std::atomic<uint64_t> next{uint64_t{1} << 32};
+  return next.fetch_add(1);
+}
+
+bool TransientCode(ErrorCode code) {
+  return code == ErrorCode::kTimedOut || code == ErrorCode::kConnectionLost;
+}
+
+bool StaleCode(ErrorCode code) {
+  return code == ErrorCode::kStale || code == ErrorCode::kDeadObject;
+}
+
+}  // namespace
+
+// ---- striping math (RAID-0) -----------------------------------------------
+
+std::vector<StripeExtent> ComputeStripeExtents(uint64_t offset, uint64_t size,
+                                               uint64_t stripe_size,
+                                               size_t width) {
+  std::vector<StripeExtent> out;
+  if (size == 0 || stripe_size == 0 || width == 0) {
+    return out;
+  }
+  uint64_t end = offset + size;
+  for (uint64_t s = offset / stripe_size; s * stripe_size < end; ++s) {
+    uint64_t log_start = std::max(offset, s * stripe_size);
+    uint64_t log_end = std::min(end, (s + 1) * stripe_size);
+    StripeExtent ext;
+    ext.target = static_cast<size_t>(s % width);
+    ext.logical_offset = log_start;
+    ext.local_offset = (s / width) * stripe_size + (log_start - s * stripe_size);
+    ext.size = log_end - log_start;
+    out.push_back(ext);
+  }
+  return out;
+}
+
+uint64_t LocalLengthFor(size_t target, uint64_t length, uint64_t stripe_size,
+                        size_t width) {
+  if (length == 0 || stripe_size == 0 || width == 0) {
+    return 0;
+  }
+  uint64_t s_last = (length - 1) / stripe_size;
+  if (s_last < target) {
+    return 0;  // the file ends before this target's first stripe
+  }
+  // Highest stripe owned by `target` at or below s_last.
+  uint64_t s_own = s_last - ((s_last - target) % width);
+  uint64_t stripe_end = std::min(length, (s_own + 1) * stripe_size);
+  return (s_own / width) * stripe_size + (stripe_end - s_own * stripe_size);
+}
+
+// ---- the striped remote file ----------------------------------------------
+
+// A logical file whose pages live RAID-0 across N data servers. Reads and
+// writes fan one frame per stripe extent out over the per-server channels;
+// the metadata server is only consulted for attributes, length pushes, and
+// map refreshes after a per-stripe failure.
+class StripedRemoteFile : public File, public Servant {
+ public:
+  StripedRemoteFile(sp<Domain> domain, sp<StripedDfsClient> client,
+                    std::string path, uint64_t meta_handle,
+                    StripeMapResponse map)
+      : Servant(std::move(domain)), client_(std::move(client)),
+        path_(std::move(path)), meta_handle_(meta_handle),
+        map_(std::move(map)), logical_length_(map_.length),
+        bindings_(map_.targets.size()) {
+    for (size_t k = 0; k < map_.targets.size(); ++k) {
+      bindings_[k].handle = map_.targets[k].handle;
+    }
+  }
+
+  ~StripedRemoteFile() override {
+    client_->UnregisterRecallRoutes(this);
+    DropLocalChannels();
+  }
+
+  const char* interface_name() const override { return "striped_file"; }
+
+  // --- MemoryObject ---
+
+  Result<sp<CacheRights>> Bind(const sp<CacheManager>& caller,
+                               AccessRights) override;
+
+  Result<Offset> GetLength() override {
+    return InDomain([&]() -> Result<Offset> {
+      uint64_t handle = meta_handle_.load();
+      ASSIGN_OR_RETURN(net::Frame response,
+                       client_->MetaCallWithRebind(
+                           Op::kGetLength, path_, &handle,
+                           [](uint64_t h) {
+                             HandleRequest body;
+                             body.handle = h;
+                             return body.Encode();
+                           }));
+      meta_handle_.store(handle);
+      RETURN_IF_ERROR(response.ToStatus());
+      ASSIGN_OR_RETURN(GetLengthResponse body,
+                       GetLengthResponse::Decode(response.payload.span()));
+      std::lock_guard<std::mutex> lock(mutex_);
+      logical_length_ = body.length;
+      return Offset{body.length};
+    });
+  }
+
+  Status SetLength(Offset length) override;
+
+  // --- File ---
+
+  Result<size_t> Read(Offset offset, MutableByteSpan out) override;
+  Result<size_t> Write(Offset offset, ByteSpan data) override;
+
+  Result<FileAttributes> Stat() override {
+    return InDomain([&]() -> Result<FileAttributes> {
+      uint64_t handle = meta_handle_.load();
+      ASSIGN_OR_RETURN(net::Frame response,
+                       client_->MetaCallWithRebind(
+                           Op::kGetAttr, path_, &handle,
+                           [](uint64_t h) {
+                             HandleRequest body;
+                             body.handle = h;
+                             return body.Encode();
+                           }));
+      meta_handle_.store(handle);
+      RETURN_IF_ERROR(response.ToStatus());
+      ASSIGN_OR_RETURN(GetAttrResponse body,
+                       GetAttrResponse::Decode(response.payload.span()));
+      std::lock_guard<std::mutex> lock(mutex_);
+      logical_length_ = body.attrs.size;
+      return body.attrs;
+    });
+  }
+
+  Status SetTimes(uint64_t atime_ns, uint64_t mtime_ns) override {
+    return InDomain([&]() -> Status {
+      uint64_t handle = meta_handle_.load();
+      ASSIGN_OR_RETURN(net::Frame response,
+                       client_->MetaCallWithRebind(
+                           Op::kSetTimes, path_, &handle,
+                           [&](uint64_t h) {
+                             SetTimesRequest body;
+                             body.handle = h;
+                             body.atime_ns = atime_ns;
+                             body.mtime_ns = mtime_ns;
+                             return body.Encode();
+                           }));
+      meta_handle_.store(handle);
+      return response.ToStatus();
+    });
+  }
+
+  Status SyncFile() override;
+
+ private:
+  friend class StripedDfsClient;
+  friend class StripedPagerObject;
+
+  // Per-target client state: the stripe-object handle from the map, plus
+  // the cache registration for page traffic. `bound_epoch` is the data
+  // server's boot epoch stamped on the kBindCache response; a data-path
+  // completion under a different epoch means the server restarted between
+  // the bind and the op, so the binding (and possibly the handle) is dead.
+  struct Binding {
+    uint64_t handle = 0;
+    uint64_t cache_id = 0;       // 0 = no cache registered
+    uint64_t bound_epoch = 0;
+    uint64_t recall_key = 0;     // callback routing id (0 = not minted yet)
+    bool rebound_pending = false;  // a failure killed the previous binding
+  };
+
+  using BuildFrame =
+      std::function<net::Frame(const StripeExtent&, const Binding&)>;
+  using ConsumeFrame =
+      std::function<Status(const StripeExtent&, const net::Frame&)>;
+
+  // The fan-out engine: submits one frame per pending extent on the owning
+  // target's channel, drains each channel with WaitAny, and retries failed
+  // extents (with a map refresh + rebind when a target went stale) under
+  // the client's backoff budget. `mutating` mints one dedup request id per
+  // extent, reused across retries so a duplicate never applies twice
+  // within a server boot. `bind_caches` establishes the per-target cache
+  // registration first (page ops carry cache ids; byte ops do not).
+  Status FanExtents(const std::vector<StripeExtent>& exts, bool mutating,
+                    bool bind_caches, const BuildFrame& build,
+                    const ConsumeFrame& consume);
+
+  // Fan-read of page-aligned [offset, offset+size) into `dest`, which
+  // covers logical bytes [dest_base, dest_base + dest.size()) and has been
+  // pre-zeroed (sparse stripe holes and post-EOF tails read as zeros).
+  Status FanPageInto(uint64_t offset, uint64_t size, MutableByteSpan dest,
+                     uint64_t dest_base, AccessRights access);
+
+  // Fan page write-back (kPageOut / kWriteOut / kSyncPages).
+  Status FanPageWrite(Op op, uint64_t offset, ByteSpan data);
+
+  // Ensures target k's cache registration (kBindCache over the channel).
+  Status EnsureBound(size_t k, Binding* out);
+
+  // Re-fetches the stripe map from the metadata server (re-resolving the
+  // meta handle if the metadata server itself restarted) and installs the
+  // fresh per-target handles.
+  Status RefreshMap();
+
+  // Marks target k's binding dead. Local page caches are dropped too: a
+  // data-server restart or lease eviction means the server may have served
+  // conflicting access while we were gone, so locally cached pages cannot
+  // be trusted.
+  void InvalidateBinding(size_t k);
+
+  void DropLocalChannels();
+  void DropLocalChannel(uint64_t local_id);
+
+  // Pushes the logical length to the metadata server (data-path writes
+  // extend stripe objects locally; the logical length is metadata).
+  Status MetaSetLength(uint64_t length);
+
+  // Serves a data server's recall against this client's page caches:
+  // translates target k's local range to the logical stripes it covers,
+  // flushes/downgrades them in every local cache, and translates the dirty
+  // blocks back to the target's local coordinates for the response.
+  CbRecallResponse RecallLocal(Op op, Range local, size_t target);
+
+  sp<StripedDfsClient> client_;
+  std::string path_;
+  std::atomic<uint64_t> meta_handle_;
+
+  std::mutex mutex_;  // never held across a wire call
+  StripeMapResponse map_;
+  uint64_t logical_length_ = 0;
+  std::vector<Binding> bindings_;
+  uint64_t pager_key_ = 0;  // minted on first local Bind
+  PagerChannelTable local_channels_;
+};
+
+// Pager for one local channel of a striped file: faults fan-read across
+// the stripe owners; write-back fans kPageOut the same way.
+class StripedPagerObject : public PagerObject, public Servant {
+ public:
+  StripedPagerObject(sp<Domain> domain, sp<StripedRemoteFile> file,
+                     uint64_t local_channel)
+      : Servant(std::move(domain)), file_(std::move(file)),
+        local_channel_(local_channel) {}
+
+  Result<Buffer> PageIn(Offset offset, Offset size,
+                        AccessRights access) override {
+    return InDomain([&]() -> Result<Buffer> {
+      trace::ScopedSpan span("dfs.stripe_page_in");
+      Buffer out;
+      out.resize(size);  // zero-filled; stripe holes stay zero
+      RETURN_IF_ERROR(
+          file_->FanPageInto(offset, size, out.mutable_span(), offset, access));
+      return out;
+    });
+  }
+  Status PageOut(Offset offset, ByteSpan data) override {
+    return InDomain([&] { return file_->FanPageWrite(Op::kPageOut, offset,
+                                                     data); });
+  }
+  Status WriteOut(Offset offset, ByteSpan data) override {
+    return InDomain([&] { return file_->FanPageWrite(Op::kWriteOut, offset,
+                                                     data); });
+  }
+  Status Sync(Offset offset, ByteSpan data) override {
+    return InDomain([&] { return file_->FanPageWrite(Op::kSyncPages, offset,
+                                                     data); });
+  }
+  void DoneWithPagerObject() override {
+    InDomain([&] { file_->DropLocalChannel(local_channel_); });
+  }
+
+ private:
+  sp<StripedRemoteFile> file_;
+  uint64_t local_channel_;
+};
+
+Result<sp<CacheRights>> StripedRemoteFile::Bind(const sp<CacheManager>& caller,
+                                                AccessRights) {
+  return InDomain([&]() -> Result<sp<CacheRights>> {
+    uint64_t pager_key;
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      if (pager_key_ == 0) {
+        pager_key_ = NewPagerKey();
+      }
+      pager_key = pager_key_;
+    }
+    sp<StripedRemoteFile> self =
+        std::dynamic_pointer_cast<StripedRemoteFile>(shared_from_this());
+    // The table is per-file, so any constant file id works.
+    return local_channels_.Bind(
+        /*file_id=*/1, pager_key, caller,
+        [&](uint64_t local_id) -> sp<PagerObject> {
+          return std::make_shared<StripedPagerObject>(domain(), self, local_id);
+        });
+  });
+}
+
+Status StripedRemoteFile::FanExtents(const std::vector<StripeExtent>& exts,
+                                     bool mutating, bool bind_caches,
+                                     const BuildFrame& build,
+                                     const ConsumeFrame& consume) {
+  if (exts.empty()) {
+    return Status::Ok();
+  }
+  trace::ScopedSpan span("dfs.stripe_fanout");
+  std::lock_guard<std::mutex> io_lock(client_->data_io_mutex_);
+  std::vector<uint64_t> req_ids(exts.size(), 0);
+  if (mutating) {
+    // One id per extent, reused across retries: if an earlier attempt
+    // executed and only its response was lost, the server's dedup window
+    // replays it instead of applying the op twice.
+    for (uint64_t& id : req_ids) {
+      id = NewStripedRequestId();
+    }
+  }
+  std::vector<bool> done(exts.size(), false);
+  RetryState retry;
+  for (;;) {
+    bool map_stale = false;
+    Status failure = Status::Ok();
+
+    // Targets involved in this round.
+    std::set<size_t> targets;
+    for (size_t i = 0; i < exts.size(); ++i) {
+      if (!done[i]) {
+        targets.insert(exts[i].target);
+      }
+    }
+    // Snapshot each target's binding (establishing the cache registration
+    // where needed); targets whose bind failed sit this round out.
+    std::map<size_t, Binding> bound;
+    std::map<size_t, StripeMapResponse::Target> names;
+    for (size_t k : targets) {
+      Binding b;
+      Status st;
+      {
+        std::lock_guard<std::mutex> lock(mutex_);
+        names[k] = map_.targets[k];
+        b = bindings_[k];
+      }
+      if (bind_caches && b.cache_id == 0) {
+        st = EnsureBound(k, &b);
+      }
+      if (!st.ok()) {
+        if (StaleCode(st.code())) {
+          InvalidateBinding(k);
+          map_stale = true;
+        }
+        failure = st;
+        continue;
+      }
+      bound[k] = b;
+    }
+
+    // Submit one frame per pending extent on its owner's channel.
+    struct Pending {
+      size_t ext;
+      uint64_t tag;
+    };
+    std::map<size_t, std::vector<Pending>> per_target;
+    for (size_t i = 0; i < exts.size(); ++i) {
+      size_t k = exts[i].target;
+      if (done[i] || !bound.count(k)) {
+        continue;
+      }
+      net::Frame frame = build(exts[i], bound[k]);
+      frame.request_id = req_ids[i];
+      uint64_t tag = client_->ChannelFor(names[k])->Submit(frame,
+                                                           retry.attempt);
+      per_target[k].push_back({i, tag});
+      client_->Bump(&StripedDfsClient::Stats::stripe_extents);
+    }
+
+    // Drain each channel. Submissions to different servers overlap their
+    // round trips; within one channel the completions arrive in whatever
+    // order the transport produced them.
+    for (auto& [k, pend] : per_target) {
+      sp<net::Channel> chan = client_->ChannelFor(names[k]);
+      std::map<uint64_t, size_t> by_tag;
+      for (const Pending& p : pend) {
+        by_tag[p.tag] = p.ext;
+      }
+      while (!by_tag.empty()) {
+        Result<net::Completion> got = chan->WaitAny();
+        if (!got.ok()) {
+          failure = got.status();
+          break;  // extents left in by_tag stay pending
+        }
+        auto it = by_tag.find(got->tag);
+        if (it == by_tag.end()) {
+          continue;  // a stray completion from an abandoned earlier drain
+        }
+        size_t ei = it->second;
+        by_tag.erase(it);
+        if (!got->status.ok()) {
+          failure = got->status;  // transport gave up on this extent
+          continue;
+        }
+        client_->NoteTargetEpoch(names[k], got->response.epoch);
+        Status st = got->response.ToStatus();
+        if (StaleCode(st.code())) {
+          // The data server restarted (or evicted us): its handle space and
+          // cache ids are fresh. Refetch the map and rebind this stripe.
+          InvalidateBinding(k);
+          map_stale = true;
+          failure = st;
+          continue;
+        }
+        if (TransientCode(st.code())) {
+          failure = st;  // grace period / transient refusal; retry as-is
+          continue;
+        }
+        if (!st.ok()) {
+          return st;  // hard application error: fail the whole operation
+        }
+        if (bind_caches && got->response.epoch != bound[k].bound_epoch) {
+          // Restart raced between our bind and this response.
+          InvalidateBinding(k);
+          map_stale = true;
+          failure = ErrStale("data server epoch changed under the binding");
+          continue;
+        }
+        Status used = consume(exts[ei], got->response);
+        if (!used.ok()) {
+          return used;
+        }
+        done[ei] = true;
+      }
+    }
+
+    if (std::all_of(done.begin(), done.end(), [](bool d) { return d; })) {
+      return Status::Ok();
+    }
+    if (retry.attempt >= client_->options_.max_retries) {
+      client_->Bump(&StripedDfsClient::Stats::retries_exhausted);
+      flight::Record(flight::Severity::kError, "dfs_striped",
+                     "fan-out retries exhausted", exts.size(), retry.attempt);
+      return failure.ok() ? ErrTimedOut("striped fan-out gave up") : failure;
+    }
+    uint64_t backoff = retry.next_backoff_ns == 0
+                           ? client_->options_.backoff_base_ns
+                           : retry.next_backoff_ns;
+    backoff = std::min(backoff, client_->options_.backoff_max_ns);
+    client_->clock_->SleepNs(backoff);
+    retry.next_backoff_ns =
+        std::min(backoff * 2, client_->options_.backoff_max_ns);
+    ++retry.attempt;
+    client_->Bump(&StripedDfsClient::Stats::data_retries);
+    flight::Record(flight::Severity::kInfo, "dfs_striped", "fan-out retry",
+                   retry.attempt, map_stale ? 1 : 0);
+    if (map_stale) {
+      // Best effort: a failed refresh leaves the stale bindings in place
+      // and the remaining attempts keep trying.
+      (void)RefreshMap();
+    }
+  }
+}
+
+Status StripedRemoteFile::EnsureBound(size_t k, Binding* out) {
+  StripeMapResponse::Target target;
+  uint64_t handle;
+  uint64_t recall_key;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    Binding& b = bindings_[k];
+    if (b.cache_id != 0) {
+      *out = b;
+      return Status::Ok();
+    }
+    target = map_.targets[k];
+    handle = b.handle;
+    recall_key = b.recall_key;
+  }
+  if (recall_key == 0) {
+    recall_key = client_->NewRecallKey();
+    sp<StripedRemoteFile> self =
+        std::dynamic_pointer_cast<StripedRemoteFile>(shared_from_this());
+    client_->RegisterRecallRoute(recall_key, self, k);
+    std::lock_guard<std::mutex> lock(mutex_);
+    bindings_[k].recall_key = recall_key;
+  }
+  BindCacheRequest body;
+  body.handle = handle;
+  body.client_channel = recall_key;
+  body.is_fs_cache = false;
+  body.node = client_->node_->name();
+  body.service = client_->callback_service_;
+  net::Frame request;
+  request.type = static_cast<uint32_t>(Op::kBindCache);
+  request.request_id = NewStripedRequestId();
+  request.payload = body.Encode();
+  sp<net::Channel> chan = client_->ChannelFor(target);
+  uint64_t tag = chan->Submit(request);
+  ASSIGN_OR_RETURN(net::Completion got, chan->Wait(tag));
+  RETURN_IF_ERROR(got.status);
+  client_->NoteTargetEpoch(target, got.response.epoch);
+  RETURN_IF_ERROR(got.response.ToStatus());
+  ASSIGN_OR_RETURN(BindCacheResponse bound,
+                   BindCacheResponse::Decode(got.response.payload.span()));
+  std::lock_guard<std::mutex> lock(mutex_);
+  Binding& b = bindings_[k];
+  b.cache_id = bound.cache_id;
+  b.bound_epoch = got.response.epoch;
+  if (b.rebound_pending) {
+    b.rebound_pending = false;
+    client_->Bump(&StripedDfsClient::Stats::stripe_rebinds);
+    flight::Record(flight::Severity::kInfo, "dfs_striped", "stripe rebound",
+                   k, got.response.epoch);
+  }
+  *out = b;
+  return Status::Ok();
+}
+
+Status StripedRemoteFile::RefreshMap() {
+  uint64_t handle = meta_handle_.load();
+  ASSIGN_OR_RETURN(net::Frame response,
+                   client_->MetaCallWithRebind(
+                       Op::kGetStripeMap, path_, &handle,
+                       [](uint64_t h) {
+                         HandleRequest body;
+                         body.handle = h;
+                         return body.Encode();
+                       }));
+  meta_handle_.store(handle);
+  RETURN_IF_ERROR(response.ToStatus());
+  ASSIGN_OR_RETURN(StripeMapResponse fresh,
+                   StripeMapResponse::Decode(response.payload.span()));
+  client_->Bump(&StripedDfsClient::Stats::map_fetches);
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (fresh.targets.size() != bindings_.size()) {
+    // Geometry is fixed per metadata-server configuration; a different
+    // width means the file was recreated under a different topology.
+    bindings_.assign(fresh.targets.size(), Binding{});
+  }
+  for (size_t k = 0; k < fresh.targets.size(); ++k) {
+    if (bindings_[k].handle != fresh.targets[k].handle) {
+      bindings_[k].handle = fresh.targets[k].handle;
+      bindings_[k].cache_id = 0;  // minted by an instance that is gone
+      bindings_[k].bound_epoch = 0;
+    }
+  }
+  map_ = std::move(fresh);
+  logical_length_ = std::max(logical_length_, map_.length);
+  return Status::Ok();
+}
+
+void StripedRemoteFile::InvalidateBinding(size_t k) {
+  bool had_binding = false;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    Binding& b = bindings_[k];
+    if (b.cache_id != 0) {
+      b.cache_id = 0;
+      b.bound_epoch = 0;
+      had_binding = true;
+    }
+    b.rebound_pending = true;
+  }
+  if (had_binding) {
+    // The server may have granted conflicting access while the binding was
+    // dead (our lease expired with it), so locally cached pages — for ANY
+    // stripe, since local caches are per file — cannot be trusted.
+    DropLocalChannels();
+  }
+}
+
+void StripedRemoteFile::DropLocalChannels() {
+  for (const auto& ch : local_channels_.AllChannels()) {
+    if (ch.cache) {
+      (void)ch.cache->DestroyCache();
+    }
+    local_channels_.RemoveChannel(ch.local_id);
+  }
+}
+
+void StripedRemoteFile::DropLocalChannel(uint64_t local_id) {
+  local_channels_.RemoveChannel(local_id);
+}
+
+Status StripedRemoteFile::MetaSetLength(uint64_t length) {
+  uint64_t handle = meta_handle_.load();
+  ASSIGN_OR_RETURN(net::Frame response,
+                   client_->MetaCallWithRebind(
+                       Op::kSetLength, path_, &handle,
+                       [&](uint64_t h) {
+                         SetLengthRequest body;
+                         body.handle = h;
+                         body.length = length;
+                         return body.Encode();
+                       }));
+  meta_handle_.store(handle);
+  return response.ToStatus();
+}
+
+Status StripedRemoteFile::FanPageInto(uint64_t offset, uint64_t size,
+                                      MutableByteSpan dest, uint64_t dest_base,
+                                      AccessRights access) {
+  uint64_t stripe_size;
+  size_t width;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stripe_size = map_.stripe_size;
+    width = map_.targets.size();
+  }
+  std::vector<StripeExtent> exts =
+      ComputeStripeExtents(offset, size, stripe_size, width);
+  bool write_access = access == AccessRights::kReadWrite;
+  return FanExtents(
+      exts, /*mutating=*/false, /*bind_caches=*/true,
+      [&](const StripeExtent& ext, const Binding& b) {
+        PageInRequest body;
+        body.handle = b.handle;
+        body.cache_id = b.cache_id;
+        body.offset = ext.local_offset;
+        body.size = ext.size;
+        body.write_access = write_access;
+        net::Frame frame;
+        frame.type = static_cast<uint32_t>(Op::kPageInRange);
+        frame.payload = body.Encode();
+        return frame;
+      },
+      [&](const StripeExtent& ext, const net::Frame& response) -> Status {
+        ASSIGN_OR_RETURN(
+            PageInRangeResponse body,
+            PageInRangeResponse::Decode(response.payload.span()));
+        if (body.blocks.empty()) {
+          // Past the stripe object's EOF: the pre-zeroed destination is
+          // the right answer (a stripe hole or the logical tail).
+          client_->Bump(&StripedDfsClient::Stats::zero_fills);
+          return Status::Ok();
+        }
+        for (const BlockData& block : body.blocks) {
+          uint64_t logical =
+              ext.logical_offset + (block.offset - ext.local_offset);
+          uint64_t lo = std::max(logical, dest_base);
+          uint64_t hi = std::min(logical + block.data.size(),
+                                 dest_base + dest.size());
+          if (lo >= hi) {
+            continue;
+          }
+          std::memcpy(dest.data() + (lo - dest_base),
+                      block.data.data() + (lo - logical), hi - lo);
+        }
+        return Status::Ok();
+      });
+}
+
+Status StripedRemoteFile::FanPageWrite(Op op, uint64_t offset, ByteSpan data) {
+  uint64_t stripe_size;
+  size_t width;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stripe_size = map_.stripe_size;
+    width = map_.targets.size();
+  }
+  std::vector<StripeExtent> exts =
+      ComputeStripeExtents(offset, data.size(), stripe_size, width);
+  RETURN_IF_ERROR(FanExtents(
+      exts, /*mutating=*/true, /*bind_caches=*/true,
+      [&](const StripeExtent& ext, const Binding& b) {
+        PageOutRequest body;
+        body.handle = b.handle;
+        body.cache_id = b.cache_id;
+        body.offset = ext.local_offset;
+        body.data =
+            Buffer(data.subspan(ext.logical_offset - offset, ext.size));
+        net::Frame frame;
+        frame.type = static_cast<uint32_t>(op);
+        frame.payload = body.Encode();
+        return frame;
+      },
+      [](const StripeExtent&, const net::Frame&) { return Status::Ok(); }));
+  // Mapped write-back can extend the file (a CFS above us may push pages
+  // past the old EOF); keep the logical length metadata-owned.
+  uint64_t end = offset + data.size();
+  bool extend;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    extend = end > logical_length_;
+  }
+  if (extend && op != Op::kSyncPages) {
+    RETURN_IF_ERROR(MetaSetLength(end));
+    std::lock_guard<std::mutex> lock(mutex_);
+    logical_length_ = std::max(logical_length_, end);
+  }
+  return Status::Ok();
+}
+
+Result<size_t> StripedRemoteFile::Read(Offset offset, MutableByteSpan out) {
+  return InDomain([&]() -> Result<size_t> {
+    uint64_t length;
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      length = logical_length_;
+    }
+    if (out.empty() || offset >= length) {
+      return size_t{0};
+    }
+    size_t n = static_cast<size_t>(
+        std::min<uint64_t>(out.size(), length - offset));
+    MutableByteSpan dest = out.first(n);
+    std::fill(dest.begin(), dest.end(), uint8_t{0});
+    client_->Bump(&StripedDfsClient::Stats::stripe_reads);
+    uint64_t lo = PageFloor(offset);
+    uint64_t hi = PageCeil(offset + n);
+    RETURN_IF_ERROR(
+        FanPageInto(lo, hi - lo, dest, offset, AccessRights::kReadOnly));
+    return n;
+  });
+}
+
+Result<size_t> StripedRemoteFile::Write(Offset offset, ByteSpan data) {
+  return InDomain([&]() -> Result<size_t> {
+    if (data.empty()) {
+      return size_t{0};
+    }
+    uint64_t stripe_size;
+    size_t width;
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      stripe_size = map_.stripe_size;
+      width = map_.targets.size();
+    }
+    client_->Bump(&StripedDfsClient::Stats::stripe_writes);
+    std::vector<StripeExtent> exts =
+        ComputeStripeExtents(offset, data.size(), stripe_size, width);
+    RETURN_IF_ERROR(FanExtents(
+        exts, /*mutating=*/true, /*bind_caches=*/false,
+        [&](const StripeExtent& ext, const Binding& b) {
+          WriteRequest body;
+          body.handle = b.handle;
+          body.offset = ext.local_offset;
+          body.data =
+              Buffer(data.subspan(ext.logical_offset - offset, ext.size));
+          net::Frame frame;
+          frame.type = static_cast<uint32_t>(Op::kWrite);
+          frame.payload = body.Encode();
+          return frame;
+        },
+        [](const StripeExtent&, const net::Frame& response) -> Status {
+          return WriteResponse::Decode(response.payload.span()).status();
+        }));
+    uint64_t end = offset + data.size();
+    bool extend;
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      extend = end > logical_length_;
+    }
+    if (extend) {
+      RETURN_IF_ERROR(MetaSetLength(end));
+      std::lock_guard<std::mutex> lock(mutex_);
+      logical_length_ = std::max(logical_length_, end);
+    }
+    return data.size();
+  });
+}
+
+Status StripedRemoteFile::SetLength(Offset length) {
+  return InDomain([&]() -> Status {
+    RETURN_IF_ERROR(MetaSetLength(length));
+    uint64_t stripe_size;
+    size_t width;
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      stripe_size = map_.stripe_size;
+      width = map_.targets.size();
+    }
+    // One kSetLength per target, as a degenerate one-extent-per-target fan.
+    std::vector<StripeExtent> per_target(width);
+    for (size_t k = 0; k < width; ++k) {
+      per_target[k].target = k;
+    }
+    RETURN_IF_ERROR(FanExtents(
+        per_target, /*mutating=*/true, /*bind_caches=*/false,
+        [&](const StripeExtent& ext, const Binding& b) {
+          SetLengthRequest body;
+          body.handle = b.handle;
+          body.length = LocalLengthFor(ext.target, length, stripe_size, width);
+          net::Frame frame;
+          frame.type = static_cast<uint32_t>(Op::kSetLength);
+          frame.payload = body.Encode();
+          return frame;
+        },
+        [](const StripeExtent&, const net::Frame&) { return Status::Ok(); }));
+    std::lock_guard<std::mutex> lock(mutex_);
+    logical_length_ = length;
+    return Status::Ok();
+  });
+}
+
+Status StripedRemoteFile::SyncFile() {
+  return InDomain([&]() -> Status {
+    size_t width;
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      width = map_.targets.size();
+    }
+    std::vector<StripeExtent> per_target(width);
+    for (size_t k = 0; k < width; ++k) {
+      per_target[k].target = k;
+    }
+    RETURN_IF_ERROR(FanExtents(
+        per_target, /*mutating=*/false, /*bind_caches=*/false,
+        [&](const StripeExtent&, const Binding& b) {
+          HandleRequest body;
+          body.handle = b.handle;
+          net::Frame frame;
+          frame.type = static_cast<uint32_t>(Op::kSyncFile);
+          frame.payload = body.Encode();
+          return frame;
+        },
+        [](const StripeExtent&, const net::Frame&) { return Status::Ok(); }));
+    uint64_t handle = meta_handle_.load();
+    ASSIGN_OR_RETURN(net::Frame response,
+                     client_->MetaCallWithRebind(
+                         Op::kSyncFile, path_, &handle,
+                         [](uint64_t h) {
+                           HandleRequest body;
+                           body.handle = h;
+                           return body.Encode();
+                         }));
+    meta_handle_.store(handle);
+    return response.ToStatus();
+  });
+}
+
+CbRecallResponse StripedRemoteFile::RecallLocal(Op op, Range local,
+                                                size_t target) {
+  client_->Bump(&StripedDfsClient::Stats::recalls_received);
+  uint64_t stripe_size;
+  size_t width;
+  uint64_t length;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stripe_size = map_.stripe_size;
+    width = map_.targets.size();
+    length = logical_length_;
+  }
+  CbRecallResponse out;
+  if (stripe_size == 0 || width == 0 || target >= width) {
+    return out;
+  }
+  std::vector<PagerChannelTable::Channel> channels =
+      local_channels_.AllChannels();
+  // Bound the recall by the target's share of the file; Range::All() and
+  // other huge ranges saturate instead of wrapping.
+  uint64_t local_len = LocalLengthFor(target, PageCeil(length), stripe_size,
+                                      width);
+  uint64_t lo = std::min<uint64_t>(local.offset, local_len);
+  uint64_t hi = std::min<uint64_t>(local.end(), local_len);
+  for (uint64_t i = lo / stripe_size; i * stripe_size < hi; ++i) {
+    uint64_t seg_lo = std::max(lo, i * stripe_size);
+    uint64_t seg_hi = std::min(hi, (i + 1) * stripe_size);
+    if (seg_lo >= seg_hi) {
+      continue;
+    }
+    // Local stripe i of target k is logical stripe i * width + k.
+    uint64_t s = i * width + target;
+    Range logical{s * stripe_size + (seg_lo - i * stripe_size),
+                  seg_hi - seg_lo};
+    for (const auto& ch : channels) {
+      if (!ch.cache) {
+        continue;
+      }
+      Result<std::vector<BlockData>> dirty =
+          op == Op::kCbFlushBack ? ch.cache->FlushBack(logical)
+                                 : ch.cache->DenyWrites(logical);
+      if (!dirty.ok()) {
+        continue;
+      }
+      for (BlockData& block : *dirty) {
+        BlockData translated;
+        translated.offset =
+            i * stripe_size + (block.offset - s * stripe_size);
+        translated.data = std::move(block.data);
+        out.blocks.push_back(std::move(translated));
+      }
+    }
+  }
+  return out;
+}
+
+// ---- the striped client ----------------------------------------------------
+
+Result<sp<StripedDfsClient>> StripedDfsClient::Mount(
+    const sp<net::Node>& node, net::Network* network,
+    const std::string& server_node, const std::string& service, Clock* clock,
+    const StripedDfsClientOptions& options) {
+  // The metadata path is a full plain mount: naming, attrs, retry/backoff,
+  // and the single-server fallback all come from it.
+  ASSIGN_OR_RETURN(sp<DfsClient> meta,
+                   DfsClient::Mount(node, network, server_node, service, clock,
+                                    options.meta));
+  std::string callback_service = UniqueStripedCallbackService();
+  sp<StripedDfsClient> client(
+      new StripedDfsClient(node, network, server_node, service,
+                           callback_service, clock, options, std::move(meta)));
+  wp<StripedDfsClient> weak = client;
+  node->RegisterService(callback_service, [weak](const net::Frame& request) {
+    sp<StripedDfsClient> strong = weak.lock();
+    if (!strong) {
+      return net::Frame::Error(ErrorCode::kDeadObject);
+    }
+    return strong->HandleDataCallback(request);
+  });
+  return client;
+}
+
+StripedDfsClient::StripedDfsClient(const sp<net::Node>& node,
+                                   net::Network* network,
+                                   std::string server_node,
+                                   std::string service,
+                                   std::string callback_service, Clock* clock,
+                                   const StripedDfsClientOptions& options,
+                                   sp<DfsClient> meta)
+    : Servant(node->domain()), node_(node), network_(network),
+      server_node_(std::move(server_node)), service_(std::move(service)),
+      callback_service_(std::move(callback_service)), clock_(clock),
+      options_(options), meta_(std::move(meta)) {
+  metrics::Registry::Global().RegisterProvider(this);
+}
+
+StripedDfsClient::~StripedDfsClient() {
+  metrics::Registry::Global().UnregisterProvider(this);
+  node_->UnregisterService(callback_service_);
+}
+
+void StripedDfsClient::Bump(uint64_t Stats::*field) {
+  std::lock_guard<std::mutex> lock(stats_mutex_);
+  ++(stats_.*field);
+}
+
+sp<net::Channel> StripedDfsClient::ChannelFor(
+    const StripeMapResponse::Target& target) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  TargetState& state = targets_[{target.node, target.service}];
+  if (!state.channel) {
+    state.channel = network_->OpenChannel(node_->name(), target.node,
+                                          target.service,
+                                          options_.data_channel);
+  }
+  return state.channel;
+}
+
+bool StripedDfsClient::NoteTargetEpoch(const StripeMapResponse::Target& target,
+                                       uint64_t epoch) {
+  if (epoch == 0) {
+    return false;
+  }
+  bool restarted = false;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    TargetState& state = targets_[{target.node, target.service}];
+    if (state.last_epoch != 0 && epoch > state.last_epoch) {
+      restarted = true;
+    }
+    if (epoch > state.last_epoch) {
+      state.last_epoch = epoch;
+    }
+  }
+  if (restarted) {
+    Bump(&Stats::target_restarts);
+    flight::Record(flight::Severity::kWarn, "dfs_striped",
+                   "data server epoch bump", epoch);
+  }
+  return restarted;
+}
+
+Result<net::Frame> StripedDfsClient::MetaCallWithRebind(
+    Op op, const std::string& path, uint64_t* handle,
+    const std::function<Buffer(uint64_t handle)>& encode) {
+  RetryState retry;
+  net::Frame request;
+  request.payload = encode(*handle);
+  ASSIGN_OR_RETURN(net::Frame response, meta_->Call(op, request, &retry));
+  if (response.ToStatus().code() != ErrorCode::kStale) {
+    return response;
+  }
+  // The metadata server restarted and forgot the handle: re-resolve by
+  // path and re-issue once, carrying the grown backoff across the rebind.
+  ASSIGN_OR_RETURN(uint64_t fresh, meta_->RebindHandle(path));
+  *handle = fresh;
+  request.payload = encode(fresh);
+  return meta_->Call(op, request, &retry);
+}
+
+Result<sp<File>> StripedDfsClient::OpenStriped(const std::string& path) {
+  return InDomain([&]() -> Result<sp<File>> {
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      auto it = files_.find(path);
+      if (it != files_.end()) {
+        return sp<File>(it->second);
+      }
+    }
+    ASSIGN_OR_RETURN(net::Frame response, meta_->CallPath(Op::kLookup, path));
+    RETURN_IF_ERROR(response.ToStatus());
+    ASSIGN_OR_RETURN(LookupResponse looked,
+                     LookupResponse::Decode(response.payload.span()));
+    if (looked.is_dir) {
+      return ErrWrongType("'" + path + "' is a directory");
+    }
+    return OpenWithHandle(path, looked.handle);
+  });
+}
+
+Result<sp<File>> StripedDfsClient::CreateStriped(const std::string& path) {
+  return InDomain([&]() -> Result<sp<File>> {
+    ASSIGN_OR_RETURN(net::Frame response, meta_->CallPath(Op::kCreate, path));
+    RETURN_IF_ERROR(response.ToStatus());
+    ASSIGN_OR_RETURN(CreateResponse created,
+                     CreateResponse::Decode(response.payload.span()));
+    return OpenWithHandle(path, created.handle);
+  });
+}
+
+Result<sp<File>> StripedDfsClient::OpenWithHandle(const std::string& path,
+                                                  uint64_t handle) {
+  uint64_t h = handle;
+  ASSIGN_OR_RETURN(net::Frame response,
+                   MetaCallWithRebind(Op::kGetStripeMap, path, &h,
+                                      [](uint64_t hh) {
+                                        HandleRequest body;
+                                        body.handle = hh;
+                                        return body.Encode();
+                                      }));
+  // A non-striped server answers kInvalidArgument — propagated so callers
+  // can fall back to meta()'s single-server file.
+  RETURN_IF_ERROR(response.ToStatus());
+  ASSIGN_OR_RETURN(StripeMapResponse map,
+                   StripeMapResponse::Decode(response.payload.span()));
+  if (map.targets.empty() || map.stripe_size == 0) {
+    return ErrCorrupted("stripe map without targets");
+  }
+  Bump(&Stats::map_fetches);
+  sp<StripedDfsClient> self =
+      std::dynamic_pointer_cast<StripedDfsClient>(shared_from_this());
+  auto file = std::make_shared<StripedRemoteFile>(domain(), self, path, h,
+                                                  std::move(map));
+  std::lock_guard<std::mutex> lock(mutex_);
+  files_[path] = file;
+  return sp<File>(file);
+}
+
+net::Frame StripedDfsClient::HandleDataCallback(const net::Frame& request) {
+  trace::ScopedSpan span("dfs.striped_callback");
+  Op op = static_cast<Op>(request.type);
+  switch (op) {
+    case Op::kCbFlushBack:
+    case Op::kCbDenyWrites: {
+      Result<CbRecallRequest> req =
+          CbRecallRequest::Decode(request.payload.span());
+      if (!req.ok()) {
+        return net::Frame::Error(req.status().code());
+      }
+      sp<StripedRemoteFile> file;
+      size_t target = 0;
+      {
+        std::lock_guard<std::mutex> lock(mutex_);
+        auto it = recall_routes_.find(req->client_channel);
+        if (it != recall_routes_.end()) {
+          file = it->second.file.lock();
+          target = it->second.target;
+        }
+      }
+      CbRecallResponse body;
+      if (file) {
+        body = file->RecallLocal(op, Range{req->offset, req->size}, target);
+      }
+      // Unknown route: the binding is already gone; a well-formed empty
+      // block list lets the server proceed.
+      net::Frame response;
+      response.payload = body.Encode();
+      return response;
+    }
+    case Op::kCbAttrInvalidate:
+      // Logical attributes live at the metadata server; data-server attr
+      // traffic (stripe-object lengths) is not client-cached.
+      return net::Frame{};
+    default:
+      return net::Frame::Error(ErrorCode::kNotSupported);
+  }
+}
+
+uint64_t StripedDfsClient::NewRecallKey() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return next_recall_key_++;
+}
+
+void StripedDfsClient::RegisterRecallRoute(uint64_t key,
+                                           const sp<StripedRemoteFile>& file,
+                                           size_t target) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  recall_routes_[key] = RecallRoute{file, target};
+}
+
+void StripedDfsClient::UnregisterRecallRoutes(const StripedRemoteFile* file) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (auto it = recall_routes_.begin(); it != recall_routes_.end();) {
+    sp<StripedRemoteFile> held = it->second.file.lock();
+    if (!held || held.get() == file) {
+      it = recall_routes_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+void StripedDfsClient::CollectStats(const metrics::StatsEmitter& emit) const {
+  Stats snapshot;
+  {
+    std::lock_guard<std::mutex> lock(stats_mutex_);
+    snapshot = stats_;
+  }
+  emit("map_fetches", snapshot.map_fetches);
+  emit("stripe_reads", snapshot.stripe_reads);
+  emit("stripe_writes", snapshot.stripe_writes);
+  emit("stripe_extents", snapshot.stripe_extents);
+  emit("stripe_rebinds", snapshot.stripe_rebinds);
+  emit("target_restarts", snapshot.target_restarts);
+  emit("data_retries", snapshot.data_retries);
+  emit("retries_exhausted", snapshot.retries_exhausted);
+  emit("recalls_received", snapshot.recalls_received);
+  emit("zero_fills", snapshot.zero_fills);
+}
+
+}  // namespace springfs::dfs

@@ -1,0 +1,200 @@
+// The striped DFS client: the Lustre-direction scale-out data path
+// (DESIGN.md §14).
+//
+// A striped mount talks to TWO kinds of servers. The metadata server (a
+// DfsServer configured with stripe_targets) resolves paths, owns
+// attributes and the logical file length, and answers kGetStripeMap with
+// the file's striping geometry. The data servers are plain DfsServers,
+// each over its own backing store and coherency engine; they never see a
+// path the user typed — only the durable per-file stripe-object names the
+// metadata server ensures on them.
+//
+// The client computes stripe ownership from the map (RAID-0: stripe s
+// lives on target s % width, at local offset (s / width) * stripe_size)
+// and fans page reads out as one kPageInRange per stripe extent over a
+// persistent tagged channel per data server, draining with WaitAny and
+// reassembling into the caller's buffer. Aggregate sequential-read
+// bandwidth therefore scales with stripe width: each data-server link has
+// its own pacing budget, and the extents on different servers overlap
+// their round trips. Writes fan out the same way (kWrite per stripe
+// extent; kPageOut for mapped write-back), with the logical length pushed
+// to the metadata server off the data path.
+//
+// Failure model per stripe: every data server keeps its own boot epoch,
+// holder leases, and incarnation fencing (PR 4). A data-server restart or
+// lease eviction surfaces as kStale (or an epoch bump) on that stripe
+// only; the client refetches the map — which re-resolves handles on the
+// restarted server — rebinds that stripe's cache registration, and
+// resubmits just the failed extents. Other stripes keep serving
+// throughout.
+
+#ifndef SPRINGFS_LAYERS_DFS_STRIPED_CLIENT_H_
+#define SPRINGFS_LAYERS_DFS_STRIPED_CLIENT_H_
+
+#include <map>
+#include <vector>
+
+#include "src/layers/dfs/dfs_client.h"
+
+namespace springfs::dfs {
+
+struct StripedDfsClientOptions {
+  // Retry policy for the striped data path (per fan-out, across all failed
+  // extents of an attempt). The metadata path uses meta.max_retries etc.
+  uint32_t max_retries = 4;
+  uint64_t backoff_base_ns = 1'000'000;
+  uint64_t backoff_max_ns = 50'000'000;
+
+  // Tuning for the per-data-server channels (window, pacing, RACK/RTO).
+  net::ChannelOptions data_channel;
+
+  // Options for the inner metadata-path client.
+  DfsClientOptions meta;
+};
+
+// One computed stripe extent of a logical request: the unit of fan-out
+// (one kPageInRange / kWrite / kPageOut submission). Exposed for unit
+// tests of the striping math.
+struct StripeExtent {
+  size_t target = 0;         // index into the map's target list
+  uint64_t logical_offset = 0;
+  uint64_t local_offset = 0;  // offset within the target's stripe object
+  uint64_t size = 0;
+};
+
+// Splits [offset, offset+size) into per-stripe-unit extents for a RAID-0
+// layout of `width` targets with `stripe_size`-byte units.
+std::vector<StripeExtent> ComputeStripeExtents(uint64_t offset, uint64_t size,
+                                               uint64_t stripe_size,
+                                               size_t width);
+
+// The number of bytes of a logical `length`-byte file stored on target
+// `target` (the stripe object's expected local length).
+uint64_t LocalLengthFor(size_t target, uint64_t length, uint64_t stripe_size,
+                        size_t width);
+
+class StripedDfsClient : public Servant, public metrics::StatsProvider {
+ public:
+  // Mounts the metadata service `service` exported by `server_node` and
+  // prepares the striped data path. Data-server channels are opened
+  // lazily, per target named in the first stripe map fetched.
+  static Result<sp<StripedDfsClient>> Mount(
+      const sp<net::Node>& node, net::Network* network,
+      const std::string& server_node, const std::string& service,
+      Clock* clock = &DefaultClock(),
+      const StripedDfsClientOptions& options = {});
+
+  ~StripedDfsClient() override;
+
+  const char* interface_name() const override { return "striped_dfs_client"; }
+
+  // Opens an existing file for striped I/O: resolves the path on the
+  // metadata server and fetches its stripe map. Fails with
+  // kInvalidArgument when the server is not striped (callers fall back to
+  // the plain single-server file from meta()).
+  Result<sp<File>> OpenStriped(const std::string& path);
+
+  // Creates the file on the metadata server, then opens it striped.
+  Result<sp<File>> CreateStriped(const std::string& path);
+
+  // The inner metadata-path client (naming, attrs, non-striped files).
+  const sp<DfsClient>& meta() const { return meta_; }
+
+  // --- StatsProvider ---
+  std::string stats_prefix() const override { return "layer/striped_client"; }
+  void CollectStats(const metrics::StatsEmitter& emit) const override;
+
+ private:
+  friend class StripedRemoteFile;
+  friend class StripedPagerObject;
+
+  struct Stats {
+    uint64_t map_fetches = 0;      // kGetStripeMap round trips
+    uint64_t stripe_reads = 0;     // logical read fan-outs
+    uint64_t stripe_writes = 0;    // logical write fan-outs
+    uint64_t stripe_extents = 0;   // data-path submissions (all ops)
+    uint64_t stripe_rebinds = 0;   // per-stripe recoveries (map refetch +
+                                   // rebind after kStale / epoch bump)
+    uint64_t target_restarts = 0;  // data-server boot-epoch bumps observed
+    uint64_t data_retries = 0;     // extent re-submissions
+    uint64_t retries_exhausted = 0;
+    uint64_t recalls_received = 0;  // data-server coherency callbacks
+    uint64_t zero_fills = 0;        // sparse stripe holes served as zeros
+  };
+
+  // A persistent channel to one data server, shared by every file.
+  struct TargetState {
+    sp<net::Channel> channel;
+    uint64_t last_epoch = 0;
+  };
+
+  // Routes a data server's recall callback to the file+target it binds.
+  struct RecallRoute {
+    wp<class StripedRemoteFile> file;
+    size_t target = 0;
+  };
+
+  StripedDfsClient(const sp<net::Node>& node, net::Network* network,
+                   std::string server_node, std::string service,
+                   std::string callback_service, Clock* clock,
+                   const StripedDfsClientOptions& options, sp<DfsClient> meta);
+
+  void Bump(uint64_t Stats::*field);
+
+  // The channel to `map_target` (opened on first use).
+  sp<net::Channel> ChannelFor(const StripeMapResponse::Target& target);
+
+  // Tracks a data server's boot epoch; returns true when this observation
+  // is a restart (epoch bumped past a previously seen one).
+  bool NoteTargetEpoch(const StripeMapResponse::Target& target,
+                       uint64_t epoch);
+
+  // Metadata-path call with one kStale handle rebind (the metadata server
+  // restarted and forgot the handle): re-resolves `path` and re-issues the
+  // frame with the fresh handle. Returns the response frame and (through
+  // `handle`) the handle it was issued under.
+  Result<net::Frame> MetaCallWithRebind(
+      Op op, const std::string& path, uint64_t* handle,
+      const std::function<Buffer(uint64_t handle)>& encode);
+
+  // Server->client callbacks from data servers (coherency recalls against
+  // this client's striped page caches).
+  net::Frame HandleDataCallback(const net::Frame& request);
+
+  uint64_t NewRecallKey();
+  void RegisterRecallRoute(uint64_t key, const sp<class StripedRemoteFile>& file,
+                           size_t target);
+  void UnregisterRecallRoutes(const class StripedRemoteFile* file);
+
+  // Fetches `path`'s stripe map under `handle` and installs the file.
+  Result<sp<File>> OpenWithHandle(const std::string& path, uint64_t handle);
+
+  sp<net::Node> node_;
+  net::Network* network_;
+  std::string server_node_;
+  std::string service_;
+  std::string callback_service_;
+  Clock* clock_;
+  StripedDfsClientOptions options_;
+  sp<DfsClient> meta_;
+
+  // Serializes data-path fan-outs: the per-target channels are drained
+  // with WaitAny, so two concurrent fan-outs on a shared channel would
+  // steal each other's completions. The parallelism that matters — the
+  // overlapping round trips ACROSS data servers inside one fan-out — is
+  // unaffected.
+  std::mutex data_io_mutex_;
+
+  std::mutex mutex_;
+  std::map<std::pair<std::string, std::string>, TargetState> targets_;
+  std::map<std::string, sp<class StripedRemoteFile>> files_;  // by path
+  std::map<uint64_t, RecallRoute> recall_routes_;
+  uint64_t next_recall_key_ = 1;
+
+  mutable std::mutex stats_mutex_;
+  Stats stats_;
+};
+
+}  // namespace springfs::dfs
+
+#endif  // SPRINGFS_LAYERS_DFS_STRIPED_CLIENT_H_

@@ -474,6 +474,40 @@ Result<DelegReturnRequest> DelegReturnRequest::Decode(ByteSpan wire) {
   return out;
 }
 
+// --- striping ---
+
+Buffer StripeMapResponse::Encode() const {
+  WireWriter w;
+  w.U64(stripe_size);
+  w.U64(length);
+  w.Str(object_name);
+  w.U32(static_cast<uint32_t>(targets.size()));
+  for (const Target& target : targets) {
+    w.Str(target.node);
+    w.Str(target.service);
+    w.U64(target.handle);
+  }
+  return w.Take();
+}
+
+Result<StripeMapResponse> StripeMapResponse::Decode(ByteSpan wire) {
+  WireReader r(wire);
+  StripeMapResponse out;
+  ASSIGN_OR_RETURN(out.stripe_size, r.U64());
+  ASSIGN_OR_RETURN(out.length, r.U64());
+  ASSIGN_OR_RETURN(out.object_name, r.Str());
+  ASSIGN_OR_RETURN(uint32_t n, r.U32());
+  out.targets.reserve(n);
+  for (uint32_t i = 0; i < n; ++i) {
+    Target target;
+    ASSIGN_OR_RETURN(target.node, r.Str());
+    ASSIGN_OR_RETURN(target.service, r.Str());
+    ASSIGN_OR_RETURN(target.handle, r.U64());
+    out.targets.push_back(std::move(target));
+  }
+  return out;
+}
+
 // --- compound ---
 
 Buffer CompoundRequest::Encode() const {

@@ -268,6 +268,29 @@ struct DelegReturnRequest {
   static Result<DelegReturnRequest> Decode(ByteSpan wire);
 };
 
+// --- striping ---
+
+struct StripeMapResponse {  // kGetStripeMap (request side is HandleRequest)
+  struct Target {
+    std::string node;     // data-server node on the fabric
+    std::string service;  // its DFS service name
+    uint64_t handle = 0;  // stripe-object handle on that server (hint:
+                          // valid for the server boot epoch that issued
+                          // it; clients re-lookup by object_name after a
+                          // data-server restart)
+  };
+
+  uint64_t stripe_size = 0;  // bytes per stripe unit (page multiple)
+  uint64_t length = 0;       // logical file length (metadata-owned)
+  std::string object_name;   // durable per-file stripe-object name on every
+                             // data server (stable across restarts)
+  std::vector<Target> targets;  // RAID-0 order; stripe s lives on
+                                // targets[s % targets.size()]
+
+  Buffer Encode() const;
+  static Result<StripeMapResponse> Decode(ByteSpan wire);
+};
+
 // --- compound ---
 
 struct CompoundRequest {

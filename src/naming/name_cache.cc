@@ -22,9 +22,8 @@ NameCacheContext::~NameCacheContext() {
   metrics::Registry::Global().UnregisterProvider(this);
 }
 
-void NameCacheContext::InsertLocked(const std::string& path,
-                                    sp<Object> object) {
-  auto [it, inserted] = entries_.emplace(path, std::move(object));
+void NameCacheContext::InsertLocked(const std::string& path, Entry entry) {
+  auto [it, inserted] = entries_.emplace(path, std::move(entry));
   if (!inserted) {
     return;
   }
@@ -33,6 +32,12 @@ void NameCacheContext::InsertLocked(const std::string& path,
     entries_.erase(fifo_.front());
     fifo_.pop_front();
     ++stats_.evictions;
+  }
+}
+
+void NameCacheContext::EraseLocked(const std::string& path) {
+  if (entries_.erase(path) > 0) {
+    fifo_.remove(path);
   }
 }
 
@@ -61,15 +66,29 @@ Result<sp<Object>> NameCacheContext::Resolve(const Name& name,
     std::lock_guard<std::mutex> lock(mutex_);
     auto it = entries_.find(path);
     if (it != entries_.end()) {
-      ++stats_.hits;
-      return it->second;
+      if (!it->second.negative) {
+        ++stats_.hits;
+        return it->second.object;
+      }
+      if (it->second.generation == generation_) {
+        ++stats_.negative_hits;
+        return ErrNotFound(path + " (cached negative)");
+      }
+      // The namespace changed since this absence was observed; re-ask.
+      EraseLocked(path);
     }
     ++stats_.misses;
   }
-  ASSIGN_OR_RETURN(sp<Object> object, target_->Resolve(name, creds));
+  Result<sp<Object>> resolved = target_->Resolve(name, creds);
   std::lock_guard<std::mutex> lock(mutex_);
-  InsertLocked(path, object);
-  return object;
+  if (!resolved.ok()) {
+    if (resolved.status().code() == ErrorCode::kNotFound) {
+      InsertLocked(path, Entry{nullptr, /*negative=*/true, generation_});
+    }
+    return resolved.status();
+  }
+  InsertLocked(path, Entry{*resolved, /*negative=*/false, 0});
+  return *resolved;
 }
 
 Status NameCacheContext::Bind(const Name& name, sp<Object> object,
@@ -77,6 +96,7 @@ Status NameCacheContext::Bind(const Name& name, sp<Object> object,
   RETURN_IF_ERROR(target_->Bind(name, std::move(object), creds, replace));
   std::lock_guard<std::mutex> lock(mutex_);
   InvalidateLocked(name.ToString());
+  ++generation_;
   return Status::Ok();
 }
 
@@ -84,6 +104,7 @@ Status NameCacheContext::Unbind(const Name& name, const Credentials& creds) {
   RETURN_IF_ERROR(target_->Unbind(name, creds));
   std::lock_guard<std::mutex> lock(mutex_);
   InvalidateLocked(name.ToString());
+  ++generation_;
   return Status::Ok();
 }
 
@@ -97,6 +118,7 @@ Result<sp<Context>> NameCacheContext::CreateContext(const Name& name,
   ASSIGN_OR_RETURN(sp<Context> ctx, target_->CreateContext(name, creds));
   std::lock_guard<std::mutex> lock(mutex_);
   InvalidateLocked(name.ToString());
+  ++generation_;
   return ctx;
 }
 
@@ -105,6 +127,7 @@ void NameCacheContext::Flush() {
   stats_.invalidations += entries_.size();
   entries_.clear();
   fifo_.clear();
+  ++generation_;
 }
 
 void NameCacheContext::CollectStats(const metrics::StatsEmitter& emit) const {
@@ -115,6 +138,7 @@ void NameCacheContext::CollectStats(const metrics::StatsEmitter& emit) const {
   }
   emit("hits", snapshot.hits);
   emit("misses", snapshot.misses);
+  emit("negative_hits", snapshot.negative_hits);
   emit("invalidations", snapshot.invalidations);
   emit("evictions", snapshot.evictions);
 }

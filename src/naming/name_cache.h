@@ -11,6 +11,16 @@
 // (a stacked file system, a DFS mount). Resolutions are remembered by full
 // path; mutations through the cache invalidate the affected entries; an
 // optional capacity bound evicts in FIFO order.
+//
+// Failed lookups are cached too: a kNotFound resolution leaves a negative
+// entry, so repeated probes for absent names (PATH searches, existence
+// checks before create) stop paying the remote round trip. Negative
+// entries are guarded by a namespace generation — every mutation through
+// the cache (Bind, Unbind, CreateContext, Flush) bumps it, and a negative
+// hit is honored only if its generation is current. Positive entries are
+// invalidated by path prefix as before; negatives additionally die
+// wholesale on any mutation, because a bind at one name can make a
+// formerly missing multi-component path resolvable through it.
 
 #ifndef SPRINGFS_NAMING_NAME_CACHE_H_
 #define SPRINGFS_NAMING_NAME_CACHE_H_
@@ -59,18 +69,28 @@ class NameCacheContext : public Context,
   struct Stats {
     uint64_t hits = 0;
     uint64_t misses = 0;
+    uint64_t negative_hits = 0;  // kNotFound answered from the cache
     uint64_t invalidations = 0;
     uint64_t evictions = 0;
   };
 
+  // One cached resolution: an object, or the remembered absence of one.
+  struct Entry {
+    sp<Object> object;
+    bool negative = false;
+    uint64_t generation = 0;  // negatives only: valid while current
+  };
+
   void InvalidateLocked(const std::string& path);
-  void InsertLocked(const std::string& path, sp<Object> object);
+  void InsertLocked(const std::string& path, Entry entry);
+  void EraseLocked(const std::string& path);
 
   sp<Context> target_;
   size_t capacity_;
   mutable std::mutex mutex_;
-  std::map<std::string, sp<Object>> entries_;
+  std::map<std::string, Entry> entries_;
   std::list<std::string> fifo_;  // eviction order
+  uint64_t generation_ = 1;     // namespace version seen by negatives
   Stats stats_;
 };
 

@@ -28,6 +28,7 @@
 
 #include "src/layers/dfs/dfs_client.h"
 #include "src/layers/dfs/dfs_server.h"
+#include "src/layers/dfs/striped_client.h"
 #include "src/layers/sfs/sfs.h"
 #include "src/obs/flight_recorder.h"
 #include "src/support/rng.h"
@@ -546,6 +547,190 @@ TEST(ChaosDfs, DroppedResponseRetransmissionAppliesExactlyOnce) {
   EXPECT_EQ(metrics::StatValue(*world.server, "dedup_hits"), 1u);
   EXPECT_EQ(*ReadTag(world.files[1], 0), 123u);
 }
+
+// --- striped chaos: data-server kills and restarts mid-workload ---
+//
+// A striped cluster (metadata server + two data servers, one-page stripes)
+// under a seeded schedule of single-page reads and writes interleaved with
+// partitioning and restarting individual data servers. Per-page model as
+// above: acknowledged writes must never be lost, errored writes have
+// unknown fate. After healing, the surviving client and a fresh verifier
+// mount must agree on every page, and the sweep as a whole must have
+// exercised per-stripe recovery (stripe rebinds after restarts).
+
+constexpr int kStripedWidth = 2;
+constexpr int kStripedPages = 4;  // one-page stripes: pages 0,2 on data0
+
+struct StripedChaosWorld {
+  Credentials sys = Credentials::System();
+  FakeClock clock;
+  std::unique_ptr<net::Network> network;
+  sp<net::Node> client_node, verifier_node, mds_node;
+  sp<net::Node> data_nodes[kStripedWidth];
+  std::vector<std::unique_ptr<MemBlockDevice>> devices;
+  std::vector<Sfs> stores;  // data stores, then the metadata store
+  sp<dfs::DfsServer> data_servers[kStripedWidth];
+  std::vector<sp<dfs::DfsServer>> retired_servers;
+  sp<dfs::DfsServer> mds;
+  sp<dfs::StripedDfsClient> client;
+  sp<File> file;
+
+  StripedChaosWorld() {
+    network = std::make_unique<net::Network>(&clock, 1000);
+    client_node = network->AddNode("client");
+    verifier_node = network->AddNode("verifier");
+    mds_node = network->AddNode("mds");
+    dfs::DfsServerOptions mds_options;
+    mds_options.stripe_size = kPageSize;
+    for (int k = 0; k < kStripedWidth; ++k) {
+      data_nodes[k] = network->AddNode("data" + std::to_string(k));
+      devices.push_back(
+          std::make_unique<MemBlockDevice>(ufs::kBlockSize, 4096));
+      stores.push_back(*CreateSfs(devices.back().get(), SfsOptions{},
+                                  &clock));
+      data_servers[k] = *dfs::DfsServer::Create(
+          data_nodes[k], network.get(), "dfs-data", stores[k].root, &clock);
+      mds_options.stripe_targets.push_back(
+          {data_nodes[k]->name(), "dfs-data"});
+    }
+    devices.push_back(std::make_unique<MemBlockDevice>(ufs::kBlockSize, 4096));
+    stores.push_back(*CreateSfs(devices.back().get(), SfsOptions{}, &clock));
+    mds = *dfs::DfsServer::Create(mds_node, network.get(), "dfs-meta",
+                                  stores.back().root, &clock, mds_options);
+    client = *dfs::StripedDfsClient::Mount(client_node, network.get(), "mds",
+                                           "dfs-meta", &clock);
+    file = *client->CreateStriped("chaos");
+    EXPECT_TRUE(file->SetLength(kStripedPages * kPageSize).ok());
+  }
+
+  // New instance over the same store: new boot epoch, fresh handle space.
+  // The predecessor is retired, not destroyed (its tombstone would stamp
+  // the successor's service).
+  void RestartDataServer(int k) {
+    retired_servers.push_back(data_servers[k]);
+    data_servers[k] = *dfs::DfsServer::Create(
+        data_nodes[k], network.get(), "dfs-data", stores[k].root, &clock);
+  }
+};
+
+// Accumulated across a shard so the sweep can prove the recovery paths ran
+// (one seed may legitimately never kill a server mid-binding).
+struct StripedTeeth {
+  uint64_t rebinds = 0;
+  uint64_t restarts_seen = 0;
+};
+
+void RunStripedChaosSeed(uint64_t seed, StripedTeeth* teeth) {
+  flight::Clear();
+  SCOPED_TRACE("striped seed=" + std::to_string(seed));
+  StripedChaosWorld world;
+  Rng rng(seed);
+  PageModel model[kStripedPages];
+  bool dead[kStripedWidth] = {};
+  uint64_t next_value = 1;
+
+  constexpr int kSteps = 30;
+  for (int step = 0; step < kSteps; ++step) {
+    world.clock.Advance(rng.Range(1, 2'000'000));
+    uint64_t action = rng.Below(100);
+
+    if (action < 40) {
+      // Single-page write (one stripe extent — exactly one data server).
+      // ok => acknowledged; error => fate unknown: the extent may have
+      // landed before the failure was declared.
+      int page = static_cast<int>(rng.Below(kStripedPages));
+      uint64_t value = next_value++;
+      Buffer tag = TagBuffer(value);
+      Result<size_t> wrote =
+          world.file->Write(static_cast<Offset>(page) * kPageSize,
+                            tag.span());
+      if (wrote.ok()) {
+        model[page].Ack(value);
+      } else {
+        model[page].pending.insert(value);
+      }
+    } else if (action < 70) {
+      // Single-page read: whatever comes back must be model-allowed. A
+      // page on a dead or restarting target may just fail, which asserts
+      // nothing — the teeth counters prove recoveries happen often enough.
+      int page = static_cast<int>(rng.Below(kStripedPages));
+      Result<uint64_t> value =
+          ReadTag(world.file, page);
+      if (value.ok()) {
+        EXPECT_TRUE(model[page].Allows(*value))
+            << "step " << step << " page " << page << " read " << *value
+            << " but model has " << model[page].Describe();
+      }
+    } else if (action < 85) {
+      // Kill / heal one data server. Its stripes fail while it is out;
+      // the other server's stripes must keep their own fate.
+      int k = static_cast<int>(rng.Below(kStripedWidth));
+      world.network->SetPartitioned(world.data_nodes[k]->name(), !dead[k]);
+      dead[k] = !dead[k];
+    } else if (action < 95) {
+      // Restart one data server (fresh boot epoch): every handle and
+      // cache binding the client holds for its stripes goes stale, and
+      // the next touch must refetch the map and rebind just that stripe.
+      int k = static_cast<int>(rng.Below(kStripedWidth));
+      world.RestartDataServer(k);
+    } else {
+      // Long silence: data-server leases lapse under the client.
+      world.clock.Advance(rng.Range(15'000'000, 30'000'000));
+    }
+  }
+
+  // Heal and converge: every page settles to a model-allowed value, and a
+  // fresh verifier mount agrees with the surviving client byte for byte.
+  for (int k = 0; k < kStripedWidth; ++k) {
+    world.network->SetPartitioned(world.data_nodes[k]->name(), false);
+  }
+  sp<dfs::StripedDfsClient> verifier = *dfs::StripedDfsClient::Mount(
+      world.verifier_node, world.network.get(), "mds", "dfs-meta",
+      &world.clock);
+  Result<sp<File>> verified = verifier->OpenStriped("chaos");
+  ASSERT_TRUE(verified.ok()) << verified.status().ToString();
+  for (int page = 0; page < kStripedPages; ++page) {
+    Result<uint64_t> value = ReadTag(*verified, page);
+    ASSERT_TRUE(value.ok()) << value.status().ToString();
+    EXPECT_TRUE(model[page].Allows(*value))
+        << "page " << page << " converged to " << *value << " but model has "
+        << model[page].Describe() << " — an acknowledged write was lost";
+    Result<uint64_t> theirs = ReadTag(world.file, page);
+    ASSERT_TRUE(theirs.ok()) << theirs.status().ToString();
+    EXPECT_EQ(*theirs, *value) << "surviving client diverges on page "
+                               << page;
+  }
+  for (int k = 0; k < kStripedWidth; ++k) {
+    ASSERT_TRUE(world.data_servers[k]->CheckCoherencyInvariants());
+  }
+  if (teeth) {
+    teeth->rebinds += metrics::StatValue(*world.client, "stripe_rebinds");
+    teeth->restarts_seen +=
+        metrics::StatValue(*world.client, "target_restarts");
+  }
+}
+
+// 4 shards x 55 seeds = 220 striped schedules.
+void RunStripedChaosShard(uint64_t first_seed) {
+  bool dumped = false;
+  StripedTeeth teeth;
+  for (uint64_t seed = first_seed; seed < first_seed + 55; ++seed) {
+    RunStripedChaosSeed(seed, &teeth);
+    DumpFlightOnFailure(seed, &dumped);
+    if (::testing::Test::HasFatalFailure()) {
+      return;
+    }
+  }
+  EXPECT_GT(teeth.rebinds, 0u)
+      << "no schedule ever rebound a stripe after a data-server restart";
+  EXPECT_GT(teeth.restarts_seen, 0u)
+      << "no schedule ever observed a data-server boot-epoch bump";
+}
+
+TEST(ChaosStripedDfs, SeededSchedulesShard0) { RunStripedChaosShard(1000); }
+TEST(ChaosStripedDfs, SeededSchedulesShard1) { RunStripedChaosShard(2000); }
+TEST(ChaosStripedDfs, SeededSchedulesShard2) { RunStripedChaosShard(3000); }
+TEST(ChaosStripedDfs, SeededSchedulesShard3) { RunStripedChaosShard(4000); }
 
 // --- thread-safety of the fault-injection plumbing (run under TSan) ---
 

@@ -111,6 +111,87 @@ TEST_F(NameCacheTest, FlushDropsEverything) {
   EXPECT_EQ(metrics::StatValue(*cache_, "misses"), 2u);
 }
 
+// --- negative entries ---
+
+TEST_F(NameCacheTest, RepeatedMissingLookupsHitTheNegativeCache) {
+  EXPECT_EQ(cache_->Resolve(*Name::Parse("ghost"), sys_).status().code(),
+            ErrorCode::kNotFound);
+  sfs_.disk_domain->ResetStats();
+  sfs_.top_domain->ResetStats();
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_EQ(cache_->Resolve(*Name::Parse("ghost"), sys_).status().code(),
+              ErrorCode::kNotFound);
+  }
+  std::map<std::string, uint64_t> stats = metrics::CollectFrom(*cache_);
+  EXPECT_EQ(stats["misses"], 1u);
+  EXPECT_EQ(stats["negative_hits"], 10u);
+  // The absence is served locally: no layer below is consulted.
+  EXPECT_EQ(metrics::StatValue(*sfs_.top_domain, "cross_calls"), 0u);
+  EXPECT_EQ(metrics::StatValue(*sfs_.disk_domain, "cross_calls"), 0u);
+}
+
+TEST_F(NameCacheTest, CreateThroughCacheInvalidatesNegatives) {
+  EXPECT_EQ(cache_->Resolve(*Name::Parse("d"), sys_).status().code(),
+            ErrorCode::kNotFound);
+  // Any later name under it is unknown too.
+  EXPECT_EQ(cache_->Resolve(*Name::Parse("other"), sys_).status().code(),
+            ErrorCode::kNotFound);
+  ASSERT_TRUE(cache_->CreateContext(*Name::Parse("d"), sys_).ok());
+  // The generation bump retires BOTH negatives, not just the created path:
+  // the next probe for each re-asks the target instead of trusting a
+  // pre-mutation absence.
+  EXPECT_TRUE(cache_->Resolve(*Name::Parse("d"), sys_).ok());
+  uint64_t negative_hits = metrics::StatValue(*cache_, "negative_hits");
+  EXPECT_EQ(cache_->Resolve(*Name::Parse("other"), sys_).status().code(),
+            ErrorCode::kNotFound);
+  EXPECT_EQ(metrics::StatValue(*cache_, "negative_hits"), negative_hits)
+      << "a stale negative must re-ask the target, not answer locally";
+}
+
+TEST_F(NameCacheTest, BindThroughCacheInvalidatesNegatives) {
+  ASSERT_TRUE(sfs_.root->CreateFile(*Name::Parse("src"), sys_).ok());
+  sp<Object> object = *cache_->Resolve(*Name::Parse("src"), sys_);
+  EXPECT_EQ(cache_->Resolve(*Name::Parse("alias"), sys_).status().code(),
+            ErrorCode::kNotFound);
+  ASSERT_TRUE(cache_->Bind(*Name::Parse("alias"), object, sys_).ok());
+  EXPECT_TRUE(cache_->Resolve(*Name::Parse("alias"), sys_).ok());
+}
+
+TEST_F(NameCacheTest, UnlinkThroughCacheYieldsFreshNegative) {
+  ASSERT_TRUE(sfs_.root->CreateFile(*Name::Parse("f"), sys_).ok());
+  ASSERT_TRUE(cache_->Resolve(*Name::Parse("f"), sys_).ok());
+  ASSERT_TRUE(cache_->Unbind(*Name::Parse("f"), sys_).ok());
+  // First post-unlink probe asks the target (and caches the absence); the
+  // second is answered locally.
+  EXPECT_EQ(cache_->Resolve(*Name::Parse("f"), sys_).status().code(),
+            ErrorCode::kNotFound);
+  EXPECT_EQ(metrics::StatValue(*cache_, "negative_hits"), 0u);
+  EXPECT_EQ(cache_->Resolve(*Name::Parse("f"), sys_).status().code(),
+            ErrorCode::kNotFound);
+  EXPECT_EQ(metrics::StatValue(*cache_, "negative_hits"), 1u);
+}
+
+TEST_F(NameCacheTest, FlushDropsNegativesToo) {
+  EXPECT_EQ(cache_->Resolve(*Name::Parse("late"), sys_).status().code(),
+            ErrorCode::kNotFound);
+  cache_->Flush();
+  // An out-of-band create the cache never saw: only the flush saves us.
+  ASSERT_TRUE(sfs_.root->CreateFile(*Name::Parse("late"), sys_).ok());
+  EXPECT_TRUE(cache_->Resolve(*Name::Parse("late"), sys_).ok());
+}
+
+TEST_F(NameCacheTest, NegativeEntriesRespectCapacity) {
+  sp<NameCacheContext> small =
+      NameCacheContext::Create(Domain::Create("nc"), sfs_.root, 2);
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_EQ(small->Resolve(Name::Single("no" + std::to_string(i)), sys_)
+                  .status()
+                  .code(),
+              ErrorCode::kNotFound);
+  }
+  EXPECT_EQ(metrics::StatValue(*small, "evictions"), 2u);
+}
+
 // --- read-ahead ---
 
 class ReadAheadTest : public ::testing::Test {

@@ -1,0 +1,499 @@
+// Tests for the striped multi-server DFS (DESIGN.md §14): the RAID-0
+// striping math, the stripe-map wire type, end-to-end striped I/O over a
+// metadata server plus N data servers, data distribution across the
+// per-server stripe objects, per-stripe recovery from a data-server kill
+// and restart, cross-client coherency through per-data-server recalls, and
+// the non-striped-server fallback.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/layers/dfs/dfs_client.h"
+#include "src/layers/dfs/dfs_server.h"
+#include "src/layers/dfs/striped_client.h"
+#include "src/layers/sfs/sfs.h"
+#include "src/support/rng.h"
+#include "src/vmm/vmm.h"
+
+namespace springfs {
+namespace {
+
+using dfs::ComputeStripeExtents;
+using dfs::DfsClient;
+using dfs::DfsServer;
+using dfs::LocalLengthFor;
+using dfs::StripedDfsClient;
+using dfs::StripeExtent;
+using dfs::StripeMapResponse;
+
+constexpr uint64_t kSS = kPageSize;  // one-page stripes: every page moves
+
+// --- striping math ---
+
+TEST(StripeMath, AlignedExtentsRoundRobin) {
+  std::vector<StripeExtent> exts = ComputeStripeExtents(0, 3 * kSS, kSS, 2);
+  ASSERT_EQ(exts.size(), 3u);
+  EXPECT_EQ(exts[0].target, 0u);
+  EXPECT_EQ(exts[0].logical_offset, 0u);
+  EXPECT_EQ(exts[0].local_offset, 0u);
+  EXPECT_EQ(exts[0].size, kSS);
+  EXPECT_EQ(exts[1].target, 1u);
+  EXPECT_EQ(exts[1].local_offset, 0u);
+  EXPECT_EQ(exts[2].target, 0u);
+  EXPECT_EQ(exts[2].logical_offset, 2 * kSS);
+  EXPECT_EQ(exts[2].local_offset, kSS);  // second stripe unit on target 0
+}
+
+TEST(StripeMath, UnalignedRequestSplitsAtStripeBoundaries) {
+  // [kSS/2, kSS/2 + kSS) straddles stripes 0 and 1.
+  std::vector<StripeExtent> exts =
+      ComputeStripeExtents(kSS / 2, kSS, kSS, 2);
+  ASSERT_EQ(exts.size(), 2u);
+  EXPECT_EQ(exts[0].target, 0u);
+  EXPECT_EQ(exts[0].logical_offset, kSS / 2);
+  EXPECT_EQ(exts[0].local_offset, kSS / 2);
+  EXPECT_EQ(exts[0].size, kSS / 2);
+  EXPECT_EQ(exts[1].target, 1u);
+  EXPECT_EQ(exts[1].logical_offset, kSS);
+  EXPECT_EQ(exts[1].local_offset, 0u);
+  EXPECT_EQ(exts[1].size, kSS / 2);
+}
+
+TEST(StripeMath, WidthOneDegeneratesToOneExtentPerStripeUnit) {
+  std::vector<StripeExtent> exts = ComputeStripeExtents(0, 2 * kSS, kSS, 1);
+  ASSERT_EQ(exts.size(), 2u);
+  EXPECT_EQ(exts[0].target, 0u);
+  EXPECT_EQ(exts[1].target, 0u);
+  EXPECT_EQ(exts[1].local_offset, kSS);  // width 1: local == logical
+}
+
+TEST(StripeMath, EmptyRequestYieldsNoExtents) {
+  EXPECT_TRUE(ComputeStripeExtents(123, 0, kSS, 4).empty());
+}
+
+TEST(StripeMath, LocalLengths) {
+  // Empty file: nothing anywhere.
+  EXPECT_EQ(LocalLengthFor(0, 0, kSS, 2), 0u);
+  EXPECT_EQ(LocalLengthFor(1, 0, kSS, 2), 0u);
+  // One byte: only target 0's first stripe unit exists.
+  EXPECT_EQ(LocalLengthFor(0, 1, kSS, 2), 1u);
+  EXPECT_EQ(LocalLengthFor(1, 1, kSS, 2), 0u);
+  // 2.5 stripe units over width 2: target 0 holds stripes {0, 2} (one
+  // full + the half tail), target 1 holds stripe 1 (full).
+  EXPECT_EQ(LocalLengthFor(0, 2 * kSS + kSS / 2, kSS, 2), kSS + kSS / 2);
+  EXPECT_EQ(LocalLengthFor(1, 2 * kSS + kSS / 2, kSS, 2), kSS);
+  // 5 full units over width 2: 3 on target 0, 2 on target 1.
+  EXPECT_EQ(LocalLengthFor(0, 5 * kSS, kSS, 2), 3 * kSS);
+  EXPECT_EQ(LocalLengthFor(1, 5 * kSS, kSS, 2), 2 * kSS);
+  // The per-target lengths always sum back to the logical length.
+  for (uint64_t length : {uint64_t{1}, kSS - 1, kSS, 7 * kSS + 13}) {
+    for (size_t width : {size_t{1}, size_t{2}, size_t{4}}) {
+      uint64_t sum = 0;
+      for (size_t k = 0; k < width; ++k) {
+        sum += LocalLengthFor(k, length, kSS, width);
+      }
+      EXPECT_EQ(sum, length) << "length " << length << " width " << width;
+    }
+  }
+}
+
+TEST(StripeMath, ExtentsCoverExactlyOnce) {
+  // Property: for arbitrary ranges the extents tile the range with no gap
+  // or overlap, each within its stripe unit.
+  Rng rng(99);
+  for (int i = 0; i < 200; ++i) {
+    uint64_t ss = (1 + rng.Below(4)) * 512;
+    size_t width = 1 + static_cast<size_t>(rng.Below(5));
+    uint64_t offset = rng.Below(10 * ss);
+    uint64_t size = 1 + rng.Below(6 * ss);
+    std::vector<StripeExtent> exts =
+        ComputeStripeExtents(offset, size, ss, width);
+    uint64_t expect = offset;
+    for (const StripeExtent& e : exts) {
+      EXPECT_EQ(e.logical_offset, expect);
+      EXPECT_LT(e.target, width);
+      uint64_t stripe = e.logical_offset / ss;
+      EXPECT_EQ(stripe % width, e.target);
+      EXPECT_EQ(e.local_offset,
+                (stripe / width) * ss + (e.logical_offset % ss));
+      EXPECT_LE(e.logical_offset % ss + e.size, ss);  // never crosses a unit
+      expect += e.size;
+    }
+    EXPECT_EQ(expect, offset + size);
+  }
+}
+
+// --- wire type ---
+
+TEST(StripedWire, StripeMapRoundTrip) {
+  StripeMapResponse map;
+  map.stripe_size = 4 * kPageSize;
+  map.length = 123456;
+  map.object_name = "stripe-00deadbeef00cafe";
+  map.targets.push_back({"data0", "dfs-data", 42});
+  map.targets.push_back({"data1", "dfs-data", (uint64_t{7} << 32) + 1});
+  Buffer wire = map.Encode();
+  Result<StripeMapResponse> back = StripeMapResponse::Decode(wire.span());
+  ASSERT_TRUE(back.ok()) << back.status().ToString();
+  EXPECT_EQ(back->stripe_size, map.stripe_size);
+  EXPECT_EQ(back->length, map.length);
+  EXPECT_EQ(back->object_name, map.object_name);
+  ASSERT_EQ(back->targets.size(), 2u);
+  EXPECT_EQ(back->targets[0].node, "data0");
+  EXPECT_EQ(back->targets[1].service, "dfs-data");
+  EXPECT_EQ(back->targets[1].handle, (uint64_t{7} << 32) + 1);
+
+  Buffer junk(std::string("zz"));
+  EXPECT_FALSE(StripeMapResponse::Decode(junk.span()).ok());
+}
+
+// --- striped cluster fixture ---
+//
+// A metadata server over its own SFS, `width` data servers each over their
+// own SFS, and a striped client; one-page stripes so a few pages of I/O
+// exercise every target and boundary.
+
+struct StripedWorld {
+  Credentials sys = Credentials::System();
+  FakeClock clock;
+  std::unique_ptr<net::Network> network;
+  sp<net::Node> client_node, client2_node, mds_node;
+  std::vector<sp<net::Node>> data_nodes;
+  std::vector<std::unique_ptr<MemBlockDevice>> devices;
+  std::vector<Sfs> stores;  // [0..width-1] data, [width] metadata
+  std::vector<sp<DfsServer>> data_servers;
+  std::vector<sp<DfsServer>> retired_servers;  // see chaos_dfs_test.cpp
+  sp<DfsServer> mds;
+  sp<StripedDfsClient> client;
+
+  explicit StripedWorld(size_t width) {
+    network = std::make_unique<net::Network>(&clock, 1000);
+    client_node = network->AddNode("client");
+    client2_node = network->AddNode("client2");
+    mds_node = network->AddNode("mds");
+    dfs::DfsServerOptions mds_options;
+    mds_options.stripe_size = kSS;
+    for (size_t k = 0; k < width; ++k) {
+      data_nodes.push_back(network->AddNode("data" + std::to_string(k)));
+      devices.push_back(
+          std::make_unique<MemBlockDevice>(ufs::kBlockSize, 4096));
+      stores.push_back(*CreateSfs(devices.back().get(), SfsOptions{}, &clock));
+      data_servers.push_back(*DfsServer::Create(
+          data_nodes[k], network.get(), "dfs-data", stores[k].root, &clock));
+      mds_options.stripe_targets.push_back(
+          {data_nodes[k]->name(), "dfs-data"});
+    }
+    devices.push_back(std::make_unique<MemBlockDevice>(ufs::kBlockSize, 4096));
+    stores.push_back(*CreateSfs(devices.back().get(), SfsOptions{}, &clock));
+    mds = *DfsServer::Create(mds_node, network.get(), "dfs-meta",
+                             stores.back().root, &clock, mds_options);
+    client = *StripedDfsClient::Mount(client_node, network.get(), "mds",
+                                      "dfs-meta", &clock);
+  }
+
+  // Replaces data server k with a fresh instance over the same store (new
+  // boot epoch, fresh handle space). The predecessor is retired, not
+  // destroyed: its tombstone would stamp the successor's service.
+  void RestartDataServer(size_t k) {
+    retired_servers.push_back(data_servers[k]);
+    data_servers[k] = *DfsServer::Create(data_nodes[k], network.get(),
+                                         "dfs-data", stores[k].root, &clock);
+  }
+
+  // The stripe object's durable name, read off a data store's root (every
+  // data server of one file holds the same name).
+  std::string StripeObjectName(size_t k) {
+    std::vector<BindingInfo> entries = *stores[k].root->List(sys);
+    for (const BindingInfo& entry : entries) {
+      if (entry.name.rfind("stripe-", 0) == 0) {
+        return entry.name;
+      }
+    }
+    return "";
+  }
+};
+
+Buffer PatternPage(uint8_t tag) {
+  Buffer page(kPageSize);
+  for (size_t i = 0; i < kPageSize; ++i) {
+    page.data()[i] = static_cast<uint8_t>(tag ^ (i & 0xff));
+  }
+  return page;
+}
+
+TEST(StripedDfs, ReadWriteRoundTripWidthTwo) {
+  StripedWorld world(2);
+  sp<File> file = *world.client->CreateStriped("f");
+
+  // Five pages: odd count, so the targets hold unequal shares.
+  Buffer data(5 * kPageSize);
+  Rng rng(7);
+  Buffer fill = rng.RandomBuffer(data.size());
+  std::memcpy(data.data(), fill.data(), data.size());
+  ASSERT_EQ(*file->Write(0, data.span()), data.size());
+  EXPECT_EQ(*file->GetLength(), data.size());
+
+  Buffer back(data.size());
+  ASSERT_EQ(*file->Read(0, back.mutable_span()), data.size());
+  EXPECT_EQ(std::memcmp(back.data(), data.data(), data.size()), 0);
+
+  // Sub-range reads that straddle stripe boundaries.
+  Buffer mid(2 * kPageSize);
+  ASSERT_EQ(*file->Read(kPageSize / 2, mid.mutable_span()), mid.size());
+  EXPECT_EQ(std::memcmp(mid.data(), data.data() + kPageSize / 2, mid.size()),
+            0);
+
+  // Unaligned overwrite straddling stripes 2 and 3 (targets 0 and 1).
+  Buffer patch = PatternPage(0xAB);
+  uint64_t patch_at = 3 * kPageSize - kPageSize / 2;
+  ASSERT_EQ(*file->Write(patch_at, patch.span()), patch.size());
+  std::memcpy(data.data() + patch_at, patch.data(), patch.size());
+  ASSERT_EQ(*file->Read(0, back.mutable_span()), data.size());
+  EXPECT_EQ(std::memcmp(back.data(), data.data(), data.size()), 0);
+
+  // Reads past EOF are short; reads at EOF are empty.
+  Buffer tail(2 * kPageSize);
+  EXPECT_EQ(*file->Read(4 * kPageSize, tail.mutable_span()),
+            static_cast<size_t>(kPageSize));
+  EXPECT_EQ(*file->Read(5 * kPageSize, tail.mutable_span()), 0u);
+
+  // A reopen from a second client sees the same bytes.
+  sp<StripedDfsClient> other = *StripedDfsClient::Mount(
+      world.client2_node, world.network.get(), "mds", "dfs-meta",
+      &world.clock);
+  sp<File> theirs = *other->OpenStriped("f");
+  Buffer again(data.size());
+  ASSERT_EQ(*theirs->Read(0, again.mutable_span()), data.size());
+  EXPECT_EQ(std::memcmp(again.data(), data.data(), data.size()), 0);
+
+  EXPECT_GE(metrics::StatValue(*world.client, "map_fetches"), 1u);
+  EXPECT_GE(metrics::StatValue(*world.client, "stripe_extents"), 5u);
+}
+
+TEST(StripedDfs, DataLandsOnStripeOwners) {
+  StripedWorld world(2);
+  sp<File> file = *world.client->CreateStriped("f");
+  Buffer data(5 * kPageSize);
+  for (int p = 0; p < 5; ++p) {
+    Buffer page = PatternPage(static_cast<uint8_t>(0x10 + p));
+    std::memcpy(data.data() + p * kPageSize, page.data(), kPageSize);
+  }
+  ASSERT_EQ(*file->Write(0, data.span()), data.size());
+  ASSERT_TRUE(file->SyncFile().ok());
+
+  // Both data stores hold the same durable stripe-object name, and each
+  // object's length is exactly this target's share of the logical length.
+  std::string object_name = world.StripeObjectName(0);
+  ASSERT_FALSE(object_name.empty());
+  EXPECT_EQ(world.StripeObjectName(1), object_name);
+
+  for (size_t k = 0; k < 2; ++k) {
+    // Read the stripe object through its own data server (a plain DFS
+    // mount), so server-side caches cannot hide unflushed pages.
+    sp<DfsClient> direct = *DfsClient::Mount(
+        world.client2_node, world.network.get(), world.data_nodes[k]->name(),
+        "dfs-data", &world.clock);
+    sp<File> object = *ResolveAs<File>(direct, object_name, world.sys);
+    uint64_t local_len = LocalLengthFor(k, data.size(), kSS, 2);
+    EXPECT_EQ(*object->GetLength(), local_len) << "target " << k;
+    Buffer local(local_len);
+    ASSERT_EQ(*object->Read(0, local.mutable_span()), local_len);
+    // Local stripe unit i on target k is logical stripe i * width + k.
+    for (uint64_t i = 0; i * kSS < local_len; ++i) {
+      uint64_t logical = (i * 2 + k) * kSS;
+      EXPECT_EQ(std::memcmp(local.data() + i * kSS, data.data() + logical,
+                            kSS),
+                0)
+          << "target " << k << " local unit " << i;
+    }
+  }
+}
+
+TEST(StripedDfs, UnwrittenStripeHolesReadAsZeros) {
+  StripedWorld world(2);
+  sp<File> file = *world.client->CreateStriped("f");
+  // Write only page 1 (stripe 1, target 1): the logical length becomes two
+  // pages, but target 0's stripe object stays empty.
+  Buffer page = PatternPage(0x5A);
+  ASSERT_EQ(*file->Write(kPageSize, page.span()), page.size());
+  EXPECT_EQ(*file->GetLength(), 2 * kPageSize);
+
+  Buffer back(2 * kPageSize);
+  ASSERT_EQ(*file->Read(0, back.mutable_span()), back.size());
+  for (size_t i = 0; i < kPageSize; ++i) {
+    ASSERT_EQ(back.data()[i], 0) << "hole byte " << i;
+  }
+  EXPECT_EQ(std::memcmp(back.data() + kPageSize, page.data(), kPageSize), 0);
+  EXPECT_GE(metrics::StatValue(*world.client, "zero_fills"), 1u);
+}
+
+TEST(StripedDfs, SetLengthTruncatesEveryTarget) {
+  StripedWorld world(2);
+  sp<File> file = *world.client->CreateStriped("f");
+  Buffer data(4 * kPageSize);
+  Rng rng(11);
+  Buffer fill = rng.RandomBuffer(data.size());
+  std::memcpy(data.data(), fill.data(), data.size());
+  ASSERT_EQ(*file->Write(0, data.span()), data.size());
+
+  ASSERT_TRUE(file->SetLength(kPageSize + kPageSize / 2).ok());
+  EXPECT_EQ(*file->GetLength(), kPageSize + kPageSize / 2);
+  Buffer back(4 * kPageSize);
+  EXPECT_EQ(*file->Read(0, back.mutable_span()),
+            static_cast<size_t>(kPageSize + kPageSize / 2));
+  EXPECT_EQ(std::memcmp(back.data(), data.data(), kPageSize + kPageSize / 2),
+            0);
+
+  // Growing it back exposes zeros, not the truncated bytes.
+  ASSERT_TRUE(file->SetLength(4 * kPageSize).ok());
+  ASSERT_EQ(*file->Read(0, back.mutable_span()), back.size());
+  for (size_t i = kPageSize + kPageSize / 2; i < back.size(); ++i) {
+    ASSERT_EQ(back.data()[i], 0) << "byte " << i;
+  }
+}
+
+TEST(StripedDfs, NonStripedServerRejectsStripedOpen) {
+  FakeClock clock;
+  net::Network network(&clock, 1000);
+  sp<net::Node> server_node = network.AddNode("server");
+  sp<net::Node> client_node = network.AddNode("client");
+  MemBlockDevice device(ufs::kBlockSize, 4096);
+  Sfs sfs = *CreateSfs(&device, SfsOptions{}, &clock);
+  sp<DfsServer> server =  // no stripe_targets: a plain single server
+      *DfsServer::Create(server_node, &network, "dfs", sfs.root, &clock);
+  ASSERT_TRUE(sfs.root->CreateFile(*Name::Parse("plain"),
+                                   Credentials::System()).ok());
+
+  sp<StripedDfsClient> client =
+      *StripedDfsClient::Mount(client_node, &network, "server", "dfs",
+                               &clock);
+  EXPECT_EQ(client->OpenStriped("plain").status().code(),
+            ErrorCode::kInvalidArgument);
+  EXPECT_EQ(client->CreateStriped("fresh").status().code(),
+            ErrorCode::kInvalidArgument);
+  // The metadata path still serves the file the ordinary way.
+  sp<File> plain = *ResolveAs<File>(client->meta(), "plain",
+                                    Credentials::System());
+  EXPECT_EQ(*plain->GetLength(), 0u);
+}
+
+TEST(StripedDfs, DataServerRestartRecoversPerStripe) {
+  StripedWorld world(2);
+  sp<File> file = *world.client->CreateStriped("f");
+  Buffer data(4 * kPageSize);
+  Rng rng(13);
+  Buffer fill = rng.RandomBuffer(data.size());
+  std::memcpy(data.data(), fill.data(), data.size());
+  ASSERT_EQ(*file->Write(0, data.span()), data.size());
+  Buffer back(data.size());
+  ASSERT_EQ(*file->Read(0, back.mutable_span()), data.size());  // bind caches
+
+  // Restart data server 1: its boot epoch bumps, so the client's handle
+  // and cache binding for stripes {1, 3} are dead.
+  world.RestartDataServer(1);
+
+  // The next full read hits kStale on target 1, refetches the map, rebinds
+  // that stripe, and completes — target 0 is untouched throughout.
+  ASSERT_EQ(*file->Read(0, back.mutable_span()), data.size());
+  EXPECT_EQ(std::memcmp(back.data(), data.data(), data.size()), 0);
+  EXPECT_GE(metrics::StatValue(*world.client, "stripe_rebinds"), 1u);
+  EXPECT_GE(metrics::StatValue(*world.client, "target_restarts"), 1u);
+
+  // Writes keep landing after the recovery, on both targets.
+  Buffer patch = PatternPage(0xC3);
+  ASSERT_EQ(*file->Write(kPageSize, patch.span()), patch.size());
+  std::memcpy(data.data() + kPageSize, patch.data(), patch.size());
+  ASSERT_EQ(*file->Read(0, back.mutable_span()), data.size());
+  EXPECT_EQ(std::memcmp(back.data(), data.data(), data.size()), 0);
+}
+
+TEST(StripedDfs, DeadTargetOnlyFailsItsOwnStripes) {
+  StripedWorld world(2);
+  sp<File> file = *world.client->CreateStriped("f");
+  Buffer data(4 * kPageSize);
+  Rng rng(17);
+  Buffer fill = rng.RandomBuffer(data.size());
+  std::memcpy(data.data(), fill.data(), data.size());
+  ASSERT_EQ(*file->Write(0, data.span()), data.size());
+  Buffer page(kPageSize);
+  ASSERT_EQ(*file->Read(0, page.mutable_span()), page.size());
+
+  world.network->SetPartitioned("data1", true);
+
+  // Stripe 0 lives on data0 and keeps serving.
+  ASSERT_EQ(*file->Read(0, page.mutable_span()), page.size());
+  EXPECT_EQ(std::memcmp(page.data(), data.data(), kPageSize), 0);
+  // Stripe 1 lives on data1: the fan-out exhausts its retries and fails
+  // without wedging (virtual time: the backoffs cost nothing real).
+  Result<size_t> dead = file->Read(kPageSize, page.mutable_span());
+  EXPECT_FALSE(dead.ok());
+
+  world.network->SetPartitioned("data1", false);
+  Buffer back(data.size());
+  ASSERT_EQ(*file->Read(0, back.mutable_span()), data.size());
+  EXPECT_EQ(std::memcmp(back.data(), data.data(), data.size()), 0);
+  EXPECT_GE(metrics::StatValue(*world.client, "data_retries"), 1u);
+  EXPECT_GE(metrics::StatValue(*world.client, "retries_exhausted"), 1u);
+}
+
+TEST(StripedDfs, MappedWriteIsRecalledAcrossClients) {
+  StripedWorld world(2);
+  sp<File> file = *world.client->CreateStriped("f");
+  Buffer data(2 * kPageSize);
+  Rng rng(19);
+  Buffer fill = rng.RandomBuffer(data.size());
+  std::memcpy(data.data(), fill.data(), data.size());
+  ASSERT_EQ(*file->Write(0, data.span()), data.size());
+
+  // Client A maps the striped file and dirties page 0 in its local cache.
+  sp<Vmm> vmm = Vmm::Create(world.client_node->domain(), "vmm-a");
+  sp<MappedRegion> region = *vmm->Map(file, AccessRights::kReadWrite);
+  Buffer patch = PatternPage(0x77);
+  ASSERT_TRUE(region->Write(0, patch.span()).ok());
+
+  // Client B's direct read of page 0 forces data0's coherency engine to
+  // recall A's dirty copy through the striped callback path — B must see
+  // the mapped write without A ever syncing.
+  sp<StripedDfsClient> other = *StripedDfsClient::Mount(
+      world.client2_node, world.network.get(), "mds", "dfs-meta",
+      &world.clock);
+  sp<File> theirs = *other->OpenStriped("f");
+  Buffer page(kPageSize);
+  ASSERT_EQ(*theirs->Read(0, page.mutable_span()), page.size());
+  EXPECT_EQ(std::memcmp(page.data(), patch.data(), kPageSize), 0);
+  EXPECT_GE(metrics::StatValue(*world.client, "recalls_received"), 1u);
+
+  // Page 1 (target 1) was never touched by the mapping and stays intact.
+  ASSERT_EQ(*theirs->Read(kPageSize, page.mutable_span()), page.size());
+  EXPECT_EQ(std::memcmp(page.data(), data.data() + kPageSize, kPageSize), 0);
+}
+
+TEST(StripedDfs, MappedReadsFaultThroughStripeFanout) {
+  StripedWorld world(2);
+  sp<File> file = *world.client->CreateStriped("f");
+  Buffer data(4 * kPageSize);
+  Rng rng(23);
+  Buffer fill = rng.RandomBuffer(data.size());
+  std::memcpy(data.data(), fill.data(), data.size());
+  ASSERT_EQ(*file->Write(0, data.span()), data.size());
+
+  sp<Vmm> vmm = Vmm::Create(world.client_node->domain(), "vmm");
+  sp<MappedRegion> region = *vmm->Map(file, AccessRights::kReadWrite);
+  Buffer back(data.size());
+  ASSERT_TRUE(region->Read(0, back.mutable_span()).ok());
+  EXPECT_EQ(std::memcmp(back.data(), data.data(), data.size()), 0);
+
+  // Mapped writes reach the stripe owners on sync.
+  Buffer patch = PatternPage(0xE1);
+  ASSERT_TRUE(region->Write(3 * kPageSize, patch.span()).ok());
+  ASSERT_TRUE(region->Sync().ok());
+  std::memcpy(data.data() + 3 * kPageSize, patch.data(), patch.size());
+  ASSERT_EQ(*file->Read(0, back.mutable_span()), data.size());
+  EXPECT_EQ(std::memcmp(back.data(), data.data(), data.size()), 0);
+}
+
+}  // namespace
+}  // namespace springfs
