@@ -72,6 +72,7 @@ RunResult RunWidth(bench::BenchReport& report, size_t width) {
   std::vector<sp<DfsServer>> servers;
   DfsServerOptions mds_options;
   mds_options.stripe_size = kStripeSize;
+  mds_options.stripe_replicas = 1;  // the width phases measure raw RAID-0
   for (size_t k = 0; k < width; ++k) {
     std::string node_name = "data" + std::to_string(k);
     sp<net::Node> data_node = network.AddNode(node_name);
@@ -147,6 +148,104 @@ Measurement Ratio(double value) {
   return m;
 }
 
+// Degraded-mode read: a width-2 cluster at replica factor 2 (every stripe
+// mirrored on the other server), with one data server partitioned away.
+// Every extent whose primary lane sits on the dead target fails over to
+// its mirror inside the same fan-out round — the read must still complete
+// byte-identical, and at a reasonable fraction of the healthy rate (all
+// traffic now rides one pacer, so ~0.5x is the structural ceiling).
+struct DegradedResult {
+  double healthy_mbps = 0;
+  double degraded_mbps = 0;
+  bool identical = false;
+};
+
+DegradedResult RunDegraded(bench::BenchReport& report) {
+  const uint64_t file_bytes = (bench::QuickMode() ? 1 : 4) * 1024 * 1024;
+  constexpr size_t kWidth = 2;
+  net::Network network(&DefaultClock(), kLatencyNs);
+  sp<net::Node> client_node = network.AddNode("client");
+  sp<net::Node> mds_node = network.AddNode("mds");
+
+  std::vector<std::unique_ptr<MemBlockDevice>> devices;
+  std::vector<Sfs> stores;
+  std::vector<sp<DfsServer>> servers;
+  DfsServerOptions mds_options;
+  mds_options.stripe_size = kStripeSize;
+  mds_options.stripe_replicas = 2;
+  for (size_t k = 0; k < kWidth; ++k) {
+    std::string node_name = "data" + std::to_string(k);
+    sp<net::Node> data_node = network.AddNode(node_name);
+    devices.push_back(std::make_unique<MemBlockDevice>(ufs::kBlockSize, 16384));
+    stores.push_back(CreateSfs(devices.back().get(), SfsOptions{}).take_value());
+    servers.push_back(DfsServer::Create(data_node, &network, "dfs-data",
+                                        stores.back().root)
+                          .take_value());
+    mds_options.stripe_targets.push_back({node_name, "dfs-data"});
+  }
+  devices.push_back(std::make_unique<MemBlockDevice>(ufs::kBlockSize, 16384));
+  stores.push_back(CreateSfs(devices.back().get(), SfsOptions{}).take_value());
+  sp<DfsServer> mds =
+      DfsServer::Create(mds_node, &network, "dfs-meta", stores.back().root,
+                        &DefaultClock(), mds_options)
+          .take_value();
+
+  StripedDfsClientOptions options;
+  options.data_channel.max_inflight = 512;
+  options.data_channel.pace_gap_ns = kPaceGapNs;
+  options.data_channel.pace_burst = 1;
+  options.data_channel.rto_ns = 50'000'000;
+  options.data_channel.rto_max_ns = 200'000'000;
+  sp<StripedDfsClient> client =
+      Must(StripedDfsClient::Mount(client_node, &network, "mds", "dfs-meta",
+                                   &DefaultClock(), options),
+           "mount degraded");
+
+  sp<File> file = Must(client->CreateStriped("f"), "create replicated");
+  Rng rng(2);
+  Buffer expect = rng.RandomBuffer(file_bytes);
+  Must(file->Write(0, expect.span()), "seed replicated write");
+
+  report.BeginConfig("stripe/degraded");
+  network.ResetStats();
+
+  DegradedResult result;
+  Buffer got;
+  got.resize(file_bytes);
+  auto measure = [&](const char* what) {
+    auto start = std::chrono::steady_clock::now();
+    size_t n = Must(file->Read(0, got.mutable_span()), what);
+    auto end = std::chrono::steady_clock::now();
+    double wall_us =
+        std::chrono::duration<double, std::micro>(end - start).count();
+    result.identical =
+        n == file_bytes && std::memcmp(got.data(), expect.data(), n) == 0;
+    return (static_cast<double>(file_bytes) / (1024.0 * 1024.0)) /
+           (wall_us / 1e6);
+  };
+
+  result.healthy_mbps = measure("healthy replicated read");
+  bool healthy_identical = result.identical;
+  network.SetPartitioned("data1", true);
+  result.degraded_mbps = measure("degraded read");
+  result.identical = result.identical && healthy_identical;
+  network.SetPartitioned("data1", false);
+
+  double ratio = result.degraded_mbps / std::max(result.healthy_mbps, 1e-9);
+  report.Add("healthy_mb_per_s", Ratio(result.healthy_mbps));
+  report.Add("degraded_mb_per_s", Ratio(result.degraded_mbps));
+  report.Add("degraded_ratio_x", Ratio(ratio));
+  report.EndConfig();
+
+  std::printf("%-16s: %7.1f MB/s healthy, %7.1f MB/s with data1 dark "
+              "(%.2fx), bytes %s, failovers %llu\n",
+              "stripe/degraded", result.healthy_mbps, result.degraded_mbps,
+              ratio, result.identical ? "identical" : "MISMATCH",
+              static_cast<unsigned long long>(
+                  metrics::StatValue(*client, "replica_failovers")));
+  return result;
+}
+
 }  // namespace
 
 int main() {
@@ -160,6 +259,7 @@ int main() {
   RunResult w1 = RunWidth(report, 1);
   RunResult w2 = RunWidth(report, 2);
   RunResult w4 = RunWidth(report, 4);
+  DegradedResult degraded = RunDegraded(report);
   bench::PrintRule(80);
 
   double speedup2 = w2.mbps / std::max(w1.mbps, 1e-9);
@@ -190,5 +290,10 @@ int main() {
   // the wire traffic (metadata stays off the data path).
   check(w4.net_calls <= w1.net_calls + w1.net_calls / 4,
         "width-4 read costs no more net calls than width-1 (+25% slack)");
+  check(degraded.identical,
+        "degraded replicated reads byte-identical to the seeded file");
+  check(degraded.degraded_mbps >=
+            0.4 * std::max(degraded.healthy_mbps, 1e-9),
+        "degraded read (one replica target down) >=0.4x the healthy rate");
   return ok ? 0 : 1;
 }

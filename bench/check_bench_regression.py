@@ -35,9 +35,10 @@ measurement key contains SUBSTR. A renamed or silently dropped config
 otherwise just shrinks the shared set and the diff passes vacuously; the
 flag pins configs that must keep being measured, and may be repeated —
 every SUBSTR must match, and every unmatched one is reported before the
-check exits (CI requires seqio's pipeline/depth sweep, coldopen's
-compound + delegated_reopen configs, and bench_stripe's width sweep this
-way).
+check exits, saying which side (current run or baseline) lacks the metric
+(CI requires seqio's pipeline/depth sweep, coldopen's compound +
+delegated_reopen configs, and bench_stripe's width sweep and degraded
+config this way).
 
 Exit codes: 0 clean, 1 regression found, 2 usage/shape error.
 """
@@ -100,11 +101,25 @@ def main(argv):
     if unmatched:
         # Report every missing key, not just the first: a CI invocation
         # pins several configs at once, and fixing them one failure per
-        # push is miserable.
+        # push is miserable. Say WHICH side is missing the metric — "not
+        # shared" alone sends people hunting in the wrong file when the
+        # actual fix is regenerating a stale baseline.
         for required in unmatched:
-            print(f"error: no shared measurement matches --require "
-                  f"'{required}' (configs dropped or renamed?)",
-                  file=sys.stderr)
+            in_current = any(required in key for key in current)
+            in_baseline = any(required in key for key in baseline)
+            if in_current and not in_baseline:
+                print(f"error: --require '{required}' is measured by the "
+                      f"current run but missing from the baseline "
+                      f"{args[-1]} — regenerate the baseline to pick up "
+                      f"the new config", file=sys.stderr)
+            elif in_baseline and not in_current:
+                print(f"error: --require '{required}' is in the baseline "
+                      f"but missing from the current run (config dropped "
+                      f"or renamed?)", file=sys.stderr)
+            else:
+                print(f"error: no measurement on either side matches "
+                      f"--require '{required}' (configs dropped or "
+                      f"renamed?)", file=sys.stderr)
         return 2
 
     ratios = {k: current[k] / baseline[k] for k in shared}

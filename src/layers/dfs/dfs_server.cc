@@ -721,6 +721,8 @@ net::Frame DfsServer::Dispatch(Op op, const net::Frame& request,
       return HandleDelegReturn(request);
     case Op::kGetStripeMap:
       return HandleGetStripeMap(request);
+    case Op::kReportStaleReplica:
+      return HandleReportStale(request);
     case Op::kCompound:
       return HandleCompound(request);
     default:
@@ -939,6 +941,283 @@ net::Frame DfsServer::HandleDelegReturn(const net::Frame& request) {
   return OkFrame();
 }
 
+// --- striped metadata role: staleness state, map building, rebuild --------
+
+uint32_t DfsServer::StripeReplicaCount() const {
+  size_t width = options_.stripe_targets.size();
+  uint32_t r = std::max<uint32_t>(options_.stripe_replicas, 1);
+  return static_cast<uint32_t>(std::min<size_t>(r, width));
+}
+
+namespace {
+
+// Lane-r stripe object name: the primary lane keeps the bare object name
+// (back-compatible with single-lane clusters); higher lanes append a
+// suffix.
+std::string LaneObjectName(const std::string& object_name, size_t lane) {
+  return lane == 0 ? object_name
+                   : object_name + "-r" + std::to_string(lane);
+}
+
+// Sidecar file on the metadata store holding a file's StripeState. Named
+// by the same path hash as the stripe objects so it survives renames of
+// nothing (paths are stable here) and never collides with another file's.
+std::string StripeStateName(const std::string& path) {
+  return "." + StripeObjectName(path) + "-state";
+}
+
+}  // namespace
+
+DfsServer::StripeState DfsServer::LoadStripeState(const std::string& path) {
+  size_t width = options_.stripe_targets.size();
+  {
+    std::lock_guard<std::mutex> lock(stripe_mutex_);
+    auto it = stripe_states_.find(path);
+    if (it != stripe_states_.end()) {
+      it->second.stale.resize(width, false);
+      return it->second;
+    }
+  }
+  StripeState state;
+  state.stale.assign(width, false);
+  // Cold (this boot never touched the file): re-derive from the sidecar,
+  // if a previous incumbent left one. This is what keeps map versions
+  // monotonic — and stale marks durable — across MDS restarts.
+  {
+    Result<sp<File>> sidecar =
+        ResolveAs<File>(under_, StripeStateName(path), Credentials::System());
+    if (sidecar.ok()) {
+      Result<Offset> len = (*sidecar)->GetLength();
+      if (len.ok() && *len > 0) {
+        Buffer raw;
+        raw.resize(*len);
+        Result<size_t> got = (*sidecar)->Read(0, raw.mutable_span());
+        if (got.ok()) {
+          WireReader r(raw.span().first(*got));
+          Result<uint64_t> version = r.U64();
+          Result<uint32_t> count = r.U32();
+          if (version.ok() && count.ok()) {
+            state.version = *version;
+            for (uint32_t t = 0; t < *count; ++t) {
+              Result<uint32_t> flag = r.U32();
+              if (!flag.ok()) {
+                break;
+              }
+              if (t < width) {
+                state.stale[t] = *flag != 0;
+              }
+            }
+          }
+        }
+      }
+    }
+  }
+  std::lock_guard<std::mutex> lock(stripe_mutex_);
+  auto [it, inserted] = stripe_states_.emplace(path, state);
+  return it->second;
+}
+
+void DfsServer::StoreStripeState(const std::string& path,
+                                 const StripeState& state) {
+  {
+    std::lock_guard<std::mutex> lock(stripe_mutex_);
+    stripe_states_[path] = state;
+  }
+  Result<Name> name = Name::Parse(StripeStateName(path));
+  if (!name.ok()) {
+    return;
+  }
+  Result<sp<File>> sidecar =
+      ResolveAs<File>(under_, name->ToString(), Credentials::System());
+  if (!sidecar.ok()) {
+    sidecar = under_->CreateFile(*name, Credentials::System());
+  }
+  if (!sidecar.ok()) {
+    flight::Record(flight::Severity::kWarn, "dfs_stripe",
+                   "stripe-state sidecar unwritable", state.version);
+    return;
+  }
+  WireWriter w;
+  w.U64(state.version);
+  w.U32(static_cast<uint32_t>(state.stale.size()));
+  for (bool flag : state.stale) {
+    w.U32(flag ? 1 : 0);
+  }
+  // The logical path, so a cold incumbent can walk the store's sidecars
+  // and re-derive the full stale set (RunRebuildPass) without waiting for
+  // a client to refetch this file's map.
+  w.Str(path);
+  Buffer wire = w.Take();
+  (void)(*sidecar)->Write(0, wire.span());
+  (void)(*sidecar)->SetLength(wire.size());
+}
+
+std::string DfsServer::ReadSidecarPath(const std::string& sidecar_name) {
+  Result<sp<File>> sidecar =
+      ResolveAs<File>(under_, sidecar_name, Credentials::System());
+  if (!sidecar.ok()) {
+    return "";
+  }
+  Result<Offset> len = (*sidecar)->GetLength();
+  if (!len.ok() || *len == 0) {
+    return "";
+  }
+  Buffer raw;
+  raw.resize(*len);
+  Result<size_t> got = (*sidecar)->Read(0, raw.mutable_span());
+  if (!got.ok()) {
+    return "";
+  }
+  WireReader r(raw.span().first(*got));
+  Result<uint64_t> version = r.U64();
+  Result<uint32_t> count = r.U32();
+  if (!version.ok() || !count.ok()) {
+    return "";
+  }
+  for (uint32_t t = 0; t < *count; ++t) {
+    if (!r.U32().ok()) {
+      return "";
+    }
+  }
+  Result<std::string> path = r.Str();
+  return path.ok() ? *path : "";
+}
+
+bool DfsServer::MarkReplicaStale(const std::string& path, size_t t) {
+  StripeState state = LoadStripeState(path);
+  if (t >= state.stale.size() || state.stale[t]) {
+    return false;
+  }
+  size_t fresh = 0;
+  for (bool flag : state.stale) {
+    fresh += flag ? 0 : 1;
+  }
+  if (fresh <= 1) {
+    // Refusing to mark the last fresh target: a file cannot be served from
+    // zero fresh replicas, so the final copy stays authoritative even if a
+    // client could not reach it.
+    flight::Record(flight::Severity::kWarn, "dfs_stripe",
+                   "refused to mark last fresh target", t, state.version);
+    return false;
+  }
+  state.stale[t] = true;
+  ++state.version;
+  StoreStripeState(path, state);
+  {
+    std::lock_guard<std::mutex> lock(stats_mutex_);
+    ++stats_.stripe_replicas_marked_stale;
+  }
+  flight::Record(flight::Severity::kWarn, "dfs_stripe",
+                 "replica target marked stale", t, state.version);
+  return true;
+}
+
+// Ensure the stripe object exists on one data server and return its
+// current handle. Deliberately uncached: handles are only valid for a data
+// server's boot epoch, so re-resolving on every map request means a client
+// that refetches the map after a data-server restart gets working handles
+// with no extra re-lookup protocol. The lookup -> create -> re-lookup
+// ladder is convergent, which is what lets kGetStripeMap stay idempotent
+// even though it may create objects.
+Result<uint64_t> DfsServer::EnsureStripeObject(
+    const DfsServerOptions::StripeTarget& target, const std::string& name) {
+  PathRequest object;
+  object.path = name;
+  net::Frame lookup;
+  lookup.type = static_cast<uint32_t>(Op::kLookup);
+  lookup.payload = object.Encode();
+  ASSIGN_OR_RETURN(
+      net::Frame reply,
+      network_->Call(node_->name(), target.node, target.service, lookup));
+  Status st = reply.ToStatus();
+  if (st.code() == ErrorCode::kNotFound) {
+    net::Frame create;
+    create.type = static_cast<uint32_t>(Op::kCreate);
+    create.payload = object.Encode();
+    ASSIGN_OR_RETURN(
+        net::Frame created,
+        network_->Call(node_->name(), target.node, target.service, create));
+    Status create_st = created.ToStatus();
+    if (create_st.ok()) {
+      ASSIGN_OR_RETURN(CreateResponse made,
+                       CreateResponse::Decode(created.payload.span()));
+      {
+        std::lock_guard<std::mutex> lock(stats_mutex_);
+        ++stats_.stripe_objects_created;
+      }
+      return made.handle;
+    }
+    if (create_st.code() != ErrorCode::kAlreadyExists) {
+      return create_st;
+    }
+    // Lost-response race: our earlier create landed but its reply did not.
+    // Fall through to the re-lookup below.
+    ASSIGN_OR_RETURN(
+        reply,
+        network_->Call(node_->name(), target.node, target.service, lookup));
+    st = reply.ToStatus();
+  }
+  RETURN_IF_ERROR(st);
+  ASSIGN_OR_RETURN(LookupResponse found,
+                   LookupResponse::Decode(reply.payload.span()));
+  return found.handle;
+}
+
+Result<StripeMapResponse> DfsServer::BuildStripeMap(const sp<ServerFile>& file) {
+  uint32_t replicas = StripeReplicaCount();
+  StripeMapResponse body;
+  body.stripe_size = options_.stripe_size;
+  body.replicas = replicas;
+  body.object_name = StripeObjectName(file->path);
+  ASSIGN_OR_RETURN(Offset length, file->under->GetLength());
+  body.length = length;
+
+  bool marked = false;
+  StripeState state = LoadStripeState(file->path);
+  for (size_t t = 0; t < options_.stripe_targets.size(); ++t) {
+    const DfsServerOptions::StripeTarget& target = options_.stripe_targets[t];
+    StripeMapResponse::Target out;
+    out.node = target.node;
+    out.service = target.service;
+    out.stale = state.stale[t];
+    // Stale targets still get an ensure attempt: once the server is back
+    // up the map carries real handles for the rebuild path, while the
+    // stale flag keeps clients away until the rebuild clears it.
+    Status ensure = Status::Ok();
+    for (size_t lane = 0; lane < replicas && ensure.ok(); ++lane) {
+      Result<uint64_t> handle =
+          EnsureStripeObject(target, LaneObjectName(body.object_name, lane));
+      if (!handle.ok()) {
+        ensure = handle.status();
+        break;
+      }
+      out.lane_handles.push_back(*handle);
+    }
+    if (!ensure.ok()) {
+      if (replicas == 1) {
+        // Unreplicated cluster: there is no peer to degrade to, so the map
+        // request fails exactly as it did before replication existed.
+        return ensure;
+      }
+      out.lane_handles.assign(replicas, 0);
+      if (!out.stale && MarkReplicaStale(file->path, t)) {
+        marked = true;
+        out.stale = true;
+      }
+    }
+    body.targets.push_back(std::move(out));
+  }
+  if (marked) {
+    // Re-read so the served version reflects the marks applied above.
+    state = LoadStripeState(file->path);
+    for (size_t t = 0; t < body.targets.size(); ++t) {
+      body.targets[t].stale = state.stale[t];
+    }
+  }
+  body.map_version = state.version;
+  return body;
+}
+
 net::Frame DfsServer::HandleGetStripeMap(const net::Frame& request) {
   Result<HandleRequest> req = HandleRequest::Decode(request.payload.span());
   if (!req.ok()) {
@@ -957,90 +1236,212 @@ net::Frame DfsServer::HandleGetStripeMap(const net::Frame& request) {
   if (!file_result.ok()) {
     return StatusFrame(file_result.status());
   }
-  sp<ServerFile> file = *file_result;
-
-  StripeMapResponse body;
-  body.stripe_size = options_.stripe_size;
-  body.object_name = StripeObjectName(file->path);
-  Result<Offset> length = file->under->GetLength();
-  if (!length.ok()) {
-    return StatusFrame(length.status());
+  Result<StripeMapResponse> body = BuildStripeMap(*file_result);
+  if (!body.ok()) {
+    return StatusFrame(body.status());
   }
-  body.length = *length;
-
-  // Ensure the per-file stripe object exists on every data server and
-  // collect its current handle. Deliberately uncached: handles are only
-  // valid for a data server's boot epoch, so re-resolving on every map
-  // request means a client that refetches the map after a data-server
-  // restart gets working handles with no extra re-lookup protocol. The
-  // lookup -> create -> re-lookup ladder is convergent, which is what lets
-  // kGetStripeMap stay idempotent even though it may create objects.
-  for (const DfsServerOptions::StripeTarget& target : options_.stripe_targets) {
-    PathRequest object;
-    object.path = body.object_name;
-    net::Frame lookup;
-    lookup.type = static_cast<uint32_t>(Op::kLookup);
-    lookup.payload = object.Encode();
-    Result<net::Frame> reply =
-        network_->Call(node_->name(), target.node, target.service, lookup);
-    if (!reply.ok()) {
-      return StatusFrame(reply.status());
-    }
-    Status st = reply->ToStatus();
-    if (st.code() == ErrorCode::kNotFound) {
-      net::Frame create;
-      create.type = static_cast<uint32_t>(Op::kCreate);
-      create.payload = object.Encode();
-      Result<net::Frame> created =
-          network_->Call(node_->name(), target.node, target.service, create);
-      if (!created.ok()) {
-        return StatusFrame(created.status());
-      }
-      Status create_st = created->ToStatus();
-      if (create_st.ok()) {
-        Result<CreateResponse> made =
-            CreateResponse::Decode(created->payload.span());
-        if (!made.ok()) {
-          return StatusFrame(made.status());
-        }
-        {
-          std::lock_guard<std::mutex> lock(stats_mutex_);
-          ++stats_.stripe_objects_created;
-        }
-        body.targets.push_back(StripeMapResponse::Target{
-            target.node, target.service, made->handle});
-        continue;
-      }
-      if (create_st.code() != ErrorCode::kAlreadyExists) {
-        return StatusFrame(create_st);
-      }
-      // Lost-response race: our earlier create landed but its reply did
-      // not. Fall through to the re-lookup below.
-      reply = network_->Call(node_->name(), target.node, target.service,
-                             lookup);
-      if (!reply.ok()) {
-        return StatusFrame(reply.status());
-      }
-      st = reply->ToStatus();
-    }
-    if (!st.ok()) {
-      return StatusFrame(st);
-    }
-    Result<LookupResponse> found = LookupResponse::Decode(reply->payload.span());
-    if (!found.ok()) {
-      return StatusFrame(found.status());
-    }
-    body.targets.push_back(StripeMapResponse::Target{
-        target.node, target.service, found->handle});
-  }
-
   {
     std::lock_guard<std::mutex> lock(stats_mutex_);
     ++stats_.stripe_maps_served;
   }
   net::Frame response;
-  response.payload = body.Encode();
+  response.payload = body->Encode();
   return response;
+}
+
+net::Frame DfsServer::HandleReportStale(const net::Frame& request) {
+  Result<ReportStaleRequest> req =
+      ReportStaleRequest::Decode(request.payload.span());
+  if (!req.ok()) {
+    return StatusFrame(req.status());
+  }
+  if (options_.stripe_targets.empty()) {
+    return StatusFrame(ErrInvalidArgument("not a striped metadata server"));
+  }
+  Result<sp<ServerFile>> file_result = FileForHandle(req->handle);
+  if (!file_result.ok()) {
+    return StatusFrame(file_result.status());
+  }
+  sp<ServerFile> file = *file_result;
+  {
+    std::lock_guard<std::mutex> lock(stats_mutex_);
+    ++stats_.stripe_stale_reports;
+  }
+  if (req->target < options_.stripe_targets.size() &&
+      StripeReplicaCount() > 1) {
+    // Version-fenced: the mark is honored only when the reporter's map is
+    // at least as new as this server's state. A report stamped with an
+    // older version raced a rebuild that already cleared the mark (and
+    // bumped the version past the reporter's) — re-marking would wrongly
+    // evict the just-rebuilt replica. The stale reporter instead gets the
+    // fresh map below and re-plans its writes against it, reaching the
+    // revived target directly. (MarkReplicaStale still refuses to strand
+    // the last fresh copy.)
+    if (req->map_version >= LoadStripeState(file->path).version) {
+      (void)MarkReplicaStale(file->path, static_cast<size_t>(req->target));
+    }
+  }
+  Result<StripeMapResponse> body = BuildStripeMap(file);
+  if (!body.ok()) {
+    return StatusFrame(body.status());
+  }
+  net::Frame response;
+  response.payload = body->Encode();
+  return response;
+}
+
+Result<size_t> DfsServer::RunRebuildPass() {
+  if (options_.stripe_targets.empty()) {
+    return size_t{0};
+  }
+  // Walk the metadata store's sidecars first: each one records the
+  // logical path it belongs to, so a cold incumbent (fresh after an MDS
+  // failover, no client traffic yet) re-derives every file's stale set
+  // right here instead of waiting for map refetches to repopulate it.
+  {
+    Result<std::vector<BindingInfo>> entries =
+        under_->List(Credentials::System());
+    if (entries.ok()) {
+      constexpr std::string_view kPrefix = ".stripe-";
+      constexpr std::string_view kSuffix = "-state";
+      for (const BindingInfo& entry : *entries) {
+        if (entry.name.size() > kPrefix.size() + kSuffix.size() &&
+            entry.name.rfind(kPrefix, 0) == 0 &&
+            entry.name.compare(entry.name.size() - kSuffix.size(),
+                               kSuffix.size(), kSuffix) == 0) {
+          std::string path = ReadSidecarPath(entry.name);
+          if (!path.empty()) {
+            (void)LoadStripeState(path);  // cache-or-sidecar, idempotent
+          }
+        }
+      }
+    }
+  }
+  // Snapshot the paths with stale targets.
+  std::vector<std::string> paths;
+  {
+    std::lock_guard<std::mutex> lock(stripe_mutex_);
+    for (const auto& [path, state] : stripe_states_) {
+      if (std::any_of(state.stale.begin(), state.stale.end(),
+                      [](bool flag) { return flag; })) {
+        paths.push_back(path);
+      }
+    }
+  }
+  size_t rebuilt = 0;
+  for (const std::string& path : paths) {
+    StripeState state = LoadStripeState(path);
+    std::string object_name = StripeObjectName(path);
+    for (size_t t = 0; t < state.stale.size(); ++t) {
+      if (!state.stale[t]) {
+        continue;
+      }
+      Status copied = RebuildTarget(object_name, t, state);
+      if (!copied.ok()) {
+        flight::Record(flight::Severity::kWarn, "dfs_stripe",
+                       "rebuild attempt failed", t, state.version);
+        continue;  // target still down or no fresh source; next pass
+      }
+      state.stale[t] = false;
+      ++state.version;
+      StoreStripeState(path, state);
+      ++rebuilt;
+      {
+        std::lock_guard<std::mutex> lock(stats_mutex_);
+        ++stats_.stripe_rebuilds;
+      }
+      flight::Record(flight::Severity::kInfo, "dfs_stripe",
+                     "stale target rebuilt", t, state.version);
+    }
+  }
+  return rebuilt;
+}
+
+Status DfsServer::RebuildTarget(const std::string& object_name, size_t t,
+                                const StripeState& state) {
+  size_t width = options_.stripe_targets.size();
+  uint32_t replicas = StripeReplicaCount();
+  const DfsServerOptions::StripeTarget& dest = options_.stripe_targets[t];
+
+  // Typed sync call helper against a data server.
+  auto call = [&](const DfsServerOptions::StripeTarget& target, Op op,
+                  Buffer body) -> Result<net::Frame> {
+    net::Frame frame;
+    frame.type = static_cast<uint32_t>(op);
+    frame.payload = std::move(body);
+    ASSIGN_OR_RETURN(
+        net::Frame reply,
+        network_->Call(node_->name(), target.node, target.service, frame));
+    RETURN_IF_ERROR(reply.ToStatus());
+    return reply;
+  };
+
+  for (size_t lane = 0; lane < replicas; ++lane) {
+    // The lane-`lane` object on target t holds stripes s with
+    // (s + lane) % width == t; any fresh lane r' on target
+    // (t - lane + r') % width holds the identical stripe set at identical
+    // local offsets, so the copy is a plain whole-object transfer.
+    size_t base = (t + width - (lane % width)) % width;
+    const DfsServerOptions::StripeTarget* src_target = nullptr;
+    size_t src_lane = 0;
+    for (size_t r = 0; r < replicas; ++r) {
+      size_t candidate = (base + r) % width;
+      if (candidate == t || state.stale[candidate]) {
+        continue;
+      }
+      src_target = &options_.stripe_targets[candidate];
+      src_lane = r;
+      break;
+    }
+    if (!src_target) {
+      return ErrTimedOut("no fresh replica to rebuild from");
+    }
+    ASSIGN_OR_RETURN(
+        uint64_t src_handle,
+        EnsureStripeObject(*src_target, LaneObjectName(object_name, src_lane)));
+    ASSIGN_OR_RETURN(
+        uint64_t dst_handle,
+        EnsureStripeObject(dest, LaneObjectName(object_name, lane)));
+
+    HandleRequest len_req;
+    len_req.handle = src_handle;
+    ASSIGN_OR_RETURN(net::Frame len_reply,
+                     call(*src_target, Op::kGetLength, len_req.Encode()));
+    ASSIGN_OR_RETURN(GetLengthResponse src_len,
+                     GetLengthResponse::Decode(len_reply.payload.span()));
+
+    constexpr uint64_t kChunk = 16 * kPageSize;
+    for (uint64_t off = 0; off < src_len.length; off += kChunk) {
+      uint64_t n = std::min(kChunk, src_len.length - off);
+      ReadRequest read;
+      read.handle = src_handle;
+      read.offset = off;
+      read.length = n;
+      ASSIGN_OR_RETURN(net::Frame read_reply,
+                       call(*src_target, Op::kRead, read.Encode()));
+      ASSIGN_OR_RETURN(ReadResponse data,
+                       ReadResponse::Decode(read_reply.payload.span()));
+      WriteRequest write;
+      write.handle = dst_handle;
+      write.offset = off;
+      write.data = std::move(data.data);
+      size_t written = write.data.size();
+      ASSIGN_OR_RETURN(net::Frame write_reply,
+                       call(dest, Op::kWrite, write.Encode()));
+      (void)write_reply;
+      std::lock_guard<std::mutex> lock(stats_mutex_);
+      stats_.stripe_rebuild_bytes += written;
+    }
+    // Truncate a dest that outlived the source (writes it absorbed before
+    // dying that were since truncated away).
+    SetLengthRequest trunc;
+    trunc.handle = dst_handle;
+    trunc.length = src_len.length;
+    ASSIGN_OR_RETURN(net::Frame trunc_reply,
+                     call(dest, Op::kSetLength, trunc.Encode()));
+    (void)trunc_reply;
+  }
+  return Status::Ok();
 }
 
 net::Frame DfsServer::HandleCompound(const net::Frame& request) {
@@ -1626,6 +2027,10 @@ void DfsServer::CollectStats(const metrics::StatsEmitter& emit) const {
   emit("grace_rejects", stats_.grace_rejects);
   emit("stripe_maps_served", stats_.stripe_maps_served);
   emit("stripe_objects_created", stats_.stripe_objects_created);
+  emit("stripe_replicas_marked_stale", stats_.stripe_replicas_marked_stale);
+  emit("stripe_stale_reports", stats_.stripe_stale_reports);
+  emit("stripe_rebuilds", stats_.stripe_rebuilds);
+  emit("stripe_rebuild_bytes", stats_.stripe_rebuild_bytes);
 }
 
 bool DfsServer::CheckCoherencyInvariants() {

@@ -71,6 +71,16 @@ struct DfsServerOptions {
   };
   uint64_t stripe_size = 4 * 4096;  // bytes per stripe unit (page multiple)
   std::vector<StripeTarget> stripe_targets;
+  // Replica lanes per stripe (R, clamped to the target count). Replica r
+  // of stripe s lives on target (s + r) % width in that server's lane-r
+  // object ("<object>-r<r>"), at the same local offset as the primary —
+  // the lane-r object on target t is byte-identical to the lane-0 object
+  // on target (t - r) % width, which is what makes rebuild a whole-object
+  // copy. With R >= 2 a dead data server degrades its stripes (reads fail
+  // over to the peer replica, writes skip it and mark it stale) instead of
+  // failing them; R = 1 keeps the PR 8 pure-RAID-0 behavior, including
+  // "any unreachable target fails the map request".
+  uint32_t stripe_replicas = 2;
 };
 
 class DfsServer : public StackableFs,
@@ -137,6 +147,17 @@ class DfsServer : public StackableFs,
   bool CheckCoherencyInvariants();
   CoherencyStats AggregateCoherencyStats();
 
+  // One pass of the background rebuild daemon (metadata role): for every
+  // striped file with stale replica targets, re-syncs each stale target's
+  // lane objects from a fresh peer (whole-object copy — the lane-r object
+  // on target t is byte-identical to the lane-r' object on target
+  // (t - r + r') % width) and clears the mark under a bumped, persisted
+  // map version. Returns the number of stale targets brought back fresh.
+  // Deterministic and idempotent, so tests and embedders drive it
+  // explicitly; it assumes the rebuilt files are quiesced (writes racing
+  // the copy can be missed — DESIGN.md §15).
+  Result<size_t> RunRebuildPass();
+
  private:
   friend class DfsLocalFile;
   friend class DfsLowerCacheObject;
@@ -167,6 +188,10 @@ class DfsServer : public StackableFs,
     uint64_t stripe_maps_served = 0;  // kGetStripeMap replies (metadata role)
     uint64_t stripe_objects_created = 0;  // stripe objects ensured on data
                                           // servers (first map of a file)
+    uint64_t stripe_replicas_marked_stale = 0;  // staleness marks applied
+    uint64_t stripe_stale_reports = 0;  // kReportStaleReplica frames served
+    uint64_t stripe_rebuilds = 0;       // stale targets re-synced + cleared
+    uint64_t stripe_rebuild_bytes = 0;  // bytes copied by rebuild passes
   };
 
   void NoteLowerFlush();
@@ -233,6 +258,49 @@ class DfsServer : public StackableFs,
   net::Frame HandleOpen(const net::Frame& request);
   net::Frame HandleDelegReturn(const net::Frame& request);
   net::Frame HandleGetStripeMap(const net::Frame& request);
+  net::Frame HandleReportStale(const net::Frame& request);
+
+  // --- striped metadata role (DESIGN.md §15) ---
+
+  // Per-file replica staleness + map version, cached in memory and
+  // persisted in a sidecar file on the metadata store (so a restarted MDS
+  // re-derives it and the version stays monotonic).
+  struct StripeState {
+    uint64_t version = 1;
+    std::vector<bool> stale;  // by target index
+  };
+
+  // Effective replica count: stripe_replicas clamped to [1, width].
+  uint32_t StripeReplicaCount() const;
+
+  // Loads `path`'s stripe state (memory cache -> sidecar -> default);
+  // `stale` is sized to the target count.
+  StripeState LoadStripeState(const std::string& path);
+  // Persists + caches `state` for `path`. Best-effort: a failed sidecar
+  // write keeps the in-memory state authoritative for this boot.
+  void StoreStripeState(const std::string& path, const StripeState& state);
+  // The logical path recorded inside sidecar file `sidecar_name` on the
+  // metadata store ("" when unreadable). Lets a cold incumbent discover
+  // which files have stale targets without waiting for client traffic.
+  std::string ReadSidecarPath(const std::string& sidecar_name);
+  // Marks target `t` stale for `path` unless it is the last fresh target
+  // (a cluster cannot serve from zero fresh replicas). Returns true when
+  // the state changed (mark applied + version bumped + persisted).
+  bool MarkReplicaStale(const std::string& path, size_t t);
+
+  // The lookup -> create -> re-lookup ladder ensuring one stripe object on
+  // one data server; returns its current handle.
+  Result<uint64_t> EnsureStripeObject(
+      const DfsServerOptions::StripeTarget& target, const std::string& name);
+
+  // Builds the full stripe map for `file`, ensuring every target's lane
+  // objects. With R >= 2 an unreachable target is marked stale and served
+  // with zero handles instead of failing the map.
+  Result<StripeMapResponse> BuildStripeMap(const sp<ServerFile>& file);
+
+  // Re-syncs every lane object of stale target `t` from a fresh peer.
+  Status RebuildTarget(const std::string& object_name, size_t t,
+                       const StripeState& state);
 
   // True while mutating ops are rejected after boot (options_.grace_ns).
   bool InGracePeriod() const;
@@ -290,6 +358,11 @@ class DfsServer : public StackableFs,
 
   std::mutex bind_mutex_;
   sp<ServerFile> binding_file_;
+
+  // Striped metadata role: per-file staleness state by path (see
+  // StripeState). Guarded by stripe_mutex_; never held across a wire call.
+  std::mutex stripe_mutex_;
+  std::map<std::string, StripeState> stripe_states_;
 
   mutable std::mutex stats_mutex_;
   Stats stats_;

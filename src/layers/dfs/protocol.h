@@ -65,12 +65,23 @@ enum class Op : uint32_t {
                        // file's striping geometry: stripe size, logical
                        // length, the durable per-file object name, and the
                        // ordered list of data-server targets with their
-                       // per-server stripe-object handles. The metadata
+                       // per-server stripe-object handles (one per replica
+                       // lane when the cluster is replicated). The metadata
                        // server lazily creates the backing stripe objects
                        // on the data servers the first time the map is
                        // requested. A non-striped server answers
                        // kInvalidArgument, which tells the client to stay
                        // on the single-server path.
+  kReportStaleReplica = 61,  // ReportStaleRequest -> StripeMapResponse.
+                       // A striped client that completed a write without
+                       // one of the file's replica targets (the target was
+                       // down or unreachable) reports it: the metadata
+                       // server marks the target's replicas stale — they
+                       // missed writes and must not serve reads until
+                       // rebuilt — bumps the map version, and answers with
+                       // the fresh map. Marking is convergent (an
+                       // already-stale target is a no-op) and the server
+                       // refuses to mark the last fresh replica set.
 
   // compound (client -> server): an ordered program of the ops above,
   // executed server-side as a pipeline. Stops at the first failing op and
@@ -116,7 +127,10 @@ inline bool IsIdempotent(Op op) {
     // metadata server ensures the per-target stripe objects exist, and an
     // object that already exists is simply reused. Re-sending it converges
     // on the same map, so it is retry-safe without the dedup window.
+    // kReportStaleReplica converges the same way: marking an
+    // already-stale target changes nothing.
     case Op::kGetStripeMap:
+    case Op::kReportStaleReplica:
       return true;
     default:
       return false;
@@ -149,6 +163,7 @@ inline const char* OpName(Op op) {
     case Op::kOpen: return "open";
     case Op::kDelegReturn: return "delegreturn";
     case Op::kGetStripeMap: return "getstripemap";
+    case Op::kReportStaleReplica: return "reportstale";
     case Op::kCompound: return "compound";
     case Op::kCbFlushBack: return "cb_flushback";
     case Op::kCbDenyWrites: return "cb_denywrites";

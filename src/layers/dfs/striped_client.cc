@@ -35,6 +35,29 @@ bool StaleCode(ErrorCode code) {
 
 }  // namespace
 
+uint64_t StripeRequestIdTable::IdFor(size_t extent, size_t target,
+                                     bool* retargeted) {
+  if (retargeted != nullptr) {
+    *retargeted = false;
+  }
+  auto it = ids_.find({extent, target});
+  if (it != ids_.end()) {
+    return it->second;
+  }
+  if (retargeted != nullptr) {
+    for (const auto& [key, id] : ids_) {
+      (void)id;
+      if (key.first == extent) {
+        *retargeted = true;
+        break;
+      }
+    }
+  }
+  uint64_t id = NewStripedRequestId();
+  ids_.emplace(std::make_pair(extent, target), id);
+  return id;
+}
+
 // ---- striping math (RAID-0) -----------------------------------------------
 
 std::vector<StripeExtent> ComputeStripeExtents(uint64_t offset, uint64_t size,
@@ -86,10 +109,16 @@ class StripedRemoteFile : public File, public Servant {
                     StripeMapResponse map)
       : Servant(std::move(domain)), client_(std::move(client)),
         path_(std::move(path)), meta_handle_(meta_handle),
-        map_(std::move(map)), logical_length_(map_.length),
-        bindings_(map_.targets.size()) {
-    for (size_t k = 0; k < map_.targets.size(); ++k) {
-      bindings_[k].handle = map_.targets[k].handle;
+        map_(std::move(map)), logical_length_(map_.length) {
+    map_.replicas = std::max<uint32_t>(map_.replicas, 1);
+    bindings_.assign(map_.targets.size() * map_.replicas, Binding{});
+    for (size_t t = 0; t < map_.targets.size(); ++t) {
+      for (size_t lane = 0; lane < map_.replicas; ++lane) {
+        bindings_[t * map_.replicas + lane].handle =
+            lane < map_.targets[t].lane_handles.size()
+                ? map_.targets[t].lane_handles[lane]
+                : 0;
+      }
     }
   }
 
@@ -178,8 +207,9 @@ class StripedRemoteFile : public File, public Servant {
   friend class StripedDfsClient;
   friend class StripedPagerObject;
 
-  // Per-target client state: the stripe-object handle from the map, plus
-  // the cache registration for page traffic. `bound_epoch` is the data
+  // Per-(target, lane) client state: the lane object's handle from the
+  // map, plus the cache registration for page traffic. Indexed
+  // target * replicas + lane in `bindings_`. `bound_epoch` is the data
   // server's boot epoch stamped on the kBindCache response; a data-path
   // completion under a different epoch means the server restarted between
   // the bind and the op, so the binding (and possibly the handle) is dead.
@@ -191,21 +221,48 @@ class StripedRemoteFile : public File, public Servant {
     bool rebound_pending = false;  // a failure killed the previous binding
   };
 
+  // An immutable per-round view of the stripe map, taken so one fan-out
+  // round plans against a single consistent geometry while refreshes land
+  // between rounds.
+  struct MapSnapshot {
+    uint64_t stripe_size = 0;
+    uint64_t map_version = 0;
+    uint32_t replicas = 1;
+    std::vector<StripeMapResponse::Target> targets;
+  };
+
   using BuildFrame =
       std::function<net::Frame(const StripeExtent&, const Binding&)>;
   using ConsumeFrame =
       std::function<Status(const StripeExtent&, const net::Frame&)>;
 
-  // The fan-out engine: submits one frame per pending extent on the owning
-  // target's channel, drains each channel with WaitAny, and retries failed
-  // extents (with a map refresh + rebind when a target went stale) under
-  // the client's backoff budget. `mutating` mints one dedup request id per
-  // extent, reused across retries so a duplicate never applies twice
-  // within a server boot. `bind_caches` establishes the per-target cache
-  // registration first (page ops carry cache ids; byte ops do not).
+  // The fan-out engine: submits one frame per pending (extent, replica)
+  // on the owning target's channel, drains each channel with WaitAny, and
+  // retries failed sub-ops (with a map refresh + rebind when a target
+  // went stale) under the client's backoff budget.
+  //
+  // Replica r of an extent whose primary is target p goes to target
+  // (p + r) % width, lane-r object, at the extent's (unchanged) local
+  // offset. `fan_all` sends every fresh replica and completes the extent
+  // when all of them acked (mutating fans and SyncFile); otherwise one
+  // fresh replica serves the extent, failing over within the round when
+  // it cannot (reads). `mutating` mints one dedup request id per
+  // (extent, target) — reused across retries so a duplicate never applies
+  // twice within a server boot, re-minted when a map refresh moves the
+  // extent to a different server. `bind_caches` establishes the per-lane
+  // cache registration first (page ops carry cache ids; byte ops do not).
+  //
+  // Degraded completion: a mutating fan about to skip a stale replica
+  // confirms the skip with the metadata server first (kReportStaleReplica,
+  // version-fenced) so a target a rebuild just revived rejoins the plan
+  // instead of silently missing the write; targets that keep failing are
+  // reported stale after `degrade_after_rounds` rounds, letting the write
+  // complete on the surviving replicas.
   Status FanExtents(const std::vector<StripeExtent>& exts, bool mutating,
-                    bool bind_caches, const BuildFrame& build,
+                    bool bind_caches, bool fan_all, const BuildFrame& build,
                     const ConsumeFrame& consume);
+
+  MapSnapshot SnapshotMap();
 
   // Fan-read of page-aligned [offset, offset+size) into `dest`, which
   // covers logical bytes [dest_base, dest_base + dest.size()) and has been
@@ -216,19 +273,31 @@ class StripedRemoteFile : public File, public Servant {
   // Fan page write-back (kPageOut / kWriteOut / kSyncPages).
   Status FanPageWrite(Op op, uint64_t offset, ByteSpan data);
 
-  // Ensures target k's cache registration (kBindCache over the channel).
-  Status EnsureBound(size_t k, Binding* out);
+  // Ensures (target, lane)'s cache registration (kBindCache over the
+  // channel).
+  Status EnsureBound(size_t target, size_t lane, Binding* out);
 
   // Re-fetches the stripe map from the metadata server (re-resolving the
-  // meta handle if the metadata server itself restarted) and installs the
-  // fresh per-target handles.
+  // meta handle if the metadata server itself restarted) and installs it.
   Status RefreshMap();
 
-  // Marks target k's binding dead. Local page caches are dropped too: a
-  // data-server restart or lease eviction means the server may have served
-  // conflicting access while we were gone, so locally cached pages cannot
-  // be trusted.
-  void InvalidateBinding(size_t k);
+  // Reports `target` stale to the metadata server, stamped with the map
+  // version the decision to skip it was made under (the server ignores
+  // reports from maps older than its state — the reporter re-plans from
+  // the returned fresh map instead), and installs the map that comes back.
+  Status ReportStale(size_t target, uint64_t map_version);
+
+  // Installs a fetched map: resets bindings whose lane handle changed and
+  // adopts the new geometry. Maps older than the one held are dropped
+  // (the version fence) — a raced refresh must not resurrect replicas
+  // that have since been marked stale.
+  Status InstallMap(StripeMapResponse fresh);
+
+  // Marks (target, lane)'s binding dead. Local page caches are dropped
+  // too: a data-server restart or lease eviction means the server may
+  // have served conflicting access while we were gone, so locally cached
+  // pages cannot be trusted.
+  void InvalidateBinding(size_t target, size_t lane);
 
   void DropLocalChannels();
   void DropLocalChannel(uint64_t local_id);
@@ -238,10 +307,14 @@ class StripedRemoteFile : public File, public Servant {
   Status MetaSetLength(uint64_t length);
 
   // Serves a data server's recall against this client's page caches:
-  // translates target k's local range to the logical stripes it covers,
-  // flushes/downgrades them in every local cache, and translates the dirty
-  // blocks back to the target's local coordinates for the response.
-  CbRecallResponse RecallLocal(Op op, Range local, size_t target);
+  // translates the (target, lane) object's local range to the logical
+  // stripes it covers, flushes/downgrades them in every local cache, and
+  // translates the dirty blocks back to local coordinates for the
+  // response. Lane r of target t holds the stripes whose primary is
+  // target (t - r) % width, so local stripe i maps to logical stripe
+  // i * width + (t - r) % width.
+  CbRecallResponse RecallLocal(Op op, Range local, size_t target,
+                               size_t lane);
 
   sp<StripedDfsClient> client_;
   std::string path_;
@@ -318,140 +391,308 @@ Result<sp<CacheRights>> StripedRemoteFile::Bind(const sp<CacheManager>& caller,
   });
 }
 
+StripedRemoteFile::MapSnapshot StripedRemoteFile::SnapshotMap() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  MapSnapshot snap;
+  snap.stripe_size = map_.stripe_size;
+  snap.map_version = map_.map_version;
+  snap.replicas = std::max<uint32_t>(map_.replicas, 1);
+  snap.targets = map_.targets;
+  return snap;
+}
+
 Status StripedRemoteFile::FanExtents(const std::vector<StripeExtent>& exts,
                                      bool mutating, bool bind_caches,
-                                     const BuildFrame& build,
+                                     bool fan_all, const BuildFrame& build,
                                      const ConsumeFrame& consume) {
   if (exts.empty()) {
     return Status::Ok();
   }
   trace::ScopedSpan span("dfs.stripe_fanout");
   std::lock_guard<std::mutex> io_lock(client_->data_io_mutex_);
-  std::vector<uint64_t> req_ids(exts.size(), 0);
-  if (mutating) {
-    // One id per extent, reused across retries: if an earlier attempt
-    // executed and only its response was lost, the server's dedup window
-    // replays it instead of applying the op twice.
-    for (uint64_t& id : req_ids) {
-      id = NewStripedRequestId();
-    }
-  }
+  StripeRequestIdTable ids;
   std::vector<bool> done(exts.size(), false);
+  // fan_all bookkeeping: the targets that acked each extent, kept across
+  // rounds so a retry only re-sends the replicas still missing.
+  std::vector<std::set<size_t>> acked(exts.size());
+  // Targets this fan-out already reported stale (one report per target).
+  std::set<size_t> reported;
   RetryState retry;
+
   for (;;) {
     bool map_stale = false;
     Status failure = Status::Ok();
+    std::set<size_t> failed_targets;
 
-    // Targets involved in this round.
-    std::set<size_t> targets;
-    for (size_t i = 0; i < exts.size(); ++i) {
-      if (!done[i]) {
-        targets.insert(exts[i].target);
+    MapSnapshot snap = SnapshotMap();
+    size_t width = snap.targets.size();
+
+    // A mutating fan about to skip a stale replica confirms the skip with
+    // the metadata server first: if a rebuild revived the target since
+    // this map was fetched, the fresh map comes back, the target rejoins
+    // the plan below, and the write reaches it. Without this a write
+    // issued under the older map would silently miss the revived replica.
+    // When client and server agree the report is a convergent no-op.
+    if (mutating && snap.replicas > 1) {
+      bool replanned = false;
+      for (size_t i = 0; i < exts.size(); ++i) {
+        if (done[i]) {
+          continue;
+        }
+        for (size_t r = 0; r < snap.replicas; ++r) {
+          size_t t = (exts[i].target + r) % width;
+          if (snap.targets[t].stale && !reported.count(t)) {
+            reported.insert(t);
+            if (ReportStale(t, snap.map_version).ok()) {
+              replanned = true;
+            }
+          }
+        }
+      }
+      if (replanned) {
+        snap = SnapshotMap();
+        width = snap.targets.size();
       }
     }
-    // Snapshot each target's binding (establishing the cache registration
-    // where needed); targets whose bind failed sit this round out.
-    std::map<size_t, Binding> bound;
-    std::map<size_t, StripeMapResponse::Target> names;
-    for (size_t k : targets) {
-      Binding b;
-      Status st;
+
+    auto eligible = [&](size_t t, size_t lane) {
+      return !snap.targets[t].stale &&
+             lane < snap.targets[t].lane_handles.size() &&
+             snap.targets[t].lane_handles[lane] != 0;
+    };
+
+    // Bindings for the (target, lane) pairs this round touches, bound
+    // lazily at first submission (the cache registration is a wire call;
+    // byte ops skip it).
+    std::map<std::pair<size_t, size_t>, Binding> bound;
+    auto binding_for = [&](size_t t, size_t lane, Binding* out) -> Status {
+      auto it = bound.find({t, lane});
+      if (it != bound.end()) {
+        *out = it->second;
+        return Status::Ok();
+      }
       {
         std::lock_guard<std::mutex> lock(mutex_);
-        names[k] = map_.targets[k];
-        b = bindings_[k];
+        size_t idx = t * std::max<uint32_t>(map_.replicas, 1) + lane;
+        if (idx >= bindings_.size()) {
+          return ErrTimedOut("stripe binding out of range");
+        }
+        *out = bindings_[idx];
       }
-      if (bind_caches && b.cache_id == 0) {
-        st = EnsureBound(k, &b);
+      if (bind_caches && out->cache_id == 0) {
+        RETURN_IF_ERROR(EnsureBound(t, lane, out));
       }
+      if (out->handle == 0) {
+        return ErrTimedOut("replica lane has no handle in the current map");
+      }
+      bound[{t, lane}] = *out;
+      return Status::Ok();
+    };
+
+    // One in-flight sub-op: extent `ext` sent to replica lane `lane` on
+    // target `target`.
+    struct SubRef {
+      size_t ext = 0;
+      size_t target = 0;
+      size_t lane = 0;
+    };
+    std::map<size_t, std::map<uint64_t, SubRef>> active;  // tag map by target
+
+    auto note_failure = [&](size_t t, const Status& st) {
+      failed_targets.insert(t);
+      failure = st;
+    };
+
+    // Submits extent i's replica lane r; false when the bind failed.
+    auto submit = [&](size_t i, size_t r) -> bool {
+      size_t t = (exts[i].target + r) % width;
+      Binding b;
+      Status st = binding_for(t, r, &b);
       if (!st.ok()) {
         if (StaleCode(st.code())) {
-          InvalidateBinding(k);
+          InvalidateBinding(t, r);
           map_stale = true;
         }
-        failure = st;
-        continue;
+        note_failure(t, st);
+        return false;
       }
-      bound[k] = b;
-    }
-
-    // Submit one frame per pending extent on its owner's channel.
-    struct Pending {
-      size_t ext;
-      uint64_t tag;
-    };
-    std::map<size_t, std::vector<Pending>> per_target;
-    for (size_t i = 0; i < exts.size(); ++i) {
-      size_t k = exts[i].target;
-      if (done[i] || !bound.count(k)) {
-        continue;
+      net::Frame frame = build(exts[i], b);
+      if (mutating) {
+        bool retargeted = false;
+        frame.request_id = ids.IdFor(i, t, &retargeted);
+        if (retargeted) {
+          client_->Bump(&StripedDfsClient::Stats::retarget_fresh_ids);
+        }
       }
-      net::Frame frame = build(exts[i], bound[k]);
-      frame.request_id = req_ids[i];
-      uint64_t tag = client_->ChannelFor(names[k])->Submit(frame,
-                                                           retry.attempt);
-      per_target[k].push_back({i, tag});
+      uint64_t tag =
+          client_->ChannelFor(snap.targets[t])->Submit(frame, retry.attempt);
+      active[t][tag] = SubRef{i, t, r};
       client_->Bump(&StripedDfsClient::Stats::stripe_extents);
+      return true;
+    };
+
+    // Replica lanes of each extent already tried (and failed) this round
+    // — drives the single-replica (read) in-round failover.
+    std::vector<std::set<size_t>> tried(exts.size());
+
+    // Submits a single-replica extent to its first untried fresh replica;
+    // false when none is left this round.
+    auto submit_single = [&](size_t i) -> bool {
+      for (size_t r = 0; r < snap.replicas; ++r) {
+        size_t t = (exts[i].target + r) % width;
+        if (!eligible(t, r) || tried[i].count(r)) {
+          continue;
+        }
+        if (submit(i, r)) {
+          return true;
+        }
+        tried[i].insert(r);
+      }
+      return false;
+    };
+
+    for (size_t i = 0; i < exts.size(); ++i) {
+      if (done[i]) {
+        continue;
+      }
+      if (fan_all) {
+        size_t eligible_count = 0;
+        for (size_t r = 0; r < snap.replicas; ++r) {
+          size_t t = (exts[i].target + r) % width;
+          if (!eligible(t, r)) {
+            continue;
+          }
+          ++eligible_count;
+          if (!acked[i].count(t)) {
+            submit(i, r);  // bind failures recorded inside
+          }
+        }
+        if (eligible_count == 0) {
+          failure = ErrTimedOut("no fresh replica for a stripe extent");
+        }
+      } else if (!submit_single(i)) {
+        if (failure.ok()) {
+          failure = ErrTimedOut("no fresh replica for a stripe extent");
+        }
+      }
     }
 
-    // Drain each channel. Submissions to different servers overlap their
-    // round trips; within one channel the completions arrive in whatever
-    // order the transport produced them.
-    for (auto& [k, pend] : per_target) {
-      sp<net::Channel> chan = client_->ChannelFor(names[k]);
-      std::map<uint64_t, size_t> by_tag;
-      for (const Pending& p : pend) {
-        by_tag[p.tag] = p.ext;
+    // Drain every channel with outstanding sub-ops. Submissions to
+    // different servers overlap their round trips; within one channel the
+    // completions arrive in whatever order the transport produced them.
+    auto pick_active = [&]() -> int {
+      for (auto& [t, tags] : active) {
+        if (!tags.empty()) {
+          return static_cast<int>(t);
+        }
       }
-      while (!by_tag.empty()) {
-        Result<net::Completion> got = chan->WaitAny();
-        if (!got.ok()) {
-          failure = got.status();
-          break;  // extents left in by_tag stay pending
+      return -1;
+    };
+    for (int kt = pick_active(); kt >= 0; kt = pick_active()) {
+      size_t k = static_cast<size_t>(kt);
+      sp<net::Channel> chan = client_->ChannelFor(snap.targets[k]);
+      Result<net::Completion> got = chan->WaitAny();
+      if (!got.ok()) {
+        // The channel itself gave up: everything outstanding on it failed.
+        for (auto& [tag, ref] : active[k]) {
+          (void)tag;
+          if (!fan_all) {
+            tried[ref.ext].insert(ref.lane);
+          }
         }
-        auto it = by_tag.find(got->tag);
-        if (it == by_tag.end()) {
-          continue;  // a stray completion from an abandoned earlier drain
-        }
-        size_t ei = it->second;
-        by_tag.erase(it);
-        if (!got->status.ok()) {
-          failure = got->status;  // transport gave up on this extent
-          continue;
-        }
-        client_->NoteTargetEpoch(names[k], got->response.epoch);
-        Status st = got->response.ToStatus();
+        note_failure(k, got.status());
+        active[k].clear();
+        continue;
+      }
+      auto it = active[k].find(got->tag);
+      if (it == active[k].end()) {
+        continue;  // a stray completion from an abandoned earlier drain
+      }
+      SubRef ref = it->second;
+      active[k].erase(it);
+      bool ok = false;
+      Status st = got->status;
+      if (st.ok()) {
+        client_->NoteTargetEpoch(snap.targets[k], got->response.epoch);
+        st = got->response.ToStatus();
         if (StaleCode(st.code())) {
-          // The data server restarted (or evicted us): its handle space and
-          // cache ids are fresh. Refetch the map and rebind this stripe.
-          InvalidateBinding(k);
+          // The data server restarted (or evicted us): its handle space
+          // and cache ids are fresh. Refetch the map and rebind the lane.
+          InvalidateBinding(ref.target, ref.lane);
           map_stale = true;
-          failure = st;
-          continue;
-        }
-        if (TransientCode(st.code())) {
-          failure = st;  // grace period / transient refusal; retry as-is
-          continue;
-        }
-        if (!st.ok()) {
+        } else if (!st.ok() && !TransientCode(st.code())) {
           return st;  // hard application error: fail the whole operation
+        } else if (st.ok()) {
+          if (bind_caches &&
+              got->response.epoch != bound[{ref.target, ref.lane}].bound_epoch) {
+            // Restart raced between our bind and this response.
+            InvalidateBinding(ref.target, ref.lane);
+            map_stale = true;
+            st = ErrStale("data server epoch changed under the binding");
+          } else {
+            ok = true;
+          }
         }
-        if (bind_caches && got->response.epoch != bound[k].bound_epoch) {
-          // Restart raced between our bind and this response.
-          InvalidateBinding(k);
-          map_stale = true;
-          failure = ErrStale("data server epoch changed under the binding");
-          continue;
-        }
-        Status used = consume(exts[ei], got->response);
+      }
+      if (ok) {
+        Status used = consume(exts[ref.ext], got->response);
         if (!used.ok()) {
           return used;
         }
-        done[ei] = true;
+        if (fan_all) {
+          acked[ref.ext].insert(ref.target);
+        } else {
+          done[ref.ext] = true;
+          if (ref.lane > 0) {
+            client_->Bump(&StripedDfsClient::Stats::replica_failovers);
+          }
+        }
+        continue;
+      }
+      note_failure(ref.target, st);
+      if (!fan_all && !done[ref.ext]) {
+        // Per-extent failover: go straight for the next fresh replica —
+        // a dead primary degrades the read without waiting out a backoff.
+        tried[ref.ext].insert(ref.lane);
+        (void)submit_single(ref.ext);
       }
     }
 
+    if (fan_all) {
+      // An extent completes when every fresh replica acked it; completing
+      // on fewer than R replicas is a degraded write (the stale ones will
+      // catch up via rebuild).
+      for (size_t i = 0; i < exts.size(); ++i) {
+        if (done[i]) {
+          continue;
+        }
+        size_t eligible_count = 0;
+        size_t have = 0;
+        for (size_t r = 0; r < snap.replicas; ++r) {
+          size_t t = (exts[i].target + r) % width;
+          if (!eligible(t, r)) {
+            continue;
+          }
+          ++eligible_count;
+          if (acked[i].count(t)) {
+            ++have;
+          }
+        }
+        if (eligible_count > 0 && have == eligible_count) {
+          done[i] = true;
+          if (mutating && eligible_count < snap.replicas) {
+            client_->Bump(&StripedDfsClient::Stats::degraded_writes);
+          }
+        }
+      }
+    }
     if (std::all_of(done.begin(), done.end(), [](bool d) { return d; })) {
+      if (map_stale) {
+        // Completed despite a stale binding (a read failed over): refresh
+        // now so the NEXT fan-out plans around the dead target instead of
+        // re-discovering it.
+        (void)RefreshMap();
+      }
       return Status::Ok();
     }
     if (retry.attempt >= client_->options_.max_retries) {
@@ -475,32 +716,54 @@ Status StripedRemoteFile::FanExtents(const std::vector<StripeExtent>& exts,
       // Best effort: a failed refresh leaves the stale bindings in place
       // and the remaining attempts keep trying.
       (void)RefreshMap();
+    } else if (mutating && snap.replicas > 1 &&
+               retry.attempt >= client_->options_.degrade_after_rounds) {
+      // Targets that failed plain retries get reported stale so the write
+      // can complete degraded; the MDS refuses to strand the last fresh
+      // replica set, so a total outage keeps retrying instead.
+      for (size_t t : failed_targets) {
+        if (!reported.count(t)) {
+          reported.insert(t);
+          (void)ReportStale(t, snap.map_version);
+        }
+      }
     }
   }
 }
 
-Status StripedRemoteFile::EnsureBound(size_t k, Binding* out) {
-  StripeMapResponse::Target target;
+Status StripedRemoteFile::EnsureBound(size_t target, size_t lane,
+                                      Binding* out) {
+  StripeMapResponse::Target where;
   uint64_t handle;
   uint64_t recall_key;
   {
     std::lock_guard<std::mutex> lock(mutex_);
-    Binding& b = bindings_[k];
+    size_t idx = target * std::max<uint32_t>(map_.replicas, 1) + lane;
+    if (idx >= bindings_.size()) {
+      return ErrTimedOut("stripe binding out of range");
+    }
+    Binding& b = bindings_[idx];
     if (b.cache_id != 0) {
       *out = b;
       return Status::Ok();
     }
-    target = map_.targets[k];
+    where = map_.targets[target];
     handle = b.handle;
     recall_key = b.recall_key;
+  }
+  if (handle == 0) {
+    return ErrTimedOut("replica lane has no handle in the current map");
   }
   if (recall_key == 0) {
     recall_key = client_->NewRecallKey();
     sp<StripedRemoteFile> self =
         std::dynamic_pointer_cast<StripedRemoteFile>(shared_from_this());
-    client_->RegisterRecallRoute(recall_key, self, k);
+    client_->RegisterRecallRoute(recall_key, self, target, lane);
     std::lock_guard<std::mutex> lock(mutex_);
-    bindings_[k].recall_key = recall_key;
+    size_t idx = target * std::max<uint32_t>(map_.replicas, 1) + lane;
+    if (idx < bindings_.size()) {
+      bindings_[idx].recall_key = recall_key;
+    }
   }
   BindCacheRequest body;
   body.handle = handle;
@@ -512,23 +775,27 @@ Status StripedRemoteFile::EnsureBound(size_t k, Binding* out) {
   request.type = static_cast<uint32_t>(Op::kBindCache);
   request.request_id = NewStripedRequestId();
   request.payload = body.Encode();
-  sp<net::Channel> chan = client_->ChannelFor(target);
+  sp<net::Channel> chan = client_->ChannelFor(where);
   uint64_t tag = chan->Submit(request);
   ASSIGN_OR_RETURN(net::Completion got, chan->Wait(tag));
   RETURN_IF_ERROR(got.status);
-  client_->NoteTargetEpoch(target, got.response.epoch);
+  client_->NoteTargetEpoch(where, got.response.epoch);
   RETURN_IF_ERROR(got.response.ToStatus());
   ASSIGN_OR_RETURN(BindCacheResponse bound,
                    BindCacheResponse::Decode(got.response.payload.span()));
   std::lock_guard<std::mutex> lock(mutex_);
-  Binding& b = bindings_[k];
+  size_t idx = target * std::max<uint32_t>(map_.replicas, 1) + lane;
+  if (idx >= bindings_.size()) {
+    return ErrTimedOut("stripe binding out of range");
+  }
+  Binding& b = bindings_[idx];
   b.cache_id = bound.cache_id;
   b.bound_epoch = got.response.epoch;
   if (b.rebound_pending) {
     b.rebound_pending = false;
     client_->Bump(&StripedDfsClient::Stats::stripe_rebinds);
     flight::Record(flight::Severity::kInfo, "dfs_striped", "stripe rebound",
-                   k, got.response.epoch);
+                   target, got.response.epoch);
   }
   *out = b;
   return Status::Ok();
@@ -548,18 +815,59 @@ Status StripedRemoteFile::RefreshMap() {
   RETURN_IF_ERROR(response.ToStatus());
   ASSIGN_OR_RETURN(StripeMapResponse fresh,
                    StripeMapResponse::Decode(response.payload.span()));
+  return InstallMap(std::move(fresh));
+}
+
+Status StripedRemoteFile::ReportStale(size_t target, uint64_t map_version) {
+  client_->Bump(&StripedDfsClient::Stats::stale_reports);
+  uint64_t handle = meta_handle_.load();
+  ASSIGN_OR_RETURN(net::Frame response,
+                   client_->MetaCallWithRebind(
+                       Op::kReportStaleReplica, path_, &handle,
+                       [&](uint64_t h) {
+                         ReportStaleRequest body;
+                         body.handle = h;
+                         body.target = static_cast<uint32_t>(target);
+                         body.map_version = map_version;
+                         return body.Encode();
+                       }));
+  meta_handle_.store(handle);
+  RETURN_IF_ERROR(response.ToStatus());
+  ASSIGN_OR_RETURN(StripeMapResponse fresh,
+                   StripeMapResponse::Decode(response.payload.span()));
+  return InstallMap(std::move(fresh));
+}
+
+Status StripedRemoteFile::InstallMap(StripeMapResponse fresh) {
   client_->Bump(&StripedDfsClient::Stats::map_fetches);
+  fresh.replicas = std::max<uint32_t>(fresh.replicas, 1);
   std::lock_guard<std::mutex> lock(mutex_);
-  if (fresh.targets.size() != bindings_.size()) {
-    // Geometry is fixed per metadata-server configuration; a different
-    // width means the file was recreated under a different topology.
-    bindings_.assign(fresh.targets.size(), Binding{});
+  if (fresh.map_version < map_.map_version) {
+    // The version fence: a raced or replayed older map must not resurrect
+    // replicas that have since been marked stale.
+    client_->Bump(&StripedDfsClient::Stats::maps_fenced);
+    return Status::Ok();
   }
-  for (size_t k = 0; k < fresh.targets.size(); ++k) {
-    if (bindings_[k].handle != fresh.targets[k].handle) {
-      bindings_[k].handle = fresh.targets[k].handle;
-      bindings_[k].cache_id = 0;  // minted by an instance that is gone
-      bindings_[k].bound_epoch = 0;
+  uint32_t held_replicas = std::max<uint32_t>(map_.replicas, 1);
+  if (fresh.targets.size() != map_.targets.size() ||
+      fresh.replicas != held_replicas ||
+      bindings_.size() != fresh.targets.size() * fresh.replicas) {
+    // Geometry is fixed per metadata-server configuration; a different
+    // width or replication factor means the file was recreated under a
+    // different topology.
+    bindings_.assign(fresh.targets.size() * fresh.replicas, Binding{});
+  }
+  for (size_t t = 0; t < fresh.targets.size(); ++t) {
+    for (size_t lane = 0; lane < fresh.replicas; ++lane) {
+      uint64_t handle = lane < fresh.targets[t].lane_handles.size()
+                            ? fresh.targets[t].lane_handles[lane]
+                            : 0;
+      Binding& b = bindings_[t * fresh.replicas + lane];
+      if (b.handle != handle) {
+        b.handle = handle;
+        b.cache_id = 0;  // minted by an instance that is gone
+        b.bound_epoch = 0;
+      }
     }
   }
   map_ = std::move(fresh);
@@ -567,11 +875,15 @@ Status StripedRemoteFile::RefreshMap() {
   return Status::Ok();
 }
 
-void StripedRemoteFile::InvalidateBinding(size_t k) {
+void StripedRemoteFile::InvalidateBinding(size_t target, size_t lane) {
   bool had_binding = false;
   {
     std::lock_guard<std::mutex> lock(mutex_);
-    Binding& b = bindings_[k];
+    size_t idx = target * std::max<uint32_t>(map_.replicas, 1) + lane;
+    if (idx >= bindings_.size()) {
+      return;
+    }
+    Binding& b = bindings_[idx];
     if (b.cache_id != 0) {
       b.cache_id = 0;
       b.bound_epoch = 0;
@@ -629,7 +941,7 @@ Status StripedRemoteFile::FanPageInto(uint64_t offset, uint64_t size,
       ComputeStripeExtents(offset, size, stripe_size, width);
   bool write_access = access == AccessRights::kReadWrite;
   return FanExtents(
-      exts, /*mutating=*/false, /*bind_caches=*/true,
+      exts, /*mutating=*/false, /*bind_caches=*/true, /*fan_all=*/false,
       [&](const StripeExtent& ext, const Binding& b) {
         PageInRequest body;
         body.handle = b.handle;
@@ -679,7 +991,7 @@ Status StripedRemoteFile::FanPageWrite(Op op, uint64_t offset, ByteSpan data) {
   std::vector<StripeExtent> exts =
       ComputeStripeExtents(offset, data.size(), stripe_size, width);
   RETURN_IF_ERROR(FanExtents(
-      exts, /*mutating=*/true, /*bind_caches=*/true,
+      exts, /*mutating=*/true, /*bind_caches=*/true, /*fan_all=*/true,
       [&](const StripeExtent& ext, const Binding& b) {
         PageOutRequest body;
         body.handle = b.handle;
@@ -748,7 +1060,7 @@ Result<size_t> StripedRemoteFile::Write(Offset offset, ByteSpan data) {
     std::vector<StripeExtent> exts =
         ComputeStripeExtents(offset, data.size(), stripe_size, width);
     RETURN_IF_ERROR(FanExtents(
-        exts, /*mutating=*/true, /*bind_caches=*/false,
+        exts, /*mutating=*/true, /*bind_caches=*/false, /*fan_all=*/true,
         [&](const StripeExtent& ext, const Binding& b) {
           WriteRequest body;
           body.handle = b.handle;
@@ -795,6 +1107,7 @@ Status StripedRemoteFile::SetLength(Offset length) {
     }
     RETURN_IF_ERROR(FanExtents(
         per_target, /*mutating=*/true, /*bind_caches=*/false,
+        /*fan_all=*/true,
         [&](const StripeExtent& ext, const Binding& b) {
           SetLengthRequest body;
           body.handle = b.handle;
@@ -824,6 +1137,7 @@ Status StripedRemoteFile::SyncFile() {
     }
     RETURN_IF_ERROR(FanExtents(
         per_target, /*mutating=*/false, /*bind_caches=*/false,
+        /*fan_all=*/true,
         [&](const StripeExtent&, const Binding& b) {
           HandleRequest body;
           body.handle = b.handle;
@@ -848,7 +1162,7 @@ Status StripedRemoteFile::SyncFile() {
 }
 
 CbRecallResponse StripedRemoteFile::RecallLocal(Op op, Range local,
-                                                size_t target) {
+                                                size_t target, size_t lane) {
   client_->Bump(&StripedDfsClient::Stats::recalls_received);
   uint64_t stripe_size;
   size_t width;
@@ -863,11 +1177,14 @@ CbRecallResponse StripedRemoteFile::RecallLocal(Op op, Range local,
   if (stripe_size == 0 || width == 0 || target >= width) {
     return out;
   }
+  // The lane-`lane` object on `target` mirrors the primary object of this
+  // base target; its stripes are the base target's stripes.
+  size_t base = (target + width - (lane % width)) % width;
   std::vector<PagerChannelTable::Channel> channels =
       local_channels_.AllChannels();
-  // Bound the recall by the target's share of the file; Range::All() and
+  // Bound the recall by the object's share of the file; Range::All() and
   // other huge ranges saturate instead of wrapping.
-  uint64_t local_len = LocalLengthFor(target, PageCeil(length), stripe_size,
+  uint64_t local_len = LocalLengthFor(base, PageCeil(length), stripe_size,
                                       width);
   uint64_t lo = std::min<uint64_t>(local.offset, local_len);
   uint64_t hi = std::min<uint64_t>(local.end(), local_len);
@@ -877,8 +1194,8 @@ CbRecallResponse StripedRemoteFile::RecallLocal(Op op, Range local,
     if (seg_lo >= seg_hi) {
       continue;
     }
-    // Local stripe i of target k is logical stripe i * width + k.
-    uint64_t s = i * width + target;
+    // Local stripe i of base target k is logical stripe i * width + k.
+    uint64_t s = i * width + base;
     Range logical{s * stripe_size + (seg_lo - i * stripe_size),
                   seg_hi - seg_lo};
     for (const auto& ch : channels) {
@@ -996,10 +1313,11 @@ Result<net::Frame> StripedDfsClient::MetaCallWithRebind(
   net::Frame request;
   request.payload = encode(*handle);
   ASSIGN_OR_RETURN(net::Frame response, meta_->Call(op, request, &retry));
-  if (response.ToStatus().code() != ErrorCode::kStale) {
+  if (!StaleCode(response.ToStatus().code())) {
     return response;
   }
-  // The metadata server restarted and forgot the handle: re-resolve by
+  // The metadata server restarted and forgot the handle (kStale), or
+  // bounced and left a tombstone answering kDeadObject: re-resolve by
   // path and re-issue once, carrying the grown backoff across the rebind.
   ASSIGN_OR_RETURN(uint64_t fresh, meta_->RebindHandle(path));
   *handle = fresh;
@@ -1078,17 +1396,20 @@ net::Frame StripedDfsClient::HandleDataCallback(const net::Frame& request) {
       }
       sp<StripedRemoteFile> file;
       size_t target = 0;
+      size_t lane = 0;
       {
         std::lock_guard<std::mutex> lock(mutex_);
         auto it = recall_routes_.find(req->client_channel);
         if (it != recall_routes_.end()) {
           file = it->second.file.lock();
           target = it->second.target;
+          lane = it->second.lane;
         }
       }
       CbRecallResponse body;
       if (file) {
-        body = file->RecallLocal(op, Range{req->offset, req->size}, target);
+        body = file->RecallLocal(op, Range{req->offset, req->size}, target,
+                                 lane);
       }
       // Unknown route: the binding is already gone; a well-formed empty
       // block list lets the server proceed.
@@ -1112,9 +1433,9 @@ uint64_t StripedDfsClient::NewRecallKey() {
 
 void StripedDfsClient::RegisterRecallRoute(uint64_t key,
                                            const sp<StripedRemoteFile>& file,
-                                           size_t target) {
+                                           size_t target, size_t lane) {
   std::lock_guard<std::mutex> lock(mutex_);
-  recall_routes_[key] = RecallRoute{file, target};
+  recall_routes_[key] = RecallRoute{file, target, lane};
 }
 
 void StripedDfsClient::UnregisterRecallRoutes(const StripedRemoteFile* file) {
@@ -1145,6 +1466,11 @@ void StripedDfsClient::CollectStats(const metrics::StatsEmitter& emit) const {
   emit("retries_exhausted", snapshot.retries_exhausted);
   emit("recalls_received", snapshot.recalls_received);
   emit("zero_fills", snapshot.zero_fills);
+  emit("replica_failovers", snapshot.replica_failovers);
+  emit("degraded_writes", snapshot.degraded_writes);
+  emit("stale_reports", snapshot.stale_reports);
+  emit("maps_fenced", snapshot.maps_fenced);
+  emit("retarget_fresh_ids", snapshot.retarget_fresh_ids);
 }
 
 }  // namespace springfs::dfs

@@ -27,6 +27,17 @@
 // restarted server — rebinds that stripe's cache registration, and
 // resubmits just the failed extents. Other stripes keep serving
 // throughout.
+//
+// Replication (DESIGN.md §15): with R >= 2 replica lanes, replica r of
+// stripe s lives on target (s + r) % width in that server's lane-r object,
+// at the SAME local offset as the primary copy. Writes fan to every fresh
+// replica (per-(extent, target) dedup ids — see StripeRequestIdTable);
+// reads go to the first fresh replica and fail over per extent, so a dead
+// data server degrades its stripes instead of erroring them. Replicas a
+// target missed while down are marked stale at the metadata server (by
+// the MDS when the map ensure fails, or by this client reporting a write
+// it could not deliver) and excluded until a rebuild re-syncs them under a
+// bumped map version; refreshed maps older than the one held are fenced.
 
 #ifndef SPRINGFS_LAYERS_DFS_STRIPED_CLIENT_H_
 #define SPRINGFS_LAYERS_DFS_STRIPED_CLIENT_H_
@@ -44,6 +55,13 @@ struct StripedDfsClientOptions {
   uint32_t max_retries = 4;
   uint64_t backoff_base_ns = 1'000'000;
   uint64_t backoff_max_ns = 50'000'000;
+
+  // Failed rounds of a mutating fan-out before the client reports a
+  // still-unreachable replica target stale to the metadata server (so the
+  // write can complete degraded on the surviving replicas). The first
+  // failed round is always retried plainly — one lost frame should not
+  // degrade the cluster.
+  uint32_t degrade_after_rounds = 2;
 
   // Tuning for the per-data-server channels (window, pacing, RACK/RTO).
   net::ChannelOptions data_channel;
@@ -69,9 +87,30 @@ std::vector<StripeExtent> ComputeStripeExtents(uint64_t offset, uint64_t size,
                                                size_t width);
 
 // The number of bytes of a logical `length`-byte file stored on target
-// `target` (the stripe object's expected local length).
+// `target` (the stripe object's expected local length). With replication,
+// the lane-r object on target t is byte-identical to the lane-0 object on
+// target (t - r) % width, so its local length is
+// LocalLengthFor((t - r) % width, ...).
 uint64_t LocalLengthFor(size_t target, uint64_t length, uint64_t stripe_size,
                         size_t width);
+
+// Mints the per-(extent, target) dedup request ids of one mutating
+// fan-out. An id is minted on the first submission of an extent to a
+// target and reused for every retransmission to that SAME target, so a
+// lost-response retry dedups server-side. Re-targeting the extent to a
+// different replica (after a map refresh moved it) mints a fresh id:
+// reusing the old target's id on the new server could alias an unrelated
+// entry in the new server's dedup window and replay the wrong response.
+class StripeRequestIdTable {
+ public:
+  // The id for (extent, target), minted on first use. `retargeted`, when
+  // non-null, reports whether this call minted a fresh id for an extent
+  // that already held an id for a different target.
+  uint64_t IdFor(size_t extent, size_t target, bool* retargeted = nullptr);
+
+ private:
+  std::map<std::pair<size_t, size_t>, uint64_t> ids_;
+};
 
 class StripedDfsClient : public Servant, public metrics::StatsProvider {
  public:
@@ -120,6 +159,14 @@ class StripedDfsClient : public Servant, public metrics::StatsProvider {
     uint64_t retries_exhausted = 0;
     uint64_t recalls_received = 0;  // data-server coherency callbacks
     uint64_t zero_fills = 0;        // sparse stripe holes served as zeros
+    uint64_t replica_failovers = 0;  // reads served by a non-primary replica
+    uint64_t degraded_writes = 0;    // write extents completed on fewer
+                                     // than R replicas (stale ones skipped)
+    uint64_t stale_reports = 0;      // kReportStaleReplica frames sent
+    uint64_t maps_fenced = 0;        // refreshed maps older than the one
+                                     // held (version fence)
+    uint64_t retarget_fresh_ids = 0;  // dedup ids re-minted because an
+                                      // extent moved to a different replica
   };
 
   // A persistent channel to one data server, shared by every file.
@@ -128,10 +175,12 @@ class StripedDfsClient : public Servant, public metrics::StatsProvider {
     uint64_t last_epoch = 0;
   };
 
-  // Routes a data server's recall callback to the file+target it binds.
+  // Routes a data server's recall callback to the file + (target, lane)
+  // binding it was issued for.
   struct RecallRoute {
     wp<class StripedRemoteFile> file;
     size_t target = 0;
+    size_t lane = 0;
   };
 
   StripedDfsClient(const sp<net::Node>& node, net::Network* network,
@@ -149,10 +198,12 @@ class StripedDfsClient : public Servant, public metrics::StatsProvider {
   bool NoteTargetEpoch(const StripeMapResponse::Target& target,
                        uint64_t epoch);
 
-  // Metadata-path call with one kStale handle rebind (the metadata server
-  // restarted and forgot the handle): re-resolves `path` and re-issues the
-  // frame with the fresh handle. Returns the response frame and (through
-  // `handle`) the handle it was issued under.
+  // Metadata-path call with one handle rebind on kStale or kDeadObject
+  // (the metadata server restarted — or bounced and left its tombstone —
+  // and forgot the handle): re-resolves `path` and re-issues the frame
+  // with the fresh handle. Because stripe maps are derived from durable
+  // state (content-addressed object names + the persisted staleness
+  // sidecar), this rebind is all an MDS failover needs client-side.
   Result<net::Frame> MetaCallWithRebind(
       Op op, const std::string& path, uint64_t* handle,
       const std::function<Buffer(uint64_t handle)>& encode);
@@ -163,7 +214,7 @@ class StripedDfsClient : public Servant, public metrics::StatsProvider {
 
   uint64_t NewRecallKey();
   void RegisterRecallRoute(uint64_t key, const sp<class StripedRemoteFile>& file,
-                           size_t target);
+                           size_t target, size_t lane);
   void UnregisterRecallRoutes(const class StripedRemoteFile* file);
 
   // Fetches `path`'s stripe map under `handle` and installs the file.

@@ -480,12 +480,18 @@ Buffer StripeMapResponse::Encode() const {
   WireWriter w;
   w.U64(stripe_size);
   w.U64(length);
+  w.U64(map_version);
+  w.U32(replicas);
   w.Str(object_name);
   w.U32(static_cast<uint32_t>(targets.size()));
   for (const Target& target : targets) {
     w.Str(target.node);
     w.Str(target.service);
-    w.U64(target.handle);
+    w.U32(target.stale ? 1 : 0);
+    w.U32(static_cast<uint32_t>(target.lane_handles.size()));
+    for (uint64_t handle : target.lane_handles) {
+      w.U64(handle);
+    }
   }
   return w.Take();
 }
@@ -495,6 +501,8 @@ Result<StripeMapResponse> StripeMapResponse::Decode(ByteSpan wire) {
   StripeMapResponse out;
   ASSIGN_OR_RETURN(out.stripe_size, r.U64());
   ASSIGN_OR_RETURN(out.length, r.U64());
+  ASSIGN_OR_RETURN(out.map_version, r.U64());
+  ASSIGN_OR_RETURN(out.replicas, r.U32());
   ASSIGN_OR_RETURN(out.object_name, r.Str());
   ASSIGN_OR_RETURN(uint32_t n, r.U32());
   out.targets.reserve(n);
@@ -502,9 +510,33 @@ Result<StripeMapResponse> StripeMapResponse::Decode(ByteSpan wire) {
     Target target;
     ASSIGN_OR_RETURN(target.node, r.Str());
     ASSIGN_OR_RETURN(target.service, r.Str());
-    ASSIGN_OR_RETURN(target.handle, r.U64());
+    ASSIGN_OR_RETURN(uint32_t stale, r.U32());
+    target.stale = stale != 0;
+    ASSIGN_OR_RETURN(uint32_t lanes, r.U32());
+    target.lane_handles.reserve(lanes);
+    for (uint32_t lane = 0; lane < lanes; ++lane) {
+      ASSIGN_OR_RETURN(uint64_t handle, r.U64());
+      target.lane_handles.push_back(handle);
+    }
     out.targets.push_back(std::move(target));
   }
+  return out;
+}
+
+Buffer ReportStaleRequest::Encode() const {
+  WireWriter w;
+  w.U64(handle);
+  w.U32(target);
+  w.U64(map_version);
+  return w.Take();
+}
+
+Result<ReportStaleRequest> ReportStaleRequest::Decode(ByteSpan wire) {
+  WireReader r(wire);
+  ReportStaleRequest out;
+  ASSIGN_OR_RETURN(out.handle, r.U64());
+  ASSIGN_OR_RETURN(out.target, r.U32());
+  ASSIGN_OR_RETURN(out.map_version, r.U64());
   return out;
 }
 

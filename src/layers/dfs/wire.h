@@ -274,21 +274,50 @@ struct StripeMapResponse {  // kGetStripeMap (request side is HandleRequest)
   struct Target {
     std::string node;     // data-server node on the fabric
     std::string service;  // its DFS service name
-    uint64_t handle = 0;  // stripe-object handle on that server (hint:
-                          // valid for the server boot epoch that issued
-                          // it; clients re-lookup by object_name after a
-                          // data-server restart)
+    // One stripe-object handle per replica lane hosted on this server
+    // (size = replicas; lane_handles[0] is the primary lane). Handles are
+    // hints: valid for the server boot epoch that issued them; clients get
+    // fresh ones with a map refetch after a data-server restart. All
+    // zeros when the server was unreachable while the map was built.
+    std::vector<uint64_t> lane_handles;
+    // True when this target's replicas missed writes (its server was down
+    // or a client reported a failed write) and have not been rebuilt yet.
+    // Stale replicas are excluded from reads and writes; a background
+    // rebuild re-syncs them from a fresh peer and clears the mark under a
+    // bumped map_version.
+    bool stale = false;
   };
 
   uint64_t stripe_size = 0;  // bytes per stripe unit (page multiple)
   uint64_t length = 0;       // logical file length (metadata-owned)
-  std::string object_name;   // durable per-file stripe-object name on every
-                             // data server (stable across restarts)
-  std::vector<Target> targets;  // RAID-0 order; stripe s lives on
-                                // targets[s % targets.size()]
+  uint64_t map_version = 1;  // bumped on every staleness change; persisted
+                             // at the metadata server so it stays monotonic
+                             // across MDS restarts. Clients ignore maps
+                             // older than the one they hold.
+  uint32_t replicas = 1;     // replica lanes per stripe (R)
+  std::string object_name;   // durable per-file primary-lane object name on
+                             // every data server (stable across restarts);
+                             // lane r > 0 appends "-r<r>"
+  std::vector<Target> targets;  // rotated-replica order: replica r of
+                                // logical stripe s lives on target
+                                // (s + r) % targets.size(), in that
+                                // target's lane-r object, at the same
+                                // local offset as the primary copy
 
   Buffer Encode() const;
   static Result<StripeMapResponse> Decode(ByteSpan wire);
+};
+
+struct ReportStaleRequest {  // kReportStaleReplica -> StripeMapResponse
+  uint64_t handle = 0;       // metadata handle of the striped file
+  uint32_t target = 0;       // index of the target that missed a write
+  uint64_t map_version = 0;  // the map the reporter acted under (for
+                             // observability; marking is conservative and
+                             // honored regardless — a skipped replica
+                             // missed data no matter which map said so)
+
+  Buffer Encode() const;
+  static Result<ReportStaleRequest> Decode(ByteSpan wire);
 };
 
 // --- compound ---

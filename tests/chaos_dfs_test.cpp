@@ -574,14 +574,18 @@ struct StripedChaosWorld {
   sp<dfs::DfsServer> mds;
   sp<dfs::StripedDfsClient> client;
   sp<File> file;
+  dfs::DfsServerOptions mds_options;
 
-  StripedChaosWorld() {
+  // The single-copy sweep pins replicas = 1: it asserts PR-8 semantics
+  // (a dead target's stripes fail, recovery is rebind-after-restart). The
+  // replicated sweep below runs the same world at replicas = 2.
+  explicit StripedChaosWorld(uint32_t replicas = 1) {
     network = std::make_unique<net::Network>(&clock, 1000);
     client_node = network->AddNode("client");
     verifier_node = network->AddNode("verifier");
     mds_node = network->AddNode("mds");
-    dfs::DfsServerOptions mds_options;
     mds_options.stripe_size = kPageSize;
+    mds_options.stripe_replicas = replicas;
     for (int k = 0; k < kStripedWidth; ++k) {
       data_nodes[k] = network->AddNode("data" + std::to_string(k));
       devices.push_back(
@@ -610,6 +614,41 @@ struct StripedChaosWorld {
     retired_servers.push_back(data_servers[k]);
     data_servers[k] = *dfs::DfsServer::Create(
         data_nodes[k], network.get(), "dfs-data", stores[k].root, &clock);
+  }
+
+  // Reads lane `lane`'s stripe object on data server k through its own
+  // plain DFS mount (server-side caches cannot hide unflushed pages).
+  Buffer ReadLaneObject(int k, const std::string& object_name, size_t lane) {
+    std::string name = object_name;
+    if (lane > 0) {
+      name += "-r" + std::to_string(lane);
+    }
+    sp<dfs::DfsClient> direct = *dfs::DfsClient::Mount(
+        verifier_node, network.get(), data_nodes[k]->name(), "dfs-data",
+        &clock);
+    Result<sp<File>> object = ResolveAs<File>(direct, name, sys);
+    if (!object.ok()) {
+      return Buffer{};
+    }
+    uint64_t len = *(*object)->GetLength();
+    Buffer out(len);
+    EXPECT_EQ(*(*object)->Read(0, out.mutable_span()), len);
+    return out;
+  }
+
+  // The stripe object's durable (lane-0) name off a data store's root.
+  // Replica lanes append "-r<lane>", so the base name is the shortest
+  // "stripe-" match.
+  std::string StripeObjectName(int k) {
+    std::string best;
+    std::vector<BindingInfo> entries = *stores[k].root->List(sys);
+    for (const BindingInfo& entry : entries) {
+      if (entry.name.rfind("stripe-", 0) == 0 &&
+          (best.empty() || entry.name.size() < best.size())) {
+        best = entry.name;
+      }
+    }
+    return best;
   }
 };
 
@@ -731,6 +770,151 @@ TEST(ChaosStripedDfs, SeededSchedulesShard0) { RunStripedChaosShard(1000); }
 TEST(ChaosStripedDfs, SeededSchedulesShard1) { RunStripedChaosShard(2000); }
 TEST(ChaosStripedDfs, SeededSchedulesShard2) { RunStripedChaosShard(3000); }
 TEST(ChaosStripedDfs, SeededSchedulesShard3) { RunStripedChaosShard(4000); }
+
+// --- replicated striped chaos: a dead server is absorbed, rebuild converges ---
+//
+// The same cluster at replica factor 2: every one-page stripe has a copy
+// on both data servers (lane 1 of stripe s sits on target (s + 1) % 2). A
+// seeded schedule kills (partitions) ONE data server mid-workload; from
+// that step on every client op must STILL SUCCEED — reads fail over to the
+// surviving replica inside the fan-out, writes complete degraded after the
+// client reports the dead target stale to the metadata server. The model
+// is therefore exact (last acknowledged value per page), not a pending
+// set: at R=2 a single failure is absorbed, never surfaced.
+//
+// After the schedule the partition heals, a successor comes up over the
+// same store, and one rebuild pass must re-sync its lane objects
+// byte-for-byte and clear the stale marks — a second pass finds nothing
+// to do, and a fresh verifier mount agrees with the model on every page.
+
+struct ReplicatedTeeth {
+  uint64_t failovers = 0;        // reads served by the surviving replica
+  uint64_t degraded_writes = 0;  // writes completed on one copy of two
+  uint64_t rebuilds = 0;         // targets re-synced by rebuild passes
+};
+
+void RunReplicatedChaosSeed(uint64_t seed, ReplicatedTeeth* teeth) {
+  flight::Clear();
+  SCOPED_TRACE("replicated seed=" + std::to_string(seed));
+  StripedChaosWorld world(/*replicas=*/2);
+  Rng rng(seed);
+  uint64_t model[kStripedPages] = {};  // 0 == never written (reads as zeros)
+  uint64_t next_value = 1;
+  const int victim = static_cast<int>(rng.Below(kStripedWidth));
+  const int kill_step = static_cast<int>(rng.Range(5, 20));
+
+  constexpr int kSteps = 30;
+  for (int step = 0; step < kSteps; ++step) {
+    world.clock.Advance(rng.Range(1, 2'000'000));
+    if (step == kill_step) {
+      world.network->SetPartitioned(world.data_nodes[victim]->name(), true);
+    }
+    uint64_t action = rng.Below(100);
+    if (action < 50) {
+      int page = static_cast<int>(rng.Below(kStripedPages));
+      uint64_t value = next_value++;
+      Buffer tag = TagBuffer(value);
+      Result<size_t> wrote = world.file->Write(
+          static_cast<Offset>(page) * kPageSize, tag.span());
+      ASSERT_TRUE(wrote.ok())
+          << "step " << step << ": write failed with one replica of two "
+          << "down — " << wrote.status().ToString();
+      model[page] = value;
+    } else if (action < 90) {
+      int page = static_cast<int>(rng.Below(kStripedPages));
+      Result<uint64_t> value = ReadTag(world.file, page);
+      ASSERT_TRUE(value.ok())
+          << "step " << step << ": read failed with one replica of two "
+          << "down — " << value.status().ToString();
+      EXPECT_EQ(*value, model[page]) << "step " << step << " page " << page;
+    } else {
+      // Long silence: leases lapse under the client. Recovery from that
+      // must not surface errors either.
+      world.clock.Advance(rng.Range(15'000'000, 30'000'000));
+    }
+  }
+
+  // Heal the partition, bring a successor up over the victim's store, and
+  // rebuild. Whether anything is stale depends on the schedule (a seed may
+  // never write after the kill); the shard-level teeth prove the degraded
+  // paths ran across the sweep.
+  world.network->SetPartitioned(world.data_nodes[victim]->name(), false);
+  world.RestartDataServer(victim);
+  Result<uint64_t> rebuilt = world.mds->RunRebuildPass();
+  ASSERT_TRUE(rebuilt.ok()) << rebuilt.status().ToString();
+
+  // A successful rebuild clears every stale mark: the second pass is a
+  // no-op.
+  Result<uint64_t> second = world.mds->RunRebuildPass();
+  ASSERT_TRUE(second.ok()) << second.status().ToString();
+  EXPECT_EQ(*second, 0u) << "stale marks survived a successful rebuild";
+
+  // Every lane-1 object is byte-identical to its primary again.
+  ASSERT_TRUE(world.file->SyncFile().ok());
+  std::string object_name = world.StripeObjectName(1 - victim);
+  ASSERT_FALSE(object_name.empty());
+  for (int t = 0; t < kStripedWidth; ++t) {
+    Buffer primary = world.ReadLaneObject(t, object_name, 0);
+    Buffer mirror =
+        world.ReadLaneObject((t + 1) % kStripedWidth, object_name, 1);
+    ASSERT_EQ(mirror.size(), primary.size()) << "target " << t;
+    EXPECT_EQ(std::memcmp(mirror.data(), primary.data(), primary.size()), 0)
+        << "target " << t << ": lane-1 copy diverged after rebuild";
+  }
+
+  // A fresh mount (fresh map, post-rebuild version) agrees with the model.
+  sp<dfs::StripedDfsClient> verifier = *dfs::StripedDfsClient::Mount(
+      world.verifier_node, world.network.get(), "mds", "dfs-meta",
+      &world.clock);
+  Result<sp<File>> verified = verifier->OpenStriped("chaos");
+  ASSERT_TRUE(verified.ok()) << verified.status().ToString();
+  for (int page = 0; page < kStripedPages; ++page) {
+    Result<uint64_t> value = ReadTag(*verified, page);
+    ASSERT_TRUE(value.ok()) << value.status().ToString();
+    EXPECT_EQ(*value, model[page]) << "verifier diverges on page " << page;
+  }
+  for (int k = 0; k < kStripedWidth; ++k) {
+    ASSERT_TRUE(world.data_servers[k]->CheckCoherencyInvariants());
+  }
+  if (teeth) {
+    teeth->failovers += metrics::StatValue(*world.client, "replica_failovers");
+    teeth->degraded_writes +=
+        metrics::StatValue(*world.client, "degraded_writes");
+    teeth->rebuilds += *rebuilt;
+  }
+}
+
+// 4 shards x 55 seeds = 220 replicated schedules.
+void RunReplicatedChaosShard(uint64_t first_seed) {
+  bool dumped = false;
+  ReplicatedTeeth teeth;
+  for (uint64_t seed = first_seed; seed < first_seed + 55; ++seed) {
+    RunReplicatedChaosSeed(seed, &teeth);
+    DumpFlightOnFailure(seed, &dumped);
+    if (::testing::Test::HasFatalFailure()) {
+      return;
+    }
+  }
+  EXPECT_GT(teeth.failovers, 0u)
+      << "no schedule ever served a read from the surviving replica";
+  EXPECT_GT(teeth.degraded_writes, 0u)
+      << "no schedule ever completed a write degraded";
+  EXPECT_GT(teeth.rebuilds, 0u)
+      << "no schedule ever rebuilt a stale target";
+}
+
+TEST(ChaosReplicatedDfs, SeededSchedulesShard0) {
+  RunReplicatedChaosShard(5000);
+}
+TEST(ChaosReplicatedDfs, SeededSchedulesShard1) {
+  RunReplicatedChaosShard(6000);
+}
+TEST(ChaosReplicatedDfs, SeededSchedulesShard2) {
+  RunReplicatedChaosShard(7000);
+}
+TEST(ChaosReplicatedDfs, SeededSchedulesShard3) {
+  RunReplicatedChaosShard(8000);
+}
 
 // --- thread-safety of the fault-injection plumbing (run under TSan) ---
 

@@ -132,22 +132,56 @@ TEST(StripedWire, StripeMapRoundTrip) {
   StripeMapResponse map;
   map.stripe_size = 4 * kPageSize;
   map.length = 123456;
+  map.map_version = 9;
+  map.replicas = 2;
   map.object_name = "stripe-00deadbeef00cafe";
-  map.targets.push_back({"data0", "dfs-data", 42});
-  map.targets.push_back({"data1", "dfs-data", (uint64_t{7} << 32) + 1});
+  map.targets.push_back({"data0", "dfs-data", {42, 43}, false});
+  map.targets.push_back(
+      {"data1", "dfs-data", {(uint64_t{7} << 32) + 1, 0}, true});
   Buffer wire = map.Encode();
   Result<StripeMapResponse> back = StripeMapResponse::Decode(wire.span());
   ASSERT_TRUE(back.ok()) << back.status().ToString();
   EXPECT_EQ(back->stripe_size, map.stripe_size);
   EXPECT_EQ(back->length, map.length);
+  EXPECT_EQ(back->map_version, 9u);
+  EXPECT_EQ(back->replicas, 2u);
   EXPECT_EQ(back->object_name, map.object_name);
   ASSERT_EQ(back->targets.size(), 2u);
   EXPECT_EQ(back->targets[0].node, "data0");
   EXPECT_EQ(back->targets[1].service, "dfs-data");
-  EXPECT_EQ(back->targets[1].handle, (uint64_t{7} << 32) + 1);
+  EXPECT_FALSE(back->targets[0].stale);
+  EXPECT_TRUE(back->targets[1].stale);
+  ASSERT_EQ(back->targets[0].lane_handles.size(), 2u);
+  EXPECT_EQ(back->targets[0].lane_handles[1], 43u);
+  ASSERT_EQ(back->targets[1].lane_handles.size(), 2u);
+  EXPECT_EQ(back->targets[1].lane_handles[0], (uint64_t{7} << 32) + 1);
+  EXPECT_EQ(back->targets[1].lane_handles[1], 0u);
 
   Buffer junk(std::string("zz"));
   EXPECT_FALSE(StripeMapResponse::Decode(junk.span()).ok());
+}
+
+TEST(StripedWire, RequestIdTableMintsFreshIdOnRetarget) {
+  dfs::StripeRequestIdTable ids;
+  bool retargeted = true;
+  uint64_t first = ids.IdFor(0, 1, &retargeted);
+  EXPECT_FALSE(retargeted);  // first target for this extent
+  // Retransmission to the SAME target reuses the id (server-side dedup).
+  EXPECT_EQ(ids.IdFor(0, 1, &retargeted), first);
+  EXPECT_FALSE(retargeted);
+  // A map refresh moved the extent to a different server: the id must be
+  // fresh — replaying the old id into the new server's dedup window could
+  // alias an unrelated entry there.
+  uint64_t moved = ids.IdFor(0, 2, &retargeted);
+  EXPECT_TRUE(retargeted);
+  EXPECT_NE(moved, first);
+  // ...and is itself stable across retries.
+  EXPECT_EQ(ids.IdFor(0, 2, &retargeted), moved);
+  EXPECT_FALSE(retargeted);
+  // Other extents mint independently, no retarget flagged.
+  uint64_t other = ids.IdFor(3, 1, &retargeted);
+  EXPECT_FALSE(retargeted);
+  EXPECT_NE(other, first);
 }
 
 // --- striped cluster fixture ---
@@ -168,14 +202,18 @@ struct StripedWorld {
   std::vector<sp<DfsServer>> retired_servers;  // see chaos_dfs_test.cpp
   sp<DfsServer> mds;
   sp<StripedDfsClient> client;
+  dfs::DfsServerOptions mds_options;
 
-  explicit StripedWorld(size_t width) {
+  // `replicas` defaults to 1: the original single-copy semantics most
+  // tests assert (an unreachable target fails its own stripes). The
+  // replication tests pass 2.
+  explicit StripedWorld(size_t width, uint32_t replicas = 1) {
     network = std::make_unique<net::Network>(&clock, 1000);
     client_node = network->AddNode("client");
     client2_node = network->AddNode("client2");
     mds_node = network->AddNode("mds");
-    dfs::DfsServerOptions mds_options;
     mds_options.stripe_size = kSS;
+    mds_options.stripe_replicas = replicas;
     for (size_t k = 0; k < width; ++k) {
       data_nodes.push_back(network->AddNode("data" + std::to_string(k)));
       devices.push_back(
@@ -203,16 +241,64 @@ struct StripedWorld {
                                          "dfs-data", stores[k].root, &clock);
   }
 
-  // The stripe object's durable name, read off a data store's root (every
-  // data server of one file holds the same name).
+  // Fails data server k the hard way: partitions its node, so every frame
+  // to it completes kConnectionLost immediately. (Destroying the instance
+  // would not do — the store's cache bindings keep it alive — and the
+  // network's view of dead is what the client sees either way.)
+  void KillDataServer(size_t k) {
+    network->SetPartitioned(data_nodes[k]->name(), true);
+  }
+
+  // Heals the partition and brings a fresh instance up over the same
+  // store (new boot epoch, fresh handle space) — a replacement server.
+  void ReviveDataServer(size_t k) {
+    network->SetPartitioned(data_nodes[k]->name(), false);
+    RestartDataServer(k);
+  }
+
+  // Replaces the metadata server in place over the same metadata store —
+  // an MDS failover. Stripe maps are re-derived on demand (durable object
+  // names + the staleness sidecar), so the successor needs no warm state.
+  void RestartMds() {
+    retired_servers.push_back(mds);
+    mds = *DfsServer::Create(mds_node, network.get(), "dfs-meta",
+                             stores.back().root, &clock, mds_options);
+  }
+
+  // Reads lane `lane`'s stripe object on data server k through its own
+  // plain DFS mount (server-side caches cannot hide unflushed pages).
+  Buffer ReadLaneObject(size_t k, const std::string& object_name,
+                        size_t lane) {
+    std::string name = object_name;
+    if (lane > 0) {
+      name += "-r" + std::to_string(lane);
+    }
+    sp<DfsClient> direct = *DfsClient::Mount(
+        client2_node, network.get(), data_nodes[k]->name(), "dfs-data",
+        &clock);
+    Result<sp<File>> object = ResolveAs<File>(direct, name, sys);
+    if (!object.ok()) {
+      return Buffer{};
+    }
+    uint64_t len = *(*object)->GetLength();
+    Buffer out(len);
+    EXPECT_EQ(*(*object)->Read(0, out.mutable_span()), len);
+    return out;
+  }
+
+  // The stripe object's durable (lane-0) name, read off a data store's
+  // root (every data server of one file holds the same name). Replica
+  // lanes append "-r<lane>", so the base name is the shortest match.
   std::string StripeObjectName(size_t k) {
+    std::string best;
     std::vector<BindingInfo> entries = *stores[k].root->List(sys);
     for (const BindingInfo& entry : entries) {
-      if (entry.name.rfind("stripe-", 0) == 0) {
-        return entry.name;
+      if (entry.name.rfind("stripe-", 0) == 0 &&
+          (best.empty() || entry.name.size() < best.size())) {
+        best = entry.name;
       }
     }
-    return "";
+    return best;
   }
 };
 
@@ -469,6 +555,231 @@ TEST(StripedDfs, MappedWriteIsRecalledAcrossClients) {
   // Page 1 (target 1) was never touched by the mapping and stays intact.
   ASSERT_EQ(*theirs->Read(kPageSize, page.mutable_span()), page.size());
   EXPECT_EQ(std::memcmp(page.data(), data.data() + kPageSize, kPageSize), 0);
+}
+
+// --- replicated stripes (DESIGN.md §15) ---
+
+TEST(StripedDfsReplicated, WriteMirrorsEveryLane) {
+  StripedWorld world(2, /*replicas=*/2);
+  sp<File> file = *world.client->CreateStriped("f");
+  Buffer data(5 * kPageSize);
+  Rng rng(29);
+  Buffer fill = rng.RandomBuffer(data.size());
+  std::memcpy(data.data(), fill.data(), data.size());
+  ASSERT_EQ(*file->Write(0, data.span()), data.size());
+  ASSERT_TRUE(file->SyncFile().ok());
+
+  // Replica r of stripe s lives on target (s + r) % width in that
+  // server's lane-r object, at the primary's local offset — so lane 1 on
+  // target (t + 1) % 2 is byte-identical to lane 0 on target t.
+  std::string object_name = world.StripeObjectName(0);
+  ASSERT_FALSE(object_name.empty());
+  for (size_t t = 0; t < 2; ++t) {
+    Buffer primary = world.ReadLaneObject(t, object_name, 0);
+    Buffer mirror = world.ReadLaneObject((t + 1) % 2, object_name, 1);
+    EXPECT_EQ(primary.size(), LocalLengthFor(t, data.size(), kSS, 2));
+    ASSERT_EQ(mirror.size(), primary.size()) << "target " << t;
+    EXPECT_EQ(std::memcmp(mirror.data(), primary.data(), primary.size()), 0)
+        << "target " << t;
+  }
+
+  Buffer back(data.size());
+  ASSERT_EQ(*file->Read(0, back.mutable_span()), data.size());
+  EXPECT_EQ(std::memcmp(back.data(), data.data(), data.size()), 0);
+}
+
+TEST(StripedDfsReplicated, ReadFailsOverWhenDataServerDies) {
+  StripedWorld world(2, /*replicas=*/2);
+  sp<File> file = *world.client->CreateStriped("f");
+  Buffer data(4 * kPageSize);
+  Rng rng(31);
+  Buffer fill = rng.RandomBuffer(data.size());
+  std::memcpy(data.data(), fill.data(), data.size());
+  ASSERT_EQ(*file->Write(0, data.span()), data.size());
+  Buffer back(data.size());
+  ASSERT_EQ(*file->Read(0, back.mutable_span()), data.size());
+
+  // data0 goes dark (kConnectionLost completes immediately): stripes
+  // {0, 2} fail over to their lane-1 replicas on data1 WITHIN the same
+  // fan-out round — no backoff, no error surfaced.
+  world.KillDataServer(0);
+  ASSERT_EQ(*file->Read(0, back.mutable_span()), data.size());
+  EXPECT_EQ(std::memcmp(back.data(), data.data(), data.size()), 0);
+  EXPECT_GE(metrics::StatValue(*world.client, "replica_failovers"), 1u);
+
+  // And keeps doing so for as long as the target stays dark.
+  ASSERT_EQ(*file->Read(0, back.mutable_span()), data.size());
+  EXPECT_EQ(std::memcmp(back.data(), data.data(), data.size()), 0);
+}
+
+TEST(StripedDfsReplicated, DegradedWriteThenRebuildConverges) {
+  StripedWorld world(2, /*replicas=*/2);
+  sp<File> file = *world.client->CreateStriped("f");
+  Buffer data(4 * kPageSize);
+  Rng rng(37);
+  Buffer fill = rng.RandomBuffer(data.size());
+  std::memcpy(data.data(), fill.data(), data.size());
+  ASSERT_EQ(*file->Write(0, data.span()), data.size());
+
+  // Kill data1 and keep writing: every extent still reaches a fresh
+  // replica, so no client-visible failure.
+  world.KillDataServer(1);
+  Buffer patch = PatternPage(0x42);
+  ASSERT_EQ(*file->Write(kPageSize, patch.span()), patch.size());
+  std::memcpy(data.data() + kPageSize, patch.data(), patch.size());
+  Buffer back(data.size());
+  ASSERT_EQ(*file->Read(0, back.mutable_span()), data.size());
+  EXPECT_EQ(std::memcmp(back.data(), data.data(), data.size()), 0);
+  EXPECT_GE(metrics::StatValue(*world.client, "degraded_writes"), 1u);
+  EXPECT_GE(metrics::StatValue(*world.mds, "stripe_replicas_marked_stale"),
+            1u);
+
+  // Heal the partition and bring a successor up over the same store, then
+  // rebuild: the stale target's lane objects are re-synced from the
+  // surviving fresh copies.
+  world.ReviveDataServer(1);
+  ASSERT_GE(*world.mds->RunRebuildPass(), 1u);
+  EXPECT_GE(metrics::StatValue(*world.mds, "stripe_rebuilds"), 1u);
+
+  ASSERT_TRUE(file->SyncFile().ok());
+  std::string object_name = world.StripeObjectName(0);
+  ASSERT_FALSE(object_name.empty());
+  for (size_t t = 0; t < 2; ++t) {
+    Buffer primary = world.ReadLaneObject(t, object_name, 0);
+    Buffer mirror = world.ReadLaneObject((t + 1) % 2, object_name, 1);
+    ASSERT_EQ(mirror.size(), primary.size()) << "target " << t;
+    EXPECT_EQ(std::memcmp(mirror.data(), primary.data(), primary.size()), 0)
+        << "target " << t;
+  }
+
+  // The cleared mark means new writes land on BOTH replicas again.
+  Buffer patch2 = PatternPage(0x51);
+  ASSERT_EQ(*file->Write(2 * kPageSize, patch2.span()), patch2.size());
+  ASSERT_TRUE(file->SyncFile().ok());
+  std::memcpy(data.data() + 2 * kPageSize, patch2.data(), patch2.size());
+  Buffer lane0 = world.ReadLaneObject(0, object_name, 0);  // t0 primaries
+  Buffer lane1 = world.ReadLaneObject(1, object_name, 1);  // t0 mirror
+  ASSERT_GE(lane0.size(), 2 * kPageSize);
+  ASSERT_EQ(lane1.size(), lane0.size());
+  // Stripe 2 is target 0's local unit 1.
+  EXPECT_EQ(std::memcmp(lane0.data() + kPageSize, patch2.data(), kPageSize),
+            0);
+  EXPECT_EQ(std::memcmp(lane1.data() + kPageSize, patch2.data(), kPageSize),
+            0);
+  ASSERT_EQ(*file->Read(0, back.mutable_span()), data.size());
+  EXPECT_EQ(std::memcmp(back.data(), data.data(), data.size()), 0);
+}
+
+TEST(StripedDfsReplicated, PartitionedReplicaIsReportedAndWriteDegrades) {
+  StripedWorld world(2, /*replicas=*/2);
+  sp<File> file = *world.client->CreateStriped("f");
+  Buffer data(4 * kPageSize);
+  Rng rng(41);
+  Buffer fill = rng.RandomBuffer(data.size());
+  std::memcpy(data.data(), fill.data(), data.size());
+  ASSERT_EQ(*file->Write(0, data.span()), data.size());
+
+  // A partition looks like silence, not a tombstone. The CLIENT is the
+  // one that notices its writes not landing and reports the target stale
+  // (kReportStaleReplica) after degrade_after_rounds failed rounds.
+  world.network->SetPartitioned("data1", true);
+  Buffer patch = PatternPage(0x66);
+  ASSERT_EQ(*file->Write(0, patch.span()), patch.size());
+  std::memcpy(data.data(), patch.data(), patch.size());
+  EXPECT_GE(metrics::StatValue(*world.client, "stale_reports"), 1u);
+  EXPECT_GE(metrics::StatValue(*world.client, "degraded_writes"), 1u);
+  EXPECT_GE(metrics::StatValue(*world.mds, "stripe_stale_reports"), 1u);
+
+  // Reads still see every byte (the stale target is planned around).
+  Buffer back(data.size());
+  ASSERT_EQ(*file->Read(0, back.mutable_span()), data.size());
+  EXPECT_EQ(std::memcmp(back.data(), data.data(), data.size()), 0);
+
+  // Heal and rebuild: the missed writes converge onto data1.
+  world.network->SetPartitioned("data1", false);
+  ASSERT_GE(*world.mds->RunRebuildPass(), 1u);
+  ASSERT_TRUE(file->SyncFile().ok());
+  std::string object_name = world.StripeObjectName(0);
+  for (size_t t = 0; t < 2; ++t) {
+    Buffer primary = world.ReadLaneObject(t, object_name, 0);
+    Buffer mirror = world.ReadLaneObject((t + 1) % 2, object_name, 1);
+    ASSERT_EQ(mirror.size(), primary.size()) << "target " << t;
+    EXPECT_EQ(std::memcmp(mirror.data(), primary.data(), primary.size()), 0)
+        << "target " << t;
+  }
+}
+
+TEST(StripedDfsReplicated, MdsFailoverIsAbsorbedAndStalenessSurvivesIt) {
+  StripedWorld world(2, /*replicas=*/2);
+  sp<File> file = *world.client->CreateStriped("f");
+  Buffer data(4 * kPageSize);
+  Rng rng(43);
+  Buffer fill = rng.RandomBuffer(data.size());
+  std::memcpy(data.data(), fill.data(), data.size());
+  ASSERT_EQ(*file->Write(0, data.span()), data.size());
+
+  // Degrade target 1, then fail the MDS over mid-stream.
+  world.KillDataServer(1);
+  Buffer patch = PatternPage(0x13);
+  ASSERT_EQ(*file->Write(kPageSize, patch.span()), patch.size());
+  std::memcpy(data.data() + kPageSize, patch.data(), patch.size());
+  world.RestartMds();
+
+  // Metadata ops re-resolve against the successor (the old handle answers
+  // kStale there); the staleness sidecar keeps target 1 excluded and the
+  // map version monotonic across the failover.
+  EXPECT_EQ(*file->GetLength(), data.size());
+  Buffer back(data.size());
+  ASSERT_EQ(*file->Read(0, back.mutable_span()), data.size());
+  EXPECT_EQ(std::memcmp(back.data(), data.data(), data.size()), 0);
+  Buffer patch2 = PatternPage(0x77);
+  ASSERT_EQ(*file->Write(3 * kPageSize, patch2.span()), patch2.size());
+  std::memcpy(data.data() + 3 * kPageSize, patch2.data(), patch2.size());
+
+  // The SUCCESSOR can run the rebuild: its state was re-derived from the
+  // sidecar when the client's traffic re-entered the file.
+  world.ReviveDataServer(1);
+  ASSERT_GE(*world.mds->RunRebuildPass(), 1u);
+  ASSERT_TRUE(file->SyncFile().ok());
+  std::string object_name = world.StripeObjectName(0);
+  for (size_t t = 0; t < 2; ++t) {
+    Buffer primary = world.ReadLaneObject(t, object_name, 0);
+    Buffer mirror = world.ReadLaneObject((t + 1) % 2, object_name, 1);
+    ASSERT_EQ(mirror.size(), primary.size()) << "target " << t;
+    EXPECT_EQ(std::memcmp(mirror.data(), primary.data(), primary.size()), 0)
+        << "target " << t;
+  }
+  ASSERT_EQ(*file->Read(0, back.mutable_span()), data.size());
+  EXPECT_EQ(std::memcmp(back.data(), data.data(), data.size()), 0);
+}
+
+TEST(StripedDfsReplicated, WidthThreeRotatedPlacement) {
+  StripedWorld world(3, /*replicas=*/2);
+  sp<File> file = *world.client->CreateStriped("f");
+  Buffer data(7 * kPageSize);
+  Rng rng(47);
+  Buffer fill = rng.RandomBuffer(data.size());
+  std::memcpy(data.data(), fill.data(), data.size());
+  ASSERT_EQ(*file->Write(0, data.span()), data.size());
+  ASSERT_TRUE(file->SyncFile().ok());
+
+  // Rotated placement at width 3: lane 1 on target (t + 1) % 3 mirrors
+  // lane 0 on target t.
+  std::string object_name = world.StripeObjectName(0);
+  for (size_t t = 0; t < 3; ++t) {
+    Buffer primary = world.ReadLaneObject(t, object_name, 0);
+    Buffer mirror = world.ReadLaneObject((t + 1) % 3, object_name, 1);
+    EXPECT_EQ(primary.size(), LocalLengthFor(t, data.size(), kSS, 3));
+    ASSERT_EQ(mirror.size(), primary.size()) << "target " << t;
+    EXPECT_EQ(std::memcmp(mirror.data(), primary.data(), primary.size()), 0)
+        << "target " << t;
+  }
+
+  // Any single dead server leaves every byte readable.
+  world.KillDataServer(2);
+  Buffer back(data.size());
+  ASSERT_EQ(*file->Read(0, back.mutable_span()), data.size());
+  EXPECT_EQ(std::memcmp(back.data(), data.data(), data.size()), 0);
 }
 
 TEST(StripedDfs, MappedReadsFaultThroughStripeFanout) {
