@@ -26,6 +26,7 @@
 #include "src/layers/dfs/dfs_client.h"
 #include "src/layers/dfs/dfs_server.h"
 #include "src/layers/sfs/sfs.h"
+#include "src/obs/metrics.h"
 #include "src/support/rng.h"
 #include "src/vmm/vmm.h"
 
@@ -47,6 +48,24 @@ struct RunResult {
   bool identical = false;        // bytes match the seeded file exactly
   double wall_us = 0;
 };
+
+// Per-op wire-call counts accumulated across all phases. The phase
+// networks are function-local, so their "calls/<op>" counters must be
+// harvested before each network dies; the final self-check matches this
+// set against the global per-op latency histograms.
+std::map<std::string, uint64_t>& WireOps() {
+  static std::map<std::string, uint64_t> ops;
+  return ops;
+}
+
+void HarvestWireOps(const net::Network& network) {
+  network.CollectStats([](const std::string& name, uint64_t value) {
+    const std::string prefix = "calls/";
+    if (value > 0 && name.rfind(prefix, 0) == 0) {
+      WireOps()[name.substr(prefix.size())] += value;
+    }
+  });
+}
 
 RunResult RunWorkload(bench::BenchReport& report, const std::string& name,
                       bool sequential, uint32_t read_ahead) {
@@ -107,6 +126,7 @@ RunResult RunWorkload(bench::BenchReport& report, const std::string& name,
   result.pager_calls = vmm_stats["faults"];
   result.net_calls = metrics::StatValue(network, "calls");
   result.read_ahead_hits = vmm_stats["read_ahead_hits"];
+  HarvestWireOps(network);
 
   Measurement per_page;
   per_page.mean_us = result.wall_us / kPages;
@@ -184,6 +204,7 @@ RunResult RunPipelineDepth(bench::BenchReport& report, size_t depth) {
   result.net_calls = metrics::StatValue(network, "calls");
   uint64_t recovered = metrics::StatValue(network, "rack_retransmits") +
                        metrics::StatValue(network, "rto_retransmits");
+  HarvestWireOps(network);
 
   Measurement per_page;
   per_page.mean_us = result.wall_us / pages;
@@ -291,5 +312,27 @@ int main() {
         "pipelined reads byte-identical to the seeded file");
   check(depth16_speedup >= 2.0,
         "async_depth=16 >=2x throughput over depth=1 on the lossy link");
+
+  // Every named op the bench pushed over the wire must have left a
+  // non-empty server-side latency histogram — the same per-op telemetry
+  // springfs_stat scrapes with kGetStats. Callback frames (cb_*) are
+  // served by the client, not a DfsServer, so they carry no histogram.
+  metrics::Registry::Snapshot telemetry = metrics::Registry::Global().Collect();
+  size_t ops_seen = 0;
+  for (const auto& [op, calls] : WireOps()) {
+    if (op.rfind("cb_", 0) == 0 || op.rfind("type", 0) == 0) {
+      continue;
+    }
+    ++ops_seen;
+    // Retransmits and drops make server-side arrivals differ from client
+    // call counts, so assert presence, not an exact tally.
+    (void)calls;
+    auto hist = telemetry.histograms.find("dfs/op/" + op + ".latency_ns");
+    bool populated =
+        hist != telemetry.histograms.end() && hist->second.count > 0;
+    check(populated,
+          ("per-op latency histogram populated for dfs/op/" + op).c_str());
+  }
+  check(ops_seen > 0, "at least one named op crossed the wire");
   return ok ? 0 : 1;
 }

@@ -24,9 +24,11 @@
 #include <vector>
 
 #include "bench/bench_util.h"
+#include "src/layers/dfs/cluster_stats.h"
 #include "src/layers/dfs/dfs_server.h"
 #include "src/layers/dfs/striped_client.h"
 #include "src/layers/sfs/sfs.h"
+#include "src/obs/flight_recorder.h"
 #include "src/support/rng.h"
 
 using namespace springfs;
@@ -158,6 +160,9 @@ struct DegradedResult {
   double healthy_mbps = 0;
   double degraded_mbps = 0;
   bool identical = false;
+  bool stale_visible = false;   // dark target listed by kGetHealth
+  bool stale_cleared = false;   // stale sets empty after the rebuild
+  uint64_t rebuilt = 0;         // targets resynced by RunRebuildPass
 };
 
 DegradedResult RunDegraded(bench::BenchReport& report) {
@@ -165,7 +170,9 @@ DegradedResult RunDegraded(bench::BenchReport& report) {
   constexpr size_t kWidth = 2;
   net::Network network(&DefaultClock(), kLatencyNs);
   sp<net::Node> client_node = network.AddNode("client");
+  sp<net::Node> probe_node = network.AddNode("probe");
   sp<net::Node> mds_node = network.AddNode("mds");
+  (void)probe_node;  // the scraper below opens channels by node name
 
   std::vector<std::unique_ptr<MemBlockDevice>> devices;
   std::vector<Sfs> stores;
@@ -229,7 +236,42 @@ DegradedResult RunDegraded(bench::BenchReport& report) {
   network.SetPartitioned("data1", true);
   result.degraded_mbps = measure("degraded read");
   result.identical = result.identical && healthy_identical;
+
+  // A degraded WRITE (same bytes, so later reads stay comparable) runs
+  // ahead on the surviving replica and makes the client report data1's
+  // lanes stale. The staleness must then be visible *through the wire*:
+  // a probe node scrapes the MDS's kGetHealth — no server pointers — and
+  // must see the darkened target in the stale sets before the rebuild and
+  // an empty set after it.
+  Must(file->Write(0, expect.span()), "degraded replicated write");
+  dfs::ClusterStatsClient scraper("probe", &network);
+  scraper.AddServer("mds", "dfs-meta");
+  struct StaleView {
+    bool ok = false;
+    size_t stale = 0;
+    bool victim = false;
+  };
+  auto scrape = [&]() {
+    StaleView view;
+    std::vector<dfs::ServerScrape> scrapes = scraper.ScrapeAll();
+    if (scrapes.size() != 1 || !scrapes[0].health_status.ok()) {
+      return view;
+    }
+    view.ok = true;
+    for (const auto& fh : scrapes[0].health.files) {
+      view.stale += fh.stale_targets.size();
+      for (uint32_t t : fh.stale_targets) {
+        view.victim |= t == 1;
+      }
+    }
+    return view;
+  };
+  StaleView dark = scrape();
+  result.stale_visible = dark.ok && dark.victim;
   network.SetPartitioned("data1", false);
+  result.rebuilt = Must(mds->RunRebuildPass(), "rebuild pass");
+  StaleView healed = scrape();
+  result.stale_cleared = healed.ok && healed.stale == 0;
 
   double ratio = result.degraded_mbps / std::max(result.healthy_mbps, 1e-9);
   report.Add("healthy_mb_per_s", Ratio(result.healthy_mbps));
@@ -238,11 +280,15 @@ DegradedResult RunDegraded(bench::BenchReport& report) {
   report.EndConfig();
 
   std::printf("%-16s: %7.1f MB/s healthy, %7.1f MB/s with data1 dark "
-              "(%.2fx), bytes %s, failovers %llu\n",
+              "(%.2fx), bytes %s, failovers %llu, stale %s, rebuilt %llu\n",
               "stripe/degraded", result.healthy_mbps, result.degraded_mbps,
               ratio, result.identical ? "identical" : "MISMATCH",
               static_cast<unsigned long long>(
-                  metrics::StatValue(*client, "replica_failovers")));
+                  metrics::StatValue(*client, "replica_failovers")),
+              result.stale_visible
+                  ? (result.stale_cleared ? "seen+cleared" : "seen")
+                  : "NOT SEEN",
+              static_cast<unsigned long long>(result.rebuilt));
   return result;
 }
 
@@ -295,5 +341,14 @@ int main() {
   check(degraded.degraded_mbps >=
             0.4 * std::max(degraded.healthy_mbps, 1e-9),
         "degraded read (one replica target down) >=0.4x the healthy rate");
+  check(degraded.stale_visible,
+        "darkened target listed in the MDS's kGetHealth stale sets");
+  check(degraded.rebuilt > 0,
+        "rebuild pass resynced at least one stale target");
+  check(degraded.stale_cleared,
+        "kGetHealth stale sets empty after RunRebuildPass");
+  if (!ok) {
+    flight::DumpToArtifact("bench_stripe", "bench_stripe self-check failed");
+  }
   return ok ? 0 : 1;
 }

@@ -89,10 +89,29 @@ bool CarriesLeadingHandle(Op op) {
     case Op::kRemove:
     case Op::kReadDir:
     case Op::kCompound:
+    case Op::kGetStats:
+    case Op::kGetHealth:
       return false;
     default:
       return static_cast<uint32_t>(op) < 100;  // callbacks excluded
   }
+}
+
+// Lazily-created per-op server metrics: "dfs/op/<name>.calls" and
+// "dfs/op/<name>.latency_ns" in the process registry. Keyed by op, not by
+// server instance — like the registry itself, the histograms aggregate
+// across every server in the process.
+metrics::OpMetric& OpMetricFor(Op op) {
+  static std::mutex mutex;
+  static auto* by_op = new std::map<uint32_t, metrics::OpMetric>();
+  std::lock_guard<std::mutex> lock(mutex);
+  auto it = by_op->find(static_cast<uint32_t>(op));
+  if (it == by_op->end()) {
+    it = by_op->emplace(static_cast<uint32_t>(op),
+                        metrics::OpMetric(std::string("dfs/op/") +
+                                          OpName(op))).first;
+  }
+  return it->second;
 }
 
 }  // namespace
@@ -643,14 +662,25 @@ Status DfsServer::BroadcastAttrInvalidate(ServerFile& file,
 // --- protocol dispatch ---
 
 net::Frame DfsServer::Handle(const net::Frame& request) {
-  trace::ScopedSpan span("dfs.serve");
-  // Adopt the trace context the client stamped into the frame header: this
-  // span is the server-domain anchor of the caller's tree, so client
-  // dfs.page_in -> net.call -> dfs.serve -> UFS/VMM spans share one
-  // trace_id across the wire.
-  span.AdoptRemote(
-      trace::TraceContext{request.trace_id, request.parent_span_id});
   Op op = static_cast<Op>(request.type);
+  // One TimedOp per served frame: counts the call and records dispatch
+  // time into the per-op latency histogram ("dfs/op/<name>.latency_ns"),
+  // and its span is the server-domain anchor of the caller's tree — we
+  // adopt the trace context the client stamped into the frame header, so
+  // client dfs.page_in -> net.call -> dfs.serve -> UFS/VMM spans share one
+  // trace_id across the wire.
+  metrics::TimedOp timed(OpMetricFor(op), "dfs.serve");
+  timed.span().AdoptRemote(
+      trace::TraceContext{request.trace_id, request.parent_span_id});
+  uint64_t start_ns = clock_->Now();
+  net::Frame response = HandleFrame(op, request, timed.span());
+  NoteSlowOp(op, request, clock_->Now() - start_ns);
+  response.epoch = boot_epoch_;
+  return response;
+}
+
+net::Frame DfsServer::HandleFrame(Op op, const net::Frame& request,
+                                  trace::ScopedSpan& span) {
   // Mutating requests carry a client-generated request id: a
   // retransmission (the original response was lost in flight) replays the
   // stored response instead of applying the operation twice. A compound
@@ -671,9 +701,7 @@ net::Frame DfsServer::Handle(const net::Frame& request) {
       }
       flight::Record(flight::Severity::kWarn, "dfs", "dedup replay",
                      request.request_id, request.type);
-      net::Frame replay = it->second;
-      replay.epoch = boot_epoch_;
-      return replay;
+      return it->second;  // caller stamps the boot epoch
     }
   }
   net::Frame response = Dispatch(op, request);
@@ -692,8 +720,47 @@ net::Frame DfsServer::Handle(const net::Frame& request) {
       }
     }
   }
-  response.epoch = boot_epoch_;
   return response;
+}
+
+void DfsServer::NoteSlowOp(Op op, const net::Frame& request,
+                           uint64_t elapsed_ns) {
+  if (options_.slow_op_threshold_ns == 0 ||
+      elapsed_ns < options_.slow_op_threshold_ns ||
+      options_.slow_op_ring == 0) {
+    return;
+  }
+  SlowOp slow;
+  slow.op = op;
+  if (CarriesLeadingHandle(op) && request.payload.size() >= 8) {
+    for (int i = 7; i >= 0; --i) {
+      slow.handle = (slow.handle << 8) | request.payload.span()[i];
+    }
+  }
+  slow.bytes = request.payload.size();
+  slow.elapsed_ns = elapsed_ns;
+  slow.trace_id = request.trace_id;
+  slow.at_ns = clock_->Now();
+  {
+    std::lock_guard<std::mutex> lock(slow_mutex_);
+    slow_ops_.push_back(slow);
+    while (slow_ops_.size() > options_.slow_op_ring) {
+      slow_ops_.pop_front();
+    }
+  }
+  {
+    std::lock_guard<std::mutex> lock(stats_mutex_);
+    ++stats_.slow_ops;
+  }
+  char message[52];
+  std::snprintf(message, sizeof(message), "slow op %s", OpName(op));
+  flight::Record(flight::Severity::kWarn, "dfs_slow", message, elapsed_ns,
+                 slow.handle);
+}
+
+std::vector<DfsServer::SlowOp> DfsServer::SlowOps() const {
+  std::lock_guard<std::mutex> lock(slow_mutex_);
+  return {slow_ops_.begin(), slow_ops_.end()};
 }
 
 net::Frame DfsServer::Dispatch(Op op, const net::Frame& request,
@@ -723,6 +790,10 @@ net::Frame DfsServer::Dispatch(Op op, const net::Frame& request,
       return HandleGetStripeMap(request);
     case Op::kReportStaleReplica:
       return HandleReportStale(request);
+    case Op::kGetStats:
+      return HandleGetStats(request);
+    case Op::kGetHealth:
+      return HandleGetHealth(request);
     case Op::kCompound:
       return HandleCompound(request);
     default:
@@ -1290,33 +1361,109 @@ net::Frame DfsServer::HandleReportStale(const net::Frame& request) {
   return response;
 }
 
+net::Frame DfsServer::HandleGetStats(const net::Frame&) {
+  GetStatsResponse body;
+  body.snapshot = metrics::Registry::Global().Collect();
+  // Fold this server's own counters in under "self/": in a simulated
+  // multi-server world every server shares the process registry above, so
+  // the self section is what distinguishes one scrape target from another.
+  CollectStats([&](const std::string& name, uint64_t value) {
+    body.snapshot.values["self/" + name] += value;
+  });
+  {
+    std::lock_guard<std::mutex> lock(stats_mutex_);
+    ++stats_.stats_scrapes;
+  }
+  net::Frame response;
+  response.payload = body.Encode();
+  return response;
+}
+
+net::Frame DfsServer::HandleGetHealth(const net::Frame&) {
+  HealthResponse body;
+  body.role = options_.stripe_targets.empty()
+                  ? HealthResponse::Role::kData
+                  : HealthResponse::Role::kMetadata;
+  body.boot_epoch = boot_epoch_;
+  body.uptime_ns = clock_->Now() - boot_time_;
+  if (!options_.stripe_targets.empty()) {
+    body.stripe_size = options_.stripe_size;
+    body.stripe_width = static_cast<uint32_t>(options_.stripe_targets.size());
+    body.stripe_replicas = StripeReplicaCount();
+    // Re-derive sidecar staleness first, so a cold incumbent (fresh MDS
+    // after a failover, no client traffic yet) reports truthfully. Local
+    // store reads only — no wire calls under any lock.
+    LoadAllSidecarStates();
+    std::lock_guard<std::mutex> lock(stripe_mutex_);
+    for (const auto& [path, state] : stripe_states_) {
+      HealthResponse::FileHealth file;
+      file.path = path;
+      file.map_version = state.version;
+      for (size_t t = 0; t < state.stale.size(); ++t) {
+        if (state.stale[t]) {
+          file.stale_targets.push_back(static_cast<uint32_t>(t));
+        }
+      }
+      body.files.push_back(std::move(file));
+    }
+  }
+  {
+    std::lock_guard<std::mutex> lock(stats_mutex_);
+    body.rebuilds_completed = stats_.stripe_rebuilds;
+    ++stats_.health_scrapes;
+  }
+  std::vector<sp<ServerFile>> files;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    files.reserve(files_by_handle_.size());
+    for (const auto& [handle, file] : files_by_handle_) {
+      files.push_back(file);
+    }
+  }
+  for (const sp<ServerFile>& file : files) {
+    std::lock_guard<std::mutex> lock(file->mutex);
+    body.delegations_active += file->delegations.size();
+    body.leases_active += file->remote_caches.size();
+  }
+  {
+    std::lock_guard<std::mutex> lock(dedup_mutex_);
+    body.dedup_entries = dedup_.size();
+  }
+  net::Frame response;
+  response.payload = body.Encode();
+  return response;
+}
+
+void DfsServer::LoadAllSidecarStates() {
+  // Walk the metadata store's sidecars: each one records the logical path
+  // it belongs to, so a cold incumbent (fresh after an MDS failover, no
+  // client traffic yet) re-derives every file's stale set right here
+  // instead of waiting for map refetches to repopulate it.
+  Result<std::vector<BindingInfo>> entries =
+      under_->List(Credentials::System());
+  if (!entries.ok()) {
+    return;
+  }
+  constexpr std::string_view kPrefix = ".stripe-";
+  constexpr std::string_view kSuffix = "-state";
+  for (const BindingInfo& entry : *entries) {
+    if (entry.name.size() > kPrefix.size() + kSuffix.size() &&
+        entry.name.rfind(kPrefix, 0) == 0 &&
+        entry.name.compare(entry.name.size() - kSuffix.size(),
+                           kSuffix.size(), kSuffix) == 0) {
+      std::string path = ReadSidecarPath(entry.name);
+      if (!path.empty()) {
+        (void)LoadStripeState(path);  // cache-or-sidecar, idempotent
+      }
+    }
+  }
+}
+
 Result<size_t> DfsServer::RunRebuildPass() {
   if (options_.stripe_targets.empty()) {
     return size_t{0};
   }
-  // Walk the metadata store's sidecars first: each one records the
-  // logical path it belongs to, so a cold incumbent (fresh after an MDS
-  // failover, no client traffic yet) re-derives every file's stale set
-  // right here instead of waiting for map refetches to repopulate it.
-  {
-    Result<std::vector<BindingInfo>> entries =
-        under_->List(Credentials::System());
-    if (entries.ok()) {
-      constexpr std::string_view kPrefix = ".stripe-";
-      constexpr std::string_view kSuffix = "-state";
-      for (const BindingInfo& entry : *entries) {
-        if (entry.name.size() > kPrefix.size() + kSuffix.size() &&
-            entry.name.rfind(kPrefix, 0) == 0 &&
-            entry.name.compare(entry.name.size() - kSuffix.size(),
-                               kSuffix.size(), kSuffix) == 0) {
-          std::string path = ReadSidecarPath(entry.name);
-          if (!path.empty()) {
-            (void)LoadStripeState(path);  // cache-or-sidecar, idempotent
-          }
-        }
-      }
-    }
-  }
+  LoadAllSidecarStates();
   // Snapshot the paths with stale targets.
   std::vector<std::string> paths;
   {
@@ -2031,6 +2178,9 @@ void DfsServer::CollectStats(const metrics::StatsEmitter& emit) const {
   emit("stripe_stale_reports", stats_.stripe_stale_reports);
   emit("stripe_rebuilds", stats_.stripe_rebuilds);
   emit("stripe_rebuild_bytes", stats_.stripe_rebuild_bytes);
+  emit("slow_ops", stats_.slow_ops);
+  emit("health_scrapes", stats_.health_scrapes);
+  emit("stats_scrapes", stats_.stats_scrapes);
 }
 
 bool DfsServer::CheckCoherencyInvariants() {

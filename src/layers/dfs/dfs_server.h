@@ -81,6 +81,19 @@ struct DfsServerOptions {
   // failing them; R = 1 keeps the PR 8 pure-RAID-0 behavior, including
   // "any unreachable target fails the map request".
   uint32_t stripe_replicas = 2;
+
+  // --- telemetry (DESIGN.md §16) ---
+  // An op whose server-side dispatch takes at least this long (on the
+  // server's clock) lands in the bounded slow-op ring and the flight
+  // recorder, so a failing seed shows which *server-side* ops were slow,
+  // not just which client calls failed. 0 disables slow-op tracking.
+  // Note: simulated worlds run on a FakeClock that only advances when a
+  // handler performs nested wire calls, so purely local ops measure 0
+  // there — tests that want every op captured set the threshold to 1 and
+  // use a real clock, or drive ops with nested calls.
+  uint64_t slow_op_threshold_ns = 10'000'000;
+  // How many slow ops the ring retains (oldest evicted first).
+  size_t slow_op_ring = 64;
 };
 
 class DfsServer : public StackableFs,
@@ -142,6 +155,19 @@ class DfsServer : public StackableFs,
   // This instance's boot epoch (stamped on every response frame).
   uint64_t boot_epoch() const { return boot_epoch_; }
 
+  // One over-threshold op as kept in the slow-op ring (DESIGN.md §16).
+  struct SlowOp {
+    Op op = Op::kLookup;
+    uint64_t handle = 0;      // leading body handle; 0 for name-space ops
+    uint64_t bytes = 0;       // request body size
+    uint64_t elapsed_ns = 0;  // server-clock dispatch time
+    uint64_t trace_id = 0;    // the caller's trace, for cross-referencing
+    uint64_t at_ns = 0;       // server clock when the op finished
+  };
+
+  // Snapshot of the slow-op ring, oldest first.
+  std::vector<SlowOp> SlowOps() const;
+
   // Diagnostic probes for tests: per-file coherency invariants and the sum
   // of every file engine's stats.
   bool CheckCoherencyInvariants();
@@ -192,6 +218,9 @@ class DfsServer : public StackableFs,
     uint64_t stripe_stale_reports = 0;  // kReportStaleReplica frames served
     uint64_t stripe_rebuilds = 0;       // stale targets re-synced + cleared
     uint64_t stripe_rebuild_bytes = 0;  // bytes copied by rebuild passes
+    uint64_t slow_ops = 0;              // ops over slow_op_threshold_ns
+    uint64_t health_scrapes = 0;        // kGetHealth frames served
+    uint64_t stats_scrapes = 0;         // kGetStats frames served
   };
 
   void NoteLowerFlush();
@@ -246,6 +275,13 @@ class DfsServer : public StackableFs,
   // (and the grace-period check) but not the dedup window — the compound
   // frame as a whole is the dedup unit.
   net::Frame Handle(const net::Frame& request);
+  // The dedup-window + dispatch body of Handle(); the wrapper adds per-op
+  // latency accounting and slow-op detection around it.
+  net::Frame HandleFrame(Op op, const net::Frame& request,
+                         trace::ScopedSpan& span);
+  // Records `request` in the slow-op ring + flight recorder when its
+  // dispatch time crossed options_.slow_op_threshold_ns.
+  void NoteSlowOp(Op op, const net::Frame& request, uint64_t elapsed_ns);
   // `except_deleg` exempts one delegation from conflict recalls — the
   // delegation the enclosing compound's kOpen granted, so the program's
   // own tail runs under it.
@@ -259,6 +295,8 @@ class DfsServer : public StackableFs,
   net::Frame HandleDelegReturn(const net::Frame& request);
   net::Frame HandleGetStripeMap(const net::Frame& request);
   net::Frame HandleReportStale(const net::Frame& request);
+  net::Frame HandleGetStats(const net::Frame& request);
+  net::Frame HandleGetHealth(const net::Frame& request);
 
   // --- striped metadata role (DESIGN.md §15) ---
 
@@ -283,6 +321,10 @@ class DfsServer : public StackableFs,
   // metadata store ("" when unreadable). Lets a cold incumbent discover
   // which files have stale targets without waiting for client traffic.
   std::string ReadSidecarPath(const std::string& sidecar_name);
+  // Walks the metadata store's staleness sidecars and caches every file's
+  // stripe state, so a cold incumbent's view (rebuild pass, kGetHealth) is
+  // complete without waiting for client traffic. Local reads only.
+  void LoadAllSidecarStates();
   // Marks target `t` stale for `path` unless it is the last fresh target
   // (a cluster cannot serve from zero fresh replicas). Returns true when
   // the state changed (mark applied + version bumped + persisted).
@@ -366,6 +408,10 @@ class DfsServer : public StackableFs,
 
   mutable std::mutex stats_mutex_;
   Stats stats_;
+
+  // Bounded slow-op ring (DESIGN.md §16), oldest evicted first.
+  mutable std::mutex slow_mutex_;
+  std::deque<SlowOp> slow_ops_;
 };
 
 }  // namespace springfs::dfs

@@ -83,6 +83,21 @@ enum class Op : uint32_t {
                        // already-stale target is a no-op) and the server
                        // refuses to mark the last fresh replica set.
 
+  // telemetry (any client -> any server); requests carry an empty body.
+  kGetStats = 70,   // -> GetStatsResponse. Scrapes the server process's
+                    // metrics registry: every counter and every 26-bucket
+                    // latency histogram, plus the server's own
+                    // StatsProvider counters folded in under "self/" so a
+                    // multi-server scrape can tell the servers apart even
+                    // when they share a process (the simulated world).
+  kGetHealth = 71,  // -> HealthResponse. A structured health document:
+                    // role, boot epoch, uptime, stripe geometry, per-file
+                    // stale-replica sets + map versions, rebuild counters,
+                    // live delegation/lease counts, dedup-window occupancy.
+                    // This is how harnesses assert degraded/rebuild state
+                    // through the wire instead of peeking at server
+                    // internals.
+
   // compound (client -> server): an ordered program of the ops above,
   // executed server-side as a pipeline. Stops at the first failing op and
   // returns per-op status plus results for every completed op.
@@ -131,6 +146,9 @@ inline bool IsIdempotent(Op op) {
     // already-stale target changes nothing.
     case Op::kGetStripeMap:
     case Op::kReportStaleReplica:
+    // Telemetry ops are pure reads of server state.
+    case Op::kGetStats:
+    case Op::kGetHealth:
       return true;
     default:
       return false;
@@ -164,6 +182,8 @@ inline const char* OpName(Op op) {
     case Op::kDelegReturn: return "delegreturn";
     case Op::kGetStripeMap: return "getstripemap";
     case Op::kReportStaleReplica: return "reportstale";
+    case Op::kGetStats: return "getstats";
+    case Op::kGetHealth: return "gethealth";
     case Op::kCompound: return "compound";
     case Op::kCbFlushBack: return "cb_flushback";
     case Op::kCbDenyWrites: return "cb_denywrites";

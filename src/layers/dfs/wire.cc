@@ -540,6 +540,137 @@ Result<ReportStaleRequest> ReportStaleRequest::Decode(ByteSpan wire) {
   return out;
 }
 
+// --- telemetry ---
+
+namespace {
+
+// Element counts in telemetry bodies are attacker/corruption-controlled;
+// each decoded element consumes at least a few bytes, so any count larger
+// than the remaining wire size is corrupt — reject it before reserving.
+Status CheckCount(uint32_t n, ByteSpan wire) {
+  if (n > wire.size()) {
+    return ErrCorrupted("telemetry element count exceeds body size");
+  }
+  return Status::Ok();
+}
+
+}  // namespace
+
+Buffer GetStatsResponse::Encode() const {
+  WireWriter w;
+  w.U32(static_cast<uint32_t>(snapshot.values.size()));
+  for (const auto& [name, value] : snapshot.values) {
+    w.Str(name);
+    w.U64(value);
+  }
+  w.U32(static_cast<uint32_t>(snapshot.histograms.size()));
+  for (const auto& [name, hist] : snapshot.histograms) {
+    w.Str(name);
+    w.U64(hist.count);
+    w.U64(hist.sum_ns);
+    w.U32(static_cast<uint32_t>(hist.buckets.size()));
+    for (uint64_t bucket : hist.buckets) {
+      w.U64(bucket);
+    }
+  }
+  return w.Take();
+}
+
+Result<GetStatsResponse> GetStatsResponse::Decode(ByteSpan wire) {
+  WireReader r(wire);
+  GetStatsResponse out;
+  ASSIGN_OR_RETURN(uint32_t n_values, r.U32());
+  RETURN_IF_ERROR(CheckCount(n_values, wire));
+  for (uint32_t i = 0; i < n_values; ++i) {
+    ASSIGN_OR_RETURN(std::string name, r.Str());
+    ASSIGN_OR_RETURN(uint64_t value, r.U64());
+    out.snapshot.values[std::move(name)] = value;
+  }
+  ASSIGN_OR_RETURN(uint32_t n_hists, r.U32());
+  RETURN_IF_ERROR(CheckCount(n_hists, wire));
+  for (uint32_t i = 0; i < n_hists; ++i) {
+    ASSIGN_OR_RETURN(std::string name, r.Str());
+    metrics::Histogram::Snapshot hist;
+    ASSIGN_OR_RETURN(hist.count, r.U64());
+    ASSIGN_OR_RETURN(hist.sum_ns, r.U64());
+    ASSIGN_OR_RETURN(uint32_t buckets, r.U32());
+    if (buckets != metrics::Histogram::kNumBuckets) {
+      return ErrCorrupted("histogram bucket count mismatch");
+    }
+    for (uint32_t b = 0; b < buckets; ++b) {
+      ASSIGN_OR_RETURN(hist.buckets[b], r.U64());
+    }
+    out.snapshot.histograms[std::move(name)] = hist;
+  }
+  if (!r.AtEnd()) {
+    return ErrCorrupted("trailing bytes after stats body");
+  }
+  return out;
+}
+
+Buffer HealthResponse::Encode() const {
+  WireWriter w;
+  w.U32(static_cast<uint32_t>(role));
+  w.U64(boot_epoch);
+  w.U64(uptime_ns);
+  w.U64(stripe_size);
+  w.U32(stripe_width);
+  w.U32(stripe_replicas);
+  w.U64(rebuilds_completed);
+  w.U32(static_cast<uint32_t>(files.size()));
+  for (const FileHealth& file : files) {
+    w.Str(file.path);
+    w.U64(file.map_version);
+    w.U32(static_cast<uint32_t>(file.stale_targets.size()));
+    for (uint32_t target : file.stale_targets) {
+      w.U32(target);
+    }
+  }
+  w.U64(delegations_active);
+  w.U64(leases_active);
+  w.U64(dedup_entries);
+  return w.Take();
+}
+
+Result<HealthResponse> HealthResponse::Decode(ByteSpan wire) {
+  WireReader r(wire);
+  HealthResponse out;
+  ASSIGN_OR_RETURN(uint32_t role, r.U32());
+  if (role > static_cast<uint32_t>(Role::kMetadata)) {
+    return ErrCorrupted("unknown health role");
+  }
+  out.role = static_cast<Role>(role);
+  ASSIGN_OR_RETURN(out.boot_epoch, r.U64());
+  ASSIGN_OR_RETURN(out.uptime_ns, r.U64());
+  ASSIGN_OR_RETURN(out.stripe_size, r.U64());
+  ASSIGN_OR_RETURN(out.stripe_width, r.U32());
+  ASSIGN_OR_RETURN(out.stripe_replicas, r.U32());
+  ASSIGN_OR_RETURN(out.rebuilds_completed, r.U64());
+  ASSIGN_OR_RETURN(uint32_t n_files, r.U32());
+  RETURN_IF_ERROR(CheckCount(n_files, wire));
+  out.files.reserve(n_files);
+  for (uint32_t i = 0; i < n_files; ++i) {
+    FileHealth file;
+    ASSIGN_OR_RETURN(file.path, r.Str());
+    ASSIGN_OR_RETURN(file.map_version, r.U64());
+    ASSIGN_OR_RETURN(uint32_t n_stale, r.U32());
+    RETURN_IF_ERROR(CheckCount(n_stale, wire));
+    file.stale_targets.reserve(n_stale);
+    for (uint32_t s = 0; s < n_stale; ++s) {
+      ASSIGN_OR_RETURN(uint32_t target, r.U32());
+      file.stale_targets.push_back(target);
+    }
+    out.files.push_back(std::move(file));
+  }
+  ASSIGN_OR_RETURN(out.delegations_active, r.U64());
+  ASSIGN_OR_RETURN(out.leases_active, r.U64());
+  ASSIGN_OR_RETURN(out.dedup_entries, r.U64());
+  if (!r.AtEnd()) {
+    return ErrCorrupted("trailing bytes after health body");
+  }
+  return out;
+}
+
 // --- compound ---
 
 Buffer CompoundRequest::Encode() const {

@@ -23,6 +23,7 @@
 
 #include "src/fs/file.h"
 #include "src/net/network.h"
+#include "src/obs/metrics.h"
 
 namespace springfs::dfs {
 
@@ -318,6 +319,53 @@ struct ReportStaleRequest {  // kReportStaleReplica -> StripeMapResponse
 
   Buffer Encode() const;
   static Result<ReportStaleRequest> Decode(ByteSpan wire);
+};
+
+// --- telemetry ---
+
+struct GetStatsResponse {  // kGetStats (request body is empty)
+  // The server process's full metrics registry: every counter plus every
+  // latency histogram (count, sum, and all kNumBuckets power-of-two
+  // buckets). The serving server also folds its own StatsProvider counters
+  // in under a "self/" prefix, so a scrape of several servers sharing one
+  // process (the simulated world) still tells them apart. Decoding rejects
+  // truncated bodies, trailing bytes, and histograms whose bucket count
+  // does not match the registry's compiled-in shape.
+  metrics::Registry::Snapshot snapshot;
+
+  Buffer Encode() const;
+  static Result<GetStatsResponse> Decode(ByteSpan wire);
+};
+
+struct HealthResponse {  // kGetHealth (request body is empty)
+  enum class Role : uint32_t {
+    kData = 0,      // plain data/file server
+    kMetadata = 1,  // striped metadata server (has stripe targets)
+  };
+
+  // One tracked striped file's replica health, as the metadata server
+  // sees it: the durable map version and the indices of stripe targets
+  // whose replicas missed writes and have not been rebuilt.
+  struct FileHealth {
+    std::string path;
+    uint64_t map_version = 1;
+    std::vector<uint32_t> stale_targets;
+  };
+
+  Role role = Role::kData;
+  uint64_t boot_epoch = 0;
+  uint64_t uptime_ns = 0;        // server clock now - boot time
+  uint64_t stripe_size = 0;      // 0 on a non-striped server
+  uint32_t stripe_width = 0;     // number of data targets (0 = not MDS)
+  uint32_t stripe_replicas = 0;  // replica lanes per stripe (0 = not MDS)
+  uint64_t rebuilds_completed = 0;  // stale targets re-synced, cumulative
+  std::vector<FileHealth> files;    // striped files with tracked state
+  uint64_t delegations_active = 0;  // live delegations across all files
+  uint64_t leases_active = 0;       // live remote cache bindings (leases)
+  uint64_t dedup_entries = 0;       // request-id dedup window occupancy
+
+  Buffer Encode() const;
+  static Result<HealthResponse> Decode(ByteSpan wire);
 };
 
 // --- compound ---

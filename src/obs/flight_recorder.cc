@@ -191,6 +191,21 @@ bool DumpToFile(const std::string& path, const std::string& header,
   return ok;
 }
 
+std::string ArtifactDumpPath(const std::string& tag) {
+  return "flight_dump_" + tag + ".txt";
+}
+
+bool DumpToArtifact(const std::string& tag, const std::string& header,
+                    size_t last_n) {
+  std::string path = ArtifactDumpPath(tag);
+  if (!DumpToFile(path, header, last_n)) {
+    std::fprintf(stderr, "flight: could not write artifact dump %s\n",
+                 path.c_str());
+    return false;
+  }
+  return true;
+}
+
 void Clear() {
   std::vector<std::shared_ptr<Ring>> rings;
   {

@@ -96,6 +96,18 @@ std::string Dump(size_t last_n = 0);
 bool DumpToFile(const std::string& path, const std::string& header,
                 size_t last_n = 0);
 
+// Canonical artifact path for a harness's flight dump:
+// "flight_dump_<tag>.txt" in the working directory. One naming scheme
+// shared by every harness and the CI upload globs — harnesses must not
+// invent their own paths.
+std::string ArtifactDumpPath(const std::string& tag);
+
+// DumpToFile at ArtifactDumpPath(tag). Best-effort by design: an
+// unwritable path returns false after a stderr warning, and the calling
+// harness still fails its seed cleanly.
+bool DumpToArtifact(const std::string& tag, const std::string& header,
+                    size_t last_n = 0);
+
 // Discards all retained events and the dropped count (test isolation).
 void Clear();
 

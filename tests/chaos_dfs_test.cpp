@@ -26,6 +26,7 @@
 #include <string>
 #include <thread>
 
+#include "src/layers/dfs/cluster_stats.h"
 #include "src/layers/dfs/dfs_client.h"
 #include "src/layers/dfs/dfs_server.h"
 #include "src/layers/dfs/striped_client.h"
@@ -388,7 +389,7 @@ void DumpFlightOnFailure(uint64_t seed, bool* dumped) {
   std::string header = "chaos seed=" + std::to_string(seed);
   std::fprintf(stderr, "=== flight recorder (%s, last 64 events) ===\n%s",
                header.c_str(), flight::Dump(64).c_str());
-  flight::DumpToFile("flight_dump_chaos.txt", header);
+  flight::DumpToArtifact("chaos", header);
 }
 
 // 4 shards x 55 seeds = 220 schedules, each run three times: over the
@@ -791,6 +792,7 @@ struct ReplicatedTeeth {
   uint64_t failovers = 0;        // reads served by the surviving replica
   uint64_t degraded_writes = 0;  // writes completed on one copy of two
   uint64_t rebuilds = 0;         // targets re-synced by rebuild passes
+  uint64_t stale_visible = 0;    // stale targets seen via kGetHealth
 };
 
 void RunReplicatedChaosSeed(uint64_t seed, ReplicatedTeeth* teeth) {
@@ -839,15 +841,73 @@ void RunReplicatedChaosSeed(uint64_t seed, ReplicatedTeeth* teeth) {
   // never write after the kill); the shard-level teeth prove the degraded
   // paths ran across the sweep.
   world.network->SetPartitioned(world.data_nodes[victim]->name(), false);
+
+  // Degraded state must be visible *through the wire*, not just to code
+  // holding a server pointer: scrape the MDS's kGetHealth and check the
+  // stale sets against what this schedule actually did.
+  dfs::ClusterStatsClient scraper("verifier", world.network.get());
+  scraper.AddServer("mds", "dfs-meta");
+  auto scrape_health = [&]() -> dfs::HealthResponse {
+    std::vector<dfs::ServerScrape> scrapes = scraper.ScrapeAll();
+    EXPECT_EQ(scrapes.size(), 1u);
+    if (scrapes.size() == 1) {
+      EXPECT_TRUE(scrapes[0].health_status.ok())
+          << scrapes[0].health_status.ToString();
+      return scrapes[0].health;
+    }
+    return {};
+  };
+  auto stale_count = [](const dfs::HealthResponse& health) {
+    size_t stale = 0;
+    for (const auto& file : health.files) {
+      stale += file.stale_targets.size();
+    }
+    return stale;
+  };
+  dfs::HealthResponse before_rebuild = scrape_health();
+  EXPECT_EQ(before_rebuild.role, dfs::HealthResponse::Role::kMetadata);
+  EXPECT_EQ(before_rebuild.stripe_width, 2u);
+  EXPECT_EQ(before_rebuild.stripe_replicas, 2u);
+  if (metrics::StatValue(*world.client, "degraded_writes") > 0) {
+    // Every degraded write skipped the victim, so the MDS must be
+    // advertising its mark to anyone who asks.
+    bool victim_stale = false;
+    for (const auto& file : before_rebuild.files) {
+      for (uint32_t t : file.stale_targets) {
+        victim_stale |= t == static_cast<uint32_t>(victim);
+      }
+    }
+    EXPECT_TRUE(victim_stale)
+        << "degraded writes happened but kGetHealth shows no stale mark "
+        << "on the victim";
+  }
+  size_t stale_before = stale_count(before_rebuild);
+
   world.RestartDataServer(victim);
   Result<uint64_t> rebuilt = world.mds->RunRebuildPass();
   ASSERT_TRUE(rebuilt.ok()) << rebuilt.status().ToString();
+  EXPECT_EQ(*rebuilt, stale_before)
+      << "rebuild pass cleared a different number of targets than "
+      << "kGetHealth advertised as stale";
 
   // A successful rebuild clears every stale mark: the second pass is a
-  // no-op.
+  // no-op, and the health document agrees over the wire.
   Result<uint64_t> second = world.mds->RunRebuildPass();
   ASSERT_TRUE(second.ok()) << second.status().ToString();
   EXPECT_EQ(*second, 0u) << "stale marks survived a successful rebuild";
+  dfs::HealthResponse after_rebuild = scrape_health();
+  EXPECT_EQ(stale_count(after_rebuild), 0u)
+      << "kGetHealth still advertises stale targets after a clean rebuild";
+  EXPECT_EQ(after_rebuild.rebuilds_completed, *rebuilt)
+      << "kGetHealth rebuild counter disagrees with RunRebuildPass";
+  for (const auto& file : after_rebuild.files) {
+    for (const auto& old_file : before_rebuild.files) {
+      if (old_file.path == file.path) {
+        EXPECT_GE(file.map_version, old_file.map_version)
+            << "map version went backwards across a rebuild";
+      }
+    }
+  }
 
   // Every lane-1 object is byte-identical to its primary again.
   ASSERT_TRUE(world.file->SyncFile().ok());
@@ -881,6 +941,7 @@ void RunReplicatedChaosSeed(uint64_t seed, ReplicatedTeeth* teeth) {
     teeth->degraded_writes +=
         metrics::StatValue(*world.client, "degraded_writes");
     teeth->rebuilds += *rebuilt;
+    teeth->stale_visible += stale_before;
   }
 }
 
@@ -901,6 +962,8 @@ void RunReplicatedChaosShard(uint64_t first_seed) {
       << "no schedule ever completed a write degraded";
   EXPECT_GT(teeth.rebuilds, 0u)
       << "no schedule ever rebuilt a stale target";
+  EXPECT_GT(teeth.stale_visible, 0u)
+      << "no schedule ever exposed a stale target through kGetHealth";
 }
 
 TEST(ChaosReplicatedDfs, SeededSchedulesShard0) {

@@ -469,7 +469,7 @@ void RunCrashShard(uint64_t first_seed) {
       std::fprintf(stderr,
                    "=== flight recorder (%s, last 64 events) ===\n%s",
                    header.c_str(), flight::Dump(64).c_str());
-      flight::DumpToFile("flight_dump_crash.txt", header);
+      flight::DumpToArtifact("crash", header);
     }
     if (::testing::Test::HasFatalFailure()) {
       return;
